@@ -1,0 +1,76 @@
+"""Figure 10: single-operator comparison against ML compilers (GPU).
+
+Paper result: TensorIR outperforms TVM (Ansor) and AMOS across the eight
+workloads, by up to 7.5x, because the baselines either cannot use the
+tensor unit (TVM) or use it with template data movement (AMOS).  DEP has
+no matmul-intrinsic mapping, so all systems run the scalar pipeline and
+land close together.
+"""
+
+import pytest
+
+from repro.sim import SimGPU, estimate
+
+WORKLOADS = ["C1D", "C2D", "C3D", "DEP", "DIL", "GMM", "GRP", "T2D"]
+
+
+@pytest.fixture(scope="module")
+def table(gpu_matrix, gpu_systems):
+    systems = [gpu_systems[n] for n in ("TensorIR", "TVM", "AMOS")]
+    rows = {}
+    for wl in WORKLOADS:
+        rows[wl] = {s.name: gpu_matrix.result(s, wl) for s in systems}
+    return rows
+
+
+def test_fig10_regenerate(table, gpu_matrix, benchmark):
+    from .conftest import format_table, write_table
+
+    out_rows = []
+    for wl in WORKLOADS:
+        tir = table[wl]["TensorIR"]
+        row = [wl, f"{tir.seconds * 1e6:.1f}us"]
+        for name in ("TVM", "AMOS"):
+            r = table[wl][name]
+            row.append(f"{r.cycles / tir.cycles:.2f}x" if r else "n/a")
+        out_rows.append(tuple(row))
+    text = format_table(
+        "Figure 10 — single op vs ML compilers (SimGPU, fp16).\n"
+        "Columns: TensorIR latency; baseline-over-TensorIR slowdown.",
+        ["op", "TensorIR", "TVM", "AMOS"],
+        out_rows,
+    )
+    write_table("figure10.txt", text)
+    # Timed kernel: one performance-model evaluation of the best program.
+    best = table["GMM"]["TensorIR"]
+    func = gpu_matrix.func("GMM")
+    benchmark(lambda: estimate(func, SimGPU()))
+
+
+def test_fig10_tensorir_wins_heavy_ops(table):
+    # The headline: big speedups over TVM on the tensorizable heavy ops.
+    for wl in ("C2D", "C3D", "GMM", "GRP", "DIL"):
+        tir = table[wl]["TensorIR"].cycles
+        tvm = table[wl]["TVM"].cycles
+        assert tvm / tir > 2.0, f"{wl}: expected >2x win over TVM, got {tvm / tir:.2f}"
+
+
+def test_fig10_dep_is_close(table):
+    # DEP cannot be tensorized: all compilers use the scalar pipeline
+    # and land within ~2x of each other (paper: TVM does well on DEP).
+    tir = table["DEP"]["TensorIR"].cycles
+    tvm = table["DEP"]["TVM"].cycles
+    assert 0.4 < tvm / tir < 2.5
+
+
+def test_fig10_beats_amos(table):
+    # AMOS maps to the tensor unit but without joint data-movement
+    # search: never faster than TensorIR, and slower somewhere.
+    slower = 0
+    for wl in WORKLOADS:
+        amos = table[wl]["AMOS"]
+        tir = table[wl]["TensorIR"]
+        assert amos.cycles >= tir.cycles * 0.98, wl
+        if amos.cycles > tir.cycles * 1.02:
+            slower += 1
+    assert slower >= 2

@@ -1,0 +1,74 @@
+"""Figure 14: end-to-end quantised models on the simulated ARM CPU.
+
+Paper result: TensorIR outperforms PyTorch and TVM by 1.2-2.5x.  The
+PyTorch int8 path (QNNPACK) has not added ``sdot`` support — the
+maintenance-cost observation of §5.3 — so it runs on the scalar
+pipeline like TVM.
+"""
+
+import pytest
+
+from repro.frontend import cpu_network, network_latency
+from repro.sim import SimCPU
+
+NETWORKS = ["ResNet-50", "MobileNet-V2", "BERT-base"]
+
+
+def _latency(net, system, cache):
+    def per_layer(layer):
+        sec = cache.latency(system, layer)
+        if sec is None:
+            raise RuntimeError(f"{system.name} failed on {layer.name}")
+        return sec
+
+    return network_latency(
+        net,
+        per_layer,
+        per_op_overhead=system.op_overhead,
+        fuse_elementwise=system.fuses_elementwise,
+    )
+
+
+@pytest.fixture(scope="module")
+def table(cpu_layer_cache, net_cpu_systems):
+    rows = {}
+    for name in NETWORKS:
+        net = cpu_network(name)
+        rows[name] = {
+            sys_name: _latency(net, system, cpu_layer_cache)
+            for sys_name, system in net_cpu_systems.items()
+        }
+    return rows
+
+
+def test_fig14_regenerate(table, benchmark):
+    from .conftest import format_table, write_table
+
+    out = []
+    for name in NETWORKS:
+        tir = table[name]["TensorIR"]
+        out.append(
+            (
+                name,
+                f"{tir * 1e3:.2f}ms",
+                f"{table[name]['PyTorch'] / tir:.2f}x",
+                f"{table[name]['TVM'] / tir:.2f}x",
+            )
+        )
+    text = format_table(
+        "Figure 14 — end-to-end int8 models (SimCPU, sdot).\n"
+        "Columns: TensorIR latency; baseline-over-TensorIR slowdown.",
+        ["model", "TensorIR", "PyTorch", "TVM"],
+        out,
+    )
+    write_table("figure14.txt", text)
+    benchmark(lambda: cpu_network("BERT-base").total_ops())
+
+
+def test_fig14_beats_frameworks(table):
+    # Paper: 1.2x-2.5x over PyTorch and TVM.
+    for name in NETWORKS:
+        tir = table[name]["TensorIR"]
+        for sys_name in ("PyTorch", "TVM"):
+            ratio = table[name][sys_name] / tir
+            assert ratio > 1.1, f"{name}/{sys_name}: {ratio:.2f}"

@@ -1,0 +1,95 @@
+"""Auto-tensorizing a Conv2D onto the tensor-core intrinsic (Figure 9).
+
+Walks the §4.2 pipeline by hand: pattern match -> iterator mapping by
+characteristic vectors -> ReIndex + layout fusion + padding -> tiling ->
+blockize -> tensorize, then checks numerics and compares the simulated
+cost against the best scalar schedule.
+
+Run:  python examples/conv2d_tensorization.py
+"""
+
+import numpy as np
+
+from repro.autotensorize import (
+    extract_einsum,
+    generate_candidates,
+    prepare_tensorize,
+    propose_mapping,
+    match_expression_pattern,
+)
+from repro.frontend import ops
+from repro.intrin import get_intrin
+from repro.meta import GpuScalarSketch, evolutionary_search
+from repro.runtime import random_args, run
+from repro.schedule import Schedule, verify
+from repro.sim import SimGPU, estimate
+
+
+def conv_reference(args, n, h, w, kh, kw):
+    A, W = args["A"].astype(np.float32), args["W"].astype(np.float32)
+    out = np.zeros((n, h, w, W.shape[3]), dtype=np.float32)
+    for r in range(kh):
+        for s in range(kw):
+            out += np.einsum("nhwc,cf->nhwf", A[:, r : r + h, s : s + w, :], W[r, s])
+    return out
+
+
+def main():
+    # NHWC Conv2D, pre-padded input (the Figure 9 workload).
+    func = ops.conv2d(1, 18, 18, 16, 32, 3, 3)
+    sch = Schedule(func)
+    block = sch.get_block("C")
+
+    # --- step 1: which intrinsics match? --------------------------------
+    candidates = generate_candidates(sch, block, ["wmma_16x16x16_f16"])
+    print("tensorization candidates:", [name for name, _ in candidates])
+    name, mapping = candidates[0]
+    print("iterator mapping (characteristic vectors):", mapping)
+
+    # --- step 2: canonicalise (ReIndex + pad + reshape instance space) --
+    prep = prepare_tensorize(sch, block, name)
+    print(
+        "tile loops:",
+        [(rv.name, sch.loop_of(rv).extent.value) for rv in prep.tile_loops],
+    )
+
+    # --- step 3: tile to the intrinsic shape and tensorize ---------------
+    x, y, k = prep.tile_loops
+    xo, xt = sch.split(x, [None, 16])
+    yo, yt = sch.split(y, [None, 16])
+    ko, kt = sch.split(k, [None, 16])
+    sch.reorder(xo, yo, ko, xt, yt, kt)
+    init = sch.decompose_reduction(block, ko)
+    sch.tensorize(xt, "wmma_16x16x16_f16")
+    i0, j0 = sch.get_loops(init)[-2:]
+    _, i0i = sch.split(i0, [None, 16])
+    j0o, _ = sch.split(j0, [None, 16])
+    sch.reorder(i0i, j0o)
+    sch.tensorize(i0i, "wmma_fill_16x16_f16")
+    print("\n=== tensorized program (excerpt) ===")
+    print("\n".join(sch.show().splitlines()[:40]))
+
+    # --- numerics ----------------------------------------------------------
+    args = random_args(sch.func)
+    run(sch.func, args)
+    ref = conv_reference(args, 1, 16, 16, 3, 3)
+    print("\nmax |error| vs NumPy:", np.abs(args["C"].astype(np.float32) - ref).max())
+
+    # --- cost: the hand schedule above is serial (no thread bindings),
+    # so for a fair performance comparison let the auto-scheduler finish
+    # the job: tune with and without tensorization enabled. -------------
+    from repro.meta import tune
+
+    target = SimGPU()
+    print(f"\nhand-tensorized (serial) estimate: {estimate(sch.func, target)}")
+    tensor_res = tune(func, target, trials=12, seed=0)
+    scalar_res = tune(func, target, trials=12, seed=0, allow_tensorize=False)
+    print(f"auto-scheduled, tensorized:   {tensor_res.best_report}")
+    print(f"auto-scheduled, scalar-only:  {scalar_res.best_report}")
+    print(
+        f"tensor-core speedup: {scalar_res.best_cycles / tensor_res.best_cycles:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

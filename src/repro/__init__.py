@@ -1,0 +1,27 @@
+"""repro — a pure-Python reproduction of *TensorIR: An Abstraction for
+Automatic Tensorized Program Optimization* (ASPLOS 2023).
+
+Top-level layout:
+
+* :mod:`repro.tir` — the TensorIR abstraction (buffers, loops, blocks).
+* :mod:`repro.arith` — integer analysis: simplifier, interval sets,
+  quasi-affine iterator maps.
+* :mod:`repro.schedule` — schedule primitives as IR→IR transforms, the
+  replayable trace, and validation.
+* :mod:`repro.runtime` — lowering and NumPy-backed execution.
+* :mod:`repro.sim` — simulated GPU/CPU hardware targets and the
+  analytical performance model.
+* :mod:`repro.intrin` — tensor intrinsic descriptions (TensorIntrin).
+* :mod:`repro.autotensorize` — §4.2 tensorization candidate generation.
+* :mod:`repro.meta` — the tensorization-aware auto-scheduler (§4.3–4.4).
+* :mod:`repro.learn` — the from-scratch gradient-boosted-tree cost model.
+* :mod:`repro.frontend` — operators, workloads and network graphs.
+* :mod:`repro.baselines` — TVM/AMOS/CUTLASS/TensorRT/ACL/PyTorch-like
+  comparison systems used by the evaluation benchmarks.
+"""
+
+__version__ = "0.1.0"
+
+from . import tir  # noqa: F401  (re-exported for convenience)
+
+__all__ = ["tir", "__version__"]

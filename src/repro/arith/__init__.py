@@ -1,0 +1,34 @@
+"""Integer arithmetic substrate: interval sets, canonical simplification
+and quasi-affine iterator-map detection.
+
+This package plays the role of TVM's ``arith`` namespace: it supplies the
+machinery behind region analysis, schedule-primitive legality checks and
+the loop-nest validation of §3.3.
+"""
+
+from .analyzer import Analyzer
+from .int_set import IntSet, eval_int_set, intersect, range_to_set, union
+from .iter_map import (
+    IterMapError,
+    IterMark,
+    IterSplitExpr,
+    IterSumExpr,
+    detect_iter_map,
+)
+from .simplify import Simplifier, structural_key
+
+__all__ = [
+    "Analyzer",
+    "IntSet",
+    "eval_int_set",
+    "range_to_set",
+    "union",
+    "intersect",
+    "Simplifier",
+    "structural_key",
+    "detect_iter_map",
+    "IterMapError",
+    "IterMark",
+    "IterSplitExpr",
+    "IterSumExpr",
+]

@@ -1,0 +1,283 @@
+"""Integer interval sets.
+
+:class:`IntSet` represents a closed interval ``[min_value, max_value]``
+over the integers, with ``None`` standing for ±infinity.  It is the
+workhorse of region analysis: given the domains of loop/block iterators
+we evaluate buffer index expressions to intervals and turn them into
+access regions (§3.1's read/write signature computation).
+
+Interval arithmetic here is *conservative*: the resulting set always
+contains every value the expression can take; it may over-approximate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..tir.buffer import Buffer
+from ..tir.expr import (
+    Add,
+    And,
+    BufferLoad,
+    Call,
+    Cast,
+    EQ,
+    FloatImm,
+    FloorDiv,
+    FloorMod,
+    GE,
+    GT,
+    IntImm,
+    LE,
+    LT,
+    Max,
+    Min,
+    Mul,
+    NE,
+    Not,
+    Or,
+    PrimExpr,
+    Range,
+    Select,
+    Sub,
+    Var,
+    const_int_value,
+)
+
+__all__ = ["IntSet", "eval_int_set", "range_to_set", "union", "intersect"]
+
+
+class IntSet:
+    """An integer interval ``[min_value, max_value]`` (None = unbounded)."""
+
+    __slots__ = ("min_value", "max_value")
+
+    def __init__(self, min_value: Optional[int], max_value: Optional[int]):
+        if min_value is not None and max_value is not None and min_value > max_value:
+            raise ValueError(f"empty IntSet [{min_value}, {max_value}]")
+        self.min_value = min_value
+        self.max_value = max_value
+
+    # -- constructors ------------------------------------------------
+    @staticmethod
+    def point(value: int) -> "IntSet":
+        return IntSet(value, value)
+
+    @staticmethod
+    def everything() -> "IntSet":
+        return IntSet(None, None)
+
+    @staticmethod
+    def from_range(min_value: int, extent: int) -> "IntSet":
+        return IntSet(min_value, min_value + extent - 1)
+
+    # -- predicates ----------------------------------------------------
+    @property
+    def is_bounded(self) -> bool:
+        return self.min_value is not None and self.max_value is not None
+
+    @property
+    def is_point(self) -> bool:
+        return self.is_bounded and self.min_value == self.max_value
+
+    def extent(self) -> Optional[int]:
+        """Number of integers in the interval (None if unbounded)."""
+        if not self.is_bounded:
+            return None
+        return self.max_value - self.min_value + 1
+
+    def contains(self, other: "IntSet") -> bool:
+        """True if ``other`` ⊆ ``self``."""
+        lo_ok = self.min_value is None or (
+            other.min_value is not None and other.min_value >= self.min_value
+        )
+        hi_ok = self.max_value is None or (
+            other.max_value is not None and other.max_value <= self.max_value
+        )
+        return lo_ok and hi_ok
+
+    def contains_value(self, value: int) -> bool:
+        return self.contains(IntSet.point(value))
+
+    # -- arithmetic ------------------------------------------------------
+    def __add__(self, other: "IntSet") -> "IntSet":
+        return IntSet(
+            _add(self.min_value, other.min_value), _add(self.max_value, other.max_value)
+        )
+
+    def __sub__(self, other: "IntSet") -> "IntSet":
+        return IntSet(
+            _sub(self.min_value, other.max_value), _sub(self.max_value, other.min_value)
+        )
+
+    def __neg__(self) -> "IntSet":
+        return IntSet(_neg(self.max_value), _neg(self.min_value))
+
+    def __mul__(self, other: "IntSet") -> "IntSet":
+        candidates = [
+            _mul(a, b)
+            for a in (self.min_value, self.max_value)
+            for b in (other.min_value, other.max_value)
+        ]
+        if any(c is _UNKNOWN for c in candidates):
+            return IntSet.everything()
+        return IntSet(min(candidates), max(candidates))
+
+    def floordiv(self, other: "IntSet") -> "IntSet":
+        if other.is_point and other.min_value == 0:
+            return IntSet.everything()
+        if not other.is_bounded or other.min_value <= 0 <= other.max_value:
+            return IntSet.everything()
+        candidates = []
+        for a in (self.min_value, self.max_value):
+            for b in (other.min_value, other.max_value):
+                if a is None:
+                    return IntSet.everything()
+                candidates.append(a // b)
+        return IntSet(min(candidates), max(candidates))
+
+    def floormod(self, other: "IntSet") -> "IntSet":
+        if not other.is_point or other.min_value is None or other.min_value <= 0:
+            if other.is_bounded and other.min_value > 0:
+                return IntSet(0, other.max_value - 1)
+            return IntSet.everything()
+        m = other.min_value
+        if self.is_bounded and self.min_value // m == self.max_value // m:
+            # No wrap-around: modulo is a shift.
+            return IntSet(self.min_value % m, self.max_value % m)
+        return IntSet(0, m - 1)
+
+    def min_with(self, other: "IntSet") -> "IntSet":
+        return IntSet(_min(self.min_value, other.min_value), _min(self.max_value, other.max_value))
+
+    def max_with(self, other: "IntSet") -> "IntSet":
+        return IntSet(_max(self.min_value, other.min_value), _max(self.max_value, other.max_value))
+
+    def union(self, other: "IntSet") -> "IntSet":
+        return IntSet(_min(self.min_value, other.min_value), _max(self.max_value, other.max_value))
+
+    def intersect(self, other: "IntSet") -> Optional["IntSet"]:
+        """Intersection, or None when empty."""
+        lo = _max(self.min_value, other.min_value)
+        hi = _min(self.max_value, other.max_value)
+        if lo is not None and hi is not None and lo > hi:
+            return None
+        return IntSet(lo, hi)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        lo = "-inf" if self.min_value is None else self.min_value
+        hi = "+inf" if self.max_value is None else self.max_value
+        return f"IntSet[{lo}, {hi}]"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, IntSet)
+            and self.min_value == other.min_value
+            and self.max_value == other.max_value
+        )
+
+    def __hash__(self):
+        return hash((self.min_value, self.max_value))
+
+
+_UNKNOWN = object()
+
+
+def _add(a, b):
+    return None if a is None or b is None else a + b
+
+
+def _sub(a, b):
+    return None if a is None or b is None else a - b
+
+
+def _neg(a):
+    return None if a is None else -a
+
+
+def _mul(a, b):
+    if a is None or b is None:
+        if a == 0 or b == 0:
+            return 0
+        return _UNKNOWN
+    return a * b
+
+
+def _min(a, b):
+    if a is None or b is None:
+        return None
+    return min(a, b)
+
+
+def _max(a, b):
+    if a is None or b is None:
+        return None
+    return max(a, b)
+
+
+def range_to_set(rng: Range) -> IntSet:
+    """Convert a constant Range to an IntSet; raises on symbolic ranges."""
+    lo = const_int_value(rng.min)
+    ext = const_int_value(rng.extent)
+    if lo is None or ext is None:
+        raise ValueError("range_to_set requires constant range")
+    if ext <= 0:
+        raise ValueError(f"range with non-positive extent {ext}")
+    return IntSet.from_range(lo, ext)
+
+
+def union(sets: Sequence[IntSet]) -> IntSet:
+    """Union (interval hull) of several sets."""
+    if not sets:
+        raise ValueError("union of no sets")
+    result = sets[0]
+    for s in sets[1:]:
+        result = result.union(s)
+    return result
+
+
+def intersect(sets: Sequence[IntSet]) -> Optional[IntSet]:
+    if not sets:
+        raise ValueError("intersect of no sets")
+    result = sets[0]
+    for s in sets[1:]:
+        result = result.intersect(s)
+        if result is None:
+            return None
+    return result
+
+
+def eval_int_set(expr: PrimExpr, dom_map: Mapping[Var, IntSet]) -> IntSet:
+    """Evaluate an integer expression to an interval.
+
+    Variables found in ``dom_map`` take their interval; other variables
+    make the result unbounded (conservative).
+    """
+    if isinstance(expr, Var):
+        return dom_map.get(expr, IntSet.everything())
+    if isinstance(expr, IntImm):
+        return IntSet.point(expr.value)
+    if isinstance(expr, Cast):
+        return eval_int_set(expr.value, dom_map)
+    if isinstance(expr, Add):
+        return eval_int_set(expr.a, dom_map) + eval_int_set(expr.b, dom_map)
+    if isinstance(expr, Sub):
+        return eval_int_set(expr.a, dom_map) - eval_int_set(expr.b, dom_map)
+    if isinstance(expr, Mul):
+        return eval_int_set(expr.a, dom_map) * eval_int_set(expr.b, dom_map)
+    if isinstance(expr, FloorDiv):
+        return eval_int_set(expr.a, dom_map).floordiv(eval_int_set(expr.b, dom_map))
+    if isinstance(expr, FloorMod):
+        return eval_int_set(expr.a, dom_map).floormod(eval_int_set(expr.b, dom_map))
+    if isinstance(expr, Min):
+        return eval_int_set(expr.a, dom_map).min_with(eval_int_set(expr.b, dom_map))
+    if isinstance(expr, Max):
+        return eval_int_set(expr.a, dom_map).max_with(eval_int_set(expr.b, dom_map))
+    if isinstance(expr, Select):
+        t = eval_int_set(expr.true_value, dom_map)
+        f = eval_int_set(expr.false_value, dom_map)
+        return t.union(f)
+    if isinstance(expr, (EQ, NE, LT, LE, GT, GE, And, Or, Not)):
+        return IntSet(0, 1)
+    # Loads/calls of integer type: unknown.
+    return IntSet.everything()

@@ -1,0 +1,482 @@
+"""Canonical simplification of integer expressions.
+
+The simplifier normalises integer expressions into a *linear form*
+(sum of constant-coefficient atoms plus a constant), applies
+bounds-aware rules for ``floordiv`` / ``floormod`` / ``min`` / ``max`` /
+comparisons, and rebuilds a deterministic expression.
+
+It exists for two reasons:
+
+* schedule primitives compose affine index expressions (splits produce
+  ``i0 * 16 + i1`` style bindings; fusion produces ``f // 16``/``f % 16``)
+  and downstream analysis needs them in a stable shape;
+* validation (§3.3) proves facts such as "this index stays within the
+  buffer extent" via ``can_prove``.
+
+Soundness contract (property-tested): for any expression and any
+assignment consistent with the registered variable bounds, the
+simplified expression evaluates to the same value.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..tir.buffer import Buffer
+from ..tir.expr import (
+    Add,
+    And,
+    BinaryOp,
+    BufferLoad,
+    Call,
+    Cast,
+    CmpOp,
+    EQ,
+    FloatImm,
+    FloorDiv,
+    FloorMod,
+    GE,
+    GT,
+    IntImm,
+    LE,
+    LT,
+    Max,
+    Min,
+    Mul,
+    NE,
+    Not,
+    Or,
+    PrimExpr,
+    Select,
+    StringImm,
+    Sub,
+    TruncDiv,
+    Var,
+    const,
+)
+from ..tir import dtype as _dt
+from .int_set import IntSet
+
+__all__ = ["Simplifier", "structural_key"]
+
+BoundFn = Callable[[PrimExpr], IntSet]
+
+
+def structural_key(expr: PrimExpr) -> tuple:
+    """A hashable key identifying an expression structurally.
+
+    Variables and buffers are keyed by identity (two distinct vars named
+    ``i`` stay distinct).
+    """
+    if isinstance(expr, Var):
+        return ("var", id(expr))
+    if isinstance(expr, IntImm):
+        return ("int", expr.value, expr.dtype)
+    if isinstance(expr, FloatImm):
+        return ("float", expr.value, expr.dtype)
+    if isinstance(expr, StringImm):
+        return ("str", expr.value)
+    if isinstance(expr, Cast):
+        return ("cast", expr.dtype, structural_key(expr.value))
+    if isinstance(expr, Not):
+        return ("not", structural_key(expr.a))
+    if isinstance(expr, Select):
+        return (
+            "select",
+            structural_key(expr.condition),
+            structural_key(expr.true_value),
+            structural_key(expr.false_value),
+        )
+    if isinstance(expr, BufferLoad):
+        return ("load", id(expr.buffer)) + tuple(structural_key(i) for i in expr.indices)
+    if isinstance(expr, Call):
+        return ("call", expr.op) + tuple(structural_key(a) for a in expr.args)
+    if isinstance(expr, BinaryOp):
+        return (type(expr).__name__, structural_key(expr.a), structural_key(expr.b))
+    raise TypeError(f"no structural key for {type(expr).__name__}")
+
+
+class _Linear:
+    """Linear form: sum(coeff * atom) + const, over int atoms."""
+
+    __slots__ = ("terms", "const")
+
+    def __init__(self):
+        self.terms: Dict[tuple, Tuple[PrimExpr, int]] = {}
+        self.const = 0
+
+    @staticmethod
+    def of_const(value: int) -> "_Linear":
+        lin = _Linear()
+        lin.const = value
+        return lin
+
+    @staticmethod
+    def of_atom(atom: PrimExpr, coeff: int = 1) -> "_Linear":
+        lin = _Linear()
+        if coeff != 0:
+            lin.terms[structural_key(atom)] = (atom, coeff)
+        return lin
+
+    def add(self, other: "_Linear", sign: int = 1) -> "_Linear":
+        out = _Linear()
+        out.const = self.const + sign * other.const
+        out.terms = dict(self.terms)
+        for key, (atom, coeff) in other.terms.items():
+            if key in out.terms:
+                merged = out.terms[key][1] + sign * coeff
+                if merged == 0:
+                    del out.terms[key]
+                else:
+                    out.terms[key] = (atom, merged)
+            elif coeff != 0:
+                out.terms[key] = (atom, sign * coeff)
+        return out
+
+    def scale(self, factor: int) -> "_Linear":
+        out = _Linear()
+        if factor == 0:
+            return out
+        out.const = self.const * factor
+        out.terms = {k: (a, c * factor) for k, (a, c) in self.terms.items()}
+        return out
+
+    def as_const(self) -> Optional[int]:
+        return self.const if not self.terms else None
+
+    def single_atom(self) -> Optional[Tuple[PrimExpr, int]]:
+        """(atom, coeff) when the form is exactly one term with const 0."""
+        if self.const == 0 and len(self.terms) == 1:
+            return next(iter(self.terms.values()))
+        return None
+
+    def to_expr(self, dtype: str) -> PrimExpr:
+        # Deterministic term order.  The sort key must not depend on
+        # object identity (ids vary between runs and would make replayed
+        # schedules structurally different), so order by the printed form.
+        from ..tir.printer import expr_str
+
+        items = sorted(self.terms.values(), key=lambda t: expr_str(t[0]))
+        expr: Optional[PrimExpr] = None
+        for atom, coeff in items:
+            term = atom if coeff == 1 else atom * const(coeff, dtype)
+            if coeff == -1:
+                term = None  # handled below to produce `x - y` shapes
+            if coeff < 0:
+                piece = atom if coeff == -1 else atom * const(-coeff, dtype)
+                expr = (const(0, dtype) - piece) if expr is None else expr - piece
+            else:
+                expr = term if expr is None else expr + term
+        if expr is None:
+            return const(self.const, dtype)
+        if self.const > 0:
+            expr = expr + const(self.const, dtype)
+        elif self.const < 0:
+            expr = expr - const(-self.const, dtype)
+        return expr
+
+
+class Simplifier:
+    """Bounds-aware canonical simplifier.
+
+    ``bound_of`` maps an expression to a conservative :class:`IntSet`;
+    the :class:`~repro.arith.analyzer.Analyzer` supplies one backed by
+    its variable domain map.
+    """
+
+    def __init__(self, bound_of: Optional[BoundFn] = None):
+        self._bound_of = bound_of or (lambda expr: IntSet.everything())
+
+    # -- public ---------------------------------------------------------
+    def simplify(self, expr: PrimExpr) -> PrimExpr:
+        if _dt.is_int(expr.dtype) or _dt.is_bool(expr.dtype):
+            lin = self._merge_divmod(self._canon(expr))
+            return self._linear_to_expr(lin, expr.dtype)
+        return self._simplify_non_int(expr)
+
+    def can_prove(self, expr: PrimExpr) -> bool:
+        """True if ``expr`` provably holds for all assignments in bounds."""
+        simplified = self.simplify(expr)
+        if isinstance(simplified, IntImm):
+            return bool(simplified.value)
+        return False
+
+    def prove_equal(self, a: PrimExpr, b: PrimExpr) -> bool:
+        if not (_dt.is_int(a.dtype) and _dt.is_int(b.dtype)):
+            return structural_key(a) == structural_key(b)
+        diff = self._canon(a).add(self._canon(b), sign=-1)
+        return diff.as_const() == 0
+
+    # -- internals --------------------------------------------------------
+    def _bound_linear(self, lin: _Linear, dtype: str) -> IntSet:
+        result = IntSet.point(lin.const)
+        for atom, coeff in lin.terms.values():
+            result = result + self._bound_of(atom) * IntSet.point(coeff)
+        return result
+
+    def _canon(self, expr: PrimExpr) -> _Linear:
+        if isinstance(expr, IntImm):
+            return _Linear.of_const(expr.value)
+        if isinstance(expr, Var):
+            bound = self._bound_of(expr)
+            if bound.is_point:
+                return _Linear.of_const(bound.min_value)
+            return _Linear.of_atom(expr)
+        if isinstance(expr, Add):
+            return self._canon(expr.a).add(self._canon(expr.b))
+        if isinstance(expr, Sub):
+            return self._canon(expr.a).add(self._canon(expr.b), sign=-1)
+        if isinstance(expr, Mul):
+            la, lb = self._canon(expr.a), self._canon(expr.b)
+            ca, cb = la.as_const(), lb.as_const()
+            if cb is not None:
+                return la.scale(cb)
+            if ca is not None:
+                return lb.scale(ca)
+            atom = self._rebuild(Mul, la, lb, expr.dtype)
+            return _Linear.of_atom(atom)
+        if isinstance(expr, FloorDiv):
+            return self._canon_floordiv(expr)
+        if isinstance(expr, FloorMod):
+            return self._canon_floormod(expr)
+        if isinstance(expr, (Min, Max)):
+            return self._canon_minmax(expr)
+        if isinstance(expr, CmpOp):
+            return self._canon_cmp(expr)
+        if isinstance(expr, Not):
+            inner = self.simplify(expr.a)
+            if isinstance(inner, IntImm):
+                return _Linear.of_const(int(not inner.value))
+            return _Linear.of_atom(Not(inner))
+        if isinstance(expr, Select):
+            cond = self.simplify(expr.condition)
+            if isinstance(cond, IntImm):
+                chosen = expr.true_value if cond.value else expr.false_value
+                return self._canon(chosen)
+            return _Linear.of_atom(
+                Select(cond, self.simplify(expr.true_value), self.simplify(expr.false_value))
+            )
+        if isinstance(expr, Cast):
+            inner = self.simplify(expr.value)
+            if isinstance(inner, IntImm) and _dt.is_int(expr.dtype):
+                return _Linear.of_const(inner.value)
+            return _Linear.of_atom(Cast(expr.dtype, inner))
+        if isinstance(expr, BufferLoad):
+            return _Linear.of_atom(
+                BufferLoad(expr.buffer, [self.simplify(i) for i in expr.indices])
+            )
+        if isinstance(expr, Call):
+            return _Linear.of_atom(
+                Call(expr.dtype, expr.op, [self.simplify(a) for a in expr.args])
+            )
+        if isinstance(expr, TruncDiv):
+            la, lb = self._canon(expr.a), self._canon(expr.b)
+            ca, cb = la.as_const(), lb.as_const()
+            if ca is not None and cb not in (None, 0):
+                return _Linear.of_const(int(ca / cb))
+            return _Linear.of_atom(self._rebuild(TruncDiv, la, lb, expr.dtype))
+        raise TypeError(f"cannot canonicalize {type(expr).__name__}")
+
+    def _rebuild(self, cls, la: _Linear, lb: _Linear, dtype: str) -> PrimExpr:
+        return cls(la.to_expr(dtype), lb.to_expr(dtype), dtype)
+
+    def _canon_floordiv(self, expr: FloorDiv) -> _Linear:
+        la = self._canon(expr.a)
+        lb = self._canon(expr.b)
+        c = lb.as_const()
+        if c is None or c <= 0:
+            return _Linear.of_atom(self._rebuild(FloorDiv, la, lb, expr.dtype))
+        if c == 1:
+            return la
+        quotient, remainder = self._split_by(la, c)
+        rem_bound = self._bound_linear(remainder, expr.dtype)
+        if rem_bound.is_bounded and 0 <= rem_bound.min_value and rem_bound.max_value < c:
+            return quotient
+        # Nested rule: (x // a) // b == x // (a*b)
+        single = la.single_atom()
+        if single is not None and single[1] == 1 and isinstance(single[0], FloorDiv):
+            inner = single[0]
+            inner_c = self._canon(inner.b).as_const()
+            if inner_c is not None and inner_c > 0:
+                return self._canon(FloorDiv(inner.a, const(inner_c * c, expr.dtype), expr.dtype))
+        rem_expr = remainder.to_expr(expr.dtype)
+        div_atom = FloorDiv(rem_expr, const(c, expr.dtype), expr.dtype)
+        if isinstance(rem_expr, IntImm):
+            return quotient.add(_Linear.of_const(rem_expr.value // c))
+        return quotient.add(_Linear.of_atom(div_atom))
+
+    def _canon_floormod(self, expr: FloorMod) -> _Linear:
+        la = self._canon(expr.a)
+        lb = self._canon(expr.b)
+        c = lb.as_const()
+        if c is None or c <= 0:
+            return _Linear.of_atom(self._rebuild(FloorMod, la, lb, expr.dtype))
+        if c == 1:
+            return _Linear.of_const(0)
+        _, remainder = self._split_by(la, c)
+        rem_bound = self._bound_linear(remainder, expr.dtype)
+        if rem_bound.is_bounded and 0 <= rem_bound.min_value and rem_bound.max_value < c:
+            return remainder
+        rem_expr = remainder.to_expr(expr.dtype)
+        if isinstance(rem_expr, IntImm):
+            return _Linear.of_const(rem_expr.value % c)
+        return _Linear.of_atom(FloorMod(rem_expr, const(c, expr.dtype), expr.dtype))
+
+    @staticmethod
+    def _split_by(lin: _Linear, c: int) -> Tuple[_Linear, _Linear]:
+        """Split ``lin`` into ``c * quotient + remainder`` exactly.
+
+        Terms whose coefficient is divisible by ``c`` go to the quotient;
+        the rest (and the constant's residue) stay in the remainder.
+        """
+        quotient = _Linear()
+        remainder = _Linear()
+        quotient.const = lin.const // c if lin.const % c == 0 else 0
+        remainder.const = 0 if lin.const % c == 0 else lin.const
+        if remainder.const:
+            # Pull out whole multiples of c from the constant as well.
+            q, r = divmod(remainder.const, c)
+            quotient.const += q
+            remainder.const = r
+        for key, (atom, coeff) in lin.terms.items():
+            if coeff % c == 0:
+                quotient.terms[key] = (atom, coeff // c)
+            else:
+                remainder.terms[key] = (atom, coeff)
+        return quotient, remainder
+
+    def _merge_divmod(self, lin: _Linear) -> _Linear:
+        """Recombine ``(e // c) * (k*c) + (e % c) * k`` into ``e * k``.
+
+        Uses the exact identity ``e == (e // c) * c + e % c``.  The div
+        term is matched semantically (``prove_equal``), so normalised
+        forms such as ``f // 64`` pair with ``(f // 8) % 8`` whose
+        numerator is ``f // 8``.
+        """
+        while True:
+            mods = []
+            divs = []
+            for key, (atom, coeff) in lin.terms.items():
+                if isinstance(atom, FloorMod) and isinstance(atom.b, IntImm) and atom.b.value > 0:
+                    mods.append((key, atom, coeff))
+                elif isinstance(atom, FloorDiv) and isinstance(atom.b, IntImm) and atom.b.value > 0:
+                    divs.append((key, atom, coeff))
+            merged = None
+            for mod_key, mod_atom, k in mods:
+                c = mod_atom.b.value
+                wanted = FloorDiv(mod_atom.a, mod_atom.b, mod_atom.dtype)
+                for div_key, div_atom, div_coeff in divs:
+                    if div_coeff != k * c:
+                        continue
+                    if structural_key(div_atom) == structural_key(wanted) or self.prove_equal(
+                        div_atom, wanted
+                    ):
+                        merged = (div_key, mod_key, mod_atom.a, k)
+                        break
+                if merged:
+                    break
+            if merged is None:
+                return lin
+            div_key, mod_key, numerator, k = merged
+            del lin.terms[div_key]
+            del lin.terms[mod_key]
+            lin = lin.add(self._merge_divmod(self._canon(numerator)).scale(k))
+
+    def _canon_minmax(self, expr: BinaryOp) -> _Linear:
+        la, lb = self._canon(expr.a), self._canon(expr.b)
+        diff = la.add(lb, sign=-1)
+        dc = diff.as_const()
+        bound = self._bound_linear(diff, expr.dtype) if dc is None else IntSet.point(dc)
+        is_min = isinstance(expr, Min)
+        if bound.max_value is not None and bound.max_value <= 0:
+            return la if is_min else lb  # a <= b always
+        if bound.min_value is not None and bound.min_value >= 0:
+            return lb if is_min else la  # a >= b always
+        cls = Min if is_min else Max
+        return _Linear.of_atom(self._rebuild(cls, la, lb, expr.dtype))
+
+    def _canon_cmp(self, expr: CmpOp) -> _Linear:
+        if isinstance(expr, (And, Or)):
+            a = self.simplify(expr.a)
+            b = self.simplify(expr.b)
+            av = a.value if isinstance(a, IntImm) else None
+            bv = b.value if isinstance(b, IntImm) else None
+            if isinstance(expr, And):
+                if av == 0 or bv == 0:
+                    return _Linear.of_const(0)
+                if av == 1:
+                    return self._canon(b)
+                if bv == 1:
+                    return self._canon(a)
+                return _Linear.of_atom(And(a, b))
+            if av == 1 or bv == 1:
+                return _Linear.of_const(1)
+            if av == 0:
+                return self._canon(b)
+            if bv == 0:
+                return self._canon(a)
+            return _Linear.of_atom(Or(a, b))
+        if not (_dt.is_int(expr.a.dtype) or _dt.is_bool(expr.a.dtype)):
+            return _Linear.of_atom(
+                type(expr)(self._simplify_non_int(expr.a), self._simplify_non_int(expr.b))
+            )
+        diff = self._canon(expr.a).add(self._canon(expr.b), sign=-1)
+        dc = diff.as_const()
+        bound = self._bound_linear(diff, "int32") if dc is None else IntSet.point(dc)
+        lo, hi = bound.min_value, bound.max_value
+        verdict: Optional[bool] = None
+        if isinstance(expr, LT):
+            verdict = _decide(hi is not None and hi < 0, lo is not None and lo >= 0)
+        elif isinstance(expr, LE):
+            verdict = _decide(hi is not None and hi <= 0, lo is not None and lo > 0)
+        elif isinstance(expr, GT):
+            verdict = _decide(lo is not None and lo > 0, hi is not None and hi <= 0)
+        elif isinstance(expr, GE):
+            verdict = _decide(lo is not None and lo >= 0, hi is not None and hi < 0)
+        elif isinstance(expr, EQ):
+            if dc is not None:
+                verdict = dc == 0
+            elif (lo is not None and lo > 0) or (hi is not None and hi < 0):
+                verdict = False
+        elif isinstance(expr, NE):
+            if dc is not None:
+                verdict = dc != 0
+            elif (lo is not None and lo > 0) or (hi is not None and hi < 0):
+                verdict = True
+        if verdict is not None:
+            return _Linear.of_const(int(verdict))
+        sa = self.simplify(expr.a)
+        sb = self.simplify(expr.b)
+        return _Linear.of_atom(type(expr)(sa, sb))
+
+    def _linear_to_expr(self, lin: _Linear, dtype: str) -> PrimExpr:
+        return lin.to_expr(dtype)
+
+    def _simplify_non_int(self, expr: PrimExpr) -> PrimExpr:
+        """Shallow simplification of float/handle expressions: recurse into
+        integer sub-expressions (e.g. buffer indices) only."""
+        if isinstance(expr, BufferLoad):
+            return BufferLoad(expr.buffer, [self.simplify(i) for i in expr.indices])
+        if isinstance(expr, Call):
+            return Call(expr.dtype, expr.op, [self._dispatch(a) for a in expr.args])
+        if isinstance(expr, Cast):
+            return Cast(expr.dtype, self._dispatch(expr.value))
+        if isinstance(expr, Select):
+            cond = self.simplify(expr.condition)
+            if isinstance(cond, IntImm):
+                return self._dispatch(expr.true_value if cond.value else expr.false_value)
+            return Select(cond, self._dispatch(expr.true_value), self._dispatch(expr.false_value))
+        if isinstance(expr, BinaryOp):
+            return type(expr)(self._dispatch(expr.a), self._dispatch(expr.b), expr.dtype)
+        return expr
+
+    def _dispatch(self, expr: PrimExpr) -> PrimExpr:
+        return self.simplify(expr)
+
+
+def _decide(yes: bool, no: bool) -> Optional[bool]:
+    if yes:
+        return True
+    if no:
+        return False
+    return None

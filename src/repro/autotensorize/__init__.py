@@ -1,0 +1,16 @@
+"""Auto-tensorization: §4.2's tensorization candidate generation."""
+
+from .candidate import PreparedTensorization, generate_candidates, prepare_tensorize
+from .mapping import IterMapping, propose_mapping
+from .pattern import EinsumPattern, extract_einsum, match_expression_pattern
+
+__all__ = [
+    "EinsumPattern",
+    "extract_einsum",
+    "match_expression_pattern",
+    "IterMapping",
+    "propose_mapping",
+    "PreparedTensorization",
+    "generate_candidates",
+    "prepare_tensorize",
+]

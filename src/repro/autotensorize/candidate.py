@@ -1,0 +1,400 @@
+"""Tensorization candidate generation (§4.2, Figure 9).
+
+``generate_candidates`` inspects a block's computation pattern and
+returns the intrinsics it can map to; ``prepare_tensorize`` applies the
+full canonicalisation pipeline for one candidate:
+
+1. **ReIndex** every operand so buffer accesses index buffers directly
+   with block iterators, laid out per the intrinsic operand's iterator
+   order (the layout-rewrite step of Figure 9);
+2. **pad** each fused iterator group up to a multiple of the intrinsic
+   tile extent ("necessary padding ... to the closest divisible shape");
+3. **reorder + fuse** the loops so the block carries exactly one loop
+   per intrinsic iterator (plus outer loops for iterators the intrinsic
+   does not cover, e.g. a batch axis or a depthwise channel).
+
+The result is a :class:`PreparedTensorization` the sketch generator can
+tile, blockize and finally ``tensorize``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..intrin import TensorIntrin, get_intrin
+from ..schedule import BlockRV, LoopRV, Schedule, ScheduleError
+from ..tir import IterVar, const_int_value
+
+from .mapping import IterMapping, propose_mapping
+from .pattern import EinsumPattern, extract_einsum, match_expression_pattern
+
+__all__ = ["PreparedTensorization", "generate_candidates", "prepare_tensorize"]
+
+
+class PreparedTensorization:
+    """A block canonicalised for one intrinsic.
+
+    ``tile_loops[i]`` is the (fused) loop carrying the iterators mapped
+    onto the intrinsic's ``i``-th iterator; its extent is a multiple of
+    ``tile_shape[i]``.  ``outer_loops`` carry unmapped iterators.
+    """
+
+    def __init__(
+        self,
+        block: BlockRV,
+        intrin: TensorIntrin,
+        tile_loops: List[LoopRV],
+        outer_loops: List[LoopRV],
+        tile_shape: List[int],
+        iter_kinds: List[str],
+    ):
+        self.block = block
+        self.intrin = intrin
+        self.tile_loops = tile_loops
+        self.outer_loops = outer_loops
+        self.tile_shape = tile_shape
+        self.iter_kinds = iter_kinds
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"PreparedTensorization({self.intrin.name}, tile={self.tile_shape}, "
+            f"outer={len(self.outer_loops)})"
+        )
+
+
+def _intrin_pattern(intrin: TensorIntrin) -> Optional[EinsumPattern]:
+    return extract_einsum(intrin.desc_block())
+
+
+def generate_candidates(
+    sch: Schedule, block_rv: BlockRV, intrin_names: Sequence[str]
+) -> List[Tuple[str, IterMapping]]:
+    """The intrinsics (with mappings) that ``block`` can tensorize onto."""
+    block = sch.block_of(block_rv)
+    workload = extract_einsum(block)
+    if workload is None:
+        return []
+    out = []
+    for name in intrin_names:
+        intrin = get_intrin(name)
+        ipat = _intrin_pattern(intrin)
+        if ipat is None:
+            continue
+        perm = match_expression_pattern(workload, ipat)
+        if perm is None:
+            continue
+        mapping = propose_mapping(workload, ipat, perm)
+        if mapping is None:
+            continue
+        out.append((name, mapping))
+    return out
+
+
+def _operand_iter_order(
+    operand_indices,
+    block_iters: List[IterVar],
+    group_of: Dict[int, int],
+    intrin_operand_iters: List[int],
+) -> List[int]:
+    """Permutation for ``reindex``: order the operand's used iterators as
+    [unmapped (block order)] + groups in the intrinsic operand's own
+    iterator order."""
+    from ..tir import collect_vars
+
+    used: List[IterVar] = []
+    used_ids = set()
+    for idx in operand_indices:
+        for v in collect_vars(idx):
+            if id(v) not in used_ids:
+                used_ids.add(id(v))
+    for iv in block_iters:
+        if id(iv.var) in used_ids:
+            used.append(iv)
+
+    def sort_key(position: int):
+        iv = used[position]
+        grp = group_of.get(id(iv.var))
+        if grp is None:
+            return (0, 0, position)  # unmapped: first, original order
+        try:
+            rank = intrin_operand_iters.index(grp)
+        except ValueError:
+            rank = len(intrin_operand_iters)
+        return (1, rank, position)
+
+    order = sorted(range(len(used)), key=sort_key)
+    return order
+
+
+def _intrin_operand_groups(intrin_pattern: EinsumPattern) -> List[List[int]]:
+    """For each intrinsic operand (output first), the intrinsic iterator
+    positions in its index order."""
+    from ..tir import collect_vars
+
+    pos_of = {id(iv.var): i for i, iv in enumerate(intrin_pattern.block.iter_vars)}
+    out = []
+    operand_lists = [intrin_pattern.output[1]] + [
+        idx for _, idx in intrin_pattern.inputs
+    ]
+    for indices in operand_lists:
+        positions = []
+        for idx in indices:
+            for v in collect_vars(idx):
+                if id(v) in pos_of and pos_of[id(v)] not in positions:
+                    positions.append(pos_of[id(v)])
+        out.append(positions)
+    return out
+
+
+def _pad_extents(mapping: IterMapping, tile: Sequence[int]) -> Optional[Dict[int, int]]:
+    """Per-iterator padded extents making each fused group divisible by
+    the intrinsic tile, or None when no padding is needed."""
+    pads: Dict[int, int] = {}
+    needed = False
+    for group, tile_e in zip(mapping.groups, tile):
+        prod = 1
+        for iv in group:
+            prod *= const_int_value(iv.dom.extent)
+        if prod % tile_e == 0:
+            continue
+        needed = True
+        last = group[-1]
+        e_last = const_int_value(last.dom.extent)
+        rest = prod // e_last
+        new_e = e_last
+        while (rest * new_e) % tile_e != 0:
+            new_e += 1
+        pads[id(last.var)] = new_e
+    return pads if needed else None
+
+
+def prepare_tensorize(
+    sch: Schedule, block_rv: BlockRV, intrin_name: str
+) -> PreparedTensorization:
+    """Apply the §4.2 pipeline for one candidate intrinsic."""
+    intrin = get_intrin(intrin_name)
+    ipat = _intrin_pattern(intrin)
+    block = sch.block_of(block_rv)
+    workload = extract_einsum(block)
+    if workload is None or ipat is None:
+        raise ScheduleError("prepare_tensorize: block is not an einsum computation")
+    perm = match_expression_pattern(workload, ipat)
+    if perm is None:
+        raise ScheduleError(
+            f"prepare_tensorize: expression pattern does not match {intrin_name}"
+        )
+    mapping = propose_mapping(workload, ipat, perm)
+    if mapping is None:
+        raise ScheduleError(
+            f"prepare_tensorize: no iterator mapping onto {intrin_name}"
+        )
+
+    group_of: Dict[int, int] = {}
+    for gi, group in enumerate(mapping.groups):
+        for iv in group:
+            group_of[id(iv.var)] = gi
+    operand_groups = _intrin_operand_groups(ipat)  # output first
+
+    # --- step 1: ReIndex every operand with the intrinsic's layout -----
+    # Operand k of the workload (in pattern order) corresponds to
+    # intrinsic input position perm.index(k).  ReIndex stages that would
+    # be the identity are skipped; stages that amount to a row-major
+    # reshape (consecutive-dim fusion in unchanged order) are marked
+    # ``reshape`` so the performance model treats them as free — real
+    # systems elide such relayouts (or pre-pack weights ahead of time).
+    blk = sch.block_of(block_rv)
+
+    def reindex_operand(role: str, buffer, indices, desired_order: List[int]) -> None:
+        index = (
+            _write_index(sch, block_rv, buffer)
+            if role == "write"
+            else _read_index(sch, block_rv, buffer)
+        )
+        used = _used_iters(indices, list(blk.iter_vars))
+        ordered = [used[i] for i in desired_order]
+        from ..tir import Var
+
+        identity_order = (
+            len(indices) == len(ordered)
+            and all(isinstance(i, Var) for i in indices)
+            and all(i is iv.var for i, iv in zip(indices, ordered))
+        )
+        needs_fusion = _needs_dim_fusion(ordered, group_of)
+        if identity_order and not needs_fusion:
+            return  # already canonical
+        rw = sch.reindex(block_rv, role, index, desired_order)
+        if identity_order:
+            sch.annotate(rw, "reshape", True)
+
+    out_order = _operand_iter_order(
+        workload.output[1], list(blk.iter_vars), group_of, operand_groups[0]
+    )
+    reindex_operand("write", workload.output[0], workload.output[1], out_order)
+    for w_idx, (buffer, indices) in enumerate(workload.inputs):
+        intrin_pos = perm.index(w_idx)
+        order = _operand_iter_order(
+            indices, list(blk.iter_vars), group_of, operand_groups[1 + intrin_pos]
+        )
+        reindex_operand("read", buffer, indices, order)
+
+    # --- step 2: padding -------------------------------------------------
+    tile = list(intrin.tile_shape())
+    pads = _pad_extents(mapping, tile)
+    if pads is not None:
+        blk = sch.block_of(block_rv)
+        paddings = [
+            pads.get(id(iv.var), const_int_value(iv.dom.extent)) for iv in blk.iter_vars
+        ]
+        sch.pad_einsum(block_rv, paddings)
+
+    # --- step 3: fuse operand buffer dims so the fused iterators will
+    # index the buffers directly (A_t[fuse(n,h,w), fuse(rh,rw,rc)]) -----
+    _fuse_operand_layouts(sch, block_rv, group_of)
+
+    # --- step 4: reshape the block instance space: one iterator (and
+    # dedicated loop) per intrinsic iterator, unmapped iterators first --
+    blk = sch.block_of(block_rv)
+    pos_of = {id(iv.var): i for i, iv in enumerate(blk.iter_vars)}
+    unmapped = [iv for iv in blk.iter_vars if id(iv.var) not in group_of]
+    iter_groups: List[List[int]] = [[pos_of[id(iv.var)]] for iv in unmapped]
+    for group in mapping.groups:
+        iter_groups.append([pos_of[id(iv.var)] for iv in group])
+    new_loops = sch.fuse_block_iters(block_rv, iter_groups)
+    outer_loops = new_loops[: len(unmapped)]
+    tile_loops = new_loops[len(unmapped) :]
+
+    # --- step 5: reshape the ReIndex/pad stages' instance spaces the
+    # same way, so their accesses to the fused buffers become direct and
+    # the stages stay inline-able/collapsible by the sketch generator --
+    _fuse_stage_iters(sch)
+    kinds = [iv.kind for iv in ipat.block.iter_vars]
+    return PreparedTensorization(
+        block_rv, intrin, tile_loops, outer_loops, tile, kinds
+    )
+
+
+def _used_iters(operand_indices, block_iters: List[IterVar]) -> List[IterVar]:
+    from ..tir import collect_vars
+
+    used_ids = set()
+    for idx in operand_indices:
+        for v in collect_vars(idx):
+            used_ids.add(id(v))
+    return [iv for iv in block_iters if id(iv.var) in used_ids]
+
+
+def _needs_dim_fusion(ordered_iters: List[IterVar], group_of: Dict[int, int]) -> bool:
+    """True if two adjacent operand dims belong to the same mapping
+    group (the buffer layout must fuse them into one dimension)."""
+    prev = object()
+    for iv in ordered_iters:
+        grp = group_of.get(id(iv.var))
+        if grp is not None and grp == prev:
+            return True
+        prev = grp
+    return False
+
+
+def _fuse_operand_layouts(
+    sch: Schedule, block_rv: BlockRV, group_of: Dict[int, int]
+) -> None:
+    """Collapse each mapped iterator group into one buffer dimension on
+    every operand of the block (after ReIndex each operand dimension is
+    indexed by exactly one block iterator)."""
+    blk = sch.block_of(block_rv)
+    pattern = extract_einsum(blk)
+    if pattern is None:
+        raise ScheduleError("operand layout fusion: block is not in einsum form")
+    operands = [pattern.output] + pattern.inputs
+    from ..tir import Var
+
+    done = set()
+    for buffer, indices in operands:
+        if id(buffer) in done:
+            continue
+        done.add(id(buffer))
+        groups: List[List[int]] = []
+        current: List[int] = []
+        current_group: Optional[int] = None
+        for dim, idx in enumerate(indices):
+            if not isinstance(idx, Var):
+                raise ScheduleError(
+                    "operand layout fusion: buffer indices must be iterators"
+                )
+            grp = group_of.get(id(idx))
+            if grp is not None and grp == current_group and current:
+                current.append(dim)
+            else:
+                if current:
+                    groups.append(current)
+                current = [dim]
+                current_group = grp
+        if current:
+            groups.append(current)
+        if any(len(g) > 1 for g in groups):
+            sch.fuse_buffer_dims(block_rv, buffer.name, groups)
+
+
+def _fuse_stage_iters(sch: Schedule) -> None:
+    """Fuse the iterators of relayout stages to match their fused-buffer
+    access structure (derived from whichever access has composite
+    indices)."""
+    from ..tir import BufferStore, Var, collect_vars, post_order_visit
+    from ..tir.expr import BufferLoad
+
+    for rv in list(sch.get_blocks()):
+        try:
+            block = sch.block_of(rv)
+        except ScheduleError:
+            continue
+        notes = block.annotations
+        if "reindex" not in notes and "padding" not in notes:
+            continue
+        if not isinstance(block.body, BufferStore):
+            continue
+        store = block.body
+        loads: List = []
+        post_order_visit(
+            store.value, lambda n: loads.append(n) if isinstance(n, BufferLoad) else None
+        )
+        candidates = [store.indices] + [ld.indices for ld in loads]
+        composite = next(
+            (idx for idx in candidates if any(not isinstance(i, Var) for i in idx)),
+            None,
+        )
+        if composite is None:
+            continue  # accesses already direct
+        pos_of = {id(iv.var): i for i, iv in enumerate(block.iter_vars)}
+        groups: List[List[int]] = []
+        seen: set = set()
+        ok = True
+        for idx in composite:
+            vars_in = [v for v in collect_vars(idx) if id(v) in pos_of]
+            group = [pos_of[id(v)] for v in vars_in]
+            if not group or any(p in seen for p in group):
+                ok = False
+                break
+            seen.update(group)
+            groups.append(sorted(group))
+        if not ok or len(seen) != len(block.iter_vars):
+            continue
+        try:
+            sch.fuse_block_iters(rv, groups)
+        except ScheduleError:
+            continue
+
+
+def _read_index(sch: Schedule, block_rv: BlockRV, buffer) -> int:
+    block = sch.block_of(block_rv)
+    for idx, region in enumerate(block.reads):
+        if region.buffer is buffer:
+            return idx
+    raise ScheduleError(f"operand {buffer.name} not found among block reads")
+
+
+def _write_index(sch: Schedule, block_rv: BlockRV, buffer) -> int:
+    block = sch.block_of(block_rv)
+    for idx, region in enumerate(block.writes):
+        if region.buffer is buffer:
+            return idx
+    raise ScheduleError(f"operand {buffer.name} not found among block writes")

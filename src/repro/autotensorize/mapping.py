@@ -1,0 +1,114 @@
+"""Characteristic-vector iterator mapping (§4.2, equations (2)–(3)).
+
+After ReIndexing, every operand access indexes its buffer directly with
+block iterators, so each iterator ``v`` has a characteristic vector
+χ(v) ∈ {0,1}^{k+1} recording which operand index lists contain it.  The
+mapping assigns every workload iterator to the intrinsic iterator with
+the same vector; all workload iterators sharing a vector are *fused* (in
+a default order) onto that intrinsic iterator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..tir import IterVar
+
+from .pattern import EinsumPattern
+
+__all__ = ["IterMapping", "propose_mapping"]
+
+
+class IterMapping:
+    """Assignment of workload iterators to intrinsic iterators.
+
+    ``groups[i]`` is the ordered list of workload :class:`IterVar` fused
+    onto the intrinsic's ``i``-th block iterator; ``input_perm`` is the
+    operand permutation from the expression-pattern match.
+    """
+
+    def __init__(
+        self,
+        workload: EinsumPattern,
+        intrin: EinsumPattern,
+        groups: List[List[IterVar]],
+        input_perm: List[int],
+        unmapped: Optional[List[IterVar]] = None,
+    ):
+        self.workload = workload
+        self.intrin = intrin
+        self.groups = groups
+        self.input_perm = input_perm
+        #: iterators with no intrinsic counterpart (stay outside the tile)
+        self.unmapped: List[IterVar] = list(unmapped or [])
+
+    def group_extents(self) -> List[int]:
+        """Fused extent per intrinsic iterator."""
+        from ..tir import const_int_value
+
+        out = []
+        for group in self.groups:
+            total = 1
+            for iv in group:
+                total *= const_int_value(iv.dom.extent)
+            out.append(total)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        parts = []
+        for iv, group in zip(self.intrin.block.iter_vars, self.groups):
+            names = "+".join(g.var.name for g in group)
+            parts.append(f"{names or '1'}→{iv.var.name}")
+        return f"IterMapping({', '.join(parts)})"
+
+
+def propose_mapping(
+    workload: EinsumPattern, intrin: EinsumPattern, input_perm: List[int]
+) -> Optional[IterMapping]:
+    """Propose the iterator mapping, or None when some workload iterator
+    has no intrinsic counterpart (χ mismatch).
+
+    Requires the workload pattern to be in reindexed (canonical) form so
+    that χ is faithful; the intrinsic's iterators are assumed to have
+    pairwise-distinct characteristic vectors (true of dot-product and
+    matmul intrinsics — the paper makes the same assumption).
+    """
+    # Operand order of the workload must be aligned with the intrinsic's
+    # before comparing vectors: reorder workload inputs by the match.
+    aligned = EinsumPattern(
+        workload.block,
+        workload.output,
+        [workload.inputs[j] for j in input_perm],
+        workload.update,
+        workload.slot_vars,
+    )
+    w_usage = aligned.iter_usage()
+    i_usage = intrin.iter_usage()
+
+    intrin_by_vec: Dict[Tuple[bool, ...], int] = {}
+    for pos, iv in enumerate(intrin.block.iter_vars):
+        vec = i_usage[id(iv.var)]
+        if vec in intrin_by_vec:
+            return None  # ambiguous intrinsic (outside the assumption)
+        intrin_by_vec[vec] = pos
+
+    groups: List[List[IterVar]] = [[] for _ in intrin.block.iter_vars]
+    unmapped: List[IterVar] = []
+    for iv in workload.block.iter_vars:
+        vec = w_usage[id(iv.var)]
+        if not any(vec):
+            continue  # unused iterator (degenerate): ignore
+        pos = intrin_by_vec.get(vec)
+        if pos is None:
+            # No intrinsic counterpart (e.g. a batch axis appearing in
+            # every operand): the iterator stays outside the tile.
+            unmapped.append(iv)
+            continue
+        target = intrin.block.iter_vars[pos]
+        if target.kind != iv.kind:
+            return None  # spatial iterators must map to spatial, etc.
+        groups[pos].append(iv)  # default order: block-iterator order
+    for group, iv in zip(groups, intrin.block.iter_vars):
+        if not group:
+            return None  # nothing maps onto this intrinsic iterator
+    return IterMapping(workload, intrin, groups, input_perm, unmapped)

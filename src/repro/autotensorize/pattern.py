@@ -1,0 +1,159 @@
+"""Einsum pattern extraction and expression-pattern matching (§4.2).
+
+The tensorization candidate generator first matches the *expression
+pattern* of a workload block against an intrinsic's semantics "without
+considering the indices" (the paper's first, gradual matching step):
+``C[.] += f(A[.], B[.], ...)`` with the same ``f``.  This module
+extracts that shape from a block and compares two shapes structurally
+with operand loads abstracted to slots, returning the operand
+correspondence.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..tir import (
+    Block,
+    BufferStore,
+    IterVar,
+    PrimExpr,
+    StmtMutator,
+    Var,
+    collect_vars,
+    structural_equal,
+    substitute,
+)
+from ..tir.buffer import Buffer
+from ..tir.expr import BufferLoad
+
+__all__ = ["EinsumPattern", "extract_einsum", "match_expression_pattern"]
+
+_CANONICAL_SLOTS: Dict[Tuple[int, str], Var] = {}
+
+
+def _slot_var(index: int, dtype: str) -> Var:
+    key = (index, dtype)
+    if key not in _CANONICAL_SLOTS:
+        _CANONICAL_SLOTS[key] = Var(f"__slot{index}_{dtype}", dtype)
+    return _CANONICAL_SLOTS[key]
+
+
+_CANONICAL_ACC: Dict[str, Var] = {}
+
+
+def _acc_var(dtype: str) -> Var:
+    if dtype not in _CANONICAL_ACC:
+        _CANONICAL_ACC[dtype] = Var(f"__acc_{dtype}", dtype)
+    return _CANONICAL_ACC[dtype]
+
+
+class EinsumPattern:
+    """The einsum shape of a computation block.
+
+    ``output`` is the (buffer, indices) the block stores; ``inputs`` the
+    non-self operand loads in occurrence order; ``update`` is the stored
+    value with operand loads replaced by canonical slot variables (and
+    the accumulator self-read by a canonical ``__acc`` variable), so two
+    patterns with the same ``f`` compare structurally equal regardless
+    of their indices.
+    """
+
+    def __init__(
+        self,
+        block: Block,
+        output: Tuple[Buffer, Tuple[PrimExpr, ...]],
+        inputs: List[Tuple[Buffer, Tuple[PrimExpr, ...]]],
+        update: PrimExpr,
+        slot_vars: List[Var],
+    ):
+        self.block = block
+        self.output = output
+        self.inputs = inputs
+        self.update = update
+        self.slot_vars = slot_vars
+
+    def iter_usage(self) -> Dict[int, Tuple[bool, ...]]:
+        """For each block iterator var id: membership in [output,
+        input0, input1, ...] index lists — the characteristic vector
+        χ(v) of the paper."""
+        lists = [self.output[1]] + [idx for _, idx in self.inputs]
+        usage: Dict[int, Tuple[bool, ...]] = {}
+        for iv in self.block.iter_vars:
+            vec = tuple(
+                any(any(u is iv.var for u in collect_vars(idx)) for idx in indices)
+                for indices in lists
+            )
+            usage[id(iv.var)] = vec
+        return usage
+
+    def __repr__(self) -> str:  # pragma: no cover
+        names = ", ".join(b.name for b, _ in self.inputs)
+        return f"EinsumPattern(out={self.output[0].name}, in=[{names}])"
+
+
+class _SlotRewriter(StmtMutator):
+    def __init__(self, out_buffer: Buffer):
+        self.out_buffer = out_buffer
+        self.slots: List[BufferLoad] = []
+        self.slot_vars: List[Var] = []
+
+    def rewrite_buffer_load(self, expr: BufferLoad) -> PrimExpr:
+        if expr.buffer is self.out_buffer:
+            return _acc_var(expr.dtype)
+        var = _slot_var(len(self.slots), expr.buffer.dtype)
+        self.slots.append(expr)
+        self.slot_vars.append(var)
+        return var
+
+
+def extract_einsum(block: Block) -> Optional[EinsumPattern]:
+    """Extract the einsum pattern of ``block``, or None if it is not a
+    single-store computation."""
+    if not isinstance(block.body, BufferStore):
+        return None
+    store = block.body
+    rewriter = _SlotRewriter(store.buffer)
+    update = rewriter.rewrite(store.value)
+    inputs = [(load.buffer, load.indices) for load in rewriter.slots]
+    return EinsumPattern(
+        block, (store.buffer, store.indices), inputs, update, rewriter.slot_vars
+    )
+
+
+def match_expression_pattern(
+    workload: EinsumPattern, intrin: EinsumPattern
+) -> Optional[List[int]]:
+    """Match two patterns' update functions.
+
+    Returns a permutation ``perm`` such that the workload's input
+    ``perm[i]`` plays the role of the intrinsic's input ``i`` (handling
+    commutativity: ``A*B`` matches ``B*A`` with operands swapped), or
+    None if the functions differ.
+    """
+    n = len(workload.inputs)
+    if n != len(intrin.inputs) or n > 4:
+        return None
+    if workload.output[0].dtype != intrin.output[0].dtype:
+        return None
+    for perm in itertools.permutations(range(n)):
+        ok = True
+        for i, j in enumerate(perm):
+            if workload.inputs[j][0].dtype != intrin.inputs[i][0].dtype:
+                ok = False
+                break
+        if not ok:
+            continue
+        # Rename workload slots so workload input perm[i] takes the
+        # intrinsic slot i's canonical variable.
+        vmap = {}
+        for i, j in enumerate(perm):
+            src = workload.slot_vars[j]
+            dst = intrin.slot_vars[i]
+            if src is not dst:
+                vmap[src] = dst
+        renamed = substitute(workload.update, vmap) if vmap else workload.update
+        if structural_equal(renamed, intrin.update):
+            return list(perm)
+    return None

@@ -1,0 +1,28 @@
+"""Comparison systems (TVM/Ansor, AMOS, CUTLASS, TensorRT, PyTorch, ACL
+analogues) used by the evaluation benchmarks."""
+
+from .systems import (
+    AmosBaseline,
+    AnsorBaseline,
+    ArmComputeLibrary,
+    CutlassLibrary,
+    OpResult,
+    System,
+    TensorIRSystem,
+    TensorRTLibrary,
+    TorchLikeFramework,
+    UnsupportedWorkload,
+)
+
+__all__ = [
+    "System",
+    "OpResult",
+    "UnsupportedWorkload",
+    "TensorIRSystem",
+    "AnsorBaseline",
+    "AmosBaseline",
+    "CutlassLibrary",
+    "TensorRTLibrary",
+    "TorchLikeFramework",
+    "ArmComputeLibrary",
+]

@@ -1,0 +1,19 @@
+"""Frontend: operator builders, evaluation workloads and network graphs."""
+
+from . import ops
+from .graph import LayerSpec, NetworkSpec, network_latency
+from .networks import cpu_network, gpu_network
+from .workloads import CPU_WORKLOADS, GPU_WORKLOADS, cpu_workload, gpu_workload
+
+__all__ = [
+    "ops",
+    "LayerSpec",
+    "NetworkSpec",
+    "network_latency",
+    "gpu_network",
+    "cpu_network",
+    "GPU_WORKLOADS",
+    "CPU_WORKLOADS",
+    "gpu_workload",
+    "cpu_workload",
+]

@@ -1,0 +1,62 @@
+"""Minimal operator-graph layer for end-to-end evaluation (§5.2).
+
+A network is a list of layers, each a (name, PrimFunc builder, count)
+triple; end-to-end latency is the sum of per-layer latencies (each
+unique layer tuned/looked-up once, multiplied by its occurrence count),
+plus a per-op framework overhead for systems that launch kernels one by
+one.  Systems with graph-level fusion (TensorRT-like) collapse
+elementwise layers into their producers before summing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..tir import PrimFunc
+
+__all__ = ["LayerSpec", "NetworkSpec", "network_latency"]
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One layer kind in a network."""
+
+    name: str
+    builder: Callable[[], PrimFunc]
+    count: int = 1
+    #: elementwise layers can be fused into their producer by engines
+    #: with graph-level fusion.
+    fusible: bool = False
+
+
+@dataclass
+class NetworkSpec:
+    name: str
+    layers: List[LayerSpec]
+
+    def unique_layers(self) -> List[LayerSpec]:
+        return self.layers
+
+    def total_ops(self) -> int:
+        return sum(layer.count for layer in self.layers)
+
+
+def network_latency(
+    net: NetworkSpec,
+    op_latency: Callable[[LayerSpec], float],
+    per_op_overhead: float = 0.0,
+    fuse_elementwise: bool = False,
+) -> float:
+    """End-to-end latency in seconds.
+
+    ``op_latency`` maps a layer to one invocation's latency; layers
+    marked fusible are folded into their producers (zero marginal cost)
+    when ``fuse_elementwise`` is set — modelling engines like TensorRT.
+    """
+    total = 0.0
+    for layer in net.layers:
+        if fuse_elementwise and layer.fusible:
+            continue
+        total += layer.count * (op_latency(layer) + per_op_overhead)
+    return total

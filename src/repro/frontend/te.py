@@ -1,0 +1,202 @@
+"""A tensor-expression layer: declarative computation → TensorIR.
+
+The paper's §3.4: "Our framework allows users to import models ... and
+automatically generates TensorIR programs from the high-level
+operators."  This module is the high-level entry: ``compute`` declares
+an output by an index expression (optionally reducing), and
+``build_func`` lowers a DAG of such tensors into one PrimFunc whose
+blocks carry full signatures — ready for scheduling.
+
+Example — a matmul::
+
+    A = te.placeholder((128, 64), "float16", "A")
+    B = te.placeholder((64, 32), "float16", "B")
+    k = te.reduce_axis(64, "k")
+    C = te.compute((128, 32), lambda i, j: te.sum(A[i, k] * B[k, j], [k]), name="C")
+    func = te.build_func([A, B, C], name="matmul")
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..tir import (
+    Buffer,
+    IRBuilder,
+    IterVar,
+    PrimExpr,
+    PrimFunc,
+    Var,
+    as_expr,
+    collect_vars,
+    const,
+    substitute,
+)
+
+__all__ = ["placeholder", "compute", "reduce_axis", "sum", "Tensor", "build_func"]
+
+
+class ReduceAxis:
+    """A named reduction axis with a constant extent.
+
+    Participates in index arithmetic by delegating to its variable
+    (``A[x + r, c]`` works directly).
+    """
+
+    __slots__ = ("var", "extent")
+
+    def __init__(self, extent: int, name: str = "k"):
+        self.var = Var(name, "int32")
+        self.extent = extent
+
+    def __add__(self, other):
+        return self.var + other
+
+    def __radd__(self, other):
+        return as_expr(other) + self.var
+
+    def __sub__(self, other):
+        return self.var - other
+
+    def __rsub__(self, other):
+        return as_expr(other) - self.var
+
+    def __mul__(self, other):
+        return self.var * other
+
+    def __rmul__(self, other):
+        return as_expr(other) * self.var
+
+
+class _Sum:
+    """A marker wrapping the reduced expression and its axes."""
+
+    __slots__ = ("value", "axes")
+
+    def __init__(self, value: PrimExpr, axes: Sequence[ReduceAxis]):
+        self.value = value
+        self.axes = list(axes)
+
+
+class Tensor:
+    """A declared tensor: a placeholder or a computed stage."""
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        dtype: str,
+        name: str,
+        fcompute: Optional[Callable] = None,
+    ):
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = dtype
+        self.name = name
+        self.fcompute = fcompute
+        #: filled during build
+        self.buffer: Optional[Buffer] = None
+
+    @property
+    def is_placeholder(self) -> bool:
+        return self.fcompute is None
+
+    def __getitem__(self, indices):
+        if self.buffer is None:
+            raise RuntimeError(
+                f"tensor {self.name} is not bound to a buffer yet; index it "
+                "inside a compute() body during build_func"
+            )
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        converted = [i.var if isinstance(i, ReduceAxis) else as_expr(i) for i in indices]
+        return self.buffer[tuple(converted)]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "placeholder" if self.is_placeholder else "compute"
+        return f"Tensor({self.name}: {self.dtype}{list(self.shape)}, {kind})"
+
+
+def placeholder(shape: Sequence[int], dtype: str = "float32", name: str = "data") -> Tensor:
+    """Declare an input tensor."""
+    return Tensor(shape, dtype, name)
+
+
+def reduce_axis(extent: int, name: str = "k") -> ReduceAxis:
+    """Declare a reduction axis for use inside :func:`sum`."""
+    return ReduceAxis(extent, name)
+
+
+def sum(value, axes: Sequence[ReduceAxis]) -> _Sum:  # noqa: A001 - te.sum
+    """Reduce ``value`` over ``axes`` with addition."""
+    return _Sum(as_expr(value), axes)
+
+
+def compute(
+    shape: Sequence[int],
+    fcompute: Callable,
+    dtype: Optional[str] = None,
+    name: str = "compute",
+) -> Tensor:
+    """Declare a computed tensor: ``out[i...] = fcompute(i...)``.
+
+    ``fcompute`` receives one :class:`~repro.tir.Var` per output axis and
+    returns an expression, or :func:`sum` for reductions.
+    """
+    tensor = Tensor(shape, dtype or "float32", name, fcompute)
+    return tensor
+
+
+def build_func(tensors: Sequence[Tensor], name: str = "main") -> PrimFunc:
+    """Lower a list of tensors (inputs + stages, outputs last) into a
+    PrimFunc.  Placeholders and the final tensor become parameters;
+    intermediate computed stages become allocated buffers."""
+    b = IRBuilder(name)
+    computed = [t for t in tensors if not t.is_placeholder]
+    if not computed:
+        raise ValueError("build_func needs at least one computed tensor")
+    outputs = {id(computed[-1])}
+    for t in tensors:
+        if t.is_placeholder or id(t) in outputs:
+            t.buffer = b.arg_buffer(t.name, t.shape, t.dtype)
+    for t in tensors:
+        if not t.is_placeholder and id(t) not in outputs:
+            t.buffer = b.alloc_buffer(t.name, t.shape, t.dtype)
+
+    for t in tensors:
+        if t.is_placeholder:
+            continue
+        _emit_stage(b, t)
+    return b.finish()
+
+
+def _emit_stage(b: IRBuilder, tensor: Tensor) -> None:
+    axes = [Var(f"i{d}", "int32") for d in range(len(tensor.shape))]
+    body = tensor.fcompute(*axes)
+    reduce_axes: List[ReduceAxis] = []
+    if isinstance(body, _Sum):
+        reduce_axes = body.axes
+        value = body.value
+    else:
+        value = as_expr(body)
+    loop_names = [f"i{d}" for d in range(len(axes))] + [ax.var.name for ax in reduce_axes]
+    extents = list(tensor.shape) + [ax.extent for ax in reduce_axes]
+    with b.grid(*extents, names=loop_names) as loop_vars:
+        if not isinstance(loop_vars, tuple):
+            loop_vars = (loop_vars,)
+        with b.block(tensor.name) as blk:
+            vmap: Dict[Var, Var] = {}
+            for axis, extent, lv in zip(axes, tensor.shape, loop_vars):
+                vmap[axis] = blk.spatial(extent, lv, name=f"v_{tensor.name}_{axis.name}")
+            for rax, lv in zip(reduce_axes, loop_vars[len(axes) :]):
+                vmap[rax.var] = blk.reduce(rax.extent, lv, name=f"v_{tensor.name}_{rax.var.name}")
+            bound_value = substitute(value, vmap)
+            out_idx = [vmap[a] for a in axes]
+            if reduce_axes:
+                with blk.init():
+                    b.store(tensor.buffer, out_idx, const(0, tensor.dtype))
+                b.store(
+                    tensor.buffer,
+                    out_idx,
+                    tensor.buffer[tuple(out_idx)] + bound_value,
+                )
+            else:
+                b.store(tensor.buffer, out_idx, bound_value)

@@ -1,0 +1,53 @@
+"""The evaluation workload set (§5.1) with concrete shapes.
+
+The paper benchmarks eight operator classes on the GPU (fp16) and two on
+the ARM CPU (int8).  It does not list exact shapes; we use
+ResNet/standard-benchmark shapes with batch 1, chosen so the headline
+axes (tensorizable vs not, compute- vs memory-bound) match the paper's
+qualitative results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..tir import PrimFunc
+from . import ops
+
+__all__ = ["GPU_WORKLOADS", "CPU_WORKLOADS", "gpu_workload", "cpu_workload"]
+
+#: §5.1 GPU single-operator workloads (fp16 in / fp16 accumulate).
+GPU_WORKLOADS: Dict[str, Callable[[], PrimFunc]] = {
+    # 1D convolution: N=1, L=256 (padded 258), 64->128 channels, k=3.
+    "C1D": lambda: ops.conv1d(1, 258, 64, 128, 3),
+    # 2D convolution: ResNet-50 3x3 block, 56x56 (padded 58), 64->64.
+    "C2D": lambda: ops.conv2d(1, 58, 58, 64, 64, 3, 3),
+    # 3D convolution: 16x56x56 volume (padded 18x58x58), 32->64, k=3.
+    "C3D": lambda: ops.conv3d(1, 18, 58, 58, 32, 64, 3, 3, 3),
+    # depthwise 3x3, MobileNet shape, 112x112 (padded 114) x 32.
+    "DEP": lambda: ops.depthwise_conv2d(1, 114, 114, 32, 3, 3),
+    # dilated 3x3 (dilation 2), 56x56 (padded 60), 64->64.
+    "DIL": lambda: ops.conv2d(1, 60, 60, 64, 64, 3, 3, dilation=2, name="dilated_conv2d"),
+    # GEMM 1024^3.
+    "GMM": lambda: ops.matmul(1024, 1024, 1024),
+    # group conv: 56x56 (padded 58), 128->128, groups=4.
+    "GRP": lambda: ops.group_conv2d(1, 58, 58, 128, 128, 3, 3, groups=4),
+    # transposed conv 4x4 stride 2: 14x14 -> ~31, 128->64 (GAN-style).
+    "T2D": lambda: ops.conv2d_transposed(1, 14, 14, 128, 64, 4, 4, stride=2),
+}
+
+#: §5.3 ARM CPU single-operator workloads (int8 in / int32 accumulate).
+CPU_WORKLOADS: Dict[str, Callable[[], PrimFunc]] = {
+    "C2D": lambda: ops.conv2d(
+        1, 58, 58, 64, 64, 3, 3, dtype="int8", acc_dtype="int32", name="conv2d_int8"
+    ),
+    "GMM": lambda: ops.matmul(512, 512, 512, dtype="int8", acc_dtype="int32"),
+}
+
+
+def gpu_workload(name: str) -> PrimFunc:
+    return GPU_WORKLOADS[name]()
+
+
+def cpu_workload(name: str) -> PrimFunc:
+    return CPU_WORKLOADS[name]()

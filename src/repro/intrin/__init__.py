@@ -1,0 +1,16 @@
+"""Tensor intrinsic descriptions (§4.1's TensorIntrin construct)."""
+
+from .registry import TensorIntrin, get_intrin, list_intrins, register_intrin
+from . import gpu as _gpu  # noqa: F401 - registers GPU intrinsics
+from . import cpu as _cpu  # noqa: F401 - registers CPU intrinsics
+from .gpu import GPU_COMPUTE_INTRINS
+from .cpu import CPU_COMPUTE_INTRINS
+
+__all__ = [
+    "TensorIntrin",
+    "register_intrin",
+    "get_intrin",
+    "list_intrins",
+    "GPU_COMPUTE_INTRINS",
+    "CPU_COMPUTE_INTRINS",
+]

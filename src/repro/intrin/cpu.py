@@ -1,0 +1,87 @@
+"""Tensor intrinsics of the simulated ARM CPU (``sdot`` analogue).
+
+The simulated CPU provides an 8-bit integer dot-product instruction in
+the spirit of ARMv8.2 ``sdot``: each instruction computes four int32
+lanes, each the dot product of four int8 pairs (16 MACs per
+instruction).  Following the micro-kernel practice the paper describes
+(e.g. ``a64_gemm_u8_8x12``), we register a 4x4x4 GEMM *micro-kernel*
+built from four sdot issues; candidates tensorize onto the micro-kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tir import Cast, IRBuilder, MemoryScope
+from .registry import TensorIntrin, register_intrin
+
+__all__ = ["SDOT_GEMM", "SDOT_FILL", "CPU_COMPUTE_INTRINS"]
+
+_M = _N = _K = 4
+
+
+def _sdot_desc():
+    b = IRBuilder("sdot_4x4x4_i8_desc")
+    A = b.arg_buffer("A", (_M, _K), "int8")
+    B = b.arg_buffer("B", (_K, _N), "int8")
+    C = b.arg_buffer("C", (_M, _N), "int32")
+    with b.grid(_M, _N, _K) as (i, j, k):
+        with b.block("sdot") as blk:
+            vi = blk.spatial(_M, i)
+            vj = blk.spatial(_N, j)
+            vk = blk.reduce(_K, k)
+            b.store(
+                C,
+                (vi, vj),
+                C[vi, vj] + Cast("int32", A[vi, vk]) * Cast("int32", B[vk, vj]),
+            )
+    return b.finish()
+
+
+def _fill_desc():
+    b = IRBuilder("sdot_fill_desc")
+    C = b.arg_buffer("C", (_M, _N), "int32")
+    with b.grid(_M, _N) as (i, j):
+        with b.block("fill") as blk:
+            vi = blk.spatial(_M, i)
+            vj = blk.spatial(_N, j)
+            b.store(C, (vi, vj), 0)
+    return b.finish()
+
+
+def _np_sdot(A, B, C):
+    C += A.astype(np.int32) @ B.astype(np.int32)
+
+
+def _np_fill(C):
+    C[...] = 0
+
+
+SDOT_GEMM = TensorIntrin(
+    name="sdot_4x4x4_i8",
+    desc=_sdot_desc(),
+    # sdot reads operands from NEON registers; no special scopes beyond
+    # requiring the interleaved layout the ReIndex stage provides.
+    operand_scopes={},
+    numpy_impl=_np_sdot,
+    # Four sdot issues, each 16 MACs; ~1 cycle/issue on the model core.
+    cost={"cycles": 4.0, "flops": 128},
+    kind="compute",
+    execution_scope="core",
+    paired={"fill": "sdot_fill_i32"},
+)
+
+SDOT_FILL = TensorIntrin(
+    name="sdot_fill_i32",
+    desc=_fill_desc(),
+    operand_scopes={},
+    numpy_impl=_np_fill,
+    cost={"cycles": 1.0, "flops": 0},
+    kind="fill",
+    execution_scope="core",
+)
+
+CPU_COMPUTE_INTRINS = ("sdot_4x4x4_i8",)
+
+for _intrin in (SDOT_GEMM, SDOT_FILL):
+    register_intrin(_intrin)

@@ -1,0 +1,150 @@
+"""Tensor intrinsics of the simulated GPU (Tensor Core analogue).
+
+The simulated GPU exposes a 16x16x16 fp16 matrix-multiply-accumulate
+unit operating on register fragments, mirroring ``nvcuda::wmma``:
+
+* ``wmma_16x16x16_f16`` — the MMA itself; operands must live in the
+  ``wmma.matrix_a`` / ``wmma.matrix_b`` / ``wmma.accumulator`` scopes.
+* ``wmma_fill_16x16_f16`` — accumulator initialisation
+  (``fill_fragment``).
+* ``wmma_load_16x16_f16_a`` / ``_b`` — fragment loads
+  (``load_matrix_sync``).
+* ``wmma_store_16x16_f16`` — accumulator store (``store_matrix_sync``).
+
+Costs are in SM cycles per instruction issue and are consumed by
+:mod:`repro.sim.cost`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tir import IRBuilder, MemoryScope
+from .registry import TensorIntrin, register_intrin
+
+__all__ = [
+    "WMMA_MMA",
+    "WMMA_FILL",
+    "WMMA_LOAD_A",
+    "WMMA_LOAD_B",
+    "WMMA_STORE",
+    "GPU_COMPUTE_INTRINS",
+]
+
+_M = _N = _K = 16
+
+
+def _mma_desc():
+    b = IRBuilder("wmma_16x16x16_f16_desc")
+    A = b.arg_buffer("A", (_M, _K), "float16", MemoryScope.WMMA_A)
+    B = b.arg_buffer("B", (_K, _N), "float16", MemoryScope.WMMA_B)
+    C = b.arg_buffer("C", (_M, _N), "float16", MemoryScope.WMMA_ACC)
+    with b.grid(_M, _N, _K) as (i, j, k):
+        with b.block("mma") as blk:
+            vi = blk.spatial(_M, i)
+            vj = blk.spatial(_N, j)
+            vk = blk.reduce(_K, k)
+            b.store(C, (vi, vj), C[vi, vj] + A[vi, vk] * B[vk, vj])
+    return b.finish()
+
+
+def _fill_desc():
+    b = IRBuilder("wmma_fill_16x16_f16_desc")
+    C = b.arg_buffer("C", (_M, _N), "float16", MemoryScope.WMMA_ACC)
+    with b.grid(_M, _N) as (i, j):
+        with b.block("fill") as blk:
+            vi = blk.spatial(_M, i)
+            vj = blk.spatial(_N, j)
+            b.store(C, (vi, vj), 0.0)
+    return b.finish()
+
+
+def _copy_desc(name: str, src_scope: str, dst_scope: str):
+    b = IRBuilder(name)
+    S = b.arg_buffer("S", (_M, _N), "float16", src_scope)
+    D = b.arg_buffer("D", (_M, _N), "float16", dst_scope)
+    with b.grid(_M, _N) as (i, j):
+        with b.block("copy") as blk:
+            vi = blk.spatial(_M, i)
+            vj = blk.spatial(_N, j)
+            b.store(D, (vi, vj), S[vi, vj])
+    return b.finish()
+
+
+def _np_mma(A, B, C):
+    C += (A.astype(np.float32) @ B.astype(np.float32)).astype(C.dtype)
+
+
+def _np_fill(C):
+    C[...] = 0
+
+
+def _np_copy(S, D):
+    D[...] = S
+
+
+WMMA_MMA = TensorIntrin(
+    name="wmma_16x16x16_f16",
+    desc=_mma_desc(),
+    operand_scopes={
+        "A": MemoryScope.WMMA_A,
+        "B": MemoryScope.WMMA_B,
+        "C": MemoryScope.WMMA_ACC,
+    },
+    numpy_impl=_np_mma,
+    # One HMMA issue per warp: 2*16*16*16 = 8192 FLOP in ~8 SM cycles.
+    cost={"cycles": 8.0, "flops": 8192},
+    kind="compute",
+    execution_scope="warp",
+    paired={
+        "fill": "wmma_fill_16x16_f16",
+        "load_A": "wmma_load_16x16_f16_a",
+        "load_B": "wmma_load_16x16_f16_b",
+        "store": "wmma_store_16x16_f16",
+    },
+)
+
+WMMA_FILL = TensorIntrin(
+    name="wmma_fill_16x16_f16",
+    desc=_fill_desc(),
+    operand_scopes={"C": MemoryScope.WMMA_ACC},
+    numpy_impl=_np_fill,
+    cost={"cycles": 2.0, "flops": 0},
+    kind="fill",
+    execution_scope="warp",
+)
+
+WMMA_LOAD_A = TensorIntrin(
+    name="wmma_load_16x16_f16_a",
+    desc=_copy_desc("wmma_load_a_desc", MemoryScope.SHARED, MemoryScope.WMMA_A),
+    operand_scopes={"S": (MemoryScope.SHARED, MemoryScope.GLOBAL), "D": MemoryScope.WMMA_A},
+    numpy_impl=_np_copy,
+    cost={"cycles": 4.0, "bytes": 512},
+    kind="load",
+    execution_scope="warp",
+)
+
+WMMA_LOAD_B = TensorIntrin(
+    name="wmma_load_16x16_f16_b",
+    desc=_copy_desc("wmma_load_b_desc", MemoryScope.SHARED, MemoryScope.WMMA_B),
+    operand_scopes={"S": (MemoryScope.SHARED, MemoryScope.GLOBAL), "D": MemoryScope.WMMA_B},
+    numpy_impl=_np_copy,
+    cost={"cycles": 4.0, "bytes": 512},
+    kind="load",
+    execution_scope="warp",
+)
+
+WMMA_STORE = TensorIntrin(
+    name="wmma_store_16x16_f16",
+    desc=_copy_desc("wmma_store_desc", MemoryScope.WMMA_ACC, MemoryScope.SHARED),
+    operand_scopes={"S": MemoryScope.WMMA_ACC, "D": (MemoryScope.SHARED, MemoryScope.GLOBAL)},
+    numpy_impl=_np_copy,
+    cost={"cycles": 4.0, "bytes": 512},
+    kind="store",
+    execution_scope="warp",
+)
+
+GPU_COMPUTE_INTRINS = ("wmma_16x16x16_f16",)
+
+for _intrin in (WMMA_MMA, WMMA_FILL, WMMA_LOAD_A, WMMA_LOAD_B, WMMA_STORE):
+    register_intrin(_intrin)

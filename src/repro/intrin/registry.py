@@ -1,0 +1,155 @@
+"""TensorIntrin: describing hardware tensor instructions in TensorIR.
+
+Following §4.1, each intrinsic is described by *two* views expressed in
+the same abstraction:
+
+* ``desc`` — a PrimFunc whose single block gives the computation
+  *semantics* (a plain loop nest with a scalar body);
+* ``impl`` — how the simulated hardware executes it: an instruction tag
+  for the performance model, a fast NumPy tile implementation for the
+  executor, and per-operand storage-scope requirements (the "special
+  memory scopes, data layouts and corresponding load/store instructions"
+  constraint set of §4.1).
+
+``tensorize`` matches a candidate block against ``desc_computation()``
+(structural equality up to renaming) and stamps the block with the
+intrinsic name; lowering, validation, execution and the cost model all
+dispatch on that annotation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..arith import Analyzer
+from ..tir import Block, BlockRealize, PrimFunc, Range, Stmt, substitute
+
+__all__ = ["TensorIntrin", "register_intrin", "get_intrin", "list_intrins"]
+
+
+class TensorIntrin:
+    """One tensorized instruction / micro-kernel primitive."""
+
+    def __init__(
+        self,
+        name: str,
+        desc: PrimFunc,
+        operand_scopes: Dict[str, str],
+        numpy_impl: Callable,
+        cost: Dict[str, float],
+        kind: str = "compute",
+        execution_scope: str = "warp",
+        paired: Optional[Dict[str, str]] = None,
+    ):
+        """
+        Parameters
+        ----------
+        name:
+            Registry key, e.g. ``"wmma_16x16x16_f16"``.
+        desc:
+            Semantics PrimFunc: one block whose body is a loop nest with
+            a scalar computation.  Buffer parameter names define operand
+            roles (by convention the output is the last parameter).
+        operand_scopes:
+            Required storage scope per operand buffer name, e.g.
+            ``{"A": "wmma.matrix_a", "B": "wmma.matrix_b", "C": "wmma.accumulator"}``.
+        numpy_impl:
+            ``fn(*operand_arrays) -> None`` computing the tile in place on
+            NumPy views (the executor's fast path).
+        cost:
+            Performance-model parameters, e.g. ``{"issue_cycles": 1,
+            "flops": 8192}``; interpreted by :mod:`repro.sim.cost`.
+        kind:
+            ``"compute"`` for arithmetic instructions, ``"load"`` /
+            ``"store"`` for data-movement intrinsics, ``"fill"`` for
+            initialisation.
+        execution_scope:
+            Hardware scope the instruction must run at (§3.3 execution
+            scope validation): ``"warp"``, ``"thread"`` or ``"core"``.
+        """
+        self.name = name
+        self.desc = desc
+        self.operand_scopes = dict(operand_scopes)
+        self.numpy_impl = numpy_impl
+        self.cost = dict(cost)
+        self.kind = kind
+        self.execution_scope = execution_scope
+        #: Companion intrinsics: e.g. {"fill": ..., "load_A": ...,
+        #: "store": ...} naming the init / data-movement instructions
+        #: that accompany this compute instruction (§4.1's coupled
+        #: load/store requirement).
+        self.paired: Dict[str, str] = dict(paired or {})
+        self._canonical: Optional[Stmt] = None
+
+    # ------------------------------------------------------------------
+    def desc_block(self) -> Block:
+        """The single block of the desc function."""
+        from ..schedule.sref import find_blocks
+
+        realizes = [
+            r for r in find_blocks(self.desc.body) if r is not self.desc.body
+        ]
+        if len(realizes) != 1:
+            raise ValueError(f"intrinsic {self.name}: desc must contain exactly one block")
+        return realizes[0].block
+
+    def desc_computation(self) -> Stmt:
+        """The canonical computation statement used for matching: the
+        desc block's body with iterators substituted by the loop
+        variables that bind them (i.e. the raw loop nest semantics)."""
+        if self._canonical is not None:
+            return self._canonical
+        from ..schedule.primitives.blockize import _flatten_leaf
+        from ..schedule.sref import find_blocks, loops_above
+
+        realizes = [r for r in find_blocks(self.desc.body) if r is not self.desc.body]
+        (realize,) = realizes
+        loops = loops_above(self.desc.body, realize)
+        if not loops:
+            analyzer = Analyzer()
+            self._canonical = _flatten_leaf(realize, analyzer)
+            return self._canonical
+        analyzer = Analyzer()
+        for lp in loops:
+            analyzer.bind(lp.loop_var, Range(lp.min, lp.extent))
+        self._canonical = _flatten_leaf(loops[0], analyzer)
+        return self._canonical
+
+    def operand_role(self, buffer) -> Optional[str]:
+        """The role name (desc parameter name) of a desc buffer."""
+        for param in self.desc.params:
+            if self.desc.buffer_map[param] is buffer:
+                return self.desc.buffer_map[param].name
+        return None
+
+    def tile_shape(self) -> Tuple[int, ...]:
+        """Iteration-space extents of the intrinsic's block."""
+        block = self.desc_block()
+        from ..tir import const_int_value
+
+        return tuple(const_int_value(iv.dom.extent) for iv in block.iter_vars)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TensorIntrin({self.name}, tile={self.tile_shape()})"
+
+
+_REGISTRY: Dict[str, TensorIntrin] = {}
+
+
+def register_intrin(intrin: TensorIntrin, override: bool = False) -> TensorIntrin:
+    if intrin.name in _REGISTRY and not override:
+        raise ValueError(f"intrinsic {intrin.name!r} already registered")
+    _REGISTRY[intrin.name] = intrin
+    return intrin
+
+
+def get_intrin(name: str) -> TensorIntrin:
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown tensor intrinsic {name!r}; registered: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name]
+
+
+def list_intrins(kind: Optional[str] = None) -> List[str]:
+    return sorted(n for n, i in _REGISTRY.items() if kind is None or i.kind == kind)

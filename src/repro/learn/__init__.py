@@ -1,0 +1,6 @@
+"""Learning substrate: the from-scratch gradient-boosted-tree model used
+by the tensorized cost model (§4.4)."""
+
+from .gbdt import GradientBoostedTrees, RegressionTree
+
+__all__ = ["GradientBoostedTrees", "RegressionTree"]

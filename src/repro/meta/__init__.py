@@ -1,0 +1,43 @@
+"""The tensorization-aware auto-scheduler (paper §4)."""
+
+from .autocopy import (
+    schedule_default_spatial_cpu,
+    schedule_default_spatial_gpu,
+    schedule_fragment_copy,
+    schedule_shared_copy,
+)
+from .cost_model import CostModel
+from .feature import FEATURE_NAMES, extract_features
+from .search import MeasureRecord, SearchStats, TuneResult, evolutionary_search
+from .sketch import (
+    CpuScalarSketch,
+    CpuSdotSketch,
+    GpuScalarSketch,
+    Sketch,
+    TensorCoreSketch,
+    generate_sketches,
+    main_block_of,
+)
+from .tune import tune
+
+__all__ = [
+    "tune",
+    "evolutionary_search",
+    "TuneResult",
+    "MeasureRecord",
+    "SearchStats",
+    "CostModel",
+    "extract_features",
+    "FEATURE_NAMES",
+    "Sketch",
+    "TensorCoreSketch",
+    "GpuScalarSketch",
+    "CpuSdotSketch",
+    "CpuScalarSketch",
+    "generate_sketches",
+    "main_block_of",
+    "schedule_shared_copy",
+    "schedule_fragment_copy",
+    "schedule_default_spatial_gpu",
+    "schedule_default_spatial_cpu",
+]

@@ -1,0 +1,155 @@
+"""AutoCopy: data movement as a first-class citizen (§4.3).
+
+The sketch generator inserts copy blocks (via cache_read/cache_write)
+whose signature only exposes the buffer access information; *how* the
+copy happens is decided here, by a dedicated data-movement scheduler:
+
+* copies into ``shared`` become cooperative fetches — all threads of the
+  block participate, with a sampled vectorisation width;
+* copies into/out of tensor-core fragments are tiled 16x16 and
+  tensorized with the matching load/store intrinsic;
+* leftover root-level spatial stages (padding, gathers, standalone
+  epilogues) get a default fused+bound GPU spatial schedule or a
+  parallel+vectorised CPU schedule.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..schedule import BlockRV, LoopRV, Schedule, ScheduleError
+from ..tir import ForKind, const_int_value
+
+__all__ = [
+    "schedule_shared_copy",
+    "schedule_fragment_copy",
+    "schedule_default_spatial_gpu",
+    "schedule_default_spatial_cpu",
+    "own_loops",
+]
+
+
+def own_loops(sch: Schedule, block: BlockRV) -> List[LoopRV]:
+    """The loops introduced for ``block`` itself (innermost run of
+    serial loops directly enclosing it, one per block iterator)."""
+    loops = sch.get_loops(block)
+    n_iters = len(sch.block_of(block).iter_vars)
+    return loops[-n_iters:] if n_iters else []
+
+
+def schedule_shared_copy(
+    sch: Schedule,
+    copy_block: BlockRV,
+    thread_y: int,
+    thread_x: int = 32,
+    vector_len: Optional[int] = None,
+) -> None:
+    """Cooperative fetch into shared memory.
+
+    Fuses the copy loops and distributes them over (threadIdx.y,
+    threadIdx.x) with an optional vectorised tail — the classic
+    coalesced cooperative-fetch pattern.  ``vector_len`` may be sampled
+    by the caller (a recorded decision).
+    """
+    from ..schedule import divisors_of
+
+    loops = own_loops(sch, copy_block)
+    fused = sch.fuse(*loops) if len(loops) > 1 else loops[0]
+    total = const_int_value(sch.loop_of(fused).extent)
+    if vector_len is None:
+        vector_len = 1
+    vector_len = max(1, min(vector_len, 8))
+    while vector_len > 1 and total % vector_len != 0:
+        vector_len //= 2
+    rem = total // vector_len
+    # Exact-divisor splits keep the bindings quasi-affine (no guard
+    # predicates) — copies always have nicely composite extents.  The
+    # thread extents must also divide the kernel's launch extents
+    # (masked-subset consistency).
+    tx = max(d for d in divisors_of(rem) if d <= thread_x and thread_x % d == 0)
+    rem //= tx
+    ty = max(d for d in divisors_of(rem) if d <= thread_y and thread_y % d == 0)
+    factors = [None, ty, tx] + ([vector_len] if vector_len > 1 else [])
+    parts = sch.split(fused, factors)
+    if ty > 1:
+        sch.bind(parts[1], "threadIdx.y")
+    sch.bind(parts[2], "threadIdx.x")
+    if vector_len > 1:
+        sch.vectorize(parts[-1])
+
+
+def schedule_fragment_copy(sch: Schedule, copy_block: BlockRV, intrin_name: str) -> None:
+    """Tile a fragment load/store 16x16 and tensorize it with the
+    matching data-movement intrinsic (wmma load/store)."""
+    loops = own_loops(sch, copy_block)
+    if len(loops) < 2:
+        raise ScheduleError("fragment copy must be at least 2-D")
+    m, n = loops[-2], loops[-1]
+    me = const_int_value(sch.loop_of(m).extent)
+    ne = const_int_value(sch.loop_of(n).extent)
+    if me is None or ne is None or me % 16 or ne % 16:
+        raise ScheduleError(
+            f"fragment copy tile {me}x{ne} is not a multiple of 16x16"
+        )
+    mo, mi = sch.split(m, [None, 16])
+    no, ni = sch.split(n, [None, 16])
+    sch.reorder(mo, no, mi, ni)
+    sch.tensorize(mi, intrin_name)
+
+
+def schedule_default_spatial_gpu(
+    sch: Schedule, block: BlockRV, threads: int = 256, vector_len: int = 1
+) -> None:
+    """Default schedule for a leftover root-level spatial stage: fuse,
+    bind a (blockIdx.x, threadIdx.x) grid, optionally vectorise."""
+    loops = own_loops(sch, block)
+    blk = sch.block_of(block)
+    if blk.is_reduction:
+        # reduce iterators cannot be fused into the thread grid; keep
+        # them serial inside.
+        spatial = [
+            lp
+            for lp, iv in zip(loops, blk.iter_vars)
+            if iv.is_spatial
+        ]
+    else:
+        spatial = list(loops)
+    if not spatial:
+        return
+    from ..schedule import divisors_of
+
+    fused = sch.fuse(*spatial) if len(spatial) > 1 else spatial[0]
+    total = const_int_value(sch.loop_of(fused).extent)
+    vector_len = max(1, vector_len)
+    while vector_len > 1 and total % vector_len != 0:
+        vector_len //= 2
+    rem = total // vector_len
+    threads = max(d for d in divisors_of(rem) if d <= threads)
+    factors = [None, threads] + ([vector_len] if vector_len > 1 else [])
+    parts = sch.split(fused, factors)
+    sch.bind(parts[0], "blockIdx.x")
+    sch.bind(parts[1], "threadIdx.x")
+    if vector_len > 1:
+        sch.vectorize(parts[-1])
+
+
+def schedule_default_spatial_cpu(
+    sch: Schedule, block: BlockRV, vector_len: int = 8
+) -> None:
+    """Default CPU stage schedule: parallel outer, vectorised inner."""
+    loops = own_loops(sch, block)
+    blk = sch.block_of(block)
+    spatial = [lp for lp, iv in zip(loops, blk.iter_vars) if iv.is_spatial]
+    if not spatial:
+        return
+    if len(spatial) > 1:
+        sch.parallel(spatial[0])
+        inner = spatial[-1]
+    else:
+        inner = spatial[0]
+    extent = const_int_value(sch.loop_of(inner).extent)
+    while vector_len > 1 and extent % vector_len != 0:
+        vector_len //= 2
+    if vector_len > 1 and inner is not spatial[0]:
+        _, vec = sch.split(inner, [None, vector_len])
+        sch.vectorize(vec)

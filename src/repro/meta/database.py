@@ -1,0 +1,110 @@
+"""Tuning-record database.
+
+§5.2: "TensorIR can eliminate search time further by caching historical
+cost models and search records.  So no search is needed to build a model
+for an operator already tuned."
+
+Records are keyed by a structural hash of the workload (shape, dtypes
+and computation pattern) and the target, and store the sketch name plus
+the decision vector; ``lookup`` replays the decisions through the sketch
+to rebuild the exact best program with zero measurements.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..schedule import Schedule, ScheduleError
+from ..sim import Target
+from ..tir import PrimFunc
+from ..tir.printer import script
+
+__all__ = ["workload_key", "TuningDatabase"]
+
+
+def workload_key(func: PrimFunc, target: Target) -> str:
+    """A stable key for (workload, target): hash of the script text
+    (names included — the builder generates them deterministically) and
+    the target name."""
+    digest = hashlib.sha256()
+    digest.update(script(func).encode())
+    digest.update(target.name.encode())
+    return digest.hexdigest()[:24]
+
+
+class TuningDatabase:
+    """A JSON-file-backed store of best-found schedules."""
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self._records: Dict[str, dict] = {}
+        if path and os.path.exists(path):
+            with open(path) as f:
+                self._records = json.load(f)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def save(self) -> None:
+        if self.path:
+            os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+            with open(self.path, "w") as f:
+                json.dump(self._records, f, indent=1)
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        func: PrimFunc,
+        target: Target,
+        sketch_name: str,
+        decisions: List[object],
+        cycles: float,
+    ) -> None:
+        """Store a result if it beats the stored one for this workload."""
+        key = workload_key(func, target)
+        existing = self._records.get(key)
+        if existing is not None and existing["cycles"] <= cycles:
+            return
+        self._records[key] = {
+            "workload": func.name,
+            "target": target.name,
+            "sketch": sketch_name,
+            "decisions": decisions,
+            "cycles": cycles,
+        }
+
+    def lookup(self, func: PrimFunc, target: Target):
+        """The stored record for this workload, or None."""
+        return self._records.get(workload_key(func, target))
+
+    def replay(self, func: PrimFunc, target: Target) -> Optional[Schedule]:
+        """Rebuild the stored best schedule (no search, no measurement)."""
+        record = self.lookup(func, target)
+        if record is None:
+            return None
+        from .sketch import (
+            CpuScalarSketch,
+            CpuSdotSketch,
+            GpuScalarSketch,
+            TensorCoreSketch,
+        )
+
+        sketches = {
+            "tensor-core": TensorCoreSketch,
+            "gpu-scalar": GpuScalarSketch,
+            "cpu-sdot": CpuSdotSketch,
+            "cpu-scalar": CpuScalarSketch,
+        }
+        cls = sketches.get(record["sketch"])
+        if cls is None:
+            return None
+        sch = Schedule(func, seed=0, record_trace=False)
+        sch.forced_decisions = list(record["decisions"])
+        try:
+            cls().apply(sch)
+        except ScheduleError:
+            return None
+        return sch

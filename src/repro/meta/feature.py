@@ -1,0 +1,100 @@
+"""Program feature extraction for the learned cost model (§4.4).
+
+"The feature vector contains information related to memory access
+patterns, reuse, and loop annotations.  Importantly, we extract features
+from both block signatures in an isolated way as well as the body of the
+block (e.g., to mark the use of Tensor Core)."
+
+We reuse the performance-model walker's counters (they are exactly
+memory-pattern/annotation aggregates) plus signature-level statistics,
+log-scaled into a fixed vector.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+import numpy as np
+
+from ..sim.cost import _Walker
+from ..sim.target import Target
+from ..tir import Block, BlockRealize, For, ForKind, PrimFunc, const_int_value
+from ..schedule.sref import find_blocks, find_loops
+
+__all__ = ["extract_features", "FEATURE_NAMES"]
+
+FEATURE_NAMES = [
+    "log_scalar_ops",
+    "log_tensor_busy",
+    "log_global_bytes",
+    "log_shared_bytes",
+    "log_loop_iters",
+    "log_blocks",
+    "log_threads",
+    "log_parallel",
+    "vthread",
+    "n_blocks_ir",
+    "n_tensorized",
+    "n_cache_stages",
+    "n_vectorized",
+    "n_unrolled",
+    "max_vector_width",
+    "n_loops",
+    "log_flops_per_byte",
+    "log_shared_alloc",
+    "n_reduce_blocks",
+    "log_touched_buffers",
+]
+
+
+def _log1(x: float) -> float:
+    return math.log1p(max(0.0, float(x)))
+
+
+def extract_features(func: PrimFunc, target: Target) -> np.ndarray:
+    """A fixed-length feature vector for one scheduled function."""
+    walker = _Walker(target)
+    walker.walk(func.body.block.body, 1.0)
+    c = walker.c
+
+    realizes = [r for r in find_blocks(func.body) if r is not func.body]
+    n_tensorized = sum(1 for r in realizes if r.block.annotations.get("tensorize"))
+    n_cache = sum(1 for r in realizes if r.block.annotations.get("data_movement"))
+    n_reduce = sum(1 for r in realizes if r.block.is_reduction)
+    loops = find_loops(func.body)
+    n_vec = sum(1 for lp in loops if lp.kind == ForKind.VECTORIZED)
+    n_unroll = sum(1 for lp in loops if lp.kind == ForKind.UNROLLED)
+    max_vec = max(
+        [const_int_value(lp.extent) or 0 for lp in loops if lp.kind == ForKind.VECTORIZED],
+        default=0,
+    )
+    from ..schedule.validation import shared_footprint_bytes
+
+    shared_alloc = shared_footprint_bytes(func)
+    flops = c.scalar_ops + c.tensor_busy * 64.0
+    total_bytes = c.global_bytes + 1.0
+
+    vec = [
+        _log1(c.scalar_ops),
+        _log1(c.tensor_busy),
+        _log1(c.global_bytes),
+        _log1(c.shared_bytes),
+        _log1(c.loop_iters),
+        _log1(c.blocks),
+        _log1(c.threads),
+        _log1(c.parallel),
+        float(c.max_vthread),
+        float(len(realizes)),
+        float(n_tensorized),
+        float(n_cache),
+        float(n_vec),
+        float(n_unroll),
+        float(max_vec),
+        float(len(loops)),
+        _log1(flops / total_bytes),
+        _log1(shared_alloc),
+        float(n_reduce),
+        float(len(c.buffer_bytes)),
+    ]
+    return np.array(vec, dtype=np.float64)

@@ -1,0 +1,187 @@
+"""Evolutionary search over sketch decisions (§4.4).
+
+Candidates are (sketch, decision-vector) pairs.  Each generation:
+random/mutated decision vectors are replayed through the sketch,
+validated (§3.3 — invalid mutants are rejected before costing anything),
+ranked by the learned cost model, and the most promising are *measured*
+on the simulated hardware (the stand-in for on-device profiling).
+Measurements feed back into the cost model.
+
+Tuning-time accounting mirrors the paper's Table 1 analysis: hardware
+profiling dominates tuning time, so each measurement is charged its
+simulated wall-clock x repeat count plus a fixed compile/RPC overhead.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..schedule import Schedule, ScheduleError, verify
+from ..sim import PerfReport, Target, estimate
+from ..sim.cost import CostModelError
+from ..tir import PrimFunc
+from .cost_model import CostModel
+from .sketch import Sketch
+
+__all__ = ["MeasureRecord", "TuneResult", "SearchStats", "evolutionary_search"]
+
+#: profiling parameters of the simulated measurement harness
+MEASURE_REPEATS = 10
+MEASURE_OVERHEAD_SECONDS = 0.08  # compile + upload + RPC per candidate
+
+
+@dataclass
+class MeasureRecord:
+    sketch: str
+    decisions: List[object]
+    cycles: float
+    seconds: float
+    bound: str
+
+
+@dataclass
+class SearchStats:
+    candidates_generated: int = 0
+    invalid_rejected: int = 0
+    apply_failed: int = 0
+    measured: int = 0
+    profiling_seconds: float = 0.0
+
+
+@dataclass
+class TuneResult:
+    workload: str
+    best_func: Optional[PrimFunc]
+    best_cycles: float
+    best_report: Optional[PerfReport]
+    best_sketch: Optional[str]
+    records: List[MeasureRecord] = field(default_factory=list)
+    stats: SearchStats = field(default_factory=SearchStats)
+    #: the winning candidate's decision vector — enough to rebuild the
+    #: program via the tuning database (no search, §5.2).
+    best_decisions: Optional[List[object]] = None
+
+    @property
+    def tuning_seconds(self) -> float:
+        """Simulated wall-clock spent tuning (profiling-dominated)."""
+        return self.stats.profiling_seconds + self.stats.measured * MEASURE_OVERHEAD_SECONDS
+
+    def __repr__(self) -> str:  # pragma: no cover
+        us = self.best_cycles and self.best_report.seconds * 1e6
+        return (
+            f"TuneResult({self.workload}: best {self.best_cycles:.0f} cycles via "
+            f"{self.best_sketch}, {self.stats.measured} measured)"
+        )
+
+
+class _Candidate:
+    __slots__ = ("sketch", "schedule", "decisions")
+
+    def __init__(self, sketch: Sketch, schedule: Schedule):
+        self.sketch = sketch
+        self.schedule = schedule
+        self.decisions = list(schedule.decisions)
+
+
+def _instantiate(
+    func: PrimFunc,
+    sketch: Sketch,
+    seed: int,
+    forced: Optional[List[object]],
+    target: Target,
+    stats: SearchStats,
+    validate: bool = True,
+) -> Optional[_Candidate]:
+    sch = Schedule(func, seed=seed, record_trace=False)
+    sch.forced_decisions = forced
+    stats.candidates_generated += 1
+    try:
+        sketch.apply(sch)
+    except ScheduleError:
+        stats.apply_failed += 1
+        return None
+    if validate and verify(sch.func, target):
+        stats.invalid_rejected += 1
+        return None
+    return _Candidate(sketch, sch)
+
+
+def evolutionary_search(
+    func: PrimFunc,
+    sketch: Sketch,
+    target: Target,
+    trials: int = 32,
+    population: int = 8,
+    generations: Optional[int] = None,
+    seed: int = 0,
+    cost_model: Optional[CostModel] = None,
+    validate: bool = True,
+) -> TuneResult:
+    """Search one sketch's decision space; ``trials`` bounds the number
+    of measured candidates."""
+    rng = random.Random(seed)
+    model = cost_model or CostModel(target, seed=seed)
+    stats = SearchStats()
+    result = TuneResult(func.name, None, float("inf"), None, None, stats=stats)
+
+    elites: List[Tuple[float, _Candidate]] = []
+    measured_budget = trials
+    generation = 0
+    max_generations = generations or max(2, trials // max(population // 2, 1))
+
+    while stats.measured < measured_budget and generation < max_generations:
+        generation += 1
+        pool: List[_Candidate] = []
+        attempts = 0
+        while len(pool) < population and attempts < population * 6:
+            attempts += 1
+            forced = None
+            if elites and rng.random() < 0.7:
+                # Mutation: keep a prefix of an elite's decisions, then
+                # resample the rest.
+                _, parent = rng.choice(elites)
+                if parent.decisions:
+                    cut = rng.randrange(len(parent.decisions))
+                    forced = parent.decisions[:cut]
+            cand = _instantiate(
+                func, sketch, rng.randrange(1 << 30), forced, target, stats, validate
+            )
+            if cand is not None:
+                pool.append(cand)
+        if not pool:
+            break
+        # Rank by the learned cost model; measure the top half.
+        scores = model.predict([c.schedule.func for c in pool])
+        order = sorted(range(len(pool)), key=lambda i: -scores[i])
+        to_measure = order[: max(1, min(len(pool) // 2 + 1, measured_budget - stats.measured))]
+        measured_funcs = []
+        measured_cycles = []
+        for idx in to_measure:
+            cand = pool[idx]
+            try:
+                report = estimate(cand.schedule.func, target)
+            except CostModelError:
+                stats.invalid_rejected += 1
+                continue
+            stats.measured += 1
+            stats.profiling_seconds += report.seconds * MEASURE_REPEATS
+            record = MeasureRecord(
+                sketch.name, cand.decisions, report.cycles, report.seconds, report.bound
+            )
+            result.records.append(record)
+            measured_funcs.append(cand.schedule.func)
+            measured_cycles.append(report.cycles)
+            if report.cycles < result.best_cycles:
+                result.best_cycles = report.cycles
+                result.best_func = cand.schedule.func
+                result.best_report = report
+                result.best_sketch = sketch.name
+                result.best_decisions = list(cand.decisions)
+            elites.append((report.cycles, cand))
+        if measured_funcs:
+            model.update(measured_funcs, measured_cycles)
+        elites.sort(key=lambda t: t[0])
+        del elites[max(4, population // 2) :]
+    return result

@@ -1,0 +1,86 @@
+"""The per-workload tuner: sketch generation + evolutionary search.
+
+``tune`` is the full §4 pipeline for one operator: generate the
+applicable sketches (tensorized candidates first), search each with the
+shared cost model, and return the best program found.  ``allow_tensorize``
+switches auto-tensorization off — that is exactly the Ansor/TVM baseline
+configuration used in the evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..schedule import Schedule
+from ..sim import Target
+from ..tir import PrimFunc
+from .cost_model import CostModel
+from .search import SearchStats, TuneResult, evolutionary_search
+from .sketch import Sketch, generate_sketches
+
+__all__ = ["tune"]
+
+
+def tune(
+    func: PrimFunc,
+    target: Target,
+    trials: int = 32,
+    seed: int = 0,
+    allow_tensorize: bool = True,
+    sketches: Optional[Sequence[Sketch]] = None,
+    validate: bool = True,
+) -> TuneResult:
+    """Tune one workload; returns the best schedule found.
+
+    ``trials`` bounds the total number of measured candidates across all
+    sketches.  Tensorized sketches get the larger share of the budget
+    (their search space is the one that matters once an intrinsic
+    matches — and the paper's §5.2 observes the divide-and-conquer
+    search space is *smaller*, converging in fewer trials).
+    """
+    probe = Schedule(func, record_trace=False)
+    if sketches is None:
+        sketches = generate_sketches(probe, target, allow_tensorize=allow_tensorize)
+    if not sketches:
+        raise ValueError(f"no applicable sketches for {func.name}")
+
+    model = CostModel(target, seed=seed)
+    best: Optional[TuneResult] = None
+    combined_stats = SearchStats()
+    records = []
+    has_tensor = any(s.name in ("tensor-core", "cpu-sdot") for s in sketches)
+    for i, sketch in enumerate(sketches):
+        if has_tensor and len(sketches) > 1:
+            share = 0.75 if sketch.name in ("tensor-core", "cpu-sdot") else 0.25
+        else:
+            share = 1.0 / len(sketches)
+        budget = max(2, int(trials * share))
+        result = evolutionary_search(
+            func,
+            sketch,
+            target,
+            trials=budget,
+            seed=seed + i * 7919,
+            cost_model=model,
+            validate=validate,
+        )
+        records.extend(result.records)
+        combined_stats.candidates_generated += result.stats.candidates_generated
+        combined_stats.invalid_rejected += result.stats.invalid_rejected
+        combined_stats.apply_failed += result.stats.apply_failed
+        combined_stats.measured += result.stats.measured
+        combined_stats.profiling_seconds += result.stats.profiling_seconds
+        if best is None or result.best_cycles < best.best_cycles:
+            best = result
+    assert best is not None
+    out = TuneResult(
+        func.name,
+        best.best_func,
+        best.best_cycles,
+        best.best_report,
+        best.best_sketch,
+        records=records,
+        stats=combined_stats,
+        best_decisions=best.best_decisions,
+    )
+    return out

@@ -1,0 +1,15 @@
+"""Lowering and execution: TensorIR → Python/NumPy."""
+
+from .codegen import CompiledFunc, compile_func
+from .executor import Executor, alloc_args, random_args, run
+from .interp import interpret
+
+__all__ = [
+    "compile_func",
+    "CompiledFunc",
+    "Executor",
+    "run",
+    "alloc_args",
+    "random_args",
+    "interpret",
+]

@@ -1,0 +1,331 @@
+"""Code generation: TensorIR → executable Python.
+
+The reproduction's "backend": a scheduled PrimFunc is compiled into a
+Python function over NumPy arrays.  Loops become ``for`` statements
+(thread bindings and parallel loops execute sequentially — the
+*performance* of threading is the business of :mod:`repro.sim`, the
+*semantics* are sequentialisable), block realizes become iterator
+assignments with predicate guards, and reduction ``init`` statements run
+on the first iteration of their reduction (all reduce iterators at their
+domain minimum).
+
+Blocks that were tensorized (annotation ``"tensorize"``) are emitted as
+calls into the intrinsic's NumPy tile implementation over the matched
+buffer regions — the executable analogue of emitting the hardware
+instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..tir import (
+    BinaryOp,
+    Block,
+    BlockRealize,
+    Buffer,
+    BufferStore,
+    Call,
+    Cast,
+    FloatImm,
+    For,
+    IfThenElse,
+    IntImm,
+    LetStmt,
+    Max,
+    Min,
+    Not,
+    PrimFunc,
+    PrimExpr,
+    Select,
+    SeqStmt,
+    Stmt,
+    StringImm,
+    TruncDiv,
+    Var,
+)
+from ..tir import dtype as _dt
+from ..tir.eval import INTRINSIC_IMPLS
+from ..tir.expr import And, BufferLoad, Div, Or
+from ..tir.stmt import AllocateConst, Evaluate
+
+__all__ = ["compile_func", "CompiledFunc"]
+
+_PY_BINOPS = {
+    "Add": "+",
+    "Sub": "-",
+    "Mul": "*",
+    "Div": "/",
+    "FloorDiv": "//",
+    "FloorMod": "%",
+    "EQ": "==",
+    "NE": "!=",
+    "LT": "<",
+    "LE": "<=",
+    "GT": ">",
+    "GE": ">=",
+}
+
+
+class _PyPrinter:
+    """Renders expressions as Python source."""
+
+    def __init__(self, buffer_names: Dict[int, str]):
+        self.buffer_names = buffer_names
+
+    def expr(self, e: PrimExpr) -> str:
+        if isinstance(e, Var):
+            return e.name
+        if isinstance(e, IntImm):
+            if e.dtype == "bool":
+                return "True" if e.value else "False"
+            return repr(e.value)
+        if isinstance(e, FloatImm):
+            return repr(e.value)
+        if isinstance(e, StringImm):
+            return repr(e.value)
+        if isinstance(e, Cast):
+            inner = self.expr(e.value)
+            if _dt.is_float(e.dtype):
+                if e.dtype == "float64":
+                    return f"float({inner})"
+                return f"__np.{e.dtype}({inner})"
+            if e.dtype == "bool":
+                return f"bool({inner})"
+            if e.dtype in ("int32", "int64"):
+                # Exact in Python; wrap-around at these widths is out of
+                # range for every workload in the suite.
+                return f"int({inner})"
+            return f"__np.{e.dtype}({inner})"
+        if isinstance(e, Min):
+            return f"min({self.expr(e.a)}, {self.expr(e.b)})"
+        if isinstance(e, Max):
+            return f"max({self.expr(e.a)}, {self.expr(e.b)})"
+        if isinstance(e, TruncDiv):
+            return f"int({self.expr(e.a)} / {self.expr(e.b)})"
+        if isinstance(e, And):
+            return f"({self.expr(e.a)} and {self.expr(e.b)})"
+        if isinstance(e, Or):
+            return f"({self.expr(e.a)} or {self.expr(e.b)})"
+        if isinstance(e, Not):
+            return f"(not {self.expr(e.a)})"
+        if isinstance(e, BinaryOp):
+            op = _PY_BINOPS.get(type(e).__name__)
+            if op is None:
+                raise NotImplementedError(f"codegen: {type(e).__name__}")
+            return f"({self.expr(e.a)} {op} {self.expr(e.b)})"
+        if isinstance(e, Select):
+            return (
+                f"({self.expr(e.true_value)} if {self.expr(e.condition)} "
+                f"else {self.expr(e.false_value)})"
+            )
+        if isinstance(e, BufferLoad):
+            name = self.buffer_names[id(e.buffer)]
+            idx = ", ".join(self.expr(i) for i in e.indices)
+            return f"{name}[{idx}]"
+        if isinstance(e, Call):
+            args = ", ".join(self.expr(a) for a in e.args)
+            return f"__calls[{e.op!r}]({args})"
+        raise NotImplementedError(f"codegen: {type(e).__name__}")
+
+
+class _Codegen:
+    def __init__(self, func: PrimFunc):
+        self.func = func
+        self.lines: List[str] = []
+        self.indent = 1
+        self.buffer_names: Dict[int, str] = {}
+        self.printer = _PyPrinter(self.buffer_names)
+        self.tensorized_calls: Dict[str, object] = {}
+        self._tmp = 0
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    # -- naming ---------------------------------------------------------
+    def _register_buffer(self, buf: Buffer) -> str:
+        name = buf.name.replace(".", "_")
+        existing = set(self.buffer_names.values())
+        candidate = name
+        n = 0
+        while candidate in existing:
+            n += 1
+            candidate = f"{name}_{n}"
+        self.buffer_names[id(buf)] = candidate
+        return candidate
+
+    # -- top level --------------------------------------------------------
+    def run(self) -> str:
+        params = [self._register_buffer(self.func.buffer_map[p]) for p in self.func.params]
+        header = f"def __kernel({', '.join(params)}, __np, __calls, __intrins):"
+        root = self.func.body.block
+        for buf in root.alloc_buffers:
+            self._emit_alloc(buf)
+        self.stmt(root.body)
+        body = "\n".join(self.lines) if self.lines else "    pass"
+        return header + "\n" + body
+
+    def _emit_alloc(self, buf: Buffer) -> None:
+        name = self._register_buffer(buf)
+        shape = buf.shape_ints()
+        np_dtype = "bool_" if buf.dtype == "bool" else buf.dtype
+        self.emit(f"{name} = __np.zeros({shape!r}, dtype=__np.{np_dtype})")
+
+    # -- statements --------------------------------------------------------
+    def stmt(self, s: Stmt) -> None:
+        if isinstance(s, SeqStmt):
+            for sub in s.stmts:
+                self.stmt(sub)
+        elif isinstance(s, For):
+            self.emit(f"for {s.loop_var.name} in range({self.printer.expr(s.min)}, "
+                      f"{self.printer.expr(s.min + s.extent)}):")
+            self.indent += 1
+            self.stmt(s.body)
+            self.indent -= 1
+        elif isinstance(s, BufferStore):
+            name = self.buffer_names[id(s.buffer)]
+            idx = ", ".join(self.printer.expr(i) for i in s.indices)
+            self.emit(f"{name}[{idx}] = {self.printer.expr(s.value)}")
+        elif isinstance(s, IfThenElse):
+            self.emit(f"if {self.printer.expr(s.condition)}:")
+            self.indent += 1
+            self.stmt(s.then_case)
+            self.indent -= 1
+            if s.else_case is not None:
+                self.emit("else:")
+                self.indent += 1
+                self.stmt(s.else_case)
+                self.indent -= 1
+        elif isinstance(s, LetStmt):
+            self.emit(f"{s.var.name} = {self.printer.expr(s.value)}")
+            self.stmt(s.body)
+        elif isinstance(s, Evaluate):
+            self.emit(f"{self.printer.expr(s.value)}")
+        elif isinstance(s, BlockRealize):
+            self._block_realize(s)
+        elif isinstance(s, AllocateConst):
+            name = self._register_buffer(s.buffer)
+            key = f"__const_{name}"
+            self.tensorized_calls[key] = s.data
+            self.emit(f"{name} = __intrins[{key!r}]")
+            self.stmt(s.body)
+        else:
+            raise NotImplementedError(f"codegen: {type(s).__name__}")
+
+    def _block_realize(self, realize: BlockRealize) -> None:
+        block = realize.block
+        for iv, value in zip(block.iter_vars, realize.iter_values):
+            self.emit(f"{iv.var.name} = {self.printer.expr(value)}")
+        pred = realize.predicate
+        guarded = not (isinstance(pred, IntImm) and pred.value == 1)
+        if guarded:
+            self.emit(f"if {self.printer.expr(pred)}:")
+            self.indent += 1
+        for buf in block.alloc_buffers:
+            self._emit_alloc(buf)
+        if block.annotations.get("tensorize"):
+            self._tensorized(block)
+        else:
+            if block.init is not None:
+                conds = [
+                    f"{iv.var.name} == {self.printer.expr(iv.dom.min)}"
+                    for iv in block.iter_vars
+                    if iv.is_reduce
+                ]
+                cond = " and ".join(conds) if conds else "True"
+                self.emit(f"if {cond}:")
+                self.indent += 1
+                self.stmt(block.init)
+                self.indent -= 1
+            self.stmt(block.body)
+        if guarded:
+            self.indent -= 1
+
+    def _tensorized(self, block: Block) -> None:
+        from ..intrin import get_intrin
+
+        intrin = get_intrin(block.annotations["tensorize"])
+        operands = block.annotations.get("tensorize_operands", {})
+        views: List[str] = []
+        for param in intrin.desc.params:
+            role = intrin.desc.buffer_map[param].name
+            buf_name = operands.get(role)
+            region = self._find_region(block, buf_name)
+            if region is None:
+                raise NotImplementedError(
+                    f"codegen: operand {role} of {intrin.name} not found in block signature"
+                )
+            desc_rank = intrin.desc.buffer_map[param].ndim
+            extra = len(region.region) - desc_rank
+            slices = []
+            for d, rng in enumerate(region.region):
+                lo = self.printer.expr(rng.min)
+                if d < extra:
+                    # Leading dims outside the tile: scalar index (the
+                    # region extent is 1 there by construction).
+                    slices.append(lo)
+                else:
+                    hi = self.printer.expr(rng.min + rng.extent)
+                    slices.append(f"{lo}:{hi}")
+            views.append(f"{self.buffer_names[id(region.buffer)]}[{', '.join(slices)}]")
+        key = f"__intrin_{intrin.name}"
+        self.tensorized_calls[key] = intrin.numpy_impl
+        # Reduction init (e.g. a separate fill block) is handled by the
+        # fill intrinsic; an init on the tensorized block itself runs on
+        # the first reduction iteration like any other block.
+        if block.init is not None:
+            conds = [
+                f"{iv.var.name} == {self.printer.expr(iv.dom.min)}"
+                for iv in block.iter_vars
+                if iv.is_reduce
+            ]
+            cond = " and ".join(conds) if conds else "True"
+            self.emit(f"if {cond}:")
+            self.indent += 1
+            self.stmt(block.init)
+            self.indent -= 1
+        self.emit(f"__intrins[{key!r}]({', '.join(views)})")
+
+    def _find_region(self, block: Block, buffer_name: Optional[str]):
+        if buffer_name is None:
+            return None
+        for region in list(block.reads) + list(block.writes):
+            if region.buffer.name == buffer_name:
+                return region
+        return None
+
+
+class CompiledFunc:
+    """A compiled PrimFunc: callable over NumPy arrays (by param order)."""
+
+    def __init__(self, func: PrimFunc, source: str, pyfunc, intrins):
+        self.func = func
+        self.source = source
+        self._pyfunc = pyfunc
+        self._intrins = intrins
+
+    def __call__(self, *arrays) -> None:
+        import numpy as np
+
+        if len(arrays) != len(self.func.params):
+            raise TypeError(
+                f"{self.func.name} expects {len(self.func.params)} arrays, "
+                f"got {len(arrays)}"
+            )
+        for arr, param in zip(arrays, self.func.params):
+            buf = self.func.buffer_map[param]
+            if tuple(arr.shape) != buf.shape_ints():
+                raise ValueError(
+                    f"argument {buf.name}: shape {arr.shape} != {buf.shape_ints()}"
+                )
+        self._pyfunc(*arrays, np, INTRINSIC_IMPLS, self._intrins)
+
+
+def compile_func(func: PrimFunc) -> CompiledFunc:
+    """Compile a PrimFunc to executable Python."""
+    gen = _Codegen(func)
+    source = gen.run()
+    namespace: Dict[str, object] = {}
+    code = compile(source, f"<tensorir:{func.name}>", "exec")
+    exec(code, namespace)  # noqa: S102 - this is the codegen backend
+    return CompiledFunc(func, source, namespace["__kernel"], gen.tensorized_calls)

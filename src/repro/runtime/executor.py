@@ -1,0 +1,64 @@
+"""Execution helpers over compiled functions."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..tir import PrimFunc
+from ..tir.dtype import numpy_dtype
+from .codegen import CompiledFunc, compile_func
+
+__all__ = ["Executor", "run", "alloc_args", "random_args"]
+
+
+def alloc_args(func: PrimFunc, fill: float = 0.0) -> Dict[str, np.ndarray]:
+    """Zero/constant-filled arrays for every parameter, keyed by name."""
+    out = {}
+    for param in func.params:
+        buf = func.buffer_map[param]
+        arr = np.full(buf.shape_ints(), fill, dtype=numpy_dtype(buf.dtype))
+        out[buf.name] = arr
+    return out
+
+
+def random_args(func: PrimFunc, seed: int = 0) -> Dict[str, np.ndarray]:
+    """Random arrays for every parameter (ints in [-4, 4], floats in
+    [-1, 1]) — small magnitudes keep low-precision accumulation stable."""
+    rng = np.random.default_rng(seed)
+    out = {}
+    for param in func.params:
+        buf = func.buffer_map[param]
+        dt = numpy_dtype(buf.dtype)
+        shape = buf.shape_ints()
+        if buf.dtype.startswith("float"):
+            arr = rng.uniform(-1.0, 1.0, size=shape).astype(dt)
+        elif buf.dtype == "bool":
+            arr = rng.integers(0, 2, size=shape).astype(dt)
+        else:
+            arr = rng.integers(-4, 5, size=shape).astype(dt)
+        out[buf.name] = arr
+    return out
+
+
+class Executor:
+    """Compiles once, runs many times."""
+
+    def __init__(self, func: PrimFunc):
+        self.func = func
+        self.compiled: CompiledFunc = compile_func(func)
+
+    def __call__(self, arrays: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        ordered = [arrays[self.func.buffer_map[p].name] for p in self.func.params]
+        self.compiled(*ordered)
+        return arrays
+
+
+def run(func: PrimFunc, arrays: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Compile and execute ``func`` in place over ``arrays``.
+
+    ``arrays`` maps parameter buffer names to NumPy arrays; outputs are
+    written in place and the dict is returned for convenience.
+    """
+    return Executor(func)(arrays)

@@ -1,0 +1,116 @@
+"""A reference interpreter for TensorIR.
+
+Executes a PrimFunc by walking the statement tree directly with
+:func:`~repro.tir.evaluate_expr` — no code generation, no fast paths
+(tensorized blocks run their scalar bodies).  It is an order of
+magnitude slower than the compiled path and exists as an *independent
+semantics oracle*: the test suite cross-checks ``compile_func`` against
+it on randomly scheduled programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+from ..tir import (
+    Block,
+    BlockRealize,
+    BufferStore,
+    For,
+    IfThenElse,
+    LetStmt,
+    PrimFunc,
+    SeqStmt,
+    Stmt,
+    Var,
+    const_int_value,
+    evaluate_expr,
+)
+from ..tir.buffer import Buffer
+from ..tir.dtype import numpy_dtype
+from ..tir.stmt import AllocateConst, Evaluate
+
+__all__ = ["interpret"]
+
+
+class _Interp:
+    def __init__(self):
+        self.env: Dict[Var, int] = {}
+        self.buffers: Dict[Buffer, np.ndarray] = {}
+
+    def eval(self, expr):
+        return evaluate_expr(expr, self.env, self.buffers)
+
+    def exec(self, stmt: Stmt) -> None:
+        if isinstance(stmt, SeqStmt):
+            for s in stmt.stmts:
+                self.exec(s)
+        elif isinstance(stmt, For):
+            lo = int(self.eval(stmt.min))
+            extent = int(self.eval(stmt.extent))
+            for value in range(lo, lo + extent):
+                self.env[stmt.loop_var] = value
+                self.exec(stmt.body)
+            self.env.pop(stmt.loop_var, None)
+        elif isinstance(stmt, BufferStore):
+            idx = tuple(int(self.eval(i)) for i in stmt.indices)
+            self.buffers[stmt.buffer][idx] = self.eval(stmt.value)
+        elif isinstance(stmt, IfThenElse):
+            if self.eval(stmt.condition):
+                self.exec(stmt.then_case)
+            elif stmt.else_case is not None:
+                self.exec(stmt.else_case)
+        elif isinstance(stmt, LetStmt):
+            self.env[stmt.var] = self.eval(stmt.value)
+            self.exec(stmt.body)
+            self.env.pop(stmt.var, None)
+        elif isinstance(stmt, Evaluate):
+            self.eval(stmt.value)
+        elif isinstance(stmt, BlockRealize):
+            self._exec_block(stmt)
+        elif isinstance(stmt, AllocateConst):
+            self.buffers[stmt.buffer] = np.asarray(stmt.data)
+            self.exec(stmt.body)
+        else:
+            raise TypeError(f"interpreter: unhandled {type(stmt).__name__}")
+
+    def _exec_block(self, realize: BlockRealize) -> None:
+        if not self.eval(realize.predicate):
+            return
+        block = realize.block
+        saved = {}
+        for iv, value in zip(block.iter_vars, realize.iter_values):
+            saved[iv.var] = self.env.get(iv.var)
+            self.env[iv.var] = int(self.eval(value))
+        for buf in block.alloc_buffers:
+            if buf not in self.buffers:
+                self.buffers[buf] = np.zeros(buf.shape_ints(), dtype=numpy_dtype(buf.dtype))
+        if block.init is not None:
+            first = all(
+                self.env[iv.var] == int(self.eval(iv.dom.min))
+                for iv in block.iter_vars
+                if iv.is_reduce
+            )
+            if first:
+                self.exec(block.init)
+        self.exec(block.body)
+        for var, old in saved.items():
+            if old is None:
+                self.env.pop(var, None)
+            else:
+                self.env[var] = old
+
+
+def interpret(func: PrimFunc, arrays: Mapping[str, np.ndarray]) -> Mapping[str, np.ndarray]:
+    """Execute ``func`` over ``arrays`` (parameter-name keyed), in place."""
+    interp = _Interp()
+    for param in func.params:
+        buf = func.buffer_map[param]
+        interp.buffers[buf] = arrays[buf.name]
+    root = func.body.block
+    for buf in root.alloc_buffers:
+        interp.buffers[buf] = np.zeros(buf.shape_ints(), dtype=numpy_dtype(buf.dtype))
+    interp.exec(root.body)
+    return arrays

@@ -1,0 +1,28 @@
+"""Scheduling: transformation primitives, replayable traces and
+validation (paper §3.2–§3.3).
+
+Entry point: :class:`Schedule` — construct one over a
+:class:`~repro.tir.PrimFunc` and apply primitives; ``verify`` validates
+the resulting program.
+"""
+
+from .sampling import all_factorizations, divisors_of
+from .sref import ScheduleError
+from .state import BlockRV, LoopRV, Schedule
+from .trace import Instruction, Trace
+from .validation import VerificationError, assert_valid, is_valid, verify
+
+__all__ = [
+    "Schedule",
+    "BlockRV",
+    "LoopRV",
+    "ScheduleError",
+    "Trace",
+    "Instruction",
+    "verify",
+    "is_valid",
+    "assert_valid",
+    "VerificationError",
+    "divisors_of",
+    "all_factorizations",
+]

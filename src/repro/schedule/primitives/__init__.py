@@ -1,0 +1,7 @@
+"""Schedule primitive implementations, one module per family.
+
+Each primitive is a standalone TensorIR→TensorIR transformation (the
+paper's "Separation of Scheduling and TensorIR" design, §3.2): it takes
+the schedule state, rebuilds the relevant subtree, and never mutates IR
+nodes in place.
+"""

@@ -1,0 +1,347 @@
+"""Blockization and tensorization (paper §3.2 Figure 7, §4.1).
+
+``blockize(loop)`` wraps the subtree rooted at ``loop`` into a new outer
+block whose iterators summarise the outer components of the leaf block's
+bindings.  The leaf block keeps its body; its bindings are rewritten in
+terms of the new outer block's iterators.  This is the isolation step
+that makes a sub-computation a tensorization candidate.
+
+``tensorize(block, intrin)`` checks that a blockized computation matches
+a registered :class:`~repro.intrin.TensorIntrin`'s semantics and marks
+the block as an opaque tensorized computation.  The block body is
+replaced by the intrinsic's implementation body (instantiated over the
+matched buffer regions); the simulated hardware recognises the intrinsic
+annotation and charges the instruction's cost, while the NumPy executor
+uses the intrinsic's fast tile implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...arith import Analyzer
+from ...arith.simplify import structural_key
+from ...tir import (
+    Block,
+    BlockRealize,
+    For,
+    ForKind,
+    IterVar,
+    PrimExpr,
+    Range,
+    Stmt,
+    Var,
+    collect_vars,
+    const,
+    const_int_value,
+    substitute,
+)
+from ...tir.analysis.regions import detect_block_access_regions
+from ...tir.structural import StructuralMatcher
+from ..sref import ScheduleError, find_blocks, loops_above, path_to
+from ..state import BlockRV, LoopRV, Schedule
+
+__all__ = ["blockize", "tensorize"]
+
+
+def _separate_binding(
+    binding: PrimExpr,
+    outer_vars: Dict[int, Var],
+    inner_vars: Dict[int, Var],
+    analyzer: Analyzer,
+) -> Tuple[PrimExpr, PrimExpr, int]:
+    """Split ``binding`` into ``outer_part * c + inner_part``.
+
+    ``inner_part`` ranges over ``[0, c)``.  Raises if the binding mixes
+    outer and inner loop variables non-separably.
+    """
+    binding = analyzer.simplify(binding)
+    used = collect_vars(binding)
+    uses_outer = any(id(v) in outer_vars for v in used)
+    uses_inner = any(id(v) in inner_vars for v in used)
+    zero = const(0)
+    if not uses_inner:
+        return binding, zero, 1
+    if not uses_outer:
+        inner_set = analyzer.int_set(binding)
+        if not inner_set.is_bounded or inner_set.min_value != 0:
+            raise ScheduleError(
+                "blockize: inner binding component must start at 0"
+            )
+        return zero, binding, inner_set.max_value + 1
+    # Mixed: substitute inner vars with 0 to obtain the outer component.
+    inner_zero = {v: const(0) for v in inner_vars.values()}
+    outer_part = analyzer.simplify(substitute(binding, inner_zero))
+    inner_part = analyzer.simplify(binding - outer_part)
+    if any(id(v) in outer_vars for v in collect_vars(inner_part)):
+        raise ScheduleError("blockize: binding is not separable into outer + inner")
+    inner_set = analyzer.int_set(inner_part)
+    if not inner_set.is_bounded or inner_set.min_value != 0:
+        raise ScheduleError("blockize: inner binding component must start at 0")
+    c = inner_set.max_value + 1
+    # outer_part must be a multiple of c for the tile decomposition.
+    quotient = analyzer.simplify(outer_part // c)
+    if not analyzer.prove_equal(quotient * c, outer_part):
+        raise ScheduleError(
+            "blockize: outer binding component is not aligned to the tile size"
+        )
+    return quotient, inner_part, c
+
+
+def blockize(sch: Schedule, loop_rv: LoopRV) -> BlockRV:
+    """Isolate the subtree under ``loop`` into a new outer block."""
+    loop = sch._loop(loop_rv)
+    realizes = find_blocks(loop)
+    if len(realizes) != 1:
+        raise ScheduleError(
+            f"blockize: expected exactly one leaf block under the loop, found {len(realizes)}"
+        )
+    realize = realizes[0]
+    leaf = realize.block
+    if leaf.init is not None:
+        # Initialisation per outer-block instance would re-run across
+        # outer reduction instances; require decompose_reduction first
+        # unless every reduce iterator is fully inside the new block.
+        reduce_outer = False
+        inner_var_ids = {id(lp.loop_var) for lp in loops_above(loop, realize)} | {
+            id(loop.loop_var)
+        }
+        for iv, binding in zip(leaf.iter_vars, realize.iter_values):
+            if iv.is_reduce and any(
+                id(v) not in inner_var_ids for v in collect_vars(binding)
+            ):
+                reduce_outer = True
+        if reduce_outer:
+            raise ScheduleError(
+                "blockize: decompose_reduction before blockizing a reduction "
+                "whose reduce iterators cross the block boundary"
+            )
+
+    inner_loops = [loop] + loops_above(loop, realize)
+    inner_vars = {id(lp.loop_var): lp.loop_var for lp in inner_loops}
+    outer_loops = loops_above(sch.func.body, loop)
+    outer_vars = {id(lp.loop_var): lp.loop_var for lp in outer_loops}
+
+    analyzer = Analyzer()
+    for lp in outer_loops + inner_loops:
+        analyzer.bind(lp.loop_var, Range(lp.min, lp.extent))
+
+    outer_iter_vars: List[IterVar] = []
+    outer_bindings: List[PrimExpr] = []
+    new_leaf_bindings: List[PrimExpr] = []
+    for iv, binding in zip(leaf.iter_vars, realize.iter_values):
+        outer_part, inner_part, c = _separate_binding(binding, outer_vars, inner_vars, analyzer)
+        if const_int_value(outer_part) == 0 and c > 1:
+            # Fully inner: the leaf binding is unchanged; no outer iter.
+            new_leaf_bindings.append(inner_part)
+            continue
+        extent = const_int_value(iv.dom.extent)
+        if extent is None:
+            raise ScheduleError("blockize: symbolic iterator domain")
+        if extent % c != 0:
+            raise ScheduleError(
+                f"blockize: domain {extent} of {iv.var.name} is not divisible "
+                f"by tile size {c}"
+            )
+        outer_var = sch.fresh_var(f"{iv.var.name}_o")
+        outer_iter_vars.append(IterVar(outer_var, Range(0, extent // c), iv.kind))
+        outer_bindings.append(outer_part)
+        new_leaf_bindings.append(outer_var * c + inner_part)
+
+    new_realize = BlockRealize(new_leaf_bindings, realize.predicate, leaf)
+    new_subtree = _rebuild_loops(loop, realize, new_realize)
+    outer_block = Block(
+        name_hint=sch.fresh_block_name(f"{leaf.name_hint}_o"),
+        iter_vars=outer_iter_vars,
+        reads=(),
+        writes=(),
+        body=new_subtree,
+    )
+    reads, writes = detect_block_access_regions(outer_block)
+    outer_block = outer_block.replace(reads=reads, writes=writes)
+    sch.replace(loop, BlockRealize(outer_bindings, const(True), outer_block))
+    return BlockRV(outer_block.name_hint)
+
+
+def _rebuild_loops(loop: For, old_realize: BlockRealize, new_realize: BlockRealize) -> Stmt:
+    """Rebuild the loop chain from ``loop`` down, swapping the leaf."""
+
+    def rebuild(node: Stmt) -> Stmt:
+        if node is old_realize:
+            return new_realize
+        if isinstance(node, For):
+            return For(
+                node.loop_var,
+                node.min,
+                node.extent,
+                node.kind,
+                rebuild(node.body),
+                node.thread_tag,
+                node.annotations,
+            )
+        from ...tir import SeqStmt, seq
+
+        if isinstance(node, SeqStmt):
+            return seq([rebuild(s) for s in node.stmts])
+        raise ScheduleError("blockize: unsupported statement between loop and block")
+
+    return rebuild(loop)
+
+
+# ---------------------------------------------------------------------------
+# tensorize
+# ---------------------------------------------------------------------------
+
+
+def _zeroed_body(block: Block, realize: BlockRealize, outer_iters: List[IterVar]) -> Stmt:
+    """The computation of ``block`` with its outer block iterators set to
+    zero: the representative tile at the origin, used for matching."""
+    zero_map = {iv.var: const(0) for iv in outer_iters}
+    body = substitute(block.body, zero_map)
+    return body
+
+
+def _flatten_leaf(stmt: Stmt, analyzer: Analyzer) -> Stmt:
+    """Replace leaf BlockRealize nodes with their bodies, substituting
+    iterator bindings (and dropping init, which must be absent)."""
+    from ...tir import SeqStmt, seq
+
+    if isinstance(stmt, BlockRealize):
+        block = stmt.block
+        if block.init is not None:
+            raise ScheduleError("tensorize: leaf block must not carry init")
+        vmap = {iv.var: val for iv, val in zip(block.iter_vars, stmt.iter_values)}
+        return _flatten_leaf(_simplify_stmt(substitute(block.body, vmap), analyzer), analyzer)
+    if isinstance(stmt, For):
+        if const_int_value(stmt.extent) == 1:
+            # Unit loops carry no iteration structure: normalise away.
+            body = substitute(stmt.body, {stmt.loop_var: stmt.min})
+            return _flatten_leaf(_simplify_stmt(body, analyzer), analyzer)
+        return For(
+            stmt.loop_var,
+            stmt.min,
+            stmt.extent,
+            stmt.kind,
+            _flatten_leaf(stmt.body, analyzer),
+            stmt.thread_tag,
+            stmt.annotations,
+        )
+    if isinstance(stmt, SeqStmt):
+        return seq([_flatten_leaf(s, analyzer) for s in stmt.stmts])
+    return _simplify_stmt(stmt, analyzer)
+
+
+def _simplify_stmt(stmt: Stmt, analyzer: Analyzer) -> Stmt:
+    from ...tir import StmtMutator
+
+    class _Simp(StmtMutator):
+        def rewrite(self, expr):
+            return analyzer.simplify(expr)
+
+    return _Simp().rewrite_stmt(stmt)
+
+
+class _ScopeAgnosticMatcher(StructuralMatcher):
+    """Structural matcher for intrinsic matching.
+
+    Buffers map regardless of storage scope (the intrinsic's scope
+    constraints are validated separately) and regardless of rank: a
+    candidate operand may carry extra *leading* dimensions (e.g. a batch
+    axis that stays outside the tensorized tile) as long as the
+    representative tile indexes them at zero.
+    """
+
+    def bind_buffer(self, a, b) -> bool:
+        if a in self.buffer_map:
+            return self.buffer_map[a] is b
+        if b in self.rev_buffer_map:
+            return False
+        if a.dtype != b.dtype or a.ndim < b.ndim:
+            return False
+        self.buffer_map[a] = b
+        self.rev_buffer_map[b] = a
+        return True
+
+    def _match_indices(self, cand_indices, desc_indices) -> bool:
+        extra = len(cand_indices) - len(desc_indices)
+        if extra < 0:
+            return False
+        from ...tir import IntImm
+
+        for idx in cand_indices[:extra]:
+            if not (isinstance(idx, IntImm) and idx.value == 0):
+                return False
+        return all(
+            self.match_expr(ia, ib)
+            for ia, ib in zip(cand_indices[extra:], desc_indices)
+        )
+
+    def match_expr(self, a, b) -> bool:
+        from ...tir.expr import BufferLoad
+
+        if isinstance(a, BufferLoad) and isinstance(b, BufferLoad):
+            if a.dtype != b.dtype:
+                return False
+            if not self.match_buffer_use(a.buffer, b.buffer):
+                return False
+            return self._match_indices(a.indices, b.indices)
+        return super().match_expr(a, b)
+
+    def match_stmt(self, a, b) -> bool:
+        from ...tir import BufferStore
+
+        if isinstance(a, BufferStore) and isinstance(b, BufferStore):
+            if not self.match_buffer_use(a.buffer, b.buffer):
+                return False
+            if not self.match_expr(a.value, b.value):
+                return False
+            return self._match_indices(a.indices, b.indices)
+        return super().match_stmt(a, b)
+
+
+def tensorize(sch: Schedule, target, intrin_name: str) -> None:
+    """Map a blockized computation onto a tensor intrinsic."""
+    from ...intrin import get_intrin
+
+    intrin = get_intrin(intrin_name)
+    if isinstance(target, LoopRV):
+        target = blockize(sch, target)
+    realize = sch._block_realize(target)
+    block = realize.block
+
+    analyzer = Analyzer()
+    for lp in loops_above(sch.func.body, realize):
+        analyzer.bind(lp.loop_var, Range(lp.min, lp.extent))
+    for iv in block.iter_vars:
+        analyzer.bind(iv.var, iv.dom)
+
+    candidate = _flatten_leaf(_zeroed_body(block, realize, list(block.iter_vars)), _zero_analyzer(block, analyzer))
+    desc_body = intrin.desc_computation()
+
+    matcher = _ScopeAgnosticMatcher(map_free_vars=True)
+    if not matcher.match_stmt(candidate, desc_body):
+        from ...tir.printer import script
+
+        raise ScheduleError(
+            f"tensorize: computation does not match intrinsic {intrin_name!r}\n"
+            f"--- candidate ---\n{script(candidate)}\n"
+            f"--- intrinsic semantics ---\n{script(desc_body)}"
+        )
+    # Record which candidate buffer plays which intrinsic operand role.
+    operand_map = {}
+    for cand_buf, desc_buf in matcher.buffer_map.items():
+        role = intrin.operand_role(desc_buf)
+        if role is not None:
+            operand_map[role] = cand_buf.name
+    notes = dict(block.annotations)
+    notes["tensorize"] = intrin_name
+    notes["tensorize_operands"] = operand_map
+    new_block = block.replace(annotations=notes)
+    sch.replace(realize, realize.replace(block=new_block))
+
+
+def _zero_analyzer(block: Block, analyzer: Analyzer) -> Analyzer:
+    out = analyzer.copy()
+    for iv in block.iter_vars:
+        out.bind(iv.var, 0)
+    return out

@@ -1,0 +1,201 @@
+"""Caching primitives: cache_read, cache_write, set_scope.
+
+``cache_read``/``cache_write`` introduce the data-movement sub-blocks of
+§3.2 ("caching primitives that introduce sub-blocks to cache input data
+into shared memory").  The copy block is created over the full buffer and
+is expected to be sunk to the right loop level with ``compute_at`` /
+``reverse_compute_at`` — mirroring the AutoCopy flow of §4.3 where data
+movement is scheduled separately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...tir import (
+    Block,
+    BlockRealize,
+    Buffer,
+    BufferRegion,
+    BufferStore,
+    For,
+    ForKind,
+    IterVar,
+    Range,
+    SeqStmt,
+    Stmt,
+    StmtMutator,
+    Var,
+    const,
+    seq,
+)
+from ...tir.expr import BufferLoad
+from ..sref import ScheduleError, find_blocks, path_to
+from ..state import BlockRV, LoopRV, Schedule
+from .compute import _blocks_reading, _blocks_writing
+
+__all__ = ["cache_read", "cache_write", "set_scope"]
+
+
+class _BufferReplacer(StmtMutator):
+    """Replace a buffer in loads/stores/regions (not allocations)."""
+
+    def __init__(self, mapping: Dict[Buffer, Buffer]):
+        self._mapping = mapping
+
+    def rewrite_buffer(self, buffer: Buffer) -> Buffer:
+        return self._mapping.get(buffer, buffer)
+
+
+def _make_copy_block(
+    sch: Schedule, name: str, src: Buffer, dst: Buffer, annotations=None
+) -> Stmt:
+    """A block copying ``src`` into ``dst`` element-wise (full extent)."""
+    shape = src.shape_ints()
+    loop_vars = [sch.fresh_var(f"cp{d}") for d in range(len(shape))]
+    iter_vars = [
+        IterVar(sch.fresh_var(f"v{lv.name}"), Range(0, extent), IterVar.SPATIAL)
+        for lv, extent in zip(loop_vars, shape)
+    ]
+    ivs = [iv.var for iv in iter_vars]
+    body = BufferStore(dst, BufferLoad(src, ivs), ivs)
+    block = Block(
+        name_hint=name,
+        iter_vars=iter_vars,
+        reads=(BufferRegion.from_point(src, ivs),),
+        writes=(BufferRegion.from_point(dst, ivs),),
+        body=body,
+        annotations=annotations or {},
+    )
+    realize: Stmt = BlockRealize(list(loop_vars), const(True), block)
+    for lv, extent in zip(reversed(loop_vars), reversed(shape)):
+        realize = For(lv, 0, extent, ForKind.SERIAL, realize)
+    return realize
+
+
+def _root_child_containing(sch: Schedule, realize: BlockRealize) -> Stmt:
+    """The top-level statement (child of the root block) containing
+    ``realize``."""
+    root_block = sch.func.body.block
+    path = path_to(root_block.body, realize)
+    if path is None:
+        raise ScheduleError("block is not under the root block")
+    return path[0] if not isinstance(root_block.body, SeqStmt) else path[1]
+
+
+def _insert_at_root(sch: Schedule, anchor: Stmt, new_stmt: Stmt, before: bool) -> None:
+    root_realize = sch.func.body
+    root_block = root_realize.block
+    if isinstance(root_block.body, SeqStmt):
+        stmts = list(root_block.body.stmts)
+        idx = next(i for i, s in enumerate(stmts) if s is anchor)
+        stmts.insert(idx if before else idx + 1, new_stmt)
+    else:
+        stmts = [new_stmt, root_block.body] if before else [root_block.body, new_stmt]
+    new_root = root_block.replace(body=seq(stmts))
+    sch.func = sch.func.with_body(BlockRealize((), const(True), new_root))
+
+
+def _alloc_on_root(sch: Schedule, buffer: Buffer) -> None:
+    root_realize = sch.func.body
+    root_block = root_realize.block
+    new_root = root_block.replace(alloc_buffers=tuple(root_block.alloc_buffers) + (buffer,))
+    sch.func = sch.func.with_body(BlockRealize((), const(True), new_root))
+
+
+def cache_read(sch: Schedule, block_rv: BlockRV, read_index: int, scope: str) -> BlockRV:
+    """Read ``block``'s ``read_index``-th input through a new buffer in
+    ``scope``; returns the copy block."""
+    realize = sch._block_realize(block_rv)
+    block = realize.block
+    if not 0 <= read_index < len(block.reads):
+        raise ScheduleError(
+            f"cache_read: block {block.name_hint} has {len(block.reads)} reads"
+        )
+    src = block.reads[read_index].buffer
+    # The full-buffer copy is inserted at root just before this block's
+    # nest; every producer of the source must already have run by then.
+    consumer_anchor = _root_child_containing(sch, realize)
+    for producer in _blocks_writing(sch.func.body, src):
+        anchor = _root_child_containing(sch, producer)
+        if anchor is consumer_anchor:
+            raise ScheduleError(
+                f"cache_read: producer of {src.name} lives inside the same "
+                "nest as the consumer; cache before applying compute_at"
+            )
+    cache_name = sch.fresh_block_name(f"{src.name}_{scope.replace('.', '_')}")
+    cache_buf = Buffer(cache_name, src.shape, src.dtype, scope)
+    copy_nest = _make_copy_block(
+        sch,
+        cache_name,
+        src,
+        cache_buf,
+        annotations={"data_movement": "read", "src_scope": src.scope, "dst_scope": scope},
+    )
+    # Rewrite only this block to read through the cache.
+    replacer = _BufferReplacer({src: cache_buf})
+    new_block = replacer.rewrite_stmt(block)
+    sch.replace(realize, realize.replace(block=new_block))
+    new_realize = sch._block_realize(block_rv)
+    anchor = _root_child_containing(sch, new_realize)
+    _insert_at_root(sch, anchor, copy_nest, before=True)
+    _alloc_on_root(sch, cache_buf)
+    return BlockRV(cache_name)
+
+
+def cache_write(sch: Schedule, block_rv: BlockRV, write_index: int, scope: str) -> BlockRV:
+    """Make ``block`` write into a new buffer in ``scope``, with a
+    copy-back block writing the original buffer; returns the copy block."""
+    realize = sch._block_realize(block_rv)
+    block = realize.block
+    if not 0 <= write_index < len(block.writes):
+        raise ScheduleError(
+            f"cache_write: block {block.name_hint} has {len(block.writes)} writes"
+        )
+    dst = block.writes[write_index].buffer
+    producer_anchor = _root_child_containing(sch, realize)
+    for consumer in _blocks_reading(sch.func.body, dst):
+        anchor = _root_child_containing(sch, consumer)
+        if anchor is producer_anchor:
+            raise ScheduleError(
+                f"cache_write: consumer of {dst.name} lives inside the same "
+                "nest as the producer; cache before applying compute_at"
+            )
+    cache_name = sch.fresh_block_name(f"{dst.name}_{scope.replace('.', '_')}")
+    cache_buf = Buffer(cache_name, dst.shape, dst.dtype, scope)
+    copy_nest = _make_copy_block(
+        sch,
+        cache_name,
+        cache_buf,
+        dst,
+        annotations={"data_movement": "write", "src_scope": scope, "dst_scope": dst.scope},
+    )
+    replacer = _BufferReplacer({dst: cache_buf})
+    new_block = replacer.rewrite_stmt(block)
+    sch.replace(realize, realize.replace(block=new_block))
+    new_realize = sch._block_realize(block_rv)
+    anchor = _root_child_containing(sch, new_realize)
+    _insert_at_root(sch, anchor, copy_nest, before=False)
+    _alloc_on_root(sch, cache_buf)
+    return BlockRV(cache_name)
+
+
+def set_scope(sch: Schedule, block_rv: BlockRV, write_index: int, scope: str) -> None:
+    """Move the storage scope of a block's output buffer."""
+    realize = sch._block_realize(block_rv)
+    block = realize.block
+    if not 0 <= write_index < len(block.writes):
+        raise ScheduleError(
+            f"set_scope: block {block.name_hint} has {len(block.writes)} writes"
+        )
+    buffer = block.writes[write_index].buffer
+    if buffer in sch.func.buffer_map.values():
+        raise ScheduleError("set_scope: cannot change the scope of a function output")
+    if buffer.scope == scope:
+        return
+    new_buf = Buffer(buffer.name, buffer.shape, buffer.dtype, scope)
+    # _BufferReplacer rewrites loads, stores, regions and allocation
+    # lists in one pass (StmtMutator routes alloc_buffers through
+    # rewrite_buffer).
+    replacer = _BufferReplacer({buffer: new_buf})
+    sch.func = sch.func.with_body(replacer.rewrite_stmt(sch.func.body))

@@ -1,0 +1,552 @@
+"""Compute-location primitives: compute_at, reverse_compute_at and the
+inline pair.
+
+These mutate *where* a block's instances execute relative to its
+producers/consumers, using only block-signature information (read/write
+regions) for the required-region computation — the paper's central claim
+about transformability through block isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...arith import Analyzer
+from ...tir import (
+    Block,
+    BlockRealize,
+    BufferRegion,
+    BufferStore,
+    For,
+    ForKind,
+    IterVar,
+    PrimExpr,
+    Range,
+    SeqStmt,
+    Stmt,
+    StmtMutator,
+    Var,
+    collect_vars,
+    const_int_value,
+    seq,
+    substitute,
+)
+from ...tir.analysis.regions import SymInterval, detect_block_access_regions, eval_sym_interval
+from ...tir.expr import BufferLoad
+from ..sref import ScheduleError, children_of, find_blocks, loops_above, path_to
+from ..state import BlockRV, LoopRV, Schedule
+
+__all__ = [
+    "compute_at",
+    "reverse_compute_at",
+    "compute_inline",
+    "reverse_compute_inline",
+]
+
+
+# ---------------------------------------------------------------------------
+# shared helpers
+# ---------------------------------------------------------------------------
+
+
+def _single_write_buffer(block: Block):
+    if len(block.writes) != 1:
+        raise ScheduleError(
+            f"block {block.name_hint} writes {len(block.writes)} buffers, expected 1"
+        )
+    return block.writes[0].buffer
+
+
+def _blocks_reading(root: Stmt, buffer) -> List[BlockRealize]:
+    return [
+        r
+        for r in find_blocks(root)
+        if any(region.buffer is buffer for region in r.block.reads)
+    ]
+
+
+def _blocks_writing(root: Stmt, buffer) -> List[BlockRealize]:
+    return [
+        r
+        for r in find_blocks(root)
+        if any(region.buffer is buffer for region in r.block.writes)
+    ]
+
+
+def _is_under(root: Stmt, node: Stmt, ancestor: Stmt) -> bool:
+    path = path_to(root, node)
+    return path is not None and any(s is ancestor for s in path[:-1])
+
+
+def _remove_exclusive_nest(sch: Schedule, realize: BlockRealize) -> None:
+    """Delete ``realize`` together with enclosing loops that contain
+    nothing else."""
+    path = path_to(sch.func.body, realize)
+    if path is None:
+        raise ScheduleError("block is not in the function body")
+    # Walk upward while the parent is a For whose entire body funnels to us.
+    victim: Stmt = realize
+    idx = len(path) - 1
+    while idx > 0 and isinstance(path[idx - 1], For):
+        idx -= 1
+        victim = path[idx]
+    sch.replace(victim, None)
+
+
+def _bound_region_under(
+    loop: For,
+    accesses: List[Tuple[BlockRealize, BufferRegion]],
+    analyzer: Analyzer,
+) -> List[Range]:
+    """Union of buffer regions accessed by ``accesses`` within one
+    iteration of ``loop``, as ranges over the outer/symbolic vars."""
+    from ...tir.analysis.regions import _interval_to_range, _union_interval
+
+    result: Optional[List[SymInterval]] = None
+    for realize, region in accesses:
+        # Bind block iterators to their binding values.
+        vmap = {iv.var: val for iv, val in zip(realize.block.iter_vars, realize.iter_values)}
+        # Relax loops strictly between `loop` and the realize.
+        path = path_to(loop, realize)
+        if path is None:
+            raise ScheduleError("access is not under the target loop")
+        dom: Dict[Var, SymInterval] = {}
+        # A bounds-complete analyzer (all inner loops registered) lets the
+        # simplifier collapse fused-then-split div/mod compositions back
+        # to the underlying affine expression before interval relaxation
+        # — otherwise tile footprints look symbolic.
+        full = analyzer.copy()
+        for node in path[1:]:
+            if isinstance(node, For):
+                full.bind(node.loop_var, Range(node.min, node.extent))
+        for node in path[1:]:
+            if isinstance(node, For):
+                lo = eval_sym_interval(node.min, dom, full)
+                hi = eval_sym_interval(node.min + node.extent - 1, dom, full)
+                dom[node.loop_var] = SymInterval(
+                    full.simplify(lo.min), full.simplify(hi.max)
+                )
+        intervals: List[SymInterval] = []
+        for rng in region.region:
+            lo_e = full.simplify(substitute(rng.min, vmap))
+            hi_e = full.simplify(substitute(rng.min + rng.extent - 1, vmap))
+            lo = eval_sym_interval(lo_e, dom, full)
+            hi = eval_sym_interval(hi_e, dom, full)
+            intervals.append(SymInterval(full.simplify(lo.min), full.simplify(hi.max)))
+        if result is None:
+            result = intervals
+        else:
+            result = [_union_interval(a, b, analyzer) for a, b in zip(result, intervals)]
+    assert result is not None
+    return [_interval_to_range(iv, analyzer) for iv in result]
+
+
+def _identity_write_iters(block: Block, buffer) -> List[IterVar]:
+    """The block iterators that index ``buffer``'s write region
+    one-to-one (write region must be exactly ``buf[v0, v1, ...]``)."""
+    for region in block.writes:
+        if region.buffer is buffer:
+            iters = []
+            for rng in region.region:
+                if const_int_value(rng.extent) != 1 or not isinstance(rng.min, Var):
+                    raise ScheduleError(
+                        f"block {block.name_hint} does not write {buffer.name} "
+                        "point-wise at its iterators"
+                    )
+                iters.append(block.iter_var_of(rng.min))
+            return iters
+    raise ScheduleError(f"block {block.name_hint} does not write {buffer.name}")
+
+
+def _analyzer_for(sch: Schedule, anchor: Stmt) -> Analyzer:
+    """Analyzer with domains of all loops enclosing ``anchor``."""
+    analyzer = Analyzer()
+    for lp in loops_above(sch.func.body, anchor):
+        analyzer.bind(lp.loop_var, Range(lp.min, lp.extent))
+    return analyzer
+
+
+def _insert_into_loop(sch: Schedule, loop: For, stmt: Stmt, where: str) -> None:
+    """Insert ``stmt`` at the front or back of ``loop``'s body."""
+    if isinstance(loop.body, SeqStmt):
+        stmts = list(loop.body.stmts)
+    else:
+        stmts = [loop.body]
+    if where == "front":
+        stmts.insert(0, stmt)
+    else:
+        stmts.append(stmt)
+    new_loop = For(
+        loop.loop_var, loop.min, loop.extent, loop.kind, seq(stmts), loop.thread_tag, loop.annotations
+    )
+    sch.replace(loop, new_loop)
+
+
+def _insert_into_loop_ordered(
+    sch: Schedule, loop: For, nest: Stmt, moved_block: Block, prefer: str
+) -> None:
+    """Insert ``nest`` into ``loop``'s body after every producer of the
+    moved block's inputs and before every consumer of its outputs.
+
+    ``prefer`` chooses within the legal window: ``"late"`` (just before
+    the first consumer — compute_at) or ``"early"`` (just after the last
+    producer — reverse_compute_at).
+    """
+    read_bufs = {id(r.buffer) for r in moved_block.reads}
+    write_bufs = {id(w.buffer) for w in moved_block.writes}
+    if isinstance(loop.body, SeqStmt):
+        stmts = list(loop.body.stmts)
+    else:
+        stmts = [loop.body]
+    lo, hi = 0, len(stmts)
+    for idx, s in enumerate(stmts):
+        for realize in find_blocks(s):
+            b = realize.block
+            if any(id(w.buffer) in read_bufs for w in b.writes):
+                lo = max(lo, idx + 1)
+            if any(id(r.buffer) in write_bufs for r in b.reads):
+                hi = min(hi, idx)
+    if lo > hi:
+        raise ScheduleError(
+            f"no legal position for block {moved_block.name_hint} inside loop "
+            f"{loop.loop_var.name}: its producers come after its consumers"
+        )
+    stmts.insert(hi if prefer == "late" else lo, nest)
+    new_loop = For(
+        loop.loop_var, loop.min, loop.extent, loop.kind, seq(stmts), loop.thread_tag, loop.annotations
+    )
+    sch.replace(loop, new_loop)
+
+
+def _rebuild_nest_for_block(
+    sch: Schedule,
+    realize: BlockRealize,
+    target_iters: List[IterVar],
+    region: List[Range],
+    analyzer: Analyzer,
+) -> Stmt:
+    """Build a fresh loop nest realizing ``realize.block`` over ``region``.
+
+    ``target_iters[d]`` is the block iterator identity-mapped to dim
+    ``d``.  Spatial iterators get loops of the region extents with
+    bindings ``min_d + ax_d``; remaining (e.g. reduce) iterators get
+    full-domain loops.
+    """
+    block = realize.block
+    bindings: Dict[Var, PrimExpr] = {}
+    loops: List[Tuple[Var, PrimExpr]] = []
+    covered = {id(iv.var) for iv in target_iters}
+    for iv, rng in zip(target_iters, region):
+        extent = analyzer.simplify(rng.extent)
+        if const_int_value(extent) is None:
+            raise ScheduleError(
+                f"compute_at: required region of {block.name_hint} has a "
+                "non-constant extent at this loop (tile the consumer so the "
+                "footprint is uniform)"
+            )
+        ax = sch.fresh_var(f"ax{len(loops)}")
+        loops.append((ax, extent))
+        bindings[iv.var] = analyzer.simplify(rng.min + ax)
+    for iv in block.iter_vars:
+        if id(iv.var) not in covered:
+            ax = sch.fresh_var(f"ax{len(loops)}")
+            loops.append((ax, iv.dom.extent))
+            bindings[iv.var] = iv.dom.min + ax
+    iter_values = [bindings[iv.var] for iv in block.iter_vars]
+    # Keep any predicate, rewritten through the old binding values is not
+    # possible in general; require the predicate be trivially true.
+    if const_int_value(realize.predicate) != 1:
+        raise ScheduleError(
+            f"cannot move block {block.name_hint} with a non-trivial predicate"
+        )
+    body: Stmt = BlockRealize(iter_values, realize.predicate, block)
+    for ax, extent in reversed(loops):
+        body = For(ax, 0, extent, ForKind.SERIAL, body)
+    return body
+
+
+# ---------------------------------------------------------------------------
+# compute_at / reverse_compute_at
+# ---------------------------------------------------------------------------
+
+
+def compute_at(sch: Schedule, block_rv: BlockRV, loop_rv: LoopRV) -> None:
+    """Move producer ``block`` under ``loop``, computing exactly the
+    region its consumers need per loop iteration (Figure 6)."""
+    realize = sch._block_realize(block_rv)
+    loop = sch._loop(loop_rv)
+    block = realize.block
+    buffer = _single_write_buffer(block)
+    if _is_under(sch.func.body, realize, loop):
+        raise ScheduleError("compute_at: block is already under the target loop")
+    consumers = _blocks_reading(sch.func.body, buffer)
+    if not consumers:
+        raise ScheduleError(f"compute_at: {buffer.name} has no consumers")
+    for consumer in consumers:
+        if not _is_under(sch.func.body, consumer, loop):
+            raise ScheduleError(
+                f"compute_at: consumer {consumer.block.name_hint} is outside the target loop"
+            )
+    target_iters = _identity_write_iters(block, buffer)
+    analyzer = _analyzer_for(sch, loop)
+    analyzer.bind(loop.loop_var, Range(loop.min, loop.extent))
+    accesses = []
+    for consumer in consumers:
+        for region in consumer.block.reads:
+            if region.buffer is buffer:
+                accesses.append((consumer, region))
+    region = _bound_region_under(loop, accesses, analyzer)
+    nest = _rebuild_nest_for_block(sch, realize, target_iters, region, analyzer)
+    _remove_exclusive_nest(sch, realize)
+    # Re-resolve the loop (the tree was rebuilt by the removal).
+    loop = sch._loop(loop_rv)
+    _insert_into_loop_ordered(sch, loop, nest, realize.block, prefer="late")
+
+
+def reverse_compute_at(sch: Schedule, block_rv: BlockRV, loop_rv: LoopRV) -> None:
+    """Move consumer ``block`` under ``loop``, consuming exactly what the
+    producers generate per loop iteration."""
+    realize = sch._block_realize(block_rv)
+    loop = sch._loop(loop_rv)
+    block = realize.block
+    if _is_under(sch.func.body, realize, loop):
+        raise ScheduleError("reverse_compute_at: block is already under the target loop")
+    # The consumer must read exactly one buffer that is produced inside
+    # the loop; move it to consume that buffer tile-by-tile.
+    produced = []
+    for region in block.reads:
+        writers = _blocks_writing(sch.func.body, region.buffer)
+        if writers and all(_is_under(sch.func.body, w, loop) for w in writers):
+            produced.append((region.buffer, writers))
+    if not produced:
+        raise ScheduleError("reverse_compute_at: no producer found under the target loop")
+    buffer, writers = produced[0]
+    target_iters = _identity_read_iters(block, buffer)
+    analyzer = _analyzer_for(sch, loop)
+    analyzer.bind(loop.loop_var, Range(loop.min, loop.extent))
+    accesses = []
+    for writer in writers:
+        for region in writer.block.writes:
+            if region.buffer is buffer:
+                accesses.append((writer, region))
+    region = _bound_region_under(loop, accesses, analyzer)
+    nest = _rebuild_nest_for_block(sch, realize, target_iters, region, analyzer)
+    _remove_exclusive_nest(sch, realize)
+    loop = sch._loop(loop_rv)
+    _insert_into_loop_ordered(sch, loop, nest, realize.block, prefer="early")
+
+
+def _identity_read_iters(block: Block, buffer) -> List[IterVar]:
+    for region in block.reads:
+        if region.buffer is buffer:
+            iters = []
+            for rng in region.region:
+                if const_int_value(rng.extent) != 1 or not isinstance(rng.min, Var):
+                    raise ScheduleError(
+                        f"block {block.name_hint} does not read {buffer.name} "
+                        "point-wise at its iterators"
+                    )
+                iters.append(block.iter_var_of(rng.min))
+            return iters
+    raise ScheduleError(f"block {block.name_hint} does not read {buffer.name}")
+
+
+# ---------------------------------------------------------------------------
+# inlining
+# ---------------------------------------------------------------------------
+
+
+class _InlineRewriter(StmtMutator):
+    """Replace loads of ``buffer`` with the producer's value expression."""
+
+    def __init__(self, buffer, iter_vars: Sequence[Var], value: PrimExpr):
+        self.buffer = buffer
+        self.iter_vars = list(iter_vars)
+        self.value = value
+        self.applied = False
+
+    def rewrite_buffer_load(self, expr: BufferLoad) -> PrimExpr:
+        expr = super().rewrite_buffer_load(expr)
+        if not isinstance(expr, BufferLoad) or expr.buffer is not self.buffer:
+            return expr
+        self.applied = True
+        vmap = dict(zip(self.iter_vars, expr.indices))
+        return substitute(self.value, vmap)
+
+
+def _refresh_block_regions(sch: Schedule, touched_buffer) -> None:
+    """Recompute the signatures of blocks that referenced a buffer."""
+    for realize in list(find_blocks(sch.func.body)):
+        block = realize.block
+        involved = any(r.buffer is touched_buffer for r in block.reads) or any(
+            w.buffer is touched_buffer for w in block.writes
+        )
+        if not involved:
+            continue
+        reads, writes = detect_block_access_regions(block)
+        new_block = block.replace(reads=reads, writes=writes)
+        sch.replace(realize, realize.replace(block=new_block))
+
+
+def _drop_alloc(sch: Schedule, buffer) -> None:
+    """Remove ``buffer`` from whichever block allocates it."""
+    for realize in find_blocks(sch.func.body) + [sch.func.body]:
+        block = realize.block
+        if buffer in block.alloc_buffers:
+            new_allocs = tuple(b for b in block.alloc_buffers if b is not buffer)
+            sch.replace(realize, realize.replace(block=block.replace(alloc_buffers=new_allocs)))
+            return
+
+
+def compute_inline(sch: Schedule, block_rv: BlockRV) -> None:
+    """Inline a point-wise producer into all of its consumers."""
+    realize = sch._block_realize(block_rv)
+    block = realize.block
+    if block.init is not None or block.is_reduction:
+        raise ScheduleError("compute_inline: cannot inline a reduction block")
+    if not isinstance(block.body, BufferStore):
+        raise ScheduleError("compute_inline: block body must be a single store")
+    store = block.body
+    buffer = store.buffer
+    if buffer in sch.func.buffer_map.values():
+        raise ScheduleError("compute_inline: cannot inline a write to a function output")
+    index_vars: List[Var] = []
+    for idx in store.indices:
+        if not isinstance(idx, Var):
+            raise ScheduleError("compute_inline: store indices must be iterator variables")
+        index_vars.append(idx)
+    if len(set(id(v) for v in index_vars)) != len(index_vars):
+        raise ScheduleError("compute_inline: store indices must be distinct iterators")
+    value_vars = {id(v) for v in collect_vars(store.value) if v.dtype == "int32"}
+    iter_ids = {id(iv.var) for iv in block.iter_vars}
+    if not value_vars <= iter_ids:
+        raise ScheduleError("compute_inline: value uses loop variables outside the block")
+
+    _remove_exclusive_nest(sch, realize)
+    rewriter = _InlineRewriter(buffer, index_vars, store.value)
+    new_body = rewriter.rewrite_stmt(sch.func.body)
+    if _blocks_writing(new_body, buffer):
+        raise ScheduleError("compute_inline: buffer has other writers")
+    sch.func = sch.func.with_body(new_body)
+    _refresh_block_regions(sch, buffer)
+    _drop_alloc(sch, buffer)
+
+
+def reverse_compute_inline(sch: Schedule, block_rv: BlockRV) -> None:
+    """Inline a point-wise consumer back into its single producer."""
+    realize = sch._block_realize(block_rv)
+    block = realize.block
+    if block.init is not None or block.is_reduction:
+        raise ScheduleError("reverse_compute_inline: cannot inline a reduction block")
+    if not isinstance(block.body, BufferStore):
+        raise ScheduleError("reverse_compute_inline: block body must be a single store")
+    store = block.body
+    loads = [
+        e
+        for e in _collect_loads(store.value)
+    ]
+    input_bufs = {id(l.buffer): l.buffer for l in loads}
+    if len(input_bufs) != 1:
+        raise ScheduleError("reverse_compute_inline: consumer must read exactly one buffer")
+    (buffer,) = input_bufs.values()
+    if buffer in sch.func.buffer_map.values():
+        raise ScheduleError("reverse_compute_inline: producer buffer is a function input")
+    for load in loads:
+        for idx in load.indices:
+            if not isinstance(idx, Var):
+                raise ScheduleError(
+                    "reverse_compute_inline: loads must be at iterator variables"
+                )
+    writers = _blocks_writing(sch.func.body, buffer)
+    readers = _blocks_reading(sch.func.body, buffer)
+    if len(writers) != 1:
+        raise ScheduleError("reverse_compute_inline: buffer must have exactly one producer")
+    if any(r is not realize for r in readers):
+        raise ScheduleError("reverse_compute_inline: buffer has other consumers")
+    producer = writers[0]
+    is_identity_copy = store.value is loads[0]
+    if (producer.block.init is not None or producer.block.is_reduction) and not is_identity_copy:
+        # Applying the consumer's function to partial sums would be wrong;
+        # a pure relayout (identity value) is the one safe exception.
+        raise ScheduleError(
+            "reverse_compute_inline: producer is a reduction and the "
+            "consumer is not a pure copy; decompose the reduction first"
+        )
+
+    _remove_exclusive_nest(sch, realize)
+    producer = _blocks_writing(sch.func.body, buffer)[0]
+    pblock = producer.block
+    load_index_vars = list(loads[0].indices)
+
+    def rewrite_store(s: BufferStore) -> Stmt:
+        if s.buffer is not buffer:
+            return s
+        # Map the consumer's iterators onto the producer's store indices;
+        # the consumer's store indices (possibly permuted/remapped) become
+        # the new indices, and the X load is swapped for the stored value.
+        vmap = dict(zip(load_index_vars, s.indices))
+        new_indices = [substitute(i, vmap) for i in store.indices]
+        new_value = substitute(store.value, vmap)
+
+        # Self-reads of the producer (reduction updates of X) become
+        # reads of Y at the remapped indices.
+        class _SelfSwap(StmtMutator):
+            def rewrite_buffer_load(self, e):
+                e = super().rewrite_buffer_load(e)
+                if isinstance(e, BufferLoad) and e.buffer is buffer:
+                    m = dict(zip(load_index_vars, e.indices))
+                    return BufferLoad(store.buffer, [substitute(i, m) for i in store.indices])
+                return e
+
+        producer_value = _SelfSwap().rewrite(s.value)
+
+        class _Swap(StmtMutator):
+            def rewrite_buffer_load(self, e):
+                e = super().rewrite_buffer_load(e)
+                if isinstance(e, BufferLoad) and e.buffer is buffer:
+                    return producer_value
+                return e
+
+        new_value = _Swap().rewrite(new_value)
+        return BufferStore(store.buffer, new_value, new_indices)
+
+    class _BodyRewriter(StmtMutator):
+        def rewrite_buffer_store(self, s: BufferStore) -> Stmt:
+            s = super().rewrite_buffer_store(s)
+            return rewrite_store(s)
+
+    new_pbody = _BodyRewriter().rewrite_stmt(pblock.body)
+    new_init = (
+        _BodyRewriter().rewrite_stmt(pblock.init) if pblock.init is not None else None
+    )
+    new_block = pblock.replace(body=new_pbody, init=new_init)
+    # The producer's iteration space must fit the consumer's output
+    # buffer (e.g. a padded producer cannot absorb the valid-region
+    # extract: its extra instances would write out of bounds).
+    analyzer = Analyzer()
+    for iv in new_block.iter_vars:
+        analyzer.bind(iv.var, iv.dom)
+    _, new_writes = detect_block_access_regions(new_block, analyzer)
+    for region in new_writes:
+        if region.buffer is not store.buffer:
+            continue
+        for rng, shape in zip(region.region, region.buffer.shape):
+            hi = analyzer.int_set(rng.min + rng.extent - 1)
+            limit = const_int_value(shape)
+            if limit is not None and hi.max_value is not None and hi.max_value >= limit:
+                raise ScheduleError(
+                    "reverse_compute_inline: producer instances would write "
+                    f"outside {region.buffer.name} (padding mismatch)"
+                )
+    reads, writes = detect_block_access_regions(new_block)
+    new_block = new_block.replace(reads=reads, writes=writes)
+    sch.replace(producer, producer.replace(block=new_block))
+    _drop_alloc(sch, buffer)
+
+
+def _collect_loads(expr: PrimExpr) -> List[BufferLoad]:
+    from ...tir import post_order_visit
+
+    loads: List[BufferLoad] = []
+    post_order_visit(expr, lambda n: loads.append(n) if isinstance(n, BufferLoad) else None)
+    return loads

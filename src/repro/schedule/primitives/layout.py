@@ -1,0 +1,269 @@
+"""Buffer layout transformation: fusing dimensions.
+
+``fuse_buffer_dims`` rewrites a buffer's layout by fusing groups of
+consecutive dimensions into one (row-major within the group):
+``A[i, j, k]`` with groups ``[[0, 1], [2]]`` becomes
+``A[i * e_j + j, k]``.  This is the layout-rewrite step of §4.2's
+tensorization candidate generation — after it, the fused loop variable
+indexes the fused buffer dimension directly (``A_t[fuse(n, h, w), ...]``
+in the paper's Conv2D example).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ...tir import (
+    Buffer,
+    BufferStore,
+    PrimExpr,
+    Stmt,
+    StmtMutator,
+    const_int_value,
+)
+from ...tir.analysis.regions import detect_block_access_regions
+from ...tir.expr import BufferLoad
+from ..sref import ScheduleError, find_blocks
+from ..state import BlockRV, Schedule
+
+__all__ = ["fuse_buffer_dims", "fuse_block_iters"]
+
+
+def fuse_block_iters(
+    sch: Schedule, block_rv: BlockRV, groups: Sequence[Sequence[int]]
+) -> List[str]:
+    """Reshape the block instance space by fusing iterator groups.
+
+    This is §4.2's "reshape the block instance space" step: each group of
+    block iterators (positions into ``block.iter_vars``, same kind,
+    currently bound to dedicated perfectly-nested loops) is replaced by a
+    single fused iterator; the body is rewritten through digit
+    substitution, which collapses the ``fuse(...)``-shaped buffer indices
+    produced by :func:`fuse_buffer_dims` into direct accesses.
+
+    Returns the new loop variable names (outer→inner), one per group.
+    """
+    from ...arith import Analyzer
+    from ...tir import BlockRealize, For, ForKind, IterVar, Var
+    from ...tir.analysis.regions import detect_block_access_regions
+    from ...tir.functor import substitute
+    from ..sref import loops_above, path_to
+
+    realize = sch._block_realize(block_rv)
+    block = realize.block
+    n = len(block.iter_vars)
+    flat = [d for g in groups for d in g]
+    if sorted(flat) != list(range(n)):
+        raise ScheduleError("fuse_block_iters: groups must partition the iterators")
+    if const_int_value(realize.predicate) != 1:
+        raise ScheduleError("fuse_block_iters: block must not carry a predicate")
+
+    # Bindings must be trivial: each iterator bound to its own loop, and
+    # those loops perfectly nested in group order.
+    loops = loops_above(sch.func.body, realize)
+    loop_by_var = {id(lp.loop_var): lp for lp in loops}
+    bound_loops = []
+    for binding in realize.iter_values:
+        if not isinstance(binding, Var) or id(binding) not in loop_by_var:
+            raise ScheduleError("fuse_block_iters: iterators must bind plain loops")
+        bound_loops.append(loop_by_var[id(binding)])
+    ordered = [bound_loops[d] for g in groups for d in g]
+    chain = [lp for lp in loops if lp in ordered]
+    if len(set(id(lp) for lp in ordered)) != n:
+        raise ScheduleError("fuse_block_iters: iterators share loops")
+    # Reorder the loops into group order first if needed.
+    if [id(lp) for lp in chain] != [id(lp) for lp in ordered]:
+        from .loops import reorder as reorder_prim
+
+        from ..state import LoopRV
+
+        reorder_prim(sch, [LoopRV(lp.loop_var.name) for lp in ordered])
+        realize = sch._block_realize(block_rv)
+        block = realize.block
+        loops = loops_above(sch.func.body, realize)
+        loop_by_var = {id(lp.loop_var): lp for lp in loops}
+        bound_loops = [loop_by_var[id(b)] for b in realize.iter_values]
+        ordered = [bound_loops[d] for g in groups for d in g]
+    for outer, inner in zip(ordered, ordered[1:]):
+        if outer.body is not inner:
+            raise ScheduleError("fuse_block_iters: bound loops are not perfectly nested")
+
+    analyzer = Analyzer()
+    new_iter_vars: List[IterVar] = []
+    new_loop_vars: List[Var] = []
+    vmap = {}
+    for g in groups:
+        ivs = [block.iter_vars[d] for d in g]
+        kind = ivs[0].kind
+        if any(iv.kind != kind for iv in ivs):
+            raise ScheduleError("fuse_block_iters: mixed iterator kinds in one group")
+        extents = []
+        for iv in ivs:
+            e = const_int_value(iv.dom.extent)
+            if e is None:
+                raise ScheduleError("fuse_block_iters: symbolic iterator domain")
+            extents.append(e)
+        total = 1
+        for e in extents:
+            total *= e
+        if len(ivs) == 1:
+            fused_name = ivs[0].var.name
+        else:
+            fused_name = "v" + "_".join(iv.var.name.lstrip("v") for iv in ivs) + "_fused"
+        new_var = sch.fresh_var(fused_name)
+        from ...tir import Range
+
+        new_iter_vars.append(IterVar(new_var, Range(0, total), kind))
+        analyzer.bind(new_var, Range(0, total))
+        loop_var = sch.fresh_var(
+            "_".join(lp.loop_var.name for lp in (bound_loops[d] for d in g))
+            + ("_fused" if len(g) > 1 else "_l")
+        )
+        new_loop_vars.append(loop_var)
+        if len(ivs) == 1:
+            vmap[ivs[0].var] = new_var
+        else:
+            remainder = new_var
+            for iv, e in zip(reversed(ivs[1:]), reversed(extents[1:])):
+                vmap[iv.var] = remainder % e
+                remainder = remainder // e
+            vmap[ivs[0].var] = remainder
+
+    from ...tir import StmtMutator
+
+    class _Simp(StmtMutator):
+        def rewrite(self, expr):
+            return analyzer.simplify(expr)
+
+    new_body = _Simp().rewrite_stmt(substitute(block.body, vmap))
+    new_init = (
+        _Simp().rewrite_stmt(substitute(block.init, vmap)) if block.init is not None else None
+    )
+    new_block = block.replace(
+        iter_vars=new_iter_vars, body=new_body, init=new_init, reads=(), writes=()
+    )
+    reads, writes = detect_block_access_regions(new_block)
+    from ...tir.analysis.regions import clamp_read_regions
+
+    region_analyzer = Analyzer()
+    for iv in new_iter_vars:
+        region_analyzer.bind(iv.var, iv.dom)
+    reads = clamp_read_regions(reads, region_analyzer)
+    new_block = new_block.replace(reads=reads, writes=writes)
+    new_realize: object = BlockRealize(list(new_loop_vars), realize.predicate, new_block)
+    body = new_realize
+    for lv, iv in zip(reversed(new_loop_vars), reversed(new_iter_vars)):
+        body = For(lv, 0, iv.dom.extent, ForKind.SERIAL, body)
+    sch.replace(ordered[0], body)
+    return [lv.name for lv in new_loop_vars]
+
+
+def fuse_buffer_dims(
+    sch: Schedule, block_rv: BlockRV, buffer_name: str, dim_groups: Sequence[Sequence[int]]
+) -> None:
+    """Fuse dimension groups of a buffer accessed by ``block``.
+
+    ``dim_groups`` must partition ``range(buffer.ndim)`` into runs of
+    consecutive indices.  Every access to the buffer anywhere in the
+    function is rewritten; the buffer must be an intermediate (not a
+    function parameter).
+    """
+    realize = sch._block_realize(block_rv)
+    block = realize.block
+    buffer = None
+    for region in list(block.reads) + list(block.writes):
+        if region.buffer.name == buffer_name:
+            buffer = region.buffer
+            break
+    if buffer is None:
+        raise ScheduleError(f"fuse_buffer_dims: block does not access {buffer_name!r}")
+    if buffer in sch.func.buffer_map.values():
+        raise ScheduleError("fuse_buffer_dims: cannot transform a parameter buffer")
+
+    flat = [d for group in dim_groups for d in group]
+    if flat != list(range(buffer.ndim)):
+        raise ScheduleError(
+            f"fuse_buffer_dims: groups {dim_groups} must partition consecutive "
+            f"dims 0..{buffer.ndim - 1}"
+        )
+    extents = []
+    for s in buffer.shape:
+        e = const_int_value(s)
+        if e is None:
+            raise ScheduleError("fuse_buffer_dims: symbolic buffer shape")
+        extents.append(e)
+
+    new_shape = []
+    for group in dim_groups:
+        total = 1
+        for d in group:
+            total *= extents[d]
+        new_shape.append(total)
+    new_buf = Buffer(buffer.name, new_shape, buffer.dtype, buffer.scope)
+
+    def fuse_indices(indices) -> List[PrimExpr]:
+        out = []
+        for group in dim_groups:
+            expr: PrimExpr = indices[group[0]]
+            for d in group[1:]:
+                expr = expr * extents[d] + indices[d]
+            out.append(expr)
+        return out
+
+    class _Rewriter(StmtMutator):
+        def rewrite_buffer_load(self, e):
+            indices = [self.rewrite(i) for i in e.indices]
+            if e.buffer is buffer:
+                return BufferLoad(new_buf, fuse_indices(indices))
+            if all(n is o for n, o in zip(indices, e.indices)):
+                return e
+            return BufferLoad(e.buffer, indices)
+
+        def rewrite_buffer_store(self, s):
+            value = self.rewrite(s.value)
+            indices = [self.rewrite(i) for i in s.indices]
+            if s.buffer is buffer:
+                return BufferStore(new_buf, value, fuse_indices(indices))
+            if value is s.value and all(n is o for n, o in zip(indices, s.indices)):
+                return s
+            return BufferStore(s.buffer, value, indices)
+
+        def rewrite_block(self, blk):
+            out = super().rewrite_block(blk)
+            if buffer in out.alloc_buffers:
+                out = out.replace(
+                    alloc_buffers=tuple(
+                        new_buf if b is buffer else b for b in out.alloc_buffers
+                    )
+                )
+            return out
+
+        def rewrite_region(self, region):
+            # Regions are left stale here and patched selectively below
+            # (a wholesale refresh would lose hand-clipped signatures
+            # such as the padding blocks' Select-guarded reads).
+            return region
+
+    sch.func = sch.func.with_body(_Rewriter().rewrite_stmt(sch.func.body))
+    for r in list(find_blocks(sch.func.body)):
+        blk = r.block
+        stale_read = any(x.buffer is buffer for x in blk.reads)
+        stale_write = any(x.buffer is buffer for x in blk.writes)
+        if not (stale_read or stale_write):
+            continue
+        detected_reads, detected_writes = detect_block_access_regions(blk)
+
+        def patched(old_regions, detected):
+            kept = [x for x in old_regions if x.buffer is not buffer]
+            kept.extend(x for x in detected if x.buffer is new_buf)
+            return kept
+
+        sch.replace(
+            r,
+            r.replace(
+                block=blk.replace(
+                    reads=patched(blk.reads, detected_reads),
+                    writes=patched(blk.writes, detected_writes),
+                )
+            ),
+        )

@@ -1,0 +1,274 @@
+"""Loop transformation primitives: split, fuse, reorder, kind changes.
+
+Each primitive mutates only the loop nest *outside* blocks (Figure 6):
+block bodies are untouched; only the binding values in BlockRealize
+nodes are rewritten through variable substitution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ...tir import (
+    BlockRealize,
+    For,
+    ForKind,
+    PrimExpr,
+    Stmt,
+    StmtMutator,
+    Var,
+    const_int_value,
+    logical_and,
+    substitute,
+)
+from ..sref import ScheduleError, children_of, path_to
+from ..state import BlockRV, LoopRV, Schedule
+
+__all__ = ["split", "fuse", "reorder", "set_loop_kind", "bind", "annotate"]
+
+#: Hardware thread axes accepted by bind().
+THREAD_TAGS = (
+    "blockIdx.x",
+    "blockIdx.y",
+    "blockIdx.z",
+    "threadIdx.x",
+    "threadIdx.y",
+    "threadIdx.z",
+    "vthread",
+)
+
+
+def _require_simple(loop: For, primitive: str) -> int:
+    """The constant extent of a serial, zero-based loop (or raise)."""
+    if const_int_value(loop.min) != 0:
+        raise ScheduleError(f"{primitive}: loop {loop.loop_var.name} must start at 0")
+    extent = const_int_value(loop.extent)
+    if extent is None:
+        raise ScheduleError(f"{primitive}: loop {loop.loop_var.name} has symbolic extent")
+    if loop.kind != ForKind.SERIAL:
+        raise ScheduleError(
+            f"{primitive}: loop {loop.loop_var.name} is {loop.kind}, expected serial"
+        )
+    return extent
+
+
+class _PredicateAdder(StmtMutator):
+    """AND a predicate onto the outermost block-realizes of a subtree."""
+
+    def __init__(self, predicate: PrimExpr):
+        self.predicate = predicate
+        self.touched = False
+
+    def rewrite_block_realize(self, stmt: BlockRealize) -> Stmt:
+        self.touched = True
+        return stmt.replace(predicate=logical_and(stmt.predicate, self.predicate))
+
+    def rewrite_block(self, stmt):  # do not descend into blocks
+        return stmt
+
+
+def split(sch: Schedule, loop_rv: LoopRV, factors: Sequence[Optional[int]]) -> List[LoopRV]:
+    """Split a loop into ``len(factors)`` nested loops.
+
+    At most one factor may be None (inferred).  When the factors do not
+    divide the extent the inferred factor rounds up and a guard predicate
+    is added to the enclosed blocks.
+    """
+    loop = sch._loop(loop_rv)
+    extent = _require_simple(loop, "split")
+    if len(factors) < 2:
+        raise ScheduleError("split needs at least two factors")
+    nones = [i for i, f in enumerate(factors) if f is None]
+    if len(nones) > 1:
+        raise ScheduleError("at most one split factor may be None")
+    known = 1
+    for f in factors:
+        if f is not None:
+            if f <= 0:
+                raise ScheduleError(f"split factor must be positive, got {f}")
+            known *= f
+    factors = list(factors)
+    if nones:
+        factors[nones[0]] = -(-extent // known)  # ceildiv
+    product = 1
+    for f in factors:
+        product *= f
+    if product < extent:
+        raise ScheduleError(
+            f"split factors {factors} cover only {product} of extent {extent}"
+        )
+
+    base = loop.loop_var.name
+    new_vars = [sch.fresh_var(f"{base}_{i}") for i in range(len(factors))]
+    index: PrimExpr = new_vars[0]
+    for var, factor in zip(new_vars[1:], factors[1:]):
+        index = index * factor + var
+    body = substitute(loop.body, {loop.loop_var: index})
+    if product != extent:
+        adder = _PredicateAdder(index < extent)
+        body = adder.rewrite_stmt(body)
+        if not adder.touched:
+            from ...tir import IfThenElse
+
+            body = IfThenElse(index < extent, body)
+    for var, factor in zip(reversed(new_vars), reversed(factors)):
+        body = For(var, 0, factor, ForKind.SERIAL, body)
+    sch.replace(loop, body)
+    return [LoopRV(v.name) for v in new_vars]
+
+
+def fuse(sch: Schedule, loop_rvs: Sequence[LoopRV]) -> LoopRV:
+    """Fuse perfectly nested loops into one."""
+    if len(loop_rvs) < 2:
+        raise ScheduleError("fuse needs at least two loops")
+    loops = [sch._loop(rv) for rv in loop_rvs]
+    extents = [_require_simple(lp, "fuse") for lp in loops]
+    for outer, inner in zip(loops, loops[1:]):
+        if outer.body is not inner:
+            raise ScheduleError(
+                f"fuse: loops {outer.loop_var.name} and {inner.loop_var.name} "
+                "are not perfectly nested"
+            )
+    total = 1
+    for e in extents:
+        total *= e
+    fused = sch.fresh_var("_".join(lp.loop_var.name for lp in loops) + "_fused")
+    vmap: Dict[Var, PrimExpr] = {}
+    remainder: PrimExpr = fused
+    for lp, extent in zip(reversed(loops[1:]), reversed(extents[1:])):
+        vmap[lp.loop_var] = remainder % extent
+        remainder = remainder // extent
+    # The outermost loop takes the plain quotient (no needless modulo).
+    vmap[loops[0].loop_var] = remainder
+    body = substitute(loops[-1].body, vmap)
+    sch.replace(loops[0], For(fused, 0, total, ForKind.SERIAL, body))
+    return LoopRV(fused.name)
+
+
+def reorder(sch: Schedule, loop_rvs: Sequence[LoopRV]) -> None:
+    """Reorder the given loops into the given order.
+
+    The loops must lie on one path and the segment between the outermost
+    and innermost of them must be perfectly nested.
+    """
+    if len(loop_rvs) < 2:
+        raise ScheduleError("reorder needs at least two loops")
+    loops = [sch._loop(rv) for rv in loop_rvs]
+    seen = set()
+    for lp in loops:
+        if id(lp) in seen:
+            raise ScheduleError("reorder: duplicate loop")
+        seen.add(id(lp))
+    # Locate the chain containing all loops.
+    deepest = None
+    deepest_path = None
+    for lp in loops:
+        path = path_to(sch.func.body, lp)
+        if path is None:
+            raise ScheduleError("reorder: loop not in function body")
+        if deepest_path is None or len(path) > len(deepest_path):
+            deepest, deepest_path = lp, path
+    chain_fors = [s for s in deepest_path if isinstance(s, For)]
+    positions = []
+    for lp in loops:
+        if lp not in chain_fors:
+            raise ScheduleError("reorder: loops are not on a single loop path")
+        positions.append(chain_fors.index(lp))
+    lo, hi = min(positions), max(positions)
+    segment = chain_fors[lo : hi + 1]
+    for outer, inner in zip(segment, segment[1:]):
+        if outer.body is not inner:
+            raise ScheduleError("reorder: segment between loops is not perfectly nested")
+    # New header order for the segment.
+    order_iter = iter(loops)
+    new_headers: List[For] = []
+    target_ids = {id(lp) for lp in loops}
+    for lp in segment:
+        if id(lp) in target_ids:
+            new_headers.append(next(order_iter))
+        else:
+            new_headers.append(lp)
+    body = segment[-1].body
+    for header in reversed(new_headers):
+        body = For(
+            header.loop_var,
+            header.min,
+            header.extent,
+            header.kind,
+            body,
+            header.thread_tag,
+            header.annotations,
+        )
+    sch.replace(segment[0], body)
+
+
+def set_loop_kind(sch: Schedule, loop_rv: LoopRV, kind: str) -> None:
+    """Mark a loop parallel / vectorized / unrolled."""
+    loop = sch._loop(loop_rv)
+    if kind not in (ForKind.PARALLEL, ForKind.VECTORIZED, ForKind.UNROLLED):
+        raise ScheduleError(f"unsupported loop kind {kind!r}")
+    if kind in (ForKind.VECTORIZED, ForKind.UNROLLED) and const_int_value(loop.extent) is None:
+        raise ScheduleError(f"{kind} requires a constant extent")
+    if kind == ForKind.PARALLEL and _binds_reduce_iter(loop):
+        raise ScheduleError("cannot parallelize a loop bound to a reduction iterator")
+    sch.replace(
+        loop,
+        For(loop.loop_var, loop.min, loop.extent, kind, loop.body, None, loop.annotations),
+    )
+
+
+def bind(sch: Schedule, loop_rv: LoopRV, thread: str) -> None:
+    """Bind a loop to a hardware thread axis (GPU-style)."""
+    if thread not in THREAD_TAGS:
+        raise ScheduleError(f"unknown thread tag {thread!r}")
+    loop = sch._loop(loop_rv)
+    if const_int_value(loop.extent) is None:
+        raise ScheduleError("thread binding requires a constant extent")
+    if thread != "vthread" and _binds_reduce_iter(loop):
+        raise ScheduleError(
+            f"cannot bind loop {loop.loop_var.name} to {thread}: it drives a "
+            "reduction iterator (non-atomic cross-thread reduction)"
+        )
+    sch.replace(
+        loop,
+        For(
+            loop.loop_var,
+            loop.min,
+            loop.extent,
+            ForKind.THREAD_BINDING,
+            loop.body,
+            thread,
+            loop.annotations,
+        ),
+    )
+
+
+def _binds_reduce_iter(loop: For) -> bool:
+    """True if the loop var feeds any reduction iterator binding below."""
+    from ...tir import collect_vars
+    from ..sref import find_blocks
+
+    for realize in find_blocks(loop):
+        for iv, value in zip(realize.block.iter_vars, realize.iter_values):
+            if iv.is_reduce and any(v is loop.loop_var for v in collect_vars(value)):
+                return True
+    return False
+
+
+def annotate(sch: Schedule, target, key: str, value: object) -> None:
+    """Attach an annotation to a loop or block."""
+    if isinstance(target, LoopRV):
+        loop = sch._loop(target)
+        notes = dict(loop.annotations)
+        notes[key] = value
+        sch.replace(
+            loop,
+            For(loop.loop_var, loop.min, loop.extent, loop.kind, loop.body, loop.thread_tag, notes),
+        )
+    elif isinstance(target, BlockRV):
+        realize = sch._block_realize(target)
+        notes = dict(realize.block.annotations)
+        notes[key] = value
+        sch.replace(realize, realize.replace(block=realize.block.replace(annotations=notes)))
+    else:
+        raise ScheduleError("annotate target must be a loop or block")

@@ -1,0 +1,237 @@
+"""Padding for tensorization (§4.2: "we do necessary padding on the
+computation block and input/output operands to the closest divisible
+shape").
+
+``pad_einsum`` operates on a block in canonical einsum form (after
+ReIndex: every operand access indexes buffers directly with block
+iterators).  Each block iterator domain is padded up to the requested
+extent; inputs gain zero-padding producer blocks (zero is the additive
+identity, so padded positions contribute nothing to the reduction) and
+the output gains an extraction block for the valid region.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ...tir import (
+    Block,
+    BlockRealize,
+    Buffer,
+    BufferStore,
+    For,
+    ForKind,
+    IterVar,
+    Range,
+    Select,
+    Stmt,
+    StmtMutator,
+    Var,
+    all_of,
+    const,
+    const_int_value,
+    substitute,
+)
+from ...tir.analysis.regions import detect_block_access_regions
+from ...tir.expr import BufferLoad
+from ..sref import ScheduleError, loops_above, path_to
+from ..state import BlockRV, Schedule
+from .cache import _alloc_on_root, _insert_at_root, _root_child_containing
+
+__all__ = ["pad_einsum"]
+
+
+def pad_einsum(sch: Schedule, block_rv: BlockRV, paddings: Sequence[int]) -> None:
+    """Pad each block iterator domain up to ``paddings[d]``."""
+    realize = sch._block_realize(block_rv)
+    block = realize.block
+    if len(paddings) != len(block.iter_vars):
+        raise ScheduleError(
+            f"pad_einsum: got {len(paddings)} paddings for "
+            f"{len(block.iter_vars)} iterators"
+        )
+    old_extents = []
+    for iv, padded in zip(block.iter_vars, paddings):
+        extent = const_int_value(iv.dom.extent)
+        if extent is None:
+            raise ScheduleError("pad_einsum: symbolic iterator domain")
+        if padded < extent:
+            raise ScheduleError(
+                f"pad_einsum: padding {padded} below extent {extent} of {iv.var.name}"
+            )
+        old_extents.append(extent)
+    if all(p == e for p, e in zip(paddings, old_extents)):
+        return  # nothing to do
+
+    # Bindings must be trivial (iterator == dedicated loop var) so the
+    # loops can simply be resized.
+    loops = loops_above(sch.func.body, realize)
+    loop_by_var: Dict[int, For] = {id(lp.loop_var): lp for lp in loops}
+    bound_loops: List[For] = []
+    for binding in realize.iter_values:
+        if not isinstance(binding, Var) or id(binding) not in loop_by_var:
+            raise ScheduleError("pad_einsum: block iterators must bind plain loop variables")
+        bound_loops.append(loop_by_var[id(binding)])
+
+    if not isinstance(block.body, BufferStore):
+        raise ScheduleError("pad_einsum: block body must be a single store (einsum form)")
+
+    # Collect operands: every access must index a buffer directly with
+    # distinct block iterators.
+    iter_of: Dict[int, IterVar] = {id(iv.var): iv for iv in block.iter_vars}
+    pad_of: Dict[int, int] = {
+        id(iv.var): padded for iv, padded in zip(block.iter_vars, paddings)
+    }
+
+    def check_indices(indices) -> List[IterVar]:
+        iters = []
+        for idx in indices:
+            if not isinstance(idx, Var) or id(idx) not in iter_of:
+                raise ScheduleError(
+                    "pad_einsum: operand accesses must index buffers directly "
+                    "with block iterators (run reindex first)"
+                )
+            iters.append(iter_of[id(idx)])
+        return iters
+
+    store = block.body
+    out_iters = check_indices(store.indices)
+    input_accesses: Dict[int, List] = {}
+
+    from ...tir import post_order_visit
+
+    loads: List[BufferLoad] = []
+    post_order_visit(store.value, lambda n: loads.append(n) if isinstance(n, BufferLoad) else None)
+    if block.init is not None:
+        post_order_visit(
+            block.init, lambda n: loads.append(n) if isinstance(n, BufferLoad) else None
+        )
+
+    buffer_map: Dict[Buffer, Buffer] = {}
+
+    def padded_buffer(buffer: Buffer, iters: List[IterVar]) -> Buffer:
+        if buffer in buffer_map:
+            return buffer_map[buffer]
+        shape = [pad_of[id(iv.var)] for iv in iters]
+        new_buf = Buffer(
+            sch.fresh_block_name(f"{buffer.name}_pad"), shape, buffer.dtype, buffer.scope
+        )
+        buffer_map[buffer] = new_buf
+        return new_buf
+
+    operand_iters: Dict[Buffer, List[IterVar]] = {}
+    for load in loads:
+        if load.buffer is store.buffer:
+            continue  # reduction self-read follows the output operand
+        iters = check_indices(load.indices)
+        if load.buffer in operand_iters:
+            continue
+        operand_iters[load.buffer] = iters
+    out_buffer = store.buffer
+    operand_out = padded_buffer(out_buffer, out_iters)
+    for buffer, iters in operand_iters.items():
+        padded_buffer(buffer, iters)
+
+    # --- producer pad blocks for each input -------------------------------
+    nests_before: List[Stmt] = []
+    for buffer, iters in operand_iters.items():
+        new_buf = buffer_map[buffer]
+        loop_vars = [sch.fresh_var(f"p{d}") for d in range(len(iters))]
+        iter_vars = [
+            IterVar(sch.fresh_var(f"v{iv.var.name}_p"), Range(0, pad_of[id(iv.var)]), IterVar.SPATIAL)
+            for iv in iters
+        ]
+        ivs = [iv.var for iv in iter_vars]
+        in_bounds = all_of(
+            [v < e for v, e in zip(ivs, [const_int_value(iv.dom.extent) for iv in iters])]
+        )
+        value = Select(in_bounds, BufferLoad(buffer, ivs), const(0, buffer.dtype))
+        body = BufferStore(new_buf, value, ivs)
+        pad_block = Block(
+            name_hint=new_buf.name,
+            iter_vars=iter_vars,
+            reads=(),
+            writes=(),
+            body=body,
+            annotations={"padding": "input"},
+        )
+        reads, writes = detect_block_access_regions(pad_block)
+        # The Select guard clips the actual read to the original extents;
+        # region detection cannot see through it, so state it explicitly.
+        from ...tir import BufferRegion
+
+        clipped = BufferRegion(
+            buffer, [Range(0, iv.dom.extent) for iv in iters]
+        )
+        pad_block = pad_block.replace(reads=(clipped,), writes=writes)
+        nest: Stmt = BlockRealize(list(loop_vars), const(True), pad_block)
+        for lv, iv in zip(reversed(loop_vars), reversed(iter_vars)):
+            nest = For(lv, 0, iv.dom.extent, ForKind.SERIAL, nest)
+        nests_before.append(nest)
+        _alloc_on_root(sch, new_buf)
+
+    # --- extraction block for the output ---------------------------------
+    loop_vars = [sch.fresh_var(f"e{d}") for d in range(len(out_iters))]
+    iter_vars = [
+        IterVar(sch.fresh_var(f"v{iv.var.name}_e"), iv.dom, IterVar.SPATIAL)
+        for iv in out_iters
+    ]
+    ivs = [iv.var for iv in iter_vars]
+    extract_body = BufferStore(out_buffer, BufferLoad(operand_out, ivs), ivs)
+    extract_block = Block(
+        name_hint=operand_out.name + "_extract",
+        iter_vars=iter_vars,
+        reads=(),
+        writes=(),
+        body=extract_body,
+        annotations={"padding": "output"},
+    )
+    reads, writes = detect_block_access_regions(extract_block)
+    extract_block = extract_block.replace(reads=reads, writes=writes)
+    extract_nest: Stmt = BlockRealize(list(loop_vars), const(True), extract_block)
+    for lv, iv in zip(reversed(loop_vars), reversed(iter_vars)):
+        extract_nest = For(lv, 0, iv.dom.extent, ForKind.SERIAL, extract_nest)
+    _alloc_on_root(sch, operand_out)
+
+    # --- rewrite the computation block ------------------------------------
+    class _Swap(StmtMutator):
+        def rewrite_buffer(self, b):
+            return buffer_map.get(b, b)
+
+    new_iter_vars = [
+        IterVar(iv.var, Range(0, padded), iv.kind)
+        for iv, padded in zip(block.iter_vars, paddings)
+    ]
+    new_block = _Swap().rewrite_stmt(block)
+    new_block = new_block.replace(iter_vars=new_iter_vars)
+    reads, writes = detect_block_access_regions(new_block)
+    new_block = new_block.replace(reads=reads, writes=writes)
+    sch.replace(realize, realize.replace(block=new_block))
+
+    # --- resize the binding loops -----------------------------------------
+    for iv, padded, loop in zip(block.iter_vars, paddings, bound_loops):
+        extent = const_int_value(loop.extent)
+        if extent == padded:
+            continue
+        current = sch._loop(loop.loop_var.name)
+        sch.replace(
+            current,
+            For(
+                current.loop_var,
+                current.min,
+                padded,
+                current.kind,
+                current.body,
+                current.thread_tag,
+                current.annotations,
+            ),
+        )
+
+    # --- insert the pad/extract nests at root ------------------------------
+    new_realize = sch._block_realize(block_rv)
+    anchor = _root_child_containing(sch, new_realize)
+    for nest in nests_before:
+        _insert_at_root(sch, anchor, nest, before=True)
+        new_realize = sch._block_realize(block_rv)
+        anchor = _root_child_containing(sch, new_realize)
+    _insert_at_root(sch, anchor, extract_nest, before=False)

@@ -1,0 +1,191 @@
+"""Reduction primitives: decompose_reduction.
+
+The paper (§3.1) represents reductions either as one block with an init
+statement or as separate init- and update-blocks, with transformations
+between the two forms.  ``decompose_reduction`` goes from the init-block
+form to the two-block form, hoisting initialisation above a chosen loop
+so the update block can be blockized/tensorized independently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ...tir import (
+    Block,
+    BlockRealize,
+    For,
+    ForKind,
+    IterVar,
+    Range,
+    Var,
+    collect_vars,
+    const,
+    substitute,
+)
+from ...tir.analysis.regions import detect_block_access_regions
+from ..sref import ScheduleError, path_to
+from ..state import BlockRV, LoopRV, Schedule
+from .compute import _insert_into_loop
+
+__all__ = ["decompose_reduction", "merge_reduction"]
+
+
+def merge_reduction(sch: Schedule, init_rv: BlockRV, update_rv: BlockRV) -> None:
+    """The inverse of :func:`decompose_reduction`: fold a standalone init
+    block back into the update block as its ``init`` statement (the
+    paper's "back and forth transformations ... so we can pick the best
+    representation").
+
+    The init block must write exactly the update block's output buffer,
+    point-wise at spatial iterators, and nothing may read the buffer
+    between the two blocks.
+    """
+    init_realize = sch._block_realize(init_rv)
+    update_realize = sch._block_realize(update_rv)
+    init_block = init_realize.block
+    update_block = update_realize.block
+    if update_block.init is not None:
+        raise ScheduleError("merge_reduction: update block already has an init")
+    if not update_block.is_reduction:
+        raise ScheduleError("merge_reduction: target block is not a reduction")
+    if init_block.is_reduction:
+        raise ScheduleError("merge_reduction: init block must be spatial")
+    if len(init_block.writes) != 1 or len(update_block.writes) != 1:
+        raise ScheduleError("merge_reduction: blocks must each write one buffer")
+    buffer = update_block.writes[0].buffer
+    if init_block.writes[0].buffer is not buffer:
+        raise ScheduleError("merge_reduction: blocks write different buffers")
+
+    # Map the init block's iterators onto the update block's spatial
+    # iterators via the store indices (both must be point-wise).
+    from ...tir import BufferStore
+
+    if not isinstance(init_block.body, BufferStore):
+        raise ScheduleError("merge_reduction: init body must be a single store")
+    if not isinstance(update_block.body, BufferStore):
+        raise ScheduleError("merge_reduction: update body must be a single store")
+    init_idx = init_block.body.indices
+    update_idx = update_block.body.indices
+    if len(init_idx) != len(update_idx):
+        raise ScheduleError("merge_reduction: store rank mismatch")
+    vmap: Dict[Var, Var] = {}
+    for a, b in zip(init_idx, update_idx):
+        if not isinstance(a, Var) or not isinstance(b, Var):
+            raise ScheduleError("merge_reduction: stores must index plain iterators")
+        vmap[a] = b
+    init_stmt = substitute(init_block.body, vmap)
+
+    # Remove the init nest, then attach the init statement.
+    from .compute import _remove_exclusive_nest
+
+    _remove_exclusive_nest(sch, init_realize)
+    update_realize = sch._block_realize(update_rv)
+    sch.replace(
+        update_realize,
+        update_realize.replace(block=update_realize.block.replace(init=init_stmt)),
+    )
+
+
+def decompose_reduction(sch: Schedule, block_rv: BlockRV, loop_rv: LoopRV) -> BlockRV:
+    """Split ``block``'s init statement into a standalone init block
+    placed just above ``loop``.  Returns the init block."""
+    realize = sch._block_realize(block_rv)
+    block = realize.block
+    loop = sch._loop(loop_rv)
+    if block.init is None:
+        raise ScheduleError(f"block {block.name_hint} has no init statement")
+    path = path_to(sch.func.body, realize)
+    if path is None or loop not in path:
+        raise ScheduleError("decompose_reduction: loop must enclose the block")
+    loop_pos = next(i for i, s in enumerate(path) if s is loop)
+    inner_loops: List[For] = [s for s in path[loop_pos:] if isinstance(s, For)]
+    outer_loops: List[For] = [s for s in path[:loop_pos] if isinstance(s, For)]
+    inner_vars = {id(lp.loop_var) for lp in inner_loops}
+
+    # Reduce-iter bindings must depend only on loops at/inside `loop`:
+    # otherwise the init would need to re-run across an outer reduce loop.
+    spatial_dep_vars: Set[int] = set()
+    for iv, binding in zip(block.iter_vars, realize.iter_values):
+        vars_used = {id(v) for v in collect_vars(binding)}
+        if iv.is_reduce:
+            if vars_used & {id(lp.loop_var) for lp in outer_loops}:
+                raise ScheduleError(
+                    "decompose_reduction: a reduction iterator is bound "
+                    "above the target loop"
+                )
+        else:
+            spatial_dep_vars |= vars_used & inner_vars
+
+    # Clone the inner loops that drive spatial iterators.
+    keep = [lp for lp in inner_loops if id(lp.loop_var) in spatial_dep_vars]
+    lmap: Dict[Var, Var] = {
+        lp.loop_var: sch.fresh_var(f"{lp.loop_var.name}_init") for lp in keep
+    }
+
+    # New init block: fresh spatial iterators mirroring the block's.
+    imap: Dict[Var, Var] = {}
+    init_iter_vars: List[IterVar] = []
+    init_values = []
+    init_used = {id(v) for v in collect_vars(block.init)}
+    for iv, binding in zip(block.iter_vars, realize.iter_values):
+        if iv.is_reduce:
+            continue
+        if id(iv.var) not in init_used:
+            continue
+        new_var = sch.fresh_var(f"{iv.var.name}_i")
+        imap[iv.var] = new_var
+        init_iter_vars.append(IterVar(new_var, iv.dom, IterVar.SPATIAL))
+        init_values.append(substitute(binding, lmap))
+    init_body = substitute(block.init, imap)
+    init_block = Block(
+        name_hint=sch.fresh_block_name(f"{block.name_hint}_init"),
+        iter_vars=init_iter_vars,
+        reads=(),
+        writes=(),
+        body=init_body,
+    )
+    reads, writes = detect_block_access_regions(init_block)
+    init_block = init_block.replace(reads=reads, writes=writes)
+    init_nest = BlockRealize(init_values, const(True), init_block)
+    for lp in reversed(keep):
+        init_nest = For(lmap[lp.loop_var], lp.min, lp.extent, ForKind.SERIAL, init_nest)
+
+    # Strip the init from the update block.
+    update = block.replace(init=None)
+    sch.replace(realize, realize.replace(block=update))
+
+    # Insert the init nest just before `loop` within its parent.
+    loop = sch._loop(loop_rv.name if hasattr(loop_rv, "name") else loop_rv)
+    parent_path = path_to(sch.func.body, loop)
+    parent = parent_path[-2]
+    from ...tir import SeqStmt, seq
+
+    if isinstance(parent, SeqStmt):
+        stmts = list(parent.stmts)
+        idx = next(i for i, s in enumerate(stmts) if s is loop)
+        stmts.insert(idx, init_nest)
+        sch.replace(parent, seq(stmts))
+    elif isinstance(parent, For):
+        _insert_before_in_for(sch, parent, loop, init_nest)
+    else:
+        sch.replace(loop, seq([init_nest, loop]))
+    return BlockRV(init_block.name_hint)
+
+
+def _insert_before_in_for(sch: Schedule, parent: For, anchor, stmt) -> None:
+    from ...tir import seq
+
+    new_body = seq([stmt, parent.body])
+    sch.replace(
+        parent,
+        For(
+            parent.loop_var,
+            parent.min,
+            parent.extent,
+            parent.kind,
+            new_body,
+            parent.thread_tag,
+            parent.annotations,
+        ),
+    )

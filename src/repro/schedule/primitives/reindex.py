@@ -1,0 +1,198 @@
+"""The ReIndex primitive (§4.2).
+
+``reindex(block, role, index)`` creates an intermediate cache buffer for
+one operand whose layout is indexed *directly by the block iterators*
+that appear in the operand's access expression — rewriting e.g. the
+Conv2D input access ``A[n, h*s+rh, w*s+rw, rc]`` into
+``A_reindex[n, h, w, rh, rw, rc]`` with a separate rewrite block
+``A_reindex[...] = A[n, h*s+rh, w*s+rw, rc]``.  After ReIndexing all
+operands, buffer access indices correspond one-to-one to iterators
+(equation (3) of the paper), enabling the characteristic-vector mapping.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...tir import (
+    Block,
+    BlockRealize,
+    Buffer,
+    BufferRegion,
+    BufferStore,
+    For,
+    ForKind,
+    IterVar,
+    PrimExpr,
+    Range,
+    Stmt,
+    StmtMutator,
+    Var,
+    collect_vars,
+    const,
+    post_order_visit,
+    substitute,
+)
+from ...tir.analysis.regions import detect_block_access_regions
+from ...tir.expr import BufferLoad
+from ..sref import ScheduleError
+from ..state import BlockRV, Schedule
+from .cache import _alloc_on_root, _insert_at_root, _root_child_containing
+
+__all__ = ["reindex"]
+
+
+def _distinct_accesses(block: Block, buffer: Buffer, want_store: bool) -> List:
+    """All accesses of ``buffer`` in the block body, deduplicated by
+    structural key of the index tuple."""
+    from ...arith.simplify import structural_key
+
+    found = {}
+
+    def visit(node):
+        if not want_store and isinstance(node, BufferLoad) and node.buffer is buffer:
+            key = tuple(structural_key(i) for i in node.indices)
+            found[key] = node
+        if want_store and isinstance(node, BufferStore) and node.buffer is buffer:
+            key = tuple(structural_key(i) for i in node.indices)
+            found[key] = node
+
+    post_order_visit(block.body, visit)
+    if block.init is not None:
+        post_order_visit(block.init, visit)
+    return list(found.values())
+
+
+def reindex(
+    sch: Schedule,
+    block_rv: BlockRV,
+    buffer_role: str,
+    buffer_index: int,
+    iter_order=None,
+) -> BlockRV:
+    """Create a ReIndex stage for one operand of ``block``.
+
+    ``buffer_role`` is ``"read"`` or ``"write"``; ``buffer_index`` selects
+    among the block's read/write regions.  ``iter_order`` optionally
+    permutes the reindexed buffer's dimensions (a permutation of the
+    operand's iterator list) — the tensorization candidate generator uses
+    it to lay operands out in the order the target intrinsic expects
+    (§4.2's layout-rewrite step).  Returns the rewrite block.
+    """
+    realize = sch._block_realize(block_rv)
+    block = realize.block
+    if buffer_role not in ("read", "write"):
+        raise ScheduleError(f"reindex: role must be 'read' or 'write', got {buffer_role!r}")
+    regions = block.reads if buffer_role == "read" else block.writes
+    if not 0 <= buffer_index < len(regions):
+        raise ScheduleError(f"reindex: block has {len(regions)} {buffer_role} regions")
+    buffer = regions[buffer_index].buffer
+
+    accesses = _distinct_accesses(block, buffer, want_store=(buffer_role == "write"))
+    if len(accesses) != 1:
+        raise ScheduleError(
+            f"reindex: {buffer.name} is accessed with {len(accesses)} distinct "
+            "index patterns; expected exactly one"
+        )
+    access = accesses[0]
+    indices: List[PrimExpr] = list(access.indices)
+
+    # The iterators that parameterise this operand, in block-iter order.
+    used_ids = {id(v) for idx in indices for v in collect_vars(idx)}
+    iter_ids = {id(iv.var) for iv in block.iter_vars}
+    if not used_ids <= iter_ids:
+        raise ScheduleError("reindex: access indices use non-iterator variables")
+    used_iters: List[IterVar] = [iv for iv in block.iter_vars if id(iv.var) in used_ids]
+    if iter_order is not None:
+        if sorted(iter_order) != list(range(len(used_iters))):
+            raise ScheduleError(
+                f"reindex: iter_order must be a permutation of 0..{len(used_iters) - 1}"
+            )
+        used_iters = [used_iters[i] for i in iter_order]
+    if buffer_role == "write" and any(iv.is_reduce for iv in used_iters):
+        raise ScheduleError("reindex: write access must not involve reduction iterators")
+
+    from ...tir import const_int_value
+
+    shape = []
+    for iv in used_iters:
+        extent = const_int_value(iv.dom.extent)
+        if extent is None:
+            raise ScheduleError("reindex: symbolic iterator domain")
+        shape.append(extent)
+
+    new_name = sch.fresh_block_name(f"{buffer.name}_reindex")
+    new_buf = Buffer(new_name, shape, buffer.dtype, buffer.scope)
+
+    # Rewrite block: dedicated spatial iterators mirroring used_iters.
+    rw_loop_vars = [sch.fresh_var(f"r{d}") for d in range(len(used_iters))]
+    rw_iter_vars = [
+        IterVar(sch.fresh_var(f"v{iv.var.name}_r"), iv.dom, IterVar.SPATIAL)
+        for iv in used_iters
+    ]
+    vmap = {iv.var: riv.var for iv, riv in zip(used_iters, rw_iter_vars)}
+    remapped_indices = [substitute(i, vmap) for i in indices]
+    rw_vars = [riv.var for riv in rw_iter_vars]
+    if buffer_role == "read":
+        rw_body: Stmt = BufferStore(new_buf, BufferLoad(buffer, remapped_indices), rw_vars)
+    else:
+        rw_body = BufferStore(buffer, BufferLoad(new_buf, rw_vars), remapped_indices)
+    rw_block = Block(
+        name_hint=new_name,
+        iter_vars=rw_iter_vars,
+        reads=(),
+        writes=(),
+        body=rw_body,
+        annotations={"reindex": buffer_role},
+    )
+    reads, writes = detect_block_access_regions(rw_block)
+    rw_block = rw_block.replace(reads=reads, writes=writes)
+    nest: Stmt = BlockRealize(list(rw_loop_vars), const(True), rw_block)
+    for lv, extent in zip(reversed(rw_loop_vars), reversed(shape)):
+        nest = For(lv, 0, extent, ForKind.SERIAL, nest)
+
+    # Rewrite the computation block to access the reindexed buffer.
+    iter_list = [iv.var for iv in used_iters]
+
+    class _Rewriter(StmtMutator):
+        def rewrite_buffer_load(self, e):
+            e = super().rewrite_buffer_load(e)
+            if (
+                buffer_role == "read"
+                and isinstance(e, BufferLoad)
+                and e.buffer is buffer
+            ):
+                return BufferLoad(new_buf, iter_list)
+            return e
+
+        def rewrite_buffer_store(self, s):
+            s = super().rewrite_buffer_store(s)
+            if buffer_role == "write" and s.buffer is buffer:
+                return BufferStore(new_buf, s.value, iter_list)
+            return s
+
+    new_body = _Rewriter().rewrite_stmt(block.body)
+    new_init = _Rewriter().rewrite_stmt(block.init) if block.init is not None else None
+    # Reduction self-reads of the write buffer must follow the store.
+    if buffer_role == "write":
+
+        class _SelfRead(StmtMutator):
+            def rewrite_buffer_load(self, e):
+                e = super().rewrite_buffer_load(e)
+                if isinstance(e, BufferLoad) and e.buffer is buffer:
+                    return BufferLoad(new_buf, iter_list)
+                return e
+
+        new_body = _SelfRead().rewrite_stmt(new_body)
+        if new_init is not None:
+            new_init = _SelfRead().rewrite_stmt(new_init)
+    new_block = block.replace(body=new_body, init=new_init)
+    reads, writes = detect_block_access_regions(new_block)
+    new_block = new_block.replace(reads=reads, writes=writes)
+    sch.replace(realize, realize.replace(block=new_block))
+
+    new_realize = sch._block_realize(block_rv)
+    anchor = _root_child_containing(sch, new_realize)
+    _insert_at_root(sch, anchor, nest, before=(buffer_role == "read"))
+    _alloc_on_root(sch, new_buf)
+    return BlockRV(new_name)

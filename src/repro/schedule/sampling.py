@@ -1,0 +1,100 @@
+"""Random sampling helpers for schedule decisions.
+
+These are the decision points recorded in the trace; the evolutionary
+search (§4.4) mutates their recorded decisions and replays.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..tir import PrimExpr, const_int_value
+from .sref import ScheduleError
+
+__all__ = ["sample_perfect_tile", "sample_categorical", "all_factorizations", "divisors_of"]
+
+
+def divisors_of(n: int) -> List[int]:
+    """Sorted positive divisors of ``n``."""
+    small, large = [], []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+        d += 1
+    return small + large[::-1]
+
+
+def all_factorizations(n: int, parts: int, max_innermost: int = 0) -> List[List[int]]:
+    """All ordered factorizations of ``n`` into ``parts`` factors."""
+    if parts == 1:
+        if max_innermost and n > max_innermost:
+            return []
+        return [[n]]
+    out: List[List[int]] = []
+    for d in divisors_of(n):
+        for rest in all_factorizations(n // d, parts - 1, max_innermost):
+            out.append([d] + rest)
+    return out
+
+
+def sample_perfect_tile(
+    rng: random.Random,
+    extent: PrimExpr,
+    n: int,
+    max_innermost_factor: int = 64,
+    decision: Optional[Sequence[int]] = None,
+) -> List[int]:
+    """Factor a loop extent into ``n`` tile sizes (product == extent).
+
+    Sampling is uniform over divisor choices digit-by-digit from the
+    innermost factor up, with the innermost capped by
+    ``max_innermost_factor``.
+    """
+    ext = const_int_value(extent)
+    if ext is None:
+        raise ScheduleError("sample_perfect_tile requires a constant loop extent")
+    if decision is not None:
+        decision = list(decision)
+        if len(decision) != n:
+            raise ScheduleError(f"decision has {len(decision)} factors, expected {n}")
+        prod = 1
+        for f in decision:
+            prod *= f
+        if prod != ext:
+            raise ScheduleError(f"decision product {prod} != extent {ext}")
+        return decision
+    remaining = ext
+    factors = [1] * n
+    for pos in range(n - 1, 0, -1):
+        choices = divisors_of(remaining)
+        if pos == n - 1 and max_innermost_factor:
+            choices = [c for c in choices if c <= max_innermost_factor] or [1]
+        pick = rng.choice(choices)
+        factors[pos] = pick
+        remaining //= pick
+    factors[0] = remaining
+    return factors
+
+
+def sample_categorical(
+    rng: random.Random,
+    n_candidates: int,
+    probs: Optional[Sequence[float]] = None,
+    decision: Optional[int] = None,
+) -> int:
+    """Pick an index in ``[0, n_candidates)``; returns the index."""
+    if n_candidates <= 0:
+        raise ScheduleError("sample_categorical with no candidates")
+    if decision is not None:
+        if not 0 <= decision < n_candidates:
+            raise ScheduleError(f"decision {decision} out of range [0, {n_candidates})")
+        return decision
+    if probs is None:
+        return rng.randrange(n_candidates)
+    if len(probs) != n_candidates:
+        raise ScheduleError("probs length mismatch")
+    return rng.choices(range(n_candidates), weights=list(probs), k=1)[0]

@@ -1,0 +1,214 @@
+"""Tree navigation for scheduling.
+
+Schedules reference IR nodes by *identity* within the current function
+body.  Because transforms rebuild (never mutate) trees, these helpers
+recompute structure on demand: parents, enclosing loops, child blocks,
+and identity-based subtree replacement.
+
+Every statement object appears at most once in a function body (the
+builder and all primitives construct fresh nodes), so identity lookup is
+unambiguous.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..tir import (
+    Block,
+    BlockRealize,
+    For,
+    IfThenElse,
+    LetStmt,
+    PrimFunc,
+    SeqStmt,
+    Stmt,
+)
+from ..tir.stmt import AllocateConst
+
+__all__ = [
+    "children_of",
+    "with_children",
+    "find_blocks",
+    "find_loops",
+    "path_to",
+    "replace_stmt",
+    "loops_above",
+    "child_block_realizes",
+    "ScheduleError",
+]
+
+
+class ScheduleError(Exception):
+    """A schedule primitive was applied illegally."""
+
+
+def children_of(stmt: Stmt) -> List[Stmt]:
+    """Direct child statements of ``stmt``."""
+    if isinstance(stmt, For):
+        return [stmt.body]
+    if isinstance(stmt, SeqStmt):
+        return list(stmt.stmts)
+    if isinstance(stmt, BlockRealize):
+        return [stmt.block]
+    if isinstance(stmt, Block):
+        out = [stmt.body]
+        if stmt.init is not None:
+            out.append(stmt.init)
+        return out
+    if isinstance(stmt, IfThenElse):
+        out = [stmt.then_case]
+        if stmt.else_case is not None:
+            out.append(stmt.else_case)
+        return out
+    if isinstance(stmt, LetStmt):
+        return [stmt.body]
+    if isinstance(stmt, AllocateConst):
+        return [stmt.body]
+    return []
+
+
+def with_children(stmt: Stmt, children: Sequence[Stmt]) -> Stmt:
+    """Rebuild ``stmt`` with new children (same shape as children_of)."""
+    if isinstance(stmt, For):
+        (body,) = children
+        return For(
+            stmt.loop_var, stmt.min, stmt.extent, stmt.kind, body, stmt.thread_tag, stmt.annotations
+        )
+    if isinstance(stmt, SeqStmt):
+        from ..tir import seq
+
+        return seq(list(children))
+    if isinstance(stmt, BlockRealize):
+        (block,) = children
+        return BlockRealize(stmt.iter_values, stmt.predicate, block)
+    if isinstance(stmt, Block):
+        body = children[0]
+        init = children[1] if len(children) > 1 else None
+        return stmt.replace(body=body, init=init)
+    if isinstance(stmt, IfThenElse):
+        then_case = children[0]
+        else_case = children[1] if len(children) > 1 else None
+        return IfThenElse(stmt.condition, then_case, else_case)
+    if isinstance(stmt, LetStmt):
+        (body,) = children
+        return LetStmt(stmt.var, stmt.value, body)
+    if isinstance(stmt, AllocateConst):
+        (body,) = children
+        return AllocateConst(stmt.buffer, stmt.data, body)
+    raise TypeError(f"{type(stmt).__name__} has no children to rebuild")
+
+
+def _walk(stmt: Stmt, fvisit: Callable[[Stmt], None]) -> None:
+    fvisit(stmt)
+    for child in children_of(stmt):
+        _walk(child, fvisit)
+
+
+def find_blocks(root: Stmt, name: Optional[str] = None) -> List[BlockRealize]:
+    """All BlockRealize nodes (optionally filtered by block name), preorder."""
+    found: List[BlockRealize] = []
+
+    def visit(stmt: Stmt) -> None:
+        if isinstance(stmt, BlockRealize):
+            if name is None or stmt.block.name_hint == name:
+                found.append(stmt)
+
+    _walk(root, visit)
+    return found
+
+
+def find_loops(root: Stmt, var_name: Optional[str] = None) -> List[For]:
+    """All For nodes (optionally filtered by loop var name), preorder."""
+    found: List[For] = []
+
+    def visit(stmt: Stmt) -> None:
+        if isinstance(stmt, For):
+            if var_name is None or stmt.loop_var.name == var_name:
+                found.append(stmt)
+
+    _walk(root, visit)
+    return found
+
+
+def path_to(root: Stmt, target: Stmt) -> Optional[List[Stmt]]:
+    """The chain of statements from ``root`` down to ``target`` inclusive,
+    located by identity.  None if ``target`` is not in the tree."""
+    if root is target:
+        return [root]
+    for child in children_of(root):
+        sub = path_to(child, target)
+        if sub is not None:
+            return [root] + sub
+    return None
+
+
+def replace_stmt(root: Stmt, target: Stmt, replacement: Optional[Stmt]) -> Stmt:
+    """Return a new tree with ``target`` (found by identity) replaced.
+
+    ``replacement=None`` deletes the statement; deletion is only legal
+    inside a SeqStmt (or the deleted node's parent collapses otherwise).
+    """
+    path = path_to(root, target)
+    if path is None:
+        raise ScheduleError("statement to replace is not part of the function body")
+    return _rebuild_along(path, replacement)
+
+
+def _rebuild_along(path: List[Stmt], replacement: Optional[Stmt]) -> Stmt:
+    if len(path) == 1:
+        if replacement is None:
+            raise ScheduleError("cannot delete the root statement")
+        return replacement
+    parent = path[0]
+    child = path[1]
+    if isinstance(parent, SeqStmt):
+        new_stmts: List[Stmt] = []
+        for s in parent.stmts:
+            if s is child:
+                if len(path) == 2:
+                    rebuilt = replacement  # direct child: may be a deletion
+                else:
+                    rebuilt = _rebuild_along(path[1:], replacement)
+                if rebuilt is not None:
+                    new_stmts.append(rebuilt)
+            else:
+                new_stmts.append(s)
+        from ..tir import seq
+
+        if not new_stmts:
+            raise ScheduleError("deletion would empty a statement sequence")
+        return seq(new_stmts)
+    rebuilt = _rebuild_along(path[1:], replacement)
+    if rebuilt is None:
+        raise ScheduleError(
+            f"cannot delete the only child of {type(parent).__name__}"
+        )
+    children = children_of(parent)
+    new_children = [rebuilt if c is child else c for c in children]
+    return with_children(parent, new_children)
+
+
+def loops_above(root: Stmt, target: Stmt) -> List[For]:
+    """The For loops on the path from ``root`` to ``target`` (outer→inner)."""
+    path = path_to(root, target)
+    if path is None:
+        raise ScheduleError("target not found in tree")
+    return [s for s in path[:-1] if isinstance(s, For)]
+
+
+def child_block_realizes(block: Block) -> List[BlockRealize]:
+    """The block realizes directly inside ``block`` (not nested in
+    sub-blocks)."""
+    found: List[BlockRealize] = []
+
+    def visit(stmt: Stmt) -> None:
+        if isinstance(stmt, BlockRealize):
+            found.append(stmt)
+            return
+        for child in children_of(stmt):
+            visit(child)
+
+    for child in children_of(block):
+        visit(child)
+    return found

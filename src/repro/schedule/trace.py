@@ -1,0 +1,165 @@
+"""Replayable schedule traces.
+
+A :class:`Trace` records every primitive applied to a schedule together
+with the random decisions taken at sampling instructions.  Traces can be
+replayed onto a fresh schedule of the same workload, and their decisions
+can be overridden — the mechanism behind the evolutionary search's
+mutation step (§4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .sref import ScheduleError
+
+__all__ = ["Instruction", "Trace"]
+
+
+class Instruction:
+    """One recorded primitive application."""
+
+    __slots__ = ("name", "inputs", "attrs", "outputs", "decision")
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[object],
+        attrs: Optional[Dict[str, object]] = None,
+        outputs: Sequence[object] = (),
+        decision: Optional[object] = None,
+    ):
+        self.name = name
+        self.inputs = list(inputs)
+        self.attrs = dict(attrs or {})
+        self.outputs = list(outputs)
+        self.decision = decision
+
+    @property
+    def is_sampling(self) -> bool:
+        return self.name.startswith("sample_")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        parts = [repr(i) for i in self.inputs]
+        parts += [f"{k}={v!r}" for k, v in self.attrs.items()]
+        text = f"{self.name}({', '.join(parts)})"
+        if self.decision is not None:
+            text += f"  # decision: {self.decision!r}"
+        return text
+
+
+class Trace:
+    """An ordered list of instructions with their sampling decisions."""
+
+    def __init__(self, instructions: Optional[Sequence[Instruction]] = None):
+        self.instructions: List[Instruction] = list(instructions or [])
+
+    def append(self, inst: Instruction) -> None:
+        self.instructions.append(inst)
+
+    def copy(self) -> "Trace":
+        return Trace(
+            Instruction(i.name, i.inputs, i.attrs, i.outputs, i.decision)
+            for i in self.instructions
+        )
+
+    @property
+    def sampling_indices(self) -> List[int]:
+        return [idx for idx, inst in enumerate(self.instructions) if inst.is_sampling]
+
+    def with_decision(self, index: int, decision: object) -> "Trace":
+        """A copy with the decision of instruction ``index`` replaced."""
+        out = self.copy()
+        inst = out.instructions[index]
+        if not inst.is_sampling:
+            raise ScheduleError(f"instruction {index} ({inst.name}) has no decision")
+        inst.decision = decision
+        return out
+
+    def apply_to(self, sch) -> None:
+        """Replay this trace onto ``sch`` (a fresh Schedule of the same
+        workload).  Output naming is deterministic, so the recorded RV
+        names resolve identically."""
+        from .state import BlockRV, LoopRV
+
+        recording = sch.trace
+        sch.trace = None  # avoid double-recording during replay
+        try:
+            for inst in self.instructions:
+                args = list(inst.inputs)
+                if inst.name == "split":
+                    sch.split(args[0], inst.attrs["factors"])
+                elif inst.name == "fuse":
+                    sch.fuse(*args)
+                elif inst.name == "reorder":
+                    sch.reorder(*args)
+                elif inst.name in ("parallel", "vectorize", "unroll"):
+                    getattr(sch, inst.name)(args[0])
+                elif inst.name == "bind":
+                    sch.bind(args[0], inst.attrs["thread"])
+                elif inst.name == "annotate":
+                    sch.annotate(args[0], inst.attrs["key"], inst.attrs["value"])
+                elif inst.name in (
+                    "compute_at",
+                    "reverse_compute_at",
+                ):
+                    getattr(sch, inst.name)(args[0], args[1])
+                elif inst.name in ("compute_inline", "reverse_compute_inline"):
+                    getattr(sch, inst.name)(args[0])
+                elif inst.name == "cache_read":
+                    sch.cache_read(args[0], inst.attrs["read_index"], inst.attrs["scope"])
+                elif inst.name == "cache_write":
+                    sch.cache_write(args[0], inst.attrs["write_index"], inst.attrs["scope"])
+                elif inst.name == "decompose_reduction":
+                    sch.decompose_reduction(args[0], args[1])
+                elif inst.name == "merge_reduction":
+                    sch.merge_reduction(args[0], args[1])
+                elif inst.name == "blockize":
+                    sch.blockize(args[0])
+                elif inst.name == "tensorize":
+                    sch.tensorize(args[0], inst.attrs["intrin"])
+                elif inst.name == "reindex":
+                    sch.reindex(
+                        args[0],
+                        inst.attrs["buffer_role"],
+                        inst.attrs["buffer_index"],
+                        inst.attrs.get("iter_order"),
+                    )
+                elif inst.name == "fuse_block_iters":
+                    sch.fuse_block_iters(args[0], inst.attrs["groups"])
+                elif inst.name == "fuse_buffer_dims":
+                    sch.fuse_buffer_dims(
+                        args[0], inst.attrs["buffer_name"], inst.attrs["dim_groups"]
+                    )
+                elif inst.name == "pad_einsum":
+                    sch.pad_einsum(args[0], inst.attrs["paddings"])
+                elif inst.name == "set_scope":
+                    sch.set_scope(args[0], inst.attrs["write_index"], inst.attrs["scope"])
+                elif inst.name == "sample_perfect_tile":
+                    sch.sample_perfect_tile(
+                        args[0],
+                        inst.attrs["n"],
+                        inst.attrs["max_innermost_factor"],
+                        decision=inst.decision,
+                    )
+                elif inst.name == "sample_categorical":
+                    sch.sample_categorical(
+                        inst.attrs["candidates"],
+                        inst.attrs["probs"],
+                        decision=inst.decision,
+                    )
+                else:
+                    raise ScheduleError(f"cannot replay instruction {inst.name!r}")
+        finally:
+            sch.trace = recording
+        if sch.trace is not None:
+            sch.trace.instructions = [
+                Instruction(i.name, i.inputs, i.attrs, i.outputs, i.decision)
+                for i in self.instructions
+            ]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "\n".join(repr(i) for i in self.instructions)

@@ -1,0 +1,500 @@
+"""Program validation (§3.3).
+
+Three families of checks, exactly as the paper lays out:
+
+* **Loop nest validation** — block iterator bindings must form an
+  independent quasi-affine map of the enclosing loop iterators
+  (pattern-matched by :func:`repro.arith.detect_iter_map`), stay inside
+  the iterator domains (or be guarded by the realize predicate), and
+  reduction iterators must not be driven by parallel/thread loops.
+  Producer blocks must cover the regions consumers read.
+* **Threading validation** — thread-extent consistency and launch
+  limits, shared-memory capacity, cooperative-fetch coverage, and
+  execution scope of tensor intrinsics.
+* **Intrinsic constraints** — operand storage scopes required by a
+  tensorized block's intrinsic.
+
+``verify`` returns a list of human-readable problems (empty = valid);
+the evolutionary search uses it to reject invalid mutants (§4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..arith import Analyzer, IntSet, detect_iter_map, eval_int_set
+from ..tir import (
+    Block,
+    BlockRealize,
+    Buffer,
+    For,
+    ForKind,
+    IntImm,
+    PrimFunc,
+    Range,
+    Stmt,
+    Var,
+    collect_vars,
+    const_int_value,
+)
+from ..tir.expr import And, LT
+from .sref import find_blocks, loops_above
+
+__all__ = [
+    "verify",
+    "is_valid",
+    "VerificationError",
+    "assert_valid",
+    "shared_footprint_bytes",
+]
+
+
+def shared_footprint_bytes(func: PrimFunc) -> int:
+    """Live shared-memory footprint per thread block: for each shared
+    buffer, the hull of the region written within one blockIdx iteration
+    (what a compacting lowering would allocate)."""
+    from ..tir import dtype as _dt
+
+    footprint: Dict[int, int] = {}
+    for realize in find_blocks(func.body):
+        for region in realize.block.writes:
+            buf = region.buffer
+            if buf.scope != "shared":
+                continue
+            hull = _per_block_hull(func, realize, region)
+            if hull is None:
+                try:
+                    elements = buf.numel()
+                except ValueError:
+                    continue
+            else:
+                elements = 1
+                for iv in hull:
+                    elements *= iv.extent() or 1
+            nbytes = elements * _dt.bytes_of(buf.dtype)
+            prev = footprint.get(id(buf))
+            footprint[id(buf)] = nbytes if prev is None else max(prev, nbytes)
+    return sum(footprint.values())
+
+
+def _per_block_hull(func: PrimFunc, realize: BlockRealize, region):
+    """Hull of the region one *instance group* of ``realize`` touches:
+    the block's own loops (those its iterator bindings use) and thread
+    loops are relaxed; all outer serial/blockIdx loops are pinned — a
+    reused staging buffer's live tile, not its lifetime union."""
+    loops = loops_above(func.body, realize)
+    dom: Dict[Var, IntSet] = {}
+    for lp in loops:
+        extent = const_int_value(lp.extent)
+        lo = const_int_value(lp.min)
+        if extent is None or lo is None:
+            return None
+        is_thread = lp.kind == ForKind.THREAD_BINDING and (lp.thread_tag or "").startswith(
+            "threadIdx"
+        )
+        # "Own" loops host only this block; loops shared with other
+        # blocks (e.g. the reduction loop the staging sits under) are
+        # pinned — the buffer is refilled there, not enlarged.
+        exclusive = len(find_blocks(lp)) == 1
+        if exclusive or is_thread:
+            dom[lp.loop_var] = IntSet.from_range(lo, extent)
+        else:
+            dom[lp.loop_var] = IntSet.point(lo)
+    block = realize.block
+    for iv, binding in zip(block.iter_vars, realize.iter_values):
+        dom[iv.var] = eval_int_set(binding, dom)
+    hull = []
+    for rng in region.region:
+        lo_set = eval_int_set(rng.min, dom)
+        hi_set = eval_int_set(rng.min + rng.extent - 1, dom)
+        if lo_set.min_value is None or hi_set.max_value is None:
+            return None
+        hull.append(IntSet(lo_set.min_value, hi_set.max_value))
+    return hull
+
+
+class VerificationError(Exception):
+    pass
+
+
+def verify(func: PrimFunc, target=None) -> List[str]:
+    """Validate ``func``; returns a list of problems (empty = valid)."""
+    problems: List[str] = []
+    realizes = [r for r in find_blocks(func.body) if r is not func.body]
+    _check_loop_nests(func, realizes, problems)
+    _check_producer_consumer(func, realizes, problems)
+    _check_execution_order(func, problems)
+    _check_intrinsic_scopes(func, realizes, problems)
+    if target is not None and getattr(target, "kind", None) == "gpu":
+        _check_threading(func, realizes, target, problems)
+    return problems
+
+
+def _check_execution_order(func: PrimFunc, problems: List[str]) -> None:
+    """A block must not read an intermediate buffer before any producer
+    of that buffer has run.  Checked on the preorder (= first-execution)
+    sequence of blocks: the first reader of an intermediate buffer must
+    not precede its first writer."""
+    first_write: Dict[int, int] = {}
+    first_read: Dict[int, Tuple[int, str]] = {}
+    params = set(func.buffer_map.values())
+    order = [r for r in find_blocks(func.body) if r is not func.body]
+    for idx, realize in enumerate(order):
+        block = realize.block
+        for region in block.writes:
+            first_write.setdefault(id(region.buffer), idx)
+        for region in block.reads:
+            if region.buffer not in params:
+                first_read.setdefault(id(region.buffer), (idx, block.name_hint))
+    for buf_id, (ridx, reader) in first_read.items():
+        widx = first_write.get(buf_id)
+        if widx is not None and ridx < widx:
+            problems.append(f"{reader}: reads a buffer before its producer runs")
+
+
+def is_valid(func: PrimFunc, target=None) -> bool:
+    return not verify(func, target)
+
+
+def assert_valid(func: PrimFunc, target=None) -> None:
+    problems = verify(func, target)
+    if problems:
+        raise VerificationError("; ".join(problems))
+
+
+# ---------------------------------------------------------------------------
+# loop nest validation
+# ---------------------------------------------------------------------------
+
+
+def _conjuncts(pred) -> List:
+    if isinstance(pred, And):
+        return _conjuncts(pred.a) + _conjuncts(pred.b)
+    return [pred]
+
+
+def _check_loop_nests(func: PrimFunc, realizes, problems: List[str]) -> None:
+    from .sref import path_to
+
+    for realize in realizes:
+        block = realize.block
+        loops = loops_above(func.body, realize)
+        analyzer = Analyzer()
+        extents: Dict[Var, int] = {}
+        kinds: Dict[int, str] = {}
+        ok = True
+        # Iterators of enclosing blocks are legal inputs to the bindings:
+        # the outer block's signature guarantees their domains.
+        path = path_to(func.body, realize) or []
+        for node in path[:-1]:
+            if isinstance(node, BlockRealize):
+                for iv in node.block.iter_vars:
+                    ext = const_int_value(iv.dom.extent)
+                    if ext is not None and const_int_value(iv.dom.min) == 0:
+                        extents[iv.var] = ext
+                        analyzer.bind(iv.var, Range(0, ext))
+        for lp in loops:
+            if const_int_value(lp.min) != 0:
+                problems.append(f"{block.name_hint}: loop {lp.loop_var.name} min != 0")
+                ok = False
+                continue
+            extent = const_int_value(lp.extent)
+            if extent is None:
+                problems.append(
+                    f"{block.name_hint}: loop {lp.loop_var.name} has symbolic extent"
+                )
+                ok = False
+                continue
+            extents[lp.loop_var] = extent
+            kinds[id(lp.loop_var)] = lp.kind
+            analyzer.bind(lp.loop_var, Range(0, extent))
+        if not ok:
+            continue
+
+        # 1) quasi-affine independent mapping of the bindings.  When a
+        # non-divisible split leaves a guard predicate, the digit algebra
+        # no longer matches the pattern matcher; fall back to domain
+        # containment only (conservative, like the paper's warning path).
+        has_predicate = const_int_value(realize.predicate) != 1
+        if realize.iter_values:
+            detected = detect_iter_map(
+                list(realize.iter_values), extents, analyzer, require_bijective=False
+            )
+            if detected is None and not has_predicate:
+                problems.append(
+                    f"{block.name_hint}: iterator bindings are not an independent "
+                    "quasi-affine map of the loop iterators"
+                )
+                continue
+
+        # 2) domain containment (predicate-aware).
+        guards = {
+            _guard_key(c) for c in _conjuncts(realize.predicate) if _guard_key(c)
+        }
+        for iv, binding in zip(block.iter_vars, realize.iter_values):
+            extent = const_int_value(iv.dom.extent)
+            if extent is None:
+                problems.append(f"{block.name_hint}: symbolic domain for {iv.var.name}")
+                continue
+            bound = analyzer.int_set(binding)
+            if bound.is_bounded and bound.min_value >= 0 and bound.max_value < extent:
+                continue
+            key = _guard_key(LT(binding, IntImm(extent)), analyzer)
+            if key is not None and key in {
+                _guard_key(c, analyzer) for c in _conjuncts(realize.predicate)
+            }:
+                continue
+            problems.append(
+                f"{block.name_hint}: binding of {iv.var.name} can leave its "
+                f"domain [0, {extent}) and is not guarded by the predicate"
+            )
+
+        # 3) reduction iterators must not bind parallel/thread loops.
+        for iv, binding in zip(block.iter_vars, realize.iter_values):
+            if not iv.is_reduce:
+                continue
+            for v in collect_vars(binding):
+                kind = kinds.get(id(v))
+                if kind in (ForKind.PARALLEL, ForKind.THREAD_BINDING):
+                    lp = next(l for l in loops if l.loop_var is v)
+                    if lp.thread_tag == "vthread":
+                        continue
+                    problems.append(
+                        f"{block.name_hint}: reduction iterator {iv.var.name} is "
+                        f"driven by {kind} loop {v.name} (non-atomic cross-thread "
+                        "reduction)"
+                    )
+
+
+def _guard_key(cond, analyzer: Optional[Analyzer] = None):
+    """A canonical key for a `x < c` guard, for predicate matching."""
+    from ..arith.simplify import structural_key
+
+    if analyzer is not None:
+        cond = analyzer.simplify(cond)
+    if isinstance(cond, IntImm):
+        return None
+    try:
+        return structural_key(cond)
+    except TypeError:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# producer/consumer coverage
+# ---------------------------------------------------------------------------
+
+
+def _concrete_hull(
+    func: PrimFunc, realize: BlockRealize, region, analyzer_cache
+) -> Optional[List[IntSet]]:
+    """Fully-relaxed [min,max] hull of a block's access region."""
+    loops = loops_above(func.body, realize)
+    dom: Dict[Var, IntSet] = {}
+    for lp in loops:
+        extent = const_int_value(lp.extent)
+        lo = const_int_value(lp.min)
+        if extent is None or lo is None:
+            return None
+        dom[lp.loop_var] = IntSet.from_range(lo, extent)
+    # Block iterators take the range of their bindings.
+    block = realize.block
+    for iv, binding in zip(block.iter_vars, realize.iter_values):
+        dom[iv.var] = eval_int_set(binding, dom)
+    hull = []
+    for rng in region.region:
+        lo_set = eval_int_set(rng.min, dom)
+        hi_set = eval_int_set(rng.min + rng.extent - 1, dom)
+        if lo_set.min_value is None or hi_set.max_value is None:
+            return None
+        hull.append(IntSet(lo_set.min_value, hi_set.max_value))
+    return hull
+
+
+def _check_producer_consumer(func: PrimFunc, realizes, problems: List[str]) -> None:
+    writes: Dict[int, Tuple[Buffer, List[List[IntSet]]]] = {}
+    reads: Dict[int, List[Tuple[str, List[IntSet]]]] = {}
+    param_buffers = set(func.buffer_map.values())
+    for realize in realizes:
+        block = realize.block
+        for region in block.writes:
+            hull = _concrete_hull(func, realize, region, None)
+            if hull is None:
+                continue
+            writes.setdefault(id(region.buffer), (region.buffer, []))[1].append(hull)
+        for region in block.reads:
+            if region.buffer in param_buffers:
+                continue  # inputs are externally initialised
+            hull = _concrete_hull(func, realize, region, None)
+            if hull is None:
+                continue
+            reads.setdefault(id(region.buffer), []).append((block.name_hint, hull))
+    for buf_id, consumer_list in reads.items():
+        if buf_id not in writes:
+            buffer_name = consumer_list[0][0]
+            problems.append(
+                f"{consumer_list[0][0]}: reads a buffer that no block produces"
+            )
+            continue
+        buffer, write_hulls = writes[buf_id]
+        for d in range(buffer.ndim):
+            w_lo = min(h[d].min_value for h in write_hulls)
+            w_hi = max(h[d].max_value for h in write_hulls)
+            for consumer_name, hull in consumer_list:
+                if hull[d].min_value < w_lo or hull[d].max_value > w_hi:
+                    problems.append(
+                        f"{consumer_name}: reads {buffer.name} dim {d} over "
+                        f"[{hull[d].min_value}, {hull[d].max_value}] but producers "
+                        f"only cover [{w_lo}, {w_hi}]"
+                    )
+
+
+# ---------------------------------------------------------------------------
+# intrinsic constraints
+# ---------------------------------------------------------------------------
+
+
+def _check_intrinsic_scopes(func: PrimFunc, realizes, problems: List[str]) -> None:
+    from ..intrin import get_intrin
+
+    for realize in realizes:
+        block = realize.block
+        intrin_name = block.annotations.get("tensorize")
+        if not intrin_name:
+            continue
+        intrin = get_intrin(intrin_name)
+        operands = block.annotations.get("tensorize_operands", {})
+        buffers = {}
+        for region in list(block.reads) + list(block.writes):
+            buffers[region.buffer.name] = region.buffer
+        for role, required in intrin.operand_scopes.items():
+            name = operands.get(role)
+            if name is None or name not in buffers:
+                problems.append(
+                    f"{block.name_hint}: tensorized operand {role!r} not found"
+                )
+                continue
+            allowed = (required,) if isinstance(required, str) else tuple(required)
+            if buffers[name].scope not in allowed:
+                problems.append(
+                    f"{block.name_hint}: intrinsic {intrin_name} requires operand "
+                    f"{role} in scope {allowed}, but {name} is in "
+                    f"{buffers[name].scope!r}"
+                )
+
+
+# ---------------------------------------------------------------------------
+# threading validation (GPU targets)
+# ---------------------------------------------------------------------------
+
+
+def _check_threading(func: PrimFunc, realizes, target, problems: List[str]) -> None:
+    from ..intrin import get_intrin
+    from ..tir import SeqStmt
+
+    # Each top-level nest under the root block is its own kernel launch:
+    # thread-extent consistency and launch limits apply per kernel.
+    root_body = func.body.block.body
+    kernels = list(root_body.stmts) if isinstance(root_body, SeqStmt) else [root_body]
+    for kernel in kernels:
+        thread_extents: Dict[str, Set[int]] = {}
+        all_loops: List[For] = []
+
+        def visit(stmt: Stmt) -> None:
+            from .sref import children_of
+
+            if isinstance(stmt, For):
+                all_loops.append(stmt)
+            for child in children_of(stmt):
+                visit(child)
+
+        visit(kernel)
+        for lp in all_loops:
+            if lp.kind == ForKind.THREAD_BINDING and lp.thread_tag != "vthread":
+                extent = const_int_value(lp.extent)
+                if extent is None:
+                    problems.append(
+                        f"thread loop {lp.loop_var.name} has symbolic extent"
+                    )
+                    continue
+                thread_extents.setdefault(lp.thread_tag, set()).add(extent)
+
+        # Thread binding consistency: loops on one axis must agree up to
+        # masked subsets (a smaller extent that divides the launch extent
+        # lowers to an `if (tid < n)` guard; anything else is flagged).
+        for tag, extents in thread_extents.items():
+            launch = max(extents)
+            bad = sorted(e for e in extents if launch % e != 0)
+            if bad:
+                problems.append(
+                    f"inconsistent extents {sorted(extents)} for thread axis {tag}"
+                )
+
+        # Launch limits (per kernel: max extent per axis is the launch).
+        n_threads = 1
+        for tag in ("threadIdx.x", "threadIdx.y", "threadIdx.z"):
+            if tag in thread_extents:
+                extent = max(thread_extents[tag])
+                limit = target.max_thread_extent(tag)
+                if extent > limit:
+                    problems.append(f"{tag} extent {extent} exceeds limit {limit}")
+                n_threads *= extent
+        if n_threads > target.max_threads_per_block:
+            problems.append(
+                f"{n_threads} threads per block exceeds limit "
+                f"{target.max_threads_per_block}"
+            )
+
+    # Shared memory capacity (per-tile live footprint; the allocation is
+    # declared full-size but lowering compacts it to the produced tile).
+    shared_bytes = shared_footprint_bytes(func)
+    if shared_bytes > target.shared_memory_per_block:
+        problems.append(
+            f"shared memory {shared_bytes}B exceeds capacity "
+            f"{target.shared_memory_per_block}B"
+        )
+
+    # Execution scope: warp-level intrinsics must not sit inside a
+    # threadIdx.x loop (the 32 lanes of the warp execute it together).
+    for realize in realizes:
+        intrin_name = realize.block.annotations.get("tensorize")
+        if not intrin_name:
+            continue
+        intrin = get_intrin(intrin_name)
+        if intrin.execution_scope != "warp":
+            continue
+        for lp in loops_above(func.body, realize):
+            if lp.kind == ForKind.THREAD_BINDING and lp.thread_tag == "threadIdx.x":
+                problems.append(
+                    f"{realize.block.name_hint}: warp-scope intrinsic "
+                    f"{intrin_name} may not be nested inside a threadIdx.x loop"
+                )
+                break
+
+    # Cooperative memory access: writers of a shared buffer must cover
+    # the reads of all threads in the block (hull check over all axes
+    # including thread loops — already concrete in _concrete_hull).
+    shared_writes: Dict[int, Tuple[Buffer, List[List[IntSet]]]] = {}
+    shared_reads: Dict[int, List[Tuple[str, List[IntSet]]]] = {}
+    for realize in realizes:
+        block = realize.block
+        for region in block.writes:
+            if region.buffer.scope != "shared":
+                continue
+            hull = _concrete_hull(func, realize, region, None)
+            if hull is not None:
+                shared_writes.setdefault(id(region.buffer), (region.buffer, []))[1].append(hull)
+        for region in block.reads:
+            if region.buffer.scope != "shared":
+                continue
+            hull = _concrete_hull(func, realize, region, None)
+            if hull is not None:
+                shared_reads.setdefault(id(region.buffer), []).append(
+                    (block.name_hint, hull)
+                )
+    for buf_id, consumer_list in shared_reads.items():
+        if buf_id not in shared_writes:
+            problems.append(
+                f"{consumer_list[0][0]}: reads a shared buffer no block fills "
+                "(cooperative fetch missing)"
+            )

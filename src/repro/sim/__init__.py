@@ -1,0 +1,8 @@
+"""Simulated hardware: target descriptions and the analytical
+performance model (the reproduction's substitute for an RTX 3080 and a
+Graviton2 — see DESIGN.md §2)."""
+
+from .cost import CostModelError, PerfReport, estimate
+from .target import SimCPU, SimGPU, Target
+
+__all__ = ["Target", "SimGPU", "SimCPU", "estimate", "PerfReport", "CostModelError"]

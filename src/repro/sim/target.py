@@ -1,0 +1,131 @@
+"""Simulated hardware targets.
+
+The paper evaluates on an NVIDIA RTX 3080 (Tensor Cores, fp16) and an
+AWS Graviton2 (ARM ``sdot``, int8).  This reproduction has neither, so
+per the substitution rule we model both machines analytically:
+first-order throughput numbers (scalar vs tensor-unit FLOP/cycle, memory
+bandwidth per level, parallel width) and the constraint tables used by
+threading validation.  Absolute numbers are loosely calibrated to the
+real parts; the experiments only rely on the *ratios* (tensor : scalar
+throughput, compute : bandwidth), which match the real machines' orders
+of magnitude.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["Target", "SimGPU", "SimCPU"]
+
+
+class Target:
+    """Base class for simulated hardware targets."""
+
+    kind = "abstract"
+    name = "abstract"
+
+    #: Tensor intrinsics natively available on this target.
+    compute_intrins: tuple = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class SimGPU(Target):
+    """An RTX-3080-class simulated GPU.
+
+    68 SMs at 1.7 GHz; each SM owns 128 fp32 lanes (FMA: 256 FLOP/cycle)
+    and 4 tensor cores (512 fp16 FLOP/cycle each → 2048 FLOP/cycle/SM,
+    an 8x throughput step over the scalar pipeline — the reason
+    tensorization wins and data movement becomes the bottleneck, §4.3).
+    """
+
+    kind = "gpu"
+    name = "sim-rtx3080"
+
+    sm_count = 68
+    clock_ghz = 1.7
+    warp_size = 32
+
+    # Launch / capacity constraints (threading validation, §3.3).
+    max_threads_per_block = 1024
+    shared_memory_per_block = 48 * 1024  # bytes
+    max_vthread = 16
+
+    # Throughput (per SM, per cycle).
+    scalar_flops_per_cycle = 256.0  # fp32/fp16 CUDA-core FMA lanes
+    tensor_flops_per_cycle = 2048.0  # 4 tensor cores x 512
+    tensor_units_per_sm = 4
+
+    # Memory system (bytes per cycle, whole chip).
+    global_bytes_per_cycle = 440.0  # ~760 GB/s / 1.7 GHz
+    shared_bytes_per_cycle_per_sm = 128.0
+    l2_bytes_per_cycle = 1800.0
+    l2_capacity = 5 * 1024 * 1024
+
+    # Fixed overheads.
+    kernel_launch_cycles = 4000.0  # ~2.4 us
+    #: threads needed per SM for full latency hiding.
+    full_occupancy_threads = 256
+
+    compute_intrins = ("wmma_16x16x16_f16",)
+
+    _THREAD_LIMITS = {
+        "threadIdx.x": 1024,
+        "threadIdx.y": 1024,
+        "threadIdx.z": 64,
+        "blockIdx.x": 2**31 - 1,
+        "blockIdx.y": 65535,
+        "blockIdx.z": 65535,
+        "vthread": 16,
+    }
+
+    def max_thread_extent(self, tag: str) -> int:
+        return self._THREAD_LIMITS.get(tag, 1024)
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / (self.clock_ghz * 1e9)
+
+
+class SimCPU(Target):
+    """A Graviton2-class simulated ARM CPU.
+
+    16 modelled cores at 2.5 GHz with 128-bit NEON.  The ``sdot``
+    instruction performs 16 int8 MACs (32 ops) per issue, two issues per
+    cycle per core — a 16x step over scalar int multiply-accumulate,
+    which is the CPU analogue of the tensor-core gap.
+    """
+
+    kind = "cpu"
+    name = "sim-graviton2"
+
+    cores = 16
+    clock_ghz = 2.5
+
+    # Throughput (per core, per cycle).
+    scalar_ops_per_cycle = 4.0  # superscalar integer/fp pipes
+    vector_lanes_int8 = 16  # 128-bit NEON
+    vector_lanes_fp32 = 4
+    sdot_flops_per_cycle = 64.0  # 2 sdot issues x 32 ops
+
+    # Memory (bytes per cycle, whole chip).
+    dram_bytes_per_cycle = 80.0  # ~200 GB/s / 2.5 GHz
+    l2_bytes_per_cycle = 512.0
+    l2_capacity = 1024 * 1024  # per-core L2, modelled flat
+    l1_bytes_per_cycle = 1024.0
+    l1_capacity = 64 * 1024
+
+    op_launch_cycles = 2000.0
+
+    compute_intrins = ("sdot_4x4x4_i8",)
+
+    # CPUs have no GPU-style thread axes; validation limits are moot but
+    # provided for interface completeness.
+    max_threads_per_block = 1
+    shared_memory_per_block = 0
+
+    def max_thread_extent(self, tag: str) -> int:
+        return 1
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / (self.clock_ghz * 1e9)

@@ -1,0 +1,168 @@
+"""TensorIR abstraction: buffers, loop nests and blocks (paper §3).
+
+The package exposes the IR node classes, the imperative builder dialect,
+the script printer, structural equality, functors and concrete
+evaluation.
+"""
+
+from . import dtype
+from .buffer import Buffer, BufferRegion, MemoryScope, decl_buffer
+from .builder import BlockBuilder, IRBuilder, call
+from .eval import evaluate_expr
+from .expr import (
+    Add,
+    And,
+    BinaryOp,
+    BufferLoad,
+    Call,
+    Cast,
+    EQ,
+    FloatImm,
+    FloorDiv,
+    FloorMod,
+    GE,
+    GT,
+    IntImm,
+    IterVar,
+    LE,
+    LT,
+    Max,
+    Min,
+    Mul,
+    NE,
+    Not,
+    Or,
+    PrimExpr,
+    Range,
+    Select,
+    StringImm,
+    Sub,
+    TruncDiv,
+    Var,
+    all_of,
+    as_expr,
+    const,
+    const_int_value,
+    is_const_int,
+    logical_and,
+    logical_or,
+    max_expr,
+    min_expr,
+    truncdiv,
+)
+from .function import IRModule, PrimFunc, make_root_block
+from .functor import (
+    ExprMutator,
+    ExprVisitor,
+    StmtMutator,
+    StmtVisitor,
+    collect_vars,
+    post_order_visit,
+    substitute,
+)
+from .parser import ParseError, parse_script
+from .printer import expr_str, script
+from .stmt import (
+    AllocateConst,
+    Block,
+    BlockRealize,
+    BufferStore,
+    Evaluate,
+    For,
+    ForKind,
+    IfThenElse,
+    LetStmt,
+    SeqStmt,
+    Stmt,
+    seq,
+)
+from .structural import assert_structural_equal, structural_equal
+
+__all__ = [
+    # dtype
+    "dtype",
+    # buffer
+    "Buffer",
+    "BufferRegion",
+    "MemoryScope",
+    "decl_buffer",
+    # builder
+    "IRBuilder",
+    "BlockBuilder",
+    "call",
+    # eval
+    "evaluate_expr",
+    # expr
+    "PrimExpr",
+    "Var",
+    "IntImm",
+    "FloatImm",
+    "StringImm",
+    "Cast",
+    "BinaryOp",
+    "Add",
+    "Sub",
+    "Mul",
+    "FloorDiv",
+    "FloorMod",
+    "TruncDiv",
+    "Min",
+    "Max",
+    "EQ",
+    "NE",
+    "LT",
+    "LE",
+    "GT",
+    "GE",
+    "And",
+    "Or",
+    "Not",
+    "Select",
+    "BufferLoad",
+    "Call",
+    "Range",
+    "IterVar",
+    "const",
+    "as_expr",
+    "is_const_int",
+    "const_int_value",
+    "min_expr",
+    "max_expr",
+    "truncdiv",
+    "logical_and",
+    "logical_or",
+    "all_of",
+    # function
+    "PrimFunc",
+    "IRModule",
+    "make_root_block",
+    # functor
+    "ExprVisitor",
+    "ExprMutator",
+    "StmtVisitor",
+    "StmtMutator",
+    "post_order_visit",
+    "substitute",
+    "collect_vars",
+    # printer / parser
+    "script",
+    "expr_str",
+    "parse_script",
+    "ParseError",
+    # stmt
+    "Stmt",
+    "BufferStore",
+    "Evaluate",
+    "SeqStmt",
+    "IfThenElse",
+    "LetStmt",
+    "ForKind",
+    "For",
+    "Block",
+    "BlockRealize",
+    "AllocateConst",
+    "seq",
+    # structural
+    "structural_equal",
+    "assert_structural_equal",
+]

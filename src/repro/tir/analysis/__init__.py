@@ -1,0 +1,15 @@
+"""Analyses over TensorIR: access regions, verification, feature helpers."""
+
+from .regions import (
+    SymInterval,
+    detect_block_access_regions,
+    eval_sym_interval,
+    union_regions,
+)
+
+__all__ = [
+    "SymInterval",
+    "detect_block_access_regions",
+    "eval_sym_interval",
+    "union_regions",
+]

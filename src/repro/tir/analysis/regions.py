@@ -1,0 +1,364 @@
+"""Access-region detection.
+
+Computes the read/write :class:`~repro.tir.buffer.BufferRegion` sets of a
+block body *in terms of the block iterator variables*: inner loop
+variables are relaxed over their domains (symbolically), block iterators
+stay free.  This produces exactly the signature information of Figure 5 —
+e.g. the matmul body reads ``A[vy*4 : vy*4+4, vk*4 : vk*4+4]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ...arith import Analyzer
+from .. import dtype as _dt
+from ..buffer import Buffer, BufferRegion
+from ..expr import (
+    Add,
+    BufferLoad,
+    Cast,
+    FloorDiv,
+    FloorMod,
+    IntImm,
+    Max,
+    Min,
+    Mul,
+    PrimExpr,
+    Range,
+    Select,
+    Sub,
+    Var,
+    as_expr,
+    const,
+    const_int_value,
+)
+from ..functor import StmtVisitor
+from ..stmt import Block, BlockRealize, BufferStore, Evaluate, For, LetStmt, Stmt
+
+__all__ = ["SymInterval", "eval_sym_interval", "detect_block_access_regions", "union_regions"]
+
+
+class SymInterval:
+    """A symbolic closed interval ``[min_expr, max_expr]``."""
+
+    __slots__ = ("min", "max")
+
+    def __init__(self, min_expr: PrimExpr, max_expr: PrimExpr):
+        self.min = as_expr(min_expr)
+        self.max = as_expr(max_expr)
+
+    @staticmethod
+    def point(expr: PrimExpr) -> "SymInterval":
+        return SymInterval(expr, expr)
+
+    @property
+    def is_point(self) -> bool:
+        return self.min is self.max
+
+    def __repr__(self) -> str:  # pragma: no cover
+        from ..printer import expr_str
+
+        return f"SymInterval[{expr_str(self.min)}, {expr_str(self.max)}]"
+
+
+def eval_sym_interval(
+    expr: PrimExpr, dom: Mapping[Var, SymInterval], analyzer: Analyzer
+) -> SymInterval:
+    """Interval-evaluate ``expr``, relaxing variables found in ``dom``.
+
+    Variables not in ``dom`` are treated as symbolic points (they appear
+    in the resulting bounds).  Conservative for non-affine shapes.
+    """
+    if isinstance(expr, Var):
+        return dom.get(expr, SymInterval.point(expr))
+    if isinstance(expr, IntImm):
+        return SymInterval.point(expr)
+    if isinstance(expr, Cast):
+        inner = eval_sym_interval(expr.value, dom, analyzer)
+        return SymInterval(inner.min.astype(expr.dtype), inner.max.astype(expr.dtype))
+    if isinstance(expr, Add):
+        a = eval_sym_interval(expr.a, dom, analyzer)
+        b = eval_sym_interval(expr.b, dom, analyzer)
+        return SymInterval(analyzer.simplify(a.min + b.min), analyzer.simplify(a.max + b.max))
+    if isinstance(expr, Sub):
+        a = eval_sym_interval(expr.a, dom, analyzer)
+        b = eval_sym_interval(expr.b, dom, analyzer)
+        return SymInterval(analyzer.simplify(a.min - b.max), analyzer.simplify(a.max - b.min))
+    if isinstance(expr, Mul):
+        a = eval_sym_interval(expr.a, dom, analyzer)
+        b = eval_sym_interval(expr.b, dom, analyzer)
+        ca, cb = const_int_value(a.min) if a.is_point else None, None
+        if b.is_point:
+            cb = const_int_value(b.min)
+        if cb is not None:
+            lo, hi = (a.min * cb, a.max * cb) if cb >= 0 else (a.max * cb, a.min * cb)
+            return SymInterval(analyzer.simplify(lo), analyzer.simplify(hi))
+        if ca is not None:
+            lo, hi = (b.min * ca, b.max * ca) if ca >= 0 else (b.max * ca, b.min * ca)
+            return SymInterval(analyzer.simplify(lo), analyzer.simplify(hi))
+        if a.is_point and b.is_point:
+            prod = analyzer.simplify(a.min * b.min)
+            return SymInterval(prod, prod)
+        # Unknown-sign symbolic product: fall back to min/max of corners.
+        corners = [a.min * b.min, a.min * b.max, a.max * b.min, a.max * b.max]
+        lo = corners[0]
+        hi = corners[0]
+        for c in corners[1:]:
+            lo = Min(lo, c)
+            hi = Max(hi, c)
+        return SymInterval(analyzer.simplify(lo), analyzer.simplify(hi))
+    if isinstance(expr, FloorDiv):
+        a = eval_sym_interval(expr.a, dom, analyzer)
+        c = const_int_value(expr.b)
+        if c is not None and c > 0:
+            return SymInterval(analyzer.simplify(a.min // c), analyzer.simplify(a.max // c))
+        if a.is_point:
+            b = eval_sym_interval(expr.b, dom, analyzer)
+            if b.is_point:
+                v = analyzer.simplify(a.min // b.min)
+                return SymInterval(v, v)
+        raise _RelaxError("floordiv by symbolic divisor")
+    if isinstance(expr, FloorMod):
+        a = eval_sym_interval(expr.a, dom, analyzer)
+        c = const_int_value(expr.b)
+        if c is not None and c > 0:
+            if a.is_point:
+                v = analyzer.simplify(a.min % c)
+                return SymInterval(v, v)
+            # Check whether the numerator provably stays in one period.
+            same_period = analyzer.can_prove(
+                (a.min // c).equal(a.max // c)
+            )
+            if same_period:
+                return SymInterval(
+                    analyzer.simplify(a.min % c), analyzer.simplify(a.max % c)
+                )
+            return SymInterval(const(0), const(c - 1))
+        raise _RelaxError("floormod by symbolic divisor")
+    if isinstance(expr, Min):
+        a = eval_sym_interval(expr.a, dom, analyzer)
+        b = eval_sym_interval(expr.b, dom, analyzer)
+        return SymInterval(
+            analyzer.simplify(Min(a.min, b.min)), analyzer.simplify(Min(a.max, b.max))
+        )
+    if isinstance(expr, Max):
+        a = eval_sym_interval(expr.a, dom, analyzer)
+        b = eval_sym_interval(expr.b, dom, analyzer)
+        return SymInterval(
+            analyzer.simplify(Max(a.min, b.min)), analyzer.simplify(Max(a.max, b.max))
+        )
+    if isinstance(expr, Select):
+        t = eval_sym_interval(expr.true_value, dom, analyzer)
+        f = eval_sym_interval(expr.false_value, dom, analyzer)
+        return SymInterval(
+            analyzer.simplify(Min(t.min, f.min)), analyzer.simplify(Max(t.max, f.max))
+        )
+    raise _RelaxError(f"cannot relax {type(expr).__name__}")
+
+
+class _RelaxError(Exception):
+    pass
+
+
+def _interval_to_range(interval: SymInterval, analyzer: Analyzer) -> Range:
+    extent = analyzer.simplify(interval.max - interval.min + 1)
+    return Range(interval.min, extent)
+
+
+def _union_interval(a: SymInterval, b: SymInterval, analyzer: Analyzer) -> SymInterval:
+    if analyzer.prove_equal(a.min, b.min) and analyzer.prove_equal(a.max, b.max):
+        return a
+    lo_diff_le = analyzer.can_prove(a.min <= b.min)
+    lo = a.min if lo_diff_le else (b.min if analyzer.can_prove(b.min <= a.min) else Min(a.min, b.min))
+    hi_ge = analyzer.can_prove(a.max >= b.max)
+    hi = a.max if hi_ge else (b.max if analyzer.can_prove(b.max >= a.max) else Max(a.max, b.max))
+    return SymInterval(analyzer.simplify(as_expr(lo)), analyzer.simplify(as_expr(hi)))
+
+
+def union_regions(
+    regions: Sequence[BufferRegion], analyzer: Optional[Analyzer] = None
+) -> List[BufferRegion]:
+    """Union regions buffer-by-buffer (interval hull per dimension)."""
+    analyzer = analyzer or Analyzer()
+    by_buffer: Dict[int, Tuple[Buffer, List[SymInterval]]] = {}
+    order: List[int] = []
+    for region in regions:
+        key = id(region.buffer)
+        intervals = [
+            SymInterval(r.min, analyzer.simplify(r.min + r.extent - 1)) for r in region.region
+        ]
+        if key not in by_buffer:
+            by_buffer[key] = (region.buffer, intervals)
+            order.append(key)
+        else:
+            _, existing = by_buffer[key]
+            merged = [
+                _union_interval(e, n, analyzer) for e, n in zip(existing, intervals)
+            ]
+            by_buffer[key] = (region.buffer, merged)
+    out = []
+    for key in order:
+        buf, intervals = by_buffer[key]
+        out.append(BufferRegion(buf, [_interval_to_range(iv, analyzer) for iv in intervals]))
+    return out
+
+
+def clamp_read_regions(
+    regions: Sequence[BufferRegion], analyzer: Optional[Analyzer] = None
+) -> List[BufferRegion]:
+    """Clip read regions to their buffers' bounds.
+
+    Region detection cannot see through Select guards (padding blocks
+    read conditionally); the actual reads never leave the buffer, so the
+    clipped region is the faithful signature.
+    """
+    analyzer = analyzer or Analyzer()
+    out = []
+    for region in regions:
+        in_bounds = True
+        for rng, shape in zip(region.region, region.buffer.shape):
+            end = analyzer.simplify(rng.min + rng.extent)
+            if not analyzer.can_prove(end <= shape):
+                in_bounds = False
+                break
+        if in_bounds:
+            out.append(region)
+        else:
+            # Guarded access that interval analysis cannot tighten:
+            # declare the whole buffer (sound, hull-friendly).
+            out.append(region.buffer.full_region())
+    return out
+
+
+class _AccessCollector(StmtVisitor):
+    """Collect buffer accesses of a block body, relaxing inner loops."""
+
+    def __init__(self, analyzer: Analyzer):
+        self.analyzer = analyzer
+        self.dom: Dict[Var, SymInterval] = {}
+        self.reads: List[BufferRegion] = []
+        self.writes: List[BufferRegion] = []
+        self.opaque = False
+
+    def _relax_indices(self, buffer: Buffer, indices) -> Optional[BufferRegion]:
+        try:
+            intervals = [eval_sym_interval(i, self.dom, self.analyzer) for i in indices]
+        except _RelaxError:
+            return None
+        return BufferRegion(
+            buffer, [_interval_to_range(iv, self.analyzer) for iv in intervals]
+        )
+
+    def visit_buffer_load(self, expr: BufferLoad) -> None:
+        super().visit_buffer_load(expr)
+        region = self._relax_indices(expr.buffer, expr.indices)
+        if region is None:
+            self.reads.append(expr.buffer.full_region())
+        else:
+            self.reads.append(region)
+
+    def visit_buffer_store(self, stmt: BufferStore) -> None:
+        super().visit_buffer_store(stmt)
+        region = self._relax_indices(stmt.buffer, stmt.indices)
+        if region is None:
+            self.writes.append(stmt.buffer.full_region())
+        else:
+            self.writes.append(region)
+
+    def visit_for(self, stmt: For) -> None:
+        lo = eval_sym_interval(stmt.min, self.dom, self.analyzer)
+        hi = eval_sym_interval(stmt.min + stmt.extent - 1, self.dom, self.analyzer)
+        self.dom[stmt.loop_var] = SymInterval(
+            self.analyzer.simplify(lo.min), self.analyzer.simplify(hi.max)
+        )
+        self.visit(stmt.min)
+        self.visit(stmt.extent)
+        self.visit_stmt(stmt.body)
+        del self.dom[stmt.loop_var]
+
+    def visit_let(self, stmt: LetStmt) -> None:
+        self.dom[stmt.var] = eval_sym_interval(stmt.value, self.dom, self.analyzer)
+        self.visit(stmt.value)
+        self.visit_stmt(stmt.body)
+        del self.dom[stmt.var]
+
+    def visit_block_realize(self, stmt: BlockRealize) -> None:
+        # Nested block: trust its signature (that is the whole point of
+        # the block isolation), substituted with the binding values.
+        from ..functor import substitute
+
+        for v in stmt.iter_values:
+            self.visit(v)
+        block = stmt.block
+        vmap = {iv.var: val for iv, val in zip(block.iter_vars, stmt.iter_values)}
+        local = set(block.alloc_buffers)
+        for region in block.reads:
+            if region.buffer in local:
+                continue
+            bound = substitute(region, vmap)
+            self._append_relaxed(bound, self.reads)
+        for region in block.writes:
+            if region.buffer in local:
+                continue
+            bound = substitute(region, vmap)
+            self._append_relaxed(bound, self.writes)
+
+    def _append_relaxed(self, region: BufferRegion, sink: List[BufferRegion]) -> None:
+        ranges = []
+        for r in region.region:
+            try:
+                lo = eval_sym_interval(r.min, self.dom, self.analyzer)
+                hi = eval_sym_interval(r.min + r.extent - 1, self.dom, self.analyzer)
+            except _RelaxError:
+                sink.append(region.buffer.full_region())
+                return
+            ranges.append(
+                _interval_to_range(
+                    SymInterval(
+                        self.analyzer.simplify(lo.min), self.analyzer.simplify(hi.max)
+                    ),
+                    self.analyzer,
+                )
+            )
+        sink.append(BufferRegion(region.buffer, ranges))
+
+
+def detect_block_access_regions(
+    block: Block, analyzer: Optional[Analyzer] = None
+) -> Tuple[List[BufferRegion], List[BufferRegion]]:
+    """Compute (reads, writes) of ``block`` in terms of its iterators.
+
+    Buffers allocated inside the block are excluded (they are internal to
+    the block instance).  The init statement's accesses count toward the
+    block's signature as well.
+    """
+    analyzer = (analyzer or Analyzer()).copy()
+    for iv in block.iter_vars:
+        analyzer.bind(iv.var, iv.dom)
+    collector = _AccessCollector(analyzer)
+    if block.init is not None:
+        collector.visit_stmt(block.init)
+    collector.visit_stmt(block.body)
+    local = set(block.alloc_buffers)
+    reads = [r for r in collector.reads if r.buffer not in local]
+    writes = [w for w in collector.writes if w.buffer not in local]
+    # A reduction read of the write buffer (C[...] += ...) is implied by
+    # the write; drop self-reads that are covered by a write region.
+    reads = [r for r in reads if not _covered_self_read(r, writes, analyzer)]
+    return union_regions(reads, analyzer), union_regions(writes, analyzer)
+
+
+def _covered_self_read(
+    read: BufferRegion, writes: Sequence[BufferRegion], analyzer: Analyzer
+) -> bool:
+    for w in writes:
+        if w.buffer is not read.buffer:
+            continue
+        same = all(
+            analyzer.prove_equal(rw.min, rr.min) and analyzer.prove_equal(rw.extent, rr.extent)
+            for rw, rr in zip(w.region, read.region)
+        )
+        if same:
+            return True
+    return False

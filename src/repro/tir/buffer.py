@@ -1,0 +1,144 @@
+"""Multi-dimensional buffers and buffer regions.
+
+A :class:`Buffer` is a named multi-dimensional array with a dtype and a
+storage *scope* (``global``, ``shared``, ``local`` / register,
+``wmma.matrix_a`` and friends for tensor-core fragments).  Buffers are
+identity objects: two buffers with the same name are different buffers.
+
+A :class:`BufferRegion` is a buffer plus a list of :class:`Range` — the
+unit of the block-signature read/write sets described in §3.1 of the
+paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from . import dtype as _dt
+from .expr import BufferLoad, ExprLike, PrimExpr, Range, as_expr, const_int_value
+
+__all__ = ["Buffer", "BufferRegion", "decl_buffer", "MemoryScope"]
+
+
+class MemoryScope:
+    """Canonical storage scope names used throughout the system."""
+
+    GLOBAL = "global"
+    SHARED = "shared"
+    LOCAL = "local"
+    WMMA_A = "wmma.matrix_a"
+    WMMA_B = "wmma.matrix_b"
+    WMMA_ACC = "wmma.accumulator"
+
+    ALL = (GLOBAL, SHARED, LOCAL, WMMA_A, WMMA_B, WMMA_ACC)
+
+    #: Scopes that live inside a streaming-multiprocessor and are shared
+    #: across the threads of one thread block.
+    BLOCK_LOCAL = (SHARED,)
+    #: Scopes private to a single thread (or warp for wmma fragments).
+    THREAD_LOCAL = (LOCAL, WMMA_A, WMMA_B, WMMA_ACC)
+
+
+class Buffer:
+    """A multi-dimensional array in some memory scope."""
+
+    __slots__ = ("name", "shape", "dtype", "scope")
+
+    def __init__(
+        self,
+        name: str,
+        shape: Sequence[ExprLike],
+        dtype: str = "float32",
+        scope: str = MemoryScope.GLOBAL,
+    ):
+        self.name = name
+        self.shape: Tuple[PrimExpr, ...] = tuple(as_expr(s) for s in shape)
+        self.dtype = _dt.validate_dtype(dtype)
+        self.scope = scope
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def shape_ints(self) -> Tuple[int, ...]:
+        """Constant shape as Python ints; raises if any extent is symbolic."""
+        out = []
+        for s in self.shape:
+            v = const_int_value(s)
+            if v is None:
+                raise ValueError(f"buffer {self.name} has symbolic shape")
+            out.append(v)
+        return tuple(out)
+
+    def numel(self) -> int:
+        n = 1
+        for s in self.shape_ints():
+            n *= s
+        return n
+
+    def nbytes(self) -> int:
+        return self.numel() * _dt.bytes_of(self.dtype)
+
+    def __getitem__(self, indices) -> BufferLoad:
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        return BufferLoad(self, indices)
+
+    def full_region(self) -> "BufferRegion":
+        """The region covering the entire buffer."""
+        return BufferRegion(self, [Range(0, s) for s in self.shape])
+
+    def with_scope(self, scope: str, name: Optional[str] = None) -> "Buffer":
+        """A *new* buffer with the same shape/dtype in another scope."""
+        return Buffer(name or f"{self.name}_{scope.replace('.', '_')}", self.shape, self.dtype, scope)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        shape = ", ".join(str(const_int_value(s)) for s in self.shape)
+        return f"Buffer({self.name}: {self.dtype}[{shape}] @{self.scope})"
+
+
+class BufferRegion:
+    """A rectangular sub-region of a buffer: ``buf[min0:min0+ext0, ...]``."""
+
+    __slots__ = ("buffer", "region")
+
+    def __init__(self, buffer: Buffer, region: Sequence[Range]):
+        if len(region) != buffer.ndim:
+            raise ValueError(
+                f"region rank {len(region)} does not match buffer "
+                f"{buffer.name} rank {buffer.ndim}"
+            )
+        self.buffer = buffer
+        self.region: Tuple[Range, ...] = tuple(region)
+
+    @staticmethod
+    def from_point(buffer: Buffer, indices: Sequence[ExprLike]) -> "BufferRegion":
+        """The single-element region at ``indices``."""
+        return BufferRegion(buffer, [Range(as_expr(i), 1) for i in indices])
+
+    def is_full(self) -> bool:
+        """True if this region statically covers the whole buffer."""
+        for rng, extent in zip(self.region, self.buffer.shape):
+            if const_int_value(rng.min) != 0:
+                return False
+            if const_int_value(rng.extent) != const_int_value(extent):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        from .printer import expr_str
+
+        dims = ", ".join(
+            f"{expr_str(r.min)}:{expr_str(r.min)}+{expr_str(r.extent)}" for r in self.region
+        )
+        return f"{self.buffer.name}[{dims}]"
+
+
+def decl_buffer(
+    shape: Sequence[ExprLike],
+    dtype: str = "float32",
+    name: str = "buffer",
+    scope: str = MemoryScope.GLOBAL,
+) -> Buffer:
+    """Declare a buffer (convenience constructor mirroring TVM's API)."""
+    return Buffer(name, shape, dtype, scope)

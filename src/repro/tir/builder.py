@@ -1,0 +1,317 @@
+"""Imperative IR builder — the Python dialect used to construct TensorIR.
+
+This is the construction side of the paper's "Python-AST dialect"
+(Figure 4): programs are built with nested ``with`` contexts mirroring
+the script's structure.  Read/write regions of blocks are detected
+automatically from the body (and can be overridden), so user code looks
+like::
+
+    b = IRBuilder("fuse_add_exp")
+    A = b.arg_buffer("A", (64, 64), "float32")
+    C = b.arg_buffer("C", (64, 64), "float32")
+    B = b.alloc_buffer("B", (64, 64), "float32")
+    with b.grid(64, 64) as (i, j):
+        with b.block("B") as blk:
+            vi = blk.spatial(64, i)
+            vj = blk.spatial(64, j)
+            b.store(B, (vi, vj), A[vi, vj] + 1.0)
+    with b.grid(64, 64) as (i, j):
+        with b.block("C") as blk:
+            vi = blk.spatial(64, i)
+            vj = blk.spatial(64, j)
+            b.store(C, (vi, vj), call("exp", B[vi, vj]))
+    func = b.finish()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..arith import Analyzer
+from . import dtype as _dt
+from .buffer import Buffer, BufferRegion, MemoryScope
+from .expr import Call, ExprLike, IterVar, PrimExpr, Range, Var, as_expr, const
+from .function import PrimFunc, make_root_block
+from .stmt import (
+    Block,
+    BlockRealize,
+    BufferStore,
+    Evaluate,
+    For,
+    ForKind,
+    IfThenElse,
+    LetStmt,
+    Stmt,
+    seq,
+)
+
+__all__ = ["IRBuilder", "BlockBuilder", "call"]
+
+
+def call(op: str, *args, dtype: str = "float32") -> Call:
+    """Build an intrinsic call expression, e.g. ``call("exp", x)``.
+
+    String arguments become :class:`~repro.tir.expr.StringImm` (used by
+    intrinsics like ``min_value("float16")``).
+    """
+    from .expr import StringImm
+
+    converted = [StringImm(a) if isinstance(a, str) else as_expr(a) for a in args]
+    return Call(dtype, op, converted)
+
+
+class _Frame:
+    """A statement-collection frame; one per open ``with`` context."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self.stmts: List[Stmt] = []
+        self.alloc_buffers: List[Buffer] = []
+
+
+class BlockBuilder:
+    """Collects one block's iterators, bindings and body."""
+
+    def __init__(self, builder: "IRBuilder", name: str):
+        self._builder = builder
+        self.name = name
+        self.iter_vars: List[IterVar] = []
+        self.iter_values: List[PrimExpr] = []
+        self._reads: Optional[List[BufferRegion]] = None
+        self._writes: Optional[List[BufferRegion]] = None
+        self._init_stmt: Optional[Stmt] = None
+        self.predicate: PrimExpr = const(True)
+        self.annotations: Dict[str, object] = {}
+
+    # -- iterator declaration -------------------------------------------
+    def _axis(self, kind: str, extent: ExprLike, binding: ExprLike, name: Optional[str]) -> Var:
+        if name is None:
+            bound = as_expr(binding)
+            name = f"v{bound.name}" if isinstance(bound, Var) else f"v{len(self.iter_vars)}"
+        var = Var(name, "int32")
+        self.iter_vars.append(IterVar(var, Range(0, extent), kind))
+        self.iter_values.append(as_expr(binding))
+        return var
+
+    def spatial(self, extent: ExprLike, binding: ExprLike, name: Optional[str] = None) -> Var:
+        """Declare a spatial (data-parallel) block iterator."""
+        return self._axis(IterVar.SPATIAL, extent, binding, name)
+
+    def reduce(self, extent: ExprLike, binding: ExprLike, name: Optional[str] = None) -> Var:
+        """Declare a reduction block iterator."""
+        return self._axis(IterVar.REDUCE, extent, binding, name)
+
+    # -- signature overrides -----------------------------------------------
+    def reads(self, *regions) -> None:
+        self._reads = [self._as_region(r) for r in regions]
+
+    def writes(self, *regions) -> None:
+        self._writes = [self._as_region(r) for r in regions]
+
+    def where(self, predicate: ExprLike) -> None:
+        """Guard the block instance with a predicate."""
+        self.predicate = as_expr(predicate)
+
+    def annotate(self, key: str, value: object) -> None:
+        self.annotations[key] = value
+
+    @staticmethod
+    def _as_region(r) -> BufferRegion:
+        from .expr import BufferLoad
+
+        if isinstance(r, BufferRegion):
+            return r
+        if isinstance(r, BufferLoad):
+            return BufferRegion.from_point(r.buffer, r.indices)
+        if isinstance(r, Buffer):
+            return r.full_region()
+        raise TypeError(f"cannot interpret {type(r).__name__} as a region")
+
+    @contextmanager
+    def init(self):
+        """Open the reduction-initialisation context."""
+        frame = _Frame("init")
+        self._builder._frames.append(frame)
+        try:
+            yield
+        finally:
+            self._builder._frames.pop()
+        if frame.alloc_buffers:
+            raise ValueError("allocations are not allowed inside init")
+        self._init_stmt = seq(frame.stmts)
+
+    # -- finalisation ------------------------------------------------------
+    def build(self, frame: _Frame) -> BlockRealize:
+        body = seq(frame.stmts)
+        block = Block(
+            name_hint=self.name,
+            iter_vars=self.iter_vars,
+            reads=(),
+            writes=(),
+            body=body,
+            init=self._init_stmt,
+            alloc_buffers=frame.alloc_buffers,
+            annotations=self.annotations,
+        )
+        if self._reads is None or self._writes is None:
+            from .analysis.regions import detect_block_access_regions
+
+            reads, writes = detect_block_access_regions(block)
+            block = block.replace(
+                reads=self._reads if self._reads is not None else reads,
+                writes=self._writes if self._writes is not None else writes,
+            )
+        else:
+            block = block.replace(reads=self._reads, writes=self._writes)
+        return BlockRealize(self.iter_values, self.predicate, block)
+
+
+class IRBuilder:
+    """Builds one :class:`~repro.tir.function.PrimFunc` imperatively."""
+
+    def __init__(self, name: str = "main"):
+        self.name = name
+        self._params: List[Var] = []
+        self._buffer_map: Dict[Var, Buffer] = {}
+        self._frames: List[_Frame] = [_Frame("root")]
+        self._name_counts: Dict[str, int] = {}
+
+    # -- declarations --------------------------------------------------
+    def arg_buffer(
+        self,
+        name: str,
+        shape: Sequence[ExprLike],
+        dtype: str = "float32",
+        scope: str = MemoryScope.GLOBAL,
+    ) -> Buffer:
+        """Declare a parameter buffer."""
+        buf = Buffer(name, shape, dtype, scope)
+        handle = Var(name, "handle")
+        self._params.append(handle)
+        self._buffer_map[handle] = buf
+        return buf
+
+    def alloc_buffer(
+        self,
+        name: str,
+        shape: Sequence[ExprLike],
+        dtype: str = "float32",
+        scope: str = MemoryScope.GLOBAL,
+    ) -> Buffer:
+        """Allocate an intermediate buffer in the current block scope."""
+        buf = Buffer(name, shape, dtype, scope)
+        self._frames[0 if len(self._frames) == 1 else -1].alloc_buffers.append(buf)
+        return buf
+
+    def fresh_name(self, hint: str) -> str:
+        count = self._name_counts.get(hint, 0)
+        self._name_counts[hint] = count + 1
+        return hint if count == 0 else f"{hint}_{count}"
+
+    # -- statements --------------------------------------------------------
+    def emit(self, stmt: Stmt) -> None:
+        self._frames[-1].stmts.append(stmt)
+
+    def store(self, buffer: Buffer, indices: Sequence[ExprLike], value: ExprLike) -> None:
+        self.emit(BufferStore(buffer, value, indices))
+
+    def evaluate(self, expr: ExprLike) -> None:
+        self.emit(Evaluate(expr))
+
+    # -- loops ------------------------------------------------------------
+    @contextmanager
+    def _loop(self, extent: ExprLike, kind: str, name: str, thread: Optional[str] = None):
+        var = Var(self.fresh_name(name), "int32")
+        frame = _Frame("loop")
+        self._frames.append(frame)
+        try:
+            yield var
+        finally:
+            self._frames.pop()
+        body = seq(frame.stmts)
+        if frame.alloc_buffers:
+            raise ValueError("use blocks (not loops) to scope allocations")
+        self.emit(For(var, 0, extent, kind, body, thread_tag=thread))
+
+    def serial(self, extent: ExprLike, name: str = "i"):
+        return self._loop(extent, ForKind.SERIAL, name)
+
+    def parallel(self, extent: ExprLike, name: str = "i"):
+        return self._loop(extent, ForKind.PARALLEL, name)
+
+    def vectorized(self, extent: ExprLike, name: str = "i"):
+        return self._loop(extent, ForKind.VECTORIZED, name)
+
+    def unrolled(self, extent: ExprLike, name: str = "i"):
+        return self._loop(extent, ForKind.UNROLLED, name)
+
+    def thread_binding(self, extent: ExprLike, thread: str, name: Optional[str] = None):
+        return self._loop(
+            extent, ForKind.THREAD_BINDING, name or thread.replace(".", "_"), thread
+        )
+
+    @contextmanager
+    def grid(self, *extents: ExprLike, names: Optional[Sequence[str]] = None):
+        """Open a perfectly nested grid of serial loops."""
+        default_names = ["i", "j", "k", "l", "m", "n"]
+        if names is None:
+            names = [
+                default_names[idx] if idx < len(default_names) else f"i{idx}"
+                for idx in range(len(extents))
+            ]
+        vars_: List[Var] = [Var(self.fresh_name(n), "int32") for n in names]
+        frame = _Frame("grid")
+        self._frames.append(frame)
+        try:
+            yield tuple(vars_) if len(vars_) > 1 else vars_[0]
+        finally:
+            self._frames.pop()
+        if frame.alloc_buffers:
+            raise ValueError("use blocks (not loops) to scope allocations")
+        body = seq(frame.stmts)
+        for var, extent in zip(reversed(vars_), reversed(extents)):
+            body = For(var, 0, extent, ForKind.SERIAL, body)
+        self.emit(body)
+
+    @contextmanager
+    def if_then(self, condition: ExprLike):
+        frame = _Frame("if")
+        self._frames.append(frame)
+        try:
+            yield
+        finally:
+            self._frames.pop()
+        self.emit(IfThenElse(condition, seq(frame.stmts)))
+
+    @contextmanager
+    def let(self, name: str, value: ExprLike):
+        value = as_expr(value)
+        var = Var(self.fresh_name(name), value.dtype)
+        frame = _Frame("let")
+        self._frames.append(frame)
+        try:
+            yield var
+        finally:
+            self._frames.pop()
+        self.emit(LetStmt(var, value, seq(frame.stmts)))
+
+    # -- blocks -----------------------------------------------------------
+    @contextmanager
+    def block(self, name: str):
+        block_builder = BlockBuilder(self, self.fresh_name(name))
+        frame = _Frame("block")
+        self._frames.append(frame)
+        try:
+            yield block_builder
+        finally:
+            self._frames.pop()
+        self.emit(block_builder.build(frame))
+
+    # -- finalisation -----------------------------------------------------
+    def finish(self) -> PrimFunc:
+        if len(self._frames) != 1:
+            raise RuntimeError("unclosed builder context")
+        root = self._frames[0]
+        body = make_root_block(seq(root.stmts), alloc_buffers=root.alloc_buffers)
+        return PrimFunc(self._params, self._buffer_map, body, name=self.name)

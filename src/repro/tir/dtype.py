@@ -1,0 +1,121 @@
+"""Data type utilities for TensorIR.
+
+Data types are plain strings such as ``"float32"``, ``"float16"``,
+``"int32"``, ``"int8"``, ``"uint8"``, ``"bool"`` and ``"handle"``.  This
+module centralises parsing, classification and promotion rules so the rest
+of the IR never string-matches ad hoc.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "DTYPE_BITS",
+    "is_float",
+    "is_int",
+    "is_uint",
+    "is_bool",
+    "is_handle",
+    "bits_of",
+    "validate_dtype",
+    "promote",
+    "numpy_dtype",
+]
+
+_DTYPE_RE = re.compile(r"^(float|int|uint|bool|handle)(\d*)$")
+
+DTYPE_BITS = {
+    "float64": 64,
+    "float32": 32,
+    "float16": 16,
+    "int64": 64,
+    "int32": 32,
+    "int16": 16,
+    "int8": 8,
+    "uint64": 64,
+    "uint32": 32,
+    "uint16": 16,
+    "uint8": 8,
+    "bool": 1,
+    "handle": 64,
+}
+
+
+def validate_dtype(dtype: str) -> str:
+    """Return ``dtype`` if it is a known TensorIR data type, else raise."""
+    if dtype not in DTYPE_BITS:
+        raise ValueError(f"unknown dtype: {dtype!r}")
+    return dtype
+
+
+def is_float(dtype: str) -> bool:
+    return dtype.startswith("float")
+
+
+def is_int(dtype: str) -> bool:
+    return dtype.startswith("int") or dtype.startswith("uint")
+
+
+def is_uint(dtype: str) -> bool:
+    return dtype.startswith("uint")
+
+
+def is_bool(dtype: str) -> bool:
+    return dtype == "bool"
+
+
+def is_handle(dtype: str) -> bool:
+    return dtype == "handle"
+
+
+def bits_of(dtype: str) -> int:
+    """Number of bits in one element of ``dtype``."""
+    return DTYPE_BITS[validate_dtype(dtype)]
+
+
+def bytes_of(dtype: str) -> int:
+    """Number of bytes in one element of ``dtype`` (bool counts as 1)."""
+    return max(1, bits_of(dtype) // 8)
+
+
+def promote(lhs: str, rhs: str) -> str:
+    """Result dtype of a binary arithmetic operation.
+
+    Follows conventional promotion: float beats int, wider beats narrower,
+    and bool promotes to ``int32`` when mixed with integers.
+    """
+    validate_dtype(lhs)
+    validate_dtype(rhs)
+    if lhs == rhs:
+        return lhs
+    if is_handle(lhs) or is_handle(rhs):
+        raise TypeError("cannot promote handle dtype")
+    if is_bool(lhs):
+        return rhs
+    if is_bool(rhs):
+        return lhs
+    lf, rf = is_float(lhs), is_float(rhs)
+    if lf and not rf:
+        return lhs
+    if rf and not lf:
+        return rhs
+    # Same family: pick the wider; ties between int/uint pick signed.
+    lb, rb = bits_of(lhs), bits_of(rhs)
+    if lb > rb:
+        return lhs
+    if rb > lb:
+        return rhs
+    return lhs if not is_uint(lhs) else rhs
+
+
+def numpy_dtype(dtype: str):
+    """Map a TensorIR dtype string to the corresponding NumPy dtype."""
+    import numpy as np
+
+    validate_dtype(dtype)
+    if dtype == "bool":
+        return np.bool_
+    if dtype == "handle":
+        return np.uint64
+    return np.dtype(dtype)

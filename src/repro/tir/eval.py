@@ -1,0 +1,153 @@
+"""Concrete evaluation of scalar expressions.
+
+Used by tests (property-based checks of the simplifier and of schedule
+semantics preservation) and by the reference interpreter.  Buffers are
+backed by NumPy arrays supplied through ``buffer_env``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Mapping, Optional
+
+from . import dtype as _dt
+from .buffer import Buffer
+from .expr import (
+    Add,
+    And,
+    BufferLoad,
+    Call,
+    Cast,
+    Div,
+    EQ,
+    FloatImm,
+    FloorDiv,
+    FloorMod,
+    GE,
+    GT,
+    IntImm,
+    LE,
+    LT,
+    Max,
+    Min,
+    Mul,
+    NE,
+    Not,
+    Or,
+    PrimExpr,
+    Select,
+    StringImm,
+    Sub,
+    TruncDiv,
+    Var,
+)
+
+__all__ = ["evaluate_expr", "INTRINSIC_IMPLS"]
+
+
+def _fdiv(a, b):
+    return a // b
+
+
+def _fmod(a, b):
+    return a - (a // b) * b
+
+
+_BINOPS = {
+    Add: lambda a, b: a + b,
+    Sub: lambda a, b: a - b,
+    Mul: lambda a, b: a * b,
+    Div: lambda a, b: a / b,
+    FloorDiv: _fdiv,
+    FloorMod: _fmod,
+    TruncDiv: lambda a, b: int(a / b) if b else 0,
+    Min: min,
+    Max: max,
+    EQ: lambda a, b: a == b,
+    NE: lambda a, b: a != b,
+    LT: lambda a, b: a < b,
+    LE: lambda a, b: a <= b,
+    GT: lambda a, b: a > b,
+    GE: lambda a, b: a >= b,
+    And: lambda a, b: bool(a) and bool(b),
+    Or: lambda a, b: bool(a) or bool(b),
+}
+
+#: Scalar implementations of named intrinsics usable inside expressions.
+INTRINSIC_IMPLS: Dict[str, Callable] = {
+    "exp": math.exp,
+    "log": math.log,
+    "sqrt": math.sqrt,
+    "rsqrt": lambda x: 1.0 / math.sqrt(x),
+    "tanh": math.tanh,
+    "sigmoid": lambda x: 1.0 / (1.0 + math.exp(-x)),
+    "erf": math.erf,
+    "abs": abs,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "round": round,
+    "pow": math.pow,
+    "max_value": lambda dtype: float("inf") if _dt.is_float(dtype) else (2 ** (_dt.bits_of(dtype) - 1) - 1),
+    "min_value": lambda dtype: float("-inf") if _dt.is_float(dtype) else -(2 ** (_dt.bits_of(dtype) - 1)),
+}
+
+
+def _cast_value(value, dtype: str):
+    if _dt.is_float(dtype):
+        import numpy as np
+
+        return float(np.dtype(dtype).type(value))
+    if _dt.is_bool(dtype):
+        return bool(value)
+    bits = _dt.bits_of(dtype)
+    v = int(value)
+    if _dt.is_uint(dtype):
+        return v % (1 << bits)
+    half = 1 << (bits - 1)
+    return (v + half) % (1 << bits) - half
+
+
+def evaluate_expr(
+    expr: PrimExpr,
+    env: Mapping[Var, object],
+    buffer_env: Optional[Mapping[Buffer, object]] = None,
+):
+    """Evaluate ``expr`` with variables bound by ``env``.
+
+    ``buffer_env`` maps :class:`Buffer` to NumPy arrays for
+    :class:`BufferLoad` nodes.  Raises ``KeyError`` on unbound vars.
+    """
+    if isinstance(expr, Var):
+        return env[expr]
+    if isinstance(expr, IntImm):
+        return bool(expr.value) if expr.dtype == "bool" else expr.value
+    if isinstance(expr, FloatImm):
+        return expr.value
+    if isinstance(expr, StringImm):
+        return expr.value
+    if isinstance(expr, Cast):
+        return _cast_value(evaluate_expr(expr.value, env, buffer_env), expr.dtype)
+    if isinstance(expr, Not):
+        return not evaluate_expr(expr.a, env, buffer_env)
+    if isinstance(expr, Select):
+        if evaluate_expr(expr.condition, env, buffer_env):
+            return evaluate_expr(expr.true_value, env, buffer_env)
+        return evaluate_expr(expr.false_value, env, buffer_env)
+    if isinstance(expr, BufferLoad):
+        if buffer_env is None:
+            raise KeyError(f"no buffer environment for load of {expr.buffer.name}")
+        array = buffer_env[expr.buffer]
+        idx = tuple(int(evaluate_expr(i, env, buffer_env)) for i in expr.indices)
+        return array[idx].item() if hasattr(array[idx], "item") else array[idx]
+    if isinstance(expr, Call):
+        impl = INTRINSIC_IMPLS.get(expr.op)
+        if impl is None:
+            raise KeyError(f"no scalar implementation for intrinsic {expr.op!r}")
+        args = [evaluate_expr(a, env, buffer_env) for a in expr.args]
+        return impl(*args)
+    fn = _BINOPS.get(type(expr))
+    if fn is not None:
+        a = evaluate_expr(expr.a, env, buffer_env)
+        b = evaluate_expr(expr.b, env, buffer_env)
+        return fn(a, b)
+    raise TypeError(f"cannot evaluate: {type(expr).__name__}")

@@ -1,0 +1,573 @@
+"""Scalar expression IR for TensorIR.
+
+Expression nodes are immutable.  Identity (``is``) matters for variables —
+two :class:`Var` objects with the same name are *different* variables —
+so all nodes use identity-based ``__eq__``/``__hash__`` and structural
+comparison lives in :mod:`repro.tir.structural`.
+
+Python operators are overloaded on :class:`PrimExpr` so IR construction
+reads like arithmetic: ``A[vi, vk] * B[vk, vj]``.  Overloads perform light
+constant folding (e.g. ``x + 0`` stays ``x + 0`` but ``2 + 3`` folds) to
+keep the builders fast; full simplification lives in :mod:`repro.arith`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from . import dtype as _dt
+
+__all__ = [
+    "PrimExpr",
+    "Var",
+    "IntImm",
+    "FloatImm",
+    "StringImm",
+    "Cast",
+    "BinaryOp",
+    "Add",
+    "Sub",
+    "Mul",
+    "FloorDiv",
+    "FloorMod",
+    "TruncDiv",
+    "Min",
+    "Max",
+    "CmpOp",
+    "EQ",
+    "NE",
+    "LT",
+    "LE",
+    "GT",
+    "GE",
+    "And",
+    "Or",
+    "Not",
+    "Select",
+    "BufferLoad",
+    "Call",
+    "Range",
+    "IterVar",
+    "const",
+    "as_expr",
+    "is_const_int",
+    "const_int_value",
+    "ExprLike",
+]
+
+ExprLike = Union["PrimExpr", int, float, bool]
+
+
+class PrimExpr:
+    """Base class for all scalar expressions.
+
+    Every expression carries a ``dtype`` string (see
+    :mod:`repro.tir.dtype`).
+    """
+
+    __slots__ = ("dtype",)
+
+    def __init__(self, dtype: str):
+        self.dtype = _dt.validate_dtype(dtype)
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other: ExprLike) -> "PrimExpr":
+        return _make_binary(Add, self, other)
+
+    def __radd__(self, other: ExprLike) -> "PrimExpr":
+        return _make_binary(Add, other, self)
+
+    def __sub__(self, other: ExprLike) -> "PrimExpr":
+        return _make_binary(Sub, self, other)
+
+    def __rsub__(self, other: ExprLike) -> "PrimExpr":
+        return _make_binary(Sub, other, self)
+
+    def __mul__(self, other: ExprLike) -> "PrimExpr":
+        return _make_binary(Mul, self, other)
+
+    def __rmul__(self, other: ExprLike) -> "PrimExpr":
+        return _make_binary(Mul, other, self)
+
+    def __floordiv__(self, other: ExprLike) -> "PrimExpr":
+        return _make_binary(FloorDiv, self, other)
+
+    def __rfloordiv__(self, other: ExprLike) -> "PrimExpr":
+        return _make_binary(FloorDiv, other, self)
+
+    def __mod__(self, other: ExprLike) -> "PrimExpr":
+        return _make_binary(FloorMod, self, other)
+
+    def __rmod__(self, other: ExprLike) -> "PrimExpr":
+        return _make_binary(FloorMod, other, self)
+
+    def __truediv__(self, other: ExprLike) -> "PrimExpr":
+        if _dt.is_int(self.dtype):
+            raise TypeError("use // for integer division in TensorIR")
+        return _make_binary(Div, self, other)
+
+    def __rtruediv__(self, other: ExprLike) -> "PrimExpr":
+        if _dt.is_int(self.dtype):
+            raise TypeError("use // for integer division in TensorIR")
+        return _make_binary(Div, other, self)
+
+    def __neg__(self) -> "PrimExpr":
+        return _make_binary(Sub, const(0, self.dtype), self)
+
+    # -- comparisons (note: `==` is identity; use .equal / EQ node) ----
+    def equal(self, other: ExprLike) -> "PrimExpr":
+        """Build an elementwise equality expression (``==`` is identity)."""
+        return _make_binary(EQ, self, other, out_dtype="bool")
+
+    def not_equal(self, other: ExprLike) -> "PrimExpr":
+        return _make_binary(NE, self, other, out_dtype="bool")
+
+    def __lt__(self, other: ExprLike) -> "PrimExpr":
+        return _make_binary(LT, self, other, out_dtype="bool")
+
+    def __le__(self, other: ExprLike) -> "PrimExpr":
+        return _make_binary(LE, self, other, out_dtype="bool")
+
+    def __gt__(self, other: ExprLike) -> "PrimExpr":
+        return _make_binary(GT, self, other, out_dtype="bool")
+
+    def __ge__(self, other: ExprLike) -> "PrimExpr":
+        return _make_binary(GE, self, other, out_dtype="bool")
+
+    def astype(self, dtype: str) -> "PrimExpr":
+        """Cast this expression to ``dtype`` (no-op if already there)."""
+        if dtype == self.dtype:
+            return self
+        return Cast(dtype, self)
+
+    # -- misc ----------------------------------------------------------
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "PrimExpr cannot be used as a Python bool; build IR with "
+            "Select/And/Or or evaluate the expression explicitly"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from .printer import expr_str
+
+        return f"{type(self).__name__}({expr_str(self)})"
+
+
+class Var(PrimExpr):
+    """A named scalar variable.  Identity defines the variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, dtype: str = "int32"):
+        super().__init__(dtype)
+        self.name = name
+
+    def with_name(self, name: str) -> "Var":
+        """A *new* variable with the same dtype but a different name."""
+        return Var(name, self.dtype)
+
+
+class IntImm(PrimExpr):
+    """Integer (or boolean) immediate."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, dtype: str = "int32"):
+        super().__init__(dtype)
+        if not (_dt.is_int(dtype) or _dt.is_bool(dtype)):
+            raise TypeError(f"IntImm dtype must be integral, got {dtype}")
+        self.value = int(value)
+
+
+class FloatImm(PrimExpr):
+    """Floating point immediate."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, dtype: str = "float32"):
+        super().__init__(dtype)
+        if not _dt.is_float(dtype):
+            raise TypeError(f"FloatImm dtype must be float, got {dtype}")
+        self.value = float(value)
+
+
+class StringImm(PrimExpr):
+    """String immediate — used for annotations and intrinsic arguments."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        super().__init__("handle")
+        self.value = value
+
+
+class Cast(PrimExpr):
+    """Type conversion ``dtype(value)``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, dtype: str, value: PrimExpr):
+        super().__init__(dtype)
+        self.value = as_expr(value)
+
+
+class BinaryOp(PrimExpr):
+    """Base for binary expressions; subclasses define ``op_name``."""
+
+    __slots__ = ("a", "b")
+    op_name = "?"
+
+    def __init__(self, a: PrimExpr, b: PrimExpr, dtype: Optional[str] = None):
+        a, b = as_expr(a), as_expr(b)
+        super().__init__(dtype or _dt.promote(a.dtype, b.dtype))
+        self.a = a
+        self.b = b
+
+
+class Add(BinaryOp):
+    op_name = "+"
+
+
+class Sub(BinaryOp):
+    op_name = "-"
+
+
+class Mul(BinaryOp):
+    op_name = "*"
+
+
+class Div(BinaryOp):
+    """True (floating point) division."""
+
+    op_name = "/"
+
+
+class FloorDiv(BinaryOp):
+    op_name = "//"
+
+
+class FloorMod(BinaryOp):
+    op_name = "%"
+
+
+class TruncDiv(BinaryOp):
+    op_name = "/t/"
+
+
+class Min(BinaryOp):
+    op_name = "min"
+
+
+class Max(BinaryOp):
+    op_name = "max"
+
+
+class CmpOp(BinaryOp):
+    """Base for comparisons: result dtype is always bool."""
+
+    def __init__(self, a: PrimExpr, b: PrimExpr, dtype: Optional[str] = None):
+        super().__init__(a, b, dtype="bool")
+
+
+class EQ(CmpOp):
+    op_name = "=="
+
+
+class NE(CmpOp):
+    op_name = "!="
+
+
+class LT(CmpOp):
+    op_name = "<"
+
+
+class LE(CmpOp):
+    op_name = "<="
+
+
+class GT(CmpOp):
+    op_name = ">"
+
+
+class GE(CmpOp):
+    op_name = ">="
+
+
+class And(CmpOp):
+    op_name = "and"
+
+
+class Or(CmpOp):
+    op_name = "or"
+
+
+class Not(PrimExpr):
+    __slots__ = ("a",)
+
+    def __init__(self, a: PrimExpr):
+        super().__init__("bool")
+        self.a = as_expr(a)
+
+
+class Select(PrimExpr):
+    """``true_value if condition else false_value`` (both sides evaluated)."""
+
+    __slots__ = ("condition", "true_value", "false_value")
+
+    def __init__(self, condition: PrimExpr, true_value: ExprLike, false_value: ExprLike):
+        true_value = as_expr(true_value)
+        false_value = as_expr(false_value)
+        super().__init__(_dt.promote(true_value.dtype, false_value.dtype))
+        self.condition = as_expr(condition)
+        self.true_value = true_value
+        self.false_value = false_value
+
+
+class BufferLoad(PrimExpr):
+    """Read one element of a multi-dimensional buffer: ``buf[i0, i1, ...]``."""
+
+    __slots__ = ("buffer", "indices")
+
+    def __init__(self, buffer, indices: Sequence[ExprLike]):
+        super().__init__(buffer.dtype)
+        self.buffer = buffer
+        self.indices: Tuple[PrimExpr, ...] = tuple(as_expr(i) for i in indices)
+        if len(self.indices) != buffer.ndim:
+            raise ValueError(
+                f"BufferLoad of {buffer.name}: got {len(self.indices)} indices "
+                f"for a {buffer.ndim}-d buffer"
+            )
+
+
+class Call(PrimExpr):
+    """Call to a named builtin/intrinsic, e.g. ``exp``, ``sqrt``, ``accel.dot``."""
+
+    __slots__ = ("op", "args")
+
+    def __init__(self, dtype: str, op: str, args: Sequence[ExprLike]):
+        super().__init__(dtype)
+        self.op = op
+        self.args: Tuple[PrimExpr, ...] = tuple(
+            a if isinstance(a, PrimExpr) else as_expr(a) for a in args
+        )
+
+
+class Range:
+    """A half-open integer range ``[min, min + extent)``."""
+
+    __slots__ = ("min", "extent")
+
+    def __init__(self, min: ExprLike, extent: ExprLike):  # noqa: A002 - IR name
+        self.min = as_expr(min)
+        self.extent = as_expr(extent)
+
+    @staticmethod
+    def from_extent(extent: ExprLike) -> "Range":
+        return Range(0, extent)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        from .printer import expr_str
+
+        return f"Range({expr_str(self.min)}, {expr_str(self.extent)})"
+
+
+class IterVar:
+    """A block iterator variable: ``var`` ranging over ``dom`` with a kind.
+
+    Kinds follow the paper: ``spatial`` (data parallel), ``reduce``
+    (reduction), and ``thread`` (bound to a hardware thread axis, used by
+    lowered loop nests).
+    """
+
+    SPATIAL = "spatial"
+    REDUCE = "reduce"
+    THREAD = "thread"
+    OPAQUE = "opaque"
+
+    KINDS = (SPATIAL, REDUCE, THREAD, OPAQUE)
+
+    __slots__ = ("var", "dom", "kind")
+
+    def __init__(self, var: Var, dom: Range, kind: str):
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown IterVar kind: {kind}")
+        self.var = var
+        self.dom = dom
+        self.kind = kind
+
+    @property
+    def is_reduce(self) -> bool:
+        return self.kind == self.REDUCE
+
+    @property
+    def is_spatial(self) -> bool:
+        return self.kind == self.SPATIAL
+
+    def __repr__(self) -> str:  # pragma: no cover
+        from .printer import expr_str
+
+        return (
+            f"IterVar({self.var.name}: {self.kind}"
+            f"[{expr_str(self.dom.min)}, {expr_str(self.dom.extent)}))"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers
+# ---------------------------------------------------------------------------
+
+
+def const(value: Union[int, float, bool], dtype: Optional[str] = None) -> PrimExpr:
+    """Build an immediate from a Python value."""
+    if isinstance(value, bool):
+        return IntImm(int(value), dtype or "bool")
+    if isinstance(value, int):
+        if dtype is not None and _dt.is_float(dtype):
+            return FloatImm(float(value), dtype)
+        return IntImm(value, dtype or "int32")
+    if isinstance(value, float):
+        if dtype is not None and _dt.is_int(dtype):
+            if not value.is_integer():
+                raise TypeError(f"cannot make int const from {value}")
+            return IntImm(int(value), dtype)
+        return FloatImm(value, dtype or "float32")
+    raise TypeError(f"cannot make const from {type(value).__name__}")
+
+
+def as_expr(value: ExprLike, dtype: Optional[str] = None) -> PrimExpr:
+    """Coerce a Python value or expression into a :class:`PrimExpr`."""
+    if isinstance(value, PrimExpr):
+        return value
+    return const(value, dtype)
+
+
+def is_const_int(expr: ExprLike, value: Optional[int] = None) -> bool:
+    """True if ``expr`` is an integer immediate (optionally equal to ``value``)."""
+    if isinstance(expr, int) and not isinstance(expr, bool):
+        return value is None or expr == value
+    if isinstance(expr, IntImm):
+        return value is None or expr.value == value
+    return False
+
+
+def const_int_value(expr: ExprLike) -> Optional[int]:
+    """The Python int behind ``expr`` if it is an integer immediate, else None."""
+    if isinstance(expr, bool):
+        return int(expr)
+    if isinstance(expr, int):
+        return expr
+    if isinstance(expr, IntImm):
+        return expr.value
+    return None
+
+
+_FOLDABLE = {
+    Add: lambda a, b: a + b,
+    Sub: lambda a, b: a - b,
+    Mul: lambda a, b: a * b,
+    Min: min,
+    Max: max,
+    EQ: lambda a, b: a == b,
+    NE: lambda a, b: a != b,
+    LT: lambda a, b: a < b,
+    LE: lambda a, b: a <= b,
+    GT: lambda a, b: a > b,
+    GE: lambda a, b: a >= b,
+    And: lambda a, b: bool(a) and bool(b),
+    Or: lambda a, b: bool(a) or bool(b),
+}
+
+
+def _fold_div(cls, av, bv):
+    if bv == 0:
+        raise ZeroDivisionError("constant division by zero in IR construction")
+    if cls is FloorDiv:
+        return av // bv
+    if cls is FloorMod:
+        return av - (av // bv) * bv
+    if cls is TruncDiv:
+        return int(av / bv) if bv else 0
+    return av / bv
+
+
+def _make_binary(cls, a: ExprLike, b: ExprLike, out_dtype: Optional[str] = None) -> PrimExpr:
+    """Build a binary node with constant folding on immediates.
+
+    Returns ``NotImplemented`` for operands that cannot be coerced, so
+    Python falls back to the other operand's reflected operator (this is
+    how e.g. ``te.ReduceAxis`` participates in expressions).
+    """
+    try:
+        if isinstance(a, PrimExpr) and not isinstance(b, PrimExpr):
+            b = as_expr(b, a.dtype if not issubclass(cls, CmpOp) else None)
+        elif isinstance(b, PrimExpr) and not isinstance(a, PrimExpr):
+            a = as_expr(a, b.dtype if not issubclass(cls, CmpOp) else None)
+        else:
+            a, b = as_expr(a), as_expr(b)
+    except TypeError:
+        return NotImplemented
+
+    av = _const_value(a)
+    bv = _const_value(b)
+    if av is not None and bv is not None:
+        res_dtype = out_dtype or _dt.promote(a.dtype, b.dtype)
+        if cls in _FOLDABLE:
+            return const(_coerce(_FOLDABLE[cls](av, bv), res_dtype), res_dtype)
+        if cls in (FloorDiv, FloorMod, TruncDiv, Div):
+            return const(_coerce(_fold_div(cls, av, bv), res_dtype), res_dtype)
+    if issubclass(cls, CmpOp):
+        return cls(a, b)
+    return cls(a, b, out_dtype)
+
+
+def _const_value(e: PrimExpr):
+    if isinstance(e, IntImm):
+        return e.value
+    if isinstance(e, FloatImm):
+        return e.value
+    return None
+
+
+def _coerce(v, dtype: str):
+    if _dt.is_float(dtype):
+        return float(v)
+    if _dt.is_bool(dtype):
+        return bool(v)
+    return int(v)
+
+
+# -- convenience free functions --------------------------------------------
+
+
+def min_expr(a: ExprLike, b: ExprLike) -> PrimExpr:
+    return _make_binary(Min, a, b)
+
+
+def max_expr(a: ExprLike, b: ExprLike) -> PrimExpr:
+    return _make_binary(Max, a, b)
+
+
+def truncdiv(a: ExprLike, b: ExprLike) -> PrimExpr:
+    return _make_binary(TruncDiv, a, b)
+
+
+def logical_and(a: ExprLike, b: ExprLike) -> PrimExpr:
+    av, bv = _const_value(as_expr(a)), _const_value(as_expr(b))
+    if av is not None and av:
+        return as_expr(b)
+    if bv is not None and bv:
+        return as_expr(a)
+    return _make_binary(And, a, b, out_dtype="bool")
+
+
+def logical_or(a: ExprLike, b: ExprLike) -> PrimExpr:
+    return _make_binary(Or, a, b, out_dtype="bool")
+
+
+def all_of(conds: Iterable[ExprLike]) -> PrimExpr:
+    """Conjunction of ``conds``; ``True`` when empty."""
+    result: PrimExpr = const(True)
+    for cond in conds:
+        result = logical_and(result, cond)
+    return result

@@ -1,0 +1,112 @@
+"""PrimFunc and IRModule containers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .buffer import Buffer
+from .expr import IterVar, Range, Var, const
+from .stmt import Block, BlockRealize, Stmt
+
+__all__ = ["PrimFunc", "IRModule", "make_root_block"]
+
+
+def make_root_block(body: Stmt, alloc_buffers: Sequence[Buffer] = ()) -> BlockRealize:
+    """Wrap ``body`` in the canonical iterator-less *root block*.
+
+    Every PrimFunc body is a root block realize; function-level
+    intermediate buffers are allocated on the root block.  This mirrors
+    the TVM convention and gives scheduling a stable top of the sref tree.
+    """
+    root = Block(
+        name_hint="root",
+        iter_vars=(),
+        reads=(),
+        writes=(),
+        body=body,
+        alloc_buffers=tuple(alloc_buffers),
+    )
+    return BlockRealize((), const(True), root)
+
+
+class PrimFunc:
+    """A primitive tensor function: parameters, buffer map and a body.
+
+    ``params`` are handle variables; ``buffer_map`` maps each parameter to
+    the :class:`Buffer` it backs.  The body must be a root
+    :class:`BlockRealize` (see :func:`make_root_block`).
+    """
+
+    __slots__ = ("params", "buffer_map", "body", "name", "attrs")
+
+    def __init__(
+        self,
+        params: Sequence[Var],
+        buffer_map: Mapping[Var, Buffer],
+        body: Stmt,
+        name: str = "main",
+        attrs: Optional[Mapping[str, object]] = None,
+    ):
+        if not isinstance(body, BlockRealize) or body.block.iter_vars:
+            body = make_root_block(body)
+        self.params: Tuple[Var, ...] = tuple(params)
+        self.buffer_map: Dict[Var, Buffer] = dict(buffer_map)
+        self.body: BlockRealize = body
+        self.name = name
+        self.attrs: Dict[str, object] = dict(attrs or {})
+        for p in self.params:
+            if p not in self.buffer_map:
+                raise ValueError(f"param {p.name} missing from buffer_map")
+
+    @property
+    def buffers(self) -> List[Buffer]:
+        """Parameter buffers in declaration order."""
+        return [self.buffer_map[p] for p in self.params]
+
+    def buffer_by_name(self, name: str) -> Buffer:
+        for buf in self.buffer_map.values():
+            if buf.name == name:
+                return buf
+        raise KeyError(f"no parameter buffer named {name}")
+
+    def with_body(self, body: Stmt) -> "PrimFunc":
+        """A copy of this function with a new body."""
+        return PrimFunc(self.params, self.buffer_map, body, self.name, self.attrs)
+
+    def with_attrs(self, **attrs) -> "PrimFunc":
+        merged = dict(self.attrs)
+        merged.update(attrs)
+        return PrimFunc(self.params, self.buffer_map, self.body, self.name, merged)
+
+    def script(self) -> str:
+        """Render this function in the round-trippable script dialect."""
+        from .printer import script
+
+        return script(self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return self.script()
+
+
+class IRModule:
+    """A collection of named PrimFuncs."""
+
+    __slots__ = ("functions",)
+
+    def __init__(self, functions: Optional[Mapping[str, PrimFunc]] = None):
+        self.functions: Dict[str, PrimFunc] = dict(functions or {})
+
+    def __getitem__(self, name: str) -> PrimFunc:
+        return self.functions[name]
+
+    def __setitem__(self, name: str, func: PrimFunc) -> None:
+        self.functions[name] = func
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.functions
+
+    def __iter__(self) -> Iterable[str]:
+        return iter(self.functions)
+
+    def update(self, other: "IRModule") -> None:
+        self.functions.update(other.functions)

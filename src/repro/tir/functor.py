@@ -1,0 +1,445 @@
+"""IR functors: visitors and (functional) mutators over expressions and
+statements.
+
+Mutators are *functional*: they return new nodes and never modify nodes in
+place, preserving the immutability contract of the IR.  Sub-trees that are
+unchanged are returned as-is so transformations share structure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from .buffer import Buffer, BufferRegion
+from .expr import (
+    Add,
+    And,
+    BinaryOp,
+    BufferLoad,
+    Call,
+    Cast,
+    CmpOp,
+    FloatImm,
+    IntImm,
+    IterVar,
+    Not,
+    PrimExpr,
+    Range,
+    Select,
+    StringImm,
+    Var,
+)
+from .stmt import (
+    AllocateConst,
+    Block,
+    BlockRealize,
+    BufferStore,
+    Evaluate,
+    For,
+    IfThenElse,
+    LetStmt,
+    SeqStmt,
+    Stmt,
+)
+
+__all__ = [
+    "ExprVisitor",
+    "StmtVisitor",
+    "ExprMutator",
+    "StmtMutator",
+    "post_order_visit",
+    "substitute",
+    "collect_vars",
+]
+
+
+class ExprVisitor:
+    """Recursively visit an expression tree; override ``visit_*`` hooks."""
+
+    def visit(self, expr: PrimExpr) -> None:
+        if isinstance(expr, BinaryOp):
+            self.visit_binary(expr)
+        elif isinstance(expr, Var):
+            self.visit_var(expr)
+        elif isinstance(expr, (IntImm, FloatImm, StringImm)):
+            self.visit_imm(expr)
+        elif isinstance(expr, Cast):
+            self.visit_cast(expr)
+        elif isinstance(expr, Not):
+            self.visit_not(expr)
+        elif isinstance(expr, Select):
+            self.visit_select(expr)
+        elif isinstance(expr, BufferLoad):
+            self.visit_buffer_load(expr)
+        elif isinstance(expr, Call):
+            self.visit_call(expr)
+        else:
+            raise TypeError(f"unhandled expr node: {type(expr).__name__}")
+
+    def visit_binary(self, expr: BinaryOp) -> None:
+        self.visit(expr.a)
+        self.visit(expr.b)
+
+    def visit_var(self, expr: Var) -> None:
+        pass
+
+    def visit_imm(self, expr: PrimExpr) -> None:
+        pass
+
+    def visit_cast(self, expr: Cast) -> None:
+        self.visit(expr.value)
+
+    def visit_not(self, expr: Not) -> None:
+        self.visit(expr.a)
+
+    def visit_select(self, expr: Select) -> None:
+        self.visit(expr.condition)
+        self.visit(expr.true_value)
+        self.visit(expr.false_value)
+
+    def visit_buffer_load(self, expr: BufferLoad) -> None:
+        for idx in expr.indices:
+            self.visit(idx)
+
+    def visit_call(self, expr: Call) -> None:
+        for arg in expr.args:
+            self.visit(arg)
+
+
+class StmtVisitor(ExprVisitor):
+    """Recursively visit statements (and the expressions they contain)."""
+
+    def visit_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, BufferStore):
+            self.visit_buffer_store(stmt)
+        elif isinstance(stmt, SeqStmt):
+            self.visit_seq(stmt)
+        elif isinstance(stmt, For):
+            self.visit_for(stmt)
+        elif isinstance(stmt, BlockRealize):
+            self.visit_block_realize(stmt)
+        elif isinstance(stmt, Block):
+            self.visit_block(stmt)
+        elif isinstance(stmt, IfThenElse):
+            self.visit_if(stmt)
+        elif isinstance(stmt, LetStmt):
+            self.visit_let(stmt)
+        elif isinstance(stmt, Evaluate):
+            self.visit_evaluate(stmt)
+        elif isinstance(stmt, AllocateConst):
+            self.visit_allocate_const(stmt)
+        else:
+            raise TypeError(f"unhandled stmt node: {type(stmt).__name__}")
+
+    def visit_buffer_store(self, stmt: BufferStore) -> None:
+        self.visit(stmt.value)
+        for idx in stmt.indices:
+            self.visit(idx)
+
+    def visit_seq(self, stmt: SeqStmt) -> None:
+        for s in stmt.stmts:
+            self.visit_stmt(s)
+
+    def visit_for(self, stmt: For) -> None:
+        self.visit(stmt.min)
+        self.visit(stmt.extent)
+        self.visit_stmt(stmt.body)
+
+    def visit_block_realize(self, stmt: BlockRealize) -> None:
+        for v in stmt.iter_values:
+            self.visit(v)
+        self.visit(stmt.predicate)
+        self.visit_stmt(stmt.block)
+
+    def visit_block(self, stmt: Block) -> None:
+        if stmt.init is not None:
+            self.visit_stmt(stmt.init)
+        self.visit_stmt(stmt.body)
+
+    def visit_if(self, stmt: IfThenElse) -> None:
+        self.visit(stmt.condition)
+        self.visit_stmt(stmt.then_case)
+        if stmt.else_case is not None:
+            self.visit_stmt(stmt.else_case)
+
+    def visit_let(self, stmt: LetStmt) -> None:
+        self.visit(stmt.value)
+        self.visit_stmt(stmt.body)
+
+    def visit_evaluate(self, stmt: Evaluate) -> None:
+        self.visit(stmt.value)
+
+    def visit_allocate_const(self, stmt: AllocateConst) -> None:
+        self.visit_stmt(stmt.body)
+
+
+class ExprMutator:
+    """Functional expression rewriter; returns new nodes bottom-up."""
+
+    def rewrite(self, expr: PrimExpr) -> PrimExpr:
+        if isinstance(expr, BinaryOp):
+            return self.rewrite_binary(expr)
+        if isinstance(expr, Var):
+            return self.rewrite_var(expr)
+        if isinstance(expr, (IntImm, FloatImm, StringImm)):
+            return expr
+        if isinstance(expr, Cast):
+            return self.rewrite_cast(expr)
+        if isinstance(expr, Not):
+            return self.rewrite_not(expr)
+        if isinstance(expr, Select):
+            return self.rewrite_select(expr)
+        if isinstance(expr, BufferLoad):
+            return self.rewrite_buffer_load(expr)
+        if isinstance(expr, Call):
+            return self.rewrite_call(expr)
+        raise TypeError(f"unhandled expr node: {type(expr).__name__}")
+
+    def rewrite_binary(self, expr: BinaryOp) -> PrimExpr:
+        a = self.rewrite(expr.a)
+        b = self.rewrite(expr.b)
+        if a is expr.a and b is expr.b:
+            return expr
+        if isinstance(expr, CmpOp):
+            return type(expr)(a, b)
+        return type(expr)(a, b, expr.dtype)
+
+    def rewrite_var(self, expr: Var) -> PrimExpr:
+        return expr
+
+    def rewrite_cast(self, expr: Cast) -> PrimExpr:
+        value = self.rewrite(expr.value)
+        if value is expr.value:
+            return expr
+        return Cast(expr.dtype, value)
+
+    def rewrite_not(self, expr: Not) -> PrimExpr:
+        a = self.rewrite(expr.a)
+        if a is expr.a:
+            return expr
+        return Not(a)
+
+    def rewrite_select(self, expr: Select) -> PrimExpr:
+        cond = self.rewrite(expr.condition)
+        tv = self.rewrite(expr.true_value)
+        fv = self.rewrite(expr.false_value)
+        if cond is expr.condition and tv is expr.true_value and fv is expr.false_value:
+            return expr
+        return Select(cond, tv, fv)
+
+    def rewrite_buffer_load(self, expr: BufferLoad) -> PrimExpr:
+        indices = [self.rewrite(i) for i in expr.indices]
+        buffer = self.rewrite_buffer(expr.buffer)
+        if buffer is expr.buffer and all(n is o for n, o in zip(indices, expr.indices)):
+            return expr
+        return BufferLoad(buffer, indices)
+
+    def rewrite_call(self, expr: Call) -> PrimExpr:
+        args = [self.rewrite(a) for a in expr.args]
+        if all(n is o for n, o in zip(args, expr.args)):
+            return expr
+        return Call(expr.dtype, expr.op, args)
+
+    def rewrite_buffer(self, buffer: Buffer) -> Buffer:
+        """Hook for buffer replacement (default: keep)."""
+        return buffer
+
+
+class StmtMutator(ExprMutator):
+    """Functional statement rewriter."""
+
+    def rewrite_stmt(self, stmt: Stmt) -> Stmt:
+        if isinstance(stmt, BufferStore):
+            return self.rewrite_buffer_store(stmt)
+        if isinstance(stmt, SeqStmt):
+            return self.rewrite_seq(stmt)
+        if isinstance(stmt, For):
+            return self.rewrite_for(stmt)
+        if isinstance(stmt, BlockRealize):
+            return self.rewrite_block_realize(stmt)
+        if isinstance(stmt, Block):
+            return self.rewrite_block(stmt)
+        if isinstance(stmt, IfThenElse):
+            return self.rewrite_if(stmt)
+        if isinstance(stmt, LetStmt):
+            return self.rewrite_let(stmt)
+        if isinstance(stmt, Evaluate):
+            return self.rewrite_evaluate(stmt)
+        if isinstance(stmt, AllocateConst):
+            return self.rewrite_allocate_const(stmt)
+        raise TypeError(f"unhandled stmt node: {type(stmt).__name__}")
+
+    def rewrite_buffer_store(self, stmt: BufferStore) -> Stmt:
+        value = self.rewrite(stmt.value)
+        indices = [self.rewrite(i) for i in stmt.indices]
+        buffer = self.rewrite_buffer(stmt.buffer)
+        if (
+            buffer is stmt.buffer
+            and value is stmt.value
+            and all(n is o for n, o in zip(indices, stmt.indices))
+        ):
+            return stmt
+        return BufferStore(buffer, value, indices)
+
+    def rewrite_seq(self, stmt: SeqStmt) -> Stmt:
+        stmts = [self.rewrite_stmt(s) for s in stmt.stmts]
+        if all(n is o for n, o in zip(stmts, stmt.stmts)):
+            return stmt
+        from .stmt import seq
+
+        return seq(stmts)
+
+    def rewrite_for(self, stmt: For) -> Stmt:
+        min_ = self.rewrite(stmt.min)
+        extent = self.rewrite(stmt.extent)
+        body = self.rewrite_stmt(stmt.body)
+        if min_ is stmt.min and extent is stmt.extent and body is stmt.body:
+            return stmt
+        return For(
+            stmt.loop_var, min_, extent, stmt.kind, body, stmt.thread_tag, stmt.annotations
+        )
+
+    def rewrite_block_realize(self, stmt: BlockRealize) -> Stmt:
+        iter_values = [self.rewrite(v) for v in stmt.iter_values]
+        predicate = self.rewrite(stmt.predicate)
+        block = self.rewrite_stmt(stmt.block)
+        if (
+            block is stmt.block
+            and predicate is stmt.predicate
+            and all(n is o for n, o in zip(iter_values, stmt.iter_values))
+        ):
+            return stmt
+        return BlockRealize(iter_values, predicate, block)
+
+    def rewrite_block(self, stmt: Block) -> Stmt:
+        body = self.rewrite_stmt(stmt.body)
+        init = self.rewrite_stmt(stmt.init) if stmt.init is not None else None
+        reads = [self.rewrite_region(r) for r in stmt.reads]
+        writes = [self.rewrite_region(w) for w in stmt.writes]
+        alloc = [self.rewrite_buffer(b) for b in stmt.alloc_buffers]
+        unchanged = (
+            body is stmt.body
+            and init is stmt.init
+            and all(n is o for n, o in zip(reads, stmt.reads))
+            and all(n is o for n, o in zip(writes, stmt.writes))
+            and all(n is o for n, o in zip(alloc, stmt.alloc_buffers))
+        )
+        if unchanged:
+            return stmt
+        return stmt.replace(
+            body=body, init=init, reads=reads, writes=writes, alloc_buffers=alloc
+        )
+
+    def rewrite_region(self, region: BufferRegion) -> BufferRegion:
+        buffer = self.rewrite_buffer(region.buffer)
+        ranges = [self.rewrite_range(r) for r in region.region]
+        if buffer is region.buffer and all(n is o for n, o in zip(ranges, region.region)):
+            return region
+        return BufferRegion(buffer, ranges)
+
+    def rewrite_range(self, rng: Range) -> Range:
+        min_ = self.rewrite(rng.min)
+        extent = self.rewrite(rng.extent)
+        if min_ is rng.min and extent is rng.extent:
+            return rng
+        return Range(min_, extent)
+
+    def rewrite_if(self, stmt: IfThenElse) -> Stmt:
+        condition = self.rewrite(stmt.condition)
+        then_case = self.rewrite_stmt(stmt.then_case)
+        else_case = self.rewrite_stmt(stmt.else_case) if stmt.else_case is not None else None
+        if (
+            condition is stmt.condition
+            and then_case is stmt.then_case
+            and else_case is stmt.else_case
+        ):
+            return stmt
+        return IfThenElse(condition, then_case, else_case)
+
+    def rewrite_let(self, stmt: LetStmt) -> Stmt:
+        value = self.rewrite(stmt.value)
+        body = self.rewrite_stmt(stmt.body)
+        if value is stmt.value and body is stmt.body:
+            return stmt
+        return LetStmt(stmt.var, value, body)
+
+    def rewrite_evaluate(self, stmt: Evaluate) -> Stmt:
+        value = self.rewrite(stmt.value)
+        if value is stmt.value:
+            return stmt
+        return Evaluate(value)
+
+    def rewrite_allocate_const(self, stmt: AllocateConst) -> Stmt:
+        body = self.rewrite_stmt(stmt.body)
+        if body is stmt.body:
+            return stmt
+        return AllocateConst(stmt.buffer, stmt.data, body)
+
+
+# ---------------------------------------------------------------------------
+# Common utilities built on the functors
+# ---------------------------------------------------------------------------
+
+
+class _CallbackVisitor(StmtVisitor):
+    def __init__(self, fvisit: Callable[[object], None]):
+        self._fvisit = fvisit
+
+    def visit(self, expr: PrimExpr) -> None:
+        super().visit(expr)
+        self._fvisit(expr)
+
+    def visit_stmt(self, stmt: Stmt) -> None:
+        super().visit_stmt(stmt)
+        self._fvisit(stmt)
+
+
+def post_order_visit(node, fvisit: Callable[[object], None]) -> None:
+    """Call ``fvisit`` on every node (exprs and stmts) in post-order."""
+    visitor = _CallbackVisitor(fvisit)
+    if isinstance(node, Stmt):
+        visitor.visit_stmt(node)
+    else:
+        visitor.visit(node)
+
+
+class _SubstituteMutator(StmtMutator):
+    def __init__(self, vmap, buffer_map=None):
+        self._vmap = vmap
+        self._buffer_map = buffer_map or {}
+
+    def rewrite_var(self, expr: Var) -> PrimExpr:
+        return self._vmap.get(expr, expr)
+
+    def rewrite_buffer(self, buffer: Buffer) -> Buffer:
+        return self._buffer_map.get(buffer, buffer)
+
+
+def substitute(node, vmap, buffer_map=None):
+    """Substitute variables (and optionally buffers) in an expr or stmt.
+
+    ``vmap`` maps :class:`Var` → :class:`PrimExpr`; ``buffer_map`` maps
+    :class:`Buffer` → :class:`Buffer`.
+    """
+    mut = _SubstituteMutator(vmap, buffer_map)
+    if isinstance(node, Stmt):
+        return mut.rewrite_stmt(node)
+    if isinstance(node, Range):
+        return mut.rewrite_range(node)
+    if isinstance(node, BufferRegion):
+        return mut.rewrite_region(node)
+    return mut.rewrite(node)
+
+
+def collect_vars(node) -> List[Var]:
+    """All distinct variables referenced in ``node``, in first-seen order."""
+    seen = []
+    seen_ids = set()
+
+    def _visit(n):
+        if isinstance(n, Var) and id(n) not in seen_ids:
+            seen_ids.add(id(n))
+            seen.append(n)
+
+    post_order_visit(node, _visit)
+    return seen

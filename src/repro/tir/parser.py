@@ -1,0 +1,488 @@
+"""Script parser: the inverse of :mod:`repro.tir.printer`.
+
+The script dialect is syntactically valid Python, so parsing rides on
+the standard :mod:`ast` module: the module is parsed once and the AST is
+walked into TensorIR.  Together with the printer this gives the
+round-trip workflow §3.4 describes — construct, dump, inspect, modify
+and re-import programs as text.
+
+``parse_script(script(func))`` is structurally equal to ``func`` (tested
+property-style over the whole scheduling surface).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from . import dtype as _dt
+from .buffer import Buffer, BufferRegion
+from .builder import call as _call
+from .expr import (
+    Add,
+    And,
+    Div,
+    EQ,
+    FloorDiv,
+    FloorMod,
+    GE,
+    GT,
+    IntImm,
+    IterVar,
+    LE,
+    LT,
+    Max,
+    Min,
+    Mul,
+    NE,
+    Not,
+    Or,
+    PrimExpr,
+    Range,
+    Select,
+    Sub,
+    TruncDiv,
+    Var,
+    as_expr,
+    const,
+    logical_and,
+    logical_or,
+)
+from .function import PrimFunc, make_root_block
+from .stmt import (
+    Block,
+    BlockRealize,
+    BufferStore,
+    Evaluate,
+    For,
+    ForKind,
+    IfThenElse,
+    LetStmt,
+    Stmt,
+    seq,
+)
+
+__all__ = ["parse_script", "ParseError"]
+
+
+class ParseError(Exception):
+    pass
+
+
+_DTYPES = set(_dt.DTYPE_BITS)
+
+_BINOPS = {
+    ast.Add: Add,
+    ast.Sub: Sub,
+    ast.Mult: Mul,
+    ast.Div: Div,
+    ast.FloorDiv: FloorDiv,
+    ast.Mod: FloorMod,
+}
+
+_CMPOPS = {
+    ast.Eq: EQ,
+    ast.NotEq: NE,
+    ast.Lt: LT,
+    ast.LtE: LE,
+    ast.Gt: GT,
+    ast.GtE: GE,
+}
+
+_LOOP_KINDS = {
+    "parallel": ForKind.PARALLEL,
+    "vectorized": ForKind.VECTORIZED,
+    "unrolled": ForKind.UNROLLED,
+}
+
+
+class _Scope:
+    """Name resolution: variables and buffers currently in scope."""
+
+    def __init__(self):
+        self.vars: Dict[str, Var] = {}
+        self.buffers: Dict[str, Buffer] = {}
+
+
+class _Parser:
+    def __init__(self):
+        self.scope = _Scope()
+
+    # -- expressions -----------------------------------------------------
+    def expr(self, node: ast.expr) -> PrimExpr:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return const(node.value)
+            if isinstance(node.value, (int, float)):
+                return const(node.value)
+            raise ParseError(f"unsupported constant {node.value!r}")
+        if isinstance(node, ast.Name):
+            if node.id in self.scope.vars:
+                return self.scope.vars[node.id]
+            raise ParseError(f"unknown name {node.id!r}")
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.USub):
+                return const(0) - self.expr(node.operand)
+            if isinstance(node.op, ast.Not):
+                return Not(self.expr(node.operand))
+            raise ParseError("unsupported unary operator")
+        if isinstance(node, ast.BinOp):
+            cls = _BINOPS.get(type(node.op))
+            if cls is None:
+                raise ParseError(f"unsupported operator {type(node.op).__name__}")
+            from .expr import _make_binary
+
+            return _make_binary(cls, self.expr(node.left), self.expr(node.right))
+        if isinstance(node, ast.Compare):
+            if len(node.ops) != 1:
+                raise ParseError("chained comparisons are not supported")
+            cls = _CMPOPS.get(type(node.ops[0]))
+            if cls is None:
+                raise ParseError("unsupported comparison")
+            from .expr import _make_binary
+
+            return _make_binary(cls, self.expr(node.left), self.expr(node.comparators[0]))
+        if isinstance(node, ast.BoolOp):
+            parts = [self.expr(v) for v in node.values]
+            combine = logical_and if isinstance(node.op, ast.And) else logical_or
+            out = parts[0]
+            for p in parts[1:]:
+                out = combine(out, p)
+            return out
+        if isinstance(node, ast.IfExp):
+            return Select(self.expr(node.test), self.expr(node.body), self.expr(node.orelse))
+        if isinstance(node, ast.Subscript):
+            buf = self._buffer_of(node.value)
+            indices = self._index_list(node.slice)
+            return buf[tuple(self.expr(i) for i in indices)]
+        if isinstance(node, ast.Call):
+            return self._call_expr(node)
+        raise ParseError(f"unsupported expression {ast.dump(node)[:60]}")
+
+    def _index_list(self, node: ast.expr) -> List[ast.expr]:
+        if isinstance(node, ast.Tuple):
+            return list(node.elts)
+        return [node]
+
+    def _buffer_of(self, node: ast.expr) -> Buffer:
+        if isinstance(node, ast.Name) and node.id in self.scope.buffers:
+            return self.scope.buffers[node.id]
+        raise ParseError(f"unknown buffer in subscript: {ast.dump(node)[:40]}")
+
+    def _call_expr(self, node: ast.Call) -> PrimExpr:
+        name = node.func.id if isinstance(node.func, ast.Name) else None
+        if name is None:
+            raise ParseError("unsupported call form")
+        # Parse arguments; string literals stay Python strings (intrinsic
+        # arguments like min_value('float16')).
+        args = [
+            a.value
+            if isinstance(a, ast.Constant) and isinstance(a.value, str)
+            else self.expr(a)
+            for a in node.args
+        ]
+        if name in _DTYPES:
+            (value,) = args
+            if isinstance(value, IntImm) and _dt.is_int(name):
+                return const(value.value, name)
+            from .expr import FloatImm
+
+            if isinstance(value, (IntImm, FloatImm)) and _dt.is_float(name):
+                return const(float(value.value), name)
+            return value.astype(name)
+        if name == "min":
+            return Min(args[0], args[1])
+        if name == "max":
+            return Max(args[0], args[1])
+        if name == "select":
+            return Select(args[0], args[1], args[2])
+        if name == "truncdiv":
+            return TruncDiv(args[0], args[1])
+        # everything else: a named intrinsic; dtype follows the operands.
+        dtype = "float32"
+        for a in args:
+            if isinstance(a, PrimExpr) and _dt.is_float(a.dtype):
+                dtype = a.dtype
+                break
+        return _call(name, *args, dtype=dtype)
+
+    # -- buffer declarations ---------------------------------------------
+    def _parse_buffer_type(self, node: ast.expr, name: str) -> Buffer:
+        # Buffer[(shape...), 'dtype'] or Buffer[(shape...), 'dtype', 'scope']
+        if not (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "Buffer"
+        ):
+            raise ParseError(f"expected Buffer[...] annotation for {name}")
+        items = node.slice.elts if isinstance(node.slice, ast.Tuple) else [node.slice]
+        shape_node = items[0]
+        shape_elts = shape_node.elts if isinstance(shape_node, ast.Tuple) else [shape_node]
+        shape = [self.expr(e) for e in shape_elts]
+        dtype = items[1].value if len(items) > 1 else "float32"
+        scope = items[2].value if len(items) > 2 else "global"
+        return Buffer(name, shape, dtype, scope)
+
+    # -- statements --------------------------------------------------------
+    def stmts(self, nodes: Sequence[ast.stmt]) -> Stmt:
+        out: List[Stmt] = []
+        for node in nodes:
+            parsed = self.stmt(node)
+            if parsed is not None:
+                out.append(parsed)
+        if not out:
+            raise ParseError("empty statement body")
+        return seq(out)
+
+    def stmt(self, node: ast.stmt) -> Optional[Stmt]:
+        if isinstance(node, ast.For):
+            return self._for(node)
+        if isinstance(node, ast.With):
+            return self._with(node)
+        if isinstance(node, ast.Assign):
+            return self._assign(node)
+        if isinstance(node, ast.If):
+            cond = self.expr(node.test)
+            then = self.stmts(node.body)
+            other = self.stmts(node.orelse) if node.orelse else None
+            return IfThenElse(cond, then, other)
+        if isinstance(node, ast.Expr):
+            # bare calls: reads/writes/attr handled at block level; an
+            # expression statement elsewhere is an Evaluate.
+            return Evaluate(self.expr(node.value))
+        raise ParseError(f"unsupported statement {type(node).__name__}")
+
+    def _assign(self, node: ast.Assign) -> Optional[Stmt]:
+        (target,) = node.targets
+        if isinstance(target, ast.Subscript):
+            buf = self._buffer_of(target.value)
+            indices = [self.expr(i) for i in self._index_list(target.slice)]
+            value = self.expr(node.value)
+            return BufferStore(buf, value, indices)
+        raise ParseError(
+            "unsupported assignment target (axis/alloc declarations are "
+            "only valid in block or function headers)"
+        )
+
+    def _for(self, node: ast.For) -> Stmt:
+        targets = (
+            [e.id for e in node.target.elts]
+            if isinstance(node.target, ast.Tuple)
+            else [node.target.id]
+        )
+        it = node.iter
+        if not (isinstance(it, ast.Call) and isinstance(it.func, ast.Name)):
+            raise ParseError("unsupported loop iterator")
+        fname = it.func.id
+        loop_vars = [Var(n, "int32") for n in targets]
+        for v in loop_vars:
+            self.scope.vars[v.name] = v
+
+        def finish(body: Stmt, headers) -> Stmt:
+            for var, min_e, extent, kind, tag, notes in reversed(headers):
+                body = For(var, min_e, extent, kind, body, tag, notes)
+            for v in loop_vars:
+                self.scope.vars.pop(v.name, None)
+            return body
+
+        if fname == "grid":
+            extents = [self.expr(a) for a in it.args]
+            if len(extents) != len(loop_vars):
+                raise ParseError("grid arity mismatch")
+            headers = [
+                (v, const(0), e, ForKind.SERIAL, None, None)
+                for v, e in zip(loop_vars, extents)
+            ]
+            return finish(self.stmts(node.body), headers)
+        (var,) = loop_vars
+        if fname == "range":
+            if len(it.args) == 1:
+                lo, extent = const(0), self.expr(it.args[0])
+            else:
+                lo = self.expr(it.args[0])
+                hi = self.expr(it.args[1])
+                extent = hi - lo
+            headers = [(var, lo, extent, ForKind.SERIAL, None, None)]
+        elif fname in _LOOP_KINDS:
+            headers = [(var, const(0), self.expr(it.args[0]), _LOOP_KINDS[fname], None, None)]
+        elif fname == "thread_binding":
+            tag = None
+            for kw in it.keywords:
+                if kw.arg == "thread":
+                    tag = kw.value.value
+            headers = [
+                (var, const(0), self.expr(it.args[0]), ForKind.THREAD_BINDING, tag, None)
+            ]
+        elif fname == "annotated":
+            extent = self.expr(it.args[0])
+            kind = it.args[1].value
+            tag = it.args[2].value
+            notes = ast.literal_eval(it.args[3])
+            headers = [(var, const(0), extent, kind, tag, notes)]
+        else:
+            raise ParseError(f"unknown loop form {fname!r}")
+        return finish(self.stmts(node.body), headers)
+
+    def _with(self, node: ast.With) -> Stmt:
+        (item,) = node.items
+        ctx = item.context_expr
+        if not (isinstance(ctx, ast.Call) and isinstance(ctx.func, ast.Name)):
+            raise ParseError("unsupported with-statement")
+        if ctx.func.id == "block":
+            return self._block(ctx, node.body)
+        raise ParseError(f"unsupported context {ctx.func.id!r}")
+
+    def _block(self, ctx: ast.Call, body_nodes: Sequence[ast.stmt]) -> Stmt:
+        name = ctx.args[0].value if ctx.args else "block"
+        iter_vars: List[IterVar] = []
+        iter_values: List[PrimExpr] = []
+        reads: Optional[List[BufferRegion]] = None
+        writes: Optional[List[BufferRegion]] = None
+        annotations: Dict[str, object] = {}
+        predicate: PrimExpr = const(True)
+        init_stmt: Optional[Stmt] = None
+        allocs: List[Buffer] = []
+        body_stmts: List[ast.stmt] = []
+        declared: List[str] = []
+
+        for stmt_node in body_nodes:
+            # iterator declarations: v = spatial_axis(extent, binding)
+            if (
+                isinstance(stmt_node, ast.Assign)
+                and isinstance(stmt_node.value, ast.Call)
+                and isinstance(stmt_node.value.func, ast.Name)
+                and stmt_node.value.func.id.endswith("_axis")
+            ):
+                call_node = stmt_node.value
+                kind = call_node.func.id[: -len("_axis")]
+                if kind not in IterVar.KINDS:
+                    raise ParseError(f"unknown axis kind {kind!r}")
+                extent = self.expr(call_node.args[0])
+                binding = self.expr(call_node.args[1])
+                var_name = stmt_node.targets[0].id
+                var = Var(var_name, "int32")
+                self.scope.vars[var_name] = var
+                declared.append(var_name)
+                iter_vars.append(IterVar(var, Range(0, extent), kind))
+                iter_values.append(binding)
+                continue
+            # signature / annotation calls
+            if isinstance(stmt_node, ast.Expr) and isinstance(stmt_node.value, ast.Call):
+                call_node = stmt_node.value
+                fname = call_node.func.id if isinstance(call_node.func, ast.Name) else None
+                if fname == "reads":
+                    reads = [self._region(a) for a in call_node.args]
+                    continue
+                if fname == "writes":
+                    writes = [self._region(a) for a in call_node.args]
+                    continue
+                if fname == "attr":
+                    key = call_node.args[0].value
+                    annotations[key] = ast.literal_eval(call_node.args[1])
+                    continue
+                if fname == "where":
+                    predicate = self.expr(call_node.args[0])
+                    continue
+            # allocations
+            if (
+                isinstance(stmt_node, ast.Assign)
+                and isinstance(stmt_node.value, ast.Call)
+                and isinstance(stmt_node.value.func, ast.Name)
+                and stmt_node.value.func.id == "alloc_buffer"
+            ):
+                buf_name = stmt_node.targets[0].id
+                buf = self._parse_buffer_type(stmt_node.value.args[0], buf_name)
+                self.scope.buffers[buf_name] = buf
+                allocs.append(buf)
+                continue
+            # init
+            if (
+                isinstance(stmt_node, ast.With)
+                and isinstance(stmt_node.items[0].context_expr, ast.Call)
+                and isinstance(stmt_node.items[0].context_expr.func, ast.Name)
+                and stmt_node.items[0].context_expr.func.id == "init"
+            ):
+                init_stmt = self.stmts(stmt_node.body)
+                continue
+            body_stmts.append(stmt_node)
+
+        body = self.stmts(body_stmts)
+        block = Block(
+            name_hint=name,
+            iter_vars=iter_vars,
+            reads=reads or (),
+            writes=writes or (),
+            body=body,
+            init=init_stmt,
+            alloc_buffers=allocs,
+            annotations=annotations,
+        )
+        if reads is None or writes is None:
+            from .analysis.regions import detect_block_access_regions
+
+            detected_r, detected_w = detect_block_access_regions(block)
+            block = block.replace(
+                reads=reads if reads is not None else detected_r,
+                writes=writes if writes is not None else detected_w,
+            )
+        for name_ in declared:
+            self.scope.vars.pop(name_, None)
+        return BlockRealize(iter_values, predicate, block)
+
+    def _region(self, node: ast.expr) -> BufferRegion:
+        if not isinstance(node, ast.Subscript):
+            raise ParseError("regions must be subscripts")
+        buf = self._buffer_of(node.value)
+        ranges = []
+        for item in self._index_list(node.slice):
+            if isinstance(item, ast.Slice):
+                lo = self.expr(item.lower) if item.lower is not None else const(0)
+                hi = self.expr(item.upper)
+                from ..arith import Analyzer
+
+                ranges.append(Range(lo, Analyzer().simplify(hi - lo)))
+            else:
+                ranges.append(Range(self.expr(item), const(1)))
+        return BufferRegion(buf, ranges)
+
+    # -- function ---------------------------------------------------------
+    def parse_func(self, node: ast.FunctionDef) -> PrimFunc:
+        params: List[Var] = []
+        buffer_map: Dict[Var, Buffer] = {}
+        for arg in node.args.args:
+            buf = self._parse_buffer_type(arg.annotation, arg.arg)
+            handle = Var(arg.arg, "handle")
+            params.append(handle)
+            buffer_map[handle] = buf
+            self.scope.buffers[arg.arg] = buf
+        root_allocs: List[Buffer] = []
+        body_nodes: List[ast.stmt] = []
+        for stmt_node in node.body:
+            if (
+                isinstance(stmt_node, ast.Assign)
+                and isinstance(stmt_node.value, ast.Call)
+                and isinstance(stmt_node.value.func, ast.Name)
+                and stmt_node.value.func.id == "alloc_buffer"
+            ):
+                buf_name = stmt_node.targets[0].id
+                buf = self._parse_buffer_type(stmt_node.value.args[0], buf_name)
+                self.scope.buffers[buf_name] = buf
+                root_allocs.append(buf)
+            else:
+                body_nodes.append(stmt_node)
+        body = self.stmts(body_nodes)
+        return PrimFunc(
+            params,
+            buffer_map,
+            make_root_block(body, alloc_buffers=root_allocs),
+            name=node.name,
+        )
+
+
+def parse_script(text: str) -> PrimFunc:
+    """Parse one script-dialect function back into a PrimFunc."""
+    module = ast.parse(text)
+    funcs = [n for n in module.body if isinstance(n, ast.FunctionDef)]
+    if len(funcs) != 1:
+        raise ParseError(f"expected exactly one function, found {len(funcs)}")
+    return _Parser().parse_func(funcs[0])

@@ -1,0 +1,296 @@
+"""Script printer: renders TensorIR in the Python-ish dialect of Figure 4.
+
+The output is meant for humans (debugging, paper-style listings) and for
+golden tests.  ``script()`` accepts a PrimFunc, a statement or an
+expression.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .buffer import Buffer, BufferRegion
+from .expr import (
+    Add,
+    BinaryOp,
+    BufferLoad,
+    Call,
+    Cast,
+    Div,
+    FloatImm,
+    FloorDiv,
+    FloorMod,
+    IntImm,
+    Max,
+    Min,
+    Mul,
+    Not,
+    PrimExpr,
+    Select,
+    StringImm,
+    Sub,
+    TruncDiv,
+    Var,
+)
+from .stmt import (
+    AllocateConst,
+    Block,
+    BlockRealize,
+    BufferStore,
+    Evaluate,
+    For,
+    ForKind,
+    IfThenElse,
+    LetStmt,
+    SeqStmt,
+    Stmt,
+)
+
+__all__ = ["script", "expr_str"]
+
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 3,
+    "<=": 3,
+    ">": 3,
+    ">=": 3,
+    "+": 4,
+    "-": 4,
+    "*": 5,
+    "/": 5,
+    "//": 5,
+    "%": 5,
+    "/t/": 5,
+}
+
+
+def expr_str(expr: PrimExpr, parent_prec: int = 0) -> str:
+    """Render an expression as a Python-like string."""
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, IntImm):
+        if expr.dtype == "bool":
+            return "True" if expr.value else "False"
+        if expr.dtype == "int32":
+            return repr(expr.value)
+        return f"{expr.dtype}({expr.value})"
+    if isinstance(expr, FloatImm):
+        text = repr(expr.value)
+        return text if expr.dtype == "float32" else f"{expr.dtype}({text})"
+    if isinstance(expr, StringImm):
+        return repr(expr.value)
+    if isinstance(expr, Cast):
+        return f"{expr.dtype}({expr_str(expr.value)})"
+    if isinstance(expr, (Min, Max)):
+        name = "min" if isinstance(expr, Min) else "max"
+        return f"{name}({expr_str(expr.a)}, {expr_str(expr.b)})"
+    if isinstance(expr, TruncDiv):
+        return f"truncdiv({expr_str(expr.a)}, {expr_str(expr.b)})"
+    if isinstance(expr, BinaryOp):
+        prec = _PRECEDENCE.get(expr.op_name, 5)
+        a = expr_str(expr.a, prec)
+        b = expr_str(expr.b, prec + 1)
+        text = f"{a} {expr.op_name} {b}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(expr, Not):
+        return f"not {expr_str(expr.a, 6)}"
+    if isinstance(expr, Select):
+        return (
+            f"select({expr_str(expr.condition)}, "
+            f"{expr_str(expr.true_value)}, {expr_str(expr.false_value)})"
+        )
+    if isinstance(expr, BufferLoad):
+        indices = ", ".join(expr_str(i) for i in expr.indices)
+        return f"{expr.buffer.name}[{indices}]"
+    if isinstance(expr, Call):
+        args = ", ".join(expr_str(a) for a in expr.args)
+        return f"{expr.op}({args})"
+    raise TypeError(f"cannot print expr: {type(expr).__name__}")
+
+
+def _region_str(region: BufferRegion) -> str:
+    dims = []
+    for r in region.region:
+        if isinstance(r.extent, IntImm) and r.extent.value == 1:
+            dims.append(expr_str(r.min))
+        else:
+            lo = expr_str(r.min)
+            hi = expr_str(r.min + r.extent)
+            dims.append(f"{lo}:{hi}")
+    return f"{region.buffer.name}[{', '.join(dims)}]"
+
+
+def _buffer_decl(buf: Buffer) -> str:
+    shape = ", ".join(expr_str(s) for s in buf.shape)
+    scope = "" if buf.scope == "global" else f", {buf.scope!r}"
+    return f"Buffer[({shape},), {buf.dtype!r}{scope}]"
+
+
+class _ScriptPrinter:
+    def __init__(self):
+        self.lines: List[str] = []
+        self.indent = 0
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def print_stmt(self, stmt: Stmt) -> None:
+        method = getattr(self, f"_print_{type(stmt).__name__}", None)
+        if method is None:
+            raise TypeError(f"cannot print stmt: {type(stmt).__name__}")
+        method(stmt)
+
+    def _print_BufferStore(self, stmt: BufferStore) -> None:
+        indices = ", ".join(expr_str(i) for i in stmt.indices)
+        self.emit(f"{stmt.buffer.name}[{indices}] = {expr_str(stmt.value)}")
+
+    def _print_Evaluate(self, stmt: Evaluate) -> None:
+        self.emit(expr_str(stmt.value))
+
+    def _print_SeqStmt(self, stmt: SeqStmt) -> None:
+        for s in stmt.stmts:
+            self.print_stmt(s)
+
+    def _print_IfThenElse(self, stmt: IfThenElse) -> None:
+        self.emit(f"if {expr_str(stmt.condition)}:")
+        self.indent += 1
+        self.print_stmt(stmt.then_case)
+        self.indent -= 1
+        if stmt.else_case is not None:
+            self.emit("else:")
+            self.indent += 1
+            self.print_stmt(stmt.else_case)
+            self.indent -= 1
+
+    def _print_LetStmt(self, stmt: LetStmt) -> None:
+        self.emit(f"{stmt.var.name} = {expr_str(stmt.value)}")
+        self.print_stmt(stmt.body)
+
+    def _print_For(self, stmt: For) -> None:
+        # Collapse perfectly nested serial loops starting at 0 into `grid`.
+        loops = [stmt]
+        inner = stmt.body
+        while (
+            isinstance(inner, For)
+            and inner.kind == ForKind.SERIAL
+            and stmt.kind == ForKind.SERIAL
+            and isinstance(inner.min, IntImm)
+            and inner.min.value == 0
+            and not loops[-1].annotations
+            and not inner.annotations
+        ):
+            loops.append(inner)
+            inner = inner.body
+        if len(loops) > 1 and all(
+            isinstance(lp.min, IntImm) and lp.min.value == 0 for lp in loops
+        ):
+            names = ", ".join(lp.loop_var.name for lp in loops)
+            extents = ", ".join(expr_str(lp.extent) for lp in loops)
+            self.emit(f"for {names} in grid({extents}):")
+            self.indent += 1
+            self.print_stmt(inner)
+            self.indent -= 1
+            return
+        header = self._loop_header(stmt)
+        self.emit(header)
+        self.indent += 1
+        self.print_stmt(stmt.body)
+        self.indent -= 1
+
+    def _loop_header(self, stmt: For) -> str:
+        var = stmt.loop_var.name
+        if stmt.annotations:
+            # Annotated loops print in a parseable long form.
+            return (
+                f"for {var} in annotated({expr_str(stmt.extent)}, {stmt.kind!r}, "
+                f"{stmt.thread_tag!r}, {dict(sorted(stmt.annotations.items()))!r}):"
+            )
+        if isinstance(stmt.min, IntImm) and stmt.min.value == 0:
+            rng = f"range({expr_str(stmt.extent)})"
+        else:
+            rng = f"range({expr_str(stmt.min)}, {expr_str(stmt.min + stmt.extent)})"
+        if stmt.kind == ForKind.SERIAL:
+            return f"for {var} in {rng}:"
+        if stmt.kind == ForKind.THREAD_BINDING:
+            return (
+                f"for {var} in thread_binding({expr_str(stmt.extent)}, "
+                f"thread={stmt.thread_tag!r}):"
+            )
+        return f"for {var} in {stmt.kind}({expr_str(stmt.extent)}):"
+
+    def _print_BlockRealize(self, stmt: BlockRealize) -> None:
+        block = stmt.block
+        self.emit(f'with block({block.name_hint!r}):')
+        self.indent += 1
+        for iv, value in zip(block.iter_vars, stmt.iter_values):
+            kind = {"spatial": "spatial_axis", "reduce": "reduce_axis"}.get(
+                iv.kind, f"{iv.kind}_axis"
+            )
+            dom = expr_str(iv.dom.extent)
+            self.emit(f"{iv.var.name} = {kind}({dom}, {expr_str(value)})")
+        pred = stmt.predicate
+        if not (isinstance(pred, IntImm) and pred.value == 1):
+            self.emit(f"where({expr_str(pred)})")
+        self._print_block_contents(block)
+        self.indent -= 1
+
+    def _print_Block(self, block: Block) -> None:
+        self.emit(f'with block({block.name_hint!r}):')
+        self.indent += 1
+        for iv in block.iter_vars:
+            kind = {"spatial": "spatial_axis", "reduce": "reduce_axis"}.get(
+                iv.kind, f"{iv.kind}_axis"
+            )
+            self.emit(f"{iv.var.name} = {kind}({expr_str(iv.dom.extent)})")
+        self._print_block_contents(block)
+        self.indent -= 1
+
+    def _print_block_contents(self, block: Block) -> None:
+        if block.reads:
+            self.emit(f"reads({', '.join(_region_str(r) for r in block.reads)})")
+        if block.writes:
+            self.emit(f"writes({', '.join(_region_str(w) for w in block.writes)})")
+        for key, value in sorted(block.annotations.items()):
+            self.emit(f"attr({key!r}, {value!r})")
+        for buf in block.alloc_buffers:
+            self.emit(f"{buf.name} = alloc_buffer({_buffer_decl(buf)})")
+        if block.init is not None:
+            self.emit("with init():")
+            self.indent += 1
+            self.print_stmt(block.init)
+            self.indent -= 1
+        self.print_stmt(block.body)
+
+    def _print_AllocateConst(self, stmt: AllocateConst) -> None:
+        self.emit(f"{stmt.buffer.name} = alloc_const({_buffer_decl(stmt.buffer)})")
+        self.print_stmt(stmt.body)
+
+
+def script(node) -> str:
+    """Render a PrimFunc / Stmt / PrimExpr as script text."""
+    from .function import PrimFunc
+
+    if isinstance(node, PrimExpr):
+        return expr_str(node)
+
+    printer = _ScriptPrinter()
+    if isinstance(node, PrimFunc):
+        args = ", ".join(
+            f"{node.buffer_map[p].name}: {_buffer_decl(node.buffer_map[p])}" for p in node.params
+        )
+        printer.emit("@script")
+        printer.emit(f"def {node.name}({args}):")
+        printer.indent += 1
+        root = node.body.block
+        for buf in root.alloc_buffers:
+            printer.emit(f"{buf.name} = alloc_buffer({_buffer_decl(buf)})")
+        printer.print_stmt(root.body)
+        printer.indent -= 1
+    elif isinstance(node, Stmt):
+        printer.print_stmt(node)
+    else:
+        raise TypeError(f"cannot print: {type(node).__name__}")
+    return "\n".join(printer.lines)

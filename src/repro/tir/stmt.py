@@ -1,0 +1,281 @@
+"""Statement IR for TensorIR.
+
+The statement layer hosts the paper's three structural elements: loop
+nests (:class:`For`, possibly thread-bound), **blocks**
+(:class:`Block` / :class:`BlockRealize`) and imperative statements
+(:class:`BufferStore` etc.).
+
+A :class:`Block` carries the complete *block signature* of §3.1:
+
+* ``iter_vars`` — block iterator variables with domains and kinds
+  (spatial / reduce),
+* ``reads`` / ``writes`` — access regions over multi-dimensional buffers,
+* an optional ``init`` statement for reduction blocks,
+* ``alloc_buffers`` — buffers whose lifetime is the block instance.
+
+:class:`BlockRealize` binds the block iterators to expressions of the
+outer loop variables (the *binding values* of Figure 5) under a
+predicate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .buffer import Buffer, BufferRegion
+from .expr import ExprLike, IterVar, PrimExpr, Range, Var, as_expr, const
+
+__all__ = [
+    "Stmt",
+    "BufferStore",
+    "Evaluate",
+    "SeqStmt",
+    "IfThenElse",
+    "LetStmt",
+    "ForKind",
+    "For",
+    "Block",
+    "BlockRealize",
+    "AllocateConst",
+    "seq",
+]
+
+
+class Stmt:
+    """Base class for all statements."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from .printer import script
+
+        return script(self)
+
+
+class BufferStore(Stmt):
+    """``buffer[indices] = value``."""
+
+    __slots__ = ("buffer", "value", "indices")
+
+    def __init__(self, buffer: Buffer, value: ExprLike, indices: Sequence[ExprLike]):
+        self.buffer = buffer
+        self.value = as_expr(value, buffer.dtype)
+        self.indices: Tuple[PrimExpr, ...] = tuple(as_expr(i) for i in indices)
+        if len(self.indices) != buffer.ndim:
+            raise ValueError(
+                f"BufferStore to {buffer.name}: got {len(self.indices)} indices "
+                f"for a {buffer.ndim}-d buffer"
+            )
+
+
+class Evaluate(Stmt):
+    """Evaluate an expression for its side effect (intrinsic calls)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: ExprLike):
+        self.value = as_expr(value)
+
+
+class SeqStmt(Stmt):
+    """A sequence of statements executed in order."""
+
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: Sequence[Stmt]):
+        flat: List[Stmt] = []
+        for s in stmts:
+            if isinstance(s, SeqStmt):
+                flat.extend(s.stmts)
+            else:
+                flat.append(s)
+        if len(flat) < 2:
+            raise ValueError("SeqStmt needs at least two statements; use seq()")
+        self.stmts: Tuple[Stmt, ...] = tuple(flat)
+
+
+def seq(stmts: Sequence[Stmt]) -> Stmt:
+    """Sequence ``stmts``, collapsing the 1-element case."""
+    stmts = [s for s in stmts if s is not None]
+    if not stmts:
+        raise ValueError("empty statement sequence")
+    if len(stmts) == 1:
+        return stmts[0]
+    return SeqStmt(stmts)
+
+
+class IfThenElse(Stmt):
+    __slots__ = ("condition", "then_case", "else_case")
+
+    def __init__(self, condition: ExprLike, then_case: Stmt, else_case: Optional[Stmt] = None):
+        self.condition = as_expr(condition)
+        self.then_case = then_case
+        self.else_case = else_case
+
+
+class LetStmt(Stmt):
+    """Bind ``var = value`` within ``body``."""
+
+    __slots__ = ("var", "value", "body")
+
+    def __init__(self, var: Var, value: ExprLike, body: Stmt):
+        self.var = var
+        self.value = as_expr(value)
+        self.body = body
+
+
+class ForKind:
+    """Loop kinds: execution strategies and annotations for lowering."""
+
+    SERIAL = "serial"
+    PARALLEL = "parallel"
+    VECTORIZED = "vectorized"
+    UNROLLED = "unrolled"
+    THREAD_BINDING = "thread_binding"
+
+    ALL = (SERIAL, PARALLEL, VECTORIZED, UNROLLED, THREAD_BINDING)
+
+
+class For(Stmt):
+    """A loop over ``[min, min+extent)``.
+
+    ``kind == ForKind.THREAD_BINDING`` models GPU thread/block axes; the
+    hardware axis name (``"threadIdx.x"`` etc.) lives in ``thread_tag``.
+    """
+
+    __slots__ = ("loop_var", "min", "extent", "kind", "body", "thread_tag", "annotations")
+
+    def __init__(
+        self,
+        loop_var: Var,
+        min: ExprLike,  # noqa: A002 - IR field name
+        extent: ExprLike,
+        kind: str = ForKind.SERIAL,
+        body: Stmt = None,
+        thread_tag: Optional[str] = None,
+        annotations: Optional[Mapping[str, object]] = None,
+    ):
+        if kind not in ForKind.ALL:
+            raise ValueError(f"unknown loop kind: {kind}")
+        if kind == ForKind.THREAD_BINDING and not thread_tag:
+            raise ValueError("thread_binding loop requires a thread_tag")
+        if body is None:
+            raise ValueError("For requires a body")
+        self.loop_var = loop_var
+        self.min = as_expr(min)
+        self.extent = as_expr(extent)
+        self.kind = kind
+        self.body = body
+        self.thread_tag = thread_tag
+        self.annotations: Dict[str, object] = dict(annotations or {})
+
+
+class Block(Stmt):
+    """A block: the paper's unit of tensorized computation isolation.
+
+    The signature (iter_vars / reads / writes / init) is sufficient for
+    outer-loop transformations without inspecting ``body`` (§3.1).
+    """
+
+    __slots__ = (
+        "name_hint",
+        "iter_vars",
+        "reads",
+        "writes",
+        "body",
+        "init",
+        "alloc_buffers",
+        "annotations",
+    )
+
+    def __init__(
+        self,
+        name_hint: str,
+        iter_vars: Sequence[IterVar],
+        reads: Sequence[BufferRegion],
+        writes: Sequence[BufferRegion],
+        body: Stmt,
+        init: Optional[Stmt] = None,
+        alloc_buffers: Sequence[Buffer] = (),
+        annotations: Optional[Mapping[str, object]] = None,
+    ):
+        self.name_hint = name_hint
+        self.iter_vars: Tuple[IterVar, ...] = tuple(iter_vars)
+        self.reads: Tuple[BufferRegion, ...] = tuple(reads)
+        self.writes: Tuple[BufferRegion, ...] = tuple(writes)
+        self.body = body
+        self.init = init
+        self.alloc_buffers: Tuple[Buffer, ...] = tuple(alloc_buffers)
+        self.annotations: Dict[str, object] = dict(annotations or {})
+
+    @property
+    def is_reduction(self) -> bool:
+        """True if any block iterator is a reduction axis."""
+        return any(iv.is_reduce for iv in self.iter_vars)
+
+    def iter_var_of(self, var: Var) -> IterVar:
+        for iv in self.iter_vars:
+            if iv.var is var:
+                return iv
+        raise KeyError(f"{var.name} is not an iterator of block {self.name_hint}")
+
+    def replace(self, **kwargs) -> "Block":
+        """A copy of this block with some fields replaced."""
+        fields = dict(
+            name_hint=self.name_hint,
+            iter_vars=self.iter_vars,
+            reads=self.reads,
+            writes=self.writes,
+            body=self.body,
+            init=self.init,
+            alloc_buffers=self.alloc_buffers,
+            annotations=self.annotations,
+        )
+        fields.update(kwargs)
+        return Block(**fields)
+
+
+class BlockRealize(Stmt):
+    """Bind a block's iterators to value expressions under a predicate.
+
+    ``iter_values[i]`` is the binding of ``block.iter_vars[i]``; the
+    ``predicate`` guards execution (used e.g. for padding-introduced
+    partial tiles).
+    """
+
+    __slots__ = ("iter_values", "predicate", "block")
+
+    def __init__(
+        self,
+        iter_values: Sequence[ExprLike],
+        predicate: ExprLike,
+        block: Block,
+    ):
+        self.iter_values: Tuple[PrimExpr, ...] = tuple(as_expr(v) for v in iter_values)
+        self.predicate = as_expr(predicate)
+        self.block = block
+        if len(self.iter_values) != len(block.iter_vars):
+            raise ValueError(
+                f"block {block.name_hint}: {len(self.iter_values)} binding values "
+                f"for {len(block.iter_vars)} iterators"
+            )
+
+    def replace(self, **kwargs) -> "BlockRealize":
+        fields = dict(
+            iter_values=self.iter_values,
+            predicate=self.predicate,
+            block=self.block,
+        )
+        fields.update(kwargs)
+        return BlockRealize(**fields)
+
+
+class AllocateConst(Stmt):
+    """Allocate a buffer initialised with constant data (weights)."""
+
+    __slots__ = ("buffer", "data", "body")
+
+    def __init__(self, buffer: Buffer, data, body: Stmt):
+        self.buffer = buffer
+        self.data = data
+        self.body = body

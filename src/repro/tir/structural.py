@@ -1,0 +1,271 @@
+"""Structural (alpha) equality for TensorIR.
+
+Two IR fragments are structurally equal when they have the same tree
+shape and their variables/buffers correspond under a consistent bijective
+mapping.  This is the comparison used by tests and by tensor-intrinsic
+matching (``tensorize`` checks the candidate block against the intrinsic's
+*semantics* block up to renaming).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .buffer import Buffer, BufferRegion
+from .expr import (
+    BinaryOp,
+    BufferLoad,
+    Call,
+    Cast,
+    FloatImm,
+    IntImm,
+    IterVar,
+    Not,
+    PrimExpr,
+    Range,
+    Select,
+    StringImm,
+    Var,
+)
+from .function import PrimFunc
+from .stmt import (
+    AllocateConst,
+    Block,
+    BlockRealize,
+    BufferStore,
+    Evaluate,
+    For,
+    IfThenElse,
+    LetStmt,
+    SeqStmt,
+    Stmt,
+)
+
+__all__ = ["structural_equal", "assert_structural_equal", "StructuralMatcher"]
+
+
+class StructuralMatcher:
+    """Stateful matcher accumulating var/buffer correspondences."""
+
+    def __init__(self, map_free_vars: bool = False):
+        self.map_free_vars = map_free_vars
+        self.var_map: Dict[Var, Var] = {}
+        self.rev_var_map: Dict[Var, Var] = {}
+        self.buffer_map: Dict[Buffer, Buffer] = {}
+        self.rev_buffer_map: Dict[Buffer, Buffer] = {}
+
+    # -- bindings --------------------------------------------------------
+    def bind_var(self, a: Var, b: Var) -> bool:
+        if a.dtype != b.dtype:
+            return False
+        if a in self.var_map:
+            return self.var_map[a] is b
+        if b in self.rev_var_map:
+            return False
+        self.var_map[a] = b
+        self.rev_var_map[b] = a
+        return True
+
+    def bind_buffer(self, a: Buffer, b: Buffer) -> bool:
+        if a in self.buffer_map:
+            return self.buffer_map[a] is b
+        if b in self.rev_buffer_map:
+            return False
+        if a.dtype != b.dtype or a.ndim != b.ndim or a.scope != b.scope:
+            return False
+        if not all(self.match_expr(sa, sb) for sa, sb in zip(a.shape, b.shape)):
+            return False
+        self.buffer_map[a] = b
+        self.rev_buffer_map[b] = a
+        return True
+
+    # -- expressions -----------------------------------------------------
+    def match_expr(self, a: PrimExpr, b: PrimExpr) -> bool:
+        # No identity shortcut: a shared subtree must still register its
+        # variable correspondences, or later uses could bind inconsistently.
+        if type(a) is not type(b):
+            return False
+        if a.dtype != b.dtype:
+            return False
+        if isinstance(a, Var):
+            if a in self.var_map:
+                return self.var_map[a] is b
+            if self.map_free_vars:
+                return self.bind_var(a, b)
+            # Free vars must be identical; record the self-binding so a
+            # later bound use cannot remap either side.
+            return a is b and self.bind_var(a, b)
+        if isinstance(a, IntImm):
+            return a.value == b.value
+        if isinstance(a, FloatImm):
+            return a.value == b.value
+        if isinstance(a, StringImm):
+            return a.value == b.value
+        if isinstance(a, Cast):
+            return self.match_expr(a.value, b.value)
+        if isinstance(a, BinaryOp):
+            return self.match_expr(a.a, b.a) and self.match_expr(a.b, b.b)
+        if isinstance(a, Not):
+            return self.match_expr(a.a, b.a)
+        if isinstance(a, Select):
+            return (
+                self.match_expr(a.condition, b.condition)
+                and self.match_expr(a.true_value, b.true_value)
+                and self.match_expr(a.false_value, b.false_value)
+            )
+        if isinstance(a, BufferLoad):
+            if not self.match_buffer_use(a.buffer, b.buffer):
+                return False
+            return len(a.indices) == len(b.indices) and all(
+                self.match_expr(ia, ib) for ia, ib in zip(a.indices, b.indices)
+            )
+        if isinstance(a, Call):
+            return (
+                a.op == b.op
+                and len(a.args) == len(b.args)
+                and all(self.match_expr(ia, ib) for ia, ib in zip(a.args, b.args))
+            )
+        raise TypeError(f"unhandled expr node: {type(a).__name__}")
+
+    def match_buffer_use(self, a: Buffer, b: Buffer) -> bool:
+        if a in self.buffer_map:
+            return self.buffer_map[a] is b
+        if self.map_free_vars:
+            return self.bind_buffer(a, b)
+        return a is b
+
+    def match_range(self, a: Range, b: Range) -> bool:
+        return self.match_expr(a.min, b.min) and self.match_expr(a.extent, b.extent)
+
+    def match_region(self, a: BufferRegion, b: BufferRegion) -> bool:
+        if not self.match_buffer_use(a.buffer, b.buffer):
+            return False
+        return len(a.region) == len(b.region) and all(
+            self.match_range(ra, rb) for ra, rb in zip(a.region, b.region)
+        )
+
+    # -- statements --------------------------------------------------------
+    def match_stmt(self, a: Stmt, b: Stmt) -> bool:
+        if type(a) is not type(b):
+            return False
+        if isinstance(a, BufferStore):
+            return (
+                self.match_buffer_use(a.buffer, b.buffer)
+                and self.match_expr(a.value, b.value)
+                and len(a.indices) == len(b.indices)
+                and all(self.match_expr(ia, ib) for ia, ib in zip(a.indices, b.indices))
+            )
+        if isinstance(a, Evaluate):
+            return self.match_expr(a.value, b.value)
+        if isinstance(a, SeqStmt):
+            return len(a.stmts) == len(b.stmts) and all(
+                self.match_stmt(sa, sb) for sa, sb in zip(a.stmts, b.stmts)
+            )
+        if isinstance(a, IfThenElse):
+            if not self.match_expr(a.condition, b.condition):
+                return False
+            if not self.match_stmt(a.then_case, b.then_case):
+                return False
+            if (a.else_case is None) != (b.else_case is None):
+                return False
+            return a.else_case is None or self.match_stmt(a.else_case, b.else_case)
+        if isinstance(a, LetStmt):
+            if not self.match_expr(a.value, b.value):
+                return False
+            if not self.bind_var(a.var, b.var):
+                return False
+            return self.match_stmt(a.body, b.body)
+        if isinstance(a, For):
+            if a.kind != b.kind or a.thread_tag != b.thread_tag:
+                return False
+            if a.annotations != b.annotations:
+                return False
+            if not (self.match_expr(a.min, b.min) and self.match_expr(a.extent, b.extent)):
+                return False
+            if not self.bind_var(a.loop_var, b.loop_var):
+                return False
+            return self.match_stmt(a.body, b.body)
+        if isinstance(a, BlockRealize):
+            if len(a.iter_values) != len(b.iter_values):
+                return False
+            if not all(
+                self.match_expr(va, vb) for va, vb in zip(a.iter_values, b.iter_values)
+            ):
+                return False
+            if not self.match_expr(a.predicate, b.predicate):
+                return False
+            return self.match_stmt(a.block, b.block)
+        if isinstance(a, Block):
+            return self.match_block(a, b)
+        if isinstance(a, AllocateConst):
+            if not self.bind_buffer(a.buffer, b.buffer):
+                return False
+            return self.match_stmt(a.body, b.body)
+        raise TypeError(f"unhandled stmt node: {type(a).__name__}")
+
+    def match_block(self, a: Block, b: Block) -> bool:
+        if len(a.iter_vars) != len(b.iter_vars):
+            return False
+        for iva, ivb in zip(a.iter_vars, b.iter_vars):
+            if iva.kind != ivb.kind:
+                return False
+            if not self.match_range(iva.dom, ivb.dom):
+                return False
+            if not self.bind_var(iva.var, ivb.var):
+                return False
+        if len(a.alloc_buffers) != len(b.alloc_buffers):
+            return False
+        for ba, bb in zip(a.alloc_buffers, b.alloc_buffers):
+            if not self.bind_buffer(ba, bb):
+                return False
+        if len(a.reads) != len(b.reads) or len(a.writes) != len(b.writes):
+            return False
+        if not all(self.match_region(ra, rb) for ra, rb in zip(a.reads, b.reads)):
+            return False
+        if not all(self.match_region(wa, wb) for wa, wb in zip(a.writes, b.writes)):
+            return False
+        if a.annotations != b.annotations:
+            return False
+        if (a.init is None) != (b.init is None):
+            return False
+        if a.init is not None and not self.match_stmt(a.init, b.init):
+            return False
+        return self.match_stmt(a.body, b.body)
+
+    def match_func(self, a: PrimFunc, b: PrimFunc) -> bool:
+        if len(a.params) != len(b.params):
+            return False
+        for pa, pb in zip(a.params, b.params):
+            if not self.bind_var(pa, pb):
+                return False
+            if not self.bind_buffer(a.buffer_map[pa], b.buffer_map[pb]):
+                return False
+        return self.match_stmt(a.body, b.body)
+
+
+def structural_equal(a, b, map_free_vars: bool = False) -> bool:
+    """Alpha-equivalence of two IR fragments.
+
+    Bound variables (loop vars, block iters, let vars, function params)
+    always correspond positionally; free variables and externally-declared
+    buffers must be identical unless ``map_free_vars`` is set.
+    """
+    matcher = StructuralMatcher(map_free_vars=map_free_vars)
+    if isinstance(a, PrimFunc) and isinstance(b, PrimFunc):
+        return matcher.match_func(a, b)
+    if isinstance(a, Stmt) and isinstance(b, Stmt):
+        return matcher.match_stmt(a, b)
+    if isinstance(a, PrimExpr) and isinstance(b, PrimExpr):
+        return matcher.match_expr(a, b)
+    return False
+
+
+def assert_structural_equal(a, b, map_free_vars: bool = False) -> None:
+    """Raise AssertionError with both scripts when not structurally equal."""
+    if not structural_equal(a, b, map_free_vars=map_free_vars):
+        from .printer import script
+
+        raise AssertionError(
+            "structural inequality\n--- lhs ---\n"
+            f"{script(a)}\n--- rhs ---\n{script(b)}"
+        )

@@ -1,0 +1,80 @@
+"""Edge-case tests for the analyzer and simplifier interplay."""
+
+import pytest
+
+from repro.arith import Analyzer, IntSet
+from repro.tir import (
+    Cast,
+    Range,
+    Select,
+    Var,
+    call,
+    const,
+    const_int_value,
+    expr_str,
+)
+
+
+class TestAnalyzerEdges:
+    def test_symbolic_range_bind(self):
+        n = Var("n")
+        x = Var("x")
+        ana = Analyzer()
+        ana.bind(n, Range(0, 10))
+        ana.bind(x, Range(n, 5))  # symbolic min: [n, n+4] ⊆ [0, 13]
+        s = ana.int_set(x)
+        assert s.min_value == 0 and s.max_value == 13
+
+    def test_point_binding_constant_folds(self):
+        x, y = Var("x"), Var("y")
+        ana = Analyzer()
+        ana.bind(x, 3)
+        ana.bind(y, Range(0, 4))
+        assert expr_str(ana.simplify(x * y + x)) == "y * 3 + 3"
+
+    def test_cast_of_constant_folds(self):
+        ana = Analyzer()
+        out = ana.simplify(Cast("int64", const(7)) + const(1, "int64"))
+        assert const_int_value(out) == 8
+
+    def test_select_atoms_simplified_recursively(self):
+        x = Var("x")
+        ana = Analyzer()
+        out = ana.simplify(Select(x < 4, x + x, x * 2))
+        # both arms canonicalise to x*2 (though Select is kept).
+        assert "x * 2" in expr_str(out)
+
+    def test_call_arguments_simplified(self):
+        x = Var("x")
+        ana = Analyzer()
+        out = ana.simplify(call("exp", (x + x) - x))
+        assert expr_str(out) == "exp(x)"
+
+    def test_nested_divmod_tower(self):
+        # ((x//4)//4)//4 == x//64
+        x = Var("x")
+        ana = Analyzer()
+        out = ana.simplify(((x // 4) // 4) // 4)
+        assert expr_str(out) == "x // 64"
+
+    def test_mod_mod_reduction(self):
+        x = Var("x")
+        ana = Analyzer()
+        ana.bind(x, Range(0, 256))
+        # (x % 16) % 16 == x % 16 (inner already in range)
+        out = ana.simplify((x % 16) % 16)
+        assert expr_str(out) == "x % 16"
+
+    def test_prove_strict_vs_weak(self):
+        x = Var("x")
+        ana = Analyzer()
+        ana.bind(x, Range(0, 8))
+        assert ana.can_prove(x <= 7)
+        assert not ana.can_prove(x < 7)
+        assert ana.can_prove(x * 2 <= 14)
+
+    def test_unbound_var_conservative(self):
+        x = Var("x")
+        ana = Analyzer()
+        assert not ana.can_prove(x >= 0)
+        assert ana.const_int(x * 0) == 0

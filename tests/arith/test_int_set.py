@@ -1,0 +1,111 @@
+"""Tests for interval sets, including a conservativeness property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith import IntSet, eval_int_set, intersect, range_to_set, union
+from repro.tir import Range, Var, const, evaluate_expr
+
+
+class TestIntSetBasics:
+    def test_point(self):
+        s = IntSet.point(5)
+        assert s.is_point and s.extent() == 1
+        assert s.contains_value(5) and not s.contains_value(6)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            IntSet(3, 2)
+
+    def test_from_range(self):
+        s = IntSet.from_range(2, 4)
+        assert (s.min_value, s.max_value) == (2, 5)
+
+    def test_everything(self):
+        s = IntSet.everything()
+        assert not s.is_bounded
+        assert s.contains(IntSet(-1000, 1000))
+
+    def test_arith(self):
+        a, b = IntSet(0, 3), IntSet(1, 2)
+        assert (a + b) == IntSet(1, 5)
+        assert (a - b) == IntSet(-2, 2)
+        assert (a * IntSet.point(-2)) == IntSet(-6, 0)
+        assert (-a) == IntSet(-3, 0)
+
+    def test_floordiv(self):
+        assert IntSet(0, 7).floordiv(IntSet.point(2)) == IntSet(0, 3)
+        assert IntSet(-5, 5).floordiv(IntSet.point(2)) == IntSet(-3, 2)
+        # Division by a range containing zero is unbounded.
+        assert not IntSet(0, 7).floordiv(IntSet(-1, 1)).is_bounded
+
+    def test_floormod(self):
+        assert IntSet(0, 100).floormod(IntSet.point(8)) == IntSet(0, 7)
+        assert IntSet(16, 19).floormod(IntSet.point(8)) == IntSet(0, 3)
+
+    def test_union_intersect(self):
+        a, b = IntSet(0, 3), IntSet(5, 9)
+        assert union([a, b]) == IntSet(0, 9)
+        assert intersect([a, b]) is None
+        assert intersect([IntSet(0, 6), IntSet(4, 9)]) == IntSet(4, 6)
+
+    def test_range_to_set(self):
+        assert range_to_set(Range(3, 4)) == IntSet(3, 6)
+        with pytest.raises(ValueError):
+            range_to_set(Range(Var("n"), 4))
+
+
+class TestEvalIntSet:
+    def test_affine(self):
+        x = Var("x")
+        s = eval_int_set(x * 3 + 2, {x: IntSet(0, 9)})
+        assert s == IntSet(2, 29)
+
+    def test_unknown_var_unbounded(self):
+        x = Var("x")
+        assert not eval_int_set(x + 1, {}).is_bounded
+
+    def test_min_max_select(self):
+        from repro.tir import Max, Min, Select
+
+        x, y = Var("x"), Var("y")
+        dom = {x: IntSet(0, 4), y: IntSet(2, 6)}
+        assert eval_int_set(Min(x, y), dom) == IntSet(0, 4)
+        assert eval_int_set(Max(x, y), dom) == IntSet(2, 6)
+        assert eval_int_set(Select(x < y, x, y), dom) == IntSet(0, 6)
+
+
+# -- property: eval_int_set is a sound over-approximation -----------------
+
+_V = [Var(n) for n in ("p", "q")]
+_EXT = {_V[0]: 13, _V[1]: 5}
+
+
+def _exprs(depth):
+    if depth == 0:
+        return st.one_of(
+            st.sampled_from(_V), st.integers(min_value=-6, max_value=6).map(const)
+        )
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        sub,
+        st.tuples(sub, sub).map(lambda t: t[0] + t[1]),
+        st.tuples(sub, sub).map(lambda t: t[0] - t[1]),
+        st.tuples(sub, sub).map(lambda t: t[0] * t[1]),
+        st.tuples(sub, st.integers(min_value=1, max_value=7)).map(lambda t: t[0] // t[1]),
+        st.tuples(sub, st.integers(min_value=1, max_value=7)).map(lambda t: t[0] % t[1]),
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(expr=_exprs(3), data=st.data())
+def test_int_set_is_conservative(expr, data):
+    dom = {v: IntSet(0, ext - 1) for v, ext in _EXT.items()}
+    bound = eval_int_set(expr, dom)
+    env = {
+        v: data.draw(st.integers(min_value=0, max_value=ext - 1), label=v.name)
+        for v, ext in _EXT.items()
+    }
+    value = evaluate_expr(expr, env)
+    assert bound.contains_value(value)

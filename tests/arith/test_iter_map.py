@@ -1,0 +1,151 @@
+"""Tests for quasi-affine iterator-map detection (§3.3 validation core).
+
+Includes a hypothesis cross-check: whenever detect_iter_map accepts a set
+of bindings as bijective, brute-force enumeration of the (small) input
+space must confirm the mapping is injective.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith import detect_iter_map
+from repro.tir import Var, evaluate_expr
+
+
+def _vars(*names):
+    return [Var(n) for n in names]
+
+
+class TestAccepts:
+    def test_identity(self):
+        i, j = _vars("i", "j")
+        assert detect_iter_map([i, j], {i: 4, j: 8}) is not None
+
+    def test_split(self):
+        i = Var("i")
+        assert detect_iter_map([i // 4, i % 4], {i: 16}) is not None
+
+    def test_three_way_split(self):
+        i = Var("i")
+        r = detect_iter_map([i // 16, (i // 4) % 4, i % 4], {i: 64})
+        assert r is not None
+
+    def test_fuse(self):
+        i, j = _vars("i", "j")
+        assert detect_iter_map([i * 8 + j], {i: 4, j: 8}) is not None
+
+    def test_fuse_then_split(self):
+        i, j = _vars("i", "j")
+        bindings = [(i * 8 + j) // 4, (i * 8 + j) % 4]
+        assert detect_iter_map(bindings, {i: 4, j: 8}) is not None
+
+    def test_unit_extent_iter_ignored(self):
+        i, u = _vars("i", "u")
+        assert detect_iter_map([i + u], {i: 8, u: 1}) is not None
+
+    def test_constant_offset_binding(self):
+        # A constant base is fine for injectivity (e.g. padded offsets).
+        i = Var("i")
+        assert detect_iter_map([i + 3], {i: 8}) is not None
+
+    def test_permuted_fuse(self):
+        i, j, k = _vars("i", "j", "k")
+        bindings = [j, i * 4 + k]
+        assert detect_iter_map(bindings, {i: 8, j: 3, k: 4}) is not None
+
+
+class TestRejects:
+    def test_dependent_bindings_paper_example(self):
+        # v1 = i, v2 = i * 2 (paper §3.3) — not independent.
+        i = Var("i")
+        assert detect_iter_map([i, i * 2], {i: 16}) is None
+
+    def test_duplicate_use(self):
+        i, j = _vars("i", "j")
+        assert detect_iter_map([i, i], {i: 4, j: 4}) is None
+
+    def test_overlapping_fuse_scales(self):
+        i, j = _vars("i", "j")
+        # j has extent 6 > scale 4: values overlap, not injective.
+        assert detect_iter_map([i * 4 + j], {i: 4, j: 6}) is None
+
+    def test_missing_coverage_when_bijective_required(self):
+        i, j = _vars("i", "j")
+        assert detect_iter_map([i], {i: 4, j: 4}) is None
+        assert detect_iter_map([i], {i: 4, j: 4}, require_bijective=False) is not None
+
+    def test_partial_digit_use_rejected_when_bijective(self):
+        i = Var("i")
+        assert detect_iter_map([i // 4], {i: 16}) is None
+        assert detect_iter_map([i // 4], {i: 16}, require_bijective=False) is not None
+
+    def test_non_affine_product(self):
+        i, j = _vars("i", "j")
+        assert detect_iter_map([i * j], {i: 4, j: 4}) is None
+
+    def test_free_variable(self):
+        i, n = _vars("i", "n")
+        assert detect_iter_map([i + n * 4], {i: 4}) is None
+
+    def test_non_divisible_split(self):
+        i = Var("i")
+        # 10 is not divisible by 4: the digits don't align.
+        assert detect_iter_map([i // 4, i % 4], {i: 10}) is None
+
+
+# ---------------------------------------------------------------------------
+# Property: accepted mappings are genuinely injective (brute force).
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def _binding_case(draw):
+    i, j = Var("i"), Var("j")
+    ei = draw(st.sampled_from([2, 3, 4, 6, 8]))
+    ej = draw(st.sampled_from([2, 3, 4]))
+    f = i * ej + j  # fused iterator, extent ei*ej
+    c1 = draw(st.sampled_from([2, 3, 4, 5, 8]))
+    pool = [
+        [i, j],
+        [j, i],
+        [f],
+        [f // c1, f % c1],
+        [i // 2, i % 2, j],
+        [i, i],          # bad
+        [i * 2, j],      # bad (gap) — actually injective but digits misaligned
+        [f // c1],       # partial
+        [i + j],         # overlapping unless ej == 1
+    ]
+    bindings = draw(st.sampled_from(pool))
+    return bindings, {i: ei, j: ej}, (i, j)
+
+
+@settings(max_examples=200, deadline=None)
+@given(case=_binding_case())
+def test_accepted_maps_are_injective(case):
+    bindings, extents, (i, j) = case
+    result = detect_iter_map(bindings, extents)
+    if result is None:
+        return  # rejection is always safe
+    seen = set()
+    for vi, vj in itertools.product(range(extents[i]), range(extents[j])):
+        values = tuple(evaluate_expr(b, {i: vi, j: vj}) for b in bindings)
+        assert values not in seen, f"accepted non-injective map {bindings}"
+        seen.add(values)
+
+
+@settings(max_examples=100, deadline=None)
+@given(case=_binding_case())
+def test_bijective_maps_cover_expected_space(case):
+    """Bijective acceptance implies the image size equals the domain size."""
+    bindings, extents, (i, j) = case
+    result = detect_iter_map(bindings, extents, require_bijective=True)
+    if result is None:
+        return
+    image = set()
+    for vi, vj in itertools.product(range(extents[i]), range(extents[j])):
+        image.add(tuple(evaluate_expr(b, {i: vi, j: vj}) for b in bindings))
+    assert len(image) == extents[i] * extents[j]

@@ -1,0 +1,209 @@
+"""Tests for the canonical simplifier — including a hypothesis property:
+simplification never changes the value of an expression."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith import Analyzer
+from repro.tir import (
+    FloorDiv,
+    FloorMod,
+    Max,
+    Min,
+    Range,
+    Select,
+    Var,
+    const,
+    const_int_value,
+    evaluate_expr,
+    expr_str,
+)
+
+
+@pytest.fixture()
+def ana():
+    return Analyzer()
+
+
+class TestLinearCanonicalization:
+    def test_combine_like_terms(self, ana):
+        x = Var("x")
+        assert expr_str(ana.simplify(x + x + x)) == "x * 3"
+
+    def test_cancellation(self, ana):
+        x, y = Var("x"), Var("y")
+        assert const_int_value(ana.simplify(x + y - x - y)) == 0
+
+    def test_constant_collection(self, ana):
+        x = Var("x")
+        assert expr_str(ana.simplify(x + 3 + x - 1)) == "x * 2 + 2"
+
+    def test_mul_distribution(self, ana):
+        x = Var("x")
+        assert expr_str(ana.simplify((x + 1) * 4)) == "x * 4 + 4"
+
+    def test_deterministic_term_order(self, ana):
+        x, y = Var("x"), Var("y")
+        a = ana.simplify(x + y)
+        b = ana.simplify(y + x)
+        assert expr_str(a) == expr_str(b)
+
+
+class TestDivMod:
+    def test_exact_div(self, ana):
+        x = Var("x")
+        assert expr_str(ana.simplify((x * 8) // 4)) == "x * 2"
+
+    def test_split_recombine(self, ana):
+        # (i0*16 + i1) // 16 == i0 when i1 in [0,16)
+        i0, i1 = Var("i0"), Var("i1")
+        ana.bind(i0, Range(0, 4))
+        ana.bind(i1, Range(0, 16))
+        assert expr_str(ana.simplify((i0 * 16 + i1) // 16)) == "i0"
+        assert expr_str(ana.simplify((i0 * 16 + i1) % 16)) == "i1"
+
+    def test_mod_of_bounded_var(self, ana):
+        x = Var("x")
+        ana.bind(x, Range(0, 8))
+        assert expr_str(ana.simplify(x % 16)) == "x"
+        assert const_int_value(ana.simplify(x // 16)) == 0
+
+    def test_nested_div(self, ana):
+        x = Var("x")
+        out = ana.simplify((x // 4) // 8)
+        assert expr_str(out) == "x // 32"
+
+    def test_div_mod_identity(self, ana):
+        x = Var("x")
+        ana.bind(x, Range(0, 64))
+        expr = (x // 8) * 8 + x % 8
+        assert expr_str(ana.simplify(expr)) == "x"
+
+    def test_mod_without_bounds_kept(self, ana):
+        x = Var("x")
+        out = ana.simplify(x % 7)
+        assert isinstance(out, FloorMod)
+
+
+class TestMinMaxCompare:
+    def test_min_resolved_by_bounds(self, ana):
+        x = Var("x")
+        ana.bind(x, Range(0, 4))
+        assert expr_str(ana.simplify(Min(x, const(10)))) == "x"
+        assert const_int_value(ana.simplify(Max(x, const(10)))) == 10
+
+    def test_unresolvable_min_kept(self, ana):
+        x, y = Var("x"), Var("y")
+        out = ana.simplify(Min(x, y))
+        assert isinstance(out, Min)
+
+    def test_prove_lt(self, ana):
+        x = Var("x")
+        ana.bind(x, Range(0, 16))
+        assert ana.can_prove(x < 16)
+        assert ana.can_prove(x >= 0)
+        assert not ana.can_prove(x < 15)
+
+    def test_prove_eq_by_cancellation(self, ana):
+        x, y = Var("x"), Var("y")
+        assert ana.can_prove((x + y).equal(y + x))
+        assert ana.prove_equal(x * 2 + y, y + x + x)
+
+    def test_select_with_provable_condition(self, ana):
+        x = Var("x")
+        ana.bind(x, Range(0, 4))
+        out = ana.simplify(Select(x < 10, x + 1, x + 2))
+        assert expr_str(out) == "x + 1"
+
+    def test_and_or_shortcut(self, ana):
+        x = Var("x")
+        ana.bind(x, Range(0, 4))
+        from repro.tir import logical_and, logical_or
+
+        assert const_int_value(ana.simplify(logical_and(x < 4, x >= 0))) == 1
+        assert const_int_value(ana.simplify(logical_or(x < 0, x >= 4))) == 0
+
+
+class TestAnalyzer:
+    def test_bind_point(self, ana):
+        x = Var("x")
+        ana.bind(x, 3)
+        assert const_int_value(ana.simplify(x + 1)) == 4
+
+    def test_int_set_of_affine(self, ana):
+        x = Var("x")
+        ana.bind(x, Range(0, 10))
+        s = ana.int_set(x * 2 + 1)
+        assert (s.min_value, s.max_value) == (1, 19)
+
+    def test_const_int(self, ana):
+        x = Var("x")
+        assert ana.const_int(x - x + 5) == 5
+        assert ana.const_int(x) is None
+
+    def test_copy_isolated(self, ana):
+        x = Var("x")
+        ana.bind(x, Range(0, 4))
+        clone = ana.copy()
+        y = Var("y")
+        clone.bind(y, Range(0, 2))
+        assert y not in ana.domains()
+
+
+# ---------------------------------------------------------------------------
+# Property-based soundness: simplify(e) evaluates identically to e.
+# ---------------------------------------------------------------------------
+
+_VARS = [Var(n) for n in ("a", "b", "c")]
+_DOMS = {_VARS[0]: 16, _VARS[1]: 7, _VARS[2]: 3}
+
+
+def _exprs(depth):
+    if depth == 0:
+        return st.one_of(
+            st.sampled_from(_VARS),
+            st.integers(min_value=-8, max_value=8).map(const),
+        )
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        sub,
+        st.tuples(sub, sub).map(lambda t: t[0] + t[1]),
+        st.tuples(sub, sub).map(lambda t: t[0] - t[1]),
+        st.tuples(sub, st.integers(min_value=-4, max_value=4)).map(lambda t: t[0] * t[1]),
+        st.tuples(sub, st.integers(min_value=1, max_value=9)).map(lambda t: t[0] // t[1]),
+        st.tuples(sub, st.integers(min_value=1, max_value=9)).map(lambda t: t[0] % t[1]),
+        st.tuples(sub, sub).map(lambda t: Min(t[0], t[1])),
+        st.tuples(sub, sub).map(lambda t: Max(t[0], t[1])),
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(expr=_exprs(3), data=st.data())
+def test_simplify_preserves_value(expr, data):
+    ana = Analyzer()
+    for var, extent in _DOMS.items():
+        ana.bind(var, Range(0, extent))
+    simplified = ana.simplify(expr)
+    env = {
+        var: data.draw(st.integers(min_value=0, max_value=extent - 1), label=var.name)
+        for var, extent in _DOMS.items()
+    }
+    assert evaluate_expr(simplified, env) == evaluate_expr(expr, env)
+
+
+@settings(max_examples=150, deadline=None)
+@given(expr=_exprs(3), data=st.data())
+def test_can_prove_is_sound(expr, data):
+    """If can_prove(e >= k) holds, no concrete evaluation may violate it."""
+    ana = Analyzer()
+    for var, extent in _DOMS.items():
+        ana.bind(var, Range(0, extent))
+    k = data.draw(st.integers(min_value=-20, max_value=20), label="k")
+    proved = ana.can_prove(expr >= k)
+    env = {
+        var: data.draw(st.integers(min_value=0, max_value=extent - 1), label=var.name)
+        for var, extent in _DOMS.items()
+    }
+    if proved:
+        assert evaluate_expr(expr, env) >= k

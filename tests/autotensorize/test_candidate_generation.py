@@ -1,0 +1,248 @@
+"""Tests for §4.2 tensorization candidate generation (Figure 9 flow)."""
+
+import numpy as np
+import pytest
+
+from repro.autotensorize import (
+    extract_einsum,
+    generate_candidates,
+    match_expression_pattern,
+    prepare_tensorize,
+    propose_mapping,
+)
+from repro.intrin import get_intrin
+from repro.runtime import random_args, run
+from repro.schedule import Schedule, ScheduleError, verify
+from repro.tir import Cast, IRBuilder
+
+from ..common import build_matmul, build_matmul_relu
+
+
+def conv2d_func(n=1, h=8, w=8, ci=16, co=32, kh=3, kw=3, dtype="float16"):
+    """Figure 9's workload: standard NHWC Conv2D (stride 1)."""
+    b = IRBuilder("conv2d")
+    A = b.arg_buffer("A", (n, h + kh - 1, w + kw - 1, ci), dtype)
+    W = b.arg_buffer("W", (kh, kw, ci, co), dtype)
+    C = b.arg_buffer("C", (n, h, w, co), dtype)
+    with b.grid(n, h, w, co, kh, kw, ci, names=["n", "i", "j", "f", "r", "s", "c"]) as (
+        vn_,
+        vi_,
+        vj_,
+        vf_,
+        vr_,
+        vs_,
+        vc_,
+    ):
+        with b.block("C") as blk:
+            vn = blk.spatial(n, vn_)
+            vh = blk.spatial(h, vi_)
+            vw = blk.spatial(w, vj_)
+            vco = blk.spatial(co, vf_)
+            vrh = blk.reduce(kh, vr_)
+            vrw = blk.reduce(kw, vs_)
+            vci = blk.reduce(ci, vc_)
+            with blk.init():
+                b.store(C, (vn, vh, vw, vco), 0.0)
+            b.store(
+                C,
+                (vn, vh, vw, vco),
+                C[vn, vh, vw, vco] + A[vn, vh + vrh, vw + vrw, vci] * W[vrh, vrw, vci, vco],
+            )
+    return b.finish()
+
+
+def conv2d_ref(args, n=1, h=8, w=8, kh=3, kw=3):
+    A, W = args["A"].astype(np.float32), args["W"].astype(np.float32)
+    ref = np.zeros((n, h, w, W.shape[3]), dtype=np.float32)
+    for r in range(kh):
+        for s in range(kw):
+            ref += np.einsum("nhwc,cf->nhwf", A[:, r : r + h, s : s + w, :], W[r, s])
+    return ref
+
+
+def batch_matmul_func(b_=4, n=32, m=32, k=32, dtype="float16"):
+    b = IRBuilder("bmm")
+    A = b.arg_buffer("A", (b_, n, k), dtype)
+    B = b.arg_buffer("B", (b_, k, m), dtype)
+    C = b.arg_buffer("C", (b_, n, m), dtype)
+    with b.grid(b_, n, m, k, names=["b", "i", "j", "r"]) as (vb_, vi_, vj_, vr_):
+        with b.block("C") as blk:
+            vb = blk.spatial(b_, vb_)
+            vi = blk.spatial(n, vi_)
+            vj = blk.spatial(m, vj_)
+            vr = blk.reduce(k, vr_)
+            with blk.init():
+                b.store(C, (vb, vi, vj), 0.0)
+            b.store(C, (vb, vi, vj), C[vb, vi, vj] + A[vb, vi, vr] * B[vb, vr, vj])
+    return b.finish()
+
+
+def depthwise_func(n=1, h=16, w=16, c=32, kh=3, kw=3, dtype="float16"):
+    b = IRBuilder("depthwise")
+    A = b.arg_buffer("A", (n, h + kh - 1, w + kw - 1, c), dtype)
+    W = b.arg_buffer("W", (kh, kw, c), dtype)
+    C = b.arg_buffer("C", (n, h, w, c), dtype)
+    with b.grid(n, h, w, c, kh, kw, names=["n", "i", "j", "f", "r", "s"]) as (
+        vn_,
+        vi_,
+        vj_,
+        vf_,
+        vr_,
+        vs_,
+    ):
+        with b.block("C") as blk:
+            vn = blk.spatial(n, vn_)
+            vh = blk.spatial(h, vi_)
+            vw = blk.spatial(w, vj_)
+            vc = blk.spatial(c, vf_)
+            vrh = blk.reduce(kh, vr_)
+            vrw = blk.reduce(kw, vs_)
+            with blk.init():
+                b.store(C, (vn, vh, vw, vc), 0.0)
+            b.store(
+                C,
+                (vn, vh, vw, vc),
+                C[vn, vh, vw, vc] + A[vn, vh + vrh, vw + vrw, vc] * W[vrh, vrw, vc],
+            )
+    return b.finish()
+
+
+class TestPatternMatching:
+    def test_matmul_matches_wmma(self):
+        sch = Schedule(build_matmul(32, 32, 32, dtype="float16"))
+        wp = extract_einsum(sch.block_of(sch.get_block("C")))
+        ip = extract_einsum(get_intrin("wmma_16x16x16_f16").desc_block())
+        assert match_expression_pattern(wp, ip) == [0, 1]
+
+    def test_fp32_matmul_does_not_match_fp16_intrin(self):
+        sch = Schedule(build_matmul(32, 32, 32, dtype="float32"))
+        wp = extract_einsum(sch.block_of(sch.get_block("C")))
+        ip = extract_einsum(get_intrin("wmma_16x16x16_f16").desc_block())
+        assert match_expression_pattern(wp, ip) is None
+
+    def test_int8_matmul_matches_sdot(self):
+        b = IRBuilder("qgemm")
+        A = b.arg_buffer("A", (16, 16), "int8")
+        B = b.arg_buffer("B", (16, 16), "int8")
+        C = b.arg_buffer("C", (16, 16), "int32")
+        with b.grid(16, 16, 16) as (i, j, k):
+            with b.block("C") as blk:
+                vi = blk.spatial(16, i)
+                vj = blk.spatial(16, j)
+                vk = blk.reduce(16, k)
+                b.store(
+                    C,
+                    (vi, vj),
+                    C[vi, vj] + Cast("int32", A[vi, vk]) * Cast("int32", B[vk, vj]),
+                )
+        wp = extract_einsum(b.finish().body.block.body.body.body.body.block)
+        ip = extract_einsum(get_intrin("sdot_4x4x4_i8").desc_block())
+        assert match_expression_pattern(wp, ip) == [0, 1]
+
+    def test_elementwise_does_not_match(self):
+        sch = Schedule(build_matmul_relu(32))
+        wp = extract_einsum(sch.block_of(sch.get_block("D")))
+        ip = extract_einsum(get_intrin("wmma_16x16x16_f16").desc_block())
+        assert match_expression_pattern(wp, ip) is None
+
+
+class TestMapping:
+    def test_conv2d_mapping_groups(self):
+        sch = Schedule(conv2d_func())
+        wp = extract_einsum(sch.block_of(sch.get_block("C")))
+        ip = extract_einsum(get_intrin("wmma_16x16x16_f16").desc_block())
+        perm = match_expression_pattern(wp, ip)
+        mapping = propose_mapping(wp, ip, perm)
+        assert mapping is not None
+        # x ← fuse(n, h, w), y ← co, k ← fuse(rh, rw, rc): Figure 9.
+        names = [[iv.var.name for iv in g] for g in mapping.groups]
+        assert names == [["vn", "vi", "vj"], ["vf"], ["vr", "vs", "vc"]]
+        assert mapping.group_extents() == [64, 32, 144]
+
+    def test_batch_matmul_batch_axis_unmapped(self):
+        sch = Schedule(batch_matmul_func())
+        wp = extract_einsum(sch.block_of(sch.get_block("C")))
+        ip = extract_einsum(get_intrin("wmma_16x16x16_f16").desc_block())
+        perm = match_expression_pattern(wp, ip)
+        mapping = propose_mapping(wp, ip, perm)
+        assert mapping is not None
+        # b has χ = (1,1,1): it matches no intrinsic iterator and stays
+        # outside the tile.
+        grouped = {iv.var.name for g in mapping.groups for iv in g}
+        assert "vb" not in grouped
+
+    def test_depthwise_has_no_wmma_mapping(self):
+        # χ(c) = (1,1,1) and no iterator maps onto the intrinsic's y —
+        # depthwise conv cannot use the matmul unit (it stays on the
+        # scalar pipeline, matching the paper's DEP behaviour).
+        sch = Schedule(depthwise_func())
+        cands = generate_candidates(sch, sch.get_block("C"), ["wmma_16x16x16_f16"])
+        assert cands == []
+
+
+class TestPrepare:
+    def test_conv2d_prepare_shapes(self):
+        sch = Schedule(conv2d_func())
+        prep = prepare_tensorize(sch, sch.get_block("C"), "wmma_16x16x16_f16")
+        extents = [sch.loop_of(rv).extent.value for rv in prep.tile_loops]
+        assert extents == [64, 32, 144]  # 144 = pad(3*3*16 → divisible by 16)
+        assert all(e % t == 0 for e, t in zip(extents, prep.tile_shape))
+        assert verify(sch.func) == []
+
+    def test_conv2d_prepare_preserves_semantics(self):
+        sch = Schedule(conv2d_func())
+        prepare_tensorize(sch, sch.get_block("C"), "wmma_16x16x16_f16")
+        args = random_args(sch.func)
+        run(sch.func, args)
+        np.testing.assert_allclose(
+            args["C"].astype(np.float32), conv2d_ref(args), atol=0.1
+        )
+
+    def test_conv2d_full_tensorize(self):
+        sch = Schedule(conv2d_func())
+        c = sch.get_block("C")
+        prep = prepare_tensorize(sch, c, "wmma_16x16x16_f16")
+        i, j, k = prep.tile_loops
+        io, ii = sch.split(i, [None, 16])
+        jo, ji = sch.split(j, [None, 16])
+        ko, ki = sch.split(k, [None, 16])
+        sch.reorder(io, jo, ko, ii, ji, ki)
+        init = sch.decompose_reduction(c, ko)
+        sch.tensorize(ii, "wmma_16x16x16_f16")
+        i0, j0 = sch.get_loops(init)[-2:]
+        _, i0i = sch.split(i0, [None, 16])
+        j0o, j0i = sch.split(j0, [None, 16])
+        sch.reorder(i0i, j0o)
+        sch.tensorize(i0i, "wmma_fill_16x16_f16")
+        args = random_args(sch.func)
+        run(sch.func, args)
+        np.testing.assert_allclose(
+            args["C"].astype(np.float32), conv2d_ref(args), atol=0.1
+        )
+
+    def test_batch_matmul_prepare_keeps_batch_loop(self):
+        sch = Schedule(batch_matmul_func())
+        prep = prepare_tensorize(sch, sch.get_block("C"), "wmma_16x16x16_f16")
+        assert len(prep.outer_loops) == 1
+        assert sch.loop_of(prep.outer_loops[0]).extent.value == 4
+        assert verify(sch.func) == []
+        args = random_args(sch.func)
+        run(sch.func, args)
+        ref = np.einsum(
+            "bnk,bkm->bnm", args["A"].astype(np.float32), args["B"].astype(np.float32)
+        )
+        np.testing.assert_allclose(args["C"].astype(np.float32), ref, atol=0.1)
+
+    def test_depthwise_prepare_rejected(self):
+        sch = Schedule(depthwise_func())
+        with pytest.raises(ScheduleError):
+            prepare_tensorize(sch, sch.get_block("C"), "wmma_16x16x16_f16")
+
+    def test_trace_replays_preparation(self):
+        from repro.tir import structural_equal
+
+        sch = Schedule(conv2d_func())
+        prepare_tensorize(sch, sch.get_block("C"), "wmma_16x16x16_f16")
+        fresh = Schedule(conv2d_func())
+        sch.trace.apply_to(fresh)
+        assert structural_equal(sch.func, fresh.func)

@@ -1,0 +1,66 @@
+"""Shared IR construction helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro.tir import IRBuilder, PrimFunc, call
+
+
+def build_matmul(n: int = 64, m: int = 64, k: int = 64, dtype: str = "float32") -> PrimFunc:
+    """C[i, j] = sum_k A[i, k] * B[k, j] as a single reduction block."""
+    b = IRBuilder("matmul")
+    A = b.arg_buffer("A", (n, k), dtype)
+    B = b.arg_buffer("B", (k, m), dtype)
+    C = b.arg_buffer("C", (n, m), dtype)
+    with b.grid(n, m, k) as (i, j, kk):
+        with b.block("C") as blk:
+            vi = blk.spatial(n, i)
+            vj = blk.spatial(m, j)
+            vk = blk.reduce(k, kk)
+            with blk.init():
+                b.store(C, (vi, vj), 0.0)
+            b.store(C, (vi, vj), C[vi, vj] + A[vi, vk] * B[vk, vj])
+    return b.finish()
+
+
+def build_elementwise_chain(n: int = 64) -> PrimFunc:
+    """B = A + 1; C = exp(B) — the paper's Figure 4 program."""
+    b = IRBuilder("fuse_add_exp")
+    A = b.arg_buffer("A", (n, n), "float32")
+    C = b.arg_buffer("C", (n, n), "float32")
+    B = b.alloc_buffer("B", (n, n), "float32")
+    with b.grid(n, n) as (i, j):
+        with b.block("B") as blk:
+            vi = blk.spatial(n, i)
+            vj = blk.spatial(n, j)
+            b.store(B, (vi, vj), A[vi, vj] + 1.0)
+    with b.grid(n, n) as (i, j):
+        with b.block("C") as blk:
+            vi = blk.spatial(n, i)
+            vj = blk.spatial(n, j)
+            b.store(C, (vi, vj), call("exp", B[vi, vj]))
+    return b.finish()
+
+
+def build_matmul_relu(n: int = 64, dtype: str = "float32") -> PrimFunc:
+    """The running example of Figure 8: matmul followed by RELU."""
+    b = IRBuilder("matmul_relu")
+    A = b.arg_buffer("A", (n, n), dtype)
+    B = b.arg_buffer("B", (n, n), dtype)
+    D = b.arg_buffer("D", (n, n), dtype)
+    C = b.alloc_buffer("C", (n, n), dtype)
+    with b.grid(n, n, n) as (i, j, k):
+        with b.block("C") as blk:
+            vi = blk.spatial(n, i)
+            vj = blk.spatial(n, j)
+            vk = blk.reduce(n, k)
+            with blk.init():
+                b.store(C, (vi, vj), 0.0)
+            b.store(C, (vi, vj), C[vi, vj] + A[vi, vk] * B[vk, vj])
+    with b.grid(n, n) as (i, j):
+        with b.block("D") as blk:
+            vi = blk.spatial(n, i)
+            vj = blk.spatial(n, j)
+            from repro.tir import max_expr
+
+            b.store(D, (vi, vj), max_expr(C[vi, vj], 0.0))
+    return b.finish()

@@ -1,0 +1,94 @@
+"""Tests for the tensor-expression layer (§3.4: high-level operators →
+TensorIR)."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import te
+from repro.runtime import random_args, run
+from repro.schedule import Schedule, verify
+from repro.tir import IterVar
+
+
+class TestTE:
+    def _matmul(self, n=16, m=16, k=16, dtype="float32"):
+        A = te.placeholder((n, k), dtype, "A")
+        B = te.placeholder((k, m), dtype, "B")
+        r = te.reduce_axis(k, "k")
+        C = te.compute(
+            (n, m), lambda i, j: te.sum(A[i, r] * B[r, j], [r]), dtype=dtype, name="C"
+        )
+        return te.build_func([A, B, C], name="matmul")
+
+    def test_matmul_structure(self):
+        func = self._matmul()
+        assert verify(func) == []
+        sch = Schedule(func)
+        block = sch.block_of(sch.get_block("C"))
+        kinds = [iv.kind for iv in block.iter_vars]
+        assert kinds == [IterVar.SPATIAL, IterVar.SPATIAL, IterVar.REDUCE]
+        assert block.init is not None
+
+    def test_matmul_numerics(self):
+        func = self._matmul()
+        args = random_args(func)
+        run(func, args)
+        ref = args["A"].astype(np.float64) @ args["B"].astype(np.float64)
+        np.testing.assert_allclose(args["C"], ref, rtol=1e-3, atol=1e-5)
+
+    def test_elementwise_chain_with_intermediate(self):
+        A = te.placeholder((32,), "float32", "A")
+        B = te.compute((32,), lambda i: A[i] + 1.0, name="B")
+        C = te.compute((32,), lambda i: B[i] * 2.0, name="C")
+        func = te.build_func([A, B, C], name="chain")
+        # B is an intermediate: allocated, not a parameter.
+        assert [buf.name for buf in func.buffers] == ["A", "C"]
+        assert [b.name for b in func.body.block.alloc_buffers] == ["B"]
+        args = random_args(func)
+        run(func, args)
+        np.testing.assert_allclose(args["C"], (args["A"] + 1.0) * 2.0, rtol=1e-5)
+
+    def test_te_program_is_schedulable_and_tensorizable(self):
+        func = self._matmul(64, 64, 64, dtype="float16")
+        sch = Schedule(func)
+        c = sch.get_block("C")
+        i, j, k = sch.get_loops(c)
+        io, ii = sch.split(i, [None, 16])
+        jo, ji = sch.split(j, [None, 16])
+        ko, ki = sch.split(k, [None, 16])
+        sch.reorder(io, jo, ko, ii, ji, ki)
+        sch.decompose_reduction(c, ko)
+        sch.tensorize(ii, "wmma_16x16x16_f16")
+        args = random_args(sch.func)
+        run(sch.func, args)
+        ref = args["A"].astype(np.float32) @ args["B"].astype(np.float32)
+        np.testing.assert_allclose(args["C"].astype(np.float32), ref, atol=0.1)
+
+    def test_conv_style_indices(self):
+        A = te.placeholder((18, 4), "float32", "A")
+        W = te.placeholder((3, 4, 8), "float32", "W")
+        r = te.reduce_axis(3, "r")
+        c = te.reduce_axis(4, "c")
+        C = te.compute(
+            (16, 8),
+            lambda x, f: te.sum(A[x + r, c] * W[r, c, f], [r, c]),
+            name="C",
+        )
+        func = te.build_func([A, W, C], name="conv1d")
+        assert verify(func) == []
+        args = random_args(func)
+        run(func, args)
+        ref = np.zeros((16, 8))
+        for rr in range(3):
+            ref += np.einsum("xc,cf->xf", args["A"][rr : rr + 16].astype(np.float64), args["W"][rr].astype(np.float64))
+        np.testing.assert_allclose(args["C"], ref, rtol=1e-3, atol=1e-5)
+
+    def test_unbound_tensor_indexing_rejected(self):
+        A = te.placeholder((4,), "float32", "A")
+        with pytest.raises(RuntimeError):
+            A[0]
+
+    def test_no_compute_rejected(self):
+        A = te.placeholder((4,), "float32", "A")
+        with pytest.raises(ValueError):
+            te.build_func([A])

@@ -1,0 +1,107 @@
+"""Tests for the from-scratch gradient-boosted trees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learn import GradientBoostedTrees, RegressionTree
+
+
+class TestRegressionTree:
+    def test_fits_step_function(self):
+        X = np.linspace(0, 1, 100)[:, None]
+        y = (X[:, 0] > 0.5).astype(float)
+        tree = RegressionTree(max_depth=2).fit(X, y)
+        pred = tree.predict(X)
+        assert np.mean((pred - y) ** 2) < 1e-6
+
+    def test_constant_target(self):
+        X = np.random.default_rng(0).normal(size=(30, 3))
+        y = np.full(30, 2.5)
+        tree = RegressionTree().fit(X, y)
+        assert np.allclose(tree.predict(X), 2.5)
+
+    def test_depth_zero_is_mean(self):
+        X = np.arange(10, dtype=float)[:, None]
+        y = np.arange(10, dtype=float)
+        tree = RegressionTree(max_depth=0).fit(X, y)
+        assert np.allclose(tree.predict(X), y.mean())
+
+    def test_picks_informative_feature(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(200, 4))
+        y = (X[:, 2] > 0).astype(float) * 10
+        tree = RegressionTree(max_depth=1).fit(X, y)
+        assert tree.root.feature == 2
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.zeros((1, 2)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((5, 2)), np.zeros(4))
+
+
+class TestGBDT:
+    def test_fits_nonlinear_function(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-2, 2, size=(400, 2))
+        y = np.sin(X[:, 0]) + X[:, 1] ** 2
+        model = GradientBoostedTrees(n_trees=80, learning_rate=0.2, max_depth=3).fit(X, y)
+        mse = model.training_error(X, y)
+        assert mse < 0.05
+
+    def test_more_trees_monotonically_reduce_training_error(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(-1, 1, size=(200, 3))
+        y = X[:, 0] * 3 + X[:, 1] * X[:, 2]
+        errors = []
+        for n in (1, 5, 20, 60):
+            model = GradientBoostedTrees(n_trees=n, learning_rate=0.2).fit(X, y)
+            errors.append(model.training_error(X, y))
+        assert all(a >= b for a, b in zip(errors, errors[1:]))
+
+    def test_ranks_candidates(self):
+        # The cost-model use case: ordering matters more than values.
+        rng = np.random.default_rng(7)
+        X = rng.uniform(0, 1, size=(300, 5))
+        y = 2 * X[:, 0] - X[:, 1]
+        model = GradientBoostedTrees(n_trees=50).fit(X, y)
+        Xt = rng.uniform(0, 1, size=(50, 5))
+        yt = 2 * Xt[:, 0] - Xt[:, 1]
+        pred = model.predict(Xt)
+        # Spearman-ish check: top-10 prediction overlap with true top-10.
+        top_true = set(np.argsort(-yt)[:10])
+        top_pred = set(np.argsort(-pred)[:10])
+        assert len(top_true & top_pred) >= 5
+
+    def test_single_row_predict(self):
+        X = np.arange(20, dtype=float)[:, None]
+        y = X[:, 0] * 2
+        model = GradientBoostedTrees(n_trees=10).fit(X, y)
+        out = model.predict(np.array([5.0]))
+        assert out.shape == (1,)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    n=st.integers(min_value=20, max_value=80),
+)
+def test_boosting_never_increases_training_error(seed, n):
+    """Property: each boosting stage (weakly) reduces squared training
+    error under least-squares boosting with lr <= 1."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    y = rng.normal(size=n)
+    model = GradientBoostedTrees(n_trees=15, learning_rate=0.5, max_depth=2)
+    model.fit(X, y)
+    pred = np.full(n, model.base)
+    prev_err = np.mean((pred - y) ** 2)
+    for tree in model.trees:
+        pred = pred + model.learning_rate * tree.predict(X)
+        err = np.mean((pred - y) ** 2)
+        assert err <= prev_err + 1e-9
+        prev_err = err

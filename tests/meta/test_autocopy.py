@@ -1,0 +1,102 @@
+"""Tests for the AutoCopy data-movement scheduler (§4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.meta.autocopy import (
+    own_loops,
+    schedule_default_spatial_cpu,
+    schedule_default_spatial_gpu,
+    schedule_fragment_copy,
+    schedule_shared_copy,
+)
+from repro.runtime import random_args, run
+from repro.schedule import Schedule, ScheduleError, verify
+from repro.sim import SimCPU, SimGPU
+from repro.tir import ForKind
+
+from ..common import build_matmul
+
+
+class TestSharedCopy:
+    def _cached(self, n=128):
+        sch = Schedule(build_matmul(n, n, n))
+        c = sch.get_block("C")
+        copy = sch.cache_read(c, 0, "shared")
+        i, j, k = sch.get_loops(c)
+        sch.bind(i, "blockIdx.x")
+        return sch, copy
+
+    def test_cooperative_fetch_structure(self):
+        sch, copy = self._cached(64)  # full-buffer cache must fit shared
+        schedule_shared_copy(sch, copy, thread_y=2, thread_x=32, vector_len=4)
+        kinds = [sch.loop_of(lp).kind for lp in sch.get_loops(copy)]
+        assert ForKind.THREAD_BINDING in kinds
+        assert ForKind.VECTORIZED in kinds
+        assert verify(sch.func, SimGPU()) == []
+
+    def test_vector_length_rounds_down_to_divisor(self):
+        sch, copy = self._cached()
+        # 128*128 is divisible by 8; a non-dividing request shrinks.
+        schedule_shared_copy(sch, copy, thread_y=1, thread_x=32, vector_len=7)
+        vec_loops = [
+            lp for lp in sch.get_loops(copy) if sch.loop_of(lp).kind == ForKind.VECTORIZED
+        ]
+        if vec_loops:
+            extent = sch.loop_of(vec_loops[0]).extent.value
+            assert (128 * 128) % extent == 0
+
+    def test_copy_still_correct(self):
+        sch, copy = self._cached(64)
+        schedule_shared_copy(sch, copy, thread_y=1, thread_x=32, vector_len=2)
+        args = random_args(sch.func)
+        run(sch.func, args)
+        ref = args["A"].astype(np.float64) @ args["B"].astype(np.float64)
+        np.testing.assert_allclose(args["C"], ref, rtol=1e-3, atol=1e-4)
+
+
+class TestFragmentCopy:
+    def test_tensorized_load(self):
+        sch = Schedule(build_matmul(64, 64, 64, dtype="float16"))
+        c = sch.get_block("C")
+        frag = sch.cache_read(c, 0, "wmma.matrix_a")
+        schedule_fragment_copy(sch, frag, "wmma_load_16x16_f16_a")
+        block = sch.block_of(sch.get_child_blocks(frag)[0]) if sch.get_child_blocks(frag) else None
+        # the copy block itself became a blockized tensorized op
+        blocks = [sch.block_of(rv) for rv in sch.get_blocks()]
+        assert any(
+            b.annotations.get("tensorize") == "wmma_load_16x16_f16_a" for b in blocks
+        )
+
+    def test_non_multiple_rejected(self):
+        sch = Schedule(build_matmul(24, 24, 24, dtype="float16"))
+        c = sch.get_block("C")
+        frag = sch.cache_read(c, 0, "wmma.matrix_a")
+        with pytest.raises(ScheduleError):
+            schedule_fragment_copy(sch, frag, "wmma_load_16x16_f16_a")
+
+
+class TestDefaultSpatial:
+    def test_gpu_default(self):
+        sch = Schedule(build_matmul(64, 64, 64))
+        b = sch.get_block("C")
+        schedule_default_spatial_gpu(sch, b, threads=128)
+        kinds = {sch.loop_of(lp).kind for lp in sch.get_loops(b)}
+        assert ForKind.THREAD_BINDING in kinds
+        args = random_args(sch.func)
+        run(sch.func, args)
+        ref = args["A"].astype(np.float64) @ args["B"].astype(np.float64)
+        np.testing.assert_allclose(args["C"], ref, rtol=1e-3, atol=1e-4)
+
+    def test_cpu_default(self):
+        sch = Schedule(build_matmul(64, 64, 64))
+        b = sch.get_block("C")
+        schedule_default_spatial_cpu(sch, b)
+        kinds = {sch.loop_of(lp).kind for lp in sch.get_loops(b)}
+        assert ForKind.PARALLEL in kinds
+        assert verify(sch.func, SimCPU()) == []
+
+    def test_own_loops_counts_iterators(self):
+        sch = Schedule(build_matmul(16, 16, 16))
+        b = sch.get_block("C")
+        assert len(own_loops(sch, b)) == 3

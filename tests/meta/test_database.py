@@ -1,0 +1,64 @@
+"""Tests for the tuning-record database (§5.2's search-record caching)."""
+
+import os
+
+import pytest
+
+from repro.frontend import ops
+from repro.meta import tune
+from repro.meta.database import TuningDatabase, workload_key
+from repro.sim import SimCPU, SimGPU, estimate
+
+
+@pytest.fixture(scope="module")
+def tuned():
+    func = ops.matmul(128, 128, 128)
+    result = tune(func, SimGPU(), trials=8, seed=0)
+    return func, result
+
+
+class TestDatabase:
+    def test_workload_key_stability(self):
+        t = SimGPU()
+        k1 = workload_key(ops.matmul(64, 64, 64), t)
+        k2 = workload_key(ops.matmul(64, 64, 64), t)
+        assert k1 == k2
+
+    def test_workload_key_discriminates(self):
+        t = SimGPU()
+        assert workload_key(ops.matmul(64, 64, 64), t) != workload_key(
+            ops.matmul(64, 64, 128), t
+        )
+        assert workload_key(ops.matmul(64, 64, 64), t) != workload_key(
+            ops.matmul(64, 64, 64), SimCPU()
+        )
+
+    def test_record_and_replay_exact(self, tuned):
+        func, result = tuned
+        db = TuningDatabase()
+        db.record(func, SimGPU(), result.best_sketch, result.best_decisions, result.best_cycles)
+        sch = db.replay(ops.matmul(128, 128, 128), SimGPU())
+        assert sch is not None
+        assert estimate(sch.func, SimGPU()).cycles == pytest.approx(result.best_cycles)
+
+    def test_record_keeps_best(self, tuned):
+        func, result = tuned
+        db = TuningDatabase()
+        db.record(func, SimGPU(), result.best_sketch, result.best_decisions, 100.0)
+        db.record(func, SimGPU(), result.best_sketch, result.best_decisions, 200.0)
+        assert db.lookup(func, SimGPU())["cycles"] == 100.0
+
+    def test_persistence_roundtrip(self, tuned, tmp_path):
+        func, result = tuned
+        path = os.path.join(tmp_path, "db.json")
+        db = TuningDatabase(path)
+        db.record(func, SimGPU(), result.best_sketch, result.best_decisions, result.best_cycles)
+        db.save()
+        db2 = TuningDatabase(path)
+        assert len(db2) == 1
+        assert db2.lookup(func, SimGPU())["sketch"] == result.best_sketch
+
+    def test_miss_returns_none(self):
+        db = TuningDatabase()
+        assert db.lookup(ops.matmul(32, 32, 32), SimGPU()) is None
+        assert db.replay(ops.matmul(32, 32, 32), SimGPU()) is None

@@ -1,0 +1,202 @@
+"""Tests for blockize and tensorize (paper Figure 7, §4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.intrin import get_intrin
+from repro.runtime import random_args, run
+from repro.schedule import Schedule, ScheduleError, verify
+from repro.tir import IterVar
+
+from ..common import build_matmul
+
+
+def _wmma_schedule(n=64, with_scopes=True):
+    sch = Schedule(build_matmul(n, n, n, dtype="float16"))
+    c = sch.get_block("C")
+    if with_scopes:
+        sch.cache_read(c, 0, "wmma.matrix_a")
+        sch.cache_read(c, 1, "wmma.matrix_b")
+        sch.cache_write(c, 0, "wmma.accumulator")
+    i, j, k = sch.get_loops(c)
+    io, ii = sch.split(i, [None, 16])
+    jo, ji = sch.split(j, [None, 16])
+    ko, ki = sch.split(k, [None, 16])
+    sch.reorder(io, jo, ko, ii, ji, ki)
+    init = sch.decompose_reduction(c, ko)
+    return sch, c, init, (io, jo, ko, ii, ji, ki)
+
+
+class TestBlockize:
+    def test_figure7_structure(self):
+        sch, c, init, loops = _wmma_schedule(64, with_scopes=False)
+        outer = sch.blockize(loops[3])  # at ii
+        outer_block = sch.block_of(outer)
+        kinds = [iv.kind for iv in outer_block.iter_vars]
+        assert kinds == [IterVar.SPATIAL, IterVar.SPATIAL, IterVar.REDUCE]
+        extents = [iv.dom.extent.value for iv in outer_block.iter_vars]
+        assert extents == [4, 4, 4]
+        # Outer block regions are 16x16 tiles.
+        (write,) = outer_block.writes
+        assert [r.extent.value for r in write.region] == [16, 16]
+        # Inner block survives with rewritten bindings.
+        inner = sch.get_child_blocks(outer)
+        assert [b.name for b in inner] == ["C"]
+
+    def test_blockize_semantics_preserved(self):
+        sch, c, init, loops = _wmma_schedule(32, with_scopes=False)
+        sch.blockize(loops[3])
+        assert verify(sch.func) == []
+        args = random_args(sch.func)
+        run(sch.func, args)
+        ref = args["A"].astype(np.float32) @ args["B"].astype(np.float32)
+        np.testing.assert_allclose(args["C"].astype(np.float32), ref, atol=0.1)
+
+    def test_blockize_requires_single_leaf(self):
+        sch = Schedule(build_matmul(16, 16, 16))
+        c = sch.get_block("C")
+        i, j, k = sch.get_loops(c)
+        init = sch.decompose_reduction(c, i)
+        # The root now has two nests; blockizing a loop with one leaf is
+        # fine, but a made-up multi-leaf target must be rejected.  Fuse
+        # both nests under one loop is not expressible here, so instead
+        # check the single-leaf path still works:
+        outer = sch.blockize(sch.get_loops(c)[0])
+        assert sch.block_of(outer).name_hint == "C_o"
+
+    def test_blockize_reduction_with_init_rejected(self):
+        sch = Schedule(build_matmul(64, 64, 64))
+        c = sch.get_block("C")
+        i, j, k = sch.get_loops(c)
+        io, ii = sch.split(i, [None, 16])
+        jo, ji = sch.split(j, [None, 16])
+        ko, ki = sch.split(k, [None, 16])
+        sch.reorder(io, jo, ko, ii, ji, ki)
+        with pytest.raises(ScheduleError):
+            sch.blockize(ii)  # init present, reduce crosses the boundary
+
+    def test_blockize_fully_inner_reduction_with_init_ok(self):
+        sch = Schedule(build_matmul(64, 64, 64))
+        c = sch.get_block("C")
+        i, j, k = sch.get_loops(c)
+        io, ii = sch.split(i, [None, 16])
+        jo, ji = sch.split(j, [None, 16])
+        sch.reorder(io, jo, ii, ji, k)
+        outer = sch.blockize(ii)  # k fully inside: safe with init
+        outer_block = sch.block_of(outer)
+        assert all(iv.is_spatial for iv in outer_block.iter_vars)
+        assert verify(sch.func) == []
+
+    def test_blockize_misaligned_rejected(self):
+        sch = Schedule(build_matmul(64, 64, 64))
+        c = sch.get_block("C")
+        i, j, k = sch.get_loops(c)
+        io, ii = sch.split(i, [None, 12])  # 12 does not divide 64 evenly
+        with pytest.raises(ScheduleError):
+            sch.blockize(ii)
+
+
+class TestTensorize:
+    def test_full_wmma_flow(self):
+        sch, c, init, loops = _wmma_schedule(64)
+        blockized = sch.blockize(loops[3])
+        sch.tensorize(blockized, "wmma_16x16x16_f16")
+        ii0, jj0 = sch.get_loops(init)[-2:]
+        _, i0i = sch.split(ii0, [None, 16])
+        j0o, j0i = sch.split(jj0, [None, 16])
+        sch.reorder(i0i, j0o)
+        sch.tensorize(i0i, "wmma_fill_16x16_f16")
+        assert verify(sch.func) == []
+        args = random_args(sch.func)
+        run(sch.func, args)
+        ref = args["A"].astype(np.float32) @ args["B"].astype(np.float32)
+        np.testing.assert_allclose(args["C"].astype(np.float32), ref, atol=0.1)
+
+    def test_tensorize_annotations(self):
+        sch, c, init, loops = _wmma_schedule(64)
+        blockized = sch.blockize(loops[3])
+        sch.tensorize(blockized, "wmma_16x16x16_f16")
+        block = sch.block_of(blockized)
+        assert block.annotations["tensorize"] == "wmma_16x16x16_f16"
+        roles = block.annotations["tensorize_operands"]
+        assert roles["A"].startswith("A_")
+        assert roles["C"].startswith("C_")
+
+    def test_tensorize_from_loop_blockizes(self):
+        sch, c, init, loops = _wmma_schedule(64)
+        sch.tensorize(loops[3], "wmma_16x16x16_f16")  # loop → auto-blockize
+        blocks = [b.name for b in sch.get_blocks()]
+        assert any(b.endswith("_o") for b in blocks)
+
+    def test_tensorize_wrong_tile_rejected(self):
+        sch = Schedule(build_matmul(64, 64, 64, dtype="float16"))
+        c = sch.get_block("C")
+        i, j, k = sch.get_loops(c)
+        io, ii = sch.split(i, [None, 8])
+        jo, ji = sch.split(j, [None, 8])
+        ko, ki = sch.split(k, [None, 8])
+        sch.reorder(io, jo, ko, ii, ji, ki)
+        sch.decompose_reduction(c, ko)
+        with pytest.raises(ScheduleError):
+            sch.tensorize(ii, "wmma_16x16x16_f16")  # 8x8x8 tile != 16x16x16
+
+    def test_tensorize_wrong_dtype_rejected(self):
+        sch = Schedule(build_matmul(64, 64, 64, dtype="float32"))
+        c = sch.get_block("C")
+        i, j, k = sch.get_loops(c)
+        io, ii = sch.split(i, [None, 16])
+        jo, ji = sch.split(j, [None, 16])
+        ko, ki = sch.split(k, [None, 16])
+        sch.reorder(io, jo, ko, ii, ji, ki)
+        sch.decompose_reduction(c, ko)
+        with pytest.raises(ScheduleError):
+            sch.tensorize(ii, "wmma_16x16x16_f16")
+
+    def test_scope_validation_catches_missing_fragments(self):
+        # Tensorize without routing operands through wmma scopes: the
+        # structural match succeeds but validation must flag the scopes.
+        sch, c, init, loops = _wmma_schedule(64, with_scopes=False)
+        blockized = sch.blockize(loops[3])
+        sch.tensorize(blockized, "wmma_16x16x16_f16")
+        problems = verify(sch.func)
+        assert any("wmma.matrix_a" in p for p in problems)
+
+    def test_sdot_tensorize(self):
+        from repro.tir import Cast, IRBuilder
+
+        b = IRBuilder("qgemm")
+        A = b.arg_buffer("A", (16, 16), "int8")
+        B = b.arg_buffer("B", (16, 16), "int8")
+        C = b.arg_buffer("C", (16, 16), "int32")
+        with b.grid(16, 16, 16) as (i, j, k):
+            with b.block("C") as blk:
+                vi = blk.spatial(16, i)
+                vj = blk.spatial(16, j)
+                vk = blk.reduce(16, k)
+                with blk.init():
+                    b.store(C, (vi, vj), 0)
+                b.store(
+                    C,
+                    (vi, vj),
+                    C[vi, vj] + Cast("int32", A[vi, vk]) * Cast("int32", B[vk, vj]),
+                )
+        sch = Schedule(b.finish())
+        c = sch.get_block("C")
+        i, j, k = sch.get_loops(c)
+        io, ii = sch.split(i, [None, 4])
+        jo, ji = sch.split(j, [None, 4])
+        ko, ki = sch.split(k, [None, 4])
+        sch.reorder(io, jo, ko, ii, ji, ki)
+        sch.decompose_reduction(c, ko)
+        sch.tensorize(ii, "sdot_4x4x4_i8")
+        assert verify(sch.func) == []
+        args = random_args(sch.func)
+        run(sch.func, args)
+        ref = args["A"].astype(np.int32) @ args["B"].astype(np.int32)
+        np.testing.assert_array_equal(args["C"], ref)
+
+    def test_intrin_registry(self):
+        intrin = get_intrin("wmma_16x16x16_f16")
+        assert intrin.tile_shape() == (16, 16, 16)
+        with pytest.raises(KeyError):
+            get_intrin("made_up_intrin")

@@ -1,0 +1,215 @@
+"""Tests for compute-location and caching primitives."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import random_args, run
+from repro.schedule import Schedule, ScheduleError, verify
+from repro.tir import max_expr
+
+from ..common import build_elementwise_chain, build_matmul, build_matmul_relu
+
+
+def _run_and_check(sch, ref_fn, out_name, rtol=1e-3):
+    assert verify(sch.func) == []
+    args = random_args(sch.func)
+    run(sch.func, args)
+    np.testing.assert_allclose(args[out_name], ref_fn(args), rtol=rtol, atol=1e-4)
+    return args
+
+
+def _chain_ref(args):
+    return np.exp(args["A"].astype(np.float64) + 1.0)
+
+
+def _matmul_relu_ref(args):
+    c = args["A"].astype(np.float64) @ args["B"].astype(np.float64)
+    return np.maximum(c, 0)
+
+
+class TestComputeAt:
+    def test_paper_figure6_compute_at(self):
+        # Figure 6: tile the consumer, then move the producer to the tile.
+        sch = Schedule(build_elementwise_chain(64))
+        c_block = sch.get_block("C")
+        i, j = sch.get_loops(c_block)
+        io, ii = sch.split(i, [8, None])
+        jo, ji = sch.split(j, [8, None])
+        sch.reorder(io, jo, ii, ji)
+        sch.compute_at(sch.get_block("B"), jo)
+        # The producer loops now live under jo with 8x8 extents.
+        b_loops = sch.get_loops(sch.get_block("B"))
+        extents = [sch.loop_of(l).extent.value for l in b_loops[-2:]]
+        assert extents == [8, 8]
+        _run_and_check(sch, _chain_ref, "C")
+
+    def test_compute_at_shrinks_cache_region(self):
+        sch = Schedule(build_matmul(64, 64, 64))
+        c = sch.get_block("C")
+        a_sh = sch.cache_read(c, 0, "shared")
+        i, j, k = sch.get_loops(c)
+        io, ii = sch.split(i, [4, None])
+        sch.compute_at(a_sh, io)
+        copy_loops = sch.get_loops(a_sh)
+        extents = [sch.loop_of(l).extent.value for l in copy_loops[-2:]]
+        assert extents == [16, 64]  # 16 rows of A, all of K
+        _run_and_check(
+            sch, lambda a: a["A"].astype(np.float64) @ a["B"].astype(np.float64), "C"
+        )
+
+    def test_compute_at_consumer_outside_rejected(self):
+        sch = Schedule(build_elementwise_chain(16))
+        b = sch.get_block("B")
+        # Loop of the *producer* itself: consumers are not under it.
+        own_loop = sch.get_loops(b)[0]
+        with pytest.raises(ScheduleError):
+            sch.compute_at(b, own_loop)
+
+    def test_reverse_compute_at(self):
+        sch = Schedule(build_matmul_relu(32))
+        c = sch.get_block("C")
+        i, j, k = sch.get_loops(c)
+        io, ii = sch.split(i, [4, None])
+        sch.reverse_compute_at(sch.get_block("D"), io)
+        d_loops = sch.get_loops(sch.get_block("D"))
+        assert sch.loop_of(d_loops[0]).loop_var.name == io.name
+        extents = [sch.loop_of(l).extent.value for l in d_loops[-2:]]
+        assert extents == [8, 32]
+        _run_and_check(sch, _matmul_relu_ref, "D")
+
+
+class TestInline:
+    def test_compute_inline(self):
+        sch = Schedule(build_elementwise_chain(16))
+        sch.compute_inline(sch.get_block("B"))
+        # Producer gone; C reads A directly.
+        names = [rv.name for rv in sch.get_blocks()]
+        assert names == ["C"]
+        c_block = sch.block_of(sch.get_block("C"))
+        assert [r.buffer.name for r in c_block.reads] == ["A"]
+        # Intermediate allocation removed.
+        assert sch.func.body.block.alloc_buffers == ()
+        _run_and_check(sch, _chain_ref, "C")
+
+    def test_inline_output_rejected(self):
+        sch = Schedule(build_elementwise_chain(16))
+        with pytest.raises(ScheduleError):
+            sch.compute_inline(sch.get_block("C"))  # writes a function output
+
+    def test_inline_reduction_rejected(self):
+        sch = Schedule(build_matmul_relu(16))
+        with pytest.raises(ScheduleError):
+            sch.compute_inline(sch.get_block("C"))
+
+    def test_reverse_compute_inline_elementwise(self):
+        # exp(B) folded back into B = A + 1.
+        sch = Schedule(build_elementwise_chain(16))
+        sch.reverse_compute_inline(sch.get_block("C"))
+        names = [rv.name for rv in sch.get_blocks()]
+        assert names == ["B"]
+        _run_and_check(sch, _chain_ref, "C")
+
+    def test_reverse_compute_inline_identity_into_reduction(self):
+        # A pure copy out of a reduction (cache_write pattern) may fold
+        # back even though the producer is a reduction.
+        sch = Schedule(build_matmul(16, 16, 16))
+        c = sch.get_block("C")
+        copy = sch.cache_write(c, 0, "local")
+        sch.reverse_compute_inline(copy)
+        names = [rv.name for rv in sch.get_blocks()]
+        assert names == ["C"]
+        _run_and_check(
+            sch, lambda a: a["A"].astype(np.float64) @ a["B"].astype(np.float64), "C"
+        )
+
+    def test_reverse_compute_inline_nonidentity_into_reduction_rejected(self):
+        sch = Schedule(build_matmul_relu(16))
+        with pytest.raises(ScheduleError):
+            sch.reverse_compute_inline(sch.get_block("D"))  # relu over reduction
+
+
+class TestCache:
+    def test_cache_read_structure(self):
+        sch = Schedule(build_matmul(16, 16, 16))
+        c = sch.get_block("C")
+        copy = sch.cache_read(c, 0, "shared")
+        copy_block = sch.block_of(copy)
+        assert copy_block.annotations["data_movement"] == "read"
+        assert copy_block.writes[0].buffer.scope == "shared"
+        c_block = sch.block_of(c)
+        assert c_block.reads[0].buffer.scope == "shared"
+        _run_and_check(
+            sch, lambda a: a["A"].astype(np.float64) @ a["B"].astype(np.float64), "C"
+        )
+
+    def test_cache_write_structure(self):
+        sch = Schedule(build_matmul(16, 16, 16))
+        c = sch.get_block("C")
+        copy = sch.cache_write(c, 0, "local")
+        c_block = sch.block_of(c)
+        assert c_block.writes[0].buffer.scope == "local"
+        copy_block = sch.block_of(copy)
+        assert copy_block.annotations["data_movement"] == "write"
+        _run_and_check(
+            sch, lambda a: a["A"].astype(np.float64) @ a["B"].astype(np.float64), "C"
+        )
+
+    def test_cache_read_bad_index(self):
+        sch = Schedule(build_matmul(16, 16, 16))
+        with pytest.raises(ScheduleError):
+            sch.cache_read(sch.get_block("C"), 5, "shared")
+
+    def test_set_scope(self):
+        sch = Schedule(build_elementwise_chain(16))
+        sch.set_scope(sch.get_block("B"), 0, "shared")
+        b_block = sch.block_of(sch.get_block("B"))
+        assert b_block.writes[0].buffer.scope == "shared"
+        allocs = sch.func.body.block.alloc_buffers
+        assert [b.scope for b in allocs] == ["shared"]
+        _run_and_check(sch, _chain_ref, "C")
+
+    def test_set_scope_output_rejected(self):
+        sch = Schedule(build_elementwise_chain(16))
+        with pytest.raises(ScheduleError):
+            sch.set_scope(sch.get_block("C"), 0, "shared")
+
+
+class TestDecomposeReduction:
+    def test_basic(self):
+        sch = Schedule(build_matmul(16, 16, 16))
+        c = sch.get_block("C")
+        i, j, k = sch.get_loops(c)
+        init = sch.decompose_reduction(c, k)
+        init_block = sch.block_of(init)
+        assert init_block.name_hint == "C_init"
+        assert not init_block.is_reduction
+        assert sch.block_of(c).init is None
+        _run_and_check(
+            sch, lambda a: a["A"].astype(np.float64) @ a["B"].astype(np.float64), "C"
+        )
+
+    def test_decompose_at_outer_loop(self):
+        sch = Schedule(build_matmul(16, 16, 16))
+        c = sch.get_block("C")
+        i, j, k = sch.get_loops(c)
+        init = sch.decompose_reduction(c, j)
+        # The init block replicates the j loop (spatial) only.
+        init_loops = sch.get_loops(init)
+        assert len(init_loops) == 2  # i (shared) + cloned j
+        _run_and_check(
+            sch, lambda a: a["A"].astype(np.float64) @ a["B"].astype(np.float64), "C"
+        )
+
+    def test_no_init_rejected(self):
+        sch = Schedule(build_elementwise_chain(16))
+        b = sch.get_block("B")
+        with pytest.raises(ScheduleError):
+            sch.decompose_reduction(b, sch.get_loops(b)[0])
+
+    def test_reduce_outside_target_rejected(self):
+        sch = Schedule(build_matmul(16, 16, 16))
+        c = sch.get_block("C")
+        i, j, k = sch.get_loops(c)
+        sch.reorder(k, i, j)
+        with pytest.raises(ScheduleError):
+            sch.decompose_reduction(c, sch.get_loops(c)[1])  # k now outside

@@ -1,0 +1,174 @@
+"""Tests for loop transformation primitives."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import random_args, run
+from repro.schedule import Schedule, ScheduleError, verify
+
+from ..common import build_elementwise_chain, build_matmul
+
+
+def _matmul_ref(args):
+    return args["A"].astype(np.float64) @ args["B"].astype(np.float64)
+
+
+def _check_matmul(sch):
+    assert verify(sch.func) == []
+    args = random_args(sch.func)
+    run(sch.func, args)
+    np.testing.assert_allclose(args["C"], _matmul_ref(args), rtol=1e-3, atol=1e-4)
+
+
+class TestSplit:
+    def test_divisible(self):
+        sch = Schedule(build_matmul(32, 32, 32))
+        i, j, k = sch.get_loops(sch.get_block("C"))
+        io, ii = sch.split(i, [None, 8])
+        assert sch.loop_of(io).extent.value == 4
+        assert sch.loop_of(ii).extent.value == 8
+        _check_matmul(sch)
+
+    def test_three_way(self):
+        sch = Schedule(build_matmul(32, 32, 32))
+        i, j, k = sch.get_loops(sch.get_block("C"))
+        parts = sch.split(i, [2, None, 4])
+        assert [sch.loop_of(p).extent.value for p in parts] == [2, 4, 4]
+        _check_matmul(sch)
+
+    def test_non_divisible_adds_predicate(self):
+        sch = Schedule(build_matmul(30, 32, 32))
+        i, j, k = sch.get_loops(sch.get_block("C"))
+        io, ii = sch.split(i, [None, 8])
+        assert sch.loop_of(io).extent.value == 4  # ceil(30/8)
+        block = sch._block_realize("C")
+        from repro.tir import IntImm
+
+        assert not isinstance(block.predicate, IntImm)
+        _check_matmul(sch)
+
+    def test_factors_too_small_rejected(self):
+        sch = Schedule(build_matmul(32, 32, 32))
+        i, j, k = sch.get_loops(sch.get_block("C"))
+        with pytest.raises(ScheduleError):
+            sch.split(i, [2, 8])
+
+    def test_two_nones_rejected(self):
+        sch = Schedule(build_matmul(32, 32, 32))
+        i, j, k = sch.get_loops(sch.get_block("C"))
+        with pytest.raises(ScheduleError):
+            sch.split(i, [None, None])
+
+    def test_split_names_deterministic(self):
+        sch = Schedule(build_matmul(32, 32, 32))
+        i, j, k = sch.get_loops(sch.get_block("C"))
+        io, ii = sch.split(i, [None, 8])
+        assert io.name == "i_0"
+        assert ii.name == "i_1"
+
+
+class TestFuse:
+    def test_fuse_two(self):
+        sch = Schedule(build_matmul(16, 32, 8))
+        i, j, k = sch.get_loops(sch.get_block("C"))
+        fused = sch.fuse(i, j)
+        assert sch.loop_of(fused).extent.value == 512
+        _check_matmul(sch)
+
+    def test_fuse_not_nested_rejected(self):
+        sch = Schedule(build_matmul(16, 16, 16))
+        i, j, k = sch.get_loops(sch.get_block("C"))
+        with pytest.raises(ScheduleError):
+            sch.fuse(i, k)  # j sits in between
+
+    def test_fuse_then_split_roundtrip_semantics(self):
+        sch = Schedule(build_matmul(16, 16, 16))
+        i, j, k = sch.get_loops(sch.get_block("C"))
+        fused = sch.fuse(i, j)
+        sch.split(fused, [None, 16])
+        _check_matmul(sch)
+
+
+class TestReorder:
+    def test_reorder_spatial_and_reduce(self):
+        sch = Schedule(build_matmul(16, 16, 16))
+        i, j, k = sch.get_loops(sch.get_block("C"))
+        sch.reorder(k, i, j)
+        names = [rv.name for rv in sch.get_loops(sch.get_block("C"))]
+        assert names == ["k", "i", "j"]
+        _check_matmul(sch)
+
+    def test_reorder_subset_keeps_others(self):
+        sch = Schedule(build_matmul(16, 16, 16))
+        i, j, k = sch.get_loops(sch.get_block("C"))
+        sch.reorder(k, i)  # j untouched in the middle
+        names = [rv.name for rv in sch.get_loops(sch.get_block("C"))]
+        assert names == ["k", "j", "i"]
+        _check_matmul(sch)
+
+    def test_reorder_across_blocks_rejected(self):
+        sch = Schedule(build_elementwise_chain(8))
+        lb = sch.get_loops(sch.get_block("B"))
+        lc = sch.get_loops(sch.get_block("C"))
+        with pytest.raises(ScheduleError):
+            sch.reorder(lb[0], lc[0])
+
+    def test_duplicate_rejected(self):
+        sch = Schedule(build_matmul(16, 16, 16))
+        i, j, k = sch.get_loops(sch.get_block("C"))
+        with pytest.raises(ScheduleError):
+            sch.reorder(i, i)
+
+
+class TestKindsAndBind:
+    def test_parallel_spatial_ok(self):
+        sch = Schedule(build_matmul(16, 16, 16))
+        i, j, k = sch.get_loops(sch.get_block("C"))
+        sch.parallel(i)
+        assert sch.loop_of(i).kind == "parallel"
+        _check_matmul(sch)
+
+    def test_parallel_reduce_rejected(self):
+        sch = Schedule(build_matmul(16, 16, 16))
+        i, j, k = sch.get_loops(sch.get_block("C"))
+        with pytest.raises(ScheduleError):
+            sch.parallel(k)
+
+    def test_vectorize_unroll(self):
+        sch = Schedule(build_matmul(16, 16, 16))
+        i, j, k = sch.get_loops(sch.get_block("C"))
+        sch.unroll(k)
+        sch.vectorize(j)
+        assert sch.loop_of(j).kind == "vectorized"
+        assert sch.loop_of(k).kind == "unrolled"
+        _check_matmul(sch)
+
+    def test_bind_thread(self):
+        sch = Schedule(build_matmul(16, 16, 16))
+        i, j, k = sch.get_loops(sch.get_block("C"))
+        sch.bind(i, "blockIdx.x")
+        sch.bind(j, "threadIdx.x")
+        loop = sch.loop_of(i)
+        assert loop.kind == "thread_binding" and loop.thread_tag == "blockIdx.x"
+        _check_matmul(sch)
+
+    def test_bind_reduce_rejected(self):
+        sch = Schedule(build_matmul(16, 16, 16))
+        i, j, k = sch.get_loops(sch.get_block("C"))
+        with pytest.raises(ScheduleError):
+            sch.bind(k, "threadIdx.x")
+
+    def test_bind_unknown_tag_rejected(self):
+        sch = Schedule(build_matmul(16, 16, 16))
+        i, j, k = sch.get_loops(sch.get_block("C"))
+        with pytest.raises(ScheduleError):
+            sch.bind(i, "warpIdx.q")
+
+    def test_annotate_loop_and_block(self):
+        sch = Schedule(build_matmul(16, 16, 16))
+        blk = sch.get_block("C")
+        i, j, k = sch.get_loops(blk)
+        sch.annotate(i, "pragma_unroll", 16)
+        sch.annotate(blk, "hint", "x")
+        assert sch.loop_of(i).annotations["pragma_unroll"] == 16
+        assert sch.block_of(blk).annotations["hint"] == "x"

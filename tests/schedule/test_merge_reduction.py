@@ -1,0 +1,63 @@
+"""Tests for merge_reduction (the inverse of decompose_reduction)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import random_args, run
+from repro.schedule import Schedule, ScheduleError, verify
+from repro.tir import structural_equal
+
+from ..common import build_matmul
+
+
+class TestMergeReduction:
+    def test_roundtrip_restores_program(self):
+        sch = Schedule(build_matmul(16, 16, 16))
+        before = sch.func
+        c = sch.get_block("C")
+        k = sch.get_loops(c)[2]
+        init = sch.decompose_reduction(c, k)
+        assert sch.block_of(c).init is None
+        sch.merge_reduction(init, c)
+        merged = sch.block_of(c)
+        assert merged.init is not None
+        assert structural_equal(sch.func, before)
+
+    def test_merge_after_outer_decompose(self):
+        sch = Schedule(build_matmul(16, 16, 16))
+        c = sch.get_block("C")
+        j = sch.get_loops(c)[1]
+        init = sch.decompose_reduction(c, j)
+        sch.merge_reduction(init, c)
+        assert verify(sch.func) == []
+        args = random_args(sch.func)
+        run(sch.func, args)
+        ref = args["A"].astype(np.float64) @ args["B"].astype(np.float64)
+        np.testing.assert_allclose(args["C"], ref, rtol=1e-3, atol=1e-4)
+
+    def test_merge_into_block_with_init_rejected(self):
+        sch = Schedule(build_matmul(16, 16, 16))
+        c = sch.get_block("C")
+        k = sch.get_loops(c)[2]
+        init = sch.decompose_reduction(c, k)
+        sch.merge_reduction(init, c)
+        # A second merge has no standalone init block left to use.
+        with pytest.raises(ScheduleError):
+            sch.merge_reduction(c, c)
+
+    def test_merge_unrelated_blocks_rejected(self):
+        from ..common import build_matmul_relu
+
+        sch = Schedule(build_matmul_relu(16))
+        with pytest.raises(ScheduleError):
+            sch.merge_reduction(sch.get_block("D"), sch.get_block("C"))
+
+    def test_trace_replays_merge(self):
+        sch = Schedule(build_matmul(16, 16, 16))
+        c = sch.get_block("C")
+        k = sch.get_loops(c)[2]
+        init = sch.decompose_reduction(c, k)
+        sch.merge_reduction(init, c)
+        fresh = Schedule(build_matmul(16, 16, 16))
+        sch.trace.apply_to(fresh)
+        assert structural_equal(sch.func, fresh.func)

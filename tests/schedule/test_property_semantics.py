@@ -1,0 +1,132 @@
+"""Property-based test: schedule primitives preserve program semantics.
+
+Random sequences of legally-applied primitives on small workloads must
+not change the computed result — the core soundness claim behind the
+paper's search-space construction (§3.2/§3.3: every transformation is
+semantics-preserving; validation rejects the rest).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import random_args, run
+from repro.schedule import Schedule, ScheduleError, verify
+
+from ..common import build_matmul, build_matmul_relu
+
+
+def _apply_random_primitives(sch: Schedule, ops, block_name="C"):
+    """Apply a list of (op_kind, params) decisions; illegal ones skip."""
+    applied = []
+    for kind, a, b in ops:
+        try:
+            block = sch.get_block(block_name)
+            loops = sch.get_loops(block)
+            if not loops:
+                continue
+            if kind == "split":
+                loop = loops[a % len(loops)]
+                extent = sch.loop_of(loop).extent.value
+                divisors = [d for d in range(2, min(extent, 9)) if extent % d == 0]
+                if not divisors:
+                    continue
+                sch.split(loop, [None, divisors[b % len(divisors)]])
+            elif kind == "fuse":
+                if len(loops) < 2:
+                    continue
+                idx = a % (len(loops) - 1)
+                sch.fuse(loops[idx], loops[idx + 1])
+            elif kind == "reorder":
+                if len(loops) < 2:
+                    continue
+                i1 = a % len(loops)
+                i2 = b % len(loops)
+                if i1 == i2:
+                    continue
+                sch.reorder(loops[min(i1, i2)], loops[max(i1, i2)])
+            elif kind == "unroll":
+                sch.unroll(loops[a % len(loops)])
+            elif kind == "vectorize":
+                sch.vectorize(loops[-1])
+            elif kind == "parallel":
+                sch.parallel(loops[0])
+            elif kind == "cache_read":
+                n_reads = len(sch.block_of(block).reads)
+                if n_reads:
+                    sch.cache_read(block, a % n_reads, "shared")
+            elif kind == "cache_write":
+                sch.cache_write(block, 0, "local")
+            elif kind == "decompose":
+                sch.decompose_reduction(block, loops[a % len(loops)])
+            elif kind == "compute_at_cache":
+                n_reads = len(sch.block_of(block).reads)
+                if not n_reads:
+                    continue
+                copy = sch.cache_read(block, a % n_reads, "shared")
+                loops = sch.get_loops(block)
+                sch.compute_at(copy, loops[0])
+            applied.append(kind)
+        except ScheduleError:
+            continue
+    return applied
+
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            [
+                "split",
+                "fuse",
+                "reorder",
+                "unroll",
+                "vectorize",
+                "parallel",
+                "cache_read",
+                "cache_write",
+                "decompose",
+                "compute_at_cache",
+            ]
+        ),
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=7),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_OPS)
+def test_random_schedules_preserve_matmul(ops):
+    sch = Schedule(build_matmul(16, 16, 16), seed=0)
+    _apply_random_primitives(sch, ops)
+    assert verify(sch.func) == [], sch.show()
+    args = random_args(sch.func, seed=1)
+    run(sch.func, args)
+    ref = args["A"].astype(np.float64) @ args["B"].astype(np.float64)
+    np.testing.assert_allclose(args["C"], ref, rtol=1e-3, atol=1e-4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=_OPS)
+def test_random_schedules_preserve_matmul_relu(ops):
+    sch = Schedule(build_matmul_relu(16), seed=0)
+    _apply_random_primitives(sch, ops)
+    assert verify(sch.func) == [], sch.show()
+    args = random_args(sch.func, seed=2)
+    run(sch.func, args)
+    ref = np.maximum(args["A"].astype(np.float64) @ args["B"].astype(np.float64), 0)
+    np.testing.assert_allclose(args["D"], ref, rtol=1e-3, atol=1e-4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=_OPS, data=st.data())
+def test_trace_replay_matches_original(ops, data):
+    sch = Schedule(build_matmul(16, 16, 16), seed=0)
+    _apply_random_primitives(sch, ops)
+    from repro.tir import structural_equal
+
+    fresh = Schedule(build_matmul(16, 16, 16), seed=0)
+    sch.trace.apply_to(fresh)
+    assert structural_equal(sch.func, fresh.func)

@@ -1,0 +1,148 @@
+"""Tests for the ReIndex and pad_einsum primitives (§4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import random_args, run
+from repro.schedule import Schedule, ScheduleError, verify
+from repro.tir import IRBuilder
+
+from ..common import build_matmul
+
+
+def _conv1d_func(n=18, k=3, c=4, f=8):
+    """A stride-1 1D convolution with the paper's Conv2D index shape:
+    C[x, co] += A[x + r, ci] * W[r, ci, co]."""
+    b = IRBuilder("conv1d")
+    A = b.arg_buffer("A", (n + k - 1, c), "float32")
+    W = b.arg_buffer("W", (k, c, f), "float32")
+    C = b.arg_buffer("C", (n, f), "float32")
+    with b.grid(n, f, k, c, names=["x", "co", "r", "ci"]) as (x, co, r, ci):
+        with b.block("C") as blk:
+            vx = blk.spatial(n, x)
+            vco = blk.spatial(f, co)
+            vr = blk.reduce(k, r)
+            vci = blk.reduce(c, ci)
+            with blk.init():
+                b.store(C, (vx, vco), 0.0)
+            b.store(C, (vx, vco), C[vx, vco] + A[vx + vr, vci] * W[vr, vci, vco])
+    return b.finish()
+
+
+def _conv1d_ref(args, n, k):
+    A, W = args["A"].astype(np.float64), args["W"].astype(np.float64)
+    out = np.zeros((n, W.shape[2]))
+    for r in range(k):
+        out += np.einsum("xc,cf->xf", A[r : r + n], W[r])
+    return out
+
+
+class TestReindex:
+    def test_reindex_read_rewrites_access(self):
+        sch = Schedule(_conv1d_func())
+        c = sch.get_block("C")
+        rw = sch.reindex(c, "read", 0)  # the A operand
+        rw_block = sch.block_of(rw)
+        assert rw_block.annotations["reindex"] == "read"
+        # New buffer indexed by (vx, vr, vci): 3 dims of extents 18,3,4.
+        new_buf = rw_block.writes[0].buffer
+        assert new_buf.shape_ints() == (18, 3, 4)
+        # The compute block now reads the reindexed buffer point-wise.
+        c_block = sch.block_of(c)
+        a_reads = [r for r in c_block.reads if r.buffer is new_buf]
+        assert len(a_reads) == 1
+        assert all(r.extent.value == 1 for r in a_reads[0].region)
+        assert verify(sch.func) == []
+
+    def test_reindex_preserves_semantics(self):
+        n, k = 18, 3
+        sch = Schedule(_conv1d_func(n, k))
+        c = sch.get_block("C")
+        sch.reindex(c, "read", 0)
+        sch.reindex(c, "read", 1)
+        sch.reindex(c, "write", 0)
+        assert verify(sch.func) == []
+        args = random_args(sch.func)
+        run(sch.func, args)
+        np.testing.assert_allclose(args["C"], _conv1d_ref(args, n, k), rtol=1e-3, atol=1e-5)
+
+    def test_reindex_write_excludes_reduce_iters(self):
+        sch = Schedule(_conv1d_func())
+        c = sch.get_block("C")
+        rw = sch.reindex(c, "write", 0)
+        new_buf = sch.block_of(rw).reads[0].buffer
+        assert new_buf.shape_ints() == (18, 8)  # only spatial iters
+
+    def test_reindex_bad_role(self):
+        sch = Schedule(_conv1d_func())
+        with pytest.raises(ScheduleError):
+            sch.reindex(sch.get_block("C"), "sideways", 0)
+
+    def test_reindex_matmul_identity_layout(self):
+        # On a plain matmul the reindexed buffer has the same shape.
+        sch = Schedule(build_matmul(8, 8, 8))
+        c = sch.get_block("C")
+        rw = sch.reindex(c, "read", 0)
+        assert sch.block_of(rw).writes[0].buffer.shape_ints() == (8, 8)
+
+
+class TestPadEinsum:
+    def test_pad_matmul_to_tile_multiple(self):
+        sch = Schedule(build_matmul(30, 30, 30))
+        c = sch.get_block("C")
+        # Canonical einsum form first (reindex every operand).
+        sch.reindex(c, "read", 0)
+        sch.reindex(c, "read", 1)
+        sch.reindex(c, "write", 0)
+        sch.pad_einsum(c, [32, 32, 32])
+        block = sch.block_of(c)
+        assert [iv.dom.extent.value for iv in block.iter_vars] == [32, 32, 32]
+        loops = sch.get_loops(c)
+        assert [sch.loop_of(l).extent.value for l in loops] == [32, 32, 32]
+        assert verify(sch.func) == []
+        args = random_args(sch.func)
+        run(sch.func, args)
+        ref = args["A"].astype(np.float64) @ args["B"].astype(np.float64)
+        np.testing.assert_allclose(args["C"], ref, rtol=1e-3, atol=1e-5)
+
+    def test_pad_noop(self):
+        sch = Schedule(build_matmul(32, 32, 32))
+        c = sch.get_block("C")
+        before = sch.show()
+        sch.pad_einsum(c, [32, 32, 32])
+        assert sch.show() == before
+
+    def test_pad_below_extent_rejected(self):
+        sch = Schedule(build_matmul(32, 32, 32))
+        with pytest.raises(ScheduleError):
+            sch.pad_einsum(sch.get_block("C"), [16, 32, 32])
+
+    def test_pad_requires_einsum_form(self):
+        sch = Schedule(_conv1d_func())
+        # A[vx + vr, vci] is not a direct iterator access.
+        with pytest.raises(ScheduleError):
+            sch.pad_einsum(sch.get_block("C"), [20, 8, 4, 4])
+
+    def test_padded_then_tensorized(self):
+        # The §4.2 flow end-to-end on a non-divisible GEMM: reindex →
+        # pad to 16 multiples → tile → tensorize → correct result.
+        sch = Schedule(build_matmul(24, 24, 24, dtype="float16"))
+        c = sch.get_block("C")
+        sch.reindex(c, "read", 0)
+        # B is accessed B[vk, vj]; its iterators in block order are
+        # (vj, vk) — permute so the reindexed layout matches the
+        # intrinsic's B[k, j].
+        sch.reindex(c, "read", 1, iter_order=[1, 0])
+        sch.reindex(c, "write", 0)
+        sch.pad_einsum(c, [32, 32, 32])
+        i, j, k = sch.get_loops(c)
+        io, ii = sch.split(i, [None, 16])
+        jo, ji = sch.split(j, [None, 16])
+        ko, ki = sch.split(k, [None, 16])
+        sch.reorder(io, jo, ko, ii, ji, ki)
+        sch.decompose_reduction(c, ko)
+        sch.tensorize(ii, "wmma_16x16x16_f16")
+        args = random_args(sch.func)
+        run(sch.func, args)
+        ref = args["A"].astype(np.float32) @ args["B"].astype(np.float32)
+        np.testing.assert_allclose(args["C"].astype(np.float32), ref, atol=0.1)

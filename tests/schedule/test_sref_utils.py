@@ -1,0 +1,101 @@
+"""Tests for the sref tree-navigation utilities underlying scheduling."""
+
+import pytest
+
+from repro.schedule.sref import (
+    ScheduleError,
+    children_of,
+    find_blocks,
+    find_loops,
+    loops_above,
+    path_to,
+    replace_stmt,
+    with_children,
+)
+from repro.tir import (
+    Buffer,
+    BufferStore,
+    For,
+    IfThenElse,
+    SeqStmt,
+    Var,
+    seq,
+)
+
+from ..common import build_matmul, build_matmul_relu
+
+
+def _simple_tree():
+    buf = Buffer("A", (8,), "float32")
+    i, j = Var("i"), Var("j")
+    s1 = BufferStore(buf, 1.0, [i])
+    s2 = BufferStore(buf, 2.0, [j])
+    inner = For(j, 0, 8, "serial", s2)
+    outer = For(i, 0, 8, "serial", seq([s1, inner]))
+    return outer, s1, s2, inner, buf
+
+
+class TestNavigation:
+    def test_children_and_rebuild(self):
+        outer, s1, s2, inner, buf = _simple_tree()
+        kids = children_of(outer)
+        assert len(kids) == 1 and isinstance(kids[0], SeqStmt)
+        rebuilt = with_children(outer, kids)
+        assert isinstance(rebuilt, For)
+        assert rebuilt.loop_var is outer.loop_var
+
+    def test_path_to(self):
+        outer, s1, s2, inner, buf = _simple_tree()
+        path = path_to(outer, s2)
+        assert path[0] is outer and path[-1] is s2
+        assert inner in path
+        assert path_to(outer, BufferStore(buf, 0.0, [0])) is None
+
+    def test_loops_above(self):
+        f = build_matmul(8, 8, 8)
+        realize = find_blocks(f.body, "C")[0]
+        loops = loops_above(f.body, realize)
+        assert [lp.loop_var.name for lp in loops] == ["i", "j", "k"]
+
+    def test_find_blocks_and_loops_filters(self):
+        f = build_matmul_relu(8)
+        assert len(find_blocks(f.body)) == 3  # root + C + D
+        assert [r.block.name_hint for r in find_blocks(f.body, "D")] == ["D"]
+        assert len(find_loops(f.body)) == 5
+        assert len(find_loops(f.body, "k")) == 1
+
+
+class TestReplace:
+    def test_replace_leaf(self):
+        outer, s1, s2, inner, buf = _simple_tree()
+        new = BufferStore(buf, 9.0, [Var("x")])
+        # x is free but that's fine for a pure tree operation
+        rebuilt = replace_stmt(outer, s2, new)
+        assert path_to(rebuilt, new) is not None
+        assert path_to(rebuilt, s2) is None
+
+    def test_delete_from_sequence(self):
+        outer, s1, s2, inner, buf = _simple_tree()
+        rebuilt = replace_stmt(outer, s1, None)
+        assert path_to(rebuilt, s1) is None
+        assert path_to(rebuilt, inner) is not None
+
+    def test_delete_only_child_rejected(self):
+        outer, s1, s2, inner, buf = _simple_tree()
+        with pytest.raises(ScheduleError):
+            replace_stmt(outer, s2, None)  # inner loop's only statement
+
+    def test_replace_missing_target_rejected(self):
+        outer, s1, s2, inner, buf = _simple_tree()
+        stray = BufferStore(buf, 0.0, [0])
+        with pytest.raises(ScheduleError):
+            replace_stmt(outer, stray, s1)
+
+    def test_if_children_roundtrip(self):
+        buf = Buffer("A", (8,), "float32")
+        i = Var("i")
+        node = IfThenElse(i < 4, BufferStore(buf, 1.0, [i]), BufferStore(buf, 2.0, [i]))
+        kids = children_of(node)
+        assert len(kids) == 2
+        rebuilt = with_children(node, kids)
+        assert rebuilt.else_case is node.else_case

@@ -1,0 +1,43 @@
+"""Additional target and dtype plumbing tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim import SimCPU, SimGPU
+from repro.tir import dtype as dt
+
+
+class TestDtypeNumpy:
+    def test_numpy_mapping(self):
+        assert dt.numpy_dtype("float16") == np.float16
+        assert dt.numpy_dtype("int8") == np.int8
+        assert dt.numpy_dtype("bool") == np.bool_
+
+    def test_bytes_of(self):
+        assert dt.bytes_of("float16") == 2
+        assert dt.bytes_of("int32") == 4
+        assert dt.bytes_of("bool") == 1
+
+
+class TestTargetTables:
+    def test_gpu_compute_intrins_registered(self):
+        from repro.intrin import get_intrin
+
+        for name in SimGPU.compute_intrins:
+            assert get_intrin(name).kind == "compute"
+        for name in SimCPU.compute_intrins:
+            assert get_intrin(name).kind == "compute"
+
+    def test_vthread_limit(self):
+        assert SimGPU().max_thread_extent("vthread") == 16
+
+    def test_cpu_thread_interface(self):
+        t = SimCPU()
+        assert t.max_thread_extent("threadIdx.x") == 1
+        assert t.cycles_to_seconds(2.5e9) == pytest.approx(1.0)
+
+    def test_memory_hierarchy_ordering(self):
+        t = SimCPU()
+        assert t.l1_bytes_per_cycle > t.l2_bytes_per_cycle > t.dram_bytes_per_cycle
+        g = SimGPU()
+        assert g.l2_bytes_per_cycle > g.global_bytes_per_cycle

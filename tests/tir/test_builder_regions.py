@@ -1,0 +1,197 @@
+"""Tests for the IR builder and automatic access-region detection."""
+
+import pytest
+
+from repro.tir import (
+    Block,
+    BlockRealize,
+    For,
+    IRBuilder,
+    IterVar,
+    SeqStmt,
+    Var,
+    const_int_value,
+    expr_str,
+)
+from repro.tir.analysis import detect_block_access_regions
+
+from ..common import build_elementwise_chain, build_matmul, build_matmul_relu
+
+
+def _find_block(stmt, name):
+    """Find the BlockRealize of the named block in a stmt tree."""
+    from repro.tir import post_order_visit
+
+    found = []
+
+    def visit(node):
+        if isinstance(node, BlockRealize) and node.block.name_hint == name:
+            found.append(node)
+
+    post_order_visit(stmt, visit)
+    assert found, f"block {name} not found"
+    return found[0]
+
+
+class TestBuilder:
+    def test_matmul_structure(self):
+        f = build_matmul(16, 16, 16)
+        assert f.name == "matmul"
+        assert len(f.params) == 3
+        root = f.body.block
+        assert root.name_hint == "root"
+        # Root body: three nested loops then the block.
+        loop = root.body
+        depth = 0
+        while isinstance(loop, For):
+            depth += 1
+            loop = loop.body
+        assert depth == 3
+        assert isinstance(loop, BlockRealize)
+
+    def test_matmul_block_signature(self):
+        f = build_matmul(16, 16, 16)
+        realize = _find_block(f.body, "C")
+        block = realize.block
+        kinds = [iv.kind for iv in block.iter_vars]
+        assert kinds == [IterVar.SPATIAL, IterVar.SPATIAL, IterVar.REDUCE]
+        assert block.init is not None
+        read_names = sorted(r.buffer.name for r in block.reads)
+        assert read_names == ["A", "B"]
+        assert [w.buffer.name for w in block.writes] == ["C"]
+
+    def test_self_read_of_reduction_dropped(self):
+        # C[vi,vj] += ... reads C, but the covered self-read must not
+        # appear in the signature (it is implied by the write).
+        f = build_matmul(8, 8, 8)
+        block = _find_block(f.body, "C").block
+        assert all(r.buffer.name != "C" for r in block.reads)
+
+    def test_alloc_buffer_lands_on_root(self):
+        f = build_elementwise_chain(8)
+        root = f.body.block
+        assert [b.name for b in root.alloc_buffers] == ["B"]
+
+    def test_unique_loop_names(self):
+        f = build_elementwise_chain(8)
+        from repro.tir import collect_vars
+
+        names = [v.name for v in collect_vars(f.body) if v.dtype == "int32"]
+        assert len(names) == len(set(names))
+
+    def test_unclosed_context_rejected(self):
+        b = IRBuilder()
+        cm = b.grid(4)
+        cm.__enter__()
+        with pytest.raises(RuntimeError):
+            b.finish()
+
+    def test_grid_single_var(self):
+        b = IRBuilder()
+        A = b.arg_buffer("A", (4,), "float32")
+        with b.grid(4) as i:
+            assert isinstance(i, Var)
+            with b.block("A") as blk:
+                vi = blk.spatial(4, i)
+                b.store(A, (vi,), 1.0)
+        f = b.finish()
+        assert isinstance(f.body.block.body, For)
+
+    def test_explicit_reads_writes_override(self):
+        b = IRBuilder()
+        A = b.arg_buffer("A", (4, 4), "float32")
+        C = b.arg_buffer("C", (4, 4), "float32")
+        with b.grid(4) as i:
+            with b.block("row") as blk:
+                vi = blk.spatial(4, i)
+                blk.reads(A.full_region())
+                blk.writes(C.full_region())
+                b.store(C, (vi, 0), A[vi, 0])
+        f = b.finish()
+        block = _find_block(f.body, "row").block
+        assert block.reads[0].is_full()
+        assert block.writes[0].is_full()
+
+    def test_loop_allocation_rejected(self):
+        b = IRBuilder()
+        A = b.arg_buffer("A", (4,), "float32")
+        with pytest.raises(ValueError):
+            with b.grid(4) as i:
+                b.alloc_buffer("tmp", (4,), "float32")
+                with b.block("blk") as blk:
+                    vi = blk.spatial(4, i)
+                    b.store(A, (vi,), 1.0)
+
+
+class TestRegionDetection:
+    def test_strided_window_region(self):
+        # Figure 5's shape: inner 4x4 loops below block iterators.
+        b = IRBuilder()
+        A = b.arg_buffer("A", (64, 64), "float32")
+        C = b.arg_buffer("C", (64, 64), "float32")
+        with b.grid(16, 16) as (io, jo):
+            with b.block("tile") as blk:
+                vi = blk.spatial(16, io)
+                vj = blk.spatial(16, jo)
+                with b.grid(4, 4, names=["ii", "jj"]) as (ii, jj):
+                    b.store(C, (vi * 4 + ii, vj * 4 + jj), A[vi * 4 + ii, vj * 4 + jj])
+        f = b.finish()
+        block = _find_block(f.body, "tile").block
+        (read,) = block.reads
+        assert expr_str(read.region[0].min) == "vi * 4"
+        assert const_int_value(read.region[0].extent) == 4
+        assert const_int_value(read.region[1].extent) == 4
+
+    def test_full_dim_read(self):
+        b = IRBuilder()
+        A = b.arg_buffer("A", (8, 32), "float32")
+        C = b.arg_buffer("C", (8,), "float32")
+        with b.grid(8) as i:
+            with b.block("rowsum") as blk:
+                vi = blk.spatial(8, i)
+                with b.grid(32, names=["k"]) as k:
+                    b.store(C, (vi,), C[vi] + A[vi, k])
+        f = b.finish()
+        block = _find_block(f.body, "rowsum").block
+        (read,) = [r for r in block.reads if r.buffer.name == "A"]
+        assert const_int_value(read.region[1].min) == 0
+        assert const_int_value(read.region[1].extent) == 32
+
+    def test_nested_block_signature_trusted(self):
+        # Outer block must derive its region from the inner block's
+        # signature, substituted and relaxed over the outer loop.
+        b = IRBuilder()
+        A = b.arg_buffer("A", (64,), "float32")
+        C = b.arg_buffer("C", (64,), "float32")
+        with b.grid(4, names=["io"]) as io:
+            with b.block("outer") as outer:
+                vo = outer.spatial(4, io, name="vo")
+                with b.grid(16, names=["ii"]) as ii:
+                    with b.block("inner") as inner:
+                        vi = inner.spatial(64, vo * 16 + ii)
+                        b.store(C, (vi,), A[vi] * 2.0)
+        f = b.finish()
+        block = _find_block(f.body, "outer").block
+        (read,) = block.reads
+        assert expr_str(read.region[0].min) == "vo * 16"
+        assert const_int_value(read.region[0].extent) == 16
+
+    def test_multiple_access_union(self):
+        b = IRBuilder()
+        A = b.arg_buffer("A", (66,), "float32")
+        C = b.arg_buffer("C", (64,), "float32")
+        with b.grid(64) as i:
+            with b.block("stencil") as blk:
+                vi = blk.spatial(64, i)
+                b.store(C, (vi,), A[vi] + A[vi + 1] + A[vi + 2])
+        f = b.finish()
+        block = _find_block(f.body, "stencil").block
+        (read,) = block.reads
+        assert expr_str(read.region[0].min) == "vi"
+        assert const_int_value(read.region[0].extent) == 3
+
+    def test_matmul_relu_intermediate_regions(self):
+        f = build_matmul_relu(8)
+        d_block = _find_block(f.body, "D").block
+        assert [r.buffer.name for r in d_block.reads] == ["C"]
+        assert [w.buffer.name for w in d_block.writes] == ["D"]

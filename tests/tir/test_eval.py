@@ -1,0 +1,80 @@
+"""Tests for concrete expression evaluation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.tir import (
+    Buffer,
+    Cast,
+    Select,
+    Var,
+    call,
+    const,
+    evaluate_expr,
+)
+
+
+class TestEvaluate:
+    def test_arith(self):
+        x, y = Var("x"), Var("y")
+        env = {x: 7, y: 3}
+        assert evaluate_expr(x + y, env) == 10
+        assert evaluate_expr(x * y - 1, env) == 20
+        assert evaluate_expr(x // y, env) == 2
+        assert evaluate_expr(x % y, env) == 1
+
+    def test_floor_semantics_negative(self):
+        x = Var("x")
+        assert evaluate_expr(x // 4, {x: -5}) == -2
+        assert evaluate_expr(x % 4, {x: -5}) == 3
+
+    def test_comparisons_and_logic(self):
+        from repro.tir import logical_and
+
+        x = Var("x")
+        assert evaluate_expr(logical_and(x > 0, x < 10), {x: 5}) is True
+        assert evaluate_expr(logical_and(x > 0, x < 10), {x: 11}) is False
+
+    def test_select(self):
+        x = Var("x")
+        e = Select(x > 0, x * 2, x * -1)
+        assert evaluate_expr(e, {x: 3}) == 6
+        assert evaluate_expr(e, {x: -3}) == 3
+
+    def test_cast_float16_rounds(self):
+        x = Var("x", "float32")
+        e = Cast("float16", x)
+        out = evaluate_expr(e, {x: 1.0001})
+        assert out == float(np.float16(1.0001))
+
+    def test_cast_int_wraps(self):
+        x = Var("x", "int32")
+        assert evaluate_expr(Cast("int8", x), {x: 130}) == -126
+        assert evaluate_expr(Cast("uint8", x), {x: 260}) == 4
+
+    def test_intrinsics(self):
+        x = Var("x", "float32")
+        assert evaluate_expr(call("exp", x), {x: 0.0}) == 1.0
+        assert evaluate_expr(call("sqrt", x), {x: 4.0}) == 2.0
+        assert math.isclose(evaluate_expr(call("sigmoid", x), {x: 0.0}), 0.5)
+
+    def test_unknown_intrinsic_raises(self):
+        with pytest.raises(KeyError):
+            evaluate_expr(call("accel.mystery", const(1.0)), {})
+
+    def test_buffer_load(self):
+        buf = Buffer("A", (2, 2), "float32")
+        arr = np.array([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32)
+        i = Var("i")
+        assert evaluate_expr(buf[i, 1], {i: 1}, {buf: arr}) == 4.0
+
+    def test_buffer_load_without_env_raises(self):
+        buf = Buffer("A", (2,), "float32")
+        with pytest.raises(KeyError):
+            evaluate_expr(buf[0], {})
+
+    def test_unbound_var_raises(self):
+        with pytest.raises(KeyError):
+            evaluate_expr(Var("x") + 1, {})

@@ -1,0 +1,190 @@
+"""Unit tests for the expression IR."""
+
+import pytest
+
+from repro.tir import (
+    Add,
+    BufferLoad,
+    Buffer,
+    Cast,
+    FloatImm,
+    FloorDiv,
+    FloorMod,
+    IntImm,
+    Min,
+    Max,
+    Mul,
+    Select,
+    Sub,
+    Var,
+    as_expr,
+    const,
+    const_int_value,
+    is_const_int,
+    max_expr,
+    min_expr,
+)
+from repro.tir import dtype as dt
+
+
+class TestDtype:
+    def test_bits(self):
+        assert dt.bits_of("float16") == 16
+        assert dt.bits_of("int8") == 8
+        assert dt.bits_of("bool") == 1
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            dt.validate_dtype("float8")
+
+    def test_promotion_float_beats_int(self):
+        assert dt.promote("float16", "int32") == "float16"
+        assert dt.promote("int8", "float32") == "float32"
+
+    def test_promotion_wider_wins(self):
+        assert dt.promote("int8", "int32") == "int32"
+        assert dt.promote("float32", "float16") == "float32"
+
+    def test_promotion_bool(self):
+        assert dt.promote("bool", "int32") == "int32"
+
+    def test_handle_not_promotable(self):
+        with pytest.raises(TypeError):
+            dt.promote("handle", "int32")
+
+
+class TestConstruction:
+    def test_const_int(self):
+        c = const(3)
+        assert isinstance(c, IntImm)
+        assert c.value == 3 and c.dtype == "int32"
+
+    def test_const_float(self):
+        c = const(1.5)
+        assert isinstance(c, FloatImm)
+        assert c.value == 1.5 and c.dtype == "float32"
+
+    def test_const_bool(self):
+        c = const(True)
+        assert isinstance(c, IntImm) and c.dtype == "bool" and c.value == 1
+
+    def test_const_int_to_float_dtype(self):
+        c = const(2, "float16")
+        assert isinstance(c, FloatImm) and c.dtype == "float16"
+
+    def test_var_identity(self):
+        a = Var("i")
+        b = Var("i")
+        assert a is not b
+        assert a.name == b.name
+
+    def test_operator_overloads_build_nodes(self):
+        i, j = Var("i"), Var("j")
+        e = i * 4 + j
+        assert isinstance(e, Add)
+        assert isinstance(e.a, Mul)
+        assert e.a.a is i and e.b is j
+
+    def test_dtype_propagation(self):
+        x = Var("x", "float16")
+        y = Var("y", "float32")
+        assert (x * y).dtype == "float32"
+        assert (x + x).dtype == "float16"
+
+    def test_int_scalar_coerced_to_var_dtype(self):
+        x = Var("x", "int64")
+        e = x + 1
+        assert e.b.dtype == "int64"
+
+    def test_comparison_dtype_bool(self):
+        i = Var("i")
+        assert (i < 3).dtype == "bool"
+        assert (i.equal(3)).dtype == "bool"
+
+    def test_truediv_on_int_rejected(self):
+        i = Var("i")
+        with pytest.raises(TypeError):
+            i / 2
+
+    def test_bool_conversion_rejected(self):
+        i = Var("i")
+        with pytest.raises(TypeError):
+            bool(i < 3)
+
+    def test_floordiv_mod(self):
+        i = Var("i")
+        assert isinstance(i // 4, FloorDiv)
+        assert isinstance(i % 4, FloorMod)
+
+
+class TestConstantFolding:
+    def test_add_folds(self):
+        e = const(2) + const(3)
+        assert is_const_int(e, 5)
+
+    def test_mul_folds(self):
+        assert const_int_value(const(4) * const(6)) == 24
+
+    def test_floordiv_negative_floor_semantics(self):
+        assert const_int_value(const(-5) // const(4)) == -2
+        assert const_int_value(const(-5) % const(4)) == 3
+
+    def test_const_div_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            const(3) // const(0)
+
+    def test_min_max_fold(self):
+        assert const_int_value(min_expr(3, 7)) == 3
+        assert const_int_value(max_expr(3, 7)) == 7
+
+    def test_cmp_fold(self):
+        assert const_int_value(const(3) < const(4)) == 1
+        assert const_int_value(const(4) <= const(3)) == 0
+
+    def test_float_add_folds(self):
+        e = const(1.5) + const(2.5)
+        assert isinstance(e, FloatImm) and e.value == 4.0
+
+    def test_unfoldable_stays_node(self):
+        i = Var("i")
+        assert isinstance(i + 0, Add)  # light folding only folds imm-imm
+
+
+class TestSelectCastLoad:
+    def test_select_dtype(self):
+        c = Var("c", "bool")
+        s = Select(c, const(1.0), const(2.0))
+        assert s.dtype == "float32"
+
+    def test_cast_astype_noop(self):
+        x = Var("x", "float32")
+        assert x.astype("float32") is x
+        assert isinstance(x.astype("float16"), Cast)
+
+    def test_buffer_load_rank_check(self):
+        buf = Buffer("A", (4, 4), "float32")
+        with pytest.raises(ValueError):
+            BufferLoad(buf, [Var("i")])
+
+    def test_buffer_getitem(self):
+        buf = Buffer("A", (4, 4), "float32")
+        i = Var("i")
+        load = buf[i, 2]
+        assert isinstance(load, BufferLoad)
+        assert load.dtype == "float32"
+        assert load.buffer is buf
+
+
+class TestHelpers:
+    def test_as_expr_passthrough(self):
+        i = Var("i")
+        assert as_expr(i) is i
+
+    def test_const_int_value_python_int(self):
+        assert const_int_value(7) == 7
+        assert const_int_value(Var("i")) is None
+
+    def test_is_const_int_with_value(self):
+        assert is_const_int(const(3), 3)
+        assert not is_const_int(const(3), 4)
+        assert not is_const_int(True)  # bool is not an int immediate here

@@ -1,0 +1,81 @@
+"""Tests for the TensorIntrin registry (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.intrin import TensorIntrin, get_intrin, list_intrins, register_intrin
+from repro.tir import IRBuilder
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = list_intrins()
+        assert "wmma_16x16x16_f16" in names
+        assert "sdot_4x4x4_i8" in names
+
+    def test_kind_filter(self):
+        computes = list_intrins(kind="compute")
+        assert "wmma_16x16x16_f16" in computes
+        assert "wmma_fill_16x16_f16" not in computes
+        assert "wmma_load_16x16_f16_a" in list_intrins(kind="load")
+
+    def test_duplicate_registration_rejected(self):
+        intrin = get_intrin("wmma_16x16x16_f16")
+        with pytest.raises(ValueError):
+            register_intrin(intrin)
+        register_intrin(intrin, override=True)  # explicit override allowed
+
+    def test_unknown_lookup(self):
+        with pytest.raises(KeyError):
+            get_intrin("nope")
+
+    def test_tile_shape_and_roles(self):
+        mma = get_intrin("wmma_16x16x16_f16")
+        assert mma.tile_shape() == (16, 16, 16)
+        block = mma.desc_block()
+        buffers = [r.buffer for r in list(block.reads) + list(block.writes)]
+        roles = {mma.operand_role(b) for b in buffers}
+        assert roles == {"A", "B", "C"}
+
+    def test_paired_instructions(self):
+        mma = get_intrin("wmma_16x16x16_f16")
+        assert mma.paired["fill"] == "wmma_fill_16x16_f16"
+        assert mma.paired["store"] == "wmma_store_16x16_f16"
+        sdot = get_intrin("sdot_4x4x4_i8")
+        assert sdot.paired["fill"] == "sdot_fill_i32"
+
+    def test_desc_computation_cached_and_flat(self):
+        mma = get_intrin("wmma_16x16x16_f16")
+        c1 = mma.desc_computation()
+        c2 = mma.desc_computation()
+        assert c1 is c2  # cached
+        from repro.tir import For
+
+        assert isinstance(c1, For)  # flattened loops, no block wrapper
+
+    def test_numpy_impls(self):
+        mma = get_intrin("wmma_16x16x16_f16")
+        A = np.random.default_rng(0).uniform(-1, 1, (16, 16)).astype(np.float16)
+        B = np.random.default_rng(1).uniform(-1, 1, (16, 16)).astype(np.float16)
+        C = np.zeros((16, 16), dtype=np.float16)
+        mma.numpy_impl(A, B, C)
+        ref = A.astype(np.float32) @ B.astype(np.float32)
+        np.testing.assert_allclose(C.astype(np.float32), ref, atol=0.05)
+        fill = get_intrin("wmma_fill_16x16_f16")
+        fill.numpy_impl(C)
+        assert (C == 0).all()
+
+    def test_malformed_desc_rejected(self):
+        b = IRBuilder("bad_desc")
+        A = b.arg_buffer("A", (4,), "float32")
+        with b.grid(4) as i:
+            with b.block("one") as blk:
+                vi = blk.spatial(4, i)
+                b.store(A, (vi,), 1.0)
+        with b.grid(4) as i:
+            with b.block("two") as blk:
+                vi = blk.spatial(4, i)
+                b.store(A, (vi,), 2.0)
+        bad = TensorIntrin("bad", b.finish(), {}, lambda: None, {})
+        with pytest.raises(ValueError):
+            bad.desc_block()

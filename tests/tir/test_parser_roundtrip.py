@@ -1,0 +1,91 @@
+"""Round-trip tests: parse(script(f)) is structurally equal to f.
+
+Covers the §3.4 workflow — programs can be dumped as text, inspected,
+modified and re-imported — and property-tests the round-trip over the
+full scheduling surface (random primitive sequences).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.runtime import random_args, run
+from repro.schedule import Schedule
+from repro.tir import ParseError, parse_script, script, structural_equal
+
+from ..common import build_elementwise_chain, build_matmul, build_matmul_relu
+from ..schedule.test_property_semantics import _OPS, _apply_random_primitives
+
+
+class TestRoundtrip:
+    def test_basic_programs(self):
+        for builder in (build_matmul, build_matmul_relu, build_elementwise_chain):
+            func = builder(16)
+            again = parse_script(script(func))
+            assert structural_equal(func, again), builder.__name__
+
+    def test_scheduled_program_with_threads_and_annotations(self):
+        sch = Schedule(build_matmul(32, 32, 32))
+        c = sch.get_block("C")
+        i, j, k = sch.get_loops(c)
+        io, ii = sch.split(i, [None, 8])
+        sch.bind(io, "blockIdx.x")
+        sch.bind(j, "threadIdx.x")
+        sch.vectorize(ii)
+        sch.unroll(k)
+        sch.annotate(io, "pragma", 4)
+        sch.annotate(c, "hint", "zzz")
+        text = sch.show()
+        again = parse_script(text)
+        assert structural_equal(sch.func, again)
+
+    def test_tensorized_program(self):
+        sch = Schedule(build_matmul(64, 64, 64, dtype="float16"))
+        c = sch.get_block("C")
+        i, j, k = sch.get_loops(c)
+        io, ii = sch.split(i, [None, 16])
+        jo, ji = sch.split(j, [None, 16])
+        ko, ki = sch.split(k, [None, 16])
+        sch.reorder(io, jo, ko, ii, ji, ki)
+        sch.decompose_reduction(c, ko)
+        sch.tensorize(ii, "wmma_16x16x16_f16")
+        again = parse_script(sch.show())
+        assert structural_equal(sch.func, again)
+
+    def test_parsed_program_executes(self):
+        func = parse_script(script(build_matmul(16, 16, 16)))
+        args = random_args(func)
+        run(func, args)
+        ref = args["A"].astype(np.float64) @ args["B"].astype(np.float64)
+        np.testing.assert_allclose(args["C"], ref, rtol=1e-3, atol=1e-5)
+
+    def test_hand_written_script(self):
+        text = """
+@script
+def scale(A: Buffer[(8,), 'float32'], C: Buffer[(8,), 'float32']):
+    for i in range(8):
+        with block('scale'):
+            vi = spatial_axis(8, i)
+            C[vi] = A[vi] * 2.0
+"""
+        func = parse_script(text)
+        assert func.name == "scale"
+        args = random_args(func)
+        run(func, args)
+        np.testing.assert_allclose(args["C"], args["A"] * 2.0)
+
+    def test_parse_errors(self):
+        with pytest.raises(ParseError):
+            parse_script("x = 1")
+        with pytest.raises(ParseError):
+            parse_script("def f(A):\n    return A")
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=_OPS)
+def test_roundtrip_over_random_schedules(ops):
+    sch = Schedule(build_matmul(16, 16, 16), seed=0)
+    _apply_random_primitives(sch, ops)
+    text = sch.show()
+    again = parse_script(text)
+    assert structural_equal(sch.func, again), text

@@ -1,0 +1,76 @@
+"""Printer edge cases and the Figure-4/5 golden shapes."""
+
+import pytest
+
+from repro.schedule import Schedule
+from repro.tir import (
+    Buffer,
+    BufferStore,
+    For,
+    IntImm,
+    Select,
+    Var,
+    const,
+    expr_str,
+    script,
+    seq,
+)
+
+from ..common import build_elementwise_chain, build_matmul
+
+
+class TestExprPrinting:
+    def test_dtype_suffixed_imms(self):
+        assert expr_str(const(5, "int8")) == "int8(5)"
+        assert expr_str(const(5)) == "5"
+        assert expr_str(const(1.5, "float16")) == "float16(1.5)"
+        assert expr_str(const(True)) == "True"
+
+    def test_select_and_minmax(self):
+        x = Var("x")
+        from repro.tir import max_expr, min_expr
+
+        assert expr_str(min_expr(x, 3)) == "min(x, 3)"
+        assert expr_str(Select(x < 3, x, const(0))) == "select(x < 3, x, 0)"
+
+    def test_division_chain_precedence(self):
+        x = Var("x")
+        assert expr_str((x + 1) // 4 % 8) == "(x + 1) // 4 % 8"
+
+
+class TestStmtPrinting:
+    def test_grid_collapse(self):
+        text = script(build_matmul(8, 8, 8))
+        assert "for i, j, k in grid(8, 8, 8):" in text
+
+    def test_annotated_loop_not_collapsed(self):
+        sch = Schedule(build_matmul(8, 8, 8))
+        i, j, k = sch.get_loops(sch.get_block("C"))
+        sch.annotate(i, "pragma", 1)
+        text = sch.show()
+        assert "annotated(8, 'serial', None, {'pragma': 1})" in text
+        assert "grid(8, 8, 8)" not in text
+
+    def test_nonzero_min_loop(self):
+        buf = Buffer("A", (16,), "float32")
+        i = Var("i")
+        loop = For(i, 4, 8, "serial", BufferStore(buf, 1.0, [i]))
+        assert "for i in range(4, 12):" in script(loop)
+
+    def test_predicate_printed_as_where(self):
+        sch = Schedule(build_matmul(10, 8, 8))
+        i, j, k = sch.get_loops(sch.get_block("C"))
+        sch.split(i, [None, 4])
+        assert "where(" in sch.show()
+
+    def test_figure4_shape(self):
+        text = script(build_elementwise_chain(64))
+        assert "B = alloc_buffer(Buffer[(64, 64,), 'float32'])" in text
+        assert "vi = spatial_axis(64, i)" in text
+        assert "C[vi_1, vj_1] = exp(B[vi_1, vj_1])" in text
+
+    def test_figure5_signature_lines(self):
+        text = script(build_matmul(64, 64, 64))
+        assert "reads(A[vi, vk], B[vk, vj])" in text
+        assert "writes(C[vi, vj])" in text
+        assert "with init():" in text

@@ -1,0 +1,139 @@
+"""Unit tests for statements, buffers and regions."""
+
+import pytest
+
+from repro.tir import (
+    Block,
+    BlockRealize,
+    Buffer,
+    BufferRegion,
+    BufferStore,
+    Evaluate,
+    For,
+    ForKind,
+    IterVar,
+    MemoryScope,
+    Range,
+    SeqStmt,
+    Var,
+    const,
+    seq,
+)
+
+
+class TestBuffer:
+    def test_shape_ints(self):
+        buf = Buffer("A", (4, 8), "float16")
+        assert buf.shape_ints() == (4, 8)
+        assert buf.numel() == 32
+        assert buf.nbytes() == 64
+
+    def test_symbolic_shape_rejected_by_shape_ints(self):
+        buf = Buffer("A", (Var("n"),), "float32")
+        with pytest.raises(ValueError):
+            buf.shape_ints()
+
+    def test_with_scope_creates_new_buffer(self):
+        buf = Buffer("A", (4,), "float32")
+        shared = buf.with_scope(MemoryScope.SHARED)
+        assert shared is not buf
+        assert shared.scope == "shared"
+        assert shared.shape == buf.shape
+
+    def test_full_region(self):
+        buf = Buffer("A", (4, 8), "float32")
+        region = buf.full_region()
+        assert region.is_full()
+
+    def test_region_rank_check(self):
+        buf = Buffer("A", (4, 8), "float32")
+        with pytest.raises(ValueError):
+            BufferRegion(buf, [Range(0, 4)])
+
+    def test_point_region_not_full(self):
+        buf = Buffer("A", (4, 8), "float32")
+        region = BufferRegion.from_point(buf, (0, 0))
+        assert not region.is_full()
+
+
+class TestStmt:
+    def test_store_rank_check(self):
+        buf = Buffer("A", (4, 4), "float32")
+        with pytest.raises(ValueError):
+            BufferStore(buf, 1.0, [Var("i")])
+
+    def test_store_value_coerced_to_buffer_dtype(self):
+        buf = Buffer("A", (4,), "float16")
+        store = BufferStore(buf, 1, [0])
+        assert store.value.dtype == "float16"
+
+    def test_seq_flattens(self):
+        buf = Buffer("A", (4,), "float32")
+        s1 = BufferStore(buf, 1.0, [0])
+        s2 = BufferStore(buf, 2.0, [1])
+        s3 = BufferStore(buf, 3.0, [2])
+        nested = SeqStmt([SeqStmt([s1, s2]), s3])
+        assert len(nested.stmts) == 3
+
+    def test_seq_helper_single(self):
+        buf = Buffer("A", (4,), "float32")
+        s1 = BufferStore(buf, 1.0, [0])
+        assert seq([s1]) is s1
+
+    def test_seq_empty_rejected(self):
+        with pytest.raises(ValueError):
+            seq([])
+
+    def test_for_kinds(self):
+        buf = Buffer("A", (4,), "float32")
+        i = Var("i")
+        body = BufferStore(buf, 1.0, [i])
+        loop = For(i, 0, 4, ForKind.VECTORIZED, body)
+        assert loop.kind == "vectorized"
+        with pytest.raises(ValueError):
+            For(i, 0, 4, "weird", body)
+
+    def test_thread_binding_requires_tag(self):
+        buf = Buffer("A", (4,), "float32")
+        i = Var("i")
+        body = BufferStore(buf, 1.0, [i])
+        with pytest.raises(ValueError):
+            For(i, 0, 4, ForKind.THREAD_BINDING, body)
+        loop = For(i, 0, 4, ForKind.THREAD_BINDING, body, thread_tag="threadIdx.x")
+        assert loop.thread_tag == "threadIdx.x"
+
+
+class TestBlock:
+    def _make_block(self):
+        buf = Buffer("C", (4,), "float32")
+        v = Var("v")
+        iv = IterVar(v, Range(0, 4), IterVar.SPATIAL)
+        body = BufferStore(buf, 1.0, [v])
+        return Block("b", [iv], [], [BufferRegion.from_point(buf, (v,))], body), v
+
+    def test_block_realize_arity_check(self):
+        block, _ = self._make_block()
+        with pytest.raises(ValueError):
+            BlockRealize([], const(True), block)
+
+    def test_is_reduction(self):
+        block, _ = self._make_block()
+        assert not block.is_reduction
+        v = Var("k")
+        red = block.replace(
+            iter_vars=list(block.iter_vars) + [IterVar(v, Range(0, 8), IterVar.REDUCE)]
+        )
+        # replace() must not mutate the original
+        assert len(block.iter_vars) == 1
+        # new block needs matching realize arity, but is_reduction works
+        assert red.is_reduction
+
+    def test_iter_var_of(self):
+        block, v = self._make_block()
+        assert block.iter_var_of(v).kind == IterVar.SPATIAL
+        with pytest.raises(KeyError):
+            block.iter_var_of(Var("other"))
+
+    def test_iter_var_kind_validation(self):
+        with pytest.raises(ValueError):
+            IterVar(Var("v"), Range(0, 4), "sideways")

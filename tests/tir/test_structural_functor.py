@@ -1,0 +1,147 @@
+"""Tests for structural equality, functors, substitution and printing."""
+
+import pytest
+
+from repro.tir import (
+    Add,
+    Buffer,
+    BufferStore,
+    For,
+    IRBuilder,
+    Mul,
+    StmtMutator,
+    Var,
+    assert_structural_equal,
+    collect_vars,
+    expr_str,
+    post_order_visit,
+    script,
+    structural_equal,
+    substitute,
+)
+
+from ..common import build_elementwise_chain, build_matmul
+
+
+class TestStructuralEqual:
+    def test_alpha_equivalent_functions(self):
+        f1 = build_matmul(16, 16, 16)
+        f2 = build_matmul(16, 16, 16)
+        assert structural_equal(f1, f2)
+
+    def test_different_extent_not_equal(self):
+        f1 = build_matmul(16, 16, 16)
+        f2 = build_matmul(16, 16, 8)
+        assert not structural_equal(f1, f2)
+
+    def test_free_vars_identity_by_default(self):
+        x, y = Var("x"), Var("y")
+        assert not structural_equal(x + 1, y + 1)
+        assert structural_equal(x + 1, y + 1, map_free_vars=True)
+
+    def test_free_var_mapping_is_consistent(self):
+        x, y = Var("x"), Var("y")
+        # x+x cannot map to x+y: one source var to two targets.
+        assert not structural_equal(x + x, x + y, map_free_vars=True)
+
+    def test_bound_var_mapping(self):
+        buf = Buffer("A", (4,), "float32")
+        i1, i2 = Var("i"), Var("j")
+        l1 = For(i1, 0, 4, "serial", BufferStore(buf, 1.0, [i1]))
+        l2 = For(i2, 0, 4, "serial", BufferStore(buf, 1.0, [i2]))
+        assert structural_equal(l1, l2)
+
+    def test_mismatched_node_type(self):
+        x = Var("x")
+        assert not structural_equal(x + 1, x * 1)
+
+    def test_assert_raises_with_scripts(self):
+        f1 = build_matmul(8, 8, 8)
+        f2 = build_matmul(8, 8, 4)
+        with pytest.raises(AssertionError):
+            assert_structural_equal(f1, f2)
+
+    def test_buffer_match_requires_same_scope(self):
+        b1 = Buffer("A", (4,), "float32", "global")
+        b2 = Buffer("A", (4,), "float32", "shared")
+        i = Var("i")
+        s1 = BufferStore(b1, 1.0, [i])
+        s2 = BufferStore(b2, 1.0, [i])
+        assert not structural_equal(s1, s2, map_free_vars=True)
+
+
+class TestFunctors:
+    def test_post_order_visit_counts(self):
+        x = Var("x")
+        expr = (x + 1) * (x + 2)
+        nodes = []
+        post_order_visit(expr, nodes.append)
+        assert sum(isinstance(n, Add) for n in nodes) == 2
+        assert sum(isinstance(n, Mul) for n in nodes) == 1
+
+    def test_collect_vars_dedup_and_order(self):
+        x, y = Var("x"), Var("y")
+        expr = x + y * x
+        assert collect_vars(expr) == [x, y]
+
+    def test_substitute_expr(self):
+        x, y = Var("x"), Var("y")
+        out = substitute(x * 2 + x, {x: y + 1})
+        assert expr_str(out) == "(y + 1) * 2 + (y + 1)"
+
+    def test_substitute_stmt_and_sharing(self):
+        f = build_matmul(8, 8, 8)
+        body = f.body
+        same = substitute(body, {})
+        assert same is body  # untouched trees are shared, not copied
+
+    def test_substitute_buffer(self):
+        buf = Buffer("A", (4,), "float32")
+        new = Buffer("A_shared", (4,), "float32", "shared")
+        i = Var("i")
+        stmt = BufferStore(buf, buf[i], [i])
+        out = substitute(stmt, {}, {buf: new})
+        assert out.buffer is new
+        assert out.value.buffer is new
+
+    def test_mutator_rebuilds_minimal(self):
+        x, y, z = Var("x"), Var("y"), Var("z")
+        expr = (x + 1) * (y + 2)
+
+        class Sub(StmtMutator):
+            def rewrite_var(self, var):
+                return z if var is x else var
+
+        out = Sub().rewrite(expr)
+        assert out.a.a is z
+        assert out.b is expr.b  # unchanged subtree shared
+
+
+class TestPrinter:
+    def test_script_round_shape(self):
+        f = build_elementwise_chain(8)
+        text = f.script()
+        assert "@script" in text
+        assert "alloc_buffer" in text
+        assert "for i, j in grid(8, 8):" in text
+        assert "spatial_axis(8, i)" in text
+
+    def test_matmul_script_contains_init_and_reduce(self):
+        f = build_matmul(8, 8, 8)
+        text = f.script()
+        assert "reduce_axis(8, k)" in text
+        assert "with init():" in text
+        assert "reads(A[vi, vk], B[vk, vj])" in text
+        assert "writes(C[vi, vj])" in text
+
+    def test_expr_precedence(self):
+        x, y = Var("x"), Var("y")
+        assert expr_str((x + y) * 2) == "(x + y) * 2"
+        assert expr_str(x + y * 2) == "x + y * 2"
+        assert expr_str(x // 4 % 8) == "x // 4 % 8"
+
+    def test_annotated_loop_printed(self):
+        buf = Buffer("A", (4,), "float32")
+        i = Var("i")
+        loop = For(i, 0, 4, "vectorized", BufferStore(buf, 1.0, [i]))
+        assert "vectorized(4)" in script(loop)
