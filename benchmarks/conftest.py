@@ -26,7 +26,8 @@ from repro.baselines import (
     TorchLikeFramework,
     UnsupportedWorkload,
 )
-from repro.frontend import CPU_WORKLOADS, GPU_WORKLOADS
+from repro.frontend import CPU_WORKLOADS, GPU_WORKLOADS, cpu_network, gpu_network
+from repro.meta import TuneConfig, TuningDatabase, TuningSession
 from repro.sim import SimCPU, SimGPU
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -37,6 +38,8 @@ TENSORIR_TRIALS = 32
 TVM_TRIALS = 48
 NETWORK_TRIALS = 14
 NETWORK_TVM_TRIALS = 16
+#: worker-pool width for the end-to-end TuningSessions
+SESSION_WORKERS = 4
 
 
 def write_table(name: str, text: str) -> None:
@@ -149,6 +152,54 @@ def gpu_layer_cache() -> LayerCache:
 @pytest.fixture(scope="session")
 def cpu_layer_cache() -> LayerCache:
     return LayerCache(SimCPU())
+
+
+@pytest.fixture(scope="session")
+def gpu_session_reports():
+    """TensorIR per-layer results for the GPU end-to-end figures.
+
+    One ``TuningSession`` per network over a database shared across
+    networks: duplicate layers (within or across models) replay instead
+    of re-searching, and each session's telemetry carries the per-stage
+    tuning-time accounting.
+    """
+    database = TuningDatabase()
+    reports = {}
+
+    def get(name):
+        if name not in reports:
+            session = TuningSession(
+                SimGPU(),
+                TuneConfig(trials=NETWORK_TRIALS, seed=0),
+                database=database,
+                workers=SESSION_WORKERS,
+            )
+            session.add_network(gpu_network(name))
+            reports[name] = session.run()
+        return reports[name]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def cpu_session_reports():
+    """TensorIR per-layer results for the CPU end-to-end figure."""
+    database = TuningDatabase()
+    reports = {}
+
+    def get(name):
+        if name not in reports:
+            session = TuningSession(
+                SimCPU(),
+                TuneConfig(trials=NETWORK_TRIALS, seed=0),
+                database=database,
+                workers=SESSION_WORKERS,
+            )
+            session.add_network(cpu_network(name))
+            reports[name] = session.run()
+        return reports[name]
+
+    return get
 
 
 @pytest.fixture(scope="session")

@@ -17,7 +17,7 @@ import pytest
 
 from repro.baselines import AmosBaseline, TensorIRSystem
 from repro.frontend import gpu_workload
-from repro.meta import CostModel, TensorCoreSketch, evolutionary_search
+from repro.meta import CostModel, TensorCoreSketch, TuneConfig, evolutionary_search
 from repro.meta.autocopy import schedule_fragment_copy
 from repro.schedule import Schedule, ScheduleError, verify
 from repro.sim import SimGPU, estimate
@@ -104,7 +104,10 @@ def test_ablation_validation_filter(gmm, benchmark):
     rejected before costing a measurement)."""
     target = SimGPU()
     result = evolutionary_search(
-        gmm, TensorCoreSketch(), target, trials=10, population=8, seed=3, validate=True
+        gmm,
+        TensorCoreSketch(),
+        target,
+        TuneConfig(trials=10, population=8, seed=3, validate=True),
     )
     assert result.best_func is not None
     assert verify(result.best_func, target) == []
@@ -120,7 +123,7 @@ def test_ablation_cost_model_guidance(gmm, benchmark):
     unguided one at the same measurement budget (usually better)."""
     target = SimGPU()
     guided = evolutionary_search(
-        gmm, TensorCoreSketch(), target, trials=12, population=8, seed=11
+        gmm, TensorCoreSketch(), target, TuneConfig(trials=12, population=8, seed=11)
     )
 
     # Unguided: same budget, but candidates picked at random (fresh
@@ -139,9 +142,7 @@ def test_ablation_cost_model_guidance(gmm, benchmark):
         gmm,
         TensorCoreSketch(),
         target,
-        trials=12,
-        population=8,
-        seed=11,
+        TuneConfig(trials=12, population=8, seed=11),
         cost_model=_Random(target),
     )
     from .conftest import write_table

@@ -11,6 +11,8 @@ import pytest
 from repro.frontend import cpu_network, network_latency
 from repro.sim import SimCPU
 
+pytestmark = pytest.mark.slow
+
 NETWORKS = ["ResNet-50", "MobileNet-V2", "BERT-base"]
 
 
@@ -30,14 +32,21 @@ def _latency(net, system, cache):
 
 
 @pytest.fixture(scope="module")
-def table(cpu_layer_cache, net_cpu_systems):
+def table(cpu_layer_cache, net_cpu_systems, cpu_session_reports):
     rows = {}
     for name in NETWORKS:
         net = cpu_network(name)
-        rows[name] = {
-            sys_name: _latency(net, system, cpu_layer_cache)
-            for sys_name, system in net_cpu_systems.items()
-        }
+        rows[name] = {}
+        for sys_name, system in net_cpu_systems.items():
+            if sys_name == "TensorIR":
+                rows[name][sys_name] = network_latency(
+                    net,
+                    cpu_session_reports(name),
+                    per_op_overhead=system.op_overhead,
+                    fuse_elementwise=system.fuses_elementwise,
+                )
+            else:
+                rows[name][sys_name] = _latency(net, system, cpu_layer_cache)
     return rows
 
 

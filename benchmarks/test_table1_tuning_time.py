@@ -8,9 +8,14 @@ smaller, needing fewer trials to converge.
 
 import pytest
 
-from repro.baselines import AnsorBaseline, TensorIRSystem, UnsupportedWorkload
+from repro.baselines import AnsorBaseline, TensorIRSystem
 from repro.frontend import gpu_network
+from repro.meta import TuningSession
 from repro.sim import SimGPU
+
+from .conftest import SESSION_WORKERS
+
+pytestmark = pytest.mark.slow
 
 NETWORKS = ["ResNet-50", "MobileNet-V2", "BERT-large", "ViT"]
 
@@ -20,30 +25,37 @@ TIR_TRIALS = 10
 TVM_TRIALS = 20
 
 
+def _network_session(system, name):
+    """One TuningSession per (system, network): the Table 1 tuning-time
+    numbers now come straight from session telemetry."""
+    session = TuningSession(
+        SimGPU(), system.tune_config(), workers=SESSION_WORKERS
+    )
+    # elementwise layers are not tuned per shape
+    session.add_network(gpu_network(name), include_fusible=False)
+    return session.run()
+
+
 @pytest.fixture(scope="module")
 def table():
-    target = SimGPU()
     tir = TensorIRSystem(trials=TIR_TRIALS)
     tvm = AnsorBaseline(trials=TVM_TRIALS)
     rows = {}
     for name in NETWORKS:
-        net = gpu_network(name)
-        tir_time = 0.0
-        tvm_time = 0.0
-        for layer in net.layers:
-            if layer.fusible:
-                continue  # elementwise layers are not tuned per shape
-            func = layer.builder()
-            try:
-                tir_time += tir.compile_op(func, target).tuning_seconds
-            except UnsupportedWorkload:
-                pass
-            try:
-                tvm_time += tvm.compile_op(func, target).tuning_seconds
-            except UnsupportedWorkload:
-                pass
-        rows[name] = (tvm_time, tir_time)
+        tvm_report = _network_session(tvm, name)
+        tir_report = _network_session(tir, name)
+        rows[name] = (tvm_report, tir_report)
     return rows
+
+
+def test_table1_accounting_is_instrumented(table):
+    """The report's total is exactly the sum of per-task tuning seconds
+    (within float tolerance, i.e. well inside the 1% criterion)."""
+    for tvm_report, tir_report in table.values():
+        for report in (tvm_report, tir_report):
+            per_task = sum(t.tuning_seconds for t in report.tasks)
+            assert report.tuning_seconds == pytest.approx(per_task, rel=1e-9)
+            assert report.totals["tasks_failed"] == 0
 
 
 def test_table1_regenerate(table, benchmark):
@@ -51,7 +63,8 @@ def test_table1_regenerate(table, benchmark):
 
     out = []
     for name in NETWORKS:
-        tvm_t, tir_t = table[name]
+        tvm_t = table[name][0].tuning_seconds
+        tir_t = table[name][1].tuning_seconds
         out.append(
             (name, f"{tvm_t / 60:.1f}", f"{tir_t / 60:.1f}", f"{tvm_t / tir_t:.2f}x")
         )
@@ -64,11 +77,12 @@ def test_table1_regenerate(table, benchmark):
         out,
     )
     write_table("table1.txt", text)
-    benchmark(lambda: sum(v for pair in table.values() for v in pair))
+    benchmark(lambda: sum(r.tuning_seconds for pair in table.values() for r in pair))
 
 
 def test_table1_tensorir_tunes_faster(table):
     for name in NETWORKS:
-        tvm_t, tir_t = table[name]
+        tvm_t = table[name][0].tuning_seconds
+        tir_t = table[name][1].tuning_seconds
         ratio = tvm_t / tir_t
         assert 1.2 < ratio < 4.0, f"{name}: {ratio:.2f}"

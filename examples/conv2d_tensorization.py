@@ -19,7 +19,7 @@ from repro.autotensorize import (
 )
 from repro.frontend import ops
 from repro.intrin import get_intrin
-from repro.meta import GpuScalarSketch, evolutionary_search
+from repro.meta import GpuScalarSketch, TuneConfig, evolutionary_search
 from repro.runtime import random_args, run
 from repro.schedule import Schedule, verify
 from repro.sim import SimGPU, estimate
@@ -82,8 +82,8 @@ def main():
 
     target = SimGPU()
     print(f"\nhand-tensorized (serial) estimate: {estimate(sch.func, target)}")
-    tensor_res = tune(func, target, trials=12, seed=0)
-    scalar_res = tune(func, target, trials=12, seed=0, allow_tensorize=False)
+    tensor_res = tune(func, target, TuneConfig(trials=12, seed=0))
+    scalar_res = tune(func, target, TuneConfig(trials=12, seed=0, allow_tensorize=False))
     print(f"auto-scheduled, tensorized:   {tensor_res.best_report}")
     print(f"auto-scheduled, scalar-only:  {scalar_res.best_report}")
     print(

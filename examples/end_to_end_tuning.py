@@ -2,15 +2,19 @@
 
 Tunes a GEMM with the full tensorization-aware auto-scheduler —
 candidate generation, sketches with AutoCopy data movement, evolutionary
-search with the learned cost model and validation filtering — and
-compares against the TVM-style (no tensorization) baseline and the
-vendor-library analogues on the simulated RTX 3080.
+search with the learned cost model and validation filtering — compares
+against the TVM-style (no tensorization) baseline and the
+vendor-library analogues on the simulated RTX 3080, then tunes a small
+multi-layer network through a ``TuningSession``: parallel workers,
+database-replayed duplicate layers (§5.2), cost-share trial allocation
+and a JSON telemetry report.
 
 Run:  python examples/end_to_end_tuning.py
 """
 
 import numpy as np
 
+from repro import TuneConfig, TuningSession, tune
 from repro.baselines import (
     AmosBaseline,
     AnsorBaseline,
@@ -19,7 +23,6 @@ from repro.baselines import (
     UnsupportedWorkload,
 )
 from repro.frontend import ops
-from repro.meta import tune
 from repro.runtime import random_args, run
 from repro.sim import SimGPU
 
@@ -29,7 +32,7 @@ def main():
     func = ops.matmul(512, 512, 512)
 
     # --- the full pipeline, exposed --------------------------------------
-    result = tune(func, target, trials=24, seed=0)
+    result = tune(func, target, TuneConfig(trials=24, seed=0))
     print(f"best schedule via sketch {result.best_sketch!r}: {result.best_report}")
     print(
         f"search stats: {result.stats.measured} measured, "
@@ -57,6 +60,32 @@ def main():
             print(f"  {system.name:<10s} {r.cycles:>10.0f} cycles  {r.note}")
         except UnsupportedWorkload as e:
             print(f"  {system.name:<10s} unsupported ({e})")
+
+    # --- multi-workload tuning: the TuningSession -------------------------
+    # Four layers, two identical: the session searches the three unique
+    # workloads in parallel, replays the duplicate from the database,
+    # and splits the 48-trial budget by each layer's cost share.
+    print("\ntuning a 4-layer network with a TuningSession (2 workers):")
+    session = TuningSession(target, TuneConfig(seed=0), workers=2)
+    session.add(ops.matmul(512, 512, 512), name="attn_proj")
+    session.add(ops.matmul(512, 512, 512), name="attn_proj_dup")
+    session.add(ops.matmul(512, 2048, 512), name="ffn_up")
+    session.add(ops.matmul(512, 512, 2048), name="ffn_down")
+    report = session.run(total_trials=48)
+    for task in report.tasks:
+        print(
+            f"  {task.name:<14s} {task.status:<9s} trials={task.trials_allocated:<3d}"
+            f" cycles={task.cycles:>10.0f}  tuning={task.tuning_seconds:.1f}s"
+        )
+    print(
+        f"  searched {report.totals['tasks_searched']:.0f}, replayed "
+        f"{report.totals['tasks_replayed']:.0f}, on {report.workers} workers; "
+        f"simulated tuning time {report.tuning_seconds:.1f}s"
+    )
+    print("  stage timings:", {
+        stage: f"{secs * 1e3:.0f}ms"
+        for stage, secs in report.telemetry["stage_seconds"].items()
+    })
 
 
 if __name__ == "__main__":

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Fail fast when the documented public API surface regresses.
+
+Imports every documented entry point (README quickstart + DESIGN.md §3)
+and sanity-checks the signatures that downstream code relies on.  Run
+as a CI step:
+
+    PYTHONPATH=src python scripts/check_api.py
+"""
+
+import inspect
+import sys
+
+FAILURES = []
+
+
+def check(condition, message):
+    if not condition:
+        FAILURES.append(message)
+
+
+def main() -> int:
+    import repro
+
+    # --- top-level surface -------------------------------------------
+    for name in (
+        "tune",
+        "TuneConfig",
+        "TuneResult",
+        "TuningSession",
+        "TuningDatabase",
+        "Telemetry",
+        "workload_key",
+        "tir",
+        "__version__",
+    ):
+        check(hasattr(repro, name), f"repro.{name} missing")
+
+    # --- module surface ----------------------------------------------
+    from repro import meta
+
+    for name in (
+        "tune",
+        "TuneConfig",
+        "TuningSession",
+        "SessionReport",
+        "TaskReport",
+        "TuningDatabase",
+        "DatabaseEntry",
+        "workload_key",
+        "Telemetry",
+        "SearchStats",
+        "TuneResult",
+        "evolutionary_search",
+        "estimated_cost",
+    ):
+        check(hasattr(meta, name), f"repro.meta.{name} missing")
+
+    from repro.frontend import network_latency  # noqa: F401
+    from repro.sim import SimCPU, SimGPU, estimate  # noqa: F401
+
+    # --- signatures downstream code relies on ------------------------
+    cfg_fields = set(repro.TuneConfig.field_names())
+    for field in ("trials", "seed", "allow_tensorize", "sketches", "validate"):
+        check(field in cfg_fields, f"TuneConfig.{field} missing")
+
+    tune_params = inspect.signature(repro.tune).parameters
+    for param in ("func", "target", "config", "database", "telemetry"):
+        check(param in tune_params, f"tune(...{param}...) missing")
+
+    session_params = inspect.signature(repro.TuningSession.__init__).parameters
+    for param in ("target", "config", "database", "workers", "telemetry"):
+        check(param in session_params, f"TuningSession(...{param}...) missing")
+
+    run_params = inspect.signature(repro.TuningSession.run).parameters
+    check("total_trials" in run_params, "TuningSession.run(total_trials=...) missing")
+
+    for method in ("lookup", "lookup_key", "record", "replay", "save", "entries"):
+        check(
+            callable(getattr(repro.TuningDatabase, method, None)),
+            f"TuningDatabase.{method} missing",
+        )
+
+    for method in ("span", "add", "count", "absorb_stats", "report", "to_json"):
+        check(
+            callable(getattr(repro.Telemetry, method, None)),
+            f"Telemetry.{method} missing",
+        )
+
+    check(
+        callable(getattr(meta.SearchStats, "merge", None)), "SearchStats.merge missing"
+    )
+
+    if FAILURES:
+        print("public API check FAILED:")
+        for message in FAILURES:
+            print(f"  - {message}")
+        return 1
+    print("public API check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

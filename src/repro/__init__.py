@@ -23,5 +23,24 @@ Top-level layout:
 __version__ = "0.1.0"
 
 from . import tir  # noqa: F401  (re-exported for convenience)
+from .meta import (  # noqa: F401  — the documented top-level tuning API
+    Telemetry,
+    TuneConfig,
+    TuneResult,
+    TuningDatabase,
+    TuningSession,
+    tune,
+    workload_key,
+)
 
-__all__ = ["tir", "__version__"]
+__all__ = [
+    "tir",
+    "tune",
+    "TuneConfig",
+    "TuneResult",
+    "TuningSession",
+    "TuningDatabase",
+    "Telemetry",
+    "workload_key",
+    "__version__",
+]

@@ -39,6 +39,7 @@ from ..meta import (
     CpuSdotSketch,
     GpuScalarSketch,
     TensorCoreSketch,
+    TuneConfig,
     evolutionary_search,
     tune,
 )
@@ -116,8 +117,13 @@ class TensorIRSystem(System):
     def __init__(self, trials: int = 24):
         self.trials = trials
 
+    def tune_config(self, seed: int = 0) -> TuneConfig:
+        """The config a ``TuningSession`` needs to reproduce this
+        system's per-op searches exactly."""
+        return TuneConfig(trials=self.trials, seed=seed)
+
     def compile_op(self, func: PrimFunc, target: Target, seed: int = 0) -> OpResult:
-        result = tune(func, target, trials=self.trials, seed=seed)
+        result = tune(func, target, TuneConfig(trials=self.trials, seed=seed))
         if result.best_report is None:
             raise UnsupportedWorkload(f"search found no valid program for {func.name}")
         return OpResult(
@@ -145,8 +151,15 @@ class AnsorBaseline(System):
     def __init__(self, trials: int = 48):
         self.trials = trials
 
+    def tune_config(self, seed: int = 0) -> TuneConfig:
+        return TuneConfig(trials=self.trials, seed=seed, allow_tensorize=False)
+
     def compile_op(self, func: PrimFunc, target: Target, seed: int = 0) -> OpResult:
-        result = tune(func, target, trials=self.trials, seed=seed, allow_tensorize=False)
+        result = tune(
+            func,
+            target,
+            TuneConfig(trials=self.trials, seed=seed, allow_tensorize=False),
+        )
         if result.best_report is None:
             raise UnsupportedWorkload(f"search found no valid program for {func.name}")
         return OpResult(
@@ -190,10 +203,12 @@ class AmosBaseline(System):
                 func,
                 sketch,
                 target,
-                trials=self.template_count,
-                population=self.template_count,
-                generations=1,  # template enumeration, no evolution
-                seed=seed,
+                TuneConfig(
+                    trials=self.template_count,
+                    population=self.template_count,
+                    generations=1,  # template enumeration, no evolution
+                    seed=seed,
+                ),
             )
             tuning += result.tuning_seconds
             measured += result.stats.measured
@@ -203,7 +218,7 @@ class AmosBaseline(System):
                 best = result.best_report
         if best is None:
             result = evolutionary_search(
-                func, fallback, target, trials=self.template_count, seed=seed
+                func, fallback, target, TuneConfig(trials=self.template_count, seed=seed)
             )
             best = result.best_report
             tuning += result.tuning_seconds

@@ -44,16 +44,23 @@ class NetworkSpec:
 
 def network_latency(
     net: NetworkSpec,
-    op_latency: Callable[[LayerSpec], float],
+    op_latency,
     per_op_overhead: float = 0.0,
     fuse_elementwise: bool = False,
 ) -> float:
     """End-to-end latency in seconds.
 
-    ``op_latency`` maps a layer to one invocation's latency; layers
-    marked fusible are folded into their producers (zero marginal cost)
-    when ``fuse_elementwise`` is set — modelling engines like TensorRT.
+    ``op_latency`` maps a layer to one invocation's latency.  It is
+    either a callable ``layer -> seconds`` or a tuned
+    :class:`~repro.meta.session.SessionReport` whose task names match
+    the layer names (the default path: tune the network once with a
+    ``TuningSession``, then aggregate here).  Layers marked fusible are
+    folded into their producers (zero marginal cost) when
+    ``fuse_elementwise`` is set — modelling engines like TensorRT.
     """
+    if not callable(op_latency):
+        report = op_latency
+        op_latency = lambda layer: report.seconds_for(layer.name)  # noqa: E731
     total = 0.0
     for layer in net.layers:
         if fuse_elementwise and layer.fusible:

@@ -6,9 +6,12 @@ from .autocopy import (
     schedule_fragment_copy,
     schedule_shared_copy,
 )
+from .config import TuneConfig
 from .cost_model import CostModel
+from .database import DatabaseEntry, TuningDatabase, workload_key
 from .feature import FEATURE_NAMES, extract_features
 from .search import MeasureRecord, SearchStats, TuneResult, evolutionary_search
+from .session import SessionReport, TaskReport, TuningSession, estimated_cost
 from .sketch import (
     CpuScalarSketch,
     CpuSdotSketch,
@@ -18,14 +21,25 @@ from .sketch import (
     generate_sketches,
     main_block_of,
 )
+from .telemetry import Span, Telemetry
 from .tune import tune
 
 __all__ = [
     "tune",
+    "TuneConfig",
     "evolutionary_search",
     "TuneResult",
     "MeasureRecord",
     "SearchStats",
+    "TuningSession",
+    "SessionReport",
+    "TaskReport",
+    "estimated_cost",
+    "TuningDatabase",
+    "DatabaseEntry",
+    "workload_key",
+    "Telemetry",
+    "Span",
     "CostModel",
     "extract_features",
     "FEATURE_NAMES",

@@ -4,10 +4,14 @@
 cost models and search records.  So no search is needed to build a model
 for an operator already tuned."
 
-Records are keyed by a structural hash of the workload (shape, dtypes
-and computation pattern) and the target, and store the sketch name plus
-the decision vector; ``lookup`` replays the decisions through the sketch
-to rebuild the exact best program with zero measurements.
+Records are keyed by :func:`workload_key` — a stable structural hash of
+(workload, target) that is **public API**: a
+:class:`~repro.meta.session.TuningSession` uses it to deduplicate
+repeated layers before searching, and external tools may use it to
+shard or merge databases.  ``lookup`` returns a typed
+:class:`DatabaseEntry`; ``replay`` re-applies the stored decisions
+through the sketch to rebuild the exact best program with zero
+measurements.
 """
 
 from __future__ import annotations
@@ -15,24 +19,51 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Dict, List, Optional, Tuple
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
 
 from ..schedule import Schedule, ScheduleError
 from ..sim import Target
 from ..tir import PrimFunc
 from ..tir.printer import script
 
-__all__ = ["workload_key", "TuningDatabase"]
+__all__ = ["workload_key", "DatabaseEntry", "TuningDatabase"]
 
 
 def workload_key(func: PrimFunc, target: Target) -> str:
     """A stable key for (workload, target): hash of the script text
     (names included — the builder generates them deterministically) and
-    the target name."""
+    the target name.
+
+    Public API: identical keys mean a tuned record for one workload is
+    exactly replayable for the other, which is what session-level
+    deduplication relies on.
+    """
     digest = hashlib.sha256()
     digest.update(script(func).encode())
     digest.update(target.name.encode())
     return digest.hexdigest()[:24]
+
+
+@dataclass(frozen=True)
+class DatabaseEntry:
+    """One stored tuning record (the typed result of ``lookup``)."""
+
+    key: str
+    workload: str
+    target: str
+    sketch: str
+    decisions: List[object]
+    cycles: float
+    #: where the record came from: ``"search"`` for a fresh tuning run,
+    #: ``"session"`` for a session-recorded result, ``"disk"`` when
+    #: loaded from a persisted database file.
+    provenance: str = "search"
+
+    def to_record(self) -> dict:
+        record = asdict(self)
+        record.pop("key")
+        return record
 
 
 class TuningDatabase:
@@ -40,19 +71,29 @@ class TuningDatabase:
 
     def __init__(self, path: Optional[str] = None):
         self.path = path
-        self._records: Dict[str, dict] = {}
+        self._entries: Dict[str, DatabaseEntry] = {}
         if path and os.path.exists(path):
             with open(path) as f:
-                self._records = json.load(f)
+                for key, record in json.load(f).items():
+                    record.setdefault("provenance", "disk")
+                    self._entries[key] = DatabaseEntry(key=key, **record)
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def entries(self) -> List[DatabaseEntry]:
+        return list(self._entries.values())
 
     def save(self) -> None:
         if self.path:
             os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
             with open(self.path, "w") as f:
-                json.dump(self._records, f, indent=1)
+                json.dump(
+                    {k: e.to_record() for k, e in self._entries.items()}, f, indent=1
+                )
 
     # ------------------------------------------------------------------
     def record(
@@ -62,28 +103,38 @@ class TuningDatabase:
         sketch_name: str,
         decisions: List[object],
         cycles: float,
-    ) -> None:
-        """Store a result if it beats the stored one for this workload."""
+        provenance: str = "search",
+    ) -> DatabaseEntry:
+        """Store a result if it beats the stored one for this workload;
+        returns the entry now held for the workload."""
         key = workload_key(func, target)
-        existing = self._records.get(key)
-        if existing is not None and existing["cycles"] <= cycles:
-            return
-        self._records[key] = {
-            "workload": func.name,
-            "target": target.name,
-            "sketch": sketch_name,
-            "decisions": decisions,
-            "cycles": cycles,
-        }
+        existing = self._entries.get(key)
+        if existing is not None and existing.cycles <= cycles:
+            return existing
+        entry = DatabaseEntry(
+            key=key,
+            workload=func.name,
+            target=target.name,
+            sketch=sketch_name,
+            decisions=list(decisions),
+            cycles=cycles,
+            provenance=provenance,
+        )
+        self._entries[key] = entry
+        return entry
 
-    def lookup(self, func: PrimFunc, target: Target):
-        """The stored record for this workload, or None."""
-        return self._records.get(workload_key(func, target))
+    def lookup(self, func: PrimFunc, target: Target) -> Optional[DatabaseEntry]:
+        """The stored entry for this workload, or None."""
+        return self._entries.get(workload_key(func, target))
+
+    def lookup_key(self, key: str) -> Optional[DatabaseEntry]:
+        """The stored entry for a pre-computed :func:`workload_key`."""
+        return self._entries.get(key)
 
     def replay(self, func: PrimFunc, target: Target) -> Optional[Schedule]:
         """Rebuild the stored best schedule (no search, no measurement)."""
-        record = self.lookup(func, target)
-        if record is None:
+        entry = self.lookup(func, target)
+        if entry is None:
             return None
         from .sketch import (
             CpuScalarSketch,
@@ -98,11 +149,11 @@ class TuningDatabase:
             "cpu-sdot": CpuSdotSketch,
             "cpu-scalar": CpuScalarSketch,
         }
-        cls = sketches.get(record["sketch"])
+        cls = sketches.get(entry.sketch)
         if cls is None:
             return None
         sch = Schedule(func, seed=0, record_trace=False)
-        sch.forced_decisions = list(record["decisions"])
+        sch.forced_decisions = list(entry.decisions)
         try:
             cls().apply(sch)
         except ScheduleError:

@@ -10,26 +10,54 @@ Measurements feed back into the cost model.
 Tuning-time accounting mirrors the paper's Table 1 analysis: hardware
 profiling dominates tuning time, so each measurement is charged its
 simulated wall-clock x repeat count plus a fixed compile/RPC overhead.
+When a :class:`~repro.meta.telemetry.Telemetry` collector is passed,
+real wall-clock is additionally partitioned into ``evolve`` /
+``validate`` / ``measure`` / ``model-update`` spans per task.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import random
+import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..schedule import Schedule, ScheduleError, verify
 from ..sim import PerfReport, Target, estimate
 from ..sim.cost import CostModelError
 from ..tir import PrimFunc
+from .config import TuneConfig
 from .cost_model import CostModel
 from .sketch import Sketch
+from .telemetry import Telemetry
 
 __all__ = ["MeasureRecord", "TuneResult", "SearchStats", "evolutionary_search"]
 
 #: profiling parameters of the simulated measurement harness
 MEASURE_REPEATS = 10
 MEASURE_OVERHEAD_SECONDS = 0.08  # compile + upload + RPC per candidate
+
+_LEGACY_KWARGS_MSG = (
+    "passing tuning options as keyword arguments is deprecated; "
+    "pass a repro.TuneConfig instead (e.g. tune(func, target, "
+    "TuneConfig(trials=32)))"
+)
+
+
+def _resolve_config(config, legacy: dict, caller: str) -> TuneConfig:
+    """The shim: fold old-style kwargs (or a positional trial count)
+    into a ``TuneConfig``, warning on use of the old signature."""
+    if isinstance(config, int):
+        legacy.setdefault("trials", config)
+        config = None
+    if legacy:
+        warnings.warn(
+            f"{caller}: {_LEGACY_KWARGS_MSG}", DeprecationWarning, stacklevel=3
+        )
+        return TuneConfig.from_kwargs(config, **legacy)
+    return config or TuneConfig()
 
 
 @dataclass
@@ -49,6 +77,13 @@ class SearchStats:
     measured: int = 0
     profiling_seconds: float = 0.0
 
+    def merge(self, other: "SearchStats") -> "SearchStats":
+        """Accumulate ``other`` into this stats object, field-generic so
+        a newly added counter can never be silently dropped."""
+        for f in dataclasses.fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
 
 @dataclass
 class TuneResult:
@@ -62,6 +97,9 @@ class TuneResult:
     #: the winning candidate's decision vector — enough to rebuild the
     #: program via the tuning database (no search, §5.2).
     best_decisions: Optional[List[object]] = None
+    #: True when the result was rebuilt from a database record instead
+    #: of searched (§5.2's record-replay path).
+    replayed: bool = False
 
     @property
     def tuning_seconds(self) -> float:
@@ -69,7 +107,6 @@ class TuneResult:
         return self.stats.profiling_seconds + self.stats.measured * MEASURE_OVERHEAD_SECONDS
 
     def __repr__(self) -> str:  # pragma: no cover
-        us = self.best_cycles and self.best_report.seconds * 1e6
         return (
             f"TuneResult({self.workload}: best {self.best_cycles:.0f} cycles via "
             f"{self.best_sketch}, {self.stats.measured} measured)"
@@ -93,6 +130,7 @@ def _instantiate(
     target: Target,
     stats: SearchStats,
     validate: bool = True,
+    timings: Optional[dict] = None,
 ) -> Optional[_Candidate]:
     sch = Schedule(func, seed=seed, record_trace=False)
     sch.forced_decisions = forced
@@ -102,9 +140,14 @@ def _instantiate(
     except ScheduleError:
         stats.apply_failed += 1
         return None
-    if validate and verify(sch.func, target):
-        stats.invalid_rejected += 1
-        return None
+    if validate:
+        t0 = time.perf_counter()
+        problems = verify(sch.func, target)
+        if timings is not None:
+            timings["validate"] += time.perf_counter() - t0
+        if problems:
+            stats.invalid_rejected += 1
+            return None
     return _Candidate(sketch, sch)
 
 
@@ -112,24 +155,29 @@ def evolutionary_search(
     func: PrimFunc,
     sketch: Sketch,
     target: Target,
-    trials: int = 32,
-    population: int = 8,
-    generations: Optional[int] = None,
-    seed: int = 0,
+    config: Optional[TuneConfig] = None,
+    *,
     cost_model: Optional[CostModel] = None,
-    validate: bool = True,
+    telemetry: Optional[Telemetry] = None,
+    task: Optional[str] = None,
+    **legacy,
 ) -> TuneResult:
-    """Search one sketch's decision space; ``trials`` bounds the number
-    of measured candidates."""
-    rng = random.Random(seed)
-    model = cost_model or CostModel(target, seed=seed)
+    """Search one sketch's decision space; ``config.trials`` bounds the
+    number of measured candidates."""
+    config = _resolve_config(config, legacy, "evolutionary_search")
+    rng = random.Random(config.seed)
+    model = cost_model or CostModel(target, seed=config.seed)
     stats = SearchStats()
     result = TuneResult(func.name, None, float("inf"), None, None, stats=stats)
+    task = task or func.name
+    timings = {"validate": 0.0, "measure": 0.0, "model-update": 0.0}
+    t_start = time.perf_counter()
 
+    trials, population = config.trials, config.population
     elites: List[Tuple[float, _Candidate]] = []
     measured_budget = trials
     generation = 0
-    max_generations = generations or max(2, trials // max(population // 2, 1))
+    max_generations = config.generations or max(2, trials // max(population // 2, 1))
 
     while stats.measured < measured_budget and generation < max_generations:
         generation += 1
@@ -146,7 +194,14 @@ def evolutionary_search(
                     cut = rng.randrange(len(parent.decisions))
                     forced = parent.decisions[:cut]
             cand = _instantiate(
-                func, sketch, rng.randrange(1 << 30), forced, target, stats, validate
+                func,
+                sketch,
+                rng.randrange(1 << 30),
+                forced,
+                target,
+                stats,
+                config.validate,
+                timings,
             )
             if cand is not None:
                 pool.append(cand)
@@ -160,11 +215,14 @@ def evolutionary_search(
         measured_cycles = []
         for idx in to_measure:
             cand = pool[idx]
+            t0 = time.perf_counter()
             try:
                 report = estimate(cand.schedule.func, target)
             except CostModelError:
                 stats.invalid_rejected += 1
                 continue
+            finally:
+                timings["measure"] += time.perf_counter() - t0
             stats.measured += 1
             stats.profiling_seconds += report.seconds * MEASURE_REPEATS
             record = MeasureRecord(
@@ -181,7 +239,19 @@ def evolutionary_search(
                 result.best_decisions = list(cand.decisions)
             elites.append((report.cycles, cand))
         if measured_funcs:
+            t0 = time.perf_counter()
             model.update(measured_funcs, measured_cycles)
+            timings["model-update"] += time.perf_counter() - t0
         elites.sort(key=lambda t: t[0])
         del elites[max(4, population // 2) :]
+
+    if telemetry is not None:
+        total = time.perf_counter() - t_start
+        # Everything not accounted to a finer stage is candidate
+        # generation + mutation + ranking: the "evolve" share.
+        evolve = max(total - sum(timings.values()), 0.0)
+        telemetry.add("evolve", evolve, task)
+        for stage, seconds in timings.items():
+            telemetry.add(stage, seconds, task)
+        telemetry.absorb_stats(stats)
     return result

@@ -1,0 +1,337 @@
+"""Multi-workload tuning orchestration: the §5.2 evaluation loop as a
+first-class subsystem.
+
+A :class:`TuningSession` takes a set of workloads (or a whole
+``NetworkSpec``), deduplicates them by :func:`~repro.meta.database.workload_key`,
+tunes the unique ones concurrently on a ``concurrent.futures`` worker
+pool, and replays every duplicate from the shared
+:class:`~repro.meta.database.TuningDatabase` instead of re-searching —
+the paper's record-replay behaviour (§5.2) promoted to the default
+path.  Given a total trial budget, it allocates trials across tasks
+proportionally to each layer's estimated cost share (heavy layers get
+the search time; a 1x1 conv does not get a GEMM's budget).
+
+Results are deterministic regardless of worker count or completion
+order: every task's search depends only on (workload, config), never on
+shared mutable state.
+
+The session threads one :class:`~repro.meta.telemetry.Telemetry`
+through every search, and :meth:`TuningSession.run` returns a
+:class:`SessionReport` — per-task accounting plus stage timings as one
+JSON document, so Table 1-style tuning-time analysis comes from
+instrumentation instead of ad-hoc arithmetic.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..schedule import Schedule
+from ..sim import Target
+from ..tir import PrimFunc, const_int_value
+from .config import TuneConfig
+from .database import TuningDatabase, workload_key
+from .search import TuneResult
+from .sketch import main_block_of
+from .telemetry import Telemetry
+from .tune import _replay_result, tune
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..frontend.graph import NetworkSpec
+
+__all__ = ["TuningSession", "SessionReport", "TaskReport", "estimated_cost"]
+
+#: floor for proportional budget allocation — every searched task gets
+#: at least a token search even if its cost share rounds to nothing.
+MIN_TRIALS_PER_TASK = 4
+
+
+def estimated_cost(func: PrimFunc) -> float:
+    """A static cost proxy for budget allocation: the iteration-space
+    size of the dominant block (FLOP-proportional for the §5 operators).
+    """
+    sch = Schedule(func, record_trace=False)
+    rv = main_block_of(sch)
+    if rv is None:
+        return 1.0
+    size = 1.0
+    for iv in sch.block_of(rv).iter_vars:
+        extent = const_int_value(iv.dom.extent)
+        size *= extent if extent else 1
+    return max(size, 1.0)
+
+
+@dataclass
+class _Task:
+    name: str
+    func: PrimFunc
+    weight: float
+    key: str = ""
+
+
+@dataclass
+class TaskReport:
+    """Per-task accounting row of the session report."""
+
+    name: str
+    key: str
+    status: str  # "searched" | "replayed" | "failed"
+    weight: float
+    sketch: Optional[str] = None
+    cycles: Optional[float] = None
+    seconds: Optional[float] = None
+    trials_allocated: int = 0
+    measured: int = 0
+    #: simulated tuning wall-clock (profiling + compile/RPC overhead) —
+    #: the Table 1 accounting unit.  Replayed tasks cost zero.
+    tuning_seconds: float = 0.0
+    error: Optional[str] = None
+
+
+@dataclass
+class SessionReport:
+    """The structured result of one :meth:`TuningSession.run`."""
+
+    target: str
+    workers: int
+    tasks: List[TaskReport]
+    totals: Dict[str, float]
+    telemetry: dict = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    def task(self, name: str) -> TaskReport:
+        for t in self.tasks:
+            if t.name == name:
+                return t
+        raise KeyError(f"no task named {name!r} in session report")
+
+    def seconds_for(self, name: str) -> float:
+        t = self.task(name)
+        if t.seconds is None:
+            raise RuntimeError(f"task {name!r} {t.status}: {t.error or 'no result'}")
+        return t.seconds
+
+    def cycles_for(self, name: str) -> float:
+        t = self.task(name)
+        if t.cycles is None:
+            raise RuntimeError(f"task {name!r} {t.status}: {t.error or 'no result'}")
+        return t.cycles
+
+    @property
+    def tuning_seconds(self) -> float:
+        return self.totals["tuning_seconds"]
+
+    def to_json(self) -> dict:
+        return {
+            "target": self.target,
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "tasks": [asdict(t) for t in self.tasks],
+            "totals": dict(self.totals),
+            "telemetry": self.telemetry,
+        }
+
+    def dumps(self, **kwargs) -> str:
+        return json.dumps(self.to_json(), **kwargs)
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.dumps(indent=1))
+
+
+class TuningSession:
+    """Parallel, cached, observable tuning of many workloads.
+
+    >>> session = TuningSession(SimGPU(), TuneConfig(trials=16), workers=4)
+    >>> session.add(ops.matmul(512, 512, 512), name="gemm")
+    >>> session.add_network(gpu_network("ResNet-50"))
+    >>> report = session.run()
+    >>> report.tuning_seconds, report.totals["tasks_replayed"]
+    """
+
+    def __init__(
+        self,
+        target: Target,
+        config: Optional[TuneConfig] = None,
+        *,
+        database: Optional[TuningDatabase] = None,
+        workers: int = 1,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        self.target = target
+        self.config = config or TuneConfig()
+        self.database = database if database is not None else TuningDatabase()
+        self.workers = max(1, workers)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._tasks: List[_Task] = []
+        self.results: Dict[str, TuneResult] = {}
+
+    # -- workload intake -----------------------------------------------
+    def add(self, func: PrimFunc, name: Optional[str] = None, weight: float = 1.0) -> str:
+        """Register one workload; returns the (unique) task name."""
+        base = name or func.name
+        task_name = base
+        suffix = 1
+        existing = {t.name for t in self._tasks}
+        while task_name in existing:
+            suffix += 1
+            task_name = f"{base}#{suffix}"
+        self._tasks.append(_Task(task_name, func, weight))
+        return task_name
+
+    def add_network(self, net: "NetworkSpec", include_fusible: bool = True) -> List[str]:
+        """Register every layer of a network (weight = occurrence count)."""
+        names = []
+        for layer in net.layers:
+            if not include_fusible and layer.fusible:
+                continue
+            names.append(self.add(layer.builder(), name=layer.name, weight=layer.count))
+        return names
+
+    # -- budget allocation ---------------------------------------------
+    def _allocate(
+        self, uniques: List[_Task], weights: Dict[str, float], total_trials: Optional[int]
+    ) -> Dict[str, int]:
+        """Trials per unique workload key: proportional to estimated
+        cost x occurrence weight when a total budget is given, else
+        ``config.trials`` each."""
+        if total_trials is None:
+            return {t.key: self.config.trials for t in uniques}
+        costs = {t.key: estimated_cost(t.func) * weights[t.key] for t in uniques}
+        total_cost = sum(costs.values()) or 1.0
+        return {
+            key: max(MIN_TRIALS_PER_TASK, round(total_trials * cost / total_cost))
+            for key, cost in costs.items()
+        }
+
+    # -- the run --------------------------------------------------------
+    def run(self, total_trials: Optional[int] = None) -> SessionReport:
+        """Tune everything; returns the session report.
+
+        Exactly one search per unique (workload, target) not already in
+        the database; every other task replays.  With ``total_trials``
+        the budget is split across searched tasks by cost share.
+        """
+        t_run = time.perf_counter()
+        with self.telemetry.span("plan"):
+            for task in self._tasks:
+                task.key = workload_key(task.func, self.target)
+            uniques: List[_Task] = []
+            weights: Dict[str, float] = {}
+            for task in self._tasks:
+                if task.key not in weights:
+                    weights[task.key] = 0.0
+                    uniques.append(task)
+                weights[task.key] += task.weight
+            budgets = self._allocate(uniques, weights, total_trials)
+
+        to_search = [t for t in uniques if self.database.lookup_key(t.key) is None]
+        reports: Dict[str, TaskReport] = {}
+
+        def _search(task: _Task) -> TuneResult:
+            return tune(
+                task.func,
+                self.target,
+                self.config.with_(trials=budgets[task.key]),
+                telemetry=self.telemetry,
+                task=task.name,
+            )
+
+        with ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="tune-worker"
+        ) as pool:
+            futures = {pool.submit(_search, task): task for task in to_search}
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    task = futures[fut]
+                    try:
+                        result = fut.result()
+                    except Exception as err:  # noqa: BLE001 — per-task isolation
+                        reports[task.name] = TaskReport(
+                            task.name, task.key, "failed", task.weight,
+                            trials_allocated=budgets[task.key], error=str(err),
+                        )
+                        continue
+                    self.results[task.name] = result
+                    if result.best_sketch is None or result.best_decisions is None:
+                        reports[task.name] = TaskReport(
+                            task.name, task.key, "failed", task.weight,
+                            trials_allocated=budgets[task.key],
+                            measured=result.stats.measured,
+                            tuning_seconds=result.tuning_seconds,
+                            error="search found no valid program",
+                        )
+                        continue
+                    # Database writes stay on the coordinating thread.
+                    self.database.record(
+                        task.func, self.target, result.best_sketch,
+                        result.best_decisions, result.best_cycles,
+                        provenance="session",
+                    )
+                    reports[task.name] = TaskReport(
+                        task.name, task.key, "searched", task.weight,
+                        sketch=result.best_sketch,
+                        cycles=result.best_cycles,
+                        seconds=result.best_report.seconds,
+                        trials_allocated=budgets[task.key],
+                        measured=result.stats.measured,
+                        tuning_seconds=result.tuning_seconds,
+                    )
+
+        # Everything not searched above replays from the database: the
+        # duplicates, plus uniques already tuned in a previous run.
+        for task in self._tasks:
+            if task.name in reports:
+                continue
+            result = None
+            if self.database.lookup_key(task.key) is not None:
+                t0 = time.perf_counter()
+                result = _replay_result(task.func, self.target, self.database)
+                self.telemetry.add("replay", time.perf_counter() - t0, task.name)
+                if result is not None:
+                    self.telemetry.count("tasks_replayed")
+            if result is None or not result.replayed:
+                searched = reports.get(self._name_for_key(task.key))
+                reports[task.name] = TaskReport(
+                    task.name, task.key, "failed", task.weight,
+                    error=(searched.error if searched else "no database record"),
+                )
+                continue
+            self.results[task.name] = result
+            reports[task.name] = TaskReport(
+                task.name, task.key, "replayed", task.weight,
+                sketch=result.best_sketch,
+                cycles=result.best_cycles,
+                seconds=result.best_report.seconds,
+                tuning_seconds=0.0,
+            )
+
+        ordered = [reports[t.name] for t in self._tasks]
+        totals = {
+            "tasks": float(len(ordered)),
+            "tasks_searched": float(sum(1 for r in ordered if r.status == "searched")),
+            "tasks_replayed": float(sum(1 for r in ordered if r.status == "replayed")),
+            "tasks_failed": float(sum(1 for r in ordered if r.status == "failed")),
+            "trials_measured": float(sum(r.measured for r in ordered)),
+            "tuning_seconds": sum(r.tuning_seconds for r in ordered),
+        }
+        return SessionReport(
+            target=self.target.name,
+            workers=self.telemetry.threads_used("evolve") or 1,
+            tasks=ordered,
+            totals=totals,
+            telemetry=self.telemetry.report(),
+            wall_seconds=time.perf_counter() - t_run,
+        )
+
+    def _name_for_key(self, key: str) -> str:
+        for t in self._tasks:
+            if t.key == key:
+                return t.name
+        return key

@@ -1,0 +1,133 @@
+"""Structured instrumentation for the tuning stack.
+
+Table 1 of the paper is a tuning-*time* result, so where time goes must
+be observable, not reconstructed.  ``Telemetry`` collects
+
+* **spans** — wall-clock stage timings (``sketch-gen``, ``evolve``,
+  ``validate``, ``measure``, ``model-update``, ``replay``…), each
+  optionally attributed to a task, and
+* **counters** — monotonic counts (candidates generated, mutants
+  rejected, tasks replayed…).  ``absorb_stats`` folds any dataclass of
+  numeric fields (e.g. :class:`~repro.meta.search.SearchStats`) into the
+  counters field-by-field, so a newly added counter can never be
+  silently dropped.
+
+All mutation is lock-protected: one ``Telemetry`` can be shared by every
+worker of a parallel :class:`~repro.meta.session.TuningSession`.
+``report()`` returns a JSON-ready dict; a session wraps it with
+per-task accounting into its own session report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["Span", "Telemetry"]
+
+
+@dataclass
+class Span:
+    """One completed timing span."""
+
+    stage: str
+    task: Optional[str]
+    start: float
+    duration: float
+    thread: str
+
+
+class Telemetry:
+    """Thread-safe span/counter collector for one tuning run."""
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.spans: List[Span] = []
+        self.counters: Dict[str, float] = {}
+
+    # -- spans ---------------------------------------------------------
+    @contextmanager
+    def span(self, stage: str, task: Optional[str] = None):
+        """Time a stage; nested/concurrent spans are all recorded."""
+        start = self._clock()
+        try:
+            yield
+        finally:
+            duration = self._clock() - start
+            with self._lock:
+                self.spans.append(
+                    Span(stage, task, start, duration, threading.current_thread().name)
+                )
+
+    def add(self, stage: str, duration: float, task: Optional[str] = None) -> None:
+        """Record an already-measured duration as a span (used by inner
+        loops that accumulate many tiny timings into one span)."""
+        end = self._clock()
+        with self._lock:
+            self.spans.append(
+                Span(stage, task, end - duration, duration, threading.current_thread().name)
+            )
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Total wall-clock per stage (concurrent spans both count)."""
+        with self._lock:
+            spans = list(self.spans)
+        out: Dict[str, float] = {}
+        for s in spans:
+            out[s.stage] = out.get(s.stage, 0.0) + s.duration
+        return out
+
+    def task_seconds(self, stage: Optional[str] = None) -> Dict[str, float]:
+        """Total span seconds per task, optionally for one stage."""
+        with self._lock:
+            spans = list(self.spans)
+        out: Dict[str, float] = {}
+        for s in spans:
+            if s.task is None or (stage is not None and s.stage != stage):
+                continue
+            out[s.task] = out.get(s.task, 0.0) + s.duration
+        return out
+
+    def threads_used(self, stage: Optional[str] = None) -> int:
+        """Distinct worker threads that recorded spans (for ``stage``)."""
+        with self._lock:
+            return len(
+                {s.thread for s in self.spans if stage is None or s.stage == stage}
+            )
+
+    # -- counters ------------------------------------------------------
+    def count(self, name: str, value: float = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def absorb_stats(self, stats, prefix: str = "") -> None:
+        """Fold every numeric field of a stats dataclass into counters.
+
+        Field-generic on purpose: a counter added to ``SearchStats``
+        later is aggregated here without touching this module.
+        """
+        for f in dataclasses.fields(stats):
+            value = getattr(stats, f.name)
+            if isinstance(value, (int, float)):
+                self.count(prefix + f.name, value)
+
+    # -- reporting -----------------------------------------------------
+    def report(self) -> dict:
+        """A JSON-ready snapshot of everything collected."""
+        with self._lock:
+            spans = list(self.spans)
+            counters = dict(self.counters)
+        return {
+            "counters": counters,
+            "stage_seconds": self.stage_seconds(),
+            "spans": [dataclasses.asdict(s) for s in spans],
+        }
+
+    def to_json(self, **dump_kwargs) -> str:
+        return json.dumps(self.report(), **dump_kwargs)

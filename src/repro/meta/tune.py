@@ -2,49 +2,102 @@
 
 ``tune`` is the full §4 pipeline for one operator: generate the
 applicable sketches (tensorized candidates first), search each with the
-shared cost model, and return the best program found.  ``allow_tensorize``
-switches auto-tensorization off — that is exactly the Ansor/TVM baseline
+shared cost model, and return the best program found.  Disabling
+``TuneConfig.allow_tensorize`` is exactly the Ansor/TVM baseline
 configuration used in the evaluation.
+
+Record-replay (§5.2) is the default path: pass a ``database`` and an
+already-tuned workload is rebuilt from its stored decision vector with
+zero search; fresh results are recorded back.  The old
+``tune(func, target, trials=..., seed=..., ...)`` keyword signature
+still works through a deprecation shim.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import time
+from typing import Optional
 
 from ..schedule import Schedule
-from ..sim import Target
+from ..sim import Target, estimate
 from ..tir import PrimFunc
+from .config import TuneConfig
 from .cost_model import CostModel
-from .search import SearchStats, TuneResult, evolutionary_search
-from .sketch import Sketch, generate_sketches
+from .database import TuningDatabase
+from .search import SearchStats, TuneResult, _resolve_config, evolutionary_search
+from .sketch import generate_sketches
+from .telemetry import Telemetry
 
 __all__ = ["tune"]
+
+
+def _replay_result(
+    func: PrimFunc, target: Target, database: TuningDatabase
+) -> Optional[TuneResult]:
+    """Rebuild a stored best program with zero search (§5.2)."""
+    entry = database.lookup(func, target)
+    if entry is None:
+        return None
+    sch = database.replay(func, target)
+    if sch is None:
+        return None
+    report = estimate(sch.func, target)
+    return TuneResult(
+        func.name,
+        sch.func,
+        report.cycles,
+        report,
+        entry.sketch,
+        stats=SearchStats(),
+        best_decisions=list(entry.decisions),
+        replayed=True,
+    )
 
 
 def tune(
     func: PrimFunc,
     target: Target,
-    trials: int = 32,
-    seed: int = 0,
-    allow_tensorize: bool = True,
-    sketches: Optional[Sequence[Sketch]] = None,
-    validate: bool = True,
+    config: Optional[TuneConfig] = None,
+    *,
+    database: Optional[TuningDatabase] = None,
+    telemetry: Optional[Telemetry] = None,
+    task: Optional[str] = None,
+    **legacy,
 ) -> TuneResult:
     """Tune one workload; returns the best schedule found.
 
-    ``trials`` bounds the total number of measured candidates across all
-    sketches.  Tensorized sketches get the larger share of the budget
-    (their search space is the one that matters once an intrinsic
-    matches — and the paper's §5.2 observes the divide-and-conquer
-    search space is *smaller*, converging in fewer trials).
+    ``config.trials`` bounds the total number of measured candidates
+    across all sketches.  Tensorized sketches get the larger share of
+    the budget (their search space is the one that matters once an
+    intrinsic matches — and the paper's §5.2 observes the
+    divide-and-conquer search space is *smaller*, converging in fewer
+    trials).
     """
+    config = _resolve_config(config, legacy, "tune")
+    task = task or func.name
+
+    if database is not None:
+        t0 = time.perf_counter()
+        replayed = _replay_result(func, target, database)
+        if replayed is not None:
+            if telemetry is not None:
+                telemetry.add("replay", time.perf_counter() - t0, task)
+                telemetry.count("tasks_replayed")
+            return replayed
+
     probe = Schedule(func, record_trace=False)
+    sketches = config.sketches
     if sketches is None:
-        sketches = generate_sketches(probe, target, allow_tensorize=allow_tensorize)
+        t0 = time.perf_counter()
+        sketches = generate_sketches(
+            probe, target, allow_tensorize=config.allow_tensorize
+        )
+        if telemetry is not None:
+            telemetry.add("sketch-gen", time.perf_counter() - t0, task)
     if not sketches:
         raise ValueError(f"no applicable sketches for {func.name}")
 
-    model = CostModel(target, seed=seed)
+    model = CostModel(target, seed=config.seed)
     best: Optional[TuneResult] = None
     combined_stats = SearchStats()
     records = []
@@ -54,22 +107,18 @@ def tune(
             share = 0.75 if sketch.name in ("tensor-core", "cpu-sdot") else 0.25
         else:
             share = 1.0 / len(sketches)
-        budget = max(2, int(trials * share))
+        budget = max(2, int(config.trials * share))
         result = evolutionary_search(
             func,
             sketch,
             target,
-            trials=budget,
-            seed=seed + i * 7919,
+            config.with_(trials=budget, seed=config.seed + i * 7919, sketches=None),
             cost_model=model,
-            validate=validate,
+            telemetry=telemetry,
+            task=task,
         )
         records.extend(result.records)
-        combined_stats.candidates_generated += result.stats.candidates_generated
-        combined_stats.invalid_rejected += result.stats.invalid_rejected
-        combined_stats.apply_failed += result.stats.apply_failed
-        combined_stats.measured += result.stats.measured
-        combined_stats.profiling_seconds += result.stats.profiling_seconds
+        combined_stats.merge(result.stats)
         if best is None or result.best_cycles < best.best_cycles:
             best = result
     assert best is not None
@@ -83,4 +132,10 @@ def tune(
         stats=combined_stats,
         best_decisions=best.best_decisions,
     )
+    if telemetry is not None:
+        telemetry.count("tasks_searched")
+    if database is not None and out.best_sketch is not None and out.best_decisions is not None:
+        database.record(
+            func, target, out.best_sketch, out.best_decisions, out.best_cycles
+        )
     return out

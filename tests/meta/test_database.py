@@ -5,15 +5,15 @@ import os
 import pytest
 
 from repro.frontend import ops
-from repro.meta import tune
-from repro.meta.database import TuningDatabase, workload_key
+from repro.meta import TuneConfig, tune
+from repro.meta.database import DatabaseEntry, TuningDatabase, workload_key
 from repro.sim import SimCPU, SimGPU, estimate
 
 
 @pytest.fixture(scope="module")
 def tuned():
     func = ops.matmul(128, 128, 128)
-    result = tune(func, SimGPU(), trials=8, seed=0)
+    result = tune(func, SimGPU(), TuneConfig(trials=8, seed=0))
     return func, result
 
 
@@ -41,12 +41,25 @@ class TestDatabase:
         assert sch is not None
         assert estimate(sch.func, SimGPU()).cycles == pytest.approx(result.best_cycles)
 
+    def test_lookup_returns_typed_entry(self, tuned):
+        func, result = tuned
+        db = TuningDatabase()
+        db.record(func, SimGPU(), result.best_sketch, result.best_decisions, result.best_cycles)
+        entry = db.lookup(func, SimGPU())
+        assert isinstance(entry, DatabaseEntry)
+        assert entry.key == workload_key(func, SimGPU())
+        assert entry.workload == func.name
+        assert entry.sketch == result.best_sketch
+        assert entry.decisions == result.best_decisions
+        assert entry.provenance == "search"
+        assert db.lookup_key(entry.key) is entry
+
     def test_record_keeps_best(self, tuned):
         func, result = tuned
         db = TuningDatabase()
         db.record(func, SimGPU(), result.best_sketch, result.best_decisions, 100.0)
         db.record(func, SimGPU(), result.best_sketch, result.best_decisions, 200.0)
-        assert db.lookup(func, SimGPU())["cycles"] == 100.0
+        assert db.lookup(func, SimGPU()).cycles == 100.0
 
     def test_persistence_roundtrip(self, tuned, tmp_path):
         func, result = tuned
@@ -56,7 +69,8 @@ class TestDatabase:
         db.save()
         db2 = TuningDatabase(path)
         assert len(db2) == 1
-        assert db2.lookup(func, SimGPU())["sketch"] == result.best_sketch
+        assert db2.lookup(func, SimGPU()).sketch == result.best_sketch
+        assert db2.lookup(func, SimGPU()).provenance == "search"
 
     def test_miss_returns_none(self):
         db = TuningDatabase()

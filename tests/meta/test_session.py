@@ -1,0 +1,186 @@
+"""Tests for the TuningSession orchestrator: dedup, replay, parallel
+determinism, budget allocation and the JSON telemetry report."""
+
+import json
+import time
+
+import pytest
+
+from repro import TuneConfig, TuningDatabase, TuningSession, tune
+from repro.frontend import LayerSpec, NetworkSpec, network_latency, ops
+from repro.meta import estimated_cost
+from repro.sim import SimGPU
+
+
+def _gemm_layer(name, n, m, k, count=1):
+    from functools import partial
+
+    return LayerSpec(name, partial(ops.matmul, n, m, k), count)
+
+
+@pytest.fixture(scope="module")
+def four_layer_net():
+    """Four layers, two of which are the same workload (128^3 GEMM)."""
+    return NetworkSpec(
+        "tiny-net",
+        [
+            _gemm_layer("gemm_a", 128, 128, 128),
+            _gemm_layer("gemm_a_dup", 128, 128, 128),
+            _gemm_layer("gemm_b", 256, 256, 256),
+            _gemm_layer("gemm_c", 64, 64, 512),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def session_report(four_layer_net):
+    session = TuningSession(SimGPU(), TuneConfig(trials=6, seed=0), workers=2)
+    session.add_network(four_layer_net)
+    return session, session.run()
+
+
+class TestDedupAndReplay:
+    def test_exactly_three_searches_one_replay(self, session_report):
+        _, report = session_report
+        assert report.totals["tasks_searched"] == 3
+        assert report.totals["tasks_replayed"] == 1
+        assert report.totals["tasks_failed"] == 0
+        assert report.telemetry["counters"]["tasks_searched"] == 3
+        assert report.telemetry["counters"]["tasks_replayed"] == 1
+
+    def test_runs_on_multiple_workers(self, session_report):
+        _, report = session_report
+        assert report.workers >= 2
+
+    def test_replay_matches_search(self, session_report):
+        _, report = session_report
+        assert report.cycles_for("gemm_a_dup") == report.cycles_for("gemm_a")
+        assert report.task("gemm_a_dup").status == "replayed"
+        assert report.task("gemm_a_dup").tuning_seconds == 0.0
+        assert report.task("gemm_a_dup").key == report.task("gemm_a").key
+
+    def test_database_holds_unique_workloads(self, session_report):
+        session, _ = session_report
+        assert len(session.database) == 3
+        assert all(e.provenance == "session" for e in session.database.entries())
+
+    def test_prepopulated_database_skips_search(self, session_report, four_layer_net):
+        session, _ = session_report
+        fresh = TuningSession(
+            SimGPU(),
+            TuneConfig(trials=6, seed=0),
+            database=session.database,
+            workers=2,
+        )
+        fresh.add_network(four_layer_net)
+        report = fresh.run()
+        assert report.totals["tasks_searched"] == 0
+        assert report.totals["tasks_replayed"] == 4
+        assert report.tuning_seconds == 0.0
+
+
+class TestDeterminism:
+    def test_parallel_equals_serial(self):
+        def run_with(workers):
+            session = TuningSession(
+                SimGPU(), TuneConfig(trials=5, seed=3), workers=workers
+            )
+            session.add(ops.matmul(128, 128, 128), name="a")
+            session.add(ops.matmul(64, 64, 256), name="b")
+            session.add(ops.matmul(256, 64, 64), name="c")
+            report = session.run()
+            return {
+                (t.name, t.cycles, t.sketch, t.status) for t in report.tasks
+            }, {n: r.best_decisions for n, r in session.results.items()}
+
+        serial_rows, serial_dec = run_with(1)
+        parallel_rows, parallel_dec = run_with(4)
+        assert serial_rows == parallel_rows
+        assert serial_dec == parallel_dec
+
+
+class TestTelemetryReport:
+    def test_json_round_trip(self, session_report):
+        _, report = session_report
+        loaded = json.loads(report.dumps())
+        assert loaded["totals"]["tasks_searched"] == 3
+        assert len(loaded["tasks"]) == 4
+        assert "stage_seconds" in loaded["telemetry"]
+
+    def test_profiling_accounting_matches_table1_arithmetic(self, four_layer_net):
+        """Per-task profiling seconds in the report sum to the same
+        number the Table 1-style loop (tune each unique layer, add the
+        tuning_seconds) produces — within 1%."""
+        session = TuningSession(SimGPU(), TuneConfig(trials=6, seed=0), workers=2)
+        session.add_network(four_layer_net)
+        report = session.run()
+        by_hand = 0.0
+        seen = set()
+        for layer in four_layer_net.layers:
+            func = layer.builder()
+            from repro.meta.database import workload_key
+
+            key = workload_key(func, SimGPU())
+            if key in seen:
+                continue
+            seen.add(key)
+            by_hand += tune(func, SimGPU(), TuneConfig(trials=6, seed=0)).tuning_seconds
+        assert report.tuning_seconds == pytest.approx(by_hand, rel=0.01)
+        assert report.tuning_seconds == pytest.approx(
+            sum(t.tuning_seconds for t in report.tasks), rel=1e-9
+        )
+
+    def test_span_totals_track_wall_time(self):
+        """A serial session's per-stage span totals account for (almost)
+        all of the search wall-clock."""
+        session = TuningSession(SimGPU(), TuneConfig(trials=5, seed=0), workers=1)
+        session.add(ops.matmul(128, 128, 128))
+        t0 = time.perf_counter()
+        report = session.run()
+        wall = time.perf_counter() - t0
+        stage_total = sum(
+            secs
+            for stage, secs in report.telemetry["stage_seconds"].items()
+            if stage != "plan"
+        )
+        assert 0.5 * wall < stage_total <= wall * 1.05
+
+    def test_search_stages_present(self, session_report):
+        _, report = session_report
+        stages = report.telemetry["stage_seconds"]
+        for stage in ("sketch-gen", "evolve", "validate", "measure", "model-update", "replay"):
+            assert stage in stages, stage
+
+
+class TestBudgetAllocation:
+    def test_proportional_to_cost_share(self):
+        session = TuningSession(SimGPU(), TuneConfig(seed=0), workers=1)
+        session.add(ops.matmul(512, 512, 512), name="big")
+        session.add(ops.matmul(64, 64, 64), name="small")
+        report = session.run(total_trials=40)
+        big = report.task("big").trials_allocated
+        small = report.task("small").trials_allocated
+        assert big > small
+        assert big + small == pytest.approx(40, abs=4)
+
+    def test_weight_scales_share(self):
+        cost = estimated_cost(ops.matmul(128, 128, 128))
+        assert cost == pytest.approx(128**3)
+
+    def test_default_budget_is_config_trials(self, session_report):
+        _, report = session_report
+        assert all(
+            t.trials_allocated == 6 for t in report.tasks if t.status == "searched"
+        )
+
+
+class TestNetworkLatencyFromSession:
+    def test_latency_accepts_report(self, session_report, four_layer_net):
+        _, report = session_report
+        total = network_latency(four_layer_net, report)
+        by_hand = sum(
+            layer.count * report.seconds_for(layer.name)
+            for layer in four_layer_net.layers
+        )
+        assert total == pytest.approx(by_hand)
+        assert total > 0

@@ -9,6 +9,7 @@ from repro.meta import (
     CpuSdotSketch,
     GpuScalarSketch,
     TensorCoreSketch,
+    TuneConfig,
     evolutionary_search,
     extract_features,
     generate_sketches,
@@ -185,7 +186,7 @@ class TestSearch:
     def test_search_returns_valid_best(self):
         func = build_matmul(128, 128, 128, dtype="float16")
         result = evolutionary_search(
-            func, TensorCoreSketch(), SimGPU(), trials=8, population=6, seed=0
+            func, TensorCoreSketch(), SimGPU(), TuneConfig(trials=8, population=6, seed=0)
         )
         assert result.best_func is not None
         assert verify(result.best_func, SimGPU()) == []
@@ -208,7 +209,7 @@ class TestSearch:
 
         func = build_matmul(4096, 16, 16, dtype="float16")
         result = evolutionary_search(
-            func, BadSketch(), SimGPU(), trials=4, population=4, seed=1
+            func, BadSketch(), SimGPU(), TuneConfig(trials=4, population=4, seed=1)
         )
         assert result.stats.invalid_rejected > 0
         assert result.stats.measured == 0
@@ -216,17 +217,19 @@ class TestSearch:
 
     def test_tune_prefers_tensorized(self):
         func = build_matmul(256, 256, 256, dtype="float16")
-        result = tune(func, SimGPU(), trials=16, seed=0)
+        result = tune(func, SimGPU(), TuneConfig(trials=16, seed=0))
         assert result.best_sketch == "tensor-core"
 
     def test_tune_beats_baseline(self):
         func = build_matmul(256, 256, 256, dtype="float16")
-        ours = tune(func, SimGPU(), trials=16, seed=0)
-        baseline = tune(func, SimGPU(), trials=16, seed=0, allow_tensorize=False)
+        ours = tune(func, SimGPU(), TuneConfig(trials=16, seed=0))
+        baseline = tune(
+            func, SimGPU(), TuneConfig(trials=16, seed=0, allow_tensorize=False)
+        )
         assert ours.best_cycles < baseline.best_cycles
 
     def test_tuning_time_accounting(self):
         func = build_matmul(128, 128, 128, dtype="float16")
-        result = tune(func, SimGPU(), trials=6, seed=0)
+        result = tune(func, SimGPU(), TuneConfig(trials=6, seed=0))
         assert result.tuning_seconds > 0
         assert result.stats.profiling_seconds >= 0

@@ -1,0 +1,95 @@
+"""Tests for TuneConfig and the deprecated-kwargs shim."""
+
+import dataclasses
+
+import pytest
+
+import repro
+from repro import TuneConfig, tune
+from repro.frontend import ops
+from repro.meta import SearchStats, TensorCoreSketch, evolutionary_search
+from repro.sim import SimGPU
+
+
+@pytest.fixture(scope="module")
+def gemm():
+    return ops.matmul(128, 128, 128)
+
+
+class TestTuneConfig:
+    def test_defaults_match_old_signature(self):
+        cfg = TuneConfig()
+        assert cfg.trials == 32
+        assert cfg.seed == 0
+        assert cfg.allow_tensorize is True
+        assert cfg.sketches is None
+        assert cfg.validate is True
+
+    def test_with_returns_modified_copy(self):
+        cfg = TuneConfig()
+        other = cfg.with_(trials=7)
+        assert other.trials == 7
+        assert cfg.trials == 32
+
+    def test_from_kwargs_rejects_unknown(self):
+        with pytest.raises(TypeError, match="unknown tuning option"):
+            TuneConfig.from_kwargs(trails=8)  # typo'd name must not pass
+
+
+class TestShim:
+    def test_old_tune_kwargs_warn_and_work(self, gemm):
+        with pytest.warns(DeprecationWarning, match="TuneConfig"):
+            legacy = tune(gemm, SimGPU(), trials=4, seed=0)
+        modern = tune(gemm, SimGPU(), TuneConfig(trials=4, seed=0))
+        assert legacy.best_cycles == modern.best_cycles
+        assert legacy.best_decisions == modern.best_decisions
+
+    def test_old_positional_trials_warns(self, gemm):
+        with pytest.warns(DeprecationWarning):
+            legacy = tune(gemm, SimGPU(), 4)
+        assert legacy.best_func is not None
+
+    def test_evolutionary_search_shim(self, gemm):
+        with pytest.warns(DeprecationWarning):
+            legacy = evolutionary_search(
+                gemm, TensorCoreSketch(), SimGPU(), trials=4, seed=0
+            )
+        modern = evolutionary_search(
+            gemm, TensorCoreSketch(), SimGPU(), TuneConfig(trials=4, seed=0)
+        )
+        assert legacy.best_cycles == modern.best_cycles
+
+    def test_new_style_does_not_warn(self, gemm, recwarn):
+        tune(gemm, SimGPU(), TuneConfig(trials=2, seed=0))
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+
+class TestPublicSurface:
+    def test_top_level_exports(self):
+        for name in (
+            "tune",
+            "TuneConfig",
+            "TuneResult",
+            "TuningSession",
+            "TuningDatabase",
+            "Telemetry",
+            "workload_key",
+        ):
+            assert hasattr(repro, name), name
+
+
+class TestSearchStatsMerge:
+    def test_merge_adds_every_field(self):
+        a = SearchStats()
+        b = SearchStats()
+        for i, f in enumerate(dataclasses.fields(SearchStats), start=1):
+            setattr(a, f.name, i)
+            setattr(b, f.name, 10 * i)
+        a.merge(b)
+        for i, f in enumerate(dataclasses.fields(SearchStats), start=1):
+            assert getattr(a, f.name) == 11 * i
+
+    def test_merge_returns_self(self):
+        a = SearchStats(measured=1)
+        assert a.merge(SearchStats(measured=2)) is a
+        assert a.measured == 3

@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.frontend import ops
-from repro.meta import tune
+from repro.meta import TuneConfig, tune
 from repro.runtime import random_args, run
 from repro.schedule import verify
 from repro.sim import SimCPU, SimGPU
@@ -17,7 +17,7 @@ from repro.sim import SimCPU, SimGPU
 
 @pytest.fixture(scope="module")
 def gpu_result():
-    return tune(ops.matmul(512, 512, 512), SimGPU(), trials=16, seed=0)
+    return tune(ops.matmul(512, 512, 512), SimGPU(), TuneConfig(trials=16, seed=0))
 
 
 class TestGpuPipeline:
@@ -32,7 +32,9 @@ class TestGpuPipeline:
 
     def test_best_beats_untensorized(self, gpu_result):
         baseline = tune(
-            ops.matmul(512, 512, 512), SimGPU(), trials=16, seed=0, allow_tensorize=False
+            ops.matmul(512, 512, 512),
+            SimGPU(),
+            TuneConfig(trials=16, seed=0, allow_tensorize=False),
         )
         assert gpu_result.best_cycles < baseline.best_cycles
 
@@ -55,7 +57,7 @@ class TestGpuPipeline:
 class TestCpuPipeline:
     def test_conv_int8_end_to_end(self):
         func = ops.conv2d(1, 18, 18, 16, 32, 3, 3, dtype="int8", acc_dtype="int32")
-        result = tune(func, SimCPU(), trials=10, seed=0)
+        result = tune(func, SimCPU(), TuneConfig(trials=10, seed=0))
         assert result.best_sketch == "cpu-sdot"
         assert verify(result.best_func, SimCPU()) == []
         args = random_args(result.best_func)
