@@ -34,9 +34,13 @@ def conv_reference(args, n, h, w, kh, kw):
     return out
 
 
+def build_conv2d():
+    """NHWC Conv2D, pre-padded input (the Figure 9 workload)."""
+    return ops.conv2d(1, 18, 18, 16, 32, 3, 3)
+
+
 def main():
-    # NHWC Conv2D, pre-padded input (the Figure 9 workload).
-    func = ops.conv2d(1, 18, 18, 16, 32, 3, 3)
+    func = build_conv2d()
     sch = Schedule(func)
     block = sch.get_block("C")
 

@@ -46,13 +46,18 @@ def make_ope_intrinsic() -> TensorIntrin:
     )
 
 
+def build_batch_matmul():
+    """The workload the custom OPE intrinsic is matched against."""
+    return ops.batch_matmul(4, 32, 32, 32, dtype="float32")
+
+
 def main():
     try:
         register_intrin(make_ope_intrinsic())
     except ValueError:
         pass  # already registered (re-run in the same session)
 
-    func = ops.batch_matmul(4, 32, 32, 32, dtype="float32")
+    func = build_batch_matmul()
     sch = Schedule(func)
     block = sch.get_block("C")
 

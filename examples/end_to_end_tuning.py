@@ -27,9 +27,14 @@ from repro.runtime import random_args, run
 from repro.sim import SimGPU
 
 
+def build_gemm():
+    """The GMM 512^3 workload the end-to-end walkthrough tunes."""
+    return ops.matmul(512, 512, 512)
+
+
 def main():
     target = SimGPU()
-    func = ops.matmul(512, 512, 512)
+    func = build_gemm()
 
     # --- the full pipeline, exposed --------------------------------------
     result = tune(func, target, TuneConfig(trials=24, seed=0))

@@ -32,6 +32,11 @@ def main() -> int:
         "Telemetry",
         "workload_key",
         "tir",
+        "verify",
+        "Diagnostic",
+        "DiagnosticContext",
+        "DiagnosticError",
+        "Severity",
         "__version__",
     ):
         check(hasattr(repro, name), f"repro.{name} missing")
@@ -55,6 +60,45 @@ def main() -> int:
         "estimated_cost",
     ):
         check(hasattr(meta, name), f"repro.meta.{name} missing")
+
+    from repro import schedule
+
+    for name in (
+        "Schedule",
+        "BlockRV",
+        "LoopRV",
+        "ScheduleError",
+        "Trace",
+        "Instruction",
+        "verify",
+        "is_valid",
+        "assert_valid",
+        "VerificationError",
+        "Diagnostic",
+        "DiagnosticContext",
+        "DiagnosticError",
+    ):
+        check(hasattr(schedule, name), f"repro.schedule.{name} missing")
+
+    from repro import diagnostics
+
+    for name in (
+        "Diagnostic",
+        "Severity",
+        "DiagnosticContext",
+        "DiagnosticError",
+        "tagged",
+        "ErrorCode",
+        "register_code",
+        "code_info",
+        "all_codes",
+        "family_of",
+        "LintReport",
+        "lint_func",
+        "lint_trace",
+        "lint_path",
+    ):
+        check(hasattr(diagnostics, name), f"repro.diagnostics.{name} missing")
 
     from repro.frontend import network_latency  # noqa: F401
     from repro.sim import SimCPU, SimGPU, estimate  # noqa: F401
@@ -90,6 +134,31 @@ def main() -> int:
     check(
         callable(getattr(meta.SearchStats, "merge", None)), "SearchStats.merge missing"
     )
+
+    verify_params = inspect.signature(repro.verify).parameters
+    for param in ("func", "target", "ctx"):
+        check(param in verify_params, f"verify(...{param}...) missing")
+
+    check(
+        issubclass(schedule.ScheduleError, repro.DiagnosticError),
+        "ScheduleError must subclass DiagnosticError",
+    )
+    check(
+        issubclass(schedule.VerificationError, repro.DiagnosticError),
+        "VerificationError must subclass DiagnosticError",
+    )
+    for attr in ("code", "message", "severity", "render", "span"):
+        check(
+            hasattr(repro.Diagnostic, attr) or attr in getattr(
+                repro.Diagnostic, "__dataclass_fields__", {}
+            ),
+            f"Diagnostic.{attr} missing",
+        )
+    for method in ("emit", "extend", "errors", "ok", "counts_by_code", "render"):
+        check(
+            hasattr(repro.DiagnosticContext, method),
+            f"DiagnosticContext.{method} missing",
+        )
 
     if FAILURES:
         print("public API check FAILED:")

@@ -13,6 +13,8 @@ Top-level layout:
   analytical performance model.
 * :mod:`repro.intrin` — tensor intrinsic descriptions (TensorIntrin).
 * :mod:`repro.autotensorize` — §4.2 tensorization candidate generation.
+* :mod:`repro.diagnostics` — typed diagnostics (stable ``TIRnnn`` error
+  codes, source spans, ``tirlint``) for validation and scheduling.
 * :mod:`repro.meta` — the tensorization-aware auto-scheduler (§4.3–4.4).
 * :mod:`repro.learn` — the from-scratch gradient-boosted-tree cost model.
 * :mod:`repro.frontend` — operators, workloads and network graphs.
@@ -23,6 +25,12 @@ Top-level layout:
 __version__ = "0.1.0"
 
 from . import tir  # noqa: F401  (re-exported for convenience)
+from .diagnostics import (  # noqa: F401  — the typed diagnostics API
+    Diagnostic,
+    DiagnosticContext,
+    DiagnosticError,
+    Severity,
+)
 from .meta import (  # noqa: F401  — the documented top-level tuning API
     Telemetry,
     TuneConfig,
@@ -32,6 +40,7 @@ from .meta import (  # noqa: F401  — the documented top-level tuning API
     tune,
     workload_key,
 )
+from .schedule import verify  # noqa: F401  — the §3.3 validation battery
 
 __all__ = [
     "tir",
@@ -42,5 +51,10 @@ __all__ = [
     "TuningDatabase",
     "Telemetry",
     "workload_key",
+    "verify",
+    "Diagnostic",
+    "DiagnosticContext",
+    "DiagnosticError",
+    "Severity",
     "__version__",
 ]

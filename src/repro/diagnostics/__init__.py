@@ -1,0 +1,39 @@
+"""Typed diagnostics for TensorIR validation (§3.3) and scheduling.
+
+Every validation failure and primitive-precondition failure in the repo
+is a :class:`Diagnostic`: a stable error code (``TIR1xx`` loop-nest,
+``TIR2xx`` producer/consumer, ``TIR3xx`` threading/intrinsic,
+``TIR4xx`` primitive preconditions), a severity, the offending block,
+and a lazily-rendered source span that underlines the failing statement
+in the TVMScript-style output of :mod:`repro.tir.printer`.
+
+* :class:`DiagnosticContext` — the sink check batteries emit into.
+* :class:`DiagnosticError` — the unified exception base carrying
+  ``.diagnostics`` (``ScheduleError`` and ``VerificationError`` are
+  subclasses).
+* :mod:`repro.diagnostics.codes` — the append-only code registry.
+* :mod:`repro.diagnostics.lint` — ``tirlint``; also runnable as
+  ``python -m repro.diagnostics file.py``.
+"""
+
+from .codes import ErrorCode, all_codes, code_info, family_of, register_code
+from .context import DiagnosticContext, DiagnosticError, tagged
+from .diagnostic import Diagnostic, Severity
+from .lint import LintReport, lint_func, lint_path, lint_trace
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "DiagnosticContext",
+    "DiagnosticError",
+    "tagged",
+    "ErrorCode",
+    "register_code",
+    "code_info",
+    "all_codes",
+    "family_of",
+    "LintReport",
+    "lint_func",
+    "lint_trace",
+    "lint_path",
+]

@@ -1,0 +1,127 @@
+"""Stable error codes for TensorIR diagnostics.
+
+Every validation failure (§3.3) and primitive-precondition failure is
+identified by a stable ``TIRnnn`` code, grouped in bands:
+
+* ``TIR1xx`` — loop nest validation (quasi-affine bindings, domains).
+* ``TIR2xx`` — producer/consumer coverage and execution order.
+* ``TIR3xx`` — threading validation and intrinsic execution/storage
+  constraints (GPU targets).
+* ``TIR4xx`` — schedule-primitive preconditions.
+
+Codes are append-only: a released code never changes meaning, so
+telemetry aggregated across versions stays comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["ErrorCode", "register_code", "code_info", "all_codes", "family_of"]
+
+#: fallback code for legacy string-only errors that predate the registry
+GENERIC = "TIR000"
+
+_FAMILIES = {
+    "TIR0": "generic",
+    "TIR1": "loop-nest",
+    "TIR2": "producer-consumer",
+    "TIR3": "threading",
+    "TIR4": "primitive-precondition",
+}
+
+
+@dataclass(frozen=True)
+class ErrorCode:
+    """One registered diagnostic code."""
+
+    code: str
+    title: str
+    family: str
+
+    def __str__(self) -> str:
+        return self.code
+
+
+_REGISTRY: Dict[str, ErrorCode] = {}
+
+
+def family_of(code: str) -> str:
+    """The check family a code belongs to (by its TIRn band)."""
+    return _FAMILIES.get(code[:4], "unknown")
+
+
+def register_code(code: str, title: str) -> ErrorCode:
+    """Register a code; re-registration must agree with the original."""
+    info = ErrorCode(code, title, family_of(code))
+    existing = _REGISTRY.get(code)
+    if existing is not None:
+        if existing.title != title:
+            raise ValueError(
+                f"error code {code} already registered as {existing.title!r}"
+            )
+        return existing
+    _REGISTRY[code] = info
+    return info
+
+
+def code_info(code: str) -> ErrorCode:
+    """Metadata for ``code`` (unregistered codes resolve generically)."""
+    return _REGISTRY.get(code) or ErrorCode(code, "unregistered", family_of(code))
+
+
+def all_codes() -> List[ErrorCode]:
+    """Every registered code, sorted."""
+    return [_REGISTRY[c] for c in sorted(_REGISTRY)]
+
+
+register_code(GENERIC, "uncategorized error")
+
+# --- TIR1xx: loop nest validation (§3.3) -----------------------------------
+register_code("TIR101", "loop does not start at zero")
+register_code("TIR102", "loop has symbolic extent")
+register_code("TIR103", "iterator bindings are not an independent quasi-affine map")
+register_code("TIR104", "symbolic block iterator domain")
+register_code("TIR105", "iterator binding can leave its domain unguarded")
+register_code("TIR106", "reduction iterator driven by a parallel/thread loop")
+
+# --- TIR2xx: producer/consumer coverage (§3.3) -----------------------------
+register_code("TIR201", "block reads a buffer that no block produces")
+register_code("TIR202", "consumer reads a region its producers do not cover")
+register_code("TIR203", "block reads a buffer before its producer runs")
+
+# --- TIR3xx: threading + intrinsic constraints (§3.3, GPU) -----------------
+register_code("TIR301", "thread loop has symbolic extent")
+register_code("TIR302", "inconsistent extents on one thread axis")
+register_code("TIR303", "thread axis extent exceeds the launch limit")
+register_code("TIR304", "threads per block exceed the launch limit")
+register_code("TIR305", "shared memory footprint exceeds capacity")
+register_code("TIR306", "warp-scope intrinsic nested inside a threadIdx.x loop")
+register_code("TIR307", "shared buffer read without a cooperative fetch")
+register_code("TIR351", "tensorized operand not found on the block")
+register_code("TIR352", "tensorized operand in the wrong storage scope")
+
+# --- TIR4xx: schedule-primitive preconditions ------------------------------
+register_code("TIR400", "schedule primitive applied illegally")
+register_code("TIR401", "split precondition failed")
+register_code("TIR402", "fuse precondition failed")
+register_code("TIR403", "reorder precondition failed")
+register_code("TIR404", "loop-kind annotation precondition failed")
+register_code("TIR405", "thread-bind precondition failed")
+register_code("TIR406", "annotate precondition failed")
+register_code("TIR410", "compute_at precondition failed")
+register_code("TIR411", "reverse_compute_at precondition failed")
+register_code("TIR412", "compute_inline precondition failed")
+register_code("TIR413", "reverse_compute_inline precondition failed")
+register_code("TIR420", "cache_read precondition failed")
+register_code("TIR421", "cache_write precondition failed")
+register_code("TIR422", "set_scope precondition failed")
+register_code("TIR430", "decompose_reduction precondition failed")
+register_code("TIR431", "merge_reduction precondition failed")
+register_code("TIR440", "blockize precondition failed")
+register_code("TIR441", "tensorize precondition failed")
+register_code("TIR450", "reindex precondition failed")
+register_code("TIR460", "fuse_buffer_dims precondition failed")
+register_code("TIR461", "fuse_block_iters precondition failed")
+register_code("TIR470", "pad_einsum precondition failed")

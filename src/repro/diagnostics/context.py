@@ -1,0 +1,159 @@
+"""Diagnostic collection and the unified error hierarchy.
+
+``DiagnosticContext`` is the sink every check battery writes into: the
+§3.3 validators in :mod:`repro.schedule.validation` emit into one, and
+:class:`~repro.schedule.state.Schedule` records failed primitive
+preconditions into its own, so a tuning pipeline can observe *which*
+check killed a candidate and *where*.
+
+``DiagnosticError`` is the common base of the two legacy exception
+types (``ScheduleError``, ``VerificationError``): it always carries a
+``.diagnostics`` list, and its ``str()`` is the legacy ``"; "``-joined
+message text.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from .codes import GENERIC
+from .diagnostic import Diagnostic, Severity
+
+__all__ = ["DiagnosticContext", "DiagnosticError", "tagged"]
+
+
+def _as_diagnostics(
+    problems: Union[str, Diagnostic, Sequence[Union[str, Diagnostic]]],
+    *,
+    code: str = GENERIC,
+    block: Optional[str] = None,
+    func=None,
+    stmt=None,
+) -> List[Diagnostic]:
+    """Normalise strings / single diagnostics into a diagnostic list."""
+    if isinstance(problems, (str, Diagnostic)):
+        problems = [problems]
+    out = []
+    for p in problems:
+        if isinstance(p, str):
+            p = Diagnostic(code, p, block=block, func=func, stmt=stmt)
+        out.append(p)
+    return out
+
+
+class DiagnosticError(Exception):
+    """Base of every validation/scheduling error; carries typed
+    diagnostics while ``str()`` reproduces the legacy message text."""
+
+    #: code used when constructed from a bare string
+    default_code = GENERIC
+
+    def __init__(
+        self,
+        diagnostics: Union[str, Diagnostic, Sequence[Union[str, Diagnostic]]] = "",
+        *,
+        code: Optional[str] = None,
+        block: Optional[str] = None,
+        func=None,
+        stmt=None,
+    ):
+        self.diagnostics: List[Diagnostic] = _as_diagnostics(
+            diagnostics, code=code or self.default_code, block=block, func=func, stmt=stmt
+        )
+        super().__init__("; ".join(str(d) for d in self.diagnostics))
+
+    @property
+    def codes(self) -> List[str]:
+        return [d.code for d in self.diagnostics]
+
+    def retag(self, code: str) -> "DiagnosticError":
+        """Assign ``code`` to every diagnostic still carrying the
+        class's generic default (more specific codes are preserved)."""
+        for d in self.diagnostics:
+            if d.code == self.default_code or d.code == GENERIC:
+                d.code = code
+        return self
+
+    def render(self) -> str:
+        return "\n".join(d.render() for d in self.diagnostics)
+
+
+def tagged(code: str):
+    """Decorator giving a schedule primitive its stable precondition
+    code: any :class:`DiagnosticError` escaping the function that still
+    carries the generic default code is retagged with ``code``."""
+    import functools
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            try:
+                return fn(*args, **kwargs)
+            except DiagnosticError as err:
+                raise err.retag(code)
+
+        return wrapper
+
+    return decorate
+
+
+class DiagnosticContext:
+    """An append-only sink for diagnostics from one analysis run."""
+
+    def __init__(self, func=None):
+        self.func = func
+        self.diagnostics: List[Diagnostic] = []
+
+    def emit(
+        self,
+        code: str,
+        message: str,
+        *,
+        severity: Severity = Severity.ERROR,
+        block: Optional[str] = None,
+        stmt=None,
+        func=None,
+    ) -> Diagnostic:
+        """Record one diagnostic; returns it for chaining/inspection."""
+        diag = Diagnostic(
+            code,
+            message,
+            severity=severity,
+            block=block,
+            func=func if func is not None else self.func,
+            stmt=stmt,
+        )
+        self.diagnostics.append(diag)
+        return diag
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.ERROR]
+
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic was emitted."""
+        return not self.errors
+
+    def counts_by_code(self) -> Dict[str, int]:
+        """How many diagnostics were emitted per error code."""
+        return dict(Counter(d.code for d in self.diagnostics))
+
+    def render(self) -> str:
+        """Every diagnostic rendered with its source span, separated by
+        blank lines."""
+        return "\n\n".join(d.render() for d in self.diagnostics)
+
+    def raise_if_error(self, exc_type=DiagnosticError) -> None:
+        errors = self.errors
+        if errors:
+            raise exc_type(errors)

@@ -1,0 +1,112 @@
+"""The typed ``Diagnostic`` record.
+
+A diagnostic is what the §3.3 validation battery and the schedule
+primitives report instead of a flat string: a stable error code
+(:mod:`repro.diagnostics.codes`), a severity, the offending block, and
+— when the failing IR node is known — a source span into the TVMScript
+rendering of the function, which :meth:`Diagnostic.render` underlines.
+
+``str(diag)`` reproduces the exact legacy message text, so string-based
+callers (``"quasi-affine" in problem``) keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .codes import code_info, family_of
+
+__all__ = ["Severity", "Diagnostic"]
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    NOTE = "note"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class Diagnostic:
+    """One typed validation/precondition failure.
+
+    ``func``/``stmt`` are IR references used for lazy span rendering —
+    nothing is printed until :meth:`render` (or :meth:`span`) is called,
+    so emitting diagnostics on the search hot path stays cheap.
+    """
+
+    code: str
+    message: str
+    severity: Severity = Severity.ERROR
+    #: name hint of the offending block, if any
+    block: Optional[str] = None
+    #: the PrimFunc the diagnostic was raised against (for rendering)
+    func: Optional[object] = field(default=None, repr=False, compare=False)
+    #: the offending statement within ``func`` (located by identity)
+    stmt: Optional[object] = field(default=None, repr=False, compare=False)
+
+    # -- legacy string compatibility -----------------------------------
+    def __str__(self) -> str:
+        return self.message
+
+    def __contains__(self, item: str) -> bool:
+        # Old callers probe problems with `"needle" in problem`.
+        return item in self.message
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, str):
+            return self.message == other
+        if isinstance(other, Diagnostic):
+            return (
+                self.code == other.code
+                and self.message == other.message
+                and self.severity == other.severity
+                and self.block == other.block
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.code, self.message))
+
+    # -- structured accessors ------------------------------------------
+    @property
+    def family(self) -> str:
+        """The check family of this diagnostic's code band."""
+        return family_of(self.code)
+
+    @property
+    def title(self) -> str:
+        """The registered one-line title of the code."""
+        return code_info(self.code).title
+
+    def span(self) -> Optional[Tuple[int, int]]:
+        """1-based (start, end) line range of ``stmt`` in the script
+        rendering of ``func``; None when no IR location is attached."""
+        if self.func is None or self.stmt is None:
+            return None
+        from ..tir.printer import script_with_spans
+
+        _, spans = script_with_spans(self.func)
+        return spans.get(id(self.stmt))
+
+    def render(self, context: int = 1) -> str:
+        """A compiler-style report underlining the failing statement:
+
+        .. code-block:: text
+
+            error[TIR105]: oob: binding of v1 can leave its domain ...
+              --> oob:4
+            4 |         v1 = spatial_axis(16, i + 8)
+              |         ^^^^^^^^^^^^^^^^^^^^^^^^^^^^
+        """
+        head = f"{self.severity}[{self.code}]: {self.message}"
+        if self.func is None:
+            return head
+        from ..tir.printer import render_span
+
+        body = render_span(self.func, self.stmt, context=context)
+        return head if body is None else f"{head}\n{body}"

@@ -1,0 +1,180 @@
+"""``tirlint``: run the full §3.3 validation battery over TensorIR
+programs found in Python source files.
+
+``python -m repro.diagnostics file.py`` loads ``file.py`` as a module
+and lints every :class:`~repro.tir.PrimFunc` it can discover:
+
+* module-level ``PrimFunc`` objects,
+* zero-argument callables named ``build_*`` (the repo-wide idiom for
+  workload constructors — every ``examples/*.py`` and test helper
+  follows it) that return a ``PrimFunc``,
+* module-level :class:`~repro.schedule.Trace` objects named
+  ``TRACE_<func>`` are replayed onto the matching builder's function
+  before validation.
+
+The API surface (``lint_func`` / ``lint_trace`` / ``lint_path``) is
+importable for programmatic use; the CLI lives in ``__main__``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .diagnostic import Diagnostic
+
+__all__ = ["LintReport", "lint_func", "lint_trace", "lint_path", "discover_funcs"]
+
+
+@dataclass
+class LintReport:
+    """Per-file lint outcome: diagnostics grouped by function name."""
+
+    path: str
+    diagnostics: Dict[str, List[Diagnostic]] = field(default_factory=dict)
+    #: functions that could not be built/replayed ("name" -> reason)
+    failures: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not any(self.diagnostics.values())
+
+    @property
+    def functions(self) -> List[str]:
+        return sorted(set(self.diagnostics) | set(self.failures))
+
+    def counts_by_code(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for diags in self.diagnostics.values():
+            for d in diags:
+                out[d.code] = out.get(d.code, 0) + 1
+        return out
+
+    def render(self) -> str:
+        lines = []
+        for name in self.functions:
+            for d in self.diagnostics.get(name, []):
+                lines.append(d.render())
+            if name in self.failures:
+                lines.append(f"error: {name}: {self.failures[name]}")
+        status = "OK" if self.ok else "FAILED"
+        checked = len(self.functions)
+        lines.append(f"{self.path}: {checked} function(s) checked — {status}")
+        return "\n".join(lines)
+
+
+def lint_func(func, target=None) -> List[Diagnostic]:
+    """The full §3.3 battery over one PrimFunc."""
+    from ..schedule import verify
+
+    return verify(func, target)
+
+
+def lint_trace(trace, func, target=None) -> List[Diagnostic]:
+    """Replay ``trace`` onto ``func`` and lint the resulting program.
+
+    Precondition failures during replay surface as TIR4xx diagnostics,
+    exactly like the evolutionary search observes them.
+    """
+    from ..schedule import Schedule
+    from .context import DiagnosticError
+
+    sch = Schedule(func, record_trace=False)
+    try:
+        trace.apply_to(sch)
+    except DiagnosticError as err:
+        return list(err.diagnostics)
+    return lint_func(sch.func, target)
+
+
+def _load_module(path: str):
+    spec = importlib.util.spec_from_file_location(
+        f"_tirlint_{abs(hash(path))}", path
+    )
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load {path}")
+    module = importlib.util.module_from_spec(spec)
+    # Registered so dataclasses/pickling inside the module resolve.
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+def discover_funcs(module) -> Tuple[Dict[str, object], Dict[str, str]]:
+    """PrimFuncs reachable from a loaded module: literal ``PrimFunc``
+    globals plus the results of zero-arg ``build_*`` constructors.
+    Returns (funcs-by-name, failures-by-name)."""
+    import inspect
+
+    from ..tir import PrimFunc
+
+    funcs: Dict[str, object] = {}
+    failures: Dict[str, str] = {}
+    for name in sorted(vars(module)):
+        value = getattr(module, name)
+        if isinstance(value, PrimFunc):
+            funcs[name] = value
+        elif callable(value) and name.startswith("build_"):
+            try:
+                params = inspect.signature(value).parameters
+            except (TypeError, ValueError):  # builtins etc.
+                continue
+            if any(
+                p.default is inspect.Parameter.empty
+                and p.kind
+                not in (inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD)
+                for p in params.values()
+            ):
+                continue  # requires arguments — not a discoverable builder
+            try:
+                result = value()
+            except Exception as err:  # noqa: BLE001 — isolate builders
+                failures[name] = f"builder raised {type(err).__name__}: {err}"
+                continue
+            if isinstance(result, PrimFunc):
+                funcs[name] = result
+    return funcs, failures
+
+
+def lint_path(path: str, target=None) -> LintReport:
+    """Lint every discoverable PrimFunc in the Python file ``path``."""
+    from ..schedule import Trace
+
+    report = LintReport(path)
+    try:
+        module = _load_module(path)
+    except Exception as err:  # noqa: BLE001 — report, don't crash the run
+        report.failures["<module>"] = f"import failed: {type(err).__name__}: {err}"
+        return report
+    funcs, failures = discover_funcs(module)
+    report.failures.update(failures)
+    for name, func in funcs.items():
+        report.diagnostics[name] = lint_func(func, target)
+    for name in sorted(vars(module)):
+        value = getattr(module, name)
+        if isinstance(value, Trace) and name.startswith("TRACE_"):
+            base = name[len("TRACE_"):].lower()
+            match = funcs.get(f"build_{base}") or funcs.get(base)
+            if match is None:
+                report.failures[name] = f"no PrimFunc found to replay {name} onto"
+                continue
+            report.diagnostics[name] = lint_trace(value, match, target)
+    return report
+
+
+def resolve_target(name: Optional[str]):
+    """Map a CLI target name onto a simulated hardware target."""
+    if name in (None, "none"):
+        return None
+    from ..sim import SimCPU, SimGPU
+
+    if name == "gpu":
+        return SimGPU()
+    if name == "cpu":
+        return SimCPU()
+    raise ValueError(f"unknown target {name!r} (expected gpu/cpu/none)")

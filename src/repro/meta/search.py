@@ -21,6 +21,7 @@ import dataclasses
 import random
 import time
 import warnings
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -76,12 +77,22 @@ class SearchStats:
     apply_failed: int = 0
     measured: int = 0
     profiling_seconds: float = 0.0
+    #: rejected candidates per diagnostic error code: validation
+    #: failures count their primary (first) code, primitive-precondition
+    #: failures the ScheduleError's code — so the per-code counts sum to
+    #: ``invalid_rejected + apply_failed``.
+    rejected_by_code: Counter = field(default_factory=Counter)
 
     def merge(self, other: "SearchStats") -> "SearchStats":
         """Accumulate ``other`` into this stats object, field-generic so
-        a newly added counter can never be silently dropped."""
+        a newly added counter can never be silently dropped (Counter
+        fields merge key-wise)."""
         for f in dataclasses.fields(self):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+            mine, theirs = getattr(self, f.name), getattr(other, f.name)
+            if isinstance(mine, Counter):
+                mine.update(theirs)
+            else:
+                setattr(self, f.name, mine + theirs)
         return self
 
 
@@ -137,8 +148,9 @@ def _instantiate(
     stats.candidates_generated += 1
     try:
         sketch.apply(sch)
-    except ScheduleError:
+    except ScheduleError as err:
         stats.apply_failed += 1
+        stats.rejected_by_code[err.diagnostics[0].code if err.diagnostics else "TIR400"] += 1
         return None
     if validate:
         t0 = time.perf_counter()
@@ -147,6 +159,7 @@ def _instantiate(
             timings["validate"] += time.perf_counter() - t0
         if problems:
             stats.invalid_rejected += 1
+            stats.rejected_by_code[problems[0].code] += 1
             return None
     return _Candidate(sketch, sch)
 

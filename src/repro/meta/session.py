@@ -102,6 +102,10 @@ class SessionReport:
     totals: Dict[str, float]
     telemetry: dict = field(default_factory=dict)
     wall_seconds: float = 0.0
+    #: invalid candidates rejected across all searches, grouped by
+    #: diagnostic error code (TIR1xx–TIR3xx validation, TIR4xx
+    #: primitive preconditions) — the §3.3 battery made observable.
+    invalid_by_code: Dict[str, int] = field(default_factory=dict)
 
     def task(self, name: str) -> TaskReport:
         for t in self.tasks:
@@ -132,6 +136,7 @@ class SessionReport:
             "wall_seconds": self.wall_seconds,
             "tasks": [asdict(t) for t in self.tasks],
             "totals": dict(self.totals),
+            "invalid_by_code": dict(self.invalid_by_code),
             "telemetry": self.telemetry,
         }
 
@@ -328,6 +333,12 @@ class TuningSession:
             totals=totals,
             telemetry=self.telemetry.report(),
             wall_seconds=time.perf_counter() - t_run,
+            invalid_by_code={
+                code: int(count)
+                for code, count in sorted(
+                    self.telemetry.counters_by_prefix("rejected_by_code").items()
+                )
+            },
         )
 
     def _name_for_key(self, key: str) -> str:

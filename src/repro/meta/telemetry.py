@@ -26,7 +26,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
 __all__ = ["Span", "Telemetry"]
 
@@ -110,12 +110,30 @@ class Telemetry:
         """Fold every numeric field of a stats dataclass into counters.
 
         Field-generic on purpose: a counter added to ``SearchStats``
-        later is aggregated here without touching this module.
+        later is aggregated here without touching this module.  A
+        mapping-valued field (e.g. ``rejected_by_code``) is folded
+        key-wise as dotted counters (``rejected_by_code.TIR105``).
         """
         for f in dataclasses.fields(stats):
             value = getattr(stats, f.name)
             if isinstance(value, (int, float)):
                 self.count(prefix + f.name, value)
+            elif isinstance(value, Mapping):
+                for key, v in value.items():
+                    if isinstance(v, (int, float)):
+                        self.count(f"{prefix}{f.name}.{key}", v)
+
+    def counters_by_prefix(self, prefix: str) -> Dict[str, float]:
+        """Counters under ``prefix.`` with the prefix stripped — e.g.
+        ``counters_by_prefix("rejected_by_code")`` returns per-code
+        rejection counts."""
+        head = prefix + "."
+        with self._lock:
+            return {
+                name[len(head):]: value
+                for name, value in self.counters.items()
+                if name.startswith(head)
+            }
 
     # -- reporting -----------------------------------------------------
     def report(self) -> dict:

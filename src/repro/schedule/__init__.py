@@ -1,11 +1,23 @@
 """Scheduling: transformation primitives, replayable traces and
 validation (paper §3.2–§3.3).
 
-Entry point: :class:`Schedule` — construct one over a
-:class:`~repro.tir.PrimFunc` and apply primitives; ``verify`` validates
-the resulting program.
+Entry points:
+
+* :class:`Schedule` — construct one over a
+  :class:`~repro.tir.PrimFunc` and apply primitives; failed primitive
+  preconditions raise :class:`ScheduleError` (code ``TIR4xx``) and are
+  recorded on ``Schedule.diagnostics``.
+* :func:`verify` — the §3.3 check battery; returns a list of typed
+  :class:`~repro.diagnostics.Diagnostic` objects (empty = valid), each
+  with a stable error code and a renderable source span.
+  :func:`is_valid` / :func:`assert_valid` are the boolean / raising
+  views; ``assert_valid`` raises :class:`VerificationError`.
+
+Both exception types subclass :class:`repro.diagnostics.DiagnosticError`
+and carry ``.diagnostics``.
 """
 
+from ..diagnostics import Diagnostic, DiagnosticContext, DiagnosticError
 from .sampling import all_factorizations, divisors_of
 from .sref import ScheduleError
 from .state import BlockRV, LoopRV, Schedule
@@ -23,6 +35,9 @@ __all__ = [
     "is_valid",
     "assert_valid",
     "VerificationError",
+    "Diagnostic",
+    "DiagnosticContext",
+    "DiagnosticError",
     "divisors_of",
     "all_factorizations",
 ]

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ...diagnostics import tagged
 from ...arith import Analyzer
 from ...arith.simplify import structural_key
 from ...tir import (
@@ -88,6 +89,7 @@ def _separate_binding(
     return quotient, inner_part, c
 
 
+@tagged("TIR440")
 def blockize(sch: Schedule, loop_rv: LoopRV) -> BlockRV:
     """Isolate the subtree under ``loop`` into a new outer block."""
     loop = sch._loop(loop_rv)
@@ -299,6 +301,7 @@ class _ScopeAgnosticMatcher(StructuralMatcher):
         return super().match_stmt(a, b)
 
 
+@tagged("TIR441")
 def tensorize(sch: Schedule, target, intrin_name: str) -> None:
     """Map a blockized computation onto a tensor intrinsic."""
     from ...intrin import get_intrin

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from ...diagnostics import tagged
 from ...tir import (
     Block,
     BlockRealize,
@@ -103,6 +104,7 @@ def _alloc_on_root(sch: Schedule, buffer: Buffer) -> None:
     sch.func = sch.func.with_body(BlockRealize((), const(True), new_root))
 
 
+@tagged("TIR420")
 def cache_read(sch: Schedule, block_rv: BlockRV, read_index: int, scope: str) -> BlockRV:
     """Read ``block``'s ``read_index``-th input through a new buffer in
     ``scope``; returns the copy block."""
@@ -143,6 +145,7 @@ def cache_read(sch: Schedule, block_rv: BlockRV, read_index: int, scope: str) ->
     return BlockRV(cache_name)
 
 
+@tagged("TIR421")
 def cache_write(sch: Schedule, block_rv: BlockRV, write_index: int, scope: str) -> BlockRV:
     """Make ``block`` write into a new buffer in ``scope``, with a
     copy-back block writing the original buffer; returns the copy block."""
@@ -180,6 +183,7 @@ def cache_write(sch: Schedule, block_rv: BlockRV, write_index: int, scope: str) 
     return BlockRV(cache_name)
 
 
+@tagged("TIR422")
 def set_scope(sch: Schedule, block_rv: BlockRV, write_index: int, scope: str) -> None:
     """Move the storage scope of a block's output buffer."""
     realize = sch._block_realize(block_rv)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ...diagnostics import tagged
 from ...arith import Analyzer
 from ...tir import (
     Block,
@@ -270,6 +271,7 @@ def _rebuild_nest_for_block(
 # ---------------------------------------------------------------------------
 
 
+@tagged("TIR410")
 def compute_at(sch: Schedule, block_rv: BlockRV, loop_rv: LoopRV) -> None:
     """Move producer ``block`` under ``loop``, computing exactly the
     region its consumers need per loop iteration (Figure 6)."""
@@ -303,6 +305,7 @@ def compute_at(sch: Schedule, block_rv: BlockRV, loop_rv: LoopRV) -> None:
     _insert_into_loop_ordered(sch, loop, nest, realize.block, prefer="late")
 
 
+@tagged("TIR411")
 def reverse_compute_at(sch: Schedule, block_rv: BlockRV, loop_rv: LoopRV) -> None:
     """Move consumer ``block`` under ``loop``, consuming exactly what the
     producers generate per loop iteration."""
@@ -398,6 +401,7 @@ def _drop_alloc(sch: Schedule, buffer) -> None:
             return
 
 
+@tagged("TIR412")
 def compute_inline(sch: Schedule, block_rv: BlockRV) -> None:
     """Inline a point-wise producer into all of its consumers."""
     realize = sch._block_realize(block_rv)
@@ -432,6 +436,7 @@ def compute_inline(sch: Schedule, block_rv: BlockRV) -> None:
     _drop_alloc(sch, buffer)
 
 
+@tagged("TIR413")
 def reverse_compute_inline(sch: Schedule, block_rv: BlockRV) -> None:
     """Inline a point-wise consumer back into its single producer."""
     realize = sch._block_realize(block_rv)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from ...diagnostics import tagged
 from ...tir import (
     Buffer,
     BufferStore,
@@ -29,6 +30,7 @@ from ..state import BlockRV, Schedule
 __all__ = ["fuse_buffer_dims", "fuse_block_iters"]
 
 
+@tagged("TIR461")
 def fuse_block_iters(
     sch: Schedule, block_rv: BlockRV, groups: Sequence[Sequence[int]]
 ) -> List[str]:
@@ -158,6 +160,7 @@ def fuse_block_iters(
     return [lv.name for lv in new_loop_vars]
 
 
+@tagged("TIR460")
 def fuse_buffer_dims(
     sch: Schedule, block_rv: BlockRV, buffer_name: str, dim_groups: Sequence[Sequence[int]]
 ) -> None:

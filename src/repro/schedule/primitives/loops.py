@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from ...diagnostics import tagged
 from ...tir import (
     BlockRealize,
     For,
@@ -67,6 +68,7 @@ class _PredicateAdder(StmtMutator):
         return stmt
 
 
+@tagged("TIR401")
 def split(sch: Schedule, loop_rv: LoopRV, factors: Sequence[Optional[int]]) -> List[LoopRV]:
     """Split a loop into ``len(factors)`` nested loops.
 
@@ -117,6 +119,7 @@ def split(sch: Schedule, loop_rv: LoopRV, factors: Sequence[Optional[int]]) -> L
     return [LoopRV(v.name) for v in new_vars]
 
 
+@tagged("TIR402")
 def fuse(sch: Schedule, loop_rvs: Sequence[LoopRV]) -> LoopRV:
     """Fuse perfectly nested loops into one."""
     if len(loop_rvs) < 2:
@@ -145,6 +148,7 @@ def fuse(sch: Schedule, loop_rvs: Sequence[LoopRV]) -> LoopRV:
     return LoopRV(fused.name)
 
 
+@tagged("TIR403")
 def reorder(sch: Schedule, loop_rvs: Sequence[LoopRV]) -> None:
     """Reorder the given loops into the given order.
 
@@ -202,6 +206,7 @@ def reorder(sch: Schedule, loop_rvs: Sequence[LoopRV]) -> None:
     sch.replace(segment[0], body)
 
 
+@tagged("TIR404")
 def set_loop_kind(sch: Schedule, loop_rv: LoopRV, kind: str) -> None:
     """Mark a loop parallel / vectorized / unrolled."""
     loop = sch._loop(loop_rv)
@@ -217,6 +222,7 @@ def set_loop_kind(sch: Schedule, loop_rv: LoopRV, kind: str) -> None:
     )
 
 
+@tagged("TIR405")
 def bind(sch: Schedule, loop_rv: LoopRV, thread: str) -> None:
     """Bind a loop to a hardware thread axis (GPU-style)."""
     if thread not in THREAD_TAGS:
@@ -255,6 +261,7 @@ def _binds_reduce_iter(loop: For) -> bool:
     return False
 
 
+@tagged("TIR406")
 def annotate(sch: Schedule, target, key: str, value: object) -> None:
     """Attach an annotation to a loop or block."""
     if isinstance(target, LoopRV):

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
+from ...diagnostics import tagged
 from ...tir import (
     Block,
     BlockRealize,
@@ -41,6 +42,7 @@ from .cache import _alloc_on_root, _insert_at_root, _root_child_containing
 __all__ = ["pad_einsum"]
 
 
+@tagged("TIR470")
 def pad_einsum(sch: Schedule, block_rv: BlockRV, paddings: Sequence[int]) -> None:
     """Pad each block iterator domain up to ``paddings[d]``."""
     realize = sch._block_realize(block_rv)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Set
 
+from ...diagnostics import tagged
 from ...tir import (
     Block,
     BlockRealize,
@@ -31,6 +32,7 @@ from .compute import _insert_into_loop
 __all__ = ["decompose_reduction", "merge_reduction"]
 
 
+@tagged("TIR431")
 def merge_reduction(sch: Schedule, init_rv: BlockRV, update_rv: BlockRV) -> None:
     """The inverse of :func:`decompose_reduction`: fold a standalone init
     block back into the update block as its ``init`` statement (the
@@ -87,6 +89,7 @@ def merge_reduction(sch: Schedule, init_rv: BlockRV, update_rv: BlockRV) -> None
     )
 
 
+@tagged("TIR430")
 def decompose_reduction(sch: Schedule, block_rv: BlockRV, loop_rv: LoopRV) -> BlockRV:
     """Split ``block``'s init statement into a standalone init block
     placed just above ``loop``.  Returns the init block."""

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ...diagnostics import tagged
 from ...tir import (
     Block,
     BlockRealize,
@@ -63,6 +64,7 @@ def _distinct_accesses(block: Block, buffer: Buffer, want_store: bool) -> List:
     return list(found.values())
 
 
+@tagged("TIR450")
 def reindex(
     sch: Schedule,
     block_rv: BlockRV,

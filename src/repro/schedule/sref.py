@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..diagnostics import DiagnosticError
 from ..tir import (
     Block,
     BlockRealize,
@@ -39,8 +40,16 @@ __all__ = [
 ]
 
 
-class ScheduleError(Exception):
-    """A schedule primitive was applied illegally."""
+class ScheduleError(DiagnosticError):
+    """A schedule primitive was applied illegally.
+
+    Carries ``.diagnostics`` (one :class:`~repro.diagnostics.Diagnostic`
+    per problem); primitives raise it with a plain message and their
+    ``@tagged("TIR4xx")`` decorator assigns the stable precondition
+    code, so search/telemetry can count rejections per code.
+    """
+
+    default_code = "TIR400"
 
 
 def children_of(stmt: Stmt) -> List[Stmt]:

@@ -18,6 +18,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..diagnostics import DiagnosticContext
 from ..tir import (
     Block,
     BlockRealize,
@@ -123,6 +124,9 @@ class Schedule:
         self.decisions: List[object] = []
         self.forced_decisions: Optional[List[object]] = None
         self._forced_idx = 0
+        #: Every primitive-precondition failure observed on this
+        #: schedule, as typed diagnostics (shared sink for tooling).
+        self.diagnostics = DiagnosticContext()
 
     # ------------------------------------------------------------------
     # naming / resolution
@@ -221,10 +225,20 @@ class Schedule:
     # ------------------------------------------------------------------
     def _atomic_call(self, fn, *args, **kwargs):
         """Apply a primitive transactionally: on failure the schedule
-        state is rolled back so a raising primitive leaves no trace."""
+        state is rolled back so a raising primitive leaves no trace.
+        Precondition failures are recorded into ``self.diagnostics``
+        (with the pre-failure function attached for span rendering)
+        before propagating."""
         saved = self.func
         try:
             return fn(self, *args, **kwargs)
+        except ScheduleError as err:
+            self.func = saved
+            for diag in err.diagnostics:
+                if diag.func is None:
+                    diag.func = saved
+            self.diagnostics.extend(err.diagnostics)
+            raise
         except Exception:
             self.func = saved
             raise

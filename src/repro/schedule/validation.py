@@ -14,15 +14,22 @@ Three families of checks, exactly as the paper lays out:
 * **Intrinsic constraints** — operand storage scopes required by a
   tensorized block's intrinsic.
 
-``verify`` returns a list of human-readable problems (empty = valid);
-the evolutionary search uses it to reject invalid mutants (§4.4).
+``verify`` returns a list of :class:`~repro.diagnostics.Diagnostic`
+objects (empty = valid), each carrying a stable ``TIRnnn`` error code
+(``TIR1xx`` loop nest, ``TIR2xx`` producer/consumer, ``TIR3xx``
+threading/intrinsic) and the offending IR node for span rendering.
+``str(diag)`` is the legacy message text, so string-matching callers
+are unaffected.  The evolutionary search uses ``verify`` to reject
+invalid mutants (§4.4) and aggregates the rejection codes.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..arith import Analyzer, IntSet, detect_iter_map, eval_int_set
+from ..diagnostics import Diagnostic, DiagnosticContext, DiagnosticError
 from ..tir import (
     Block,
     BlockRealize,
@@ -113,30 +120,65 @@ def _per_block_hull(func: PrimFunc, realize: BlockRealize, region):
     return hull
 
 
-class VerificationError(Exception):
-    pass
+class VerificationError(DiagnosticError):
+    """§3.3 validation rejected the program.
+
+    Carries ``.diagnostics``; ``str()`` is the legacy ``"; "``-joined
+    problem text.  Constructing it from an already-joined string (the
+    pre-diagnostics idiom ``VerificationError("; ".join(problems))``)
+    still works behind a :class:`DeprecationWarning`.
+    """
+
+    def __init__(self, diagnostics=(), **kwargs):
+        if isinstance(diagnostics, str):
+            warnings.warn(
+                "constructing VerificationError from a joined string is "
+                "deprecated; pass the Diagnostic list returned by verify()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            diagnostics = [
+                Diagnostic("TIR000", part)
+                for part in diagnostics.split("; ")
+                if part
+            ]
+        super().__init__(diagnostics, **kwargs)
+
+    @property
+    def problems(self) -> List[str]:
+        """The legacy ``List[str]`` view of the diagnostics."""
+        return [str(d) for d in self.diagnostics]
 
 
-def verify(func: PrimFunc, target=None) -> List[str]:
-    """Validate ``func``; returns a list of problems (empty = valid)."""
-    problems: List[str] = []
+def verify(
+    func: PrimFunc, target=None, *, ctx: Optional[DiagnosticContext] = None
+) -> List[Diagnostic]:
+    """Validate ``func``; returns the diagnostics found (empty = valid).
+
+    Each diagnostic's ``str()`` is the old problem string; its ``.code``
+    / ``.render()`` give the typed view.  Pass ``ctx`` to accumulate
+    into an existing :class:`~repro.diagnostics.DiagnosticContext`.
+    """
+    if ctx is None:
+        ctx = DiagnosticContext(func)
+    first = len(ctx.diagnostics)
     realizes = [r for r in find_blocks(func.body) if r is not func.body]
-    _check_loop_nests(func, realizes, problems)
-    _check_producer_consumer(func, realizes, problems)
-    _check_execution_order(func, problems)
-    _check_intrinsic_scopes(func, realizes, problems)
+    _check_loop_nests(func, realizes, ctx)
+    _check_producer_consumer(func, realizes, ctx)
+    _check_execution_order(func, ctx)
+    _check_intrinsic_scopes(func, realizes, ctx)
     if target is not None and getattr(target, "kind", None) == "gpu":
-        _check_threading(func, realizes, target, problems)
-    return problems
+        _check_threading(func, realizes, target, ctx)
+    return ctx.diagnostics[first:]
 
 
-def _check_execution_order(func: PrimFunc, problems: List[str]) -> None:
+def _check_execution_order(func: PrimFunc, ctx: DiagnosticContext) -> None:
     """A block must not read an intermediate buffer before any producer
     of that buffer has run.  Checked on the preorder (= first-execution)
     sequence of blocks: the first reader of an intermediate buffer must
     not precede its first writer."""
     first_write: Dict[int, int] = {}
-    first_read: Dict[int, Tuple[int, str]] = {}
+    first_read: Dict[int, Tuple[int, BlockRealize]] = {}
     params = set(func.buffer_map.values())
     order = [r for r in find_blocks(func.body) if r is not func.body]
     for idx, realize in enumerate(order):
@@ -145,11 +187,17 @@ def _check_execution_order(func: PrimFunc, problems: List[str]) -> None:
             first_write.setdefault(id(region.buffer), idx)
         for region in block.reads:
             if region.buffer not in params:
-                first_read.setdefault(id(region.buffer), (idx, block.name_hint))
-    for buf_id, (ridx, reader) in first_read.items():
+                first_read.setdefault(id(region.buffer), (idx, realize))
+    for buf_id, (ridx, realize) in first_read.items():
         widx = first_write.get(buf_id)
         if widx is not None and ridx < widx:
-            problems.append(f"{reader}: reads a buffer before its producer runs")
+            name = realize.block.name_hint
+            ctx.emit(
+                "TIR203",
+                f"{name}: reads a buffer before its producer runs",
+                block=name,
+                stmt=realize,
+            )
 
 
 def is_valid(func: PrimFunc, target=None) -> bool:
@@ -159,7 +207,7 @@ def is_valid(func: PrimFunc, target=None) -> bool:
 def assert_valid(func: PrimFunc, target=None) -> None:
     problems = verify(func, target)
     if problems:
-        raise VerificationError("; ".join(problems))
+        raise VerificationError(problems)
 
 
 # ---------------------------------------------------------------------------
@@ -173,11 +221,12 @@ def _conjuncts(pred) -> List:
     return [pred]
 
 
-def _check_loop_nests(func: PrimFunc, realizes, problems: List[str]) -> None:
+def _check_loop_nests(func: PrimFunc, realizes, ctx: DiagnosticContext) -> None:
     from .sref import path_to
 
     for realize in realizes:
         block = realize.block
+        name = block.name_hint
         loops = loops_above(func.body, realize)
         analyzer = Analyzer()
         extents: Dict[Var, int] = {}
@@ -195,13 +244,21 @@ def _check_loop_nests(func: PrimFunc, realizes, problems: List[str]) -> None:
                         analyzer.bind(iv.var, Range(0, ext))
         for lp in loops:
             if const_int_value(lp.min) != 0:
-                problems.append(f"{block.name_hint}: loop {lp.loop_var.name} min != 0")
+                ctx.emit(
+                    "TIR101",
+                    f"{name}: loop {lp.loop_var.name} min != 0",
+                    block=name,
+                    stmt=lp,
+                )
                 ok = False
                 continue
             extent = const_int_value(lp.extent)
             if extent is None:
-                problems.append(
-                    f"{block.name_hint}: loop {lp.loop_var.name} has symbolic extent"
+                ctx.emit(
+                    "TIR102",
+                    f"{name}: loop {lp.loop_var.name} has symbolic extent",
+                    block=name,
+                    stmt=lp,
                 )
                 ok = False
                 continue
@@ -221,9 +278,12 @@ def _check_loop_nests(func: PrimFunc, realizes, problems: List[str]) -> None:
                 list(realize.iter_values), extents, analyzer, require_bijective=False
             )
             if detected is None and not has_predicate:
-                problems.append(
-                    f"{block.name_hint}: iterator bindings are not an independent "
-                    "quasi-affine map of the loop iterators"
+                ctx.emit(
+                    "TIR103",
+                    f"{name}: iterator bindings are not an independent "
+                    "quasi-affine map of the loop iterators",
+                    block=name,
+                    stmt=realize,
                 )
                 continue
 
@@ -234,7 +294,12 @@ def _check_loop_nests(func: PrimFunc, realizes, problems: List[str]) -> None:
         for iv, binding in zip(block.iter_vars, realize.iter_values):
             extent = const_int_value(iv.dom.extent)
             if extent is None:
-                problems.append(f"{block.name_hint}: symbolic domain for {iv.var.name}")
+                ctx.emit(
+                    "TIR104",
+                    f"{name}: symbolic domain for {iv.var.name}",
+                    block=name,
+                    stmt=realize,
+                )
                 continue
             bound = analyzer.int_set(binding)
             if bound.is_bounded and bound.min_value >= 0 and bound.max_value < extent:
@@ -244,9 +309,12 @@ def _check_loop_nests(func: PrimFunc, realizes, problems: List[str]) -> None:
                 _guard_key(c, analyzer) for c in _conjuncts(realize.predicate)
             }:
                 continue
-            problems.append(
-                f"{block.name_hint}: binding of {iv.var.name} can leave its "
-                f"domain [0, {extent}) and is not guarded by the predicate"
+            ctx.emit(
+                "TIR105",
+                f"{name}: binding of {iv.var.name} can leave its "
+                f"domain [0, {extent}) and is not guarded by the predicate",
+                block=name,
+                stmt=realize,
             )
 
         # 3) reduction iterators must not bind parallel/thread loops.
@@ -259,10 +327,13 @@ def _check_loop_nests(func: PrimFunc, realizes, problems: List[str]) -> None:
                     lp = next(l for l in loops if l.loop_var is v)
                     if lp.thread_tag == "vthread":
                         continue
-                    problems.append(
-                        f"{block.name_hint}: reduction iterator {iv.var.name} is "
+                    ctx.emit(
+                        "TIR106",
+                        f"{name}: reduction iterator {iv.var.name} is "
                         f"driven by {kind} loop {v.name} (non-atomic cross-thread "
-                        "reduction)"
+                        "reduction)",
+                        block=name,
+                        stmt=lp,
                     )
 
 
@@ -311,9 +382,9 @@ def _concrete_hull(
     return hull
 
 
-def _check_producer_consumer(func: PrimFunc, realizes, problems: List[str]) -> None:
+def _check_producer_consumer(func: PrimFunc, realizes, ctx: DiagnosticContext) -> None:
     writes: Dict[int, Tuple[Buffer, List[List[IntSet]]]] = {}
-    reads: Dict[int, List[Tuple[str, List[IntSet]]]] = {}
+    reads: Dict[int, List[Tuple[BlockRealize, List[IntSet]]]] = {}
     param_buffers = set(func.buffer_map.values())
     for realize in realizes:
         block = realize.block
@@ -328,24 +399,32 @@ def _check_producer_consumer(func: PrimFunc, realizes, problems: List[str]) -> N
             hull = _concrete_hull(func, realize, region, None)
             if hull is None:
                 continue
-            reads.setdefault(id(region.buffer), []).append((block.name_hint, hull))
+            reads.setdefault(id(region.buffer), []).append((realize, hull))
     for buf_id, consumer_list in reads.items():
         if buf_id not in writes:
-            buffer_name = consumer_list[0][0]
-            problems.append(
-                f"{consumer_list[0][0]}: reads a buffer that no block produces"
+            consumer = consumer_list[0][0]
+            name = consumer.block.name_hint
+            ctx.emit(
+                "TIR201",
+                f"{name}: reads a buffer that no block produces",
+                block=name,
+                stmt=consumer,
             )
             continue
         buffer, write_hulls = writes[buf_id]
         for d in range(buffer.ndim):
             w_lo = min(h[d].min_value for h in write_hulls)
             w_hi = max(h[d].max_value for h in write_hulls)
-            for consumer_name, hull in consumer_list:
+            for consumer, hull in consumer_list:
                 if hull[d].min_value < w_lo or hull[d].max_value > w_hi:
-                    problems.append(
-                        f"{consumer_name}: reads {buffer.name} dim {d} over "
+                    name = consumer.block.name_hint
+                    ctx.emit(
+                        "TIR202",
+                        f"{name}: reads {buffer.name} dim {d} over "
                         f"[{hull[d].min_value}, {hull[d].max_value}] but producers "
-                        f"only cover [{w_lo}, {w_hi}]"
+                        f"only cover [{w_lo}, {w_hi}]",
+                        block=name,
+                        stmt=consumer,
                     )
 
 
@@ -354,11 +433,12 @@ def _check_producer_consumer(func: PrimFunc, realizes, problems: List[str]) -> N
 # ---------------------------------------------------------------------------
 
 
-def _check_intrinsic_scopes(func: PrimFunc, realizes, problems: List[str]) -> None:
+def _check_intrinsic_scopes(func: PrimFunc, realizes, ctx: DiagnosticContext) -> None:
     from ..intrin import get_intrin
 
     for realize in realizes:
         block = realize.block
+        name = block.name_hint
         intrin_name = block.annotations.get("tensorize")
         if not intrin_name:
             continue
@@ -368,18 +448,24 @@ def _check_intrinsic_scopes(func: PrimFunc, realizes, problems: List[str]) -> No
         for region in list(block.reads) + list(block.writes):
             buffers[region.buffer.name] = region.buffer
         for role, required in intrin.operand_scopes.items():
-            name = operands.get(role)
-            if name is None or name not in buffers:
-                problems.append(
-                    f"{block.name_hint}: tensorized operand {role!r} not found"
+            op_name = operands.get(role)
+            if op_name is None or op_name not in buffers:
+                ctx.emit(
+                    "TIR351",
+                    f"{name}: tensorized operand {role!r} not found",
+                    block=name,
+                    stmt=realize,
                 )
                 continue
             allowed = (required,) if isinstance(required, str) else tuple(required)
-            if buffers[name].scope not in allowed:
-                problems.append(
-                    f"{block.name_hint}: intrinsic {intrin_name} requires operand "
-                    f"{role} in scope {allowed}, but {name} is in "
-                    f"{buffers[name].scope!r}"
+            if buffers[op_name].scope not in allowed:
+                ctx.emit(
+                    "TIR352",
+                    f"{name}: intrinsic {intrin_name} requires operand "
+                    f"{role} in scope {allowed}, but {op_name} is in "
+                    f"{buffers[op_name].scope!r}",
+                    block=name,
+                    stmt=realize,
                 )
 
 
@@ -388,7 +474,7 @@ def _check_intrinsic_scopes(func: PrimFunc, realizes, problems: List[str]) -> No
 # ---------------------------------------------------------------------------
 
 
-def _check_threading(func: PrimFunc, realizes, target, problems: List[str]) -> None:
+def _check_threading(func: PrimFunc, realizes, target, ctx: DiagnosticContext) -> None:
     from ..intrin import get_intrin
     from ..tir import SeqStmt
 
@@ -398,6 +484,7 @@ def _check_threading(func: PrimFunc, realizes, target, problems: List[str]) -> N
     kernels = list(root_body.stmts) if isinstance(root_body, SeqStmt) else [root_body]
     for kernel in kernels:
         thread_extents: Dict[str, Set[int]] = {}
+        thread_loops: Dict[str, For] = {}
         all_loops: List[For] = []
 
         def visit(stmt: Stmt) -> None:
@@ -413,11 +500,14 @@ def _check_threading(func: PrimFunc, realizes, target, problems: List[str]) -> N
             if lp.kind == ForKind.THREAD_BINDING and lp.thread_tag != "vthread":
                 extent = const_int_value(lp.extent)
                 if extent is None:
-                    problems.append(
-                        f"thread loop {lp.loop_var.name} has symbolic extent"
+                    ctx.emit(
+                        "TIR301",
+                        f"thread loop {lp.loop_var.name} has symbolic extent",
+                        stmt=lp,
                     )
                     continue
                 thread_extents.setdefault(lp.thread_tag, set()).add(extent)
+                thread_loops.setdefault(lp.thread_tag, lp)
 
         # Thread binding consistency: loops on one axis must agree up to
         # masked subsets (a smaller extent that divides the launch extent
@@ -426,8 +516,10 @@ def _check_threading(func: PrimFunc, realizes, target, problems: List[str]) -> N
             launch = max(extents)
             bad = sorted(e for e in extents if launch % e != 0)
             if bad:
-                problems.append(
-                    f"inconsistent extents {sorted(extents)} for thread axis {tag}"
+                ctx.emit(
+                    "TIR302",
+                    f"inconsistent extents {sorted(extents)} for thread axis {tag}",
+                    stmt=thread_loops.get(tag),
                 )
 
         # Launch limits (per kernel: max extent per axis is the launch).
@@ -437,21 +529,28 @@ def _check_threading(func: PrimFunc, realizes, target, problems: List[str]) -> N
                 extent = max(thread_extents[tag])
                 limit = target.max_thread_extent(tag)
                 if extent > limit:
-                    problems.append(f"{tag} extent {extent} exceeds limit {limit}")
+                    ctx.emit(
+                        "TIR303",
+                        f"{tag} extent {extent} exceeds limit {limit}",
+                        stmt=thread_loops.get(tag),
+                    )
                 n_threads *= extent
         if n_threads > target.max_threads_per_block:
-            problems.append(
+            ctx.emit(
+                "TIR304",
                 f"{n_threads} threads per block exceeds limit "
-                f"{target.max_threads_per_block}"
+                f"{target.max_threads_per_block}",
+                stmt=kernel,
             )
 
     # Shared memory capacity (per-tile live footprint; the allocation is
     # declared full-size but lowering compacts it to the produced tile).
     shared_bytes = shared_footprint_bytes(func)
     if shared_bytes > target.shared_memory_per_block:
-        problems.append(
+        ctx.emit(
+            "TIR305",
             f"shared memory {shared_bytes}B exceeds capacity "
-            f"{target.shared_memory_per_block}B"
+            f"{target.shared_memory_per_block}B",
         )
 
     # Execution scope: warp-level intrinsics must not sit inside a
@@ -465,9 +564,13 @@ def _check_threading(func: PrimFunc, realizes, target, problems: List[str]) -> N
             continue
         for lp in loops_above(func.body, realize):
             if lp.kind == ForKind.THREAD_BINDING and lp.thread_tag == "threadIdx.x":
-                problems.append(
-                    f"{realize.block.name_hint}: warp-scope intrinsic "
-                    f"{intrin_name} may not be nested inside a threadIdx.x loop"
+                name = realize.block.name_hint
+                ctx.emit(
+                    "TIR306",
+                    f"{name}: warp-scope intrinsic "
+                    f"{intrin_name} may not be nested inside a threadIdx.x loop",
+                    block=name,
+                    stmt=lp,
                 )
                 break
 
@@ -475,7 +578,7 @@ def _check_threading(func: PrimFunc, realizes, target, problems: List[str]) -> N
     # the reads of all threads in the block (hull check over all axes
     # including thread loops — already concrete in _concrete_hull).
     shared_writes: Dict[int, Tuple[Buffer, List[List[IntSet]]]] = {}
-    shared_reads: Dict[int, List[Tuple[str, List[IntSet]]]] = {}
+    shared_reads: Dict[int, List[Tuple[BlockRealize, List[IntSet]]]] = {}
     for realize in realizes:
         block = realize.block
         for region in block.writes:
@@ -490,11 +593,16 @@ def _check_threading(func: PrimFunc, realizes, target, problems: List[str]) -> N
             hull = _concrete_hull(func, realize, region, None)
             if hull is not None:
                 shared_reads.setdefault(id(region.buffer), []).append(
-                    (block.name_hint, hull)
+                    (realize, hull)
                 )
     for buf_id, consumer_list in shared_reads.items():
         if buf_id not in shared_writes:
-            problems.append(
-                f"{consumer_list[0][0]}: reads a shared buffer no block fills "
-                "(cooperative fetch missing)"
+            consumer = consumer_list[0][0]
+            name = consumer.block.name_hint
+            ctx.emit(
+                "TIR307",
+                f"{name}: reads a shared buffer no block fills "
+                "(cooperative fetch missing)",
+                block=name,
+                stmt=consumer,
             )

@@ -3,11 +3,16 @@
 The output is meant for humans (debugging, paper-style listings) and for
 golden tests.  ``script()`` accepts a PrimFunc, a statement or an
 expression.
+
+``script_with_spans`` additionally returns, for every statement in the
+tree, the 1-based line range it occupies in the rendered text; the
+diagnostics engine uses it through ``render_span`` to underline the
+failing statement compiler-style.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional, Tuple
 
 from .buffer import Buffer, BufferRegion
 from .expr import (
@@ -46,7 +51,7 @@ from .stmt import (
     Stmt,
 )
 
-__all__ = ["script", "expr_str"]
+__all__ = ["script", "script_with_spans", "render_span", "expr_str"]
 
 _PRECEDENCE = {
     "or": 1,
@@ -130,18 +135,30 @@ def _buffer_decl(buf: Buffer) -> str:
 
 
 class _ScriptPrinter:
-    def __init__(self):
+    def __init__(self, track_spans: bool = False):
         self.lines: List[str] = []
         self.indent = 0
+        #: id(stmt) -> (start_line, end_line), 1-based inclusive
+        self.spans: Optional[Dict[int, Tuple[int, int]]] = {} if track_spans else None
 
     def emit(self, text: str) -> None:
         self.lines.append("    " * self.indent + text)
+
+    def _note_span(self, node, start: int) -> None:
+        if self.spans is not None and len(self.lines) >= start:
+            self.spans.setdefault(id(node), (start, len(self.lines)))
 
     def print_stmt(self, stmt: Stmt) -> None:
         method = getattr(self, f"_print_{type(stmt).__name__}", None)
         if method is None:
             raise TypeError(f"cannot print stmt: {type(stmt).__name__}")
+        start = len(self.lines) + 1
         method(stmt)
+        self._note_span(stmt, start)
+        if isinstance(stmt, BlockRealize):
+            # The block shares its realize's span (diagnostics may hold
+            # either node).
+            self._note_span(stmt.block, start)
 
     def _print_BufferStore(self, stmt: BufferStore) -> None:
         indices = ", ".join(expr_str(i) for i in stmt.indices)
@@ -187,12 +204,16 @@ class _ScriptPrinter:
         if len(loops) > 1 and all(
             isinstance(lp.min, IntImm) and lp.min.value == 0 for lp in loops
         ):
+            start = len(self.lines) + 1
             names = ", ".join(lp.loop_var.name for lp in loops)
             extents = ", ".join(expr_str(lp.extent) for lp in loops)
             self.emit(f"for {names} in grid({extents}):")
             self.indent += 1
             self.print_stmt(inner)
             self.indent -= 1
+            # Collapsed inner loops all map onto the grid line's range.
+            for lp in loops[1:]:
+                self._note_span(lp, start)
             return
         header = self._loop_header(stmt)
         self.emit(header)
@@ -269,14 +290,10 @@ class _ScriptPrinter:
         self.print_stmt(stmt.body)
 
 
-def script(node) -> str:
-    """Render a PrimFunc / Stmt / PrimExpr as script text."""
+def _print_node(node, track_spans: bool = False) -> _ScriptPrinter:
     from .function import PrimFunc
 
-    if isinstance(node, PrimExpr):
-        return expr_str(node)
-
-    printer = _ScriptPrinter()
+    printer = _ScriptPrinter(track_spans=track_spans)
     if isinstance(node, PrimFunc):
         args = ", ".join(
             f"{node.buffer_map[p].name}: {_buffer_decl(node.buffer_map[p])}" for p in node.params
@@ -289,8 +306,69 @@ def script(node) -> str:
             printer.emit(f"{buf.name} = alloc_buffer({_buffer_decl(buf)})")
         printer.print_stmt(root.body)
         printer.indent -= 1
+        if printer.spans is not None:
+            # The root block/realize span the whole function body.
+            printer._note_span(node.body, 1)
+            printer._note_span(root, 1)
     elif isinstance(node, Stmt):
         printer.print_stmt(node)
     else:
         raise TypeError(f"cannot print: {type(node).__name__}")
-    return "\n".join(printer.lines)
+    return printer
+
+
+def script(node) -> str:
+    """Render a PrimFunc / Stmt / PrimExpr as script text."""
+    if isinstance(node, PrimExpr):
+        return expr_str(node)
+    return "\n".join(_print_node(node).lines)
+
+
+def script_with_spans(node) -> Tuple[str, Dict[int, Tuple[int, int]]]:
+    """Render ``node`` and return ``(text, spans)`` where ``spans`` maps
+    ``id(stmt)`` to the 1-based inclusive line range it occupies."""
+    printer = _print_node(node, track_spans=True)
+    return "\n".join(printer.lines), dict(printer.spans or {})
+
+
+def render_span(
+    node, target, *, context: int = 1, max_lines: int = 4
+) -> Optional[str]:
+    """A compiler-style excerpt of ``node``'s script with ``target``
+    (located by identity) underlined:
+
+    .. code-block:: text
+
+          --> matmul:4
+        3 |     for i in range(16):
+        4 |         with block('oob'):
+          |         ^^^^^^^^^^^^^^^^^^
+
+    Returns None when ``target`` is None or does not occur in ``node``.
+    """
+    if target is None:
+        return None
+    text, spans = script_with_spans(node)
+    span = spans.get(id(target))
+    if span is None:
+        return None
+    lines = text.split("\n")
+    start, end = span
+    end = min(end, start + max_lines - 1)
+    first = max(1, start - context)
+    from .function import PrimFunc
+
+    name = node.name if isinstance(node, PrimFunc) else type(node).__name__
+    width = len(str(end))
+    out = [f"{' ' * width}--> {name}:{start}"]
+    for n in range(first, end + 1):
+        line = lines[n - 1]
+        out.append(f"{n:>{width}} | {line}")
+        if start <= n <= end:
+            stripped = line.rstrip()
+            pad = len(stripped) - len(stripped.lstrip())
+            marker = "^" * max(len(stripped) - pad, 1)
+            out.append(f"{' ' * width} | {' ' * pad}{marker}")
+    if span[1] > end:
+        out.append(f"{' ' * width} | ... ({span[1] - end} more lines)")
+    return "\n".join(out)

@@ -1,0 +1,1 @@
+"""Tests for the typed diagnostics engine (error codes, spans, lint)."""

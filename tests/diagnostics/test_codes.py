@@ -1,0 +1,49 @@
+"""The error-code registry: bands, stability, lookup."""
+
+import pytest
+
+from repro.diagnostics import all_codes, code_info, family_of, register_code
+
+
+class TestRegistry:
+    def test_families_by_band(self):
+        assert family_of("TIR000") == "generic"
+        assert family_of("TIR103") == "loop-nest"
+        assert family_of("TIR202") == "producer-consumer"
+        assert family_of("TIR305") == "threading"
+        assert family_of("TIR401") == "primitive-precondition"
+
+    def test_section_3_3_codes_registered(self):
+        codes = {info.code for info in all_codes()}
+        # One code per §3.3 loop-nest / producer-consumer / threading check.
+        for code in (
+            "TIR101", "TIR102", "TIR103", "TIR104", "TIR105", "TIR106",
+            "TIR201", "TIR202", "TIR203",
+            "TIR301", "TIR302", "TIR303", "TIR304", "TIR305", "TIR306",
+            "TIR307", "TIR351", "TIR352",
+        ):
+            assert code in codes, code
+
+    def test_every_primitive_has_a_code(self):
+        codes = {info.code for info in all_codes()}
+        for code in (
+            "TIR401", "TIR402", "TIR403", "TIR404", "TIR405", "TIR406",
+            "TIR410", "TIR411", "TIR412", "TIR413",
+            "TIR420", "TIR421", "TIR422",
+            "TIR430", "TIR431", "TIR440", "TIR441", "TIR450",
+            "TIR460", "TIR461", "TIR470",
+        ):
+            assert code in codes, code
+
+    def test_code_info_lookup(self):
+        info = code_info("TIR103")
+        assert info.family == "loop-nest"
+        assert "quasi-affine" in info.title
+        assert str(info) == "TIR103"
+        # Unregistered codes resolve generically rather than raising.
+        assert code_info("TIR999").title == "unregistered"
+
+    def test_reregistration_must_agree(self):
+        register_code("TIR101", "loop does not start at zero")  # idempotent
+        with pytest.raises(ValueError, match="already registered"):
+            register_code("TIR101", "something else entirely")

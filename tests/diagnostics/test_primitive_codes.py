@@ -1,0 +1,92 @@
+"""TIR4xx: every schedule primitive rejects bad input with its own
+stable code, and the Schedule records the failure in its diagnostics
+context while rolling the program back."""
+
+import pytest
+
+from repro.schedule import Schedule, ScheduleError
+
+from ..common import build_matmul, build_elementwise_chain
+
+
+@pytest.fixture
+def sch():
+    return Schedule(build_matmul(64, 64, 64))
+
+
+def _raise_code(sch, fn):
+    with pytest.raises(ScheduleError) as exc_info:
+        fn()
+    return exc_info.value.diagnostics[0].code
+
+
+class TestPrimitiveCodes:
+    def test_split_tir401(self, sch):
+        i, _, _ = sch.get_loops(sch.get_block("C"))
+        code = _raise_code(sch, lambda: sch.split(i, [3, 5]))
+        assert code == "TIR401"
+
+    def test_fuse_tir402(self, sch):
+        i, _, k = sch.get_loops(sch.get_block("C"))
+        assert _raise_code(sch, lambda: sch.fuse(i, k)) == "TIR402"
+
+    def test_reorder_tir403(self, sch):
+        i, _, _ = sch.get_loops(sch.get_block("C"))
+        assert _raise_code(sch, lambda: sch.reorder(i, i)) == "TIR403"
+
+    def test_bind_tir405(self, sch):
+        i, _, _ = sch.get_loops(sch.get_block("C"))
+        assert _raise_code(sch, lambda: sch.bind(i, "bogusIdx.q")) == "TIR405"
+
+    def test_compute_at_tir410(self, sch):
+        c = sch.get_block("C")
+        _, _, k = sch.get_loops(c)
+        assert _raise_code(sch, lambda: sch.compute_at(c, k)) == "TIR410"
+
+    def test_compute_inline_tir412(self, sch):
+        # The sole block writes an output buffer: not inlinable.
+        c = sch.get_block("C")
+        assert _raise_code(sch, lambda: sch.compute_inline(c)) == "TIR412"
+
+    def test_decompose_reduction_tir430(self):
+        sch = Schedule(build_elementwise_chain(16))
+        b = sch.get_block("B")  # spatial-only block, nothing to decompose
+        i, _ = sch.get_loops(b)
+        assert _raise_code(sch, lambda: sch.decompose_reduction(b, i)) == "TIR430"
+
+    def test_tensorize_tir441(self, sch):
+        i, _, _ = sch.get_loops(sch.get_block("C"))
+        code = _raise_code(sch, lambda: sch.tensorize(i, "wmma_16x16x16_f16"))
+        assert code == "TIR441"
+
+
+class TestScheduleDiagnosticsContext:
+    def test_failed_primitive_recorded_and_rolled_back(self, sch):
+        before = sch.show()
+        i, _, _ = sch.get_loops(sch.get_block("C"))
+        with pytest.raises(ScheduleError):
+            sch.split(i, [3, 5])
+        assert sch.show() == before  # transactional rollback
+        assert sch.diagnostics.counts_by_code() == {"TIR401": 1}
+        # The recorded diagnostic knows which function it was raised on.
+        assert all(d.func is not None for d in sch.diagnostics)
+
+    def test_failures_accumulate(self, sch):
+        i, j, k = sch.get_loops(sch.get_block("C"))
+        for fn in (
+            lambda: sch.split(i, [3, 5]),
+            lambda: sch.fuse(i, k),
+            lambda: sch.reorder(j, j),
+        ):
+            with pytest.raises(ScheduleError):
+                fn()
+        assert sch.diagnostics.counts_by_code() == {
+            "TIR401": 1,
+            "TIR402": 1,
+            "TIR403": 1,
+        }
+
+    def test_successful_schedule_stays_clean(self, sch):
+        i, _, _ = sch.get_loops(sch.get_block("C"))
+        sch.split(i, [None, 8])
+        assert len(sch.diagnostics) == 0
