@@ -1,0 +1,276 @@
+#!/usr/bin/env python
+"""Benchmark the search hot path: cached vs. uncached candidate evaluation.
+
+Runs ``tune()`` on the §5.1 single-operator workloads in two modes:
+
+* **baseline** — every memoization cache disabled
+  (``repro.cache.set_enabled(False)``) and ``search_workers=1``: this is
+  exactly the pre-caching serial code path.  Two passes are timed; both
+  are necessarily cold.
+* **cached** — caches enabled (cleared first) with the same config and
+  seed, also two passes.  Pass 1 is cold (it pays the cache fills);
+  pass 2 is warm: candidate construction, validation, feature
+  extraction and cost estimation all replay from the caches.  The warm
+  pass is the steady state of the §5.2 workflow — re-tuning after a
+  restart, parameter sweeps, and sessions where structurally identical
+  layers recur.
+
+``search_workers`` stays at 1 throughout so the candidate stream — and
+therefore the best program — is byte-for-byte identical in every run;
+the report asserts that identity (``structural_equal`` + equal cycles).
+An optional extra run (``--workers N``) reports the batched parallel
+evaluator's throughput; its best program may legitimately differ (the
+batching changes how the trial budget is spent, see
+``TuneConfig.search_workers``).
+
+The report lands in ``BENCH_search.json``: per-workload wall-clock,
+candidates/sec, cold and warm speedups, identity checks, and per-cache
+hit rates.  The acceptance gate is the aggregate *warm* throughput:
+>= 3x the uncached baseline.  ``--smoke`` is a fast correctness-only
+mode for CI: it asserts the caches actually hit (>0 hit rate) on a tiny
+workload and never looks at timings, so it cannot flake on a loaded
+machine.
+
+    PYTHONPATH=src python scripts/bench_hotpaths.py            # full bench
+    PYTHONPATH=src python scripts/bench_hotpaths.py --smoke    # CI guard
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import cache as repro_cache
+from repro import tir
+from repro.frontend import ops
+from repro.frontend.workloads import gpu_workload
+from repro.meta import Telemetry, TuneConfig, tune
+from repro.sim import SimGPU, estimate
+
+DEFAULT_WORKLOADS = ["GMM", "C2D", "DEP"]
+
+
+def _timed_pass(func, target, config):
+    telemetry = Telemetry()
+    t0 = time.perf_counter()
+    result = tune(func, target, config, telemetry=telemetry)
+    seconds = time.perf_counter() - t0
+    stats = result.stats
+    return {
+        "seconds": round(seconds, 4),
+        "candidates": stats.candidates_generated,
+        "candidates_per_sec": round(stats.candidates_generated / seconds, 2)
+        if seconds
+        else None,
+        "best_cycles": result.best_cycles,
+        "measured": stats.measured,
+    }, result
+
+
+def _run_mode(func, target, config, *, caches):
+    """Two tune() passes with caches forced on or off."""
+    previous = repro_cache.set_enabled(caches)
+    try:
+        repro_cache.clear_all()
+        before = repro_cache.snapshot_counts()
+        cold_rec, cold_result = _timed_pass(func, target, config)
+        warm_rec, warm_result = _timed_pass(func, target, config)
+        delta = repro_cache.delta_since(before)
+    finally:
+        repro_cache.set_enabled(previous)
+    return cold_rec, cold_result, warm_rec, warm_result, delta
+
+
+def run_bench(workloads, trials, seed, workers, out_path):
+    target = SimGPU()
+    config = TuneConfig(trials=trials, seed=seed, search_workers=1)
+    report = {
+        "target": target.name,
+        "config": {"trials": trials, "seed": seed, "extra_workers": workers},
+        "workloads": {},
+        "cache_stats": {},
+    }
+    base_total = [0.0, 0]  # seconds, candidates (per single pass)
+    cold_total = [0.0, 0]
+    warm_total = [0.0, 0]
+    all_identical = True
+    for name in workloads:
+        func = gpu_workload(name)
+        print(f"[{name}] baseline (caches off, serial, 2 passes) ...", flush=True)
+        b1, base_result, b2, base_warm_result, _ = _run_mode(
+            func, target, config, caches=False
+        )
+        print(f"[{name}]   {b1['seconds']}s / {b2['seconds']}s", flush=True)
+        print(f"[{name}] cached (caches on, serial, cold + warm pass) ...", flush=True)
+        c1, cold_result, c2, warm_result, delta = _run_mode(
+            func, target, config, caches=True
+        )
+        print(
+            f"[{name}]   cold {c1['seconds']}s, warm {c2['seconds']}s "
+            f"({c2['candidates_per_sec']} cand/s)", flush=True,
+        )
+        results = [base_result, base_warm_result, cold_result, warm_result]
+        identical = all(
+            r.best_cycles == base_result.best_cycles
+            and tir.structural_equal(r.best_func, base_result.best_func)
+            for r in results[1:]
+        )
+        all_identical = all_identical and identical
+        entry = {
+            "baseline": b1,
+            "baseline_repeat": b2,
+            "cached_cold": c1,
+            "cached_warm": c2,
+            "cold_speedup": round(b1["seconds"] / c1["seconds"], 2)
+            if c1["seconds"]
+            else None,
+            "warm_speedup": round(b2["seconds"] / c2["seconds"], 2)
+            if c2["seconds"]
+            else None,
+            "best_identical": identical,
+        }
+        if workers and workers > 1:
+            batched_cfg = config.with_(search_workers=workers)
+            print(f"[{name}] batched (caches on, {workers} workers) ...", flush=True)
+            previous = repro_cache.set_enabled(True)
+            try:
+                repro_cache.clear_all()
+                batched_rec, _ = _timed_pass(func, target, batched_cfg)
+            finally:
+                repro_cache.set_enabled(previous)
+            entry["batched"] = batched_rec
+        report["workloads"][name] = entry
+        report["cache_stats"][name] = delta
+        base_total[0] += (b1["seconds"] + b2["seconds"]) / 2.0
+        base_total[1] += (b1["candidates"] + b2["candidates"]) // 2
+        cold_total[0] += c1["seconds"]
+        cold_total[1] += c1["candidates"]
+        warm_total[0] += c2["seconds"]
+        warm_total[1] += c2["candidates"]
+
+    def rate(pair):
+        return pair[1] / pair[0] if pair[0] else 0.0
+
+    base_rate, cold_rate, warm_rate = rate(base_total), rate(cold_total), rate(warm_total)
+    report["aggregate"] = {
+        "baseline_candidates_per_sec": round(base_rate, 2),
+        "cached_cold_candidates_per_sec": round(cold_rate, 2),
+        "cached_warm_candidates_per_sec": round(warm_rate, 2),
+        "cold_speedup_candidates_per_sec": round(cold_rate / base_rate, 2)
+        if base_rate
+        else None,
+        "warm_speedup_candidates_per_sec": round(warm_rate / base_rate, 2)
+        if base_rate
+        else None,
+        "all_best_identical": all_identical,
+    }
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report["aggregate"], indent=2))
+    print(f"wrote {out_path}")
+    ok = all_identical and warm_rate >= 3.0 * base_rate
+    if not all_identical:
+        print("FAIL: cached run produced a different best program", file=sys.stderr)
+    elif not ok:
+        print("FAIL: warm cached throughput below the 3x target", file=sys.stderr)
+    return 0 if ok else 1
+
+
+def run_smoke():
+    """Correctness-only guard: caches must actually hit.  No timings."""
+    func = ops.matmul(64, 64, 64)
+    target = SimGPU()
+    config = TuneConfig(trials=4, seed=0, search_workers=1)
+    previous = repro_cache.set_enabled(True)
+    try:
+        repro_cache.clear_all()
+        before = repro_cache.snapshot_counts()
+        result = tune(func, target, config)
+        delta = repro_cache.delta_since(before)
+
+        failures = []
+        for name in ("meta.features", "schedule.uniquify"):
+            hits = delta.get(name, {}).get("hits", 0)
+            if hits <= 0:
+                failures.append(f"cache {name!r} never hit (delta={delta.get(name)})")
+
+        # A second identical tune() must replay candidate construction,
+        # sketch generation and estimation from the caches, and land on
+        # the identical best program.
+        warm_before = repro_cache.snapshot_counts()
+        again = tune(func, target, config)
+        warm_delta = repro_cache.delta_since(warm_before)
+        for name in ("search.candidates", "meta.sketches", "sim.estimate"):
+            hits = warm_delta.get(name, {}).get("hits", 0)
+            if hits <= 0:
+                failures.append(
+                    f"warm re-tune: cache {name!r} never hit "
+                    f"(delta={warm_delta.get(name)})"
+                )
+        if again.best_cycles != result.best_cycles or not tir.structural_equal(
+            again.best_func, result.best_func
+        ):
+            failures.append("warm re-tune changed the best program")
+
+        # verify() hits organically only when the search redraws a
+        # duplicate candidate, which a 4-trial smoke can't rely on —
+        # exercise it directly: the second call on the same structure
+        # must be a hit.
+        from repro.schedule import verify as verify_func
+
+        verify_before = repro_cache.snapshot_counts()
+        verify_func(result.best_func, target)
+        verify_func(result.best_func, target)
+        verify_delta = repro_cache.delta_since(verify_before)
+        if verify_delta.get("schedule.verify", {}).get("hits", 0) <= 0:
+            failures.append(
+                f"cache 'schedule.verify' never hit "
+                f"(delta={verify_delta.get('schedule.verify')})"
+            )
+
+        # The estimate cache must be a pure memo: estimating the best
+        # program again returns the cycles the tuner observed.
+        if estimate(result.best_func, target).cycles != result.best_cycles:
+            failures.append("estimate cache not idempotent on the best program")
+    finally:
+        repro_cache.set_enabled(previous)
+
+    if failures:
+        print("bench smoke FAILED:")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    active = {k: v["hits"] for k, v in delta.items() if v.get("hits")}
+    print(f"bench smoke passed (cache hits: {active})")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-safe hit-rate check")
+    parser.add_argument("--trials", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="extra batched run with this many search workers (0 to skip)",
+    )
+    parser.add_argument(
+        "--workloads", default=",".join(DEFAULT_WORKLOADS),
+        help="comma-separated §5.1 GPU workload names",
+    )
+    parser.add_argument("--out", default="BENCH_search.json")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke()
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    return run_bench(workloads, args.trials, args.seed, args.workers, args.out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -103,9 +103,35 @@ def main() -> int:
     from repro.frontend import network_latency  # noqa: F401
     from repro.sim import SimCPU, SimGPU, estimate  # noqa: F401
 
+    # --- the performance layer (structural hashing + caches) ---------
+    check(hasattr(repro.tir, "structural_hash"), "repro.tir.structural_hash missing")
+    hash_params = inspect.signature(repro.tir.structural_hash).parameters
+    for param in ("node", "map_free_vars"):
+        check(param in hash_params, f"structural_hash(...{param}...) missing")
+
+    from repro import cache
+
+    for name in (
+        "MemoCache",
+        "cache_stats",
+        "set_enabled",
+        "caches_enabled",
+        "snapshot_counts",
+        "delta_since",
+        "clear_all",
+    ):
+        check(hasattr(cache, name), f"repro.cache.{name} missing")
+
     # --- signatures downstream code relies on ------------------------
     cfg_fields = set(repro.TuneConfig.field_names())
-    for field in ("trials", "seed", "allow_tensorize", "sketches", "validate"):
+    for field in (
+        "trials",
+        "seed",
+        "allow_tensorize",
+        "sketches",
+        "validate",
+        "search_workers",
+    ):
         check(field in cfg_fields, f"TuneConfig.{field} missing")
 
     tune_params = inspect.signature(repro.tune).parameters
@@ -134,6 +160,30 @@ def main() -> int:
     check(
         callable(getattr(meta.SearchStats, "merge", None)), "SearchStats.merge missing"
     )
+
+    # Telemetry counter names are derived from these field names (and
+    # session reports key on them) — renames break dashboards.
+    stats_fields = set(
+        getattr(meta.SearchStats, "__dataclass_fields__", {})
+    )
+    for field in (
+        "candidates_generated",
+        "invalid_rejected",
+        "apply_failed",
+        "measured",
+        "profiling_seconds",
+        "eval_batches",
+        "eval_batch_candidates",
+        "eval_batch_slots",
+        "rejected_by_code",
+    ):
+        check(field in stats_fields, f"SearchStats.{field} missing")
+    check(
+        "cache_stats" in getattr(meta.SessionReport, "__dataclass_fields__", {}),
+        "SessionReport.cache_stats missing",
+    )
+    predict_params = inspect.signature(meta.CostModel.predict).parameters
+    check("executor" in predict_params, "CostModel.predict(...executor...) missing")
 
     verify_params = inspect.signature(repro.verify).parameters
     for param in ("func", "target", "ctx"):

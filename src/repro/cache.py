@@ -1,0 +1,221 @@
+"""Process-wide memoization caches for the compiler's search hot path.
+
+Evolutionary search evaluates thousands of candidate programs that share
+most of their structure (a mutation keeps a prefix of the parent's
+decisions, so whole subtrees are byte-for-byte identical).  Every
+expensive analysis keyed on *program structure* — feature extraction,
+``verify()`` diagnostics, the analytical cost estimate — is therefore
+memoized on :func:`repro.tir.structural_hash`, through the small
+registry in this module.
+
+Design rules:
+
+* This module imports nothing from :mod:`repro` — it sits below
+  :mod:`repro.tir` in the import graph so every layer can use it.
+* Each :class:`MemoCache` is a named, bounded LRU with hit/miss/eviction
+  counters; all caches register themselves in a process-wide registry so
+  telemetry (``SessionReport.cache_stats``) and the bench harness can
+  observe them uniformly.
+* ``set_enabled(False)`` turns every cache into a pass-through.  The
+  bench harness uses this to measure an honest uncached baseline in the
+  same process; it is also the escape hatch if a cache is ever suspected
+  of returning stale results.
+* Cached values must be immutable or defensively copied by the caller:
+  a cache returns the same object to every hit.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Tuple
+
+__all__ = [
+    "MemoCache",
+    "MISS",
+    "all_caches",
+    "cache_stats",
+    "caches_enabled",
+    "clear_all",
+    "delta_since",
+    "register_stats_source",
+    "set_enabled",
+    "snapshot_counts",
+]
+
+
+class _Miss:
+    """Sentinel distinguishing "not cached" from a cached ``None``."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<cache miss>"
+
+
+#: returned by :meth:`MemoCache.lookup` when the key is absent (or
+#: caching is disabled).
+MISS = _Miss()
+
+_REGISTRY_LOCK = threading.Lock()
+_CACHES: "OrderedDict[str, MemoCache]" = OrderedDict()
+#: extra (hits, misses) sources that are not MemoCaches — e.g. the
+#: per-node structural-hash memo, which lives on the IR nodes themselves.
+_STATS_SOURCES: Dict[str, Callable[[], Tuple[int, int]]] = {}
+
+_ENABLED = True
+
+
+def caches_enabled() -> bool:
+    """Whether the memoization layer is active."""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> bool:
+    """Globally enable/disable every cache; returns the previous state.
+
+    Disabling does not clear stored entries — re-enabling resumes with
+    the prior contents (call :func:`clear_all` for a cold start).
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(flag)
+    return previous
+
+
+class MemoCache:
+    """A named, bounded, thread-safe LRU memo table.
+
+    Values are returned as-is on a hit — store immutable objects, or
+    copy on the way in *and* out if the caller may mutate results.
+    """
+
+    def __init__(self, name: str, maxsize: int = 4096):
+        self.name = name
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._lock = threading.Lock()
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+        with _REGISTRY_LOCK:
+            _CACHES[name] = self
+
+    def lookup(self, key: Any) -> Any:
+        """The cached value, or :data:`MISS` (also when disabled)."""
+        if not _ENABLED:
+            return MISS
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return MISS
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Any, value: Any) -> None:
+        if not _ENABLED:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def get_or_compute(self, key: Any, compute: Callable[[], Any]) -> Any:
+        """Memoized ``compute()``.  The lock is *not* held during the
+        computation, so concurrent misses may compute redundantly — by
+        construction every cached computation is deterministic, so the
+        racing writes store identical values."""
+        value = self.lookup(key)
+        if value is MISS:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def stats(self) -> Dict[str, float]:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self),
+            "maxsize": self.maxsize,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+
+# ---------------------------------------------------------------------------
+# registry-wide views
+# ---------------------------------------------------------------------------
+
+
+def register_stats_source(name: str, fn: Callable[[], Tuple[int, int]]) -> None:
+    """Expose an external ``() -> (hits, misses)`` counter pair in the
+    registry views (used by the per-node structural-hash memo)."""
+    with _REGISTRY_LOCK:
+        _STATS_SOURCES[name] = fn
+
+
+def all_caches() -> Dict[str, MemoCache]:
+    with _REGISTRY_LOCK:
+        return dict(_CACHES)
+
+
+def cache_stats() -> Dict[str, Dict[str, float]]:
+    """Per-cache statistics for every registered cache and source."""
+    out = {name: cache.stats() for name, cache in all_caches().items()}
+    with _REGISTRY_LOCK:
+        sources = dict(_STATS_SOURCES)
+    for name, fn in sources.items():
+        hits, misses = fn()
+        total = hits + misses
+        out[name] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+        }
+    return out
+
+
+def snapshot_counts() -> Dict[str, Tuple[int, int]]:
+    """``{name: (hits, misses)}`` for delta accounting across a run."""
+    snap = {name: (cache.hits, cache.misses) for name, cache in all_caches().items()}
+    with _REGISTRY_LOCK:
+        sources = dict(_STATS_SOURCES)
+    for name, fn in sources.items():
+        snap[name] = fn()
+    return snap
+
+
+def delta_since(before: Dict[str, Tuple[int, int]]) -> Dict[str, Dict[str, float]]:
+    """Hit/miss activity since a :func:`snapshot_counts` call, dropping
+    caches with no activity in the window."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name, (hits, misses) in snapshot_counts().items():
+        h0, m0 = before.get(name, (0, 0))
+        dh, dm = hits - h0, misses - m0
+        if dh or dm:
+            total = dh + dm
+            out[name] = {
+                "hits": dh,
+                "misses": dm,
+                "hit_rate": dh / total if total else 0.0,
+            }
+    return out
+
+
+def clear_all() -> None:
+    """Empty every registered cache (counters are kept — they are
+    cumulative; use :func:`snapshot_counts` for windowed accounting)."""
+    for cache in all_caches().values():
+        cache.clear()

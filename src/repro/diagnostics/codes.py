@@ -8,6 +8,8 @@ identified by a stable ``TIRnnn`` code, grouped in bands:
 * ``TIR3xx`` — threading validation and intrinsic execution/storage
   constraints (GPU targets).
 * ``TIR4xx`` — schedule-primitive preconditions.
+* ``TIR5xx`` — cost-model rejections (the analytical model cannot cost
+  a candidate the search produced).
 
 Codes are append-only: a released code never changes meaning, so
 telemetry aggregated across versions stays comparable.
@@ -29,6 +31,7 @@ _FAMILIES = {
     "TIR2": "producer-consumer",
     "TIR3": "threading",
     "TIR4": "primitive-precondition",
+    "TIR5": "cost-model",
 }
 
 
@@ -125,3 +128,6 @@ register_code("TIR450", "reindex precondition failed")
 register_code("TIR460", "fuse_buffer_dims precondition failed")
 register_code("TIR461", "fuse_block_iters precondition failed")
 register_code("TIR470", "pad_einsum precondition failed")
+
+# --- TIR5xx: cost-model rejections ----------------------------------------
+register_code("TIR501", "performance model cannot cost the candidate")

@@ -32,6 +32,13 @@ class TuneConfig:
       applicable sketches (§4.3).
     * ``validate`` — reject invalid mutants before measuring (§3.3).
     * ``population`` / ``generations`` — evolutionary-search shape.
+    * ``search_workers`` — threads evaluating candidates inside one
+      search.  ``1`` (default) is the exact serial path; ``>1`` builds
+      and validates candidates in batches on a worker pool.  Results
+      are deterministic for a fixed (seed, search_workers) pair —
+      candidate specs are drawn serially and results consumed in
+      submission order — but different worker counts may batch the
+      candidate stream differently.
     """
 
     trials: int = 32
@@ -41,6 +48,7 @@ class TuneConfig:
     validate: bool = True
     population: int = 8
     generations: Optional[int] = None
+    search_workers: int = 1
 
     def with_(self, **changes) -> "TuneConfig":
         """A copy with the given fields replaced."""

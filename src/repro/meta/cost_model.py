@@ -55,9 +55,17 @@ class CostModel:
                 n_trees=40, learning_rate=0.2, max_depth=4, seed=self._seed
             ).fit(X, y)
 
-    def predict(self, funcs: Sequence[PrimFunc]) -> np.ndarray:
-        """Predicted scores (higher = better)."""
-        feats = np.stack([self.features(f) for f in funcs])
+    def predict(self, funcs: Sequence[PrimFunc], executor=None) -> np.ndarray:
+        """Predicted scores (higher = better).
+
+        Pass a ``concurrent.futures`` executor to extract features in
+        parallel; ``executor.map`` preserves input order, so results are
+        identical to the serial path.
+        """
+        if executor is not None and len(funcs) > 1:
+            feats = np.stack(list(executor.map(self.features, funcs)))
+        else:
+            feats = np.stack([self.features(f) for f in funcs])
         if self._model is None:
             return np.zeros(len(funcs))
         return self._model.predict(feats)

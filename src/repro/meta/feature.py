@@ -8,19 +8,28 @@ block (e.g., to mark the use of Tensor Core)."
 We reuse the performance-model walker's counters (they are exactly
 memory-pattern/annotation aggregates) plus signature-level statistics,
 log-scaled into a fixed vector.
+
+Extraction is on the search hot path (every candidate is ranked), so it
+is kept lean: one combined traversal collects every block/loop
+statistic (the old code walked the tree once per statistic family), the
+shared-memory footprint comes from the structurally-hashed cache in
+:mod:`repro.schedule.validation`, and whole vectors are memoized on
+:func:`repro.tir.structural_hash` — mutated candidates that resurface
+are a dictionary hit, not a walk.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import List, Tuple
 
 import numpy as np
 
+from .. import cache as _cache
 from ..sim.cost import _Walker
 from ..sim.target import Target
 from ..tir import Block, BlockRealize, For, ForKind, PrimFunc, const_int_value
-from ..schedule.sref import find_blocks, find_loops
+from ..schedule.sref import children_of
 
 __all__ = ["extract_features", "FEATURE_NAMES"]
 
@@ -47,28 +56,75 @@ FEATURE_NAMES = [
     "log_touched_buffers",
 ]
 
+#: memoized feature vectors keyed on (structural hash, target).  Cached
+#: arrays are frozen (``writeable = False``) because every hit returns
+#: the same object.
+_FEATURE_CACHE = _cache.MemoCache("meta.features", maxsize=8192)
+
 
 def _log1(x: float) -> float:
     return math.log1p(max(0.0, float(x)))
 
 
+def _collect_ir_stats(func: PrimFunc) -> Tuple[List[BlockRealize], List[For]]:
+    """All non-root block realizes and all loops, in one traversal
+    (replacing the separate ``find_blocks`` + ``find_loops`` walks)."""
+    realizes: List[BlockRealize] = []
+    loops: List[For] = []
+    stack = list(children_of(func.body))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, BlockRealize):
+            realizes.append(node)
+        elif isinstance(node, For):
+            loops.append(node)
+        stack.extend(children_of(node))
+    return realizes, loops
+
+
 def extract_features(func: PrimFunc, target: Target) -> np.ndarray:
-    """A fixed-length feature vector for one scheduled function."""
+    """A fixed-length feature vector for one scheduled function.
+
+    Memoized on program structure; cached vectors are read-only (copy
+    before mutating, which no caller currently does).
+    """
+    if not _cache.caches_enabled():
+        return _extract_features_impl(func, target)
+    from ..tir.structural import structural_hash
+
+    key = (structural_hash(func), getattr(target, "name", repr(target)))
+    hit = _FEATURE_CACHE.lookup(key)
+    if hit is not _cache.MISS:
+        return hit
+    vec = _extract_features_impl(func, target)
+    vec.flags.writeable = False
+    _FEATURE_CACHE.put(key, vec)
+    return vec
+
+
+def _extract_features_impl(func: PrimFunc, target: Target) -> np.ndarray:
     walker = _Walker(target)
     walker.walk(func.body.block.body, 1.0)
     c = walker.c
 
-    realizes = [r for r in find_blocks(func.body) if r is not func.body]
-    n_tensorized = sum(1 for r in realizes if r.block.annotations.get("tensorize"))
-    n_cache = sum(1 for r in realizes if r.block.annotations.get("data_movement"))
-    n_reduce = sum(1 for r in realizes if r.block.is_reduction)
-    loops = find_loops(func.body)
-    n_vec = sum(1 for lp in loops if lp.kind == ForKind.VECTORIZED)
-    n_unroll = sum(1 for lp in loops if lp.kind == ForKind.UNROLLED)
-    max_vec = max(
-        [const_int_value(lp.extent) or 0 for lp in loops if lp.kind == ForKind.VECTORIZED],
-        default=0,
-    )
+    realizes, loops = _collect_ir_stats(func)
+    n_tensorized = n_cache = n_reduce = 0
+    for r in realizes:
+        block = r.block
+        if block.annotations.get("tensorize"):
+            n_tensorized += 1
+        if block.annotations.get("data_movement"):
+            n_cache += 1
+        if block.is_reduction:
+            n_reduce += 1
+    n_vec = n_unroll = 0
+    max_vec = 0
+    for lp in loops:
+        if lp.kind == ForKind.VECTORIZED:
+            n_vec += 1
+            max_vec = max(max_vec, const_int_value(lp.extent) or 0)
+        elif lp.kind == ForKind.UNROLLED:
+            n_unroll += 1
     from ..schedule.validation import shared_footprint_bytes
 
     shared_alloc = shared_footprint_bytes(func)

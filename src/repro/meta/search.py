@@ -22,13 +22,15 @@ import random
 import time
 import warnings
 from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from .. import cache as _cache
 from ..schedule import Schedule, ScheduleError, verify
 from ..sim import PerfReport, Target, estimate
 from ..sim.cost import CostModelError
-from ..tir import PrimFunc
+from ..tir import PrimFunc, structural_hash
 from .config import TuneConfig
 from .cost_model import CostModel
 from .sketch import Sketch
@@ -77,10 +79,18 @@ class SearchStats:
     apply_failed: int = 0
     measured: int = 0
     profiling_seconds: float = 0.0
+    #: batched-evaluation accounting (zero on the serial path):
+    #: ``eval_batches`` worker batches submitted, holding
+    #: ``eval_batch_candidates`` candidates over ``eval_batch_slots``
+    #: worker slots — occupancy = candidates / slots.
+    eval_batches: int = 0
+    eval_batch_candidates: int = 0
+    eval_batch_slots: int = 0
     #: rejected candidates per diagnostic error code: validation
     #: failures count their primary (first) code, primitive-precondition
-    #: failures the ScheduleError's code — so the per-code counts sum to
-    #: ``invalid_rejected + apply_failed``.
+    #: failures the ScheduleError's code, and candidates the analytical
+    #: model cannot cost count ``TIR501`` — so the per-code counts sum
+    #: to ``invalid_rejected + apply_failed`` (asserted in tests).
     rejected_by_code: Counter = field(default_factory=Counter)
 
     def merge(self, other: "SearchStats") -> "SearchStats":
@@ -125,12 +135,120 @@ class TuneResult:
 
 
 class _Candidate:
-    __slots__ = ("sketch", "schedule", "decisions")
+    __slots__ = ("sketch", "func", "decisions")
 
-    def __init__(self, sketch: Sketch, schedule: Schedule):
+    def __init__(self, sketch: Sketch, func: PrimFunc, decisions: List[object]):
         self.sketch = sketch
-        self.schedule = schedule
-        self.decisions = list(schedule.decisions)
+        self.func = func
+        self.decisions = decisions
+
+
+#: Whole-candidate memo: ``_build_candidate`` is a pure function of
+#: (base func, sketch, seed, forced prefix, target, validate), so its
+#: result — the scheduled func + consumed decisions, or the rejection —
+#: can be replayed from cache.  Within one cold search hits are rare
+#: (seeds are fresh), but re-tuning the same workload (§5.2's workflow,
+#: parameter sweeps, session restarts) replays every build for free;
+#: candidate construction dominates search time, so this is the cache
+#: that moves candidates/sec.
+_CANDIDATE_CACHE = _cache.MemoCache("search.candidates", maxsize=2048)
+
+
+def _sketch_token(sketch: Sketch) -> tuple:
+    """A cache key for a sketch that is stable across instances."""
+    return (
+        type(sketch).__qualname__,
+        sketch.name,
+        getattr(sketch, "intrin_name", None),
+    )
+
+
+def _freeze(values):
+    """Decisions → hashable (sample_perfect_tile decisions are lists)."""
+    if values is None:
+        return None
+    return tuple(
+        _freeze(v) if isinstance(v, (list, tuple)) else v for v in values
+    )
+
+
+def _build_candidate_cached(
+    func: PrimFunc,
+    sketch: Sketch,
+    seed: int,
+    forced: Optional[List[object]],
+    target: Target,
+    validate: bool,
+) -> Tuple[Optional[_Candidate], Optional[Tuple[str, str]], float]:
+    """Memoizing front of :func:`_build_candidate` (see cache note above)."""
+    if not _cache.caches_enabled():
+        return _build_candidate(func, sketch, seed, forced, target, validate)
+    try:
+        key = (
+            structural_hash(func),
+            _sketch_token(sketch),
+            seed,
+            _freeze(forced),
+            getattr(target, "name", None),
+            validate,
+        )
+    except TypeError:  # unhashable decision type: build uncached
+        return _build_candidate(func, sketch, seed, forced, target, validate)
+    hit = _CANDIDATE_CACHE.lookup(key)
+    if hit is not _cache.MISS:
+        built, decisions, rejection = hit
+        cand = _Candidate(sketch, built, list(decisions)) if rejection is None else None
+        return cand, rejection, 0.0
+    cand, rejection, seconds = _build_candidate(func, sketch, seed, forced, target, validate)
+    _CANDIDATE_CACHE.put(
+        key,
+        (
+            cand.func if cand is not None else None,
+            tuple(cand.decisions) if cand is not None else None,
+            rejection,
+        ),
+    )
+    return cand, rejection, seconds
+
+
+def _build_candidate(
+    func: PrimFunc,
+    sketch: Sketch,
+    seed: int,
+    forced: Optional[List[object]],
+    target: Target,
+    validate: bool,
+) -> Tuple[Optional[_Candidate], Optional[Tuple[str, str]], float]:
+    """Instantiate one candidate without touching shared state — pure in
+    its arguments, so worker threads can run it concurrently.
+
+    Returns ``(candidate, rejection, validate_seconds)`` where
+    ``rejection`` is ``("apply" | "invalid", code)`` on failure.
+    """
+    sch = Schedule(func, seed=seed, record_trace=False)
+    sch.forced_decisions = forced
+    try:
+        sketch.apply(sch)
+    except ScheduleError as err:
+        code = err.diagnostics[0].code if err.diagnostics else "TIR400"
+        return None, ("apply", code), 0.0
+    if validate:
+        t0 = time.perf_counter()
+        problems = verify(sch.func, target)
+        validate_seconds = time.perf_counter() - t0
+        if problems:
+            return None, ("invalid", problems[0].code), validate_seconds
+        return _Candidate(sketch, sch.func, list(sch.decisions)), None, validate_seconds
+    return _Candidate(sketch, sch.func, list(sch.decisions)), None, 0.0
+
+
+def _count_rejection(stats: SearchStats, rejection: Tuple[str, str]) -> None:
+    kind, code = rejection
+    if kind == "apply":
+        stats.apply_failed += 1
+    else:
+        stats.invalid_rejected += 1
+    stats.rejected_by_code[code] += 1
 
 
 def _instantiate(
@@ -143,25 +261,17 @@ def _instantiate(
     validate: bool = True,
     timings: Optional[dict] = None,
 ) -> Optional[_Candidate]:
-    sch = Schedule(func, seed=seed, record_trace=False)
-    sch.forced_decisions = forced
+    """The serial wrapper: build one candidate, folding its outcome into
+    ``stats``/``timings`` in the exact order the old inline code did."""
     stats.candidates_generated += 1
-    try:
-        sketch.apply(sch)
-    except ScheduleError as err:
-        stats.apply_failed += 1
-        stats.rejected_by_code[err.diagnostics[0].code if err.diagnostics else "TIR400"] += 1
-        return None
-    if validate:
-        t0 = time.perf_counter()
-        problems = verify(sch.func, target)
-        if timings is not None:
-            timings["validate"] += time.perf_counter() - t0
-        if problems:
-            stats.invalid_rejected += 1
-            stats.rejected_by_code[problems[0].code] += 1
-            return None
-    return _Candidate(sketch, sch)
+    cand, rejection, validate_seconds = _build_candidate_cached(
+        func, sketch, seed, forced, target, validate
+    )
+    if timings is not None:
+        timings["validate"] += validate_seconds
+    if rejection is not None:
+        _count_rejection(stats, rejection)
+    return cand
 
 
 def evolutionary_search(
@@ -191,72 +301,121 @@ def evolutionary_search(
     measured_budget = trials
     generation = 0
     max_generations = config.generations or max(2, trials // max(population // 2, 1))
+    workers = max(1, config.search_workers)
+    executor = (
+        ThreadPoolExecutor(max_workers=workers, thread_name_prefix="search-worker")
+        if workers > 1
+        else None
+    )
 
-    while stats.measured < measured_budget and generation < max_generations:
-        generation += 1
+    def _draw_spec() -> Tuple[int, Optional[List[object]]]:
+        """One candidate spec (seed, forced-decision prefix), drawn from
+        the search RNG on the coordinating thread."""
+        forced = None
+        if elites and rng.random() < 0.7:
+            # Mutation: keep a prefix of an elite's decisions, then
+            # resample the rest.
+            _, parent = rng.choice(elites)
+            if parent.decisions:
+                cut = rng.randrange(len(parent.decisions))
+                forced = parent.decisions[:cut]
+        return rng.randrange(1 << 30), forced
+
+    def _fill_pool_serial() -> List[_Candidate]:
         pool: List[_Candidate] = []
         attempts = 0
         while len(pool) < population and attempts < population * 6:
             attempts += 1
-            forced = None
-            if elites and rng.random() < 0.7:
-                # Mutation: keep a prefix of an elite's decisions, then
-                # resample the rest.
-                _, parent = rng.choice(elites)
-                if parent.decisions:
-                    cut = rng.randrange(len(parent.decisions))
-                    forced = parent.decisions[:cut]
+            seed, forced = _draw_spec()
             cand = _instantiate(
-                func,
-                sketch,
-                rng.randrange(1 << 30),
-                forced,
-                target,
-                stats,
-                config.validate,
-                timings,
+                func, sketch, seed, forced, target, stats, config.validate, timings
             )
             if cand is not None:
                 pool.append(cand)
-        if not pool:
-            break
-        # Rank by the learned cost model; measure the top half.
-        scores = model.predict([c.schedule.func for c in pool])
-        order = sorted(range(len(pool)), key=lambda i: -scores[i])
-        to_measure = order[: max(1, min(len(pool) // 2 + 1, measured_budget - stats.measured))]
-        measured_funcs = []
-        measured_cycles = []
-        for idx in to_measure:
-            cand = pool[idx]
-            t0 = time.perf_counter()
-            try:
-                report = estimate(cand.schedule.func, target)
-            except CostModelError:
-                stats.invalid_rejected += 1
-                continue
-            finally:
-                timings["measure"] += time.perf_counter() - t0
-            stats.measured += 1
-            stats.profiling_seconds += report.seconds * MEASURE_REPEATS
-            record = MeasureRecord(
-                sketch.name, cand.decisions, report.cycles, report.seconds, report.bound
-            )
-            result.records.append(record)
-            measured_funcs.append(cand.schedule.func)
-            measured_cycles.append(report.cycles)
-            if report.cycles < result.best_cycles:
-                result.best_cycles = report.cycles
-                result.best_func = cand.schedule.func
-                result.best_report = report
-                result.best_sketch = sketch.name
-                result.best_decisions = list(cand.decisions)
-            elites.append((report.cycles, cand))
-        if measured_funcs:
-            t0 = time.perf_counter()
-            model.update(measured_funcs, measured_cycles)
-            timings["model-update"] += time.perf_counter() - t0
-        elites.sort(key=lambda t: t[0])
-        del elites[max(4, population // 2) :]
+        return pool
+
+    def _fill_pool_batched() -> List[_Candidate]:
+        # Candidate specs are drawn serially (the RNG stream is a pure
+        # function of the seed) and futures consumed in submission
+        # order, so results are deterministic for a fixed worker count
+        # regardless of scheduling.  A batch may overfill the pool
+        # slightly; every valid candidate is kept.
+        pool: List[_Candidate] = []
+        attempts = 0
+        while len(pool) < population and attempts < population * 6:
+            room = population * 6 - attempts
+            want = min(room, max(workers, population - len(pool)))
+            specs = [_draw_spec() for _ in range(want)]
+            attempts += want
+            stats.candidates_generated += want
+            stats.eval_batches += 1
+            stats.eval_batch_candidates += want
+            stats.eval_batch_slots += workers
+            futures = [
+                executor.submit(
+                    _build_candidate_cached,
+                    func, sketch, seed, forced, target, config.validate,
+                )
+                for seed, forced in specs
+            ]
+            for fut in futures:
+                cand, rejection, validate_seconds = fut.result()
+                timings["validate"] += validate_seconds
+                if rejection is not None:
+                    _count_rejection(stats, rejection)
+                elif cand is not None:
+                    pool.append(cand)
+        return pool
+
+    try:
+        while stats.measured < measured_budget and generation < max_generations:
+            generation += 1
+            pool = _fill_pool_serial() if executor is None else _fill_pool_batched()
+            if not pool:
+                break
+            # Rank by the learned cost model; measure the top half.
+            scores = model.predict([c.func for c in pool], executor=executor)
+            order = sorted(range(len(pool)), key=lambda i: -scores[i])
+            to_measure = order[
+                : max(1, min(len(pool) // 2 + 1, measured_budget - stats.measured))
+            ]
+            measured_funcs = []
+            measured_cycles = []
+            for idx in to_measure:
+                cand = pool[idx]
+                t0 = time.perf_counter()
+                try:
+                    report = estimate(cand.func, target)
+                except CostModelError:
+                    stats.invalid_rejected += 1
+                    stats.rejected_by_code["TIR501"] += 1
+                    continue
+                finally:
+                    timings["measure"] += time.perf_counter() - t0
+                stats.measured += 1
+                stats.profiling_seconds += report.seconds * MEASURE_REPEATS
+                record = MeasureRecord(
+                    sketch.name, cand.decisions, report.cycles, report.seconds, report.bound
+                )
+                result.records.append(record)
+                measured_funcs.append(cand.func)
+                measured_cycles.append(report.cycles)
+                if report.cycles < result.best_cycles:
+                    result.best_cycles = report.cycles
+                    result.best_func = cand.func
+                    result.best_report = report
+                    result.best_sketch = sketch.name
+                    result.best_decisions = list(cand.decisions)
+                elites.append((report.cycles, cand))
+            if measured_funcs:
+                t0 = time.perf_counter()
+                model.update(measured_funcs, measured_cycles)
+                timings["model-update"] += time.perf_counter() - t0
+            elites.sort(key=lambda t: t[0])
+            del elites[max(4, population // 2) :]
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     if telemetry is not None:
         total = time.perf_counter() - t_start

@@ -30,6 +30,7 @@ from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, TYPE_CHECKING
 
+from .. import cache as _cache
 from ..schedule import Schedule
 from ..sim import Target
 from ..tir import PrimFunc, const_int_value
@@ -106,6 +107,10 @@ class SessionReport:
     #: diagnostic error code (TIR1xx–TIR3xx validation, TIR4xx
     #: primitive preconditions) — the §3.3 battery made observable.
     invalid_by_code: Dict[str, int] = field(default_factory=dict)
+    #: memoization activity during this run, per cache: hits, misses
+    #: and hit rate (see :mod:`repro.cache`).  The same numbers appear
+    #: as ``cache.<name>.hits`` / ``.misses`` telemetry counters.
+    cache_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def task(self, name: str) -> TaskReport:
         for t in self.tasks:
@@ -137,6 +142,7 @@ class SessionReport:
             "tasks": [asdict(t) for t in self.tasks],
             "totals": dict(self.totals),
             "invalid_by_code": dict(self.invalid_by_code),
+            "cache_stats": {k: dict(v) for k, v in self.cache_stats.items()},
             "telemetry": self.telemetry,
         }
 
@@ -222,6 +228,7 @@ class TuningSession:
         the budget is split across searched tasks by cost share.
         """
         t_run = time.perf_counter()
+        cache_before = _cache.snapshot_counts()
         with self.telemetry.span("plan"):
             for task in self._tasks:
                 task.key = workload_key(task.func, self.target)
@@ -317,6 +324,11 @@ class TuningSession:
                 tuning_seconds=0.0,
             )
 
+        cache_delta = _cache.delta_since(cache_before)
+        for name, counts in sorted(cache_delta.items()):
+            self.telemetry.count(f"cache.{name}.hits", int(counts["hits"]))
+            self.telemetry.count(f"cache.{name}.misses", int(counts["misses"]))
+
         ordered = [reports[t.name] for t in self._tasks]
         totals = {
             "tasks": float(len(ordered)),
@@ -339,6 +351,7 @@ class TuningSession:
                     self.telemetry.counters_by_prefix("rejected_by_code").items()
                 )
             },
+            cache_stats=cache_delta,
         )
 
     def _name_for_key(self, key: str) -> str:

@@ -23,11 +23,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from .. import cache as _cache
 from ..autotensorize import generate_candidates, prepare_tensorize
 from ..intrin import get_intrin
 from ..schedule import BlockRV, LoopRV, Schedule, ScheduleError
 from ..sim.target import SimCPU, SimGPU, Target
-from ..tir import ForKind, const_int_value
+from ..tir import ForKind, const_int_value, structural_hash
 from .autocopy import (
     own_loops,
     schedule_default_spatial_cpu,
@@ -505,9 +506,34 @@ class CpuScalarSketch(Sketch):
         schedule_remaining_stages(sch, SimCPU(), exclude=[main.name])
 
 
+#: Applicability analysis is a pure function of (workload structure,
+#: target, allow_tensorize), and sketch objects carry no per-schedule
+#: state — the same instances can parameterise any number of searches.
+_SKETCH_CACHE = _cache.MemoCache("meta.sketches", maxsize=512)
+
+
 def generate_sketches(sch: Schedule, target: Target, allow_tensorize: bool = True) -> List[Sketch]:
     """The applicable sketches for a workload on a target (tensorized
     candidates first, following §4.3's candidate-centric construction)."""
+    if not _cache.caches_enabled():
+        return _generate_sketches_impl(sch, target, allow_tensorize)
+    key = (
+        structural_hash(sch.func),
+        type(target).__qualname__,
+        getattr(target, "name", None),
+        allow_tensorize,
+    )
+    hit = _SKETCH_CACHE.lookup(key)
+    if hit is not _cache.MISS:
+        return list(hit)
+    out = _generate_sketches_impl(sch, target, allow_tensorize)
+    _SKETCH_CACHE.put(key, tuple(out))
+    return out
+
+
+def _generate_sketches_impl(
+    sch: Schedule, target: Target, allow_tensorize: bool
+) -> List[Sketch]:
     out: List[Sketch] = []
     if isinstance(target, SimGPU):
         if allow_tensorize:

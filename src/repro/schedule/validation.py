@@ -28,6 +28,7 @@ from __future__ import annotations
 import warnings
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from .. import cache as _cache
 from ..arith import Analyzer, IntSet, detect_iter_map, eval_int_set
 from ..diagnostics import Diagnostic, DiagnosticContext, DiagnosticError
 from ..tir import (
@@ -45,7 +46,7 @@ from ..tir import (
     const_int_value,
 )
 from ..tir.expr import And, LT
-from .sref import find_blocks, loops_above
+from .sref import children_of, find_blocks, loops_above
 
 __all__ = [
     "verify",
@@ -56,10 +57,31 @@ __all__ = [
 ]
 
 
+#: memoized per-function analyses keyed on structural hash — see the
+#: caching notes on :func:`verify`.
+_FOOTPRINT_CACHE = _cache.MemoCache("schedule.shared_footprint", maxsize=4096)
+_VERIFY_CACHE = _cache.MemoCache("schedule.verify", maxsize=4096)
+
+
 def shared_footprint_bytes(func: PrimFunc) -> int:
     """Live shared-memory footprint per thread block: for each shared
     buffer, the hull of the region written within one blockIdx iteration
-    (what a compacting lowering would allocate)."""
+    (what a compacting lowering would allocate).
+
+    Depends only on program structure, so the result is memoized on
+    :func:`repro.tir.structural_hash` (both the threading checks and
+    feature extraction ask for it, once per candidate each).
+    """
+    if not _cache.caches_enabled():
+        return _shared_footprint_impl(func)
+    from ..tir.structural import structural_hash
+
+    return _FOOTPRINT_CACHE.get_or_compute(
+        structural_hash(func), lambda: _shared_footprint_impl(func)
+    )
+
+
+def _shared_footprint_impl(func: PrimFunc) -> int:
     from ..tir import dtype as _dt
 
     footprint: Dict[int, int] = {}
@@ -159,6 +181,33 @@ def verify(
     / ``.render()`` give the typed view.  Pass ``ctx`` to accumulate
     into an existing :class:`~repro.diagnostics.DiagnosticContext`.
     """
+    if not _cache.caches_enabled():
+        return _verify_impl(func, target, ctx)
+    from ..tir.structural import structural_hash
+
+    # Diagnostics embed block/loop/buffer *names* in their messages and
+    # rendered spans, while structurally-equal programs may differ in
+    # names — so the key carries a cheap name fingerprint next to the
+    # alpha-invariant hash.
+    key = (
+        structural_hash(func),
+        getattr(target, "name", None) if target is not None else None,
+        _names_fingerprint(func),
+    )
+    hit = _VERIFY_CACHE.lookup(key)
+    if hit is not _cache.MISS:
+        diagnostics = list(hit)
+        if ctx is not None:
+            ctx.extend(diagnostics)
+        return diagnostics
+    diagnostics = _verify_impl(func, target, ctx)
+    _VERIFY_CACHE.put(key, tuple(diagnostics))
+    return diagnostics
+
+
+def _verify_impl(
+    func: PrimFunc, target=None, ctx: Optional[DiagnosticContext] = None
+) -> List[Diagnostic]:
     if ctx is None:
         ctx = DiagnosticContext(func)
     first = len(ctx.diagnostics)
@@ -170,6 +219,26 @@ def verify(
     if target is not None and getattr(target, "kind", None) == "gpu":
         _check_threading(func, realizes, target, ctx)
     return ctx.diagnostics[first:]
+
+
+def _names_fingerprint(func: PrimFunc) -> int:
+    """Hash of every name a diagnostic message could mention."""
+    parts: List[str] = [func.name]
+    parts.extend(buf.name for buf in func.buffer_map.values())
+    stack: List[Stmt] = [func.body]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, For):
+            parts.append(node.loop_var.name)
+            parts.append(node.thread_tag or "")
+        elif isinstance(node, Block):
+            parts.append(node.name_hint)
+            parts.extend(iv.var.name for iv in node.iter_vars)
+            parts.extend(buf.name for buf in node.alloc_buffers)
+            parts.extend(r.buffer.name for r in node.reads)
+            parts.extend(w.buffer.name for w in node.writes)
+        stack.extend(children_of(node))
+    return hash(tuple(parts))
 
 
 def _check_execution_order(func: PrimFunc, ctx: DiagnosticContext) -> None:

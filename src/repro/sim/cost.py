@@ -55,6 +55,7 @@ from ..tir import (
 from ..tir import dtype as _dt
 from ..tir.expr import BufferLoad
 from ..tir.stmt import Evaluate
+from .. import cache as _cache
 from .target import SimCPU, SimGPU, Target
 
 __all__ = ["PerfReport", "estimate", "CostModelError"]
@@ -489,8 +490,51 @@ def _combine_cpu(c: _Counters, t: SimCPU) -> PerfReport:
     )
 
 
+#: memoized estimates keyed on (structural hash, target) — the estimate
+#: depends only on program structure, never on names.  Stores a pristine
+#: copy ("ok") or the error message ("err"); callers get fresh copies
+#: because ``estimate`` results are mutated downstream (launch overhead).
+_ESTIMATE_CACHE = _cache.MemoCache("sim.estimate", maxsize=4096)
+
+
+def _copy_report(report: PerfReport) -> PerfReport:
+    return PerfReport(
+        cycles=report.cycles,
+        seconds=report.seconds,
+        bound=report.bound,
+        breakdown=dict(report.breakdown),
+        counts=dict(report.counts),
+    )
+
+
 def estimate(func: PrimFunc, target: Target) -> PerfReport:
-    """Estimate the execution cost of ``func`` on ``target``."""
+    """Estimate the execution cost of ``func`` on ``target``.
+
+    Deterministic in (structure of ``func``, ``target``), so results are
+    memoized on :func:`repro.tir.structural_hash` — identical candidates
+    re-surfacing during evolutionary search cost a hash, not a walk.
+    """
+    if not _cache.caches_enabled():
+        return _estimate_impl(func, target)
+    from ..tir.structural import structural_hash
+
+    key = (structural_hash(func), getattr(target, "name", repr(target)))
+    hit = _ESTIMATE_CACHE.lookup(key)
+    if hit is not _cache.MISS:
+        kind, payload = hit
+        if kind == "err":
+            raise CostModelError(payload)
+        return _copy_report(payload)
+    try:
+        report = _estimate_impl(func, target)
+    except CostModelError as err:
+        _ESTIMATE_CACHE.put(key, ("err", str(err)))
+        raise
+    _ESTIMATE_CACHE.put(key, ("ok", _copy_report(report)))
+    return report
+
+
+def _estimate_impl(func: PrimFunc, target: Target) -> PerfReport:
     walker = _Walker(target)
     root = func.body.block
     walker.walk(root.body, 1.0)

@@ -42,7 +42,9 @@ class MemoryScope:
 class Buffer:
     """A multi-dimensional array in some memory scope."""
 
-    __slots__ = ("name", "shape", "dtype", "scope")
+    # ``_memo_hash`` backs the per-node structural-hash memo (see
+    # :mod:`repro.tir.structural`): left unset until first hashed.
+    __slots__ = ("name", "shape", "dtype", "scope", "_memo_hash")
 
     def __init__(
         self,

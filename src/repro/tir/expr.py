@@ -66,7 +66,9 @@ class PrimExpr:
     :mod:`repro.tir.dtype`).
     """
 
-    __slots__ = ("dtype",)
+    # ``_memo_hash`` backs the per-node structural-hash memo (see
+    # :mod:`repro.tir.structural`): left unset until first hashed.
+    __slots__ = ("dtype", "_memo_hash")
 
     def __init__(self, dtype: str):
         self.dtype = _dt.validate_dtype(dtype)

@@ -37,7 +37,9 @@ class PrimFunc:
     :class:`BlockRealize` (see :func:`make_root_block`).
     """
 
-    __slots__ = ("params", "buffer_map", "body", "name", "attrs")
+    # ``_memo_hash`` backs the per-node structural-hash memo (see
+    # :mod:`repro.tir.structural`): left unset until first hashed.
+    __slots__ = ("params", "buffer_map", "body", "name", "attrs", "_memo_hash")
 
     def __init__(
         self,

@@ -44,7 +44,9 @@ __all__ = [
 class Stmt:
     """Base class for all statements."""
 
-    __slots__ = ()
+    # ``_memo_hash`` backs the per-node structural-hash memo (see
+    # :mod:`repro.tir.structural`): left unset until first hashed.
+    __slots__ = ("_memo_hash",)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         from .printer import script

@@ -41,7 +41,12 @@ from .stmt import (
     Stmt,
 )
 
-__all__ = ["structural_equal", "assert_structural_equal", "StructuralMatcher"]
+__all__ = [
+    "structural_equal",
+    "structural_hash",
+    "assert_structural_equal",
+    "StructuralMatcher",
+]
 
 
 class StructuralMatcher:
@@ -269,3 +274,338 @@ def assert_structural_equal(a, b, map_free_vars: bool = False) -> None:
             "structural inequality\n--- lhs ---\n"
             f"{script(a)}\n--- rhs ---\n{script(b)}"
         )
+
+
+# ---------------------------------------------------------------------------
+# structural (alpha-invariant) hashing
+# ---------------------------------------------------------------------------
+#
+# The hash must satisfy: ``structural_equal(a, b)`` implies
+# ``structural_hash(a) == structural_hash(b)``, with per-node memoization
+# so re-hashing a program that shares subtrees with an already-hashed one
+# costs O(shared boundary), not O(tree).
+#
+# Memoizing per node rules out numbering bound variables top-down (a
+# node's hash would then depend on where it sits).  Instead every subtree
+# gets a *context-free* summary ``(digest, free_atoms)``: ``free_atoms``
+# is the tuple of variables/buffers occurring free in the subtree, in
+# first-occurrence order, and ``digest`` describes the tree shape with
+# each atom occurrence replaced by its index into that tuple (de
+# Bruijn-style levels local to the subtree).  A parent merges its
+# children's atom tuples into one first-occurrence list and folds each
+# child in as ``(child_digest, index-pattern)``; a binding node
+# additionally records where its bound atoms landed and then drops them
+# from the outward tuple.  Renaming a bound variable changes neither any
+# digest nor any pattern, so alpha-equivalent trees agree node-by-node —
+# and each node's summary is a pure function of the subtree, safe to
+# cache on the node itself (the ``_memo_hash`` slot; races between
+# threads recompute the identical value, which is benign).
+#
+# What the digest includes mirrors ``StructuralMatcher`` exactly: node
+# types, dtypes, immediate values, ``For`` kind/thread_tag/annotations,
+# ``Block`` annotations and iterator kinds, ``Call.op``, and buffer
+# dtype/ndim/scope/shape at binding sites.  It excludes what the matcher
+# ignores: ``PrimFunc.name``, ``Block.name_hint`` and
+# ``AllocateConst.data``.  Annotation dicts are canonicalized by sorted
+# key so insertion order cannot leak into the hash.
+#
+# The final ``structural_hash`` combines the root digest with the
+# remaining free atoms — by identity (``id``) in the default mode, where
+# ``structural_equal`` requires free atoms to be identical objects, or by
+# a coarse (dtype, ndim, scope) signature under ``map_free_vars``, where
+# any consistent renaming must collide (the contract is one-directional:
+# equal programs must agree; unequal programs may).  Hash values are
+# therefore stable only within one process — use
+# :func:`repro.meta.database.workload_key` for anything persisted.
+
+from .. import cache as _cache
+
+#: hit/miss counters of the per-node memo, surfaced through
+#: :func:`repro.cache.cache_stats` as ``tir.structural_hash_nodes``.
+_NODE_HITS = 0
+_NODE_MISSES = 0
+
+_cache.register_stats_source(
+    "tir.structural_hash_nodes", lambda: (_NODE_HITS, _NODE_MISSES)
+)
+
+#: leaf digest marking a buffer *use* (the buffer's own signature enters
+#: the hash at its binding site, not at every use).
+_BUFFER_USE_DIGEST = hash("tir.buffer_use")
+
+
+def _canon(value):
+    """A hashable, order-canonical image of an annotation value."""
+    if isinstance(value, dict):
+        return ("d",) + tuple((k, _canon(value[k])) for k in sorted(value))
+    if isinstance(value, (list, tuple)):
+        return ("l",) + tuple(_canon(v) for v in value)
+    if isinstance(value, (str, int, float, bool, type(None))):
+        return value
+    return repr(value)
+
+
+def _combine(kind, attrs, parts, binders=()):
+    """Fold child summaries into one ``(digest, free_atoms)`` summary.
+
+    ``parts`` are child ``(digest, atoms)`` pairs in structural order;
+    ``binders`` are the atoms this node binds (dropped from the outward
+    tuple after their positions are recorded in the digest).
+    """
+    order = []
+    index = {}
+    folded = []
+    for digest, atoms in parts:
+        pattern = []
+        for atom in atoms:
+            key = id(atom)
+            pos = index.get(key)
+            if pos is None:
+                pos = len(order)
+                index[key] = pos
+                order.append(atom)
+            pattern.append(pos)
+        folded.append((digest, tuple(pattern)))
+    if binders:
+        bound_positions = tuple(index.get(id(b), -1) for b in binders)
+        digest = hash((kind, attrs, tuple(folded), bound_positions))
+        bound_ids = {id(b) for b in binders}
+        free = tuple(a for a in order if id(a) not in bound_ids)
+    else:
+        digest = hash((kind, attrs, tuple(folded)))
+        free = tuple(order)
+    return digest, free
+
+
+def _var_decl(var: Var):
+    """The summary of a variable at its binding site."""
+    return hash(("VarDecl", var.dtype)), (var,)
+
+
+def _buffer_use(buf: Buffer):
+    return _BUFFER_USE_DIGEST, (buf,)
+
+
+def _buffer_decl(buf: Buffer):
+    """The summary of a buffer at its binding site: signature + shape
+    (matching ``StructuralMatcher.bind_buffer``).  Memoized on the node."""
+    memo = _cache.caches_enabled()
+    if memo:
+        cached = getattr(buf, "_memo_hash", None)
+        if cached is not None:
+            global _NODE_HITS
+            _NODE_HITS += 1
+            return cached
+        global _NODE_MISSES
+        _NODE_MISSES += 1
+    parts = [_buffer_use(buf)]
+    parts.extend(_hash_expr(dim) for dim in buf.shape)
+    summary = _combine("BufferDecl", (buf.dtype, buf.ndim, buf.scope), parts)
+    if memo:
+        buf._memo_hash = summary
+    return summary
+
+
+def _hash_range(rng: Range):
+    return _combine("Range", None, (_hash_expr(rng.min), _hash_expr(rng.extent)))
+
+
+def _hash_region(region: BufferRegion):
+    parts = [_buffer_use(region.buffer)]
+    for rng in region.region:
+        parts.append(_hash_range(rng))
+    return _combine("Region", None, parts)
+
+
+def _hash_expr(expr: PrimExpr):
+    memo = _cache.caches_enabled()
+    if memo:
+        cached = getattr(expr, "_memo_hash", None)
+        if cached is not None:
+            global _NODE_HITS
+            _NODE_HITS += 1
+            return cached
+        global _NODE_MISSES
+        _NODE_MISSES += 1
+    if isinstance(expr, Var):
+        summary = hash(("Var", expr.dtype)), (expr,)
+    elif isinstance(expr, (IntImm, FloatImm, StringImm)):
+        summary = hash((type(expr).__name__, expr.dtype, expr.value)), ()
+    elif isinstance(expr, Cast):
+        summary = _combine("Cast", expr.dtype, (_hash_expr(expr.value),))
+    elif isinstance(expr, BinaryOp):
+        summary = _combine(
+            type(expr).__name__,
+            expr.dtype,
+            (_hash_expr(expr.a), _hash_expr(expr.b)),
+        )
+    elif isinstance(expr, Not):
+        summary = _combine("Not", expr.dtype, (_hash_expr(expr.a),))
+    elif isinstance(expr, Select):
+        summary = _combine(
+            "Select",
+            expr.dtype,
+            (
+                _hash_expr(expr.condition),
+                _hash_expr(expr.true_value),
+                _hash_expr(expr.false_value),
+            ),
+        )
+    elif isinstance(expr, BufferLoad):
+        parts = [_buffer_use(expr.buffer)]
+        parts.extend(_hash_expr(i) for i in expr.indices)
+        summary = _combine("BufferLoad", expr.dtype, parts)
+    elif isinstance(expr, Call):
+        parts = [_hash_expr(a) for a in expr.args]
+        summary = _combine("Call", (expr.dtype, expr.op), parts)
+    else:
+        raise TypeError(f"unhandled expr node: {type(expr).__name__}")
+    if memo:
+        expr._memo_hash = summary
+    return summary
+
+
+def _hash_block(block: Block):
+    parts = []
+    kinds = []
+    for iv in block.iter_vars:
+        kinds.append(iv.kind)
+        parts.append(
+            _combine(
+                "IterVar",
+                iv.kind,
+                (
+                    _hash_expr(iv.dom.min),
+                    _hash_expr(iv.dom.extent),
+                    _var_decl(iv.var),
+                ),
+            )
+        )
+    for buf in block.alloc_buffers:
+        parts.append(_buffer_decl(buf))
+    for region in block.reads:
+        parts.append(_hash_region(region))
+    for region in block.writes:
+        parts.append(_hash_region(region))
+    if block.init is not None:
+        parts.append(_hash_stmt(block.init))
+    parts.append(_hash_stmt(block.body))
+    binders = tuple(iv.var for iv in block.iter_vars) + tuple(block.alloc_buffers)
+    # name_hint intentionally excluded: the matcher ignores it.
+    attrs = (
+        len(block.iter_vars),
+        len(block.reads),
+        len(block.writes),
+        block.init is not None,
+        _canon(block.annotations),
+    )
+    return _combine("Block", attrs, parts, binders)
+
+
+def _hash_stmt(stmt: Stmt):
+    memo = _cache.caches_enabled()
+    if memo:
+        cached = getattr(stmt, "_memo_hash", None)
+        if cached is not None:
+            global _NODE_HITS
+            _NODE_HITS += 1
+            return cached
+        global _NODE_MISSES
+        _NODE_MISSES += 1
+    if isinstance(stmt, BufferStore):
+        parts = [_buffer_use(stmt.buffer), _hash_expr(stmt.value)]
+        parts.extend(_hash_expr(i) for i in stmt.indices)
+        summary = _combine("BufferStore", None, parts)
+    elif isinstance(stmt, Evaluate):
+        summary = _combine("Evaluate", None, (_hash_expr(stmt.value),))
+    elif isinstance(stmt, SeqStmt):
+        summary = _combine("SeqStmt", None, [_hash_stmt(s) for s in stmt.stmts])
+    elif isinstance(stmt, IfThenElse):
+        parts = [_hash_expr(stmt.condition), _hash_stmt(stmt.then_case)]
+        if stmt.else_case is not None:
+            parts.append(_hash_stmt(stmt.else_case))
+        summary = _combine("IfThenElse", stmt.else_case is not None, parts)
+    elif isinstance(stmt, LetStmt):
+        parts = (
+            _hash_expr(stmt.value),
+            _var_decl(stmt.var),
+            _hash_stmt(stmt.body),
+        )
+        summary = _combine("LetStmt", None, parts, (stmt.var,))
+    elif isinstance(stmt, For):
+        parts = (
+            _hash_expr(stmt.min),
+            _hash_expr(stmt.extent),
+            _var_decl(stmt.loop_var),
+            _hash_stmt(stmt.body),
+        )
+        attrs = (stmt.kind, stmt.thread_tag, _canon(stmt.annotations))
+        summary = _combine("For", attrs, parts, (stmt.loop_var,))
+    elif isinstance(stmt, BlockRealize):
+        parts = [_hash_expr(v) for v in stmt.iter_values]
+        parts.append(_hash_expr(stmt.predicate))
+        parts.append(_hash_stmt(stmt.block))
+        summary = _combine("BlockRealize", len(stmt.iter_values), parts)
+    elif isinstance(stmt, Block):
+        summary = _hash_block(stmt)
+    elif isinstance(stmt, AllocateConst):
+        # ``data`` intentionally excluded: the matcher ignores it.
+        parts = (_buffer_decl(stmt.buffer), _hash_stmt(stmt.body))
+        summary = _combine("AllocateConst", None, parts, (stmt.buffer,))
+    else:
+        raise TypeError(f"unhandled stmt node: {type(stmt).__name__}")
+    if memo:
+        stmt._memo_hash = summary
+    return summary
+
+
+def _hash_func(func: PrimFunc):
+    memo = _cache.caches_enabled()
+    if memo:
+        cached = getattr(func, "_memo_hash", None)
+        if cached is not None:
+            global _NODE_HITS
+            _NODE_HITS += 1
+            return cached
+        global _NODE_MISSES
+        _NODE_MISSES += 1
+    parts = []
+    binders = []
+    for param in func.params:
+        parts.append(_var_decl(param))
+        parts.append(_buffer_decl(func.buffer_map[param]))
+        binders.append(param)
+        binders.append(func.buffer_map[param])
+    parts.append(_hash_stmt(func.body))
+    # name (and attrs) intentionally excluded: the matcher ignores them.
+    summary = _combine("PrimFunc", len(func.params), parts, tuple(binders))
+    if memo:
+        func._memo_hash = summary
+    return summary
+
+
+def _free_atom_signature(atom) -> tuple:
+    if isinstance(atom, Buffer):
+        return ("buffer", atom.dtype, atom.ndim, atom.scope)
+    return ("var", atom.dtype)
+
+
+def structural_hash(node, map_free_vars: bool = False) -> int:
+    """Alpha-invariant hash consistent with :func:`structural_equal`:
+    equal programs always agree (collisions the other way are possible
+    but vanishingly rare).  Summaries are cached per node, so re-hashing
+    shared subtrees is O(1).  Values are stable only within one process.
+    """
+    if isinstance(node, PrimFunc):
+        digest, free = _hash_func(node)
+    elif isinstance(node, Stmt):
+        digest, free = _hash_stmt(node)
+    elif isinstance(node, PrimExpr):
+        digest, free = _hash_expr(node)
+    else:
+        raise TypeError(f"cannot structurally hash {type(node).__name__}")
+    if map_free_vars:
+        tail = tuple(_free_atom_signature(a) for a in free)
+    else:
+        tail = tuple(id(a) for a in free)
+    return hash((digest, map_free_vars, tail))

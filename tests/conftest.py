@@ -1,0 +1,18 @@
+"""Shared test fixtures.
+
+The memoization caches (``repro.cache``) are process-global by design;
+left alone they would leak warmth between tests — a tune() in one test
+makes an identical tune() in another test nearly free, which breaks
+wall-clock accounting assertions and hides cold-path regressions.
+Every test starts cold instead.
+"""
+
+import pytest
+
+from repro import cache as repro_cache
+
+
+@pytest.fixture(autouse=True)
+def _cold_caches():
+    repro_cache.clear_all()
+    yield
