@@ -182,6 +182,115 @@ def run_bench(workloads, trials, seed, workers, out_path):
     return 0 if ok else 1
 
 
+def run_obs_overhead(workloads, trials, seed, out_path):
+    """Measure the flight recorder's overhead contract (see ObsConfig):
+
+    * **off** (the default config) — the hot path pays only predicate
+      checks; warm candidates/sec must stay within a few percent of the
+      recorded ``BENCH_search.json`` baseline.
+    * **recording** — full event stream + provenance ledger + trace
+      serialization; warm candidates/sec must stay within 15% of off.
+
+    Warm passes are used for both (cold passes time cache fills, not
+    recording).  Each mode is timed over three passes and the best rate
+    kept, so a background blip can't fail the gate.  Recording must not
+    change the best program — asserted per workload.
+    """
+    import tempfile
+
+    from repro.meta import ObsConfig
+
+    target = SimGPU()
+    config_off = TuneConfig(trials=trials, seed=seed, search_workers=1)
+    report = {
+        "target": target.name,
+        "config": {"trials": trials, "seed": seed},
+        "workloads": {},
+    }
+    off_total = [0.0, 0]  # best-pass seconds, candidates
+    on_total = [0.0, 0]
+    all_identical = True
+    previous = repro_cache.set_enabled(True)
+    try:
+        for name in workloads:
+            func = gpu_workload(name)
+            sink = tempfile.NamedTemporaryFile(
+                suffix=".jsonl", prefix="obs-bench-", delete=False
+            )
+            sink.close()
+            config_on = config_off.with_(
+                obs=ObsConfig(enabled=True, sink_path=sink.name)
+            )
+            repro_cache.clear_all()
+            _timed_pass(func, target, config_off)  # cold pass fills caches
+            print(f"[{name}] warm passes, recording off/on ...", flush=True)
+            off_passes = [_timed_pass(func, target, config_off) for _ in range(3)]
+            on_passes = [_timed_pass(func, target, config_on) for _ in range(3)]
+            os.unlink(sink.name)
+            best_off = min((r for r, _ in off_passes), key=lambda r: r["seconds"])
+            best_on = min((r for r, _ in on_passes), key=lambda r: r["seconds"])
+            identical = all(
+                r.best_cycles == off_passes[0][1].best_cycles
+                and tir.structural_equal(r.best_func, off_passes[0][1].best_func)
+                for _, r in off_passes + on_passes
+            )
+            all_identical = all_identical and identical
+            overhead = (
+                (best_on["seconds"] - best_off["seconds"]) / best_off["seconds"]
+                if best_off["seconds"]
+                else 0.0
+            )
+            print(
+                f"[{name}]   off {best_off['candidates_per_sec']} cand/s, "
+                f"on {best_on['candidates_per_sec']} cand/s "
+                f"({100 * overhead:+.1f}%)", flush=True,
+            )
+            report["workloads"][name] = {
+                "recording_off": best_off,
+                "recording_on": best_on,
+                "overhead_pct": round(100 * overhead, 2),
+                "best_identical": identical,
+            }
+            off_total[0] += best_off["seconds"]
+            off_total[1] += best_off["candidates"]
+            on_total[0] += best_on["seconds"]
+            on_total[1] += best_on["candidates"]
+    finally:
+        repro_cache.set_enabled(previous)
+
+    off_rate = off_total[1] / off_total[0] if off_total[0] else 0.0
+    on_rate = on_total[1] / on_total[0] if on_total[0] else 0.0
+    overhead_pct = 100 * (off_rate - on_rate) / off_rate if off_rate else 0.0
+    report["aggregate"] = {
+        "off_candidates_per_sec": round(off_rate, 2),
+        "recording_candidates_per_sec": round(on_rate, 2),
+        "recording_overhead_pct": round(overhead_pct, 2),
+        "all_best_identical": all_identical,
+    }
+    baseline_path = os.path.join(os.path.dirname(out_path) or ".", "BENCH_search.json")
+    if os.path.exists(baseline_path):
+        with open(baseline_path) as fh:
+            baseline_rate = json.load(fh)["aggregate"].get(
+                "cached_warm_candidates_per_sec"
+            )
+        if baseline_rate:
+            report["aggregate"]["baseline_warm_candidates_per_sec"] = baseline_rate
+            report["aggregate"]["off_vs_baseline_pct"] = round(
+                100 * (off_rate - baseline_rate) / baseline_rate, 2
+            )
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report["aggregate"], indent=2))
+    print(f"wrote {out_path}")
+    ok = all_identical and overhead_pct < 15.0
+    if not all_identical:
+        print("FAIL: recording changed the best program", file=sys.stderr)
+    elif not ok:
+        print("FAIL: recording overhead above the 15% contract", file=sys.stderr)
+    return 0 if ok else 1
+
+
 def run_smoke():
     """Correctness-only guard: caches must actually hit.  No timings."""
     func = ops.matmul(64, 64, 64)
@@ -254,6 +363,10 @@ def run_smoke():
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="CI-safe hit-rate check")
+    parser.add_argument(
+        "--obs-overhead", action="store_true",
+        help="measure flight-recorder overhead (off vs recording, warm)",
+    )
     parser.add_argument("--trials", type=int, default=32)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -269,6 +382,9 @@ def main(argv=None):
     if args.smoke:
         return run_smoke()
     workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    if args.obs_overhead:
+        out = args.out if args.out != "BENCH_search.json" else "BENCH_obs.json"
+        return run_obs_overhead(workloads, args.trials, args.seed, out)
     return run_bench(workloads, args.trials, args.seed, args.workers, args.out)
 
 

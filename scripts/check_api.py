@@ -161,6 +161,78 @@ def main() -> int:
         callable(getattr(meta.SearchStats, "merge", None)), "SearchStats.merge missing"
     )
 
+    # --- the observability layer (flight recorder) --------------------
+    from repro import obs
+
+    for name in (
+        "ObsConfig",
+        "Recorder",
+        "TrialRecord",
+        "EventStream",
+        "JsonlSink",
+        "TrialEvent",
+        "Rejection",
+        "BestImproved",
+        "GenerationEnd",
+        "ModelUpdate",
+        "CacheEvent",
+        "event_to_json",
+        "chrome_trace",
+        "summarize",
+        "diff_recordings",
+        "load_recording",
+        "replay_trial",
+    ):
+        check(hasattr(obs, name), f"repro.obs.{name} missing")
+    check("obs" in cfg_fields, "TuneConfig.obs missing")
+    check(hasattr(repro, "ObsConfig"), "repro.ObsConfig missing")
+    obs_fields = set(getattr(obs.ObsConfig, "__dataclass_fields__", {}))
+    for field in (
+        "enabled",
+        "sink_path",
+        "max_events",
+        "sample_rate",
+        "record_traces",
+        "on_generation",
+        "on_best_improved",
+    ):
+        check(field in obs_fields, f"ObsConfig.{field} missing")
+    check(not obs.ObsConfig().enabled, "ObsConfig must default to disabled")
+    for method in ("trial", "rejection", "best_improved", "generation_end",
+                   "model_update", "record_cache_delta", "recording", "save",
+                   "close"):
+        check(
+            callable(getattr(obs.Recorder, method, None)),
+            f"Recorder.{method} missing",
+        )
+    trial_fields = set(getattr(obs.TrialRecord, "__dataclass_fields__", {}))
+    for field in ("trial_id", "task", "workload", "sketch", "generation",
+                  "parent", "decisions", "structural_hash", "trace"):
+        check(field in trial_fields, f"TrialRecord.{field} missing")
+    for method in ("to_json", "from_json"):
+        check(
+            callable(getattr(schedule.Trace, method, None)),
+            f"Trace.{method} missing",
+        )
+        check(
+            callable(getattr(schedule.Instruction, method, None)),
+            f"Instruction.{method} missing",
+        )
+    add_params = inspect.signature(repro.Telemetry.add).parameters
+    check("start" in add_params, "Telemetry.add(...start...) missing")
+    span_fields = set(getattr(meta.Span, "__dataclass_fields__", {}))
+    for field in ("span_id", "parent_id"):
+        check(field in span_fields, f"Span.{field} missing")
+    check(
+        "obs" in getattr(meta.SessionReport, "__dataclass_fields__", {}),
+        "SessionReport.obs missing",
+    )
+    check(
+        callable(getattr(repro.TuningSession, "save_recording", None)),
+        "TuningSession.save_recording missing",
+    )
+    check(callable(getattr(meta.Sketch, "token", None)), "Sketch.token missing")
+
     # Telemetry counter names are derived from these field names (and
     # session reports key on them) — renames break dashboards.
     stats_fields = set(

@@ -16,6 +16,8 @@ Top-level layout:
 * :mod:`repro.diagnostics` — typed diagnostics (stable ``TIRnnn`` error
   codes, source spans, ``tirlint``) for validation and scheduling.
 * :mod:`repro.meta` — the tensorization-aware auto-scheduler (§4.3–4.4).
+* :mod:`repro.obs` — the tuning flight recorder: hierarchical spans,
+  per-trial provenance, exportable run timelines (``python -m repro.obs``).
 * :mod:`repro.learn` — the from-scratch gradient-boosted-tree cost model.
 * :mod:`repro.frontend` — operators, workloads and network graphs.
 * :mod:`repro.baselines` — TVM/AMOS/CUTLASS/TensorRT/ACL/PyTorch-like
@@ -24,6 +26,7 @@ Top-level layout:
 
 __version__ = "0.1.0"
 
+from . import obs  # noqa: F401  (the flight-recorder package)
 from . import tir  # noqa: F401  (re-exported for convenience)
 from .diagnostics import (  # noqa: F401  — the typed diagnostics API
     Diagnostic,
@@ -32,6 +35,7 @@ from .diagnostics import (  # noqa: F401  — the typed diagnostics API
     Severity,
 )
 from .meta import (  # noqa: F401  — the documented top-level tuning API
+    ObsConfig,
     Telemetry,
     TuneConfig,
     TuneResult,
@@ -44,8 +48,10 @@ from .schedule import verify  # noqa: F401  — the §3.3 validation battery
 
 __all__ = [
     "tir",
+    "obs",
     "tune",
     "TuneConfig",
+    "ObsConfig",
     "TuneResult",
     "TuningSession",
     "TuningDatabase",

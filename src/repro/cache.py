@@ -187,28 +187,37 @@ def cache_stats() -> Dict[str, Dict[str, float]]:
     return out
 
 
-def snapshot_counts() -> Dict[str, Tuple[int, int]]:
-    """``{name: (hits, misses)}`` for delta accounting across a run."""
-    snap = {name: (cache.hits, cache.misses) for name, cache in all_caches().items()}
+def snapshot_counts() -> Dict[str, Tuple[int, int, int]]:
+    """``{name: (hits, misses, evictions)}`` for delta accounting across
+    a run.  External stats sources have no eviction counter and report 0."""
+    snap = {
+        name: (cache.hits, cache.misses, cache.evictions)
+        for name, cache in all_caches().items()
+    }
     with _REGISTRY_LOCK:
         sources = dict(_STATS_SOURCES)
     for name, fn in sources.items():
-        snap[name] = fn()
+        hits, misses = fn()
+        snap[name] = (hits, misses, 0)
     return snap
 
 
-def delta_since(before: Dict[str, Tuple[int, int]]) -> Dict[str, Dict[str, float]]:
-    """Hit/miss activity since a :func:`snapshot_counts` call, dropping
-    caches with no activity in the window."""
+def delta_since(before: Dict[str, Tuple[int, ...]]) -> Dict[str, Dict[str, float]]:
+    """Hit/miss/eviction activity since a :func:`snapshot_counts` call,
+    dropping caches with no activity in the window.  Accepts legacy
+    ``(hits, misses)`` snapshots (evictions assumed 0)."""
     out: Dict[str, Dict[str, float]] = {}
-    for name, (hits, misses) in snapshot_counts().items():
-        h0, m0 = before.get(name, (0, 0))
-        dh, dm = hits - h0, misses - m0
-        if dh or dm:
+    for name, (hits, misses, evictions) in snapshot_counts().items():
+        prior = before.get(name, (0, 0, 0))
+        h0, m0 = prior[0], prior[1]
+        e0 = prior[2] if len(prior) > 2 else 0
+        dh, dm, de = hits - h0, misses - m0, evictions - e0
+        if dh or dm or de:
             total = dh + dm
             out[name] = {
                 "hits": dh,
                 "misses": dm,
+                "evictions": de,
                 "hit_rate": dh / total if total else 0.0,
             }
     return out

@@ -1,5 +1,6 @@
 """The tensorization-aware auto-scheduler (paper §4)."""
 
+from ..obs import ObsConfig, Recorder, TrialRecord
 from .autocopy import (
     schedule_default_spatial_cpu,
     schedule_default_spatial_gpu,
@@ -40,6 +41,9 @@ __all__ = [
     "workload_key",
     "Telemetry",
     "Span",
+    "ObsConfig",
+    "Recorder",
+    "TrialRecord",
     "CostModel",
     "extract_features",
     "FEATURE_NAMES",

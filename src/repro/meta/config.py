@@ -12,6 +12,8 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Sequence, TYPE_CHECKING
 
+from ..obs.config import ObsConfig
+
 if TYPE_CHECKING:  # pragma: no cover
     from .sketch import Sketch
 
@@ -39,6 +41,10 @@ class TuneConfig:
       candidate specs are drawn serially and results consumed in
       submission order — but different worker counts may batch the
       candidate stream differently.
+    * ``obs`` — flight-recorder settings (:class:`repro.obs.ObsConfig`):
+      event stream + sink, per-trial provenance, live callbacks.
+      Disabled by default; recording never changes search results (it
+      consumes no search RNG).
     """
 
     trials: int = 32
@@ -49,6 +55,7 @@ class TuneConfig:
     population: int = 8
     generations: Optional[int] = None
     search_workers: int = 1
+    obs: ObsConfig = ObsConfig()
 
     def with_(self, **changes) -> "TuneConfig":
         """A copy with the given fields replaced."""

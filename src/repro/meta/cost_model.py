@@ -24,13 +24,16 @@ __all__ = ["CostModel"]
 
 
 class CostModel:
-    def __init__(self, target: Target, seed: int = 0, min_data: int = 8):
+    def __init__(self, target: Target, seed: int = 0, min_data: int = 8, recorder=None):
         self.target = target
         self.min_data = min_data
         self._X: List[np.ndarray] = []
         self._y: List[float] = []
         self._model: Optional[GradientBoostedTrees] = None
         self._seed = seed
+        #: optional :class:`repro.obs.Recorder` — every refit is emitted
+        #: as a ``model-update`` event on the flight recording.
+        self.recorder = recorder
 
     @property
     def n_samples(self) -> int:
@@ -54,6 +57,8 @@ class CostModel:
             self._model = GradientBoostedTrees(
                 n_trees=40, learning_rate=0.2, max_depth=4, seed=self._seed
             ).fit(X, y)
+        if self.recorder is not None:
+            self.recorder.model_update(len(self._y), self._model is not None)
 
     def predict(self, funcs: Sequence[PrimFunc], executor=None) -> np.ndarray:
         """Predicted scores (higher = better).

@@ -23,10 +23,12 @@ import time
 import warnings
 from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from .. import cache as _cache
+from ..obs.record import Recorder
 from ..schedule import Schedule, ScheduleError, verify
 from ..sim import PerfReport, Target, estimate
 from ..sim.cost import CostModelError
@@ -135,12 +137,17 @@ class TuneResult:
 
 
 class _Candidate:
-    __slots__ = ("sketch", "func", "decisions")
+    __slots__ = ("sketch", "func", "decisions", "trial_id", "parent_trial")
 
     def __init__(self, sketch: Sketch, func: PrimFunc, decisions: List[object]):
         self.sketch = sketch
         self.func = func
         self.decisions = decisions
+        #: flight-recorder lineage (set only when a recorder is active):
+        #: the ledger id this candidate got when measured, and the
+        #: ledger id of the elite it was mutated from.
+        self.trial_id: Optional[int] = None
+        self.parent_trial: Optional[int] = None
 
 
 #: Whole-candidate memo: ``_build_candidate`` is a pure function of
@@ -260,6 +267,7 @@ def _instantiate(
     stats: SearchStats,
     validate: bool = True,
     timings: Optional[dict] = None,
+    on_rejection=None,
 ) -> Optional[_Candidate]:
     """The serial wrapper: build one candidate, folding its outcome into
     ``stats``/``timings`` in the exact order the old inline code did."""
@@ -271,6 +279,8 @@ def _instantiate(
         timings["validate"] += validate_seconds
     if rejection is not None:
         _count_rejection(stats, rejection)
+        if on_rejection is not None:
+            on_rejection(rejection)
     return cand
 
 
@@ -283,16 +293,32 @@ def evolutionary_search(
     cost_model: Optional[CostModel] = None,
     telemetry: Optional[Telemetry] = None,
     task: Optional[str] = None,
+    recorder: Optional[Recorder] = None,
     **legacy,
 ) -> TuneResult:
     """Search one sketch's decision space; ``config.trials`` bounds the
-    number of measured candidates."""
+    number of measured candidates.
+
+    With a :class:`~repro.obs.record.Recorder` attached (or
+    ``config.obs.enabled``), every generation, rejection, measured trial
+    and best-improvement is recorded — without consuming search RNG, so
+    recorded and unrecorded runs find identical programs.
+    """
     config = _resolve_config(config, legacy, "evolutionary_search")
     rng = random.Random(config.seed)
-    model = cost_model or CostModel(target, seed=config.seed)
+    if recorder is None and config.obs.enabled:
+        recorder = Recorder(config.obs, telemetry=telemetry)
+    recording = recorder is not None and recorder.enabled
+    model = cost_model or CostModel(target, seed=config.seed, recorder=recorder)
     stats = SearchStats()
     result = TuneResult(func.name, None, float("inf"), None, None, stats=stats)
     task = task or func.name
+    wl_key = None
+    sk_token = sketch.token()
+    if recording:
+        from .database import workload_key
+
+        wl_key = workload_key(func, target)
     timings = {"validate": 0.0, "measure": 0.0, "model-update": 0.0}
     t_start = time.perf_counter()
 
@@ -308,10 +334,13 @@ def evolutionary_search(
         else None
     )
 
-    def _draw_spec() -> Tuple[int, Optional[List[object]]]:
-        """One candidate spec (seed, forced-decision prefix), drawn from
-        the search RNG on the coordinating thread."""
+    def _draw_spec() -> Tuple[int, Optional[List[object]], Optional[int]]:
+        """One candidate spec (seed, forced-decision prefix, parent
+        trial id), drawn from the search RNG on the coordinating
+        thread.  The parent id is provenance only — it never feeds back
+        into the RNG stream, so recording cannot perturb the search."""
         forced = None
+        parent_trial = None
         if elites and rng.random() < 0.7:
             # Mutation: keep a prefix of an elite's decisions, then
             # resample the rest.
@@ -319,18 +348,26 @@ def evolutionary_search(
             if parent.decisions:
                 cut = rng.randrange(len(parent.decisions))
                 forced = parent.decisions[:cut]
-        return rng.randrange(1 << 30), forced
+                parent_trial = parent.trial_id
+        return rng.randrange(1 << 30), forced, parent_trial
+
+    def _emit_rejection(rejection: Tuple[str, str]) -> None:
+        if recording:
+            kind, code = rejection
+            recorder.rejection(task, sk_token, generation, kind, code)
 
     def _fill_pool_serial() -> List[_Candidate]:
         pool: List[_Candidate] = []
         attempts = 0
         while len(pool) < population and attempts < population * 6:
             attempts += 1
-            seed, forced = _draw_spec()
+            seed, forced, parent_trial = _draw_spec()
             cand = _instantiate(
-                func, sketch, seed, forced, target, stats, config.validate, timings
+                func, sketch, seed, forced, target, stats, config.validate,
+                timings, on_rejection=_emit_rejection,
             )
             if cand is not None:
+                cand.parent_trial = parent_trial
                 pool.append(cand)
         return pool
 
@@ -356,74 +393,130 @@ def evolutionary_search(
                     _build_candidate_cached,
                     func, sketch, seed, forced, target, config.validate,
                 )
-                for seed, forced in specs
+                for seed, forced, _ in specs
             ]
-            for fut in futures:
+            for fut, (_, _, parent_trial) in zip(futures, specs):
                 cand, rejection, validate_seconds = fut.result()
                 timings["validate"] += validate_seconds
                 if rejection is not None:
                     _count_rejection(stats, rejection)
+                    _emit_rejection(rejection)
                 elif cand is not None:
+                    cand.parent_trial = parent_trial
                     pool.append(cand)
         return pool
 
     try:
         while stats.measured < measured_budget and generation < max_generations:
             generation += 1
-            pool = _fill_pool_serial() if executor is None else _fill_pool_batched()
-            if not pool:
-                break
-            # Rank by the learned cost model; measure the top half.
-            scores = model.predict([c.func for c in pool], executor=executor)
-            order = sorted(range(len(pool)), key=lambda i: -scores[i])
-            to_measure = order[
-                : max(1, min(len(pool) // 2 + 1, measured_budget - stats.measured))
-            ]
-            measured_funcs = []
-            measured_cycles = []
-            for idx in to_measure:
-                cand = pool[idx]
-                t0 = time.perf_counter()
-                try:
-                    report = estimate(cand.func, target)
-                except CostModelError:
-                    stats.invalid_rejected += 1
-                    stats.rejected_by_code["TIR501"] += 1
-                    continue
-                finally:
-                    timings["measure"] += time.perf_counter() - t0
-                stats.measured += 1
-                stats.profiling_seconds += report.seconds * MEASURE_REPEATS
-                record = MeasureRecord(
-                    sketch.name, cand.decisions, report.cycles, report.seconds, report.bound
-                )
-                result.records.append(record)
-                measured_funcs.append(cand.func)
-                measured_cycles.append(report.cycles)
-                if report.cycles < result.best_cycles:
-                    result.best_cycles = report.cycles
-                    result.best_func = cand.func
-                    result.best_report = report
-                    result.best_sketch = sketch.name
-                    result.best_decisions = list(cand.decisions)
-                elites.append((report.cycles, cand))
-            if measured_funcs:
-                t0 = time.perf_counter()
-                model.update(measured_funcs, measured_cycles)
-                timings["model-update"] += time.perf_counter() - t0
-            elites.sort(key=lambda t: t[0])
-            del elites[max(4, population // 2) :]
+            gen_span = (
+                telemetry.span("generation", task)
+                if telemetry is not None
+                else nullcontext()
+            )
+            with gen_span:
+                gen_t0 = time.perf_counter()
+                gen_prev = dict(timings)
+                # Stage start times within this generation, for the
+                # exported timeline (validation begins with pool fill).
+                gen_starts = {"validate": gen_t0}
+                pool = _fill_pool_serial() if executor is None else _fill_pool_batched()
+                if not pool:
+                    break
+                # Rank by the learned cost model; measure the top half.
+                scores = model.predict([c.func for c in pool], executor=executor)
+                order = sorted(range(len(pool)), key=lambda i: -scores[i])
+                to_measure = order[
+                    : max(1, min(len(pool) // 2 + 1, measured_budget - stats.measured))
+                ]
+                measured_funcs = []
+                measured_cycles = []
+                for idx in to_measure:
+                    cand = pool[idx]
+                    t0 = time.perf_counter()
+                    gen_starts.setdefault("measure", t0)
+                    try:
+                        report = estimate(cand.func, target)
+                    except CostModelError:
+                        stats.invalid_rejected += 1
+                        stats.rejected_by_code["TIR501"] += 1
+                        if recording:
+                            recorder.trial(
+                                task=task, workload=wl_key, sketch=sk_token,
+                                generation=generation, parent=cand.parent_trial,
+                                decisions=cand.decisions,
+                                predicted=float(scores[idx]),
+                                rejection="TIR501", func=cand.func,
+                            )
+                            recorder.rejection(
+                                task, sk_token, generation, "estimate", "TIR501"
+                            )
+                        continue
+                    finally:
+                        timings["measure"] += time.perf_counter() - t0
+                    stats.measured += 1
+                    stats.profiling_seconds += report.seconds * MEASURE_REPEATS
+                    record = MeasureRecord(
+                        sketch.name, cand.decisions, report.cycles, report.seconds, report.bound
+                    )
+                    result.records.append(record)
+                    measured_funcs.append(cand.func)
+                    measured_cycles.append(report.cycles)
+                    if recording:
+                        trial_rec = recorder.trial(
+                            task=task, workload=wl_key, sketch=sk_token,
+                            generation=generation, parent=cand.parent_trial,
+                            decisions=cand.decisions, predicted=float(scores[idx]),
+                            cycles=report.cycles, seconds=report.seconds,
+                            bound=report.bound, func=cand.func,
+                            base_func=func, sketch_obj=sketch,
+                        )
+                        cand.trial_id = trial_rec.trial_id
+                    if report.cycles < result.best_cycles:
+                        previous = result.best_cycles
+                        result.best_cycles = report.cycles
+                        result.best_func = cand.func
+                        result.best_report = report
+                        result.best_sketch = sketch.name
+                        result.best_decisions = list(cand.decisions)
+                        if recording:
+                            recorder.best_improved(
+                                task,
+                                cand.trial_id or 0,
+                                report.cycles,
+                                None if previous == float("inf") else previous,
+                            )
+                    elites.append((report.cycles, cand))
+                if measured_funcs:
+                    t0 = time.perf_counter()
+                    gen_starts.setdefault("model-update", t0)
+                    model.update(measured_funcs, measured_cycles)
+                    timings["model-update"] += time.perf_counter() - t0
+                elites.sort(key=lambda t: t[0])
+                del elites[max(4, population // 2) :]
+                if recording:
+                    recorder.generation_end(
+                        task, sk_token, generation, len(pool),
+                        stats.measured, result.best_cycles,
+                    )
+                if telemetry is not None:
+                    # Flush this generation's stage deltas as child spans
+                    # of the generation span, placed at their true starts.
+                    gen_total = time.perf_counter() - gen_t0
+                    gen_deltas = {
+                        stage: timings[stage] - gen_prev[stage] for stage in timings
+                    }
+                    evolve = max(gen_total - sum(gen_deltas.values()), 0.0)
+                    telemetry.add("evolve", evolve, task, start=gen_t0)
+                    for stage, seconds in gen_deltas.items():
+                        if seconds:
+                            telemetry.add(
+                                stage, seconds, task, start=gen_starts.get(stage)
+                            )
     finally:
         if executor is not None:
             executor.shutdown(wait=True)
 
     if telemetry is not None:
-        total = time.perf_counter() - t_start
-        # Everything not accounted to a finer stage is candidate
-        # generation + mutation + ranking: the "evolve" share.
-        evolve = max(total - sum(timings.values()), 0.0)
-        telemetry.add("evolve", evolve, task)
-        for stage, seconds in timings.items():
-            telemetry.add(stage, seconds, task)
         telemetry.absorb_stats(stats)
     return result

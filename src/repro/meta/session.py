@@ -25,12 +25,15 @@ instrumentation instead of ad-hoc arithmetic.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from .. import cache as _cache
+from ..obs.record import Recorder
 from ..schedule import Schedule
 from ..sim import Target
 from ..tir import PrimFunc, const_int_value
@@ -111,6 +114,10 @@ class SessionReport:
     #: and hit rate (see :mod:`repro.cache`).  The same numbers appear
     #: as ``cache.<name>.hits`` / ``.misses`` telemetry counters.
     cache_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: flight-recorder activity when observability was on (event/trial
+    #: counts + sink path); the full recording is written separately by
+    #: :meth:`TuningSession.save_recording`.
+    obs: Dict[str, object] = field(default_factory=dict)
 
     def task(self, name: str) -> TaskReport:
         for t in self.tasks:
@@ -142,7 +149,8 @@ class SessionReport:
             "tasks": [asdict(t) for t in self.tasks],
             "totals": dict(self.totals),
             "invalid_by_code": dict(self.invalid_by_code),
-            "cache_stats": {k: dict(v) for k, v in self.cache_stats.items()},
+            "cache_stats": {k: dict(v) for k, v in sorted(self.cache_stats.items())},
+            "obs": dict(self.obs),
             "telemetry": self.telemetry,
         }
 
@@ -150,8 +158,19 @@ class SessionReport:
         return json.dumps(self.to_json(), **kwargs)
 
     def write(self, path: str) -> None:
-        with open(path, "w") as f:
-            f.write(self.dumps(indent=1))
+        """Write the report atomically (tmp file + ``os.replace``) so a
+        crashed worker can never leave a truncated JSON report."""
+        payload = self.dumps(indent=1, sort_keys=True)
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".report-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                f.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
 
 
 class TuningSession:
@@ -172,14 +191,27 @@ class TuningSession:
         database: Optional[TuningDatabase] = None,
         workers: int = 1,
         telemetry: Optional[Telemetry] = None,
+        recorder: Optional[Recorder] = None,
     ):
         self.target = target
         self.config = config or TuneConfig()
         self.database = database if database is not None else TuningDatabase()
         self.workers = max(1, workers)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        #: the flight recorder — built from ``config.obs`` (a no-op
+        #: object when observability is off) unless one is injected.
+        self.recorder = (
+            recorder
+            if recorder is not None
+            else Recorder(self.config.obs, telemetry=self.telemetry)
+        )
         self._tasks: List[_Task] = []
         self.results: Dict[str, TuneResult] = {}
+
+    def save_recording(self, path: str) -> dict:
+        """Write the flight recording (events + trial provenance +
+        telemetry) atomically; see ``python -m repro.obs`` for readers."""
+        return self.recorder.save(path)
 
     # -- workload intake -----------------------------------------------
     def add(self, func: PrimFunc, name: Optional[str] = None, weight: float = 1.0) -> str:
@@ -229,6 +261,54 @@ class TuningSession:
         """
         t_run = time.perf_counter()
         cache_before = _cache.snapshot_counts()
+        with self.telemetry.span("session") as session_span:
+            # Worker-thread spans have an empty thread-local stack; the
+            # root link attaches them to this session span.
+            self.telemetry.set_root(session_span)
+            try:
+                reports = self._run_inner(total_trials)
+            finally:
+                self.telemetry.set_root(None)
+        cache_delta = _cache.delta_since(cache_before)
+        for name, counts in sorted(cache_delta.items()):
+            self.telemetry.count(f"cache.{name}.hits", int(counts["hits"]))
+            self.telemetry.count(f"cache.{name}.misses", int(counts["misses"]))
+        self.recorder.record_cache_delta(cache_delta)
+        self.recorder.close()
+
+        ordered = [reports[t.name] for t in self._tasks]
+        totals = {
+            "tasks": float(len(ordered)),
+            "tasks_searched": float(sum(1 for r in ordered if r.status == "searched")),
+            "tasks_replayed": float(sum(1 for r in ordered if r.status == "replayed")),
+            "tasks_failed": float(sum(1 for r in ordered if r.status == "failed")),
+            "trials_measured": float(sum(r.measured for r in ordered)),
+            "tuning_seconds": sum(r.tuning_seconds for r in ordered),
+        }
+        obs_summary: Dict[str, object] = {}
+        if self.recorder.enabled:
+            obs_summary = dict(self.recorder.stream.stats())
+            obs_summary["trials_recorded"] = len(self.recorder.trials)
+            obs_summary["sink_path"] = self.recorder.config.sink_path
+        return SessionReport(
+            target=self.target.name,
+            workers=self.telemetry.threads_used("evolve") or 1,
+            tasks=ordered,
+            totals=totals,
+            telemetry=self.telemetry.report(),
+            wall_seconds=time.perf_counter() - t_run,
+            invalid_by_code={
+                code: int(count)
+                for code, count in sorted(
+                    self.telemetry.counters_by_prefix("rejected_by_code").items()
+                )
+            },
+            cache_stats=cache_delta,
+            obs=obs_summary,
+        )
+
+    def _run_inner(self, total_trials: Optional[int]) -> Dict[str, TaskReport]:
+        """The search/replay body of :meth:`run`, inside the session span."""
         with self.telemetry.span("plan"):
             for task in self._tasks:
                 task.key = workload_key(task.func, self.target)
@@ -251,6 +331,7 @@ class TuningSession:
                 self.config.with_(trials=budgets[task.key]),
                 telemetry=self.telemetry,
                 task=task.name,
+                recorder=self.recorder,
             )
 
         with ThreadPoolExecutor(
@@ -305,7 +386,9 @@ class TuningSession:
             if self.database.lookup_key(task.key) is not None:
                 t0 = time.perf_counter()
                 result = _replay_result(task.func, self.target, self.database)
-                self.telemetry.add("replay", time.perf_counter() - t0, task.name)
+                self.telemetry.add(
+                    "replay", time.perf_counter() - t0, task.name, start=t0
+                )
                 if result is not None:
                     self.telemetry.count("tasks_replayed")
             if result is None or not result.replayed:
@@ -324,35 +407,7 @@ class TuningSession:
                 tuning_seconds=0.0,
             )
 
-        cache_delta = _cache.delta_since(cache_before)
-        for name, counts in sorted(cache_delta.items()):
-            self.telemetry.count(f"cache.{name}.hits", int(counts["hits"]))
-            self.telemetry.count(f"cache.{name}.misses", int(counts["misses"]))
-
-        ordered = [reports[t.name] for t in self._tasks]
-        totals = {
-            "tasks": float(len(ordered)),
-            "tasks_searched": float(sum(1 for r in ordered if r.status == "searched")),
-            "tasks_replayed": float(sum(1 for r in ordered if r.status == "replayed")),
-            "tasks_failed": float(sum(1 for r in ordered if r.status == "failed")),
-            "trials_measured": float(sum(r.measured for r in ordered)),
-            "tuning_seconds": sum(r.tuning_seconds for r in ordered),
-        }
-        return SessionReport(
-            target=self.target.name,
-            workers=self.telemetry.threads_used("evolve") or 1,
-            tasks=ordered,
-            totals=totals,
-            telemetry=self.telemetry.report(),
-            wall_seconds=time.perf_counter() - t_run,
-            invalid_by_code={
-                code: int(count)
-                for code, count in sorted(
-                    self.telemetry.counters_by_prefix("rejected_by_code").items()
-                )
-            },
-            cache_stats=cache_delta,
-        )
+        return reports
 
     def _name_for_key(self, key: str) -> str:
         for t in self._tasks:

@@ -210,6 +210,14 @@ class Sketch:
     def apply(self, sch: Schedule) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def token(self) -> str:
+        """Stable identity string used by the flight recorder and the
+        tuning database — ``name`` plus the intrinsic it binds, if any,
+        so two parameterizations of one sketch class stay distinguishable
+        in recordings."""
+        intrin = getattr(self, "intrin_name", None)
+        return f"{self.name}@{intrin}" if intrin else self.name
+
 
 class TensorCoreSketch(Sketch):
     """Figure 8's tensorized sketch for the simulated GPU."""

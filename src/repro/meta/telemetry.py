@@ -5,7 +5,16 @@ be observable, not reconstructed.  ``Telemetry`` collects
 
 * **spans** — wall-clock stage timings (``sketch-gen``, ``evolve``,
   ``validate``, ``measure``, ``model-update``, ``replay``…), each
-  optionally attributed to a task, and
+  optionally attributed to a task.  Spans form a **hierarchy**: every
+  span carries a ``span_id`` and a ``parent_id`` link
+  (``session → task → generation → build/verify/estimate/measure``),
+  maintained per-thread via a context-manager stack so nesting needs no
+  plumbing.  A session marks its own span as the *root*, so spans
+  recorded on worker threads (whose thread-local stack is empty) still
+  attach to the session instead of floating free.  The flat
+  ``stage_seconds()`` / ``task_seconds()`` views aggregate **leaf**
+  spans only, so their sums still track wall time — hierarchy is
+  additive, container spans are never double-counted.
 * **counters** — monotonic counts (candidates generated, mutants
   rejected, tasks replayed…).  ``absorb_stats`` folds any dataclass of
   numeric fields (e.g. :class:`~repro.meta.search.SearchStats`) into the
@@ -14,13 +23,16 @@ be observable, not reconstructed.  ``Telemetry`` collects
 
 All mutation is lock-protected: one ``Telemetry`` can be shared by every
 worker of a parallel :class:`~repro.meta.session.TuningSession`.
-``report()`` returns a JSON-ready dict; a session wraps it with
-per-task accounting into its own session report.
+``report()`` returns a JSON-ready dict with counters sorted by key and
+spans sorted by start time, so two identical runs produce byte-identical
+reports; a session wraps it with per-task accounting into its own
+session report.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import json
 import threading
 import time
@@ -40,6 +52,11 @@ class Span:
     start: float
     duration: float
     thread: str
+    #: unique id within one Telemetry (allocation order, not start order).
+    span_id: int = 0
+    #: enclosing span at record time: the innermost open ``span()`` on
+    #: this thread, else the telemetry root, else ``None``.
+    parent_id: Optional[int] = None
 
 
 class Telemetry:
@@ -50,49 +67,110 @@ class Telemetry:
         self._lock = threading.Lock()
         self.spans: List[Span] = []
         self.counters: Dict[str, float] = {}
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._root: Optional[int] = None
+
+    # -- span hierarchy -------------------------------------------------
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_span(self) -> Optional[int]:
+        """The innermost open span id on this thread (or the root)."""
+        stack = self._stack()
+        return stack[-1] if stack else self._root
+
+    def set_root(self, span_id: Optional[int]) -> None:
+        """Declare a fallback parent for spans recorded with an empty
+        thread-local stack — how worker-thread spans attach to the
+        session span that spawned them."""
+        self._root = span_id
 
     # -- spans ---------------------------------------------------------
     @contextmanager
     def span(self, stage: str, task: Optional[str] = None):
-        """Time a stage; nested/concurrent spans are all recorded."""
+        """Time a stage; nested/concurrent spans are all recorded.
+
+        Yields the span id so callers may reference it (e.g.
+        :meth:`set_root`); spans opened inside the ``with`` body on the
+        same thread become children automatically.
+        """
+        span_id = next(self._ids)
+        parent = self.current_span()
+        stack = self._stack()
+        stack.append(span_id)
         start = self._clock()
         try:
-            yield
+            yield span_id
         finally:
             duration = self._clock() - start
+            stack.pop()
             with self._lock:
                 self.spans.append(
-                    Span(stage, task, start, duration, threading.current_thread().name)
+                    Span(
+                        stage, task, start, duration,
+                        threading.current_thread().name, span_id, parent,
+                    )
                 )
 
-    def add(self, stage: str, duration: float, task: Optional[str] = None) -> None:
+    def add(
+        self,
+        stage: str,
+        duration: float,
+        task: Optional[str] = None,
+        start: Optional[float] = None,
+    ) -> None:
         """Record an already-measured duration as a span (used by inner
-        loops that accumulate many tiny timings into one span)."""
-        end = self._clock()
+        loops that accumulate many tiny timings into one span).
+
+        ``start`` is the stage's true start time on the telemetry clock;
+        without it the span is assumed to end "now", which misplaces
+        accumulated spans on an exported timeline.
+        """
+        if start is None:
+            start = self._clock() - duration
+        span_id = next(self._ids)
+        parent = self.current_span()
         with self._lock:
             self.spans.append(
-                Span(stage, task, end - duration, duration, threading.current_thread().name)
+                Span(
+                    stage, task, start, duration,
+                    threading.current_thread().name, span_id, parent,
+                )
             )
 
-    def stage_seconds(self) -> Dict[str, float]:
-        """Total wall-clock per stage (concurrent spans both count)."""
+    def _leaf_spans(self) -> List[Span]:
+        """Spans with no recorded children.
+
+        The flat aggregate views count only leaves: container spans
+        (``session``/``task``/``generation``) cover the same wall-clock
+        as their children, so counting both would double-count — this is
+        what keeps ``stage_seconds()`` sums ≈ wall time now that spans
+        form a hierarchy."""
         with self._lock:
             spans = list(self.spans)
+        parents = {s.parent_id for s in spans if s.parent_id is not None}
+        return [s for s in spans if s.span_id not in parents]
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Total wall-clock per stage over **leaf** spans (concurrent
+        spans both count; container spans are structure, not stages)."""
         out: Dict[str, float] = {}
-        for s in spans:
+        for s in self._leaf_spans():
             out[s.stage] = out.get(s.stage, 0.0) + s.duration
-        return out
+        return dict(sorted(out.items()))
 
     def task_seconds(self, stage: Optional[str] = None) -> Dict[str, float]:
-        """Total span seconds per task, optionally for one stage."""
-        with self._lock:
-            spans = list(self.spans)
+        """Total leaf-span seconds per task, optionally for one stage."""
         out: Dict[str, float] = {}
-        for s in spans:
+        for s in self._leaf_spans():
             if s.task is None or (stage is not None and s.stage != stage):
                 continue
             out[s.task] = out.get(s.task, 0.0) + s.duration
-        return out
+        return dict(sorted(out.items()))
 
     def threads_used(self, stage: Optional[str] = None) -> int:
         """Distinct worker threads that recorded spans (for ``stage``)."""
@@ -137,10 +215,14 @@ class Telemetry:
 
     # -- reporting -----------------------------------------------------
     def report(self) -> dict:
-        """A JSON-ready snapshot of everything collected."""
+        """A JSON-ready snapshot of everything collected.
+
+        Deterministically ordered — counters sorted by name, spans by
+        (start, span_id) — so identical runs diff cleanly.
+        """
         with self._lock:
-            spans = list(self.spans)
-            counters = dict(self.counters)
+            spans = sorted(self.spans, key=lambda s: (s.start, s.span_id))
+            counters = dict(sorted(self.counters.items()))
         return {
             "counters": counters,
             "stage_seconds": self.stage_seconds(),

@@ -16,8 +16,11 @@ still works through a deprecation shim.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from typing import Optional
 
+from .. import cache as _cache
+from ..obs.record import Recorder
 from ..schedule import Schedule
 from ..sim import Target, estimate
 from ..tir import PrimFunc
@@ -62,6 +65,7 @@ def tune(
     database: Optional[TuningDatabase] = None,
     telemetry: Optional[Telemetry] = None,
     task: Optional[str] = None,
+    recorder: Optional[Recorder] = None,
     **legacy,
 ) -> TuneResult:
     """Tune one workload; returns the best schedule found.
@@ -72,70 +76,91 @@ def tune(
     intrinsic matches — and the paper's §5.2 observes the
     divide-and-conquer search space is *smaller*, converging in fewer
     trials).
+
+    With ``config.obs.enabled`` (or an explicit ``recorder``) the run is
+    flight-recorded: hierarchical spans, per-candidate events and a
+    per-trial provenance ledger.  A recorder created here (from the
+    config) has its JSONL sink flushed before returning; pass your own
+    ``recorder`` to keep the in-memory ledger across calls.
     """
     config = _resolve_config(config, legacy, "tune")
     task = task or func.name
+    owns_recorder = False
+    if recorder is None and config.obs.enabled:
+        recorder = Recorder(config.obs, telemetry=telemetry)
+        owns_recorder = True
+    recording = recorder is not None and recorder.enabled
+    cache_before = _cache.snapshot_counts() if owns_recorder and recording else None
 
-    if database is not None:
-        t0 = time.perf_counter()
-        replayed = _replay_result(func, target, database)
-        if replayed is not None:
+    task_span = (
+        telemetry.span("task", task) if telemetry is not None else nullcontext()
+    )
+    with task_span:
+        if database is not None:
+            t0 = time.perf_counter()
+            replayed = _replay_result(func, target, database)
+            if replayed is not None:
+                if telemetry is not None:
+                    telemetry.add("replay", time.perf_counter() - t0, task, start=t0)
+                    telemetry.count("tasks_replayed")
+                return replayed
+
+        probe = Schedule(func, record_trace=False)
+        sketches = config.sketches
+        if sketches is None:
+            t0 = time.perf_counter()
+            sketches = generate_sketches(
+                probe, target, allow_tensorize=config.allow_tensorize
+            )
             if telemetry is not None:
-                telemetry.add("replay", time.perf_counter() - t0, task)
-                telemetry.count("tasks_replayed")
-            return replayed
+                telemetry.add("sketch-gen", time.perf_counter() - t0, task, start=t0)
+        if not sketches:
+            raise ValueError(f"no applicable sketches for {func.name}")
 
-    probe = Schedule(func, record_trace=False)
-    sketches = config.sketches
-    if sketches is None:
-        t0 = time.perf_counter()
-        sketches = generate_sketches(
-            probe, target, allow_tensorize=config.allow_tensorize
+        model = CostModel(target, seed=config.seed, recorder=recorder)
+        best: Optional[TuneResult] = None
+        combined_stats = SearchStats()
+        records = []
+        has_tensor = any(s.name in ("tensor-core", "cpu-sdot") for s in sketches)
+        for i, sketch in enumerate(sketches):
+            if has_tensor and len(sketches) > 1:
+                share = 0.75 if sketch.name in ("tensor-core", "cpu-sdot") else 0.25
+            else:
+                share = 1.0 / len(sketches)
+            budget = max(2, int(config.trials * share))
+            result = evolutionary_search(
+                func,
+                sketch,
+                target,
+                config.with_(trials=budget, seed=config.seed + i * 7919, sketches=None),
+                cost_model=model,
+                telemetry=telemetry,
+                task=task,
+                recorder=recorder,
+            )
+            records.extend(result.records)
+            combined_stats.merge(result.stats)
+            if best is None or result.best_cycles < best.best_cycles:
+                best = result
+        assert best is not None
+        out = TuneResult(
+            func.name,
+            best.best_func,
+            best.best_cycles,
+            best.best_report,
+            best.best_sketch,
+            records=records,
+            stats=combined_stats,
+            best_decisions=best.best_decisions,
         )
         if telemetry is not None:
-            telemetry.add("sketch-gen", time.perf_counter() - t0, task)
-    if not sketches:
-        raise ValueError(f"no applicable sketches for {func.name}")
-
-    model = CostModel(target, seed=config.seed)
-    best: Optional[TuneResult] = None
-    combined_stats = SearchStats()
-    records = []
-    has_tensor = any(s.name in ("tensor-core", "cpu-sdot") for s in sketches)
-    for i, sketch in enumerate(sketches):
-        if has_tensor and len(sketches) > 1:
-            share = 0.75 if sketch.name in ("tensor-core", "cpu-sdot") else 0.25
-        else:
-            share = 1.0 / len(sketches)
-        budget = max(2, int(config.trials * share))
-        result = evolutionary_search(
-            func,
-            sketch,
-            target,
-            config.with_(trials=budget, seed=config.seed + i * 7919, sketches=None),
-            cost_model=model,
-            telemetry=telemetry,
-            task=task,
-        )
-        records.extend(result.records)
-        combined_stats.merge(result.stats)
-        if best is None or result.best_cycles < best.best_cycles:
-            best = result
-    assert best is not None
-    out = TuneResult(
-        func.name,
-        best.best_func,
-        best.best_cycles,
-        best.best_report,
-        best.best_sketch,
-        records=records,
-        stats=combined_stats,
-        best_decisions=best.best_decisions,
-    )
-    if telemetry is not None:
-        telemetry.count("tasks_searched")
-    if database is not None and out.best_sketch is not None and out.best_decisions is not None:
-        database.record(
-            func, target, out.best_sketch, out.best_decisions, out.best_cycles
-        )
-    return out
+            telemetry.count("tasks_searched")
+        if database is not None and out.best_sketch is not None and out.best_decisions is not None:
+            database.record(
+                func, target, out.best_sketch, out.best_decisions, out.best_cycles
+            )
+        if cache_before is not None:
+            recorder.record_cache_delta(_cache.delta_since(cache_before))
+        if owns_recorder:
+            recorder.close()
+        return out

@@ -1,0 +1,67 @@
+"""``repro.obs`` — the tuning flight recorder.
+
+A structured tracing layer threaded through the whole tuning stack
+(§Table 1 of the paper is a tuning-*time* result; explaining one
+requires knowing where every second and every rejected candidate went):
+
+* **Hierarchical spans** — :class:`~repro.meta.telemetry.Telemetry`
+  spans carry ids and parent links
+  (``session → task → generation → build/verify/estimate/measure``);
+  the flat ``stage_seconds()`` view is unchanged.
+* **Typed events** — a bounded, thread-safe
+  :class:`~repro.obs.events.EventStream` (:class:`TrialEvent`,
+  :class:`Rejection`, :class:`BestImproved`, :class:`GenerationEnd`,
+  :class:`ModelUpdate`, :class:`CacheEvent`) with an optional JSONL
+  sink, so long sessions never grow memory unboundedly.
+* **Per-trial provenance** — every candidate that reaches the measurer
+  gets a :class:`~repro.obs.record.TrialRecord` (workload key, sketch,
+  generation, mutation lineage, decision vector, serialized schedule
+  trace, structural hash): any recorded best program can be re-derived
+  by :func:`replay_trial`.
+* **Exporters + CLI** — ``python -m repro.obs`` summarizes a recording,
+  exports a Chrome-trace/Perfetto timeline, and diffs two runs.
+
+Switch it on through the tune config::
+
+    cfg = TuneConfig(trials=32, obs=ObsConfig(enabled=True, sink_path="run.jsonl"))
+    session = TuningSession(SimGPU(), cfg)
+    session.add(ops.matmul(512, 512, 512))
+    report = session.run()
+    session.recorder.save("run.json")          # the flight recording
+    # then: python -m repro.obs summarize run.json
+"""
+
+from .config import ObsConfig
+from .events import (
+    BestImproved,
+    CacheEvent,
+    EventStream,
+    GenerationEnd,
+    JsonlSink,
+    ModelUpdate,
+    Rejection,
+    TrialEvent,
+    event_to_json,
+)
+from .export import chrome_trace, diff_recordings, summarize
+from .record import Recorder, TrialRecord, load_recording, replay_trial
+
+__all__ = [
+    "ObsConfig",
+    "Recorder",
+    "TrialRecord",
+    "EventStream",
+    "JsonlSink",
+    "TrialEvent",
+    "Rejection",
+    "BestImproved",
+    "GenerationEnd",
+    "ModelUpdate",
+    "CacheEvent",
+    "event_to_json",
+    "chrome_trace",
+    "summarize",
+    "diff_recordings",
+    "load_recording",
+    "replay_trial",
+]

@@ -1,0 +1,94 @@
+"""CLI over saved flight recordings.
+
+    python -m repro.obs summarize RUN.json
+    python -m repro.obs export --chrome RUN.json -o TIMELINE.json
+    python -m repro.obs diff A.json B.json
+
+``summarize`` prints the per-stage / per-task / rejection-mix tables;
+``export --chrome`` writes a Chrome-trace/Perfetto timeline; ``diff``
+compares two runs (stage seconds, rejection mix, best-cost curve).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+from .export import chrome_trace, diff_recordings, summarize
+from .record import load_recording
+
+
+def _write_atomic(path: str, payload: str) -> None:
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".obs-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect and export tuning flight recordings.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize", help="per-stage/per-task summary table")
+    p_sum.add_argument("recording", help="path to a Recorder.save artifact")
+
+    p_exp = sub.add_parser("export", help="convert a recording to a timeline")
+    p_exp.add_argument("recording", help="path to a Recorder.save artifact")
+    p_exp.add_argument(
+        "--chrome", action="store_true",
+        help="Chrome-trace/Perfetto JSON (the only format, and the default)",
+    )
+    p_exp.add_argument("-o", "--out", default=None, help="output path (default: stdout)")
+
+    p_diff = sub.add_parser("diff", help="compare two recordings")
+    p_diff.add_argument("recording_a")
+    p_diff.add_argument("recording_b")
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "summarize":
+            print(summarize(load_recording(args.recording)))
+        elif args.command == "export":
+            trace = chrome_trace(load_recording(args.recording))
+            payload = json.dumps(trace, indent=1, sort_keys=True)
+            if args.out:
+                _write_atomic(args.out, payload)
+                print(
+                    f"wrote {args.out} ({len(trace['traceEvents'])} trace events)",
+                    file=sys.stderr,
+                )
+            else:
+                print(payload)
+        elif args.command == "diff":
+            a = load_recording(args.recording_a)
+            b = load_recording(args.recording_b)
+            print(
+                diff_recordings(
+                    a, b,
+                    label_a=os.path.basename(args.recording_a),
+                    label_b=os.path.basename(args.recording_b),
+                )
+            )
+    except FileNotFoundError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, KeyError, ValueError) as err:
+        print(f"error: malformed recording: {err}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

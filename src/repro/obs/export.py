@@ -1,0 +1,300 @@
+"""Exporters over a saved flight recording.
+
+* :func:`chrome_trace` — the telemetry span hierarchy + event stream as
+  a Chrome-trace/Perfetto JSON timeline (``traceEvents`` with complete
+  ``ph: "X"`` slices per span, ``ph: "i"`` instants per event, and
+  thread-name metadata).  Load it at ``ui.perfetto.dev`` or
+  ``chrome://tracing``.
+* :func:`summarize` — a per-stage / per-task text table: where the
+  seconds went, what was rejected and why, the best program per task.
+* :func:`diff_recordings` — two runs side by side: stage seconds,
+  rejection mix, and the best-cost curve, so a tuning-time regression
+  can be localized without re-running anything.
+
+All three consume the plain-dict artifact written by
+:meth:`~repro.obs.record.Recorder.save`; nothing here imports the
+compiler stack, so post-mortem analysis works in any Python.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["chrome_trace", "summarize", "diff_recordings"]
+
+
+def _spans(recording: dict) -> List[dict]:
+    return recording.get("telemetry", {}).get("spans", [])
+
+
+def _leaf_spans(recording: dict) -> List[dict]:
+    """Spans with no recorded children — the same leaf-only rule
+    :meth:`repro.meta.telemetry.Telemetry.stage_seconds` uses, so
+    summed seconds track wall time instead of double-counting the
+    ``session``/``task``/``generation`` containers."""
+    spans = _spans(recording)
+    parents = {s.get("parent_id") for s in spans if s.get("parent_id") is not None}
+    return [s for s in spans if s.get("span_id") not in parents]
+
+
+def _base_ts(recording: dict) -> float:
+    spans = _spans(recording)
+    events = recording.get("events", [])
+    candidates = [s["start"] for s in spans] + [e["ts"] for e in events]
+    anchor = recording.get("clock_anchor")
+    if anchor is not None:
+        candidates.append(anchor)
+    return min(candidates) if candidates else 0.0
+
+
+def chrome_trace(recording: dict) -> dict:
+    """Convert a recording to Chrome-trace JSON (Perfetto-loadable).
+
+    Timestamps are microseconds relative to the earliest span/event.
+    Each telemetry thread becomes a ``tid`` (named via ``thread_name``
+    metadata); spans carry their ``span_id``/``parent_id``/``task`` in
+    ``args`` so the hierarchy survives into the UI.
+    """
+    base = _base_ts(recording)
+    tids: Dict[str, int] = {}
+    trace_events: List[dict] = []
+
+    def tid_of(thread: str) -> int:
+        if thread not in tids:
+            tids[thread] = len(tids) + 1
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tids[thread],
+                    "args": {"name": thread},
+                }
+            )
+        return tids[thread]
+
+    for span in _spans(recording):
+        trace_events.append(
+            {
+                "name": span["stage"],
+                "cat": "span",
+                "ph": "X",
+                "ts": round((span["start"] - base) * 1e6, 3),
+                "dur": round(span["duration"] * 1e6, 3),
+                "pid": 1,
+                "tid": tid_of(span.get("thread", "main")),
+                "args": {
+                    "task": span.get("task"),
+                    "span_id": span.get("span_id"),
+                    "parent_id": span.get("parent_id"),
+                },
+            }
+        )
+    for event in recording.get("events", []):
+        args = {k: v for k, v in event.items() if k not in ("kind", "ts")}
+        trace_events.append(
+            {
+                "name": event.get("kind", "event"),
+                "cat": "event",
+                "ph": "i",
+                "s": "p",  # process-scoped instant
+                "ts": round((event.get("ts", base) - base) * 1e6, 3),
+                "pid": 1,
+                "tid": tid_of("events"),
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": recording.get("schema"),
+            "created_unix": recording.get("created_unix"),
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# summary
+# ---------------------------------------------------------------------------
+
+
+def _table(rows: List[List[str]], header: List[str]) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(header)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)).rstrip())
+    return "\n".join(lines)
+
+
+def _rejection_mix(recording: dict) -> Dict[str, int]:
+    """Per-code rejection counts: prefer exact telemetry counters, fall
+    back to the (possibly sampled) event stream."""
+    counters = recording.get("telemetry", {}).get("counters", {})
+    prefix = "rejected_by_code."
+    mix = {
+        name[len(prefix):]: int(value)
+        for name, value in counters.items()
+        if name.startswith(prefix)
+    }
+    if mix:
+        return mix
+    out: Dict[str, int] = {}
+    for event in recording.get("events", []):
+        if event.get("kind") == "rejection":
+            out[event["code"]] = out.get(event["code"], 0) + 1
+    return out
+
+
+def _best_by_task(recording: dict) -> Dict[str, float]:
+    best: Dict[str, float] = {}
+    for trial in recording.get("trials", []):
+        cycles = trial.get("cycles")
+        if cycles is None:
+            continue
+        task = trial.get("task", "?")
+        if task not in best or cycles < best[task]:
+            best[task] = cycles
+    if best:
+        return best
+    for event in recording.get("events", []):
+        if event.get("kind") == "best-improved":
+            best[event["task"]] = event["cycles"]
+    return best
+
+
+def summarize(recording: dict) -> str:
+    """A human-readable digest of one recording."""
+    telemetry = recording.get("telemetry", {})
+    out: List[str] = []
+    out.append(f"flight recording ({recording.get('schema', '?')})")
+    stats = recording.get("event_stats", {})
+    trials = recording.get("trials", [])
+    measured = [t for t in trials if t.get("cycles") is not None]
+    out.append(
+        f"events: {stats.get('emitted', 0)} emitted, {stats.get('kept', 0)} kept, "
+        f"{stats.get('sampled_out', 0)} sampled out, {stats.get('dropped', 0)} dropped; "
+        f"trials: {len(trials)} recorded, {len(measured)} measured, "
+        f"{sum(1 for t in measured if t.get('trace'))} with replayable traces"
+    )
+
+    stage_seconds = telemetry.get("stage_seconds", {})
+    if stage_seconds:
+        total = sum(stage_seconds.values()) or 1.0
+        rows = [
+            [stage, f"{seconds:.4f}", f"{100 * seconds / total:.1f}%"]
+            for stage, seconds in sorted(
+                stage_seconds.items(), key=lambda kv: -kv[1]
+            )
+        ]
+        out.append("")
+        out.append(_table(rows, ["stage", "seconds", "share"]))
+
+    tasks: Dict[str, Dict[str, float]] = {}
+    for span in _leaf_spans(recording):
+        task = span.get("task")
+        if task is None:
+            continue
+        tasks.setdefault(task, {"seconds": 0.0})
+        tasks[task]["seconds"] += span["duration"]
+    best = _best_by_task(recording)
+    trials_per_task: Dict[str, int] = {}
+    for t in measured:
+        trials_per_task[t["task"]] = trials_per_task.get(t["task"], 0) + 1
+    if tasks or best:
+        rows = []
+        for task in sorted(set(tasks) | set(best)):
+            rows.append(
+                [
+                    task,
+                    f"{tasks.get(task, {}).get('seconds', 0.0):.4f}",
+                    str(trials_per_task.get(task, 0)),
+                    f"{best[task]:.0f}" if task in best else "-",
+                ]
+            )
+        out.append("")
+        out.append(_table(rows, ["task", "span-seconds", "measured", "best-cycles"]))
+
+    mix = _rejection_mix(recording)
+    if mix:
+        total_rej = sum(mix.values()) or 1
+        rows = [
+            [code, str(count), f"{100 * count / total_rej:.1f}%"]
+            for code, count in sorted(mix.items(), key=lambda kv: (-kv[1], kv[0]))
+        ]
+        out.append("")
+        out.append(_table(rows, ["rejection", "count", "share"]))
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# diff
+# ---------------------------------------------------------------------------
+
+
+def _best_curve(recording: dict, task: Optional[str] = None) -> List[float]:
+    curve = [
+        e["cycles"]
+        for e in recording.get("events", [])
+        if e.get("kind") == "best-improved" and (task is None or e.get("task") == task)
+    ]
+    return curve
+
+
+def diff_recordings(a: dict, b: dict, label_a: str = "A", label_b: str = "B") -> str:
+    """Compare two recordings: stage seconds, rejection mix, best cost."""
+    out: List[str] = [f"diff: {label_a} vs {label_b}"]
+
+    sa = a.get("telemetry", {}).get("stage_seconds", {})
+    sb = b.get("telemetry", {}).get("stage_seconds", {})
+    rows = []
+    for stage in sorted(set(sa) | set(sb)):
+        va, vb = sa.get(stage, 0.0), sb.get(stage, 0.0)
+        delta = vb - va
+        pct = f"{100 * delta / va:+.1f}%" if va else "new"
+        rows.append([stage, f"{va:.4f}", f"{vb:.4f}", f"{delta:+.4f}", pct])
+    if rows:
+        out.append("")
+        out.append(_table(rows, ["stage", label_a, label_b, "delta", "pct"]))
+
+    ma, mb = _rejection_mix(a), _rejection_mix(b)
+    rows = []
+    for code in sorted(set(ma) | set(mb)):
+        rows.append(
+            [code, str(ma.get(code, 0)), str(mb.get(code, 0)),
+             f"{mb.get(code, 0) - ma.get(code, 0):+d}"]
+        )
+    if rows:
+        out.append("")
+        out.append(_table(rows, ["rejection", label_a, label_b, "delta"]))
+
+    besta, bestb = _best_by_task(a), _best_by_task(b)
+    rows = []
+    for task in sorted(set(besta) | set(bestb)):
+        va, vb = besta.get(task), bestb.get(task)
+        if va is not None and vb is not None:
+            verdict = "same" if va == vb else ("better" if vb < va else "worse")
+        else:
+            verdict = "only-" + (label_a if va is not None else label_b)
+        rows.append(
+            [
+                task,
+                f"{va:.0f}" if va is not None else "-",
+                f"{vb:.0f}" if vb is not None else "-",
+                f"{len(_best_curve(a, task))}/{len(_best_curve(b, task))}",
+                verdict,
+            ]
+        )
+    if rows:
+        out.append("")
+        out.append(
+            _table(rows, ["task", f"best({label_a})", f"best({label_b})",
+                          "improvements", "verdict"])
+        )
+    return "\n".join(out)

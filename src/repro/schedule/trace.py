@@ -5,6 +5,13 @@ with the random decisions taken at sampling instructions.  Traces can be
 replayed onto a fresh schedule of the same workload, and their decisions
 can be overridden — the mechanism behind the evolutionary search's
 mutation step (§4.4).
+
+Traces round-trip through JSON (:meth:`Trace.to_json` /
+:meth:`Trace.from_json`): block/loop random variables are tagged
+(``{"$block": name}`` / ``{"$loop": name}``) so a deserialized trace
+resolves against a fresh schedule of the same workload — the foundation
+of the flight recorder's per-trial provenance (``repro.obs``), where a
+recorded best program is re-derived by replaying its stored trace.
 """
 
 from __future__ import annotations
@@ -14,6 +21,37 @@ from typing import Dict, List, Optional, Sequence
 from .sref import ScheduleError
 
 __all__ = ["Instruction", "Trace"]
+
+
+def _pack(value):
+    """Schedule-trace value → JSON-ready value (RVs become tagged dicts)."""
+    from .state import BlockRV, LoopRV
+
+    if isinstance(value, BlockRV):
+        return {"$block": value.name}
+    if isinstance(value, LoopRV):
+        return {"$loop": value.name}
+    if isinstance(value, (list, tuple)):
+        return [_pack(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _pack(v) for k, v in value.items()}
+    return value
+
+
+def _unpack(value):
+    """Inverse of :func:`_pack` (tuples come back as lists, which every
+    primitive accepts — they take ``Sequence``s)."""
+    from .state import BlockRV, LoopRV
+
+    if isinstance(value, dict):
+        if set(value) == {"$block"}:
+            return BlockRV(value["$block"])
+        if set(value) == {"$loop"}:
+            return LoopRV(value["$loop"])
+        return {k: _unpack(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_unpack(v) for v in value]
+    return value
 
 
 class Instruction:
@@ -38,6 +76,26 @@ class Instruction:
     @property
     def is_sampling(self) -> bool:
         return self.name.startswith("sample_")
+
+    def to_json(self) -> dict:
+        """JSON-ready form; see :meth:`Trace.to_json`."""
+        return {
+            "name": self.name,
+            "inputs": _pack(self.inputs),
+            "attrs": _pack(self.attrs),
+            "outputs": _pack(self.outputs),
+            "decision": _pack(self.decision),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Instruction":
+        return cls(
+            data["name"],
+            _unpack(data.get("inputs", [])),
+            _unpack(data.get("attrs", {})),
+            _unpack(data.get("outputs", [])),
+            _unpack(data.get("decision")),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover
         parts = [repr(i) for i in self.inputs]
@@ -66,6 +124,16 @@ class Trace:
     @property
     def sampling_indices(self) -> List[int]:
         return [idx for idx, inst in enumerate(self.instructions) if inst.is_sampling]
+
+    def to_json(self) -> dict:
+        """Serialize so that ``Trace.from_json(t.to_json())`` replays to a
+        structurally identical program (asserted in
+        ``tests/obs/test_trace_roundtrip.py`` for every default sketch)."""
+        return {"insts": [inst.to_json() for inst in self.instructions]}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Trace":
+        return cls(Instruction.from_json(d) for d in data.get("insts", []))
 
     def with_decision(self, index: int, decision: object) -> "Trace":
         """A copy with the decision of instruction ``index`` replaced."""

@@ -1,0 +1,144 @@
+"""Concurrency stress tests for the Telemetry span/counter collector.
+
+One Telemetry is shared by every worker of a parallel TuningSession, so
+spans, counters and the hierarchy links must survive unsynchronized
+hammering from many threads without losing or corrupting records.
+"""
+
+import threading
+
+import pytest
+
+from repro.meta import Telemetry
+
+
+N_THREADS = 8
+N_ITERS = 200
+
+
+class TestConcurrentStress:
+    def _hammer(self, t: Telemetry, barrier: threading.Barrier):
+        barrier.wait()
+        for i in range(N_ITERS):
+            with t.span("outer", task="w"):
+                with t.span("inner", task="w"):
+                    pass
+            t.add("accumulated", 0.001, task="w")
+            t.count("ops")
+            t.count("weighted", 2)
+
+    def test_no_lost_spans_or_counts(self):
+        t = Telemetry()
+        barrier = threading.Barrier(N_THREADS)
+        threads = [
+            threading.Thread(target=self._hammer, args=(t, barrier))
+            for _ in range(N_THREADS)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+
+        total = N_THREADS * N_ITERS
+        assert len(t.spans) == 3 * total
+        assert t.counters["ops"] == total
+        assert t.counters["weighted"] == 2 * total
+        assert t.threads_used("inner") == N_THREADS
+
+    def test_span_ids_unique_and_parents_resolve(self):
+        t = Telemetry()
+        barrier = threading.Barrier(N_THREADS)
+        threads = [
+            threading.Thread(target=self._hammer, args=(t, barrier))
+            for _ in range(N_THREADS)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+
+        ids = [s.span_id for s in t.spans]
+        assert len(ids) == len(set(ids))
+        known = set(ids)
+        by_id = {s.span_id: s for s in t.spans}
+        for s in t.spans:
+            if s.parent_id is not None:
+                assert s.parent_id in known
+            # Nesting is per-thread: every inner span's parent is an
+            # outer span recorded on the same thread.
+            if s.stage == "inner":
+                assert by_id[s.parent_id].stage == "outer"
+                assert by_id[s.parent_id].thread == s.thread
+
+    def test_leaf_only_aggregation_under_concurrency(self):
+        """stage_seconds counts leaves only: 'outer' spans all have an
+        'inner' child, so only inner/accumulated seconds appear."""
+        t = Telemetry()
+        barrier = threading.Barrier(4)
+        threads = [
+            threading.Thread(target=self._hammer, args=(t, barrier))
+            for _ in range(4)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        stages = t.stage_seconds()
+        assert "outer" not in stages  # container, never a leaf
+        assert "inner" in stages and "accumulated" in stages
+        assert stages["accumulated"] == pytest.approx(4 * N_ITERS * 0.001)
+
+    def test_root_fallback_attaches_worker_spans(self):
+        """Spans recorded on a thread with an empty span stack attach to
+        the declared root — how session workers join the hierarchy."""
+        t = Telemetry()
+        with t.span("session") as root_id:
+            t.set_root(root_id)
+            done = []
+
+            def worker():
+                with t.span("task", task="w"):
+                    pass
+                done.append(True)
+
+            th = threading.Thread(target=worker)
+            th.start()
+            th.join()
+            t.set_root(None)
+        assert done
+        task_span = next(s for s in t.spans if s.stage == "task")
+        session_span = next(s for s in t.spans if s.stage == "session")
+        assert task_span.parent_id == session_span.span_id
+        assert session_span.parent_id is None
+
+    def test_concurrent_report_while_writing(self):
+        """report()/stage_seconds() snapshots must not crash or corrupt
+        while writers are active."""
+        t = Telemetry()
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            while not stop.is_set():
+                with t.span("stage", task="x"):
+                    pass
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    rep = t.report()
+                    assert isinstance(rep["spans"], list)
+                    t.stage_seconds()
+            except Exception as err:  # pragma: no cover - failure path
+                errors.append(err)
+
+        threads = [threading.Thread(target=writer) for _ in range(3)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for th in threads:
+            th.start()
+        stop_timer = threading.Timer(0.3, stop.set)
+        stop_timer.start()
+        for th in threads:
+            th.join()
+        stop_timer.cancel()
+        assert errors == []
