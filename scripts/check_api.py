@@ -37,6 +37,11 @@ def main() -> int:
         "DiagnosticContext",
         "DiagnosticError",
         "Severity",
+        "Evaluator",
+        "SerialEvaluator",
+        "ThreadEvaluator",
+        "ProcessEvaluator",
+        "CandidateSpec",
         "__version__",
     ):
         check(hasattr(repro, name), f"repro.{name} missing")
@@ -58,6 +63,13 @@ def main() -> int:
         "TuneResult",
         "evolutionary_search",
         "estimated_cost",
+        "Evaluator",
+        "SerialEvaluator",
+        "ThreadEvaluator",
+        "ProcessEvaluator",
+        "CandidateSpec",
+        "get_evaluator",
+        "shutdown_evaluators",
     ):
         check(hasattr(meta, name), f"repro.meta.{name} missing")
 
@@ -131,15 +143,25 @@ def main() -> int:
         "sketches",
         "validate",
         "search_workers",
+        "evaluator",
     ):
         check(field in cfg_fields, f"TuneConfig.{field} missing")
+    # The old int-only knob must keep working through the kwargs shim.
+    check(
+        repro.TuneConfig.from_kwargs(search_workers=2).search_workers == 2,
+        "TuneConfig.from_kwargs(search_workers=...) broken",
+    )
+    check(
+        repro.TuneConfig.from_kwargs(evaluator="processes").evaluator == "processes",
+        "TuneConfig.from_kwargs(evaluator=...) broken",
+    )
 
     tune_params = inspect.signature(repro.tune).parameters
     for param in ("func", "target", "config", "database", "telemetry"):
         check(param in tune_params, f"tune(...{param}...) missing")
 
     session_params = inspect.signature(repro.TuningSession.__init__).parameters
-    for param in ("target", "config", "database", "workers", "telemetry"):
+    for param in ("target", "config", "database", "workers", "telemetry", "evaluator"):
         check(param in session_params, f"TuningSession(...{param}...) missing")
 
     run_params = inspect.signature(repro.TuningSession.run).parameters
@@ -160,6 +182,35 @@ def main() -> int:
     check(
         callable(getattr(meta.SearchStats, "merge", None)), "SearchStats.merge missing"
     )
+    check(
+        callable(getattr(meta.SearchStats, "search_signature", None)),
+        "SearchStats.search_signature missing",
+    )
+
+    # --- the evaluator protocol (pluggable backends) ------------------
+    for method in ("evaluate", "map_features", "counters", "close"):
+        check(
+            callable(getattr(repro.Evaluator, method, None)),
+            f"Evaluator.{method} missing",
+        )
+    for backend in (
+        repro.SerialEvaluator,
+        repro.ThreadEvaluator,
+        repro.ProcessEvaluator,
+    ):
+        check(
+            issubclass(backend, repro.Evaluator),
+            f"{backend.__name__} must subclass Evaluator",
+        )
+    spec_fields = set(getattr(repro.CandidateSpec, "__dataclass_fields__", {}))
+    for field in ("seed", "forced", "parent_trial"):
+        check(field in spec_fields, f"CandidateSpec.{field} missing")
+    from repro.meta.evaluator import EVALUATOR_KINDS
+
+    for kind in ("auto", "serial", "threads", "processes"):
+        check(kind in EVALUATOR_KINDS, f"evaluator kind {kind!r} missing")
+    search_params = inspect.signature(meta.evolutionary_search).parameters
+    check("evaluator" in search_params, "evolutionary_search(...evaluator...) missing")
 
     # --- the observability layer (flight recorder) --------------------
     from repro import obs
@@ -199,8 +250,8 @@ def main() -> int:
         check(field in obs_fields, f"ObsConfig.{field} missing")
     check(not obs.ObsConfig().enabled, "ObsConfig must default to disabled")
     for method in ("trial", "rejection", "best_improved", "generation_end",
-                   "model_update", "record_cache_delta", "recording", "save",
-                   "close"):
+                   "model_update", "record_cache_delta", "record_evaluator",
+                   "recording", "save", "close"):
         check(
             callable(getattr(obs.Recorder, method, None)),
             f"Recorder.{method} missing",

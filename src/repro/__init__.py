@@ -35,8 +35,13 @@ from .diagnostics import (  # noqa: F401  — the typed diagnostics API
     Severity,
 )
 from .meta import (  # noqa: F401  — the documented top-level tuning API
+    CandidateSpec,
+    Evaluator,
     ObsConfig,
+    ProcessEvaluator,
+    SerialEvaluator,
     Telemetry,
+    ThreadEvaluator,
     TuneConfig,
     TuneResult,
     TuningDatabase,
@@ -56,6 +61,11 @@ __all__ = [
     "TuningSession",
     "TuningDatabase",
     "Telemetry",
+    "Evaluator",
+    "SerialEvaluator",
+    "ThreadEvaluator",
+    "ProcessEvaluator",
+    "CandidateSpec",
     "workload_key",
     "verify",
     "Diagnostic",

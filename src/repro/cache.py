@@ -33,6 +33,7 @@ from typing import Any, Callable, Dict, Tuple
 __all__ = [
     "MemoCache",
     "MISS",
+    "absorb_worker_counts",
     "all_caches",
     "cache_stats",
     "caches_enabled",
@@ -41,6 +42,7 @@ __all__ = [
     "register_stats_source",
     "set_enabled",
     "snapshot_counts",
+    "worker_counts",
 ]
 
 
@@ -60,6 +62,12 @@ _CACHES: "OrderedDict[str, MemoCache]" = OrderedDict()
 #: extra (hits, misses) sources that are not MemoCaches — e.g. the
 #: per-node structural-hash memo, which lives on the IR nodes themselves.
 _STATS_SOURCES: Dict[str, Callable[[], Tuple[int, int]]] = {}
+#: counters absorbed from worker *processes* (see
+#: :func:`absorb_worker_counts`): each worker owns a private registry, so
+#: its activity is shipped back as deltas and merged here.  Keyed like the
+#: local registry; folded into :func:`snapshot_counts` so session reports
+#: see one merged view regardless of evaluation backend.
+_WORKER_COUNTS: Dict[str, list] = {}
 
 _ENABLED = True
 
@@ -112,6 +120,16 @@ class MemoCache:
             self._data.move_to_end(key)
             self.hits += 1
             return value
+
+    def record_miss(self) -> None:
+        """Count a lookup that never reached the table (e.g. an
+        unhashable key forced an uncached computation).  Bypasses are
+        misses from the caller's point of view: without this, hit rates
+        overstate how much of the workload the cache actually served."""
+        if not _ENABLED:
+            return
+        with self._lock:
+            self.misses += 1
 
     def put(self, key: Any, value: Any) -> None:
         if not _ENABLED:
@@ -187,18 +205,51 @@ def cache_stats() -> Dict[str, Dict[str, float]]:
     return out
 
 
+def absorb_worker_counts(delta: Dict[str, Tuple[int, int, int]]) -> None:
+    """Merge cache-counter deltas shipped back from a worker *process*.
+
+    Worker processes run their own private cache registries (memo
+    entries never cross the process boundary — only these counters do).
+    Each absorbed delta accumulates into a process-level side table that
+    :func:`snapshot_counts` folds into the per-cache totals, so
+    ``delta_since`` windows and ``SessionReport.cache_stats`` describe
+    the whole evaluation fleet, not just the coordinating process.
+    """
+    with _REGISTRY_LOCK:
+        for name, counts in delta.items():
+            hits = int(counts[0])
+            misses = int(counts[1]) if len(counts) > 1 else 0
+            evictions = int(counts[2]) if len(counts) > 2 else 0
+            slot = _WORKER_COUNTS.setdefault(name, [0, 0, 0])
+            slot[0] += hits
+            slot[1] += misses
+            slot[2] += evictions
+
+
+def worker_counts() -> Dict[str, Tuple[int, int, int]]:
+    """Accumulated worker-process counters (merged into snapshots)."""
+    with _REGISTRY_LOCK:
+        return {name: tuple(counts) for name, counts in _WORKER_COUNTS.items()}
+
+
 def snapshot_counts() -> Dict[str, Tuple[int, int, int]]:
     """``{name: (hits, misses, evictions)}`` for delta accounting across
-    a run.  External stats sources have no eviction counter and report 0."""
+    a run — local registry activity plus any counters absorbed from
+    worker processes.  External stats sources have no eviction counter
+    and report 0."""
     snap = {
         name: (cache.hits, cache.misses, cache.evictions)
         for name, cache in all_caches().items()
     }
     with _REGISTRY_LOCK:
         sources = dict(_STATS_SOURCES)
+        workers = {name: tuple(counts) for name, counts in _WORKER_COUNTS.items()}
     for name, fn in sources.items():
         hits, misses = fn()
         snap[name] = (hits, misses, 0)
+    for name, (hits, misses, evictions) in workers.items():
+        base = snap.get(name, (0, 0, 0))
+        snap[name] = (base[0] + hits, base[1] + misses, base[2] + evictions)
     return snap
 
 

@@ -72,31 +72,35 @@ class RegressionTree:
         base_err = total_sq - total_sum**2 / n
         best_gain = self.min_gain
         best: Optional[Tuple[int, float, float]] = None
+        # Candidate split after position i (1-based prefix length).  The
+        # whole i-scan is vectorized per feature; elementwise arithmetic
+        # matches the scalar loop exactly and ``argmax`` picks the first
+        # index attaining the max, which is the same winner a sequential
+        # strict-improvement scan selects.
+        candidates = np.arange(self.min_samples_leaf, n - self.min_samples_leaf + 1)
+        candidates = candidates[candidates < n]
+        if not len(candidates):
+            return None
         for f in range(d):
             order = np.argsort(X[:, f], kind="stable")
             xs = X[order, f]
             ys = y[order]
             csum = np.cumsum(ys)
             csq = np.cumsum(ys**2)
-            # candidate split after position i (1-based prefix length)
-            for i in range(self.min_samples_leaf, n - self.min_samples_leaf + 1):
-                if i < n and xs[i - 1] == xs[i]:
-                    continue  # not a valid threshold between equal values
-                if i >= n:
-                    break
-                left_sum, left_sq = csum[i - 1], csq[i - 1]
-                right_sum = total_sum - left_sum
-                right_sq = total_sq - left_sq
-                err = (
-                    left_sq
-                    - left_sum**2 / i
-                    + right_sq
-                    - right_sum**2 / (n - i)
-                )
-                gain = base_err - err
-                if gain > best_gain:
-                    best_gain = gain
-                    best = (f, float((xs[i - 1] + xs[i]) / 2.0), gain)
+            # thresholds between equal sorted values are not valid splits
+            i = candidates[xs[candidates - 1] != xs[candidates]]
+            if not len(i):
+                continue
+            left_sum, left_sq = csum[i - 1], csq[i - 1]
+            right_sum = total_sum - left_sum
+            right_sq = total_sq - left_sq
+            err = left_sq - left_sum**2 / i + right_sq - right_sum**2 / (n - i)
+            gain = base_err - err
+            j = int(np.argmax(gain))
+            if gain[j] > best_gain:
+                best_gain = float(gain[j])
+                split = int(i[j])
+                best = (f, float((xs[split - 1] + xs[split]) / 2.0), best_gain)
         return best
 
     def predict(self, X: np.ndarray) -> np.ndarray:
@@ -104,11 +108,19 @@ class RegressionTree:
             raise RuntimeError("tree is not fitted")
         X = np.asarray(X, dtype=np.float64)
         out = np.empty(len(X), dtype=np.float64)
-        for i, row in enumerate(X):
-            node = self.root
-            while not node.is_leaf:
-                node = node.left if row[node.feature] <= node.threshold else node.right
-            out[i] = node.value
+        # Route whole index sets down the tree instead of one row at a
+        # time — identical leaf values, one numpy comparison per node.
+        frontier = [(self.root, np.arange(len(X)))]
+        while frontier:
+            node, idx = frontier.pop()
+            if not len(idx):
+                continue
+            if node.is_leaf:
+                out[idx] = node.value
+            else:
+                left = X[idx, node.feature] <= node.threshold
+                frontier.append((node.left, idx[left]))
+                frontier.append((node.right, idx[~left]))
         return out
 
 

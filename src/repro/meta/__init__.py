@@ -10,6 +10,15 @@ from .autocopy import (
 from .config import TuneConfig
 from .cost_model import CostModel
 from .database import DatabaseEntry, TuningDatabase, workload_key
+from .evaluator import (
+    CandidateSpec,
+    Evaluator,
+    ProcessEvaluator,
+    SerialEvaluator,
+    ThreadEvaluator,
+    get_evaluator,
+    shutdown_evaluators,
+)
 from .feature import FEATURE_NAMES, extract_features
 from .search import MeasureRecord, SearchStats, TuneResult, evolutionary_search
 from .session import SessionReport, TaskReport, TuningSession, estimated_cost
@@ -35,6 +44,13 @@ __all__ = [
     "TuningSession",
     "SessionReport",
     "TaskReport",
+    "Evaluator",
+    "SerialEvaluator",
+    "ThreadEvaluator",
+    "ProcessEvaluator",
+    "CandidateSpec",
+    "get_evaluator",
+    "shutdown_evaluators",
     "estimated_cost",
     "TuningDatabase",
     "DatabaseEntry",

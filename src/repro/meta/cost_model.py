@@ -11,6 +11,7 @@ effect) — the search still works, just less guided.
 from __future__ import annotations
 
 import math
+import threading
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -34,6 +35,8 @@ class CostModel:
         #: optional :class:`repro.obs.Recorder` — every refit is emitted
         #: as a ``model-update`` event on the flight recording.
         self.recorder = recorder
+        self._pending: Optional[threading.Thread] = None
+        self._pending_model: Optional[GradientBoostedTrees] = None
 
     @property
     def n_samples(self) -> int:
@@ -46,28 +49,84 @@ class CostModel:
     def features(self, func: PrimFunc) -> np.ndarray:
         return extract_features(func, self.target)
 
-    def update(self, funcs: Sequence[PrimFunc], cycles: Sequence[float]) -> None:
-        """Record measured results and refit."""
+    def _append(self, funcs: Sequence[PrimFunc], cycles: Sequence[float]) -> bool:
+        """Absorb measurements; emit the recorder event *now* (so the
+        flight recording's event order never depends on when a refit
+        actually runs) and report whether a refit is due."""
         for func, c in zip(funcs, cycles):
             self._X.append(self.features(func))
             self._y.append(-math.log(max(c, 1.0)))  # higher = faster
-        if len(self._y) >= self.min_data:
-            X = np.stack(self._X)
-            y = np.array(self._y)
-            self._model = GradientBoostedTrees(
-                n_trees=40, learning_rate=0.2, max_depth=4, seed=self._seed
-            ).fit(X, y)
+        due = len(self._y) >= self.min_data
         if self.recorder is not None:
-            self.recorder.model_update(len(self._y), self._model is not None)
+            self.recorder.model_update(len(self._y), due or self._model is not None)
+        return due
 
-    def predict(self, funcs: Sequence[PrimFunc], executor=None) -> np.ndarray:
+    def _fit(self) -> GradientBoostedTrees:
+        X = np.stack(self._X)
+        y = np.array(self._y)
+        return GradientBoostedTrees(
+            n_trees=40, learning_rate=0.2, max_depth=4, seed=self._seed
+        ).fit(X, y)
+
+    def update(self, funcs: Sequence[PrimFunc], cycles: Sequence[float]) -> None:
+        """Record measured results and refit."""
+        self.commit_update()
+        if self._append(funcs, cycles):
+            self._model = self._fit()
+
+    def update_async(self, funcs: Sequence[PrimFunc], cycles: Sequence[float]) -> None:
+        """Like :meth:`update`, but the refit runs on a background
+        thread so the caller can overlap it with other work (candidate
+        evaluation on a pool, say).
+
+        Deterministic by construction: the fit is a pure function of the
+        accumulated ``(X, y, seed)``, which this thread finalizes before
+        spawning, and :meth:`commit_update` installs the result before
+        the next prediction.  Only the *wall-clock overlap* differs from
+        the synchronous path — never a predicted score.
+        """
+        self.commit_update()
+        if not self._append(funcs, cycles):
+            return
+        snapshot_len = len(self._y)
+
+        def fit() -> None:
+            # _X/_y only grow, and only after commit_update() joins this
+            # thread — the slices below are stable.
+            assert len(self._y) == snapshot_len
+            self._pending_model = self._fit()
+
+        self._pending = threading.Thread(
+            target=fit, name="cost-model-fit", daemon=True
+        )
+        self._pending.start()
+
+    def commit_update(self) -> None:
+        """Install any refit still in flight; must run before the model
+        is next read (predict) or written (update)."""
+        if self._pending is not None:
+            self._pending.join()
+            self._pending = None
+            if self._pending_model is not None:
+                self._model = self._pending_model
+                self._pending_model = None
+
+    def predict(
+        self, funcs: Sequence[PrimFunc], executor=None, features=None
+    ) -> np.ndarray:
         """Predicted scores (higher = better).
 
-        Pass a ``concurrent.futures`` executor to extract features in
-        parallel; ``executor.map`` preserves input order, so results are
-        identical to the serial path.
+        ``features`` — pre-extracted vectors (one per func), e.g. from
+        :meth:`repro.meta.evaluator.Evaluator.map_features` — skips
+        inline extraction entirely.  Alternatively pass a
+        ``concurrent.futures`` executor to extract in parallel here;
+        both preserve input order, so results are identical to the
+        serial path.
         """
-        if executor is not None and len(funcs) > 1:
+        self.commit_update()
+        if features is not None and len(features) == len(funcs):
+            feats = np.stack(list(features))
+        elif executor is not None and len(funcs) > 1:
             feats = np.stack(list(executor.map(self.features, funcs)))
         else:
             feats = np.stack([self.features(f) for f in funcs])

@@ -1,0 +1,541 @@
+"""Pluggable candidate-evaluation backends (the §4.4 measurement seam).
+
+Evolutionary search draws *candidate specs* — (seed, forced-decision
+prefix) pairs — centrally, from one RNG stream, and hands them to an
+:class:`Evaluator` to be built and validated wherever capacity exists.
+The contract that keeps every backend interchangeable:
+
+* **Specs are data.** A :class:`CandidateSpec` is picklable and carries
+  no live compiler state; the per-search invariants (base function,
+  sketch, target, validation switch) travel once per batch as an
+  :class:`EvalContext`.
+* **Submission order is result order.** ``evaluate`` returns outcomes
+  in the order specs were submitted, regardless of completion order —
+  so the search, its statistics, and the flight recording are a pure
+  function of (workload, config), never of scheduling.
+* **Building is pure.** Candidate construction touches no shared
+  mutable state (see ``search._build_candidate``), so it can run on a
+  thread, in another process, or inline and produce identical results.
+
+Three backends ship:
+
+* :class:`SerialEvaluator` — the exact inline path; zero overhead,
+  the default for ``search_workers=1``.
+* :class:`ThreadEvaluator` — a ``ThreadPoolExecutor`` batch evaluator;
+  cheap to start, but the pure-Python build path serializes on the GIL.
+* :class:`ProcessEvaluator` — a ``ProcessPoolExecutor`` backend: specs
+  ship to warmed-up worker processes with private memo-cache
+  registries, results (and the workers' cache counters) ship back, and
+  anything unpicklable falls back to the thread backend gracefully.
+
+Pools are expensive, so module-level shared instances are reused across
+searches (:func:`get_evaluator`) and torn down at interpreter exit or
+explicitly via :func:`shutdown_evaluators`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import pickle
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import cache as _cache
+from ..sim import Target
+from ..tir import PrimFunc, structural_hash
+
+__all__ = [
+    "CandidateSpec",
+    "EvalContext",
+    "EvalOutcome",
+    "Evaluator",
+    "SerialEvaluator",
+    "ThreadEvaluator",
+    "ProcessEvaluator",
+    "EVALUATOR_KINDS",
+    "get_evaluator",
+    "resolve_evaluator",
+    "shutdown_evaluators",
+]
+
+#: the evaluator names accepted by ``TuneConfig.evaluator``
+EVALUATOR_KINDS = ("auto", "serial", "threads", "processes")
+
+
+@dataclass(frozen=True)
+class CandidateSpec:
+    """One candidate to instantiate: pure picklable data.
+
+    ``seed`` drives the candidate's private decision RNG; ``forced``
+    replays a prefix of a parent's decisions (mutation); and
+    ``parent_trial`` is flight-recorder lineage only — it never crosses
+    into the build, so provenance cannot perturb the search.
+    """
+
+    seed: int
+    forced: Optional[Tuple[object, ...]] = None
+    parent_trial: Optional[int] = None
+
+    def forced_list(self) -> Optional[List[object]]:
+        return list(self.forced) if self.forced is not None else None
+
+
+@dataclass(frozen=True)
+class EvalContext:
+    """The per-search invariants every spec in a batch shares."""
+
+    func: PrimFunc
+    sketch: object  # Sketch — kept loose to avoid an import cycle
+    target: Target
+    validate: bool = True
+
+    def key(self) -> tuple:
+        """A content-stable identity used for per-process context caching."""
+        return (
+            self.func.name,
+            structural_hash(self.func),
+            type(self.sketch).__qualname__,
+            self.sketch.token(),
+            getattr(self.target, "name", None),
+            self.validate,
+        )
+
+
+@dataclass
+class EvalOutcome:
+    """The result of building one spec, in submission order.
+
+    Exactly one of (``func``, ``rejection``) is set: a successful build
+    carries the scheduled function and its consumed decision vector, a
+    failed one carries ``("apply" | "invalid", TIR-code)``.
+    """
+
+    spec: CandidateSpec
+    func: Optional[PrimFunc] = None
+    decisions: Optional[List[object]] = None
+    rejection: Optional[Tuple[str, str]] = None
+    validate_seconds: float = 0.0
+
+
+def _build_one(ctx: EvalContext, spec: CandidateSpec) -> EvalOutcome:
+    """Build a single spec in-process (shared by serial and threads)."""
+    from .search import _build_candidate_cached
+
+    cand, rejection, validate_seconds = _build_candidate_cached(
+        ctx.func, ctx.sketch, spec.seed, spec.forced_list(), ctx.target, ctx.validate
+    )
+    if cand is None:
+        return EvalOutcome(spec, rejection=rejection, validate_seconds=validate_seconds)
+    return EvalOutcome(
+        spec, func=cand.func, decisions=cand.decisions,
+        validate_seconds=validate_seconds,
+    )
+
+
+class Evaluator:
+    """Protocol base for candidate-evaluation backends.
+
+    Subclasses implement :meth:`evaluate`; everything else has working
+    defaults.  ``workers`` is the parallel width the backend exposes
+    (``SearchStats.eval_batch_slots`` accounting), ``counters()`` the
+    occupancy/latency telemetry the search folds into its report, and
+    ``overlap_model_updates`` tells the search whether cost-model refits
+    may run concurrently with the next pool fill (safe whenever
+    evaluation does not need the coordinating thread).
+    """
+
+    name = "abstract"
+    workers = 1
+    #: may the search overlap cost-model refits with candidate builds?
+    overlap_model_updates = False
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {
+            "batches": 0,
+            "candidates": 0,
+            "busy_seconds": 0.0,
+            "feature_batches": 0,
+        }
+
+    # -- the protocol ---------------------------------------------------
+    def evaluate(
+        self, ctx: EvalContext, specs: Sequence[CandidateSpec]
+    ) -> List[EvalOutcome]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def map_features(
+        self, funcs: Sequence[PrimFunc], target: Target
+    ) -> Optional[List]:
+        """Feature vectors for ``funcs`` computed on this backend, or
+        ``None`` to let the cost model extract them inline."""
+        return None
+
+    def close(self) -> None:
+        """Release pool resources; the instance is dead afterwards."""
+
+    # -- shared accounting ----------------------------------------------
+    def _account(self, n_specs: int, seconds: float) -> None:
+        with self._lock:
+            self._counters["batches"] += 1
+            self._counters["candidates"] += n_specs
+            self._counters["busy_seconds"] += seconds
+
+    def counters(self) -> Dict[str, float]:
+        """A snapshot of this backend's occupancy/latency counters."""
+        with self._lock:
+            return dict(self._counters)
+
+    def __enter__(self) -> "Evaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} workers={self.workers}>"
+
+
+class SerialEvaluator(Evaluator):
+    """The exact inline build path — no pool, no reordering, no cost."""
+
+    name = "serial"
+
+    def evaluate(self, ctx, specs):
+        t0 = time.perf_counter()
+        outcomes = [_build_one(ctx, spec) for spec in specs]
+        self._account(len(specs), time.perf_counter() - t0)
+        return outcomes
+
+
+class ThreadEvaluator(Evaluator):
+    """Batched evaluation on a thread pool.
+
+    Futures are consumed in submission order, so results are
+    deterministic regardless of thread scheduling.  Threads share the
+    coordinating process's memo caches (and its GIL — build-heavy
+    searches want :class:`ProcessEvaluator`).
+    """
+
+    name = "threads"
+    overlap_model_updates = True
+
+    def __init__(self, workers: int = 2):
+        super().__init__()
+        self.workers = max(1, int(workers))
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="eval-worker"
+        )
+
+    def evaluate(self, ctx, specs):
+        t0 = time.perf_counter()
+        futures = [self._executor.submit(_build_one, ctx, spec) for spec in specs]
+        outcomes = [fut.result() for fut in futures]
+        self._account(len(specs), time.perf_counter() - t0)
+        return outcomes
+
+    def map_features(self, funcs, target):
+        if len(funcs) < 2:
+            return None
+        from .feature import extract_features
+
+        with self._lock:
+            self._counters["feature_batches"] += 1
+        return list(self._executor.map(lambda f: extract_features(f, target), funcs))
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+
+# ---------------------------------------------------------------------------
+# the process backend
+# ---------------------------------------------------------------------------
+
+#: per-worker-process context cache: ctx.key() -> unpickled EvalContext.
+#: Bounded crudely — contexts are small and a worker serves few searches.
+_WORKER_CONTEXTS: Dict[tuple, EvalContext] = {}
+_WORKER_CONTEXTS_MAX = 32
+#: per-worker-process cache-counter snapshot for delta shipping.
+_WORKER_SNAPSHOT: Dict[str, tuple] = {}
+
+
+def _worker_init() -> None:
+    """Warm a worker process up-front: import the registries a candidate
+    build touches (sketch classes, the tensor-intrinsic table, schedule
+    primitives) so the first real spec doesn't pay import latency.  With
+    the ``fork`` start method these are inherited already; under
+    ``spawn`` this is what makes the first batch representative."""
+    import repro.intrin  # noqa: F401
+    import repro.meta.sketch  # noqa: F401
+    import repro.schedule  # noqa: F401
+    global _WORKER_SNAPSHOT
+    _WORKER_SNAPSHOT = _cache.snapshot_counts()
+
+
+def _worker_cache_delta() -> Dict[str, Tuple[int, int, int]]:
+    """Cache-counter activity in this worker since the last shipment —
+    the payload :func:`repro.cache.absorb_worker_counts` merges."""
+    global _WORKER_SNAPSHOT
+    now = _cache.snapshot_counts()
+    last = _WORKER_SNAPSHOT
+    _WORKER_SNAPSHOT = now
+    delta = {}
+    for name, (hits, misses, evictions) in now.items():
+        prior = last.get(name, (0, 0, 0))
+        d = (hits - prior[0], misses - prior[1], evictions - prior[2])
+        if any(d):
+            delta[name] = d
+    return delta
+
+
+def _resolve_context(ctx_key: tuple, ctx_blob: bytes) -> EvalContext:
+    ctx = _WORKER_CONTEXTS.get(ctx_key)
+    if ctx is None:
+        ctx = pickle.loads(ctx_blob)
+        if len(_WORKER_CONTEXTS) >= _WORKER_CONTEXTS_MAX:
+            _WORKER_CONTEXTS.clear()
+        _WORKER_CONTEXTS[ctx_key] = ctx
+    return ctx
+
+
+def _worker_build(ctx_key: tuple, ctx_blob: bytes, spec_blob: bytes):
+    """Build one spec inside a worker process.
+
+    Returns ``(func, decisions, rejection, validate_seconds, cache_delta)``
+    — plain picklable data.  The worker's own memo caches serve repeat
+    builds; their counters ride back as a delta so the coordinator's
+    merged cache view covers the whole fleet.
+    """
+    ctx = _resolve_context(ctx_key, ctx_blob)
+    spec: CandidateSpec = pickle.loads(spec_blob)
+    from .search import _build_candidate_cached
+
+    cand, rejection, validate_seconds = _build_candidate_cached(
+        ctx.func, ctx.sketch, spec.seed, spec.forced_list(), ctx.target, ctx.validate
+    )
+    delta = _worker_cache_delta()
+    if cand is None:
+        return None, None, rejection, validate_seconds, delta
+    return cand.func, cand.decisions, None, validate_seconds, delta
+
+
+def _worker_features(ctx_key: tuple, ctx_blob: bytes, func_blob: bytes):
+    """Extract one feature vector inside a worker process."""
+    ctx = _resolve_context(ctx_key, ctx_blob)
+    func: PrimFunc = pickle.loads(func_blob)
+    from .feature import extract_features
+
+    vec = extract_features(func, ctx.target)
+    return vec, _worker_cache_delta()
+
+
+def _worker_ping() -> int:
+    import os
+
+    return os.getpid()
+
+
+class ProcessEvaluator(Evaluator):
+    """Candidate evaluation on a pool of worker processes.
+
+    Escapes the GIL: the pure-Python build/validate path runs truly in
+    parallel, one private memo-cache registry per worker.  Contexts are
+    pickled once per search and cached per-process; specs ship as tiny
+    blobs; results ship back with each worker's cache-counter delta,
+    which is merged into the coordinator's registry
+    (:func:`repro.cache.absorb_worker_counts`).
+
+    Anything that fails to pickle — a closure-carrying sketch, an exotic
+    decision object — degrades gracefully: the batch runs on an
+    embedded :class:`ThreadEvaluator` instead and the ``fallbacks``
+    counter records it.  A broken pool (a worker killed by the OS)
+    degrades the same way permanently.
+    """
+
+    name = "processes"
+    overlap_model_updates = True
+
+    def __init__(self, workers: int = 2):
+        super().__init__()
+        self.workers = max(1, int(workers))
+        self._counters["fallbacks"] = 0
+        self._pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
+            max_workers=self.workers, initializer=_worker_init
+        )
+        self._fallback: Optional[ThreadEvaluator] = None
+        self._blobs: Dict[tuple, bytes] = {}
+
+    # -- plumbing -------------------------------------------------------
+    def warm_up(self) -> int:
+        """Spin every worker up now (rather than on first submit);
+        returns the number of live workers."""
+        if self._pool is None:
+            return 0
+        futures = [self._pool.submit(_worker_ping) for _ in range(self.workers)]
+        return len({fut.result() for fut in futures})
+
+    def _context_blob(self, ctx: EvalContext, key: tuple) -> bytes:
+        blob = self._blobs.get(key)
+        if blob is None:
+            blob = pickle.dumps(ctx)
+            if len(self._blobs) >= _WORKER_CONTEXTS_MAX:
+                self._blobs.clear()
+            self._blobs[key] = blob
+        return blob
+
+    def _thread_fallback(self) -> ThreadEvaluator:
+        if self._fallback is None:
+            self._fallback = ThreadEvaluator(self.workers)
+        with self._lock:
+            self._counters["fallbacks"] += 1
+        return self._fallback
+
+    # -- the protocol ---------------------------------------------------
+    def evaluate(self, ctx, specs):
+        t0 = time.perf_counter()
+        if self._pool is None:
+            return self._thread_fallback().evaluate(ctx, specs)
+        try:
+            key = ctx.key()
+            ctx_blob = self._context_blob(ctx, key)
+            spec_blobs = [pickle.dumps(spec) for spec in specs]
+        except (pickle.PicklingError, TypeError, AttributeError):
+            # Unpicklable context or decisions: evaluate on threads.
+            return self._thread_fallback().evaluate(ctx, specs)
+        try:
+            futures = [
+                self._pool.submit(_worker_build, key, ctx_blob, blob)
+                for blob in spec_blobs
+            ]
+            outcomes = []
+            for fut, spec in zip(futures, specs):
+                func, decisions, rejection, validate_seconds, delta = fut.result()
+                if delta:
+                    _cache.absorb_worker_counts(delta)
+                outcomes.append(
+                    EvalOutcome(
+                        spec, func=func, decisions=decisions, rejection=rejection,
+                        validate_seconds=validate_seconds,
+                    )
+                )
+        except BrokenProcessPool:
+            self._pool = None  # degrade permanently, keep searching
+            return self._thread_fallback().evaluate(ctx, specs)
+        self._account(len(specs), time.perf_counter() - t0)
+        return outcomes
+
+    def map_features(self, funcs, target):
+        if self._pool is None or len(funcs) < 2:
+            return None
+        ctx = EvalContext(funcs[0], _NullSketch(), target)
+        try:
+            key = ctx.key()
+            ctx_blob = self._context_blob(ctx, key)
+            blobs = [pickle.dumps(f) for f in funcs]
+        except (pickle.PicklingError, TypeError, AttributeError):
+            return None
+        try:
+            futures = [
+                self._pool.submit(_worker_features, key, ctx_blob, blob)
+                for blob in blobs
+            ]
+            out = []
+            for fut in futures:
+                vec, delta = fut.result()
+                if delta:
+                    _cache.absorb_worker_counts(delta)
+                out.append(vec)
+        except BrokenProcessPool:
+            self._pool = None
+            return None
+        with self._lock:
+            self._counters["feature_batches"] += 1
+        return out
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._fallback is not None:
+            self._fallback.close()
+            self._fallback = None
+        self._blobs.clear()
+
+
+class _NullSketch:
+    """Stand-in sketch for contexts that only carry a target (feature
+    extraction); keeps EvalContext.key() uniform."""
+
+    name = "null"
+
+    def token(self) -> str:
+        return "null"
+
+
+# ---------------------------------------------------------------------------
+# shared instances + config resolution
+# ---------------------------------------------------------------------------
+
+_SHARED_LOCK = threading.Lock()
+_SHARED: Dict[Tuple[str, int], Evaluator] = {}
+
+
+def get_evaluator(kind: str, workers: int = 1) -> Evaluator:
+    """The process-wide shared evaluator for (kind, workers).
+
+    Pools are expensive to start (process workers especially), so every
+    search with the same backend shape reuses one instance; they are
+    torn down at interpreter exit or via :func:`shutdown_evaluators`.
+    """
+    workers = max(1, int(workers))
+    if kind == "serial":
+        workers = 1
+    with _SHARED_LOCK:
+        evaluator = _SHARED.get((kind, workers))
+        if evaluator is None:
+            if kind == "serial":
+                evaluator = SerialEvaluator()
+            elif kind == "threads":
+                evaluator = ThreadEvaluator(workers)
+            elif kind == "processes":
+                evaluator = ProcessEvaluator(workers)
+            else:
+                raise ValueError(
+                    f"unknown evaluator kind {kind!r}; expected one of "
+                    f"{', '.join(EVALUATOR_KINDS[1:])}"
+                )
+            _SHARED[(kind, workers)] = evaluator
+    return evaluator
+
+
+def shutdown_evaluators() -> None:
+    """Close every shared evaluator (tests, interpreter exit)."""
+    with _SHARED_LOCK:
+        shared = list(_SHARED.values())
+        _SHARED.clear()
+    for evaluator in shared:
+        evaluator.close()
+
+
+atexit.register(shutdown_evaluators)
+
+
+def resolve_evaluator(config) -> Evaluator:
+    """The evaluator a :class:`~repro.meta.config.TuneConfig` asks for.
+
+    ``config.evaluator`` may be a backend name (``"auto"`` picks serial
+    for one worker, threads otherwise — the pre-redesign behaviour) or
+    a ready :class:`Evaluator` instance, which is used as-is (the caller
+    owns its lifecycle).  Named backends resolve to shared instances.
+    """
+    choice = getattr(config, "evaluator", "auto")
+    if isinstance(choice, Evaluator):
+        return choice
+    workers = max(1, getattr(config, "search_workers", 1))
+    if choice in (None, "auto"):
+        choice = "serial" if workers == 1 else "threads"
+    return get_evaluator(choice, workers)

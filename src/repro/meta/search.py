@@ -22,7 +22,6 @@ import random
 import time
 import warnings
 from collections import Counter
-from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
@@ -35,6 +34,7 @@ from ..sim.cost import CostModelError
 from ..tir import PrimFunc, structural_hash
 from .config import TuneConfig
 from .cost_model import CostModel
+from .evaluator import CandidateSpec, EvalContext, Evaluator, resolve_evaluator
 from .sketch import Sketch
 from .telemetry import Telemetry
 
@@ -81,10 +81,12 @@ class SearchStats:
     apply_failed: int = 0
     measured: int = 0
     profiling_seconds: float = 0.0
-    #: batched-evaluation accounting (zero on the serial path):
-    #: ``eval_batches`` worker batches submitted, holding
-    #: ``eval_batch_candidates`` candidates over ``eval_batch_slots``
-    #: worker slots — occupancy = candidates / slots.
+    #: batched-evaluation accounting: ``eval_batches`` evaluator batches
+    #: submitted, holding ``eval_batch_candidates`` candidates over
+    #: ``eval_batch_slots`` worker slots — occupancy = candidates /
+    #: slots.  Batch and candidate counts are a pure function of the
+    #: search stream (backend-invariant); only ``eval_batch_slots``
+    #: scales with the configured worker count.
     eval_batches: int = 0
     eval_batch_candidates: int = 0
     eval_batch_slots: int = 0
@@ -94,6 +96,23 @@ class SearchStats:
     #: model cannot cost count ``TIR501`` — so the per-code counts sum
     #: to ``invalid_rejected + apply_failed`` (asserted in tests).
     rejected_by_code: Counter = field(default_factory=Counter)
+
+    def search_signature(self) -> dict:
+        """The backend-invariant view of these stats.
+
+        Every field except ``eval_batch_slots`` is a pure function of
+        (workload, config seed) — slots scale with the configured worker
+        count, which is exactly the knob an evaluation backend is
+        allowed to turn.  The determinism matrix asserts this view is
+        identical across serial/thread/process evaluation.
+        """
+        out = {}
+        for f in dataclasses.fields(self):
+            if f.name == "eval_batch_slots":
+                continue
+            value = getattr(self, f.name)
+            out[f.name] = dict(value) if isinstance(value, Counter) else value
+        return out
 
     def merge(self, other: "SearchStats") -> "SearchStats":
         """Accumulate ``other`` into this stats object, field-generic so
@@ -199,7 +218,12 @@ def _build_candidate_cached(
             getattr(target, "name", None),
             validate,
         )
-    except TypeError:  # unhashable decision type: build uncached
+        hash(key)  # tuple() never hashes; probe before the table does
+    except TypeError:
+        # Unhashable decision type: build uncached — but *count* the
+        # bypass as a miss, so hit rates reflect what the cache actually
+        # served rather than only what it was able to index.
+        _CANDIDATE_CACHE.record_miss()
         return _build_candidate(func, sketch, seed, forced, target, validate)
     hit = _CANDIDATE_CACHE.lookup(key)
     if hit is not _cache.MISS:
@@ -258,32 +282,6 @@ def _count_rejection(stats: SearchStats, rejection: Tuple[str, str]) -> None:
     stats.rejected_by_code[code] += 1
 
 
-def _instantiate(
-    func: PrimFunc,
-    sketch: Sketch,
-    seed: int,
-    forced: Optional[List[object]],
-    target: Target,
-    stats: SearchStats,
-    validate: bool = True,
-    timings: Optional[dict] = None,
-    on_rejection=None,
-) -> Optional[_Candidate]:
-    """The serial wrapper: build one candidate, folding its outcome into
-    ``stats``/``timings`` in the exact order the old inline code did."""
-    stats.candidates_generated += 1
-    cand, rejection, validate_seconds = _build_candidate_cached(
-        func, sketch, seed, forced, target, validate
-    )
-    if timings is not None:
-        timings["validate"] += validate_seconds
-    if rejection is not None:
-        _count_rejection(stats, rejection)
-        if on_rejection is not None:
-            on_rejection(rejection)
-    return cand
-
-
 def evolutionary_search(
     func: PrimFunc,
     sketch: Sketch,
@@ -294,10 +292,18 @@ def evolutionary_search(
     telemetry: Optional[Telemetry] = None,
     task: Optional[str] = None,
     recorder: Optional[Recorder] = None,
+    evaluator: Optional[Evaluator] = None,
     **legacy,
 ) -> TuneResult:
     """Search one sketch's decision space; ``config.trials`` bounds the
     number of measured candidates.
+
+    Candidate builds run on an :class:`~repro.meta.evaluator.Evaluator`
+    (resolved from ``config.evaluator``/``config.search_workers`` unless
+    one is passed explicitly).  Specs are drawn serially from the search
+    RNG and outcomes consumed in submission order, so the programs
+    found, the stats (modulo worker-slot accounting) and the flight
+    recording are identical across backends and worker counts.
 
     With a :class:`~repro.obs.record.Recorder` attached (or
     ``config.obs.enabled``), every generation, rejection, measured trial
@@ -327,18 +333,15 @@ def evolutionary_search(
     measured_budget = trials
     generation = 0
     max_generations = config.generations or max(2, trials // max(population // 2, 1))
-    workers = max(1, config.search_workers)
-    executor = (
-        ThreadPoolExecutor(max_workers=workers, thread_name_prefix="search-worker")
-        if workers > 1
-        else None
-    )
+    evaluator = evaluator or resolve_evaluator(config)
+    eval_ctx = EvalContext(func, sketch, target, config.validate)
+    eval_counters_before = evaluator.counters()
 
-    def _draw_spec() -> Tuple[int, Optional[List[object]], Optional[int]]:
-        """One candidate spec (seed, forced-decision prefix, parent
-        trial id), drawn from the search RNG on the coordinating
-        thread.  The parent id is provenance only — it never feeds back
-        into the RNG stream, so recording cannot perturb the search."""
+    def _draw_spec() -> CandidateSpec:
+        """One candidate spec, drawn from the search RNG on the
+        coordinating thread.  The parent trial id is provenance only —
+        it never feeds back into the RNG stream, so recording cannot
+        perturb the search."""
         forced = None
         parent_trial = None
         if elites and rng.random() < 0.7:
@@ -347,62 +350,41 @@ def evolutionary_search(
             _, parent = rng.choice(elites)
             if parent.decisions:
                 cut = rng.randrange(len(parent.decisions))
-                forced = parent.decisions[:cut]
+                forced = tuple(parent.decisions[:cut])
                 parent_trial = parent.trial_id
-        return rng.randrange(1 << 30), forced, parent_trial
+        return CandidateSpec(rng.randrange(1 << 30), forced, parent_trial)
 
     def _emit_rejection(rejection: Tuple[str, str]) -> None:
         if recording:
             kind, code = rejection
             recorder.rejection(task, sk_token, generation, kind, code)
 
-    def _fill_pool_serial() -> List[_Candidate]:
+    def _fill_pool() -> List[_Candidate]:
+        # One loop for every backend.  Each round draws exactly the
+        # pool's current deficit (never more), so the RNG stream — and
+        # with it every downstream result — is identical to the
+        # historical one-at-a-time serial path, for any evaluator and
+        # any worker count.  Outcomes come back in submission order, so
+        # stats/recording fold in deterministically too.
         pool: List[_Candidate] = []
         attempts = 0
-        while len(pool) < population and attempts < population * 6:
-            attempts += 1
-            seed, forced, parent_trial = _draw_spec()
-            cand = _instantiate(
-                func, sketch, seed, forced, target, stats, config.validate,
-                timings, on_rejection=_emit_rejection,
-            )
-            if cand is not None:
-                cand.parent_trial = parent_trial
-                pool.append(cand)
-        return pool
-
-    def _fill_pool_batched() -> List[_Candidate]:
-        # Candidate specs are drawn serially (the RNG stream is a pure
-        # function of the seed) and futures consumed in submission
-        # order, so results are deterministic for a fixed worker count
-        # regardless of scheduling.  A batch may overfill the pool
-        # slightly; every valid candidate is kept.
-        pool: List[_Candidate] = []
-        attempts = 0
-        while len(pool) < population and attempts < population * 6:
-            room = population * 6 - attempts
-            want = min(room, max(workers, population - len(pool)))
+        cap = population * 6
+        while len(pool) < population and attempts < cap:
+            want = min(cap - attempts, population - len(pool))
             specs = [_draw_spec() for _ in range(want)]
             attempts += want
             stats.candidates_generated += want
             stats.eval_batches += 1
             stats.eval_batch_candidates += want
-            stats.eval_batch_slots += workers
-            futures = [
-                executor.submit(
-                    _build_candidate_cached,
-                    func, sketch, seed, forced, target, config.validate,
-                )
-                for seed, forced, _ in specs
-            ]
-            for fut, (_, _, parent_trial) in zip(futures, specs):
-                cand, rejection, validate_seconds = fut.result()
-                timings["validate"] += validate_seconds
-                if rejection is not None:
-                    _count_rejection(stats, rejection)
-                    _emit_rejection(rejection)
-                elif cand is not None:
-                    cand.parent_trial = parent_trial
+            stats.eval_batch_slots += evaluator.workers
+            for outcome in evaluator.evaluate(eval_ctx, specs):
+                timings["validate"] += outcome.validate_seconds
+                if outcome.rejection is not None:
+                    _count_rejection(stats, outcome.rejection)
+                    _emit_rejection(outcome.rejection)
+                elif outcome.func is not None:
+                    cand = _Candidate(sketch, outcome.func, list(outcome.decisions))
+                    cand.parent_trial = outcome.spec.parent_trial
                     pool.append(cand)
         return pool
 
@@ -420,11 +402,18 @@ def evolutionary_search(
                 # Stage start times within this generation, for the
                 # exported timeline (validation begins with pool fill).
                 gen_starts = {"validate": gen_t0}
-                pool = _fill_pool_serial() if executor is None else _fill_pool_batched()
+                pool = _fill_pool()
                 if not pool:
                     break
                 # Rank by the learned cost model; measure the top half.
-                scores = model.predict([c.func for c in pool], executor=executor)
+                # Feature extraction rides the evaluation backend when
+                # that pays (order-preserving, so scores are identical
+                # to inline extraction).
+                pool_funcs = [c.func for c in pool]
+                scores = model.predict(
+                    pool_funcs,
+                    features=evaluator.map_features(pool_funcs, target),
+                )
                 order = sorted(range(len(pool)), key=lambda i: -scores[i])
                 to_measure = order[
                     : max(1, min(len(pool) // 2 + 1, measured_budget - stats.measured))
@@ -490,7 +479,13 @@ def evolutionary_search(
                 if measured_funcs:
                     t0 = time.perf_counter()
                     gen_starts.setdefault("model-update", t0)
-                    model.update(measured_funcs, measured_cycles)
+                    if evaluator.overlap_model_updates:
+                        # Refit on a background thread, overlapped with
+                        # the next generation's pool fill; committed
+                        # before the next prediction reads the model.
+                        model.update_async(measured_funcs, measured_cycles)
+                    else:
+                        model.update(measured_funcs, measured_cycles)
                     timings["model-update"] += time.perf_counter() - t0
                 elites.sort(key=lambda t: t[0])
                 del elites[max(4, population // 2) :]
@@ -514,8 +509,24 @@ def evolutionary_search(
                                 stage, seconds, task, start=gen_starts.get(stage)
                             )
     finally:
-        if executor is not None:
-            executor.shutdown(wait=True)
+        # Any refit still in flight is installed now, so the model a
+        # caller (tune(), the next sketch's search) sees is the same one
+        # a synchronous update would have left.
+        model.commit_update()
+        # Per-backend occupancy/latency deltas.  Telemetry counters and
+        # the recorder's *meta* section get them — never the event
+        # stream or the trial ledger, which must stay hash-identical
+        # across backends.
+        eval_delta = {
+            key: value - eval_counters_before.get(key, 0)
+            for key, value in evaluator.counters().items()
+            if value - eval_counters_before.get(key, 0)
+        }
+        if telemetry is not None:
+            for key, value in eval_delta.items():
+                telemetry.count(f"evaluator.{evaluator.name}.{key}", value)
+        if recording:
+            recorder.record_evaluator(evaluator.name, evaluator.workers, eval_delta)
 
     if telemetry is not None:
         telemetry.absorb_stats(stats)

@@ -192,9 +192,14 @@ class TuningSession:
         workers: int = 1,
         telemetry: Optional[Telemetry] = None,
         recorder: Optional[Recorder] = None,
+        evaluator=None,
     ):
         self.target = target
         self.config = config or TuneConfig()
+        if evaluator is not None:
+            # A backend name or a ready Evaluator instance; overrides
+            # the config's choice for every search this session runs.
+            self.config = self.config.with_(evaluator=evaluator)
         self.database = database if database is not None else TuningDatabase()
         self.workers = max(1, workers)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
@@ -260,6 +265,15 @@ class TuningSession:
         the budget is split across searched tasks by cost share.
         """
         t_run = time.perf_counter()
+        # Resolve (and for process pools, spawn) the evaluation backend
+        # *now*, on the coordinating thread, before any tune-worker
+        # threads exist — forking a process pool out of a multi-threaded
+        # parent is where fork-safety bugs live.
+        from .evaluator import ProcessEvaluator, resolve_evaluator
+
+        session_evaluator = resolve_evaluator(self.config)
+        if isinstance(session_evaluator, ProcessEvaluator):
+            session_evaluator.warm_up()
         cache_before = _cache.snapshot_counts()
         with self.telemetry.span("session") as session_span:
             # Worker-thread spans have an empty thread-local stack; the

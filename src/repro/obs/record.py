@@ -303,6 +303,24 @@ class Recorder:
             ModelUpdate(ts=self._clock(), samples=samples, trained=trained)
         )
 
+    def record_evaluator(
+        self, name: str, workers: int, counters: Dict[str, float]
+    ) -> None:
+        """Fold one search's evaluation-backend occupancy/latency
+        counters into the recording's **meta** section.
+
+        Deliberately *not* an event: the event stream and trial ledger
+        must stay hash-identical across evaluation backends, so backend
+        identity and timing live only in this side channel.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            backends = self.meta.setdefault("evaluators", {})
+            slot = backends.setdefault(f"{name}x{workers}", {})
+            for key, value in counters.items():
+                slot[key] = slot.get(key, 0) + value
+
     def record_cache_delta(self, delta: Dict[str, Dict[str, float]]) -> None:
         """One :class:`CacheEvent` per cache active in a run window
         (fed from :func:`repro.cache.delta_since`)."""

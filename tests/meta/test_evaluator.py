@@ -1,0 +1,229 @@
+"""Tests for the pluggable candidate-evaluation backends (§4.4 seam).
+
+The load-bearing property is the determinism contract: every backend —
+serial, threads, processes, at any worker count — must find the same
+programs, produce the same statistics (modulo worker-slot accounting)
+and reject the same candidates for the same reasons.  The matrix test
+asserts exactly that; the rest covers the protocol surface, the pickle
+boundary, and the graceful-degradation paths.
+"""
+
+import pickle
+
+import pytest
+
+from repro import cache as repro_cache
+from repro.meta import (
+    CandidateSpec,
+    Evaluator,
+    ProcessEvaluator,
+    SerialEvaluator,
+    TensorCoreSketch,
+    ThreadEvaluator,
+    Telemetry,
+    TuneConfig,
+    evolutionary_search,
+    get_evaluator,
+)
+from repro.meta.evaluator import EvalContext, EvalOutcome, resolve_evaluator
+from repro.obs import ObsConfig, Recorder
+from repro.sim import SimGPU
+from repro.tir import structural_hash
+
+from ..common import build_matmul
+
+
+def _search(evaluator, seed=3, trials=6):
+    func = build_matmul(64, 64, 64, dtype="float16")
+    config = TuneConfig(trials=trials, population=4, seed=seed)
+    repro_cache.clear_all()
+    return evolutionary_search(
+        func, TensorCoreSketch(), SimGPU(), config, evaluator=evaluator
+    )
+
+
+@pytest.fixture(scope="module")
+def process_pool():
+    # Process workers are expensive to start on a small box — every test
+    # in this module shares the registry instance (as real searches do).
+    return get_evaluator("processes", 2)
+
+
+class TestBackendDeterminism:
+    def test_matrix_identical_results(self, process_pool):
+        """serial == threads(2) == processes(2), byte for byte."""
+        results = {
+            "serial": _search(SerialEvaluator()),
+            "threads": _search(ThreadEvaluator(2)),
+            "processes": _search(process_pool),
+        }
+        base = results["serial"]
+        assert base.best_func is not None
+        base_hash = structural_hash(base.best_func)
+        for name, result in results.items():
+            assert result.best_cycles == base.best_cycles, name
+            assert structural_hash(result.best_func) == base_hash, name
+            assert (
+                result.stats.rejected_by_code == base.stats.rejected_by_code
+            ), name
+            assert (
+                result.stats.search_signature() == base.stats.search_signature()
+            ), name
+
+    def test_worker_count_does_not_change_results(self):
+        one = _search(ThreadEvaluator(1))
+        four = _search(ThreadEvaluator(4))
+        assert one.best_cycles == four.best_cycles
+        assert structural_hash(one.best_func) == structural_hash(four.best_func)
+        assert one.stats.search_signature() == four.stats.search_signature()
+
+    def test_slots_scale_with_workers_but_signature_excludes_them(self):
+        one = _search(ThreadEvaluator(1))
+        four = _search(ThreadEvaluator(4))
+        assert four.stats.eval_batch_slots == 4 * one.stats.eval_batch_slots
+        assert "eval_batch_slots" not in one.stats.search_signature()
+        assert one.stats.eval_batches > 0
+
+
+class TestPickleBoundary:
+    def test_candidate_spec_round_trip(self):
+        spec = CandidateSpec(seed=17, forced=(4, (2, 8), "vectorize"), parent_trial=3)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.forced_list() == [4, (2, 8), "vectorize"]
+
+    def test_tune_config_round_trip(self):
+        config = TuneConfig(trials=9, seed=5, evaluator="processes", search_workers=3)
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+        assert clone.evaluator == "processes"
+
+    def test_obs_config_round_trip(self):
+        config = ObsConfig(enabled=True, max_events=123, sample_rate=0.5)
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+
+    def test_unpicklable_context_falls_back_to_threads(self, process_pool):
+        # A distinct workload size: context blobs are cached by content
+        # key, and a cached blob would mask the pickling failure.
+        func = build_matmul(32, 32, 32, dtype="float16")
+        sketch = TensorCoreSketch()
+        sketch._poison = lambda: None  # lambdas cannot cross the pickle boundary
+        ctx = EvalContext(func, sketch, SimGPU())
+        specs = [CandidateSpec(seed=s) for s in (1, 2, 3)]
+        before = process_pool.counters()["fallbacks"]
+        outcomes = process_pool.evaluate(ctx, specs)
+        assert process_pool.counters()["fallbacks"] == before + 1
+        # The fallback still honours the contract: submission order,
+        # one outcome per spec, exactly one of (func, rejection) set.
+        assert [o.spec for o in outcomes] == specs
+        for outcome in outcomes:
+            assert isinstance(outcome, EvalOutcome)
+            assert (outcome.func is None) != (outcome.rejection is None)
+
+
+class TestProtocolSurface:
+    def test_resolve_auto_serial_for_one_worker(self):
+        ev = resolve_evaluator(TuneConfig(search_workers=1))
+        assert isinstance(ev, SerialEvaluator)
+
+    def test_resolve_auto_threads_for_many_workers(self):
+        ev = resolve_evaluator(TuneConfig(search_workers=3))
+        assert isinstance(ev, ThreadEvaluator)
+        assert ev.workers == 3
+
+    def test_resolve_passes_instances_through(self):
+        mine = SerialEvaluator()
+        assert resolve_evaluator(TuneConfig(evaluator=mine)) is mine
+
+    def test_shared_registry_reuses_instances(self):
+        assert get_evaluator("threads", 2) is get_evaluator("threads", 2)
+
+    def test_config_rejects_unknown_backend_names(self):
+        with pytest.raises(ValueError, match="evaluator"):
+            TuneConfig(evaluator="gpu-farm")
+        with pytest.raises(TypeError, match="Evaluator"):
+            TuneConfig(evaluator=42)
+
+    def test_occupancy_counters_accumulate(self):
+        ev = SerialEvaluator()
+        _search(ev)
+        counters = ev.counters()
+        assert counters["batches"] > 0
+        assert counters["candidates"] >= counters["batches"]
+        assert counters["busy_seconds"] > 0
+
+    def test_search_folds_counters_into_telemetry(self):
+        telemetry = Telemetry()
+        func = build_matmul(64, 64, 64, dtype="float16")
+        repro_cache.clear_all()
+        evolutionary_search(
+            func,
+            TensorCoreSketch(),
+            SimGPU(),
+            TuneConfig(trials=4, population=4, seed=0),
+            telemetry=telemetry,
+            evaluator=SerialEvaluator(),
+        )
+        counters = telemetry.counters_by_prefix("evaluator.serial")
+        assert counters.get("batches", 0) > 0
+        assert counters.get("candidates", 0) > 0
+
+    def test_recorder_meta_carries_backend_but_not_events(self):
+        config = TuneConfig(
+            trials=4, population=4, seed=0, obs=ObsConfig(enabled=True)
+        )
+        func = build_matmul(64, 64, 64, dtype="float16")
+
+        def run(evaluator):
+            recorder = Recorder(config.obs)
+            repro_cache.clear_all()
+            evolutionary_search(
+                func, TensorCoreSketch(), SimGPU(), config,
+                recorder=recorder, evaluator=evaluator,
+            )
+            return recorder
+
+        serial = run(SerialEvaluator())
+        threads = run(ThreadEvaluator(2))
+        assert "serialx1" in serial.meta["evaluators"]
+        assert serial.meta["evaluators"]["serialx1"]["candidates"] > 0
+        assert "threadsx2" in threads.meta["evaluators"]
+        # Backend identity lives only in meta: the event stream itself
+        # must be identical across backends (the hash-identity contract).
+        serial_kinds = [e.get("kind") for e in serial.stream.events()]
+        thread_kinds = [e.get("kind") for e in threads.stream.events()]
+        assert serial_kinds == thread_kinds
+
+
+class TestCandidateCacheBypass:
+    def test_unhashable_decisions_count_a_miss(self):
+        """The TypeError bypass must be visible in hit-rate accounting."""
+        from repro.meta.search import _CANDIDATE_CACHE, _build_candidate_cached
+
+        class UnhashableInt(int):
+            __hash__ = None  # a decision the cache key cannot index
+
+        def poison(value):
+            if isinstance(value, list):
+                return [poison(v) for v in value]
+            if isinstance(value, int):
+                return UnhashableInt(value)
+            return value
+
+        func = build_matmul(64, 64, 64, dtype="float16")
+        sketch, target = TensorCoreSketch(), SimGPU()
+        repro_cache.clear_all()
+        cand, rejection, _ = _build_candidate_cached(
+            func, sketch, 0, None, target, True
+        )
+        assert cand is not None, rejection
+        forced = [poison(v) for v in cand.decisions]
+        before = _CANDIDATE_CACHE.misses
+        replayed, rejection, _ = _build_candidate_cached(
+            func, sketch, 0, forced, target, True
+        )
+        assert _CANDIDATE_CACHE.misses == before + 1
+        # The uncached build is still the real build.
+        assert replayed is not None, rejection
+        assert replayed.decisions == cand.decisions

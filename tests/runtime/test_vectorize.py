@@ -1,0 +1,122 @@
+"""Tests for the vectorized NumPy lowering fast path in codegen.
+
+The contract (see ``_Codegen._try_vectorize``): vectorization is a
+speed-only transform — for every function it must either produce the
+same results as the scalar loop nest (within float tolerance for
+re-associated reductions) or decline and fall back.  These tests pin
+both sides: qualifying shapes emit an ``__vec`` arange statement and
+match the scalar interpreter; disqualifying shapes fall back silently.
+"""
+
+import numpy as np
+
+from repro.frontend.ops import bias_add_relu, layer_norm, matmul, softmax
+from repro.runtime import compile_func
+from repro.schedule import Schedule
+
+
+def _run_both(func, shapes, dtypes, fill=None):
+    vec = compile_func(func, vectorize=True)
+    scalar = compile_func(func, vectorize=False)
+    rng = np.random.default_rng(0)
+    first = [rng.standard_normal(s).astype(d) for s, d in zip(shapes, dtypes)]
+    if fill is not None:
+        first[-1][:] = fill  # init must overwrite stale output contents
+    second = [b.copy() for b in first]
+    vec(*first)
+    scalar(*second)
+    match = all(
+        np.allclose(a, b, rtol=1e-3, atol=1e-3) for a, b in zip(first, second)
+    )
+    return vec, match
+
+
+class TestVectorizedMatchesScalar:
+    def test_matmul_reduction_with_init(self):
+        vec, match = _run_both(
+            matmul(32, 24, 16, dtype="float32"),
+            [(32, 16), (16, 24), (32, 24)],
+            ["float32"] * 3,
+            fill=7.5,
+        )
+        assert "__vec" in vec.source
+        assert "__np.sum" in vec.source
+        assert match
+
+    def test_elementwise_epilogue(self):
+        vec, match = _run_both(
+            bias_add_relu(32, 64),
+            [(32, 64), (64,), (32, 64)],
+            ["float16"] * 3,
+        )
+        assert "__vec" in vec.source
+        assert match
+
+    def test_layer_norm(self):
+        vec, match = _run_both(
+            layer_norm(8, 32),
+            [(8, 32), (32,), (32,), (8, 32)],
+            ["float32"] * 4,
+        )
+        assert "__vec" in vec.source
+        assert match
+
+    def test_tiled_matmul_after_scheduling(self):
+        func = matmul(64, 64, 64, dtype="float32")
+        sch = Schedule(func)
+        i, j, k = sch.get_loops(sch.get_block("C"))
+        _, ii = sch.split(i, factors=[None, 8])
+        jo, _ = sch.split(j, factors=[None, 8])
+        vec, match = _run_both(
+            sch.func, [(64, 64)] * 3, ["float32"] * 3, fill=-3.0
+        )
+        assert "__vec" in vec.source
+        assert match
+
+    def test_decomposed_reduction(self):
+        func = matmul(32, 32, 32, dtype="float32")
+        sch = Schedule(func)
+        block = sch.get_block("C")
+        sch.decompose_reduction(block, sch.get_loops(block)[2])
+        vec, match = _run_both(
+            sch.func, [(32, 32)] * 3, ["float32"] * 3, fill=2.0
+        )
+        assert "__vec" in vec.source
+        assert match
+
+
+class TestFallbacks:
+    def test_float16_reduction_declines(self):
+        # float16 accumulation order changes results beyond tolerance —
+        # the reduction path must not fire (elementwise float16 is fine).
+        vec, match = _run_both(
+            matmul(16, 16, 16, dtype="float16"),
+            [(16, 16)] * 3,
+            ["float16"] * 3,
+        )
+        assert "__np.sum" not in vec.source
+        assert match
+
+    def test_softmax_inner_dependencies_decline(self):
+        vec, match = _run_both(
+            softmax(8, 32), [(8, 32), (8, 32)], ["float32"] * 2
+        )
+        assert match
+
+    def test_vectorize_off_is_pure_scalar(self):
+        compiled = compile_func(matmul(8, 8, 8, dtype="float32"), vectorize=False)
+        assert "__vec" not in compiled.source
+
+    def test_guarded_loop_declines(self):
+        # A non-dividing split leaves a predicate on the block; guarded
+        # stores must stay scalar (the guard is per-iteration).
+        func = bias_add_relu(10, 30)
+        sch = Schedule(func)
+        block = sch.get_blocks()[0]
+        loops = sch.get_loops(block)
+        sch.split(loops[-1], factors=[None, 7])
+        vec, match = _run_both(
+            sch.func, [(10, 30), (30,), (10, 30)], ["float16"] * 3
+        )
+        assert "__vec" not in vec.source
+        assert match
