@@ -3,7 +3,8 @@
 Each ``test_figNN_*`` module regenerates one table/figure of the paper's
 §5 on the simulated hardware.  Results are cached per session (the same
 TensorIR/TVM tuning results feed Figures 10 and 11, and the end-to-end
-figures reuse per-layer results), printed as the paper's rows/series,
+figures share per-graph-op and fused-group results), printed as the
+paper's rows/series,
 and written under ``benchmarks/results/``.
 """
 
@@ -26,7 +27,7 @@ from repro.baselines import (
     TorchLikeFramework,
     UnsupportedWorkload,
 )
-from repro.frontend import CPU_WORKLOADS, GPU_WORKLOADS, cpu_network, gpu_network
+from repro.frontend import CPU_WORKLOADS, GPU_WORKLOADS
 from repro.meta import TuneConfig, TuningDatabase, TuningSession
 from repro.sim import SimCPU, SimGPU
 
@@ -114,90 +115,88 @@ def cpu_systems() -> Dict[str, System]:
     }
 
 
-class LayerCache:
-    """Per-layer op results for the end-to-end figures, cached by the
-    layer's builder identity."""
+class GraphOpCache:
+    """Per-op results for baseline systems over dataflow-graph ops,
+    cached by workload identity so duplicates (within or across
+    networks) are compiled once."""
 
     def __init__(self, target):
         self.target = target
-        self._cache: Dict[Tuple[str, str], Optional[OpResult]] = {}
+        self._cache: Dict[Tuple, Optional[float]] = {}
 
-    @staticmethod
-    def _key(system: System, layer) -> Tuple:
-        builder = layer.builder
-        args = getattr(builder, "args", ())
-        kwargs = tuple(sorted(getattr(builder, "keywords", {}).items()))
-        return (system.name, layer.name, args, kwargs)
+    def latency(self, system: System, func) -> Optional[float]:
+        from repro.meta import workload_key
 
-    def latency(self, system: System, layer) -> Optional[float]:
-        key = self._key(system, layer)
+        key = (system.name, workload_key(func, self.target))
         if key not in self._cache:
             try:
-                self._cache[key] = system.compile_op(layer.builder(), self.target, seed=0)
+                result = system.compile_op(func, self.target, seed=0)
+                self._cache[key] = result.seconds
             except UnsupportedWorkload:
                 self._cache[key] = None
-        result = self._cache[key]
-        return None if result is None else result.seconds
-
-    def op_result(self, system: System, layer) -> Optional[OpResult]:
-        self.latency(system, layer)
-        return self._cache[self._key(system, layer)]
+        return self._cache[key]
 
 
 @pytest.fixture(scope="session")
-def gpu_layer_cache() -> LayerCache:
-    return LayerCache(SimGPU())
+def gpu_graph_op_cache() -> GraphOpCache:
+    return GraphOpCache(SimGPU())
 
 
 @pytest.fixture(scope="session")
-def cpu_layer_cache() -> LayerCache:
-    return LayerCache(SimCPU())
+def cpu_graph_op_cache() -> GraphOpCache:
+    return GraphOpCache(SimCPU())
 
 
 @pytest.fixture(scope="session")
-def gpu_session_reports():
-    """TensorIR per-layer results for the GPU end-to-end figures.
+def gpu_graph_sessions():
+    """Fused TensorIR end-to-end results for the GPU figures.
 
-    One ``TuningSession`` per network over a database shared across
-    networks: duplicate layers (within or across models) replay instead
-    of re-searching, and each session's telemetry carries the per-stage
-    tuning-time accounting.
+    Each network's dataflow graph is partitioned into fusion groups;
+    every group is a first-class tuning task, and a database shared
+    across networks replays identical fused groups instead of
+    re-searching them.  Returns ``(plan, report)`` per network.
     """
+    from repro.frontend import fuse_graph, gpu_graph
+
     database = TuningDatabase()
-    reports = {}
+    cache = {}
 
     def get(name):
-        if name not in reports:
+        if name not in cache:
+            plan = fuse_graph(gpu_graph(name))
             session = TuningSession(
                 SimGPU(),
                 TuneConfig(trials=NETWORK_TRIALS, seed=0),
                 database=database,
                 workers=SESSION_WORKERS,
             )
-            session.add_network(gpu_network(name))
-            reports[name] = session.run()
-        return reports[name]
+            session.add_graph(plan)
+            cache[name] = (plan, session.run())
+        return cache[name]
 
     return get
 
 
 @pytest.fixture(scope="session")
-def cpu_session_reports():
-    """TensorIR per-layer results for the CPU end-to-end figure."""
+def cpu_graph_sessions():
+    """Fused TensorIR end-to-end results for the CPU figure."""
+    from repro.frontend import cpu_graph, fuse_graph
+
     database = TuningDatabase()
-    reports = {}
+    cache = {}
 
     def get(name):
-        if name not in reports:
+        if name not in cache:
+            plan = fuse_graph(cpu_graph(name))
             session = TuningSession(
                 SimCPU(),
                 TuneConfig(trials=NETWORK_TRIALS, seed=0),
                 database=database,
                 workers=SESSION_WORKERS,
             )
-            session.add_network(cpu_network(name))
-            reports[name] = session.run()
-        return reports[name]
+            session.add_graph(plan)
+            cache[name] = (plan, session.run())
+        return cache[name]
 
     return get
 

@@ -7,51 +7,51 @@ ResNet-50 and BERT-large, and runs ViT which TensorRT does not support.
 
 import pytest
 
-from repro.frontend import gpu_network, network_latency
-from repro.sim import SimGPU, estimate
+from repro.frontend import fuse_graph, gpu_graph, gpu_network, graph_latency
 
 pytestmark = pytest.mark.slow
 
 NETWORKS = ["ResNet-50", "MobileNet-V2", "BERT-large", "ViT"]
 
 
-def _latency(net, system, cache):
-    def per_layer(layer):
-        sec = cache.latency(system, layer)
+def _graph_baseline_latency(graph, system, cache):
+    """A baseline system executing the same dataflow graph: one kernel
+    per op (engines with graph fusion fold prologue/epilogue chains into
+    their anchor kernel), plus the system's per-op dispatch overhead."""
+    plan = fuse_graph(graph, fuse=system.fuses_elementwise)
+
+    def per_group(grp):
+        sec = cache.latency(system, grp.anchor.func)
         if sec is None:
-            raise RuntimeError(f"{system.name} failed on {layer.name}")
+            raise RuntimeError(f"{system.name} failed on {grp.anchor.name}")
         return sec
 
-    return network_latency(
-        net,
-        per_layer,
-        per_op_overhead=system.op_overhead,
-        fuse_elementwise=system.fuses_elementwise,
-    )
+    return graph_latency(plan, per_group, per_op_overhead=system.op_overhead)
 
 
 @pytest.fixture(scope="module")
-def table(gpu_layer_cache, net_gpu_systems, gpu_session_reports):
+def table(gpu_graph_op_cache, net_gpu_systems, gpu_graph_sessions):
     rows = {}
     for name in NETWORKS:
-        net = gpu_network(name)
+        graph = gpu_graph(name)
         rows[name] = {}
         for sys_name, system in net_gpu_systems.items():
             if name in getattr(system, "unsupported_networks", ()):
                 rows[name][sys_name] = None
                 continue
             if sys_name == "TensorIR":
-                # The paper's system goes through the TuningSession:
-                # parallel per-layer searches, database-replayed
-                # duplicates, telemetry-tracked tuning time.
-                rows[name][sys_name] = network_latency(
-                    net,
-                    gpu_session_reports(name),
-                    per_op_overhead=system.op_overhead,
-                    fuse_elementwise=system.fuses_elementwise,
+                # The paper's system tunes the network's *fusion groups*
+                # through the TuningSession: prologue/epilogue chains are
+                # lowered into their anchors, each fused group is searched
+                # (or database-replayed) and pays one dispatch.
+                plan, report = gpu_graph_sessions(name)
+                rows[name][sys_name] = graph_latency(
+                    plan, report, per_op_overhead=system.op_overhead
                 )
                 continue
-            rows[name][sys_name] = _latency(net, system, gpu_layer_cache)
+            rows[name][sys_name] = _graph_baseline_latency(
+                graph, system, gpu_graph_op_cache
+            )
     return rows
 
 

@@ -8,45 +8,43 @@ pipeline like TVM.
 
 import pytest
 
-from repro.frontend import cpu_network, network_latency
-from repro.sim import SimCPU
+from repro.frontend import cpu_graph, cpu_network, fuse_graph, graph_latency
 
 pytestmark = pytest.mark.slow
 
 NETWORKS = ["ResNet-50", "MobileNet-V2", "BERT-base"]
 
 
-def _latency(net, system, cache):
-    def per_layer(layer):
-        sec = cache.latency(system, layer)
+def _graph_baseline_latency(graph, system, cache):
+    """One kernel per graph op plus the system's dispatch overhead (no
+    baseline on this figure fuses across ops)."""
+    plan = fuse_graph(graph, fuse=system.fuses_elementwise)
+
+    def per_group(grp):
+        sec = cache.latency(system, grp.anchor.func)
         if sec is None:
-            raise RuntimeError(f"{system.name} failed on {layer.name}")
+            raise RuntimeError(f"{system.name} failed on {grp.anchor.name}")
         return sec
 
-    return network_latency(
-        net,
-        per_layer,
-        per_op_overhead=system.op_overhead,
-        fuse_elementwise=system.fuses_elementwise,
-    )
+    return graph_latency(plan, per_group, per_op_overhead=system.op_overhead)
 
 
 @pytest.fixture(scope="module")
-def table(cpu_layer_cache, net_cpu_systems, cpu_session_reports):
+def table(cpu_graph_op_cache, net_cpu_systems, cpu_graph_sessions):
     rows = {}
     for name in NETWORKS:
-        net = cpu_network(name)
+        graph = cpu_graph(name)
         rows[name] = {}
         for sys_name, system in net_cpu_systems.items():
             if sys_name == "TensorIR":
-                rows[name][sys_name] = network_latency(
-                    net,
-                    cpu_session_reports(name),
-                    per_op_overhead=system.op_overhead,
-                    fuse_elementwise=system.fuses_elementwise,
+                plan, report = cpu_graph_sessions(name)
+                rows[name][sys_name] = graph_latency(
+                    plan, report, per_op_overhead=system.op_overhead
                 )
             else:
-                rows[name][sys_name] = _latency(net, system, cpu_layer_cache)
+                rows[name][sys_name] = _graph_baseline_latency(
+                    graph, system, cpu_graph_op_cache
+                )
     return rows
 
 

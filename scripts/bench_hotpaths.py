@@ -419,6 +419,153 @@ def run_obs_overhead(workloads, trials, seed, out_path):
     return 0 if ok else 1
 
 
+def run_fusion_bench(trials, seed, workers, out_path):
+    """Graph-level fusion: task-count reduction and fused end-to-end gain.
+
+    For every end-to-end network (fig. 12 GPU set + fig. 14 CPU set) the
+    dataflow graph is partitioned twice — ``fuse=True`` (prologue/
+    epilogue chains lowered into their anchors) and ``fuse=False`` (one
+    singleton group per op) — and both plans are tuned through a
+    ``TuningSession`` sharing one database per device, exactly the
+    fig. 12/14 pipeline.  Three contracts are asserted per network:
+
+    * fusion removes >= 20% of the *unique* tuning tasks;
+    * fused end-to-end latency (measured per-group latencies + one
+      dispatch per group) <= the unfused latency;
+    * identical fused groups land on the identical best program — every
+      database replay reports the same cycles as the search that
+      populated its key.
+
+    Results merge into ``BENCH_search.json`` under ``graph_fusion``.
+    """
+    from repro.frontend import (
+        cpu_graph,
+        fuse_graph,
+        gpu_graph,
+        graph_latency,
+        lower_group,
+    )
+    from repro.meta import TuningDatabase, TuningSession
+    from repro.meta.database import workload_key
+    from repro.sim import SimCPU
+
+    devices = [
+        ("gpu", SimGPU(), gpu_graph,
+         ["ResNet-50", "MobileNet-V2", "BERT-large", "ViT"]),
+        ("cpu", SimCPU(), cpu_graph,
+         ["ResNet-50", "MobileNet-V2", "BERT-base"]),
+    ]
+    bench = {
+        "config": {"trials": trials, "seed": seed, "workers": workers},
+        "networks": {},
+    }
+    failures = []
+    for dev, target, graph_of, networks in devices:
+        overhead_cycles = getattr(target, "kernel_launch_cycles", None)
+        if overhead_cycles is None:
+            overhead_cycles = target.op_launch_cycles
+        per_op_overhead = target.cycles_to_seconds(overhead_cycles)
+        fused_db, unfused_db = TuningDatabase(), TuningDatabase()
+        for name in networks:
+            graph = graph_of(name)
+            fused_plan = fuse_graph(graph)
+            unfused_plan = fuse_graph(graph, fuse=False)
+            counts = {}
+            latencies = {}
+            reports = {}
+            for mode, plan, database in (
+                ("fused", fused_plan, fused_db),
+                ("unfused", unfused_plan, unfused_db),
+            ):
+                session = TuningSession(
+                    target, TuneConfig(trials=trials, seed=seed),
+                    database=database, workers=workers,
+                )
+                session.add_graph(plan)
+                print(
+                    f"[{dev}/{name}] tuning {plan.num_groups} {mode} groups ...",
+                    flush=True,
+                )
+                report = session.run()
+                reports[mode] = report
+                keys = {
+                    workload_key(lower_group(g), target) for g in plan.groups
+                }
+                counts[mode] = {
+                    "groups": plan.num_groups,
+                    "unique_tasks": len(keys),
+                    "searched": report.totals["tasks_searched"],
+                    "replayed": report.totals["tasks_replayed"],
+                }
+                latencies[mode] = graph_latency(
+                    plan, report, per_op_overhead=per_op_overhead
+                )
+            reduction = 1.0 - (
+                counts["fused"]["unique_tasks"] / counts["unfused"]["unique_tasks"]
+            )
+            # Replays must reproduce the searched best program exactly.
+            by_key = {}
+            replay_identical = True
+            for t in reports["fused"].tasks:
+                if t.status == "searched":
+                    by_key[t.key] = t.cycles
+            for t in reports["fused"].tasks:
+                if t.status == "replayed" and by_key.get(t.key) != t.cycles:
+                    replay_identical = False
+            entry = {
+                "fused": counts["fused"],
+                "unfused": counts["unfused"],
+                "task_reduction_pct": round(100 * reduction, 1),
+                "fused_latency_ms": round(latencies["fused"] * 1e3, 4),
+                "unfused_latency_ms": round(latencies["unfused"] * 1e3, 4),
+                "speedup": round(latencies["unfused"] / latencies["fused"], 3),
+                "replays_identical": replay_identical,
+            }
+            bench["networks"][f"{dev}/{name}"] = entry
+            print(
+                f"[{dev}/{name}]   -{entry['task_reduction_pct']}% tasks, "
+                f"{entry['fused_latency_ms']}ms fused vs "
+                f"{entry['unfused_latency_ms']}ms unfused "
+                f"({entry['speedup']}x)", flush=True,
+            )
+            if reduction < 0.2:
+                failures.append(
+                    f"{dev}/{name}: task reduction {100 * reduction:.1f}% < 20%"
+                )
+            if latencies["fused"] > latencies["unfused"]:
+                failures.append(
+                    f"{dev}/{name}: fused latency {latencies['fused']:.6f}s "
+                    f"exceeds unfused {latencies['unfused']:.6f}s"
+                )
+            if not replay_identical:
+                failures.append(
+                    f"{dev}/{name}: a database replay diverged from its search"
+                )
+    bench["aggregate"] = {
+        "min_task_reduction_pct": min(
+            e["task_reduction_pct"] for e in bench["networks"].values()
+        ),
+        "min_speedup": min(e["speedup"] for e in bench["networks"].values()),
+        "all_replays_identical": all(
+            e["replays_identical"] for e in bench["networks"].values()
+        ),
+        "ok": not failures,
+    }
+    report = {}
+    if os.path.exists(out_path):
+        with open(out_path) as fh:
+            report = json.load(fh)
+    report["graph_fusion"] = bench
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(bench["aggregate"], indent=2))
+    print(f"wrote {out_path}")
+    for line in failures:
+        print(f"FAIL: {line}", file=sys.stderr)
+    return 0 if not failures else 1
+
+
 def run_smoke():
     """Correctness-only guard: caches must actually hit.  No timings."""
     func = ops.matmul(64, 64, 64)
@@ -512,6 +659,12 @@ def main(argv=None):
         "--obs-overhead", action="store_true",
         help="measure flight-recorder overhead (off vs recording, warm)",
     )
+    parser.add_argument(
+        "--fusion", action="store_true",
+        help="graph-fusion bench: task-count reduction + fused end-to-end "
+        "latency on the fig. 12/14 networks (merges into BENCH_search.json "
+        "as 'graph_fusion')",
+    )
     parser.add_argument("--trials", type=int, default=32)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -531,6 +684,10 @@ def main(argv=None):
     args = parser.parse_args(argv)
     if args.smoke:
         return run_smoke()
+    if args.fusion:
+        return run_fusion_bench(
+            args.trials, args.seed, max(2, args.workers), args.out
+        )
     workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
     if args.evaluator:
         backends = None if args.evaluator == "sweep" else [args.evaluator]

@@ -115,6 +115,46 @@ def main() -> int:
     from repro.frontend import network_latency  # noqa: F401
     from repro.sim import SimCPU, SimGPU, estimate  # noqa: F401
 
+    # --- the graph-fusion layer ---------------------------------------
+    from repro import frontend
+
+    for name in (
+        "Graph",
+        "GraphError",
+        "OpNode",
+        "TensorNode",
+        "FusionPlan",
+        "FusionGroup",
+        "FusionRejection",
+        "ANCHOR_KINDS",
+        "fuse_graph",
+        "compose_group",
+        "lower_group",
+        "graph_latency",
+        "run_graph",
+        "run_plan",
+        "random_graph_inputs",
+        "gpu_graph",
+        "cpu_graph",
+    ):
+        check(hasattr(frontend, name), f"repro.frontend.{name} missing")
+    fuse_params = inspect.signature(frontend.fuse_graph).parameters
+    check("fuse" in fuse_params, "fuse_graph(...fuse...) missing")
+    latency_params = inspect.signature(frontend.graph_latency).parameters
+    check(
+        "per_op_overhead" in latency_params,
+        "graph_latency(...per_op_overhead...) missing",
+    )
+    net_latency_params = inspect.signature(frontend.network_latency).parameters
+    check(
+        "fold_fusible" in net_latency_params,
+        "network_latency(...fold_fusible...) missing",
+    )
+    check(
+        callable(getattr(repro.TuningSession, "add_graph", None)),
+        "TuningSession.add_graph missing",
+    )
+
     # --- the performance layer (structural hashing + caches) ---------
     check(hasattr(repro.tir, "structural_hash"), "repro.tir.structural_hash missing")
     hash_params = inspect.signature(repro.tir.structural_hash).parameters

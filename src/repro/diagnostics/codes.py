@@ -10,6 +10,8 @@ identified by a stable ``TIRnnn`` code, grouped in bands:
 * ``TIR4xx`` — schedule-primitive preconditions.
 * ``TIR5xx`` — cost-model rejections (the analytical model cannot cost
   a candidate the search produced).
+* ``TIR6xx`` — graph construction and fusion-legality failures (the
+  dataflow layer in ``repro.frontend``).
 
 Codes are append-only: a released code never changes meaning, so
 telemetry aggregated across versions stays comparable.
@@ -32,6 +34,7 @@ _FAMILIES = {
     "TIR3": "threading",
     "TIR4": "primitive-precondition",
     "TIR5": "cost-model",
+    "TIR6": "graph-fusion",
 }
 
 
@@ -131,3 +134,9 @@ register_code("TIR470", "pad_einsum precondition failed")
 
 # --- TIR5xx: cost-model rejections ----------------------------------------
 register_code("TIR501", "performance model cannot cost the candidate")
+
+# --- TIR6xx: graph construction + fusion legality --------------------------
+register_code("TIR601", "fusion consumer is not a pure elementwise op")
+register_code("TIR602", "epilogue output shape does not match the anchor output")
+register_code("TIR603", "fusion boundary tensor has multiple consumers")
+register_code("TIR604", "graph operator arity or operand shape mismatch")

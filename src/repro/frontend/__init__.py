@@ -1,8 +1,29 @@
 """Frontend: operator builders, evaluation workloads and network graphs."""
 
 from . import ops
-from .graph import LayerSpec, NetworkSpec, network_latency
-from .networks import cpu_network, gpu_network
+from .fuse import (
+    ANCHOR_KINDS,
+    FusionGroup,
+    FusionPlan,
+    FusionRejection,
+    compose_group,
+    fuse_graph,
+    graph_latency,
+    lower_group,
+    random_graph_inputs,
+    run_graph,
+    run_plan,
+)
+from .graph import (
+    Graph,
+    GraphError,
+    LayerSpec,
+    NetworkSpec,
+    OpNode,
+    TensorNode,
+    network_latency,
+)
+from .networks import cpu_graph, cpu_network, gpu_graph, gpu_network
 from .workloads import CPU_WORKLOADS, GPU_WORKLOADS, cpu_workload, gpu_workload
 
 __all__ = [
@@ -10,8 +31,25 @@ __all__ = [
     "LayerSpec",
     "NetworkSpec",
     "network_latency",
+    "Graph",
+    "GraphError",
+    "OpNode",
+    "TensorNode",
+    "ANCHOR_KINDS",
+    "FusionGroup",
+    "FusionPlan",
+    "FusionRejection",
+    "fuse_graph",
+    "compose_group",
+    "lower_group",
+    "graph_latency",
+    "random_graph_inputs",
+    "run_graph",
+    "run_plan",
     "gpu_network",
     "cpu_network",
+    "gpu_graph",
+    "cpu_graph",
     "GPU_WORKLOADS",
     "CPU_WORKLOADS",
     "gpu_workload",

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
-from ..tir import Cast, IRBuilder, PrimFunc, Select, call, const, max_expr
+from ..tir import Cast, IRBuilder, PrimFunc, Select, call, const, logical_and, max_expr, min_expr
 
 __all__ = [
     "matmul",
@@ -26,6 +26,15 @@ __all__ = [
     "group_conv2d",
     "conv2d_transposed",
     "elementwise_unary",
+    "elementwise",
+    "bias_add",
+    "requantize",
+    "add",
+    "cast_to",
+    "pad2d",
+    "batch_softmax",
+    "split_heads",
+    "merge_heads",
     "bias_add_relu",
     "softmax",
     "layer_norm",
@@ -454,6 +463,223 @@ def elementwise_unary(
                 value = call(op, A[vi], dtype=dtype)
             b.store(C, (vi,), value)
     return b.finish().with_attrs(op="elementwise")
+
+
+def _ew_value(op: str, a, dtype: str):
+    """The scalar expression for one elementwise ``op`` applied to ``a``."""
+    if op == "identity":
+        return a
+    if op == "relu":
+        return max_expr(a, const(0, dtype))
+    if op == "relu6":
+        return min_expr(max_expr(a, const(0, dtype)), const(6, dtype))
+    if op == "gelu":
+        return a * call("sigmoid", a * 1.702, dtype=dtype)
+    return call(op, a, dtype=dtype)
+
+
+def _spatial_idx(blk, shape, ivs):
+    if len(shape) == 1:
+        ivs = (ivs,)
+    return tuple(blk.spatial(s, iv) for s, iv in zip(shape, ivs))
+
+
+def elementwise(
+    shape: Sequence[int], op: str = "relu", dtype: str = "float16", name: Optional[str] = None
+) -> PrimFunc:
+    """Unary elementwise op preserving ``shape`` (the fusible ND form)."""
+    shape = tuple(shape)
+    b = IRBuilder(name or op)
+    A = b.arg_buffer("A", shape, dtype)
+    C = b.arg_buffer("C", shape, dtype)
+    with b.grid(*shape) as ivs:
+        with b.block(op) as blk:
+            idx = _spatial_idx(blk, shape, ivs)
+            b.store(C, idx, _ew_value(op, A[idx], dtype))
+    return b.finish().with_attrs(op="elementwise")
+
+
+def bias_add(
+    shape: Sequence[int],
+    dtype: str = "float16",
+    activation: Optional[str] = None,
+    name: Optional[str] = None,
+) -> PrimFunc:
+    """Bias broadcast over the innermost axis, plus optional activation."""
+    shape = tuple(shape)
+    b = IRBuilder(name or ("bias_" + activation if activation else "bias_add"))
+    A = b.arg_buffer("A", shape, dtype)
+    Bi = b.arg_buffer("bias", (shape[-1],), dtype)
+    C = b.arg_buffer("C", shape, dtype)
+    with b.grid(*shape) as ivs:
+        with b.block("bias") as blk:
+            idx = _spatial_idx(blk, shape, ivs)
+            value = A[idx] + Bi[idx[-1]]
+            if activation is not None:
+                value = _ew_value(activation, value, dtype)
+            b.store(C, idx, value)
+    return b.finish().with_attrs(op="elementwise")
+
+
+def add(
+    shape: Sequence[int],
+    dtype: str = "float16",
+    activation: Optional[str] = None,
+    name: Optional[str] = None,
+) -> PrimFunc:
+    """Binary elementwise add (residual connections), optional activation."""
+    shape = tuple(shape)
+    b = IRBuilder(name or "add")
+    A = b.arg_buffer("A", shape, dtype)
+    B2 = b.arg_buffer("B", shape, dtype)
+    C = b.arg_buffer("C", shape, dtype)
+    with b.grid(*shape) as ivs:
+        with b.block("add") as blk:
+            idx = _spatial_idx(blk, shape, ivs)
+            value = A[idx] + B2[idx]
+            if activation is not None:
+                value = _ew_value(activation, value, dtype)
+            b.store(C, idx, value)
+    return b.finish().with_attrs(op="elementwise")
+
+
+def cast_to(
+    shape: Sequence[int], src_dtype: str, dst_dtype: str, name: Optional[str] = None
+) -> PrimFunc:
+    """Elementwise dtype conversion (e.g. int32 accumulators -> int8)."""
+    shape = tuple(shape)
+    b = IRBuilder(name or "cast")
+    A = b.arg_buffer("A", shape, src_dtype)
+    C = b.arg_buffer("C", shape, dst_dtype)
+    with b.grid(*shape) as ivs:
+        with b.block("cast") as blk:
+            idx = _spatial_idx(blk, shape, ivs)
+            b.store(C, idx, Cast(dst_dtype, A[idx]))
+    return b.finish().with_attrs(op="elementwise")
+
+
+def requantize(
+    shape: Sequence[int],
+    src_dtype: str = "int32",
+    dst_dtype: str = "int8",
+    shift: int = 4,
+    name: Optional[str] = None,
+) -> PrimFunc:
+    """Narrow integer accumulators: scale down by ``2**shift``, clamp to
+    the destination range, cast.  The elementwise tail of every
+    quantised compute layer."""
+    shape = tuple(shape)
+    lo, hi = -(2 ** 7), 2 ** 7 - 1  # int8 range; dst_dtype is int8-like
+    b = IRBuilder(name or "requantize")
+    A = b.arg_buffer("A", shape, src_dtype)
+    C = b.arg_buffer("C", shape, dst_dtype)
+    with b.grid(*shape) as ivs:
+        with b.block("requantize") as blk:
+            idx = _spatial_idx(blk, shape, ivs)
+            v = A[idx] // const(1 << shift, src_dtype)
+            v = max_expr(min_expr(v, const(hi, src_dtype)), const(lo, src_dtype))
+            b.store(C, idx, Cast(dst_dtype, v))
+    return b.finish().with_attrs(op="elementwise")
+
+
+def pad2d(n: int, h: int, w: int, c: int, pad: int, dtype: str = "float16") -> PrimFunc:
+    """Zero-pad NHWC spatially by ``pad`` per side (a layout op: it
+    changes shape, so it is *not* fusible as an epilogue)."""
+    ph, pw = h + 2 * pad, w + 2 * pad
+    b = IRBuilder("pad2d")
+    A = b.arg_buffer("A", (n, h, w, c), dtype)
+    C = b.arg_buffer("C", (n, ph, pw, c), dtype)
+    with b.grid(n, ph, pw, c, names=["n", "p", "q", "c"]) as (vn_, vp_, vq_, vc_):
+        with b.block("pad") as blk:
+            vn = blk.spatial(n, vn_)
+            vp = blk.spatial(ph, vp_)
+            vq = blk.spatial(pw, vq_)
+            vc = blk.spatial(c, vc_)
+            cond = logical_and(
+                logical_and(vp >= pad, vp < h + pad),
+                logical_and(vq >= pad, vq < w + pad),
+            )
+            safe_p = min_guard(vp - pad, h - 1)
+            safe_q = min_guard(vq - pad, w - 1)
+            b.store(
+                C,
+                (vn, vp, vq, vc),
+                Select(cond, A[vn, safe_p, safe_q, vc], const(0, dtype)),
+            )
+    return b.finish().with_attrs(op="pad")
+
+
+def batch_softmax(batch: int, n: int, m: int, dtype: str = "float32") -> PrimFunc:
+    """Row softmax over the last axis of a 3-D tensor (attention scores)."""
+    b = IRBuilder("batch_softmax")
+    A = b.arg_buffer("A", (batch, n, m), dtype)
+    C = b.arg_buffer("C", (batch, n, m), dtype)
+    mx = b.alloc_buffer("row_max", (batch, n), dtype)
+    sm = b.alloc_buffer("row_sum", (batch, n), dtype)
+    with b.grid(batch, n, m) as (bb, i, j):
+        with b.block("row_max") as blk:
+            vb = blk.spatial(batch, bb)
+            vi = blk.spatial(n, i)
+            vj = blk.reduce(m, j)
+            with blk.init():
+                b.store(mx, (vb, vi), call("min_value", dtype, dtype=dtype))
+            b.store(mx, (vb, vi), max_expr(mx[vb, vi], A[vb, vi, vj]))
+    with b.grid(batch, n, m) as (bb, i, j):
+        with b.block("row_sum") as blk:
+            vb = blk.spatial(batch, bb)
+            vi = blk.spatial(n, i)
+            vj = blk.reduce(m, j)
+            with blk.init():
+                b.store(sm, (vb, vi), const(0, dtype))
+            b.store(
+                sm, (vb, vi), sm[vb, vi] + call("exp", A[vb, vi, vj] - mx[vb, vi], dtype=dtype)
+            )
+    with b.grid(batch, n, m) as (bb, i, j):
+        with b.block("normalize") as blk:
+            vb = blk.spatial(batch, bb)
+            vi = blk.spatial(n, i)
+            vj = blk.spatial(m, j)
+            b.store(
+                C,
+                (vb, vi, vj),
+                call("exp", A[vb, vi, vj] - mx[vb, vi], dtype=dtype) / sm[vb, vi],
+            )
+    return b.finish().with_attrs(op="softmax")
+
+
+def split_heads(
+    seq: int, heads: int, dhead: int, dtype: str = "float16", transpose: bool = False
+) -> PrimFunc:
+    """(seq, heads*dhead) -> (heads, seq, dhead) layout move for attention.
+
+    ``transpose=True`` yields (heads, dhead, seq) instead — the K^T
+    layout expected as the second operand of the QK batch matmul.
+    """
+    b = IRBuilder("split_heads_t" if transpose else "split_heads")
+    A = b.arg_buffer("A", (seq, heads * dhead), dtype)
+    out_shape = (heads, dhead, seq) if transpose else (heads, seq, dhead)
+    C = b.arg_buffer("C", out_shape, dtype)
+    with b.grid(heads, seq, dhead, names=["h", "s", "d"]) as (hh, ss, dd):
+        with b.block("split_heads") as blk:
+            vh = blk.spatial(heads, hh)
+            vs = blk.spatial(seq, ss)
+            vd = blk.spatial(dhead, dd)
+            idx = (vh, vd, vs) if transpose else (vh, vs, vd)
+            b.store(C, idx, A[vs, vh * dhead + vd])
+    return b.finish().with_attrs(op="reshape")
+
+
+def merge_heads(heads: int, seq: int, dhead: int, dtype: str = "float16") -> PrimFunc:
+    """(heads, seq, dhead) -> (seq, heads*dhead), inverse of split_heads."""
+    b = IRBuilder("merge_heads")
+    A = b.arg_buffer("A", (heads, seq, dhead), dtype)
+    C = b.arg_buffer("C", (seq, heads * dhead), dtype)
+    with b.grid(seq, heads * dhead, names=["s", "j"]) as (ss, jj):
+        with b.block("merge_heads") as blk:
+            vs = blk.spatial(seq, ss)
+            vj = blk.spatial(heads * dhead, jj)
+            b.store(C, (vs, vj), A[vj // dhead, vs, vj % dhead])
+    return b.finish().with_attrs(op="reshape")
 
 
 def bias_add_relu(n: int, m: int, dtype: str = "float16") -> PrimFunc:

@@ -240,6 +240,23 @@ class TuningSession:
             names.append(self.add(layer.builder(), name=layer.name, weight=layer.count))
         return names
 
+    def add_graph(self, plan_or_graph, fuse: bool = True) -> List[str]:
+        """Register one task per fusion group of a dataflow graph.
+
+        Accepts a :class:`~repro.frontend.fuse.FusionPlan` or a raw
+        :class:`~repro.frontend.graph.Graph` (partitioned here with
+        ``fuse_graph(fuse=...)``).  Group task names are the plan's
+        ``task_name``s (``anchor+member+...``); structurally identical
+        groups share a workload key, so the session searches each unique
+        fused program once and replays the rest from the database.
+        """
+        from ..frontend.fuse import FusionPlan, fuse_graph, lower_group
+
+        plan = plan_or_graph
+        if not isinstance(plan, FusionPlan):
+            plan = fuse_graph(plan, fuse=fuse)
+        return [self.add(lower_group(g), name=g.task_name) for g in plan.groups]
+
     # -- budget allocation ---------------------------------------------
     def _allocate(
         self, uniques: List[_Task], weights: Dict[str, float], total_trials: Optional[int]

@@ -111,6 +111,18 @@ def inline_prologue(sch: Schedule) -> None:
                 continue
 
 
+def _has_epilogue(sch: Schedule, main: BlockRV) -> bool:
+    """True when another block consumes the main block's output — a
+    fused elementwise epilogue that a local write-back stage can absorb
+    (see :mod:`repro.frontend.fuse`)."""
+    from ..schedule.primitives.compute import _blocks_reading
+
+    block = sch.block_of(main)
+    if not block.writes:
+        return False
+    return bool(_blocks_reading(sch.func.body, block.writes[0].buffer))
+
+
 def collapse_epilogue(sch: Schedule, main: BlockRV) -> None:
     """Fold identity/elementwise consumers back into their producers
     (extract stages, relayouts, elementwise epilogues like ReLU)."""
@@ -450,6 +462,14 @@ class CpuSdotSketch(Sketch):
         main = main_block_of(sch)
         prep = prepare_tensorize(sch, main, self.intrin_name)
         tm, tn, tk = prep.tile_shape
+        writeback = None
+        if _has_epilogue(sch, main):
+            # Accumulate in registers so a fused epilogue can collapse
+            # into the write-back instead of re-reading the output.
+            try:
+                writeback = sch.cache_write(main, 0, "local")
+            except ScheduleError:
+                writeback = None
         inline_prologue(sch)
         collapse_epilogue(sch, main)
 
@@ -464,6 +484,11 @@ class CpuSdotSketch(Sketch):
         to_fuse = list(prep.outer_loops) + [x_p]
         par = sch.fuse(*to_fuse) if len(to_fuse) > 1 else to_fuse[0]
         sch.parallel(par)
+        if writeback is not None:
+            try:
+                sch.reverse_compute_at(writeback, par)
+            except ScheduleError:
+                pass
         init = sch.decompose_reduction(main, k_o)
         sch.tensorize(xt, self.intrin_name)
         fill = intrin.paired.get("fill")
@@ -489,6 +514,12 @@ class CpuScalarSketch(Sketch):
 
     def apply(self, sch: Schedule) -> None:
         main = main_block_of(sch)
+        writeback = None
+        if sch.block_of(main).is_reduction and _has_epilogue(sch, main):
+            try:
+                writeback = sch.cache_write(main, 0, "local")
+            except ScheduleError:
+                writeback = None
         collapse_epilogue(sch, main)
         inline_prologue(sch)
         block = sch.block_of(main)
@@ -511,6 +542,11 @@ class CpuScalarSketch(Sketch):
             sch.vectorize(inner)
         if sch.sample_categorical([0, 1]):
             sch.unroll(mid)
+        if writeback is not None:
+            try:
+                sch.reverse_compute_at(writeback, par)
+            except ScheduleError:
+                pass
         schedule_remaining_stages(sch, SimCPU(), exclude=[main.name])
 
 

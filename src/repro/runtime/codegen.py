@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from .. import cache as _cache
+from ..tir import structural_hash
 from ..tir import (
     BinaryOp,
     Block,
@@ -611,6 +613,13 @@ class CompiledFunc:
         self._pyfunc(*arrays, np, INTRINSIC_IMPLS, self._intrins)
 
 
+#: compiled-function memo, keyed by structural hash: evaluating many
+#: candidates (or running fused-vs-unfused cross-checks) recompiles the
+#: same program repeatedly; hits surface in telemetry as
+#: ``cache.runtime.compile.hits``.
+_COMPILE_CACHE = _cache.MemoCache("runtime.compile")
+
+
 def compile_func(func: PrimFunc, vectorize: bool = True) -> CompiledFunc:
     """Compile a PrimFunc to executable Python.
 
@@ -620,7 +629,16 @@ def compile_func(func: PrimFunc, vectorize: bool = True) -> CompiledFunc:
     are emitted scalar, so the flag only ever changes speed (and, for
     reductions, floating-point summation order within rounding), never
     which elements are computed.
+
+    Results are memoized on ``(structural_hash(func), vectorize)``.  The
+    cached ``CompiledFunc`` still validates argument shapes against its
+    own (structurally identical) signature.
     """
+    key = (structural_hash(func), vectorize)
+    return _COMPILE_CACHE.get_or_compute(key, lambda: _compile_uncached(func, vectorize))
+
+
+def _compile_uncached(func: PrimFunc, vectorize: bool) -> CompiledFunc:
     gen = _Codegen(func, vectorize=vectorize)
     source = gen.run()
     namespace: Dict[str, object] = {}

@@ -278,8 +278,24 @@ class _ScopeAgnosticMatcher(StructuralMatcher):
             for ia, ib in zip(cand_indices[extra:], desc_indices)
         )
 
+    def _snapshot(self):
+        return (
+            dict(self.var_map),
+            dict(self.rev_var_map),
+            dict(self.buffer_map),
+            dict(self.rev_buffer_map),
+        )
+
+    def _restore(self, snap) -> None:
+        self.var_map, self.rev_var_map, self.buffer_map, self.rev_buffer_map = (
+            dict(snap[0]),
+            dict(snap[1]),
+            dict(snap[2]),
+            dict(snap[3]),
+        )
+
     def match_expr(self, a, b) -> bool:
-        from ...tir.expr import BufferLoad
+        from ...tir.expr import Add, BufferLoad, Mul
 
         if isinstance(a, BufferLoad) and isinstance(b, BufferLoad):
             if a.dtype != b.dtype:
@@ -287,6 +303,20 @@ class _ScopeAgnosticMatcher(StructuralMatcher):
             if not self.match_buffer_use(a.buffer, b.buffer):
                 return False
             return self._match_indices(a.indices, b.indices)
+        if type(a) is type(b) and isinstance(a, (Add, Mul)) and a.dtype == b.dtype:
+            # Commutative matching: the simplifier canonicalizes operand
+            # order by a name-dependent sort, so ``C + a*b`` in a
+            # candidate may appear as ``a*b + t0`` while the intrinsic
+            # semantics keep the accumulator first.  Try both orders,
+            # rolling bindings back between attempts.
+            snap = self._snapshot()
+            if self.match_expr(a.a, b.a) and self.match_expr(a.b, b.b):
+                return True
+            self._restore(snap)
+            if self.match_expr(a.a, b.b) and self.match_expr(a.b, b.a):
+                return True
+            self._restore(snap)
+            return False
         return super().match_expr(a, b)
 
     def match_stmt(self, a, b) -> bool:

@@ -451,9 +451,18 @@ def reverse_compute_inline(sch: Schedule, block_rv: BlockRV) -> None:
         for e in _collect_loads(store.value)
     ]
     input_bufs = {id(l.buffer): l.buffer for l in loads}
-    if len(input_bufs) != 1:
-        raise ScheduleError("reverse_compute_inline: consumer must read exactly one buffer")
-    (buffer,) = input_bufs.values()
+    # The consumer may read side operands (bias vectors, residual inputs)
+    # alongside the produced tensor, as long as exactly one of its read
+    # buffers is actually produced inside the function — that one is the
+    # inline target; side-operand loads just get their indices remapped.
+    produced_bufs = [
+        b for b in input_bufs.values() if _blocks_writing(sch.func.body, b)
+    ]
+    if len(produced_bufs) != 1:
+        raise ScheduleError(
+            "reverse_compute_inline: consumer must read exactly one produced buffer"
+        )
+    buffer = produced_bufs[0]
     if buffer in sch.func.buffer_map.values():
         raise ScheduleError("reverse_compute_inline: producer buffer is a function input")
     for load in loads:
@@ -469,7 +478,8 @@ def reverse_compute_inline(sch: Schedule, block_rv: BlockRV) -> None:
     if any(r is not realize for r in readers):
         raise ScheduleError("reverse_compute_inline: buffer has other consumers")
     producer = writers[0]
-    is_identity_copy = store.value is loads[0]
+    target_loads = [l for l in loads if l.buffer is buffer]
+    is_identity_copy = store.value is target_loads[0]
     if (producer.block.init is not None or producer.block.is_reduction) and not is_identity_copy:
         # Applying the consumer's function to partial sums would be wrong;
         # a pure relayout (identity value) is the one safe exception.
@@ -481,7 +491,7 @@ def reverse_compute_inline(sch: Schedule, block_rv: BlockRV) -> None:
     _remove_exclusive_nest(sch, realize)
     producer = _blocks_writing(sch.func.body, buffer)[0]
     pblock = producer.block
-    load_index_vars = list(loads[0].indices)
+    load_index_vars = list(target_loads[0].indices)
 
     def rewrite_store(s: BufferStore) -> Stmt:
         if s.buffer is not buffer:

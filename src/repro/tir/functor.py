@@ -414,6 +414,19 @@ class _SubstituteMutator(StmtMutator):
     def rewrite_buffer(self, buffer: Buffer) -> Buffer:
         return self._buffer_map.get(buffer, buffer)
 
+    def rewrite_for(self, stmt: For) -> Stmt:
+        new = super().rewrite_for(stmt)
+        # A Var -> Var mapping renames the loop, so the binder must
+        # follow the uses (a Var -> expr mapping implies the caller is
+        # eliminating the loop and the binder is irrelevant).
+        repl = self._vmap.get(stmt.loop_var)
+        if isinstance(repl, Var):
+            return For(
+                repl, new.min, new.extent, new.kind, new.body,
+                new.thread_tag, new.annotations,
+            )
+        return new
+
 
 def substitute(node, vmap, buffer_map=None):
     """Substitute variables (and optionally buffers) in an expr or stmt.

@@ -238,6 +238,37 @@ class TestWorkloadsAndNetworks:
 
         net = gpu_network("BERT-large")
         flat = network_latency(net, lambda layer: 1e-3)
-        fused = network_latency(net, lambda layer: 1e-3, fuse_elementwise=True)
+        fused = network_latency(net, lambda layer: 1e-3, fold_fusible=True)
         overhead = network_latency(net, lambda layer: 1e-3, per_op_overhead=1e-3)
         assert fused < flat < overhead
+
+    def test_fuse_elementwise_deprecated_but_equivalent(self):
+        from repro.frontend import gpu_network, network_latency
+
+        net = gpu_network("BERT-large")
+        new = network_latency(net, lambda layer: 1e-3, fold_fusible=True)
+        with pytest.warns(DeprecationWarning, match="fold_fusible"):
+            old = network_latency(net, lambda layer: 1e-3, fuse_elementwise=True)
+        assert old == new
+
+    def test_unique_layers_dedup_by_workload_identity(self):
+        from functools import partial
+
+        from repro.frontend.graph import LayerSpec, NetworkSpec
+
+        # Two names, one workload: identical builders must merge, with
+        # counts accumulating onto the first occurrence.
+        same = partial(ops.matmul, 8, 8, 8, dtype="float32")
+        other = partial(ops.matmul, 8, 8, 4, dtype="float32")
+        net = NetworkSpec(
+            "dups",
+            [
+                LayerSpec("a", same, count=2),
+                LayerSpec("b", other, count=1),
+                LayerSpec("c", same, count=3),
+            ],
+        )
+        uniq = net.unique_layers()
+        assert [layer.name for layer in uniq] == ["a", "b"]
+        assert uniq[0].count == 5
+        assert net.total_ops() == 6

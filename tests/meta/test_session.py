@@ -184,3 +184,43 @@ class TestNetworkLatencyFromSession:
         )
         assert total == pytest.approx(by_hand)
         assert total > 0
+
+
+class TestGraphTasks:
+    def test_add_graph_dedups_identical_fused_groups(self):
+        from repro.frontend import Graph, fuse_graph, graph_latency
+
+        g = Graph("stack")
+        x = g.input("x", (32, 32), "float16")
+        for _ in range(2):
+            t = g.op("mm", ops.matmul(32, 32, 32), x)
+            x = g.op("bias", ops.bias_add((32, 32)), t)
+        plan = fuse_graph(g)
+
+        session = TuningSession(SimGPU(), TuneConfig(trials=4, seed=0), workers=1)
+        names = session.add_graph(plan)
+        assert names == ["mm+bias_add", "mm#2+bias_add"]
+        report = session.run()
+        # Both groups lower to the same canonical PrimFunc: one search,
+        # one database replay.
+        assert report.totals["tasks_searched"] == 1
+        assert report.totals["tasks_replayed"] == 1
+        assert report.task("mm#2+bias_add").key == report.task("mm+bias_add").key
+
+        total = graph_latency(plan, report)
+        by_hand = sum(report.seconds_for(grp.task_name) for grp in plan.groups)
+        assert total == pytest.approx(by_hand)
+        assert total > 0
+
+    def test_add_graph_accepts_raw_graph_and_fuse_flag(self):
+        from repro.frontend import Graph
+
+        g = Graph("pair")
+        x = g.input("x", (32, 32), "float16")
+        t = g.op("mm", ops.matmul(32, 32, 32), x)
+        g.op("relu", ops.elementwise((32, 32), "relu", "float16"), t)
+
+        fused = TuningSession(SimGPU(), TuneConfig(trials=4, seed=0))
+        assert fused.add_graph(g) == ["mm+relu"]
+        unfused = TuningSession(SimGPU(), TuneConfig(trials=4, seed=0))
+        assert unfused.add_graph(g, fuse=False) == ["mm", "relu"]

@@ -46,6 +46,38 @@ class TestCodegenBasics:
         assert float(args["A"][0, 0]) == 2.0
 
 
+class TestCompileCache:
+    def test_structural_duplicates_share_compilation(self):
+        from repro.cache import all_caches
+
+        cache = all_caches()["runtime.compile"]
+        cache.clear()
+        # Two builds of the same workload hash identically; the second
+        # compile must be a cache hit returning the same object.
+        first = compile_func(build_matmul(8, 8, 8))
+        again = compile_func(build_matmul(8, 8, 8))
+        assert again is first
+        stats = cache.stats()
+        assert stats["hits"] >= 1 and stats["misses"] >= 1
+
+    def test_vectorize_flag_is_part_of_the_key(self):
+        from repro.cache import all_caches
+
+        all_caches()["runtime.compile"].clear()
+        func = build_matmul(8, 8, 8)
+        assert compile_func(func, vectorize=True) is not compile_func(
+            func, vectorize=False
+        )
+
+    def test_cache_hits_surface_in_cache_stats(self):
+        from repro.cache import all_caches, cache_stats
+
+        all_caches()["runtime.compile"].clear()
+        compile_func(build_matmul(4, 4, 4))
+        compile_func(build_matmul(4, 4, 4))
+        assert cache_stats()["runtime.compile"]["hits"] >= 1
+
+
 class TestCodegenConstructs:
     def test_predicate_guard(self):
         # Non-divisible split: the predicated tail must not write OOB.

@@ -127,6 +127,74 @@ class TestInline:
         with pytest.raises(ScheduleError):
             sch.reverse_compute_inline(sch.get_block("D"))  # relu over reduction
 
+    def test_reverse_compute_inline_with_side_operand(self):
+        # D = C + bias reads a *second* buffer alongside the produced
+        # one; folding into the cache-write copy must remap both.
+        from repro.tir import IRBuilder
+
+        def build():
+            b = IRBuilder("mm_bias")
+            A = b.arg_buffer("A", (16, 16), "float32")
+            B = b.arg_buffer("B", (16, 16), "float32")
+            bias = b.arg_buffer("bias", (16,), "float32")
+            D = b.arg_buffer("D", (16, 16), "float32")
+            C = b.alloc_buffer("C", (16, 16), "float32")
+            with b.grid(16, 16, 16) as (i, j, k):
+                with b.block("C") as blk:
+                    vi = blk.spatial(16, i)
+                    vj = blk.spatial(16, j)
+                    vk = blk.reduce(16, k)
+                    with blk.init():
+                        b.store(C, (vi, vj), 0.0)
+                    b.store(C, (vi, vj), C[vi, vj] + A[vi, vk] * B[vk, vj])
+            with b.grid(16, 16) as (i, j):
+                with b.block("D") as blk:
+                    vi = blk.spatial(16, i)
+                    vj = blk.spatial(16, j)
+                    b.store(D, (vi, vj), C[vi, vj] + bias[vj])
+            return b.finish()
+
+        sch = Schedule(build())
+        writeback = sch.cache_write(sch.get_block("C"), 0, "local")
+        sch.reverse_compute_inline(sch.get_block("D"))
+        names = [rv.name for rv in sch.get_blocks()]
+        assert names == ["C", "C_local"]
+        _run_and_check(
+            sch,
+            lambda a: a["A"].astype(np.float64) @ a["B"].astype(np.float64)
+            + a["bias"],
+            "D",
+        )
+
+    def test_reverse_compute_inline_two_produced_buffers_rejected(self):
+        # A consumer summing two *produced* tensors has no single
+        # producer to fold into.
+        from repro.tir import IRBuilder
+
+        def build():
+            b = IRBuilder("two_producers")
+            A = b.arg_buffer("A", (8,), "float32")
+            D = b.arg_buffer("D", (8,), "float32")
+            P = b.alloc_buffer("P", (8,), "float32")
+            Q = b.alloc_buffer("Q", (8,), "float32")
+            with b.grid(8) as i:
+                with b.block("P") as blk:
+                    vi = blk.spatial(8, i)
+                    b.store(P, (vi,), A[vi] + 1.0)
+            with b.grid(8) as i:
+                with b.block("Q") as blk:
+                    vi = blk.spatial(8, i)
+                    b.store(Q, (vi,), A[vi] * 2.0)
+            with b.grid(8) as i:
+                with b.block("D") as blk:
+                    vi = blk.spatial(8, i)
+                    b.store(D, (vi,), P[vi] + Q[vi])
+            return b.finish()
+
+        sch = Schedule(build())
+        with pytest.raises(ScheduleError, match="exactly one produced buffer"):
+            sch.reverse_compute_inline(sch.get_block("D"))
+
 
 class TestCache:
     def test_cache_read_structure(self):
