@@ -566,6 +566,163 @@ def run_fusion_bench(trials, seed, workers, out_path):
     return 0 if not failures else 1
 
 
+def run_serve_bench(workloads, trials, seed, out_path, smoke=False):
+    """The schedule-server acceptance bench (``--serve``).
+
+    Drives one :class:`repro.serve.ScheduleServer` backed by a fresh
+    persistent on-disk database through the three serving contracts:
+
+    * **warm hits are free** — after the cold misses populate the
+      database, every repeat request must be served with ``trials == 0``
+      and the byte-identical program; hit latency is recorded (p50).
+    * **restarts serve identical programs** — a second server opened on
+      the same database directory must answer every workload as a hit
+      with the byte-identical script.
+    * **concurrent misses coalesce** — N concurrent clients requesting
+      one un-tuned workload must share a *single* tuning run
+      (``tune_runs == 1``, coalesce factor >= 2).
+
+    Results merge into ``BENCH_search.json`` under ``schedule_serve``.
+    ``smoke=True`` shrinks the workload set and trial budget for CI;
+    the correctness gates are identical — only timings are elided.
+    """
+    import tempfile
+    import threading
+
+    from repro.meta import Telemetry
+    from repro.serve import ScheduleServer, ServeConfig
+
+    target = SimGPU()
+    hit_reps = 5 if smoke else 30
+    bench = {
+        "config": {"trials": trials, "seed": seed, "smoke": smoke},
+        "workloads": {},
+    }
+    failures = []
+    telemetry = Telemetry()
+    with tempfile.TemporaryDirectory(prefix="serve-bench-") as tmp:
+        cfg = ServeConfig(
+            db_path=os.path.join(tmp, "db"),
+            tune=TuneConfig(trials=trials, seed=seed),
+        )
+        funcs = {
+            name: ops.matmul(64, 64, 64) if smoke else gpu_workload(name)
+            for name in workloads
+        }
+        scripts = {}
+        with ScheduleServer(target, cfg, telemetry=telemetry) as server:
+            for name, func in funcs.items():
+                print(f"[{name}] cold miss (tuning {trials} trials) ...", flush=True)
+                t0 = time.perf_counter()
+                resp = server.compile(func)
+                miss_seconds = time.perf_counter() - t0
+                if resp.source != "miss":
+                    failures.append(f"{name}: first request was {resp.source!r}")
+                scripts[name] = resp.script
+                warm = []
+                for _ in range(hit_reps):
+                    t0 = time.perf_counter()
+                    again = server.compile(func)
+                    warm.append(time.perf_counter() - t0)
+                    if again.source != "hit" or again.trials != 0:
+                        failures.append(
+                            f"{name}: warm request was {again.source!r} "
+                            f"with {again.trials} trials"
+                        )
+                    if again.script != resp.script:
+                        failures.append(f"{name}: warm hit changed the program")
+                warm.sort()
+                bench["workloads"][name] = {
+                    "miss_seconds": round(miss_seconds, 4),
+                    "miss_trials": resp.trials,
+                    "hit_p50_ms": round(1e3 * warm[len(warm) // 2], 4),
+                    "hit_reps": hit_reps,
+                }
+                print(
+                    f"[{name}]   miss {miss_seconds:.2f}s, hit p50 "
+                    f"{bench['workloads'][name]['hit_p50_ms']}ms", flush=True,
+                )
+            stats = server.stats()
+        # -- restart: a fresh server on the same directory serves the
+        #    byte-identical program for every workload, zero trials.
+        restart_identical = True
+        with ScheduleServer(target, cfg) as server:
+            for name, func in funcs.items():
+                resp = server.compile(func)
+                if resp.source != "hit" or resp.trials != 0:
+                    failures.append(f"{name}: post-restart request missed")
+                    restart_identical = False
+                elif resp.script != scripts[name]:
+                    failures.append(f"{name}: restart changed the served program")
+                    restart_identical = False
+        print(f"restart byte-identical: {restart_identical}", flush=True)
+        # -- coalescing: concurrent misses for one workload, one run.
+        n_clients = 3
+        co_cfg = ServeConfig(
+            db_path=os.path.join(tmp, "db-coalesce"),
+            tune=TuneConfig(trials=trials, seed=seed),
+            batch_window_seconds=0.5,
+        )
+        func = next(iter(funcs.values()))
+        with ScheduleServer(target, co_cfg) as server:
+            barrier = threading.Barrier(n_clients)
+            responses = [None] * n_clients
+
+            def request(i):
+                barrier.wait()
+                responses[i] = server.compile(func)
+
+            threads = [
+                threading.Thread(target=request, args=(i,))
+                for i in range(n_clients)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            co_stats = server.stats()
+        if co_stats.tune_runs != 1:
+            failures.append(
+                f"coalescing: {n_clients} concurrent clients took "
+                f"{co_stats.tune_runs} tuning runs"
+            )
+        if len({r.script for r in responses}) != 1:
+            failures.append("coalescing: clients were served different programs")
+        print(
+            f"coalesced {n_clients} clients into {co_stats.tune_runs} run "
+            f"(factor {co_stats.coalesce_factor})", flush=True,
+        )
+
+    bench["aggregate"] = {
+        **stats.to_json(),
+        "p50_hit_latency_ms": round(
+            1e3 * (stats.p50_hit_seconds() or 0.0), 4
+        ),
+        "warm_zero_trials": not any("warm" in f for f in failures),
+        "restart_identical": restart_identical,
+        "concurrent_clients": n_clients,
+        "concurrent_tune_runs": co_stats.tune_runs,
+        "coalesce_factor": round(co_stats.coalesce_factor, 4),
+        "counters": {
+            k: v for k, v in telemetry.counters.items() if k.startswith("serve.")
+        },
+        "ok": not failures,
+    }
+    report = {}
+    if os.path.exists(out_path):
+        with open(out_path) as fh:
+            report = json.load(fh)
+    report["schedule_serve"] = bench
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(bench["aggregate"], indent=2))
+    print(f"wrote {out_path}")
+    for line in failures:
+        print(f"FAIL: {line}", file=sys.stderr)
+    return 0 if not failures else 1
+
+
 def run_smoke():
     """Correctness-only guard: caches must actually hit.  No timings."""
     func = ops.matmul(64, 64, 64)
@@ -665,6 +822,12 @@ def main(argv=None):
         "latency on the fig. 12/14 networks (merges into BENCH_search.json "
         "as 'graph_fusion')",
     )
+    parser.add_argument(
+        "--serve", action="store_true",
+        help="schedule-server bench: warm hit latency, restart identity, "
+        "miss coalescing (merges into BENCH_search.json as "
+        "'schedule_serve'; combine with --smoke for the CI guard)",
+    )
     parser.add_argument("--trials", type=int, default=32)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -682,6 +845,14 @@ def main(argv=None):
     )
     parser.add_argument("--out", default="BENCH_search.json")
     args = parser.parse_args(argv)
+    if args.serve:
+        workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+        if args.smoke:
+            workloads = workloads[:1]
+        trials = 4 if args.smoke else args.trials
+        return run_serve_bench(
+            workloads, trials, args.seed, args.out, smoke=args.smoke
+        )
     if args.smoke:
         return run_smoke()
     if args.fusion:

@@ -201,17 +201,98 @@ def main() -> int:
         check(param in tune_params, f"tune(...{param}...) missing")
 
     session_params = inspect.signature(repro.TuningSession.__init__).parameters
-    for param in ("target", "config", "database", "workers", "telemetry", "evaluator"):
+    for param in ("target", "config", "database", "workers", "telemetry",
+                  "evaluator", "provenance"):
         check(param in session_params, f"TuningSession(...{param}...) missing")
 
     run_params = inspect.signature(repro.TuningSession.run).parameters
     check("total_trials" in run_params, "TuningSession.run(total_trials=...) missing")
 
+    # The redesigned database protocol: four primitives on the shared
+    # base, both backends implementing them, old spellings kept as
+    # deprecation shims.
+    for name in ("Database", "PersistentDatabase"):
+        check(hasattr(repro, name), f"repro.{name} missing")
+        check(hasattr(meta, name), f"repro.meta.{name} missing")
+    for method in ("get", "put", "evict", "keys", "record", "replay", "entries"):
+        check(
+            callable(getattr(meta.Database, method, None)),
+            f"Database.{method} missing",
+        )
+    for backend in (repro.TuningDatabase, repro.PersistentDatabase):
+        check(
+            issubclass(backend, meta.Database),
+            f"{backend.__name__} must subclass Database",
+        )
+    # Deprecated shims must survive until the next major release.
     for method in ("lookup", "lookup_key", "record", "replay", "save", "entries"):
         check(
             callable(getattr(repro.TuningDatabase, method, None)),
             f"TuningDatabase.{method} missing",
         )
+    pdb_params = inspect.signature(repro.PersistentDatabase.__init__).parameters
+    for param in ("root", "ttl_seconds", "max_entries"):
+        check(param in pdb_params, f"PersistentDatabase(...{param}...) missing")
+    for method in ("evict_expired", "flush_lru", "stats"):
+        check(
+            callable(getattr(repro.PersistentDatabase, method, None)),
+            f"PersistentDatabase.{method} missing",
+        )
+    entry_fields = set(getattr(meta.DatabaseEntry, "__dataclass_fields__", {}))
+    for field in (
+        "key", "workload", "target", "sketch", "decisions", "cycles",
+        "provenance", "structural_hash", "trace",
+    ):
+        check(field in entry_fields, f"DatabaseEntry.{field} missing")
+
+    # --- the serving surface (repro.serve) ----------------------------
+    from repro import serve
+
+    for name in (
+        "ScheduleServer",
+        "Client",
+        "ServeConfig",
+        "CompileRequest",
+        "CompileResponse",
+        "ServerStats",
+        "compile",
+        "default_client",
+        "shutdown_default_servers",
+    ):
+        check(hasattr(serve, name), f"repro.serve.{name} missing")
+    for name in ("compile", "ScheduleServer", "Client", "ServeConfig",
+                 "CompileResponse"):
+        check(hasattr(repro, name), f"repro.{name} missing")
+    compile_params = inspect.signature(repro.compile).parameters
+    for param in ("func", "target", "config", "client", "timeout"):
+        check(param in compile_params, f"repro.compile(...{param}...) missing")
+    server_params = inspect.signature(serve.ScheduleServer.__init__).parameters
+    for param in ("target", "config", "database", "telemetry", "recorder"):
+        check(param in server_params, f"ScheduleServer(...{param}...) missing")
+    for method in ("submit", "compile", "stats", "close"):
+        check(
+            callable(getattr(serve.ScheduleServer, method, None)),
+            f"ScheduleServer.{method} missing",
+        )
+    serve_fields = set(getattr(serve.ServeConfig, "__dataclass_fields__", {}))
+    for field in (
+        "db_path", "tune", "batch_window_seconds", "max_batch",
+        "session_workers", "ttl_seconds", "max_entries", "compile_programs",
+    ):
+        check(field in serve_fields, f"ServeConfig.{field} missing")
+    response_fields = set(
+        getattr(serve.CompileResponse, "__dataclass_fields__", {})
+    )
+    for field in ("source", "func", "script", "cycles", "trials", "compiled"):
+        check(field in response_fields, f"CompileResponse.{field} missing")
+    stats_methods = serve.ServerStats()
+    check(
+        hasattr(stats_methods, "hit_rate")
+        and hasattr(stats_methods, "coalesce_factor")
+        and callable(getattr(stats_methods, "p50_hit_seconds", None))
+        and callable(getattr(stats_methods, "to_json", None)),
+        "ServerStats accounting surface incomplete",
+    )
 
     for method in ("span", "add", "count", "absorb_stats", "report", "to_json"):
         check(
@@ -267,6 +348,7 @@ def main() -> int:
         "GenerationEnd",
         "ModelUpdate",
         "CacheEvent",
+        "ServeRequest",
         "event_to_json",
         "chrome_trace",
         "summarize",
@@ -291,7 +373,7 @@ def main() -> int:
     check(not obs.ObsConfig().enabled, "ObsConfig must default to disabled")
     for method in ("trial", "rejection", "best_improved", "generation_end",
                    "model_update", "record_cache_delta", "record_evaluator",
-                   "recording", "save", "close"):
+                   "serve_request", "recording", "save", "close"):
         check(
             callable(getattr(obs.Recorder, method, None)),
             f"Recorder.{method} missing",

@@ -19,6 +19,9 @@ Top-level layout:
 * :mod:`repro.obs` — the tuning flight recorder: hierarchical spans,
   per-trial provenance, exportable run timelines (``python -m repro.obs``).
 * :mod:`repro.learn` — the from-scratch gradient-boosted-tree cost model.
+* :mod:`repro.serve` — tuning-as-a-service: the persistent schedule
+  server behind ``repro.compile`` (lookup-first, tune-on-miss,
+  persist-forever).
 * :mod:`repro.frontend` — operators, workloads and network graphs.
 * :mod:`repro.baselines` — TVM/AMOS/CUTLASS/TensorRT/ACL/PyTorch-like
   comparison systems used by the evaluation benchmarks.
@@ -36,8 +39,10 @@ from .diagnostics import (  # noqa: F401  — the typed diagnostics API
 )
 from .meta import (  # noqa: F401  — the documented top-level tuning API
     CandidateSpec,
+    Database,
     Evaluator,
     ObsConfig,
+    PersistentDatabase,
     ProcessEvaluator,
     SerialEvaluator,
     Telemetry,
@@ -50,6 +55,13 @@ from .meta import (  # noqa: F401  — the documented top-level tuning API
     workload_key,
 )
 from .schedule import verify  # noqa: F401  — the §3.3 validation battery
+from .serve import (  # noqa: F401  — the serving surface
+    Client,
+    CompileResponse,
+    ScheduleServer,
+    ServeConfig,
+    compile,
+)
 
 __all__ = [
     "tir",
@@ -59,7 +71,9 @@ __all__ = [
     "ObsConfig",
     "TuneResult",
     "TuningSession",
+    "Database",
     "TuningDatabase",
+    "PersistentDatabase",
     "Telemetry",
     "Evaluator",
     "SerialEvaluator",
@@ -67,6 +81,11 @@ __all__ = [
     "ProcessEvaluator",
     "CandidateSpec",
     "workload_key",
+    "compile",
+    "ScheduleServer",
+    "Client",
+    "ServeConfig",
+    "CompileResponse",
     "verify",
     "Diagnostic",
     "DiagnosticContext",

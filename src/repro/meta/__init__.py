@@ -9,7 +9,13 @@ from .autocopy import (
 )
 from .config import TuneConfig
 from .cost_model import CostModel
-from .database import DatabaseEntry, TuningDatabase, workload_key
+from .database import (
+    Database,
+    DatabaseEntry,
+    PersistentDatabase,
+    TuningDatabase,
+    workload_key,
+)
 from .evaluator import (
     CandidateSpec,
     Evaluator,
@@ -52,7 +58,9 @@ __all__ = [
     "get_evaluator",
     "shutdown_evaluators",
     "estimated_cost",
+    "Database",
     "TuningDatabase",
+    "PersistentDatabase",
     "DatabaseEntry",
     "workload_key",
     "Telemetry",

@@ -1,4 +1,5 @@
-"""Tuning-record database.
+"""Tuning-record databases: the unified ``Database`` protocol, the
+in-memory backend, and the persistent on-disk backend.
 
 §5.2: "TensorIR can eliminate search time further by caching historical
 cost models and search records.  So no search is needed to build a model
@@ -7,11 +8,17 @@ for an operator already tuned."
 Records are keyed by :func:`workload_key` — a stable structural hash of
 (workload, target) that is **public API**: a
 :class:`~repro.meta.session.TuningSession` uses it to deduplicate
-repeated layers before searching, and external tools may use it to
-shard or merge databases.  ``lookup`` returns a typed
-:class:`DatabaseEntry`; ``replay`` re-applies the stored decisions
-through the sketch to rebuild the exact best program with zero
-measurements.
+repeated layers before searching, external tools may use it to shard or
+merge databases, and the schedule server (:mod:`repro.serve`) uses it to
+coalesce concurrent cache-miss requests.
+
+The access surface is one typed protocol — :class:`Database` with
+``get`` / ``put`` / ``evict`` / ``keys`` — implemented by both
+:class:`TuningDatabase` (in-memory, optional legacy single-JSON-file
+persistence) and :class:`PersistentDatabase` (a JSONL-per-entry
+directory with atomic commits, TTL/LRU eviction and corrupt-entry
+recovery).  The old lookup spellings (``lookup``, ``lookup_key``,
+direct ``_entries`` access) remain as deprecation shims.
 """
 
 from __future__ import annotations
@@ -19,15 +26,36 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import asdict, dataclass
-from typing import Dict, List, Optional
+import tempfile
+import threading
+import time
+import warnings
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterator, List, Optional
 
 from ..schedule import Schedule, ScheduleError
 from ..sim import Target
 from ..tir import PrimFunc
 from ..tir.printer import script
 
-__all__ = ["workload_key", "DatabaseEntry", "TuningDatabase"]
+__all__ = [
+    "workload_key",
+    "DatabaseEntry",
+    "Database",
+    "TuningDatabase",
+    "PersistentDatabase",
+    "DB_SCHEMA",
+]
+
+#: on-disk record schema identifier; bump on breaking layout changes.
+#: Loaders skip records from an unknown major schema with a diagnostic
+#: instead of crashing, so mixed-version directories stay readable.
+DB_SCHEMA = "repro.db/1"
+
+_LOOKUP_DEPRECATED_MSG = (
+    "TuningDatabase.lookup/lookup_key are deprecated; use the Database "
+    "protocol instead: db.get(workload_key(func, target)) or db.get(key)"
+)
 
 
 def workload_key(func: PrimFunc, target: Target) -> str:
@@ -37,7 +65,8 @@ def workload_key(func: PrimFunc, target: Target) -> str:
 
     Public API: identical keys mean a tuned record for one workload is
     exactly replayable for the other, which is what session-level
-    deduplication relies on.
+    deduplication — and the schedule server's request coalescing —
+    relies on.
     """
     digest = hashlib.sha256()
     digest.update(script(func).encode())
@@ -47,7 +76,7 @@ def workload_key(func: PrimFunc, target: Target) -> str:
 
 @dataclass(frozen=True)
 class DatabaseEntry:
-    """One stored tuning record (the typed result of ``lookup``)."""
+    """One stored tuning record (the typed result of ``get``)."""
 
     key: str
     workload: str
@@ -56,9 +85,18 @@ class DatabaseEntry:
     decisions: List[object]
     cycles: float
     #: where the record came from: ``"search"`` for a fresh tuning run,
-    #: ``"session"`` for a session-recorded result, ``"disk"`` when
-    #: loaded from a persisted database file.
+    #: ``"session"`` for a session-recorded result, ``"serve"`` for a
+    #: schedule-server miss, ``"disk"`` when loaded from a persisted
+    #: database file.
     provenance: str = "search"
+    #: alpha-invariant hash of the *base* workload function — a second
+    #: identity check alongside the script-text key, so a persisted
+    #: record is never replayed onto a structurally different workload.
+    structural_hash: Optional[int] = None
+    #: the winning schedule trace (:meth:`repro.schedule.Trace.to_json`)
+    #: when the recorder captured one — lets external tools re-derive
+    #: the program without knowing the sketch registry.
+    trace: Optional[dict] = None
 
     def to_record(self) -> dict:
         record = asdict(self)
@@ -66,36 +104,47 @@ class DatabaseEntry:
         return record
 
 
-class TuningDatabase:
-    """A JSON-file-backed store of best-found schedules."""
+class Database:
+    """The typed store protocol every backend implements.
 
-    def __init__(self, path: Optional[str] = None):
-        self.path = path
-        self._entries: Dict[str, DatabaseEntry] = {}
-        if path and os.path.exists(path):
-            with open(path) as f:
-                for key, record in json.load(f).items():
-                    record.setdefault("provenance", "disk")
-                    self._entries[key] = DatabaseEntry(key=key, **record)
+    Four primitives — ``get`` / ``put`` / ``evict`` / ``keys`` — plus
+    shared conveniences (``record``, ``replay``, ``entries``) built on
+    them.  Subclasses only implement the primitives; everything keyed
+    flows through them, so an on-disk backend inherits record/replay
+    for free.
+    """
 
+    # -- the protocol ---------------------------------------------------
+    def get(self, key: str) -> Optional[DatabaseEntry]:
+        """The stored entry for a :func:`workload_key`, or ``None``."""
+        raise NotImplementedError
+
+    def put(self, entry: DatabaseEntry) -> DatabaseEntry:
+        """Store ``entry`` if it beats the stored one for its key;
+        returns the entry now held for the key."""
+        raise NotImplementedError
+
+    def evict(self, key: str) -> bool:
+        """Drop one entry; returns whether it existed."""
+        raise NotImplementedError
+
+    def keys(self) -> List[str]:
+        """Every stored workload key (stable order)."""
+        raise NotImplementedError
+
+    # -- shared conveniences --------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self.keys())
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        return self.get(key) is not None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
 
     def entries(self) -> List[DatabaseEntry]:
-        return list(self._entries.values())
+        return [e for e in (self.get(k) for k in self.keys()) if e is not None]
 
-    def save(self) -> None:
-        if self.path:
-            os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
-            with open(self.path, "w") as f:
-                json.dump(
-                    {k: e.to_record() for k, e in self._entries.items()}, f, indent=1
-                )
-
-    # ------------------------------------------------------------------
     def record(
         self,
         func: PrimFunc,
@@ -104,36 +153,29 @@ class TuningDatabase:
         decisions: List[object],
         cycles: float,
         provenance: str = "search",
+        trace: Optional[dict] = None,
     ) -> DatabaseEntry:
         """Store a result if it beats the stored one for this workload;
         returns the entry now held for the workload."""
-        key = workload_key(func, target)
-        existing = self._entries.get(key)
-        if existing is not None and existing.cycles <= cycles:
-            return existing
-        entry = DatabaseEntry(
-            key=key,
-            workload=func.name,
-            target=target.name,
-            sketch=sketch_name,
-            decisions=list(decisions),
-            cycles=cycles,
-            provenance=provenance,
+        from ..tir import structural_hash
+
+        return self.put(
+            DatabaseEntry(
+                key=workload_key(func, target),
+                workload=func.name,
+                target=target.name,
+                sketch=sketch_name,
+                decisions=list(decisions),
+                cycles=cycles,
+                provenance=provenance,
+                structural_hash=structural_hash(func),
+                trace=trace,
+            )
         )
-        self._entries[key] = entry
-        return entry
-
-    def lookup(self, func: PrimFunc, target: Target) -> Optional[DatabaseEntry]:
-        """The stored entry for this workload, or None."""
-        return self._entries.get(workload_key(func, target))
-
-    def lookup_key(self, key: str) -> Optional[DatabaseEntry]:
-        """The stored entry for a pre-computed :func:`workload_key`."""
-        return self._entries.get(key)
 
     def replay(self, func: PrimFunc, target: Target) -> Optional[Schedule]:
         """Rebuild the stored best schedule (no search, no measurement)."""
-        entry = self.lookup(func, target)
+        entry = self.get(workload_key(func, target))
         if entry is None:
             return None
         from .sketch import (
@@ -159,3 +201,369 @@ class TuningDatabase:
         except ScheduleError:
             return None
         return sch
+
+    # -- deprecation shims ----------------------------------------------
+    def lookup(self, func: PrimFunc, target: Target) -> Optional[DatabaseEntry]:
+        """Deprecated: use ``get(workload_key(func, target))``."""
+        warnings.warn(_LOOKUP_DEPRECATED_MSG, DeprecationWarning, stacklevel=2)
+        return self.get(workload_key(func, target))
+
+    def lookup_key(self, key: str) -> Optional[DatabaseEntry]:
+        """Deprecated: use ``get(key)``."""
+        warnings.warn(_LOOKUP_DEPRECATED_MSG, DeprecationWarning, stacklevel=2)
+        return self.get(key)
+
+
+class TuningDatabase(Database):
+    """The in-memory backend (optionally snapshotted to one JSON file).
+
+    ``path`` keeps the legacy whole-database single-file persistence:
+    loaded eagerly at construction, written only on :meth:`save`.  For
+    incremental, crash-safe, multi-process-friendly persistence use
+    :class:`PersistentDatabase`.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self._store: Dict[str, DatabaseEntry] = {}
+        self._lock = threading.Lock()
+        if path and os.path.exists(path):
+            with open(path) as f:
+                for key, record in json.load(f).items():
+                    record.setdefault("provenance", "disk")
+                    self._store[key] = DatabaseEntry(key=key, **record)
+
+    # -- the protocol ---------------------------------------------------
+    def get(self, key: str) -> Optional[DatabaseEntry]:
+        with self._lock:
+            return self._store.get(key)
+
+    def put(self, entry: DatabaseEntry) -> DatabaseEntry:
+        with self._lock:
+            existing = self._store.get(entry.key)
+            if existing is not None and existing.cycles <= entry.cycles:
+                return existing
+            self._store[entry.key] = entry
+            return entry
+
+    def evict(self, key: str) -> bool:
+        with self._lock:
+            return self._store.pop(key, None) is not None
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return list(self._store)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._store
+
+    def save(self) -> None:
+        if self.path:
+            os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+            with self._lock:
+                payload = {k: e.to_record() for k, e in self._store.items()}
+            with open(self.path, "w") as f:
+                json.dump(payload, f, indent=1)
+
+    @property
+    def _entries(self) -> Dict[str, DatabaseEntry]:
+        """Deprecated: the raw store was never API; use the protocol."""
+        warnings.warn(
+            "TuningDatabase._entries is deprecated; use get/put/evict/keys",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._store
+
+
+@dataclass
+class _LruState:
+    """Per-key access bookkeeping for the persistent backend."""
+
+    last_access: float
+    stored_at: float
+    hits: int = 0
+
+
+class PersistentDatabase(Database):
+    """A durable on-disk database: one JSONL file per entry.
+
+    Layout under ``root``::
+
+        root/
+          entries/<workload_key>.jsonl   # one versioned record per line
+          lru.json                       # access bookkeeping (best-effort)
+
+    Contracts:
+
+    * **Atomic commits** — every :meth:`put` writes the full entry file
+      to a temp file in the same directory and ``os.replace``s it into
+      place, so a crashed writer can never leave a truncated record.
+      Persistence is *incremental*: the entry is durable the moment
+      ``put`` returns, which is what lets a tuning session commit each
+      task as it finishes.
+    * **Corruption recovery** — a truncated or unparseable JSONL line is
+      skipped with a diagnostic (collected in :attr:`diagnostics`),
+      never a crash; the last valid line in a file wins, so an appended
+      half-line cannot shadow a good record.
+    * **Versioned schema** — each line carries ``schema``; records from
+      an unknown major version are skipped with a diagnostic.
+    * **TTL / LRU eviction** — ``ttl_seconds`` expires entries not
+      accessed within the window (:meth:`evict_expired`, also applied
+      lazily on ``get``); ``max_entries`` bounds the store, evicting the
+      least-recently-used key on overflow.  Access times persist in
+      ``lru.json`` (best-effort: bookkeeping loss degrades eviction
+      ordering, never correctness).
+    """
+
+    def __init__(
+        self,
+        root: str,
+        *,
+        ttl_seconds: Optional[float] = None,
+        max_entries: Optional[int] = None,
+        clock=time.time,
+    ):
+        self.root = root
+        self.ttl_seconds = ttl_seconds
+        self.max_entries = max_entries
+        self._clock = clock
+        self._lock = threading.RLock()
+        #: human-readable notes about skipped/corrupt records, in scan order.
+        self.diagnostics: List[str] = []
+        self._cache: Dict[str, DatabaseEntry] = {}
+        self._lru: Dict[str, _LruState] = {}
+        os.makedirs(self._entries_dir, exist_ok=True)
+        self._load_lru()
+        self._scan()
+
+    # -- layout ---------------------------------------------------------
+    @property
+    def _entries_dir(self) -> str:
+        return os.path.join(self.root, "entries")
+
+    @property
+    def _lru_path(self) -> str:
+        return os.path.join(self.root, "lru.json")
+
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self._entries_dir, f"{key}.jsonl")
+
+    # -- loading --------------------------------------------------------
+    def _parse_line(self, path: str, lineno: int, line: str) -> Optional[DatabaseEntry]:
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError:
+            self.diagnostics.append(
+                f"{os.path.basename(path)}:{lineno}: truncated/corrupt JSONL "
+                "line skipped"
+            )
+            return None
+        schema = data.get("schema")
+        if schema is not None and str(schema).split("/")[0] != DB_SCHEMA.split("/")[0]:
+            self.diagnostics.append(
+                f"{os.path.basename(path)}:{lineno}: unknown schema "
+                f"{schema!r} skipped"
+            )
+            return None
+        try:
+            known = {f for f in DatabaseEntry.__dataclass_fields__}
+            fields = {k: v for k, v in data.items() if k in known}
+            fields.setdefault("provenance", "disk")
+            return DatabaseEntry(**fields)
+        except (TypeError, KeyError):
+            self.diagnostics.append(
+                f"{os.path.basename(path)}:{lineno}: record missing required "
+                "fields, skipped"
+            )
+            return None
+
+    def _load_entry_file(self, path: str) -> Optional[DatabaseEntry]:
+        """The last valid line of one entry file (line order = history)."""
+        best: Optional[DatabaseEntry] = None
+        try:
+            with open(path) as f:
+                for lineno, line in enumerate(f, 1):
+                    entry = self._parse_line(path, lineno, line)
+                    if entry is not None:
+                        best = entry
+        except OSError as err:
+            self.diagnostics.append(f"{os.path.basename(path)}: unreadable ({err})")
+        return best
+
+    def _scan(self) -> None:
+        now = self._clock()
+        for name in sorted(os.listdir(self._entries_dir)):
+            if not name.endswith(".jsonl"):
+                continue
+            entry = self._load_entry_file(os.path.join(self._entries_dir, name))
+            if entry is None:
+                continue
+            key = name[: -len(".jsonl")]
+            if entry.key != key:
+                self.diagnostics.append(
+                    f"{name}: record key {entry.key!r} does not match "
+                    "filename, skipped"
+                )
+                continue
+            self._cache[key] = entry
+            self._lru.setdefault(key, _LruState(last_access=now, stored_at=now))
+
+    def _load_lru(self) -> None:
+        if not os.path.exists(self._lru_path):
+            return
+        try:
+            with open(self._lru_path) as f:
+                data = json.load(f)
+            for key, state in data.items():
+                self._lru[key] = _LruState(
+                    last_access=float(state.get("last_access", 0.0)),
+                    stored_at=float(state.get("stored_at", 0.0)),
+                    hits=int(state.get("hits", 0)),
+                )
+        except (json.JSONDecodeError, OSError, TypeError, ValueError):
+            # Bookkeeping is best-effort: a corrupt sidecar only costs
+            # eviction ordering, never stored records.
+            self.diagnostics.append("lru.json: corrupt bookkeeping, reset")
+            self._lru = {}
+
+    def flush_lru(self) -> None:
+        """Persist access bookkeeping (atomic tmp+rename)."""
+        with self._lock:
+            payload = {
+                key: {
+                    "last_access": st.last_access,
+                    "stored_at": st.stored_at,
+                    "hits": st.hits,
+                }
+                for key, st in sorted(self._lru.items())
+            }
+        self._atomic_write(self._lru_path, json.dumps(payload, indent=1))
+
+    def _atomic_write(self, path: str, payload: str) -> None:
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".db-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                f.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # -- the protocol ---------------------------------------------------
+    def get(self, key: str) -> Optional[DatabaseEntry]:
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is None:
+                return None
+            now = self._clock()
+            state = self._lru.get(key)
+            if (
+                self.ttl_seconds is not None
+                and state is not None
+                and now - state.last_access > self.ttl_seconds
+            ):
+                self._evict_locked(key)
+                return None
+            if state is None:
+                state = self._lru[key] = _LruState(last_access=now, stored_at=now)
+            state.last_access = now
+            state.hits += 1
+            return entry
+
+    def put(self, entry: DatabaseEntry) -> DatabaseEntry:
+        with self._lock:
+            existing = self._cache.get(entry.key)
+            if existing is not None and existing.cycles <= entry.cycles:
+                return existing
+            record = {"schema": DB_SCHEMA, "key": entry.key}
+            record.update(entry.to_record())
+            self._atomic_write(
+                self._entry_path(entry.key), json.dumps(record, sort_keys=True) + "\n"
+            )
+            now = self._clock()
+            self._cache[entry.key] = entry
+            state = self._lru.get(entry.key)
+            if state is None:
+                self._lru[entry.key] = _LruState(last_access=now, stored_at=now)
+            else:
+                state.last_access = now
+                state.stored_at = now
+            if self.max_entries is not None:
+                while len(self._cache) > self.max_entries:
+                    victim = min(
+                        (k for k in self._cache if k != entry.key),
+                        key=lambda k: self._lru[k].last_access
+                        if k in self._lru
+                        else 0.0,
+                        default=None,
+                    )
+                    if victim is None:
+                        break
+                    self._evict_locked(victim)
+            self.flush_lru()
+            return entry
+
+    def _evict_locked(self, key: str) -> bool:
+        existed = self._cache.pop(key, None) is not None
+        self._lru.pop(key, None)
+        path = self._entry_path(key)
+        if os.path.exists(path):
+            os.unlink(path)
+            existed = True
+        return existed
+
+    def evict(self, key: str) -> bool:
+        with self._lock:
+            existed = self._evict_locked(key)
+            if existed:
+                self.flush_lru()
+            return existed
+
+    def evict_expired(self, now: Optional[float] = None) -> List[str]:
+        """Drop every entry whose last access is beyond the TTL window;
+        returns the evicted keys."""
+        if self.ttl_seconds is None:
+            return []
+        now = self._clock() if now is None else now
+        evicted = []
+        with self._lock:
+            for key in list(self._cache):
+                state = self._lru.get(key)
+                if state is not None and now - state.last_access > self.ttl_seconds:
+                    self._evict_locked(key)
+                    evicted.append(key)
+            if evicted:
+                self.flush_lru()
+        return evicted
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return sorted(self._cache)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._cache)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._cache
+
+    def stats(self) -> Dict[str, float]:
+        """Store-level accounting: size, total hits, diagnostics count."""
+        with self._lock:
+            return {
+                "entries": float(len(self._cache)),
+                "hits": float(sum(st.hits for st in self._lru.values())),
+                "diagnostics": float(len(self.diagnostics)),
+            }

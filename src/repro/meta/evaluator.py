@@ -302,6 +302,18 @@ def _resolve_context(ctx_key: tuple, ctx_blob: bytes) -> EvalContext:
     return ctx
 
 
+def _build_spec_in_worker(ctx: EvalContext, spec: CandidateSpec):
+    """One spec → plain picklable result tuple (no cache delta)."""
+    from .search import _build_candidate_cached
+
+    cand, rejection, validate_seconds = _build_candidate_cached(
+        ctx.func, ctx.sketch, spec.seed, spec.forced_list(), ctx.target, ctx.validate
+    )
+    if cand is None:
+        return None, None, rejection, validate_seconds
+    return cand.func, cand.decisions, None, validate_seconds
+
+
 def _worker_build(ctx_key: tuple, ctx_blob: bytes, spec_blob: bytes):
     """Build one spec inside a worker process.
 
@@ -312,15 +324,21 @@ def _worker_build(ctx_key: tuple, ctx_blob: bytes, spec_blob: bytes):
     """
     ctx = _resolve_context(ctx_key, ctx_blob)
     spec: CandidateSpec = pickle.loads(spec_blob)
-    from .search import _build_candidate_cached
+    return _build_spec_in_worker(ctx, spec) + (_worker_cache_delta(),)
 
-    cand, rejection, validate_seconds = _build_candidate_cached(
-        ctx.func, ctx.sketch, spec.seed, spec.forced_list(), ctx.target, ctx.validate
-    )
-    delta = _worker_cache_delta()
-    if cand is None:
-        return None, None, rejection, validate_seconds, delta
-    return cand.func, cand.decisions, None, validate_seconds, delta
+
+def _worker_build_batch(ctx_key: tuple, ctx_blob: bytes, specs_blob: bytes):
+    """Build a whole chunk of specs in one IPC round-trip.
+
+    Per-candidate pickling cost is what a 1-core process pool pays for
+    nothing, so specs ship as one blob per chunk and results return as
+    one list per chunk (submission order preserved), with a single
+    cache-counter delta covering the chunk.
+    """
+    ctx = _resolve_context(ctx_key, ctx_blob)
+    specs: List[CandidateSpec] = pickle.loads(specs_blob)
+    results = [_build_spec_in_worker(ctx, spec) for spec in specs]
+    return results, _worker_cache_delta()
 
 
 def _worker_features(ctx_key: tuple, ctx_blob: bytes, func_blob: bytes):
@@ -349,6 +367,13 @@ class ProcessEvaluator(Evaluator):
     which is merged into the coordinator's registry
     (:func:`repro.cache.absorb_worker_counts`).
 
+    Specs are shipped in **chunks** — one IPC round-trip per worker
+    rather than one per candidate — so a 64-candidate batch on a 1-core
+    pool costs one pickle/unpickle cycle instead of 64 (the per-spec
+    overhead the PR-6 single-core run exposed).  Chunks are formed and
+    flattened in submission order, so results remain byte-identical to
+    the serial backend regardless of worker count or chunking.
+
     Anything that fails to pickle — a closure-carrying sketch, an exotic
     decision object — degrades gracefully: the batch runs on an
     embedded :class:`ThreadEvaluator` instead and the ``fallbacks``
@@ -363,6 +388,7 @@ class ProcessEvaluator(Evaluator):
         super().__init__()
         self.workers = max(1, int(workers))
         self._counters["fallbacks"] = 0
+        self._counters["ipc_batches"] = 0
         self._pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
             max_workers=self.workers, initializer=_worker_init
         )
@@ -394,37 +420,62 @@ class ProcessEvaluator(Evaluator):
             self._counters["fallbacks"] += 1
         return self._fallback
 
+    @staticmethod
+    def _chunk(specs: Sequence[CandidateSpec], n_chunks: int) -> List[List[CandidateSpec]]:
+        """Split ``specs`` into at most ``n_chunks`` contiguous runs.
+
+        Contiguity is what preserves determinism: flattening the chunk
+        results in chunk order reproduces the original submission order
+        exactly, so chunking is invisible to the search.
+        """
+        n_chunks = max(1, min(n_chunks, len(specs)))
+        size, extra = divmod(len(specs), n_chunks)
+        chunks, start = [], 0
+        for i in range(n_chunks):
+            end = start + size + (1 if i < extra else 0)
+            chunks.append(list(specs[start:end]))
+            start = end
+        return chunks
+
     # -- the protocol ---------------------------------------------------
     def evaluate(self, ctx, specs):
         t0 = time.perf_counter()
+        if not specs:
+            return []
         if self._pool is None:
             return self._thread_fallback().evaluate(ctx, specs)
         try:
             key = ctx.key()
             ctx_blob = self._context_blob(ctx, key)
-            spec_blobs = [pickle.dumps(spec) for spec in specs]
+            chunks = self._chunk(specs, self.workers)
+            chunk_blobs = [pickle.dumps(chunk) for chunk in chunks]
         except (pickle.PicklingError, TypeError, AttributeError):
             # Unpicklable context or decisions: evaluate on threads.
             return self._thread_fallback().evaluate(ctx, specs)
         try:
             futures = [
-                self._pool.submit(_worker_build, key, ctx_blob, blob)
-                for blob in spec_blobs
+                self._pool.submit(_worker_build_batch, key, ctx_blob, blob)
+                for blob in chunk_blobs
             ]
             outcomes = []
-            for fut, spec in zip(futures, specs):
-                func, decisions, rejection, validate_seconds, delta = fut.result()
+            for fut, chunk in zip(futures, chunks):
+                results, delta = fut.result()
                 if delta:
                     _cache.absorb_worker_counts(delta)
-                outcomes.append(
-                    EvalOutcome(
-                        spec, func=func, decisions=decisions, rejection=rejection,
-                        validate_seconds=validate_seconds,
+                for spec, (func, decisions, rejection, validate_seconds) in zip(
+                    chunk, results
+                ):
+                    outcomes.append(
+                        EvalOutcome(
+                            spec, func=func, decisions=decisions,
+                            rejection=rejection, validate_seconds=validate_seconds,
+                        )
                     )
-                )
         except BrokenProcessPool:
             self._pool = None  # degrade permanently, keep searching
             return self._thread_fallback().evaluate(ctx, specs)
+        with self._lock:
+            self._counters["ipc_batches"] += len(chunks)
         self._account(len(specs), time.perf_counter() - t0)
         return outcomes
 

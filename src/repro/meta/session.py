@@ -38,7 +38,7 @@ from ..schedule import Schedule
 from ..sim import Target
 from ..tir import PrimFunc, const_int_value
 from .config import TuneConfig
-from .database import TuningDatabase, workload_key
+from .database import Database, TuningDatabase, workload_key
 from .search import TuneResult
 from .sketch import main_block_of
 from .telemetry import Telemetry
@@ -188,11 +188,12 @@ class TuningSession:
         target: Target,
         config: Optional[TuneConfig] = None,
         *,
-        database: Optional[TuningDatabase] = None,
+        database: Optional[Database] = None,
         workers: int = 1,
         telemetry: Optional[Telemetry] = None,
         recorder: Optional[Recorder] = None,
         evaluator=None,
+        provenance: str = "session",
     ):
         self.target = target
         self.config = config or TuneConfig()
@@ -201,6 +202,10 @@ class TuningSession:
             # the config's choice for every search this session runs.
             self.config = self.config.with_(evaluator=evaluator)
         self.database = database if database is not None else TuningDatabase()
+        #: the provenance tag stamped on every entry this session commits
+        #: (``"serve"`` when the schedule server runs a session as its
+        #: cache-miss handler).
+        self.provenance = provenance
         self.workers = max(1, workers)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         #: the flight recorder — built from ``config.obs`` (a no-op
@@ -352,7 +357,7 @@ class TuningSession:
                 weights[task.key] += task.weight
             budgets = self._allocate(uniques, weights, total_trials)
 
-        to_search = [t for t in uniques if self.database.lookup_key(t.key) is None]
+        to_search = [t for t in uniques if self.database.get(t.key) is None]
         reports: Dict[str, TaskReport] = {}
 
         def _search(task: _Task) -> TuneResult:
@@ -393,10 +398,14 @@ class TuningSession:
                         )
                         continue
                     # Database writes stay on the coordinating thread.
+                    # A persistent backend makes each commit durable the
+                    # moment it lands — tuned entries are written
+                    # incrementally as tasks finish, never batched until
+                    # the session ends.
                     self.database.record(
                         task.func, self.target, result.best_sketch,
                         result.best_decisions, result.best_cycles,
-                        provenance="session",
+                        provenance=self.provenance,
                     )
                     reports[task.name] = TaskReport(
                         task.name, task.key, "searched", task.weight,
@@ -414,7 +423,7 @@ class TuningSession:
             if task.name in reports:
                 continue
             result = None
-            if self.database.lookup_key(task.key) is not None:
+            if self.database.get(task.key) is not None:
                 t0 = time.perf_counter()
                 result = _replay_result(task.func, self.target, self.database)
                 self.telemetry.add(

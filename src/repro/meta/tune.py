@@ -26,7 +26,7 @@ from ..sim import Target, estimate
 from ..tir import PrimFunc
 from .config import TuneConfig
 from .cost_model import CostModel
-from .database import TuningDatabase
+from .database import Database, workload_key
 from .search import SearchStats, TuneResult, _resolve_config, evolutionary_search
 from .sketch import generate_sketches
 from .telemetry import Telemetry
@@ -35,10 +35,10 @@ __all__ = ["tune"]
 
 
 def _replay_result(
-    func: PrimFunc, target: Target, database: TuningDatabase
+    func: PrimFunc, target: Target, database: Database
 ) -> Optional[TuneResult]:
     """Rebuild a stored best program with zero search (§5.2)."""
-    entry = database.lookup(func, target)
+    entry = database.get(workload_key(func, target))
     if entry is None:
         return None
     sch = database.replay(func, target)
@@ -62,7 +62,7 @@ def tune(
     target: Target,
     config: Optional[TuneConfig] = None,
     *,
-    database: Optional[TuningDatabase] = None,
+    database: Optional[Database] = None,
     telemetry: Optional[Telemetry] = None,
     task: Optional[str] = None,
     recorder: Optional[Recorder] = None,

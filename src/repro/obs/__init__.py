@@ -40,6 +40,7 @@ from .events import (
     JsonlSink,
     ModelUpdate,
     Rejection,
+    ServeRequest,
     TrialEvent,
     event_to_json,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "GenerationEnd",
     "ModelUpdate",
     "CacheEvent",
+    "ServeRequest",
     "event_to_json",
     "chrome_trace",
     "summarize",

@@ -12,6 +12,8 @@ a schema instead of parsing text:
 * :class:`GenerationEnd` — one evolutionary generation completed.
 * :class:`ModelUpdate` — the cost model refit on new measurements.
 * :class:`CacheEvent` — memoization activity over a run window.
+* :class:`ServeRequest` — one schedule-server request resolved
+  (hit / miss / coalesced), with the search trials it cost.
 
 Every event carries ``ts`` on the telemetry clock
 (``time.perf_counter``), so exported timelines interleave events with
@@ -38,6 +40,7 @@ __all__ = [
     "JsonlSink",
     "ModelUpdate",
     "Rejection",
+    "ServeRequest",
     "TrialEvent",
     "event_to_json",
 ]
@@ -123,6 +126,23 @@ class CacheEvent:
     hits: int
     misses: int
     evictions: int = 0
+
+
+@dataclass
+class ServeRequest:
+    """One schedule-server request resolved.
+
+    ``source`` is the serving path (``"hit"`` / ``"miss"`` /
+    ``"coalesced"``), ``trials`` the search trials spent serving this
+    request (0 on hits and coalesced waiters), ``wait_seconds`` the
+    submit-to-resolve latency."""
+
+    kind: ClassVar[str] = "serve-request"
+    ts: float
+    workload: str
+    source: str
+    trials: int
+    wait_seconds: float
 
 
 def event_to_json(event) -> dict:

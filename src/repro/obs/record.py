@@ -45,6 +45,7 @@ from .events import (
     JsonlSink,
     ModelUpdate,
     Rejection,
+    ServeRequest,
     TrialEvent,
 )
 
@@ -295,6 +296,19 @@ class Recorder:
             from .events import event_to_json
 
             self.config.on_generation(event_to_json(event))
+
+    def serve_request(
+        self, workload: str, source: str, trials: int, wait_seconds: float
+    ) -> None:
+        """One schedule-server request resolved (hit/miss/coalesced)."""
+        if not self.enabled:
+            return
+        self.stream.emit(
+            ServeRequest(
+                ts=self._clock(), workload=workload, source=source,
+                trials=trials, wait_seconds=wait_seconds,
+            )
+        )
 
     def model_update(self, samples: int, trained: bool) -> None:
         if not self.enabled:

@@ -1,0 +1,26 @@
+"""Tuning-as-a-service: the persistent schedule server (``repro.serve``).
+
+The serving layer turns the batch tuning stack into a long-lived
+service: a :class:`ScheduleServer` answers compile/tune requests for
+``PrimFunc`` workloads — hits instantly from a persistent
+:class:`~repro.meta.database.Database`, misses via batched, coalesced
+:class:`~repro.meta.session.TuningSession` runs on a background worker
+— and an in-process :class:`Client` (or the one-liner
+``repro.compile``) is the application-facing surface.
+"""
+
+from .api import CompileRequest, CompileResponse, ServeConfig, ServerStats
+from .client import Client, compile, default_client, shutdown_default_servers
+from .server import ScheduleServer
+
+__all__ = [
+    "ScheduleServer",
+    "Client",
+    "ServeConfig",
+    "CompileRequest",
+    "CompileResponse",
+    "ServerStats",
+    "compile",
+    "default_client",
+    "shutdown_default_servers",
+]

@@ -1,0 +1,142 @@
+"""Request/response types and configuration for the schedule server.
+
+The serve surface is deliberately small and typed: a
+:class:`CompileRequest` names one ``PrimFunc`` workload, a
+:class:`CompileResponse` carries the served program (plus provenance:
+hit, miss, or coalesced-behind-a-miss), and :class:`ServeConfig`
+bundles every knob a long-lived :class:`~repro.serve.server.ScheduleServer`
+needs — the persistent database location, the tuning config used on
+cache misses, and the miss-coalescing window.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..meta.config import TuneConfig
+from ..tir import PrimFunc
+
+__all__ = ["ServeConfig", "CompileRequest", "CompileResponse", "ServerStats"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Settings for one :class:`~repro.serve.server.ScheduleServer`.
+
+    * ``db_path`` — root directory of the persistent on-disk database
+      (:class:`~repro.meta.database.PersistentDatabase`).  ``None`` runs
+      on an in-memory :class:`~repro.meta.database.TuningDatabase` —
+      useful for tests; restarts then start cold.
+    * ``tune`` — the :class:`~repro.meta.TuneConfig` every cache-miss
+      tuning session runs with.
+    * ``batch_window_seconds`` — how long the miss worker waits after
+      the first queued miss for more misses to share the session (the
+      amortize-across-tenants knob).
+    * ``max_batch`` — cap on unique workloads tuned per session run.
+    * ``session_workers`` — tune-worker threads inside one miss session.
+    * ``ttl_seconds`` / ``max_entries`` — eviction policy forwarded to
+      the persistent database.
+    * ``compile_programs`` — attach a runtime-compiled callable to every
+      response (off for pure schedule-serving).
+    """
+
+    db_path: Optional[str] = None
+    tune: TuneConfig = field(default_factory=lambda: TuneConfig(trials=16))
+    batch_window_seconds: float = 0.02
+    max_batch: int = 8
+    session_workers: int = 1
+    ttl_seconds: Optional[float] = None
+    max_entries: Optional[int] = None
+    compile_programs: bool = True
+
+    def with_(self, **changes) -> "ServeConfig":
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """One compile/tune request as queued inside the server."""
+
+    request_id: int
+    func: PrimFunc
+    key: str  # workload_key(func, target)
+    submitted_at: float
+
+
+@dataclass
+class CompileResponse:
+    """The served result for one request.
+
+    ``source`` is the serving path taken: ``"hit"`` (answered from the
+    database with zero search), ``"miss"`` (this request triggered the
+    tuning run) or ``"coalesced"`` (this request arrived while the same
+    workload was already queued/tuning and shared that run).  ``trials``
+    is the number of candidates measured *to serve this request* — by
+    contract 0 for hits and for every coalesced waiter beyond the first.
+    """
+
+    request_id: int
+    key: str
+    source: str  # "hit" | "miss" | "coalesced"
+    func: PrimFunc  # the scheduled (best) program
+    script: str  # printed program text — the byte-identity unit
+    cycles: float
+    sketch: str
+    trials: int
+    wait_seconds: float
+    compiled: Optional[object] = None  # runtime.CompiledFunc when requested
+
+    def __call__(self, *args, **kwargs):
+        if self.compiled is None:
+            raise RuntimeError(
+                "response carries no compiled function "
+                "(ServeConfig.compile_programs=False)"
+            )
+        return self.compiled(*args, **kwargs)
+
+
+@dataclass
+class ServerStats:
+    """A point-in-time snapshot of one server's request accounting."""
+
+    requests: int = 0
+    hits: int = 0
+    misses: int = 0
+    coalesced: int = 0
+    tune_runs: int = 0
+    tuned_workloads: int = 0
+    failures: int = 0
+    hit_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def coalesce_factor(self) -> float:
+        """Workloads tuned per miss-side request — how many tenants one
+        tuning run served.  1.0 means no sharing happened."""
+        miss_side = self.misses + self.coalesced
+        return miss_side / self.tuned_workloads if self.tuned_workloads else 0.0
+
+    def p50_hit_seconds(self) -> Optional[float]:
+        if not self.hit_seconds:
+            return None
+        ordered = sorted(self.hit_seconds)
+        return ordered[len(ordered) // 2]
+
+    def to_json(self) -> dict:
+        return {
+            "requests": self.requests,
+            "hits": self.hits,
+            "misses": self.misses,
+            "coalesced": self.coalesced,
+            "tune_runs": self.tune_runs,
+            "tuned_workloads": self.tuned_workloads,
+            "failures": self.failures,
+            "hit_rate": round(self.hit_rate, 4),
+            "coalesce_factor": round(self.coalesce_factor, 4),
+            "p50_hit_seconds": self.p50_hit_seconds(),
+        }

@@ -1,0 +1,112 @@
+"""In-process client for the schedule server, and the default-client
+registry behind ``repro.compile``.
+
+A :class:`Client` is a thin, picklable-free handle on one
+:class:`~repro.serve.server.ScheduleServer` — same process, same
+database, but the only surface application code should touch:
+``compile`` (sync), ``submit`` (async) and ``stats``.  The module also
+keeps one lazily-created default server per (target, database-path)
+pair so the one-liner ``repro.compile(func, target)`` behaves like a
+process-wide compile cache: first call tunes, every later call for a
+structurally identical workload is a database hit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from concurrent.futures import Future
+from typing import Dict, Optional, Tuple
+
+from ..sim import Target
+from ..tir import PrimFunc
+from .api import CompileResponse, ServeConfig
+from .server import ScheduleServer
+
+__all__ = ["Client", "default_client", "compile", "shutdown_default_servers"]
+
+
+class Client:
+    """Application-facing handle on a :class:`ScheduleServer`."""
+
+    def __init__(self, server: ScheduleServer):
+        self.server = server
+
+    @property
+    def target(self) -> Target:
+        return self.server.target
+
+    def compile(
+        self, func: PrimFunc, timeout: Optional[float] = None
+    ) -> CompileResponse:
+        """Serve one workload: instant on hit, tuned-then-served on miss."""
+        return self.server.compile(func, timeout=timeout)
+
+    def submit(self, func: PrimFunc) -> "Future[CompileResponse]":
+        """Async :meth:`compile`; the future resolves when served."""
+        return self.server.submit(func)
+
+    def stats(self):
+        return self.server.stats()
+
+    def close(self) -> None:
+        self.server.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+_DEFAULT_LOCK = threading.Lock()
+_DEFAULT_SERVERS: Dict[Tuple[str, Optional[str]], ScheduleServer] = {}
+
+
+def default_client(
+    target: Target, config: Optional[ServeConfig] = None
+) -> Client:
+    """The process-wide shared client for ``target`` (one server per
+    (target, db_path); ``config`` only shapes the first construction)."""
+    config = config or ServeConfig()
+    key = (target.name, config.db_path)
+    with _DEFAULT_LOCK:
+        server = _DEFAULT_SERVERS.get(key)
+        if server is None or server._closed:
+            server = ScheduleServer(target, config)
+            _DEFAULT_SERVERS[key] = server
+    return Client(server)
+
+
+def shutdown_default_servers() -> None:
+    """Close every default server (tests, interpreter exit)."""
+    with _DEFAULT_LOCK:
+        servers = list(_DEFAULT_SERVERS.values())
+        _DEFAULT_SERVERS.clear()
+    for server in servers:
+        server.close()
+
+
+atexit.register(shutdown_default_servers)
+
+
+def compile(  # noqa: A001 — deliberate: the serve-surface entry point
+    func: PrimFunc,
+    target: Target,
+    *,
+    config: Optional[ServeConfig] = None,
+    client: Optional[Client] = None,
+    timeout: Optional[float] = None,
+) -> CompileResponse:
+    """Compile one workload through the serving stack (``repro.compile``).
+
+    Routes through ``client`` when given, else the process-wide default
+    in-process client for ``target``: a database hit returns the stored
+    best program (zero search), a miss tunes it once — with concurrent
+    misses for the same workload coalesced into a single run — and
+    every later call is a hit.  The response carries the scheduled
+    program, its printed script, the predicted cycles, and (by default)
+    a runtime-compiled callable.
+    """
+    client = client or default_client(target, config)
+    return client.compile(func, timeout=timeout)

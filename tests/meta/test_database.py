@@ -1,4 +1,10 @@
-"""Tests for the tuning-record database (§5.2's search-record caching)."""
+"""Tests for the tuning-record database (§5.2's search-record caching).
+
+The database surface was redesigned around one typed protocol —
+``get`` / ``put`` / ``evict`` / ``keys`` — with the historical lookup
+spellings kept as deprecation shims; this module covers the protocol on
+the in-memory backend plus the shims' warning behaviour.
+"""
 
 import os
 
@@ -6,7 +12,12 @@ import pytest
 
 from repro.frontend import ops
 from repro.meta import TuneConfig, tune
-from repro.meta.database import DatabaseEntry, TuningDatabase, workload_key
+from repro.meta.database import (
+    Database,
+    DatabaseEntry,
+    TuningDatabase,
+    workload_key,
+)
 from repro.sim import SimCPU, SimGPU, estimate
 
 
@@ -41,25 +52,56 @@ class TestDatabase:
         assert sch is not None
         assert estimate(sch.func, SimGPU()).cycles == pytest.approx(result.best_cycles)
 
-    def test_lookup_returns_typed_entry(self, tuned):
+    def test_get_returns_typed_entry(self, tuned):
         func, result = tuned
         db = TuningDatabase()
         db.record(func, SimGPU(), result.best_sketch, result.best_decisions, result.best_cycles)
-        entry = db.lookup(func, SimGPU())
+        key = workload_key(func, SimGPU())
+        entry = db.get(key)
         assert isinstance(entry, DatabaseEntry)
-        assert entry.key == workload_key(func, SimGPU())
+        assert entry.key == key
         assert entry.workload == func.name
         assert entry.sketch == result.best_sketch
         assert entry.decisions == result.best_decisions
         assert entry.provenance == "search"
-        assert db.lookup_key(entry.key) is entry
+        assert entry.structural_hash is not None
 
-    def test_record_keeps_best(self, tuned):
+    def test_protocol_primitives(self, tuned):
         func, result = tuned
         db = TuningDatabase()
+        assert isinstance(db, Database)
+        key = workload_key(func, SimGPU())
+        db.record(func, SimGPU(), result.best_sketch, result.best_decisions, result.best_cycles)
+        assert db.keys() == [key]
+        assert key in db
+        assert len(db) == 1
+        entry = db.get(key)
+        assert db.evict(key) is True
+        assert db.get(key) is None
+        assert db.evict(key) is False
+        db.put(entry)
+        assert db.get(key) is entry
+
+    def test_put_keeps_best(self, tuned):
+        func, result = tuned
+        db = TuningDatabase()
+        key = workload_key(func, SimGPU())
         db.record(func, SimGPU(), result.best_sketch, result.best_decisions, 100.0)
         db.record(func, SimGPU(), result.best_sketch, result.best_decisions, 200.0)
-        assert db.lookup(func, SimGPU()).cycles == 100.0
+        assert db.get(key).cycles == 100.0
+
+    def test_lookup_shims_warn_and_delegate(self, tuned):
+        func, result = tuned
+        db = TuningDatabase()
+        db.record(func, SimGPU(), result.best_sketch, result.best_decisions, result.best_cycles)
+        key = workload_key(func, SimGPU())
+        with pytest.deprecated_call():
+            entry = db.lookup(func, SimGPU())
+        assert entry is db.get(key)
+        with pytest.deprecated_call():
+            assert db.lookup_key(key) is entry
+        with pytest.deprecated_call():
+            assert db._entries is not None
 
     def test_persistence_roundtrip(self, tuned, tmp_path):
         func, result = tuned
@@ -69,10 +111,11 @@ class TestDatabase:
         db.save()
         db2 = TuningDatabase(path)
         assert len(db2) == 1
-        assert db2.lookup(func, SimGPU()).sketch == result.best_sketch
-        assert db2.lookup(func, SimGPU()).provenance == "search"
+        key = workload_key(func, SimGPU())
+        assert db2.get(key).sketch == result.best_sketch
+        assert db2.get(key).provenance == "search"
 
     def test_miss_returns_none(self):
         db = TuningDatabase()
-        assert db.lookup(ops.matmul(32, 32, 32), SimGPU()) is None
+        assert db.get(workload_key(ops.matmul(32, 32, 32), SimGPU())) is None
         assert db.replay(ops.matmul(32, 32, 32), SimGPU()) is None

@@ -227,3 +227,50 @@ class TestCandidateCacheBypass:
         # The uncached build is still the real build.
         assert replayed is not None, rejection
         assert replayed.decisions == cand.decisions
+
+
+class TestIpcBatching:
+    """Specs ship to process workers in chunks — one IPC round-trip per
+    worker per batch — and chunking must be invisible to the search."""
+
+    def test_chunking_is_contiguous_and_order_preserving(self):
+        specs = [CandidateSpec(seed=s) for s in range(7)]
+        chunks = ProcessEvaluator._chunk(specs, 3)
+        assert len(chunks) == 3
+        assert [len(c) for c in chunks] == [3, 2, 2]
+        assert [s for chunk in chunks for s in chunk] == specs
+
+    def test_chunk_count_never_exceeds_specs(self):
+        specs = [CandidateSpec(seed=s) for s in range(2)]
+        chunks = ProcessEvaluator._chunk(specs, 8)
+        assert len(chunks) == 2
+        assert all(len(c) == 1 for c in chunks)
+        assert ProcessEvaluator._chunk(specs, 1) == [specs]
+
+    def test_batched_evaluate_matches_serial(self, process_pool):
+        func = build_matmul(64, 64, 64, dtype="float16")
+        ctx = EvalContext(func, TensorCoreSketch(), SimGPU())
+        specs = [CandidateSpec(seed=s) for s in range(9)]
+        repro_cache.clear_all()
+        serial = SerialEvaluator().evaluate(ctx, specs)
+        batched = process_pool.evaluate(ctx, specs)
+        assert [o.spec for o in batched] == specs
+        for a, b in zip(serial, batched):
+            assert a.rejection == b.rejection
+            assert a.decisions == b.decisions
+            if a.func is not None:
+                assert structural_hash(a.func) == structural_hash(b.func)
+
+    def test_ipc_batches_counter_counts_chunks_not_specs(self, process_pool):
+        func = build_matmul(48, 48, 48, dtype="float16")
+        ctx = EvalContext(func, TensorCoreSketch(), SimGPU())
+        specs = [CandidateSpec(seed=s) for s in range(10)]
+        before = process_pool.counters()["ipc_batches"]
+        process_pool.evaluate(ctx, specs)
+        grown = process_pool.counters()["ipc_batches"] - before
+        assert 0 < grown <= process_pool.workers
+
+    def test_empty_batch_is_a_noop(self, process_pool):
+        func = build_matmul(32, 32, 32, dtype="float16")
+        ctx = EvalContext(func, TensorCoreSketch(), SimGPU())
+        assert process_pool.evaluate(ctx, []) == []

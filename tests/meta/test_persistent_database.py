@@ -1,0 +1,218 @@
+"""Tests for the persistent on-disk tuning database.
+
+The durability contracts behind the schedule server: atomic JSONL
+commits that round-trip through a restart, corrupt/truncated-line
+recovery with diagnostics instead of crashes, versioned-schema skips,
+TTL expiry, and LRU bounding.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.frontend import ops
+from repro.meta import TuneConfig, tune
+from repro.meta.database import (
+    DB_SCHEMA,
+    Database,
+    DatabaseEntry,
+    PersistentDatabase,
+    workload_key,
+)
+from repro.sim import SimGPU, estimate
+
+
+@pytest.fixture(scope="module")
+def tuned():
+    func = ops.matmul(128, 128, 128)
+    result = tune(func, SimGPU(), TuneConfig(trials=8, seed=0))
+    return func, result
+
+
+def _entry(key: str, cycles: float = 100.0, **overrides) -> DatabaseEntry:
+    fields = dict(
+        key=key,
+        workload="matmul",
+        target="sim-gpu",
+        sketch="tensor-core",
+        decisions=[1, 2, 3],
+        cycles=cycles,
+        provenance="search",
+    )
+    fields.update(overrides)
+    return DatabaseEntry(**fields)
+
+
+class TestRoundTrip:
+    def test_commit_then_reload(self, tmp_path, tuned):
+        func, result = tuned
+        root = str(tmp_path / "db")
+        db = PersistentDatabase(root)
+        assert isinstance(db, Database)
+        db.record(
+            func, SimGPU(), result.best_sketch, result.best_decisions,
+            result.best_cycles,
+        )
+        key = workload_key(func, SimGPU())
+        # durable the moment put returns: a fresh instance sees it
+        db2 = PersistentDatabase(root)
+        entry = db2.get(key)
+        assert entry is not None
+        assert entry.sketch == result.best_sketch
+        assert entry.decisions == result.best_decisions
+        assert entry.cycles == result.best_cycles
+        assert entry.structural_hash is not None
+        sch = db2.replay(func, SimGPU())
+        assert sch is not None
+        assert estimate(sch.func, SimGPU()).cycles == pytest.approx(result.best_cycles)
+
+    def test_record_lines_are_versioned(self, tmp_path):
+        db = PersistentDatabase(str(tmp_path / "db"))
+        db.put(_entry("k" * 24))
+        path = os.path.join(str(tmp_path / "db"), "entries", "k" * 24 + ".jsonl")
+        with open(path) as f:
+            lines = [json.loads(line) for line in f if line.strip()]
+        assert len(lines) == 1
+        assert lines[0]["schema"] == DB_SCHEMA
+        assert lines[0]["key"] == "k" * 24
+
+    def test_put_keeps_best(self, tmp_path):
+        db = PersistentDatabase(str(tmp_path / "db"))
+        db.put(_entry("aa", cycles=100.0))
+        kept = db.put(_entry("aa", cycles=200.0))
+        assert kept.cycles == 100.0
+        assert db.get("aa").cycles == 100.0
+
+    def test_evict_removes_file(self, tmp_path):
+        root = str(tmp_path / "db")
+        db = PersistentDatabase(root)
+        db.put(_entry("aa"))
+        path = os.path.join(root, "entries", "aa.jsonl")
+        assert os.path.exists(path)
+        assert db.evict("aa") is True
+        assert not os.path.exists(path)
+        assert db.evict("aa") is False
+        assert PersistentDatabase(root).get("aa") is None
+
+
+class TestCorruptionRecovery:
+    def test_truncated_line_skipped_with_diagnostic(self, tmp_path):
+        root = str(tmp_path / "db")
+        db = PersistentDatabase(root)
+        db.put(_entry("aa", cycles=42.0))
+        path = os.path.join(root, "entries", "aa.jsonl")
+        # simulate a crashed appender: half a JSON object on a new line
+        with open(path, "a") as f:
+            f.write('{"schema": "repro.db/1", "key": "aa", "cyc')
+        db2 = PersistentDatabase(root)
+        entry = db2.get("aa")
+        assert entry is not None and entry.cycles == 42.0
+        assert any("truncated/corrupt" in d for d in db2.diagnostics)
+
+    def test_last_valid_line_wins(self, tmp_path):
+        root = str(tmp_path / "db")
+        db = PersistentDatabase(root)
+        db.put(_entry("aa", cycles=100.0))
+        path = os.path.join(root, "entries", "aa.jsonl")
+        newer = {"schema": DB_SCHEMA, "key": "aa"}
+        newer.update(_entry("aa", cycles=50.0).to_record())
+        with open(path, "a") as f:
+            f.write(json.dumps(newer) + "\n")
+            f.write("garbage that is not json\n")
+        db2 = PersistentDatabase(root)
+        assert db2.get("aa").cycles == 50.0
+
+    def test_unknown_schema_major_skipped(self, tmp_path):
+        root = str(tmp_path / "db")
+        os.makedirs(os.path.join(root, "entries"))
+        record = {"schema": "repro.db2/9", "key": "aa"}
+        record.update(_entry("aa").to_record())
+        with open(os.path.join(root, "entries", "aa.jsonl"), "w") as f:
+            f.write(json.dumps(record) + "\n")
+        db = PersistentDatabase(root)
+        assert db.get("aa") is None
+        assert any("unknown schema" in d for d in db.diagnostics)
+
+    def test_missing_fields_skipped(self, tmp_path):
+        root = str(tmp_path / "db")
+        os.makedirs(os.path.join(root, "entries"))
+        with open(os.path.join(root, "entries", "aa.jsonl"), "w") as f:
+            f.write(json.dumps({"schema": DB_SCHEMA, "key": "aa"}) + "\n")
+        db = PersistentDatabase(root)
+        assert db.get("aa") is None
+        assert any("missing required fields" in d for d in db.diagnostics)
+
+    def test_mismatched_filename_skipped(self, tmp_path):
+        root = str(tmp_path / "db")
+        os.makedirs(os.path.join(root, "entries"))
+        record = {"schema": DB_SCHEMA}
+        record.update(_entry("bb").to_record())
+        record["key"] = "bb"
+        with open(os.path.join(root, "entries", "aa.jsonl"), "w") as f:
+            f.write(json.dumps(record) + "\n")
+        db = PersistentDatabase(root)
+        assert db.get("aa") is None and db.get("bb") is None
+        assert any("does not match" in d for d in db.diagnostics)
+
+    def test_corrupt_lru_sidecar_resets(self, tmp_path):
+        root = str(tmp_path / "db")
+        db = PersistentDatabase(root)
+        db.put(_entry("aa", cycles=7.0))
+        with open(os.path.join(root, "lru.json"), "w") as f:
+            f.write("{ not json")
+        db2 = PersistentDatabase(root)
+        assert db2.get("aa").cycles == 7.0
+        assert any("lru.json" in d for d in db2.diagnostics)
+
+
+class TestEviction:
+    def test_ttl_lazy_eviction_on_get(self, tmp_path):
+        clock = [1000.0]
+        db = PersistentDatabase(
+            str(tmp_path / "db"), ttl_seconds=60.0, clock=lambda: clock[0]
+        )
+        db.put(_entry("aa"))
+        assert db.get("aa") is not None
+        clock[0] += 120.0
+        assert db.get("aa") is None
+        assert "aa" not in db
+        assert not os.path.exists(
+            os.path.join(str(tmp_path / "db"), "entries", "aa.jsonl")
+        )
+
+    def test_evict_expired_sweep(self, tmp_path):
+        clock = [1000.0]
+        db = PersistentDatabase(
+            str(tmp_path / "db"), ttl_seconds=60.0, clock=lambda: clock[0]
+        )
+        db.put(_entry("aa"))
+        clock[0] += 30.0
+        db.put(_entry("bb"))
+        clock[0] += 45.0  # aa is 75s old, bb 45s old
+        assert db.evict_expired() == ["aa"]
+        assert db.keys() == ["bb"]
+
+    def test_max_entries_lru(self, tmp_path):
+        clock = [1000.0]
+        db = PersistentDatabase(
+            str(tmp_path / "db"), max_entries=2, clock=lambda: clock[0]
+        )
+        db.put(_entry("aa"))
+        clock[0] += 1.0
+        db.put(_entry("bb"))
+        clock[0] += 1.0
+        db.get("aa")  # refresh aa — bb is now the LRU victim
+        clock[0] += 1.0
+        db.put(_entry("cc"))
+        assert db.keys() == ["aa", "cc"]
+
+    def test_accounting_survives_restart(self, tmp_path):
+        root = str(tmp_path / "db")
+        db = PersistentDatabase(root)
+        db.put(_entry("aa"))
+        db.get("aa")
+        db.flush_lru()
+        db2 = PersistentDatabase(root)
+        assert db2.stats()["hits"] >= 1.0
+        assert db2.stats()["entries"] == 1.0

@@ -1,0 +1,217 @@
+"""Tests for the tuning-as-a-service surface (``repro.serve``).
+
+The acceptance contract: warm requests are served from the database
+with **zero** trials, a server restarted on the same persistent
+directory serves **byte-identical** programs, and concurrent cache
+misses for one workload coalesce into a **single** tuning run.
+"""
+
+import threading
+
+import pytest
+
+import repro
+from repro.frontend import ops
+from repro.meta import Telemetry, TuneConfig, TuningDatabase
+from repro.meta.database import DatabaseEntry, workload_key
+from repro.obs import ObsConfig, Recorder
+from repro.serve import (
+    Client,
+    CompileResponse,
+    ScheduleServer,
+    ServeConfig,
+    default_client,
+    shutdown_default_servers,
+)
+from repro.sim import SimGPU
+
+CFG = ServeConfig(tune=TuneConfig(trials=4, seed=11))
+
+
+def _matmul(n=128):
+    return ops.matmul(n, n, n)
+
+
+class TestServeBasics:
+    def test_miss_then_hit_zero_trials(self):
+        with ScheduleServer(SimGPU(), CFG) as server:
+            first = server.compile(_matmul())
+            assert first.source == "miss"
+            assert first.trials > 0
+            second = server.compile(_matmul())
+            assert second.source == "hit"
+            assert second.trials == 0
+            assert second.script == first.script
+            assert second.cycles == first.cycles
+
+    def test_response_is_callable_program(self):
+        import numpy as np
+
+        with ScheduleServer(SimGPU(), CFG) as server:
+            resp = server.compile(_matmul(64))
+            assert isinstance(resp, CompileResponse)
+            rng = np.random.default_rng(0)
+            a = rng.random((64, 64)).astype("float16")
+            b = rng.random((64, 64)).astype("float16")
+            c = np.zeros((64, 64), dtype="float16")
+            resp(a, b, c)
+            np.testing.assert_allclose(
+                c.astype("float32"),
+                a.astype("float32") @ b.astype("float32"),
+                rtol=5e-2, atol=5e-1,
+            )
+
+    def test_compile_programs_off(self):
+        with ScheduleServer(SimGPU(), CFG.with_(compile_programs=False)) as server:
+            resp = server.compile(_matmul(64))
+            assert resp.compiled is None
+            with pytest.raises(RuntimeError, match="no compiled function"):
+                resp(None, None)
+
+    def test_stats_accounting(self):
+        with ScheduleServer(SimGPU(), CFG) as server:
+            server.compile(_matmul())
+            server.compile(_matmul())
+            server.compile(_matmul())
+            stats = server.stats()
+        assert stats.requests == 3
+        assert stats.misses == 1
+        assert stats.hits == 2
+        assert stats.tune_runs == 1
+        assert 0 < stats.hit_rate < 1
+        assert stats.p50_hit_seconds() is not None
+        payload = stats.to_json()
+        assert payload["hits"] == 2 and "coalesce_factor" in payload
+
+    def test_telemetry_counters(self):
+        telemetry = Telemetry()
+        with ScheduleServer(SimGPU(), CFG, telemetry=telemetry) as server:
+            server.compile(_matmul())
+            server.compile(_matmul())
+        assert telemetry.counters.get("serve.misses") == 1
+        assert telemetry.counters.get("serve.hits") == 1
+        assert telemetry.counters.get("serve.tune_runs") == 1
+
+    def test_recorder_events(self):
+        recorder = Recorder(ObsConfig(enabled=True))
+        with ScheduleServer(SimGPU(), CFG, recorder=recorder) as server:
+            server.compile(_matmul())
+            server.compile(_matmul())
+        events = recorder.stream.events("serve-request")
+        sources = [e["source"] for e in events]
+        assert sources == ["miss", "hit"]
+        assert events[1]["trials"] == 0
+
+    def test_unreplayable_record_is_evicted_and_retuned(self):
+        db = TuningDatabase()
+        func = _matmul()
+        key = workload_key(func, SimGPU())
+        db.put(
+            DatabaseEntry(
+                key=key, workload=func.name, target="sim-gpu",
+                sketch="no-such-sketch", decisions=[], cycles=1.0,
+            )
+        )
+        with ScheduleServer(SimGPU(), CFG, database=db) as server:
+            resp = server.compile(func)
+        assert resp.source == "miss"
+        assert db.get(key).sketch != "no-such-sketch"
+
+    def test_submit_after_close_raises(self):
+        server = ScheduleServer(SimGPU(), CFG)
+        server.close()
+        server.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            server.submit(_matmul())
+
+
+class TestPersistenceAcrossRestart:
+    def test_restart_serves_byte_identical(self, tmp_path):
+        cfg = CFG.with_(db_path=str(tmp_path / "db"))
+        with ScheduleServer(SimGPU(), cfg) as server:
+            first = server.compile(_matmul())
+            assert first.source == "miss"
+        with ScheduleServer(SimGPU(), cfg) as server:
+            again = server.compile(_matmul())
+        assert again.source == "hit"
+        assert again.trials == 0
+        assert again.script == first.script
+        assert again.cycles == first.cycles
+
+
+class TestCoalescing:
+    def test_concurrent_misses_one_tuning_run(self):
+        """N concurrent clients, same workload → one tuning run."""
+        cfg = CFG.with_(batch_window_seconds=0.3)
+        n = 4
+        with ScheduleServer(SimGPU(), cfg) as server:
+            barrier = threading.Barrier(n)
+            responses = [None] * n
+
+            def request(i):
+                barrier.wait()
+                responses[i] = server.compile(_matmul())
+
+            threads = [threading.Thread(target=request, args=(i,)) for i in range(n)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = server.stats()
+        sources = sorted(r.source for r in responses)
+        assert sources.count("miss") == 1
+        assert sources.count("coalesced") + sources.count("hit") == n - 1
+        assert stats.tune_runs == 1
+        assert stats.tuned_workloads == 1
+        assert len({r.script for r in responses}) == 1
+        assert all(r.trials == 0 for r in responses if r.source != "miss")
+        assert stats.coalesce_factor >= 2.0
+
+    def test_distinct_workloads_share_one_session(self):
+        cfg = CFG.with_(batch_window_seconds=0.3)
+        with ScheduleServer(SimGPU(), cfg) as server:
+            futures = [
+                server.submit(_matmul(128)),
+                server.submit(ops.matmul(128, 128, 256)),
+            ]
+            responses = [f.result(timeout=120) for f in futures]
+            stats = server.stats()
+        assert {r.source for r in responses} == {"miss"}
+        assert stats.tune_runs == 1
+        assert stats.tuned_workloads == 2
+
+
+class TestClientSurface:
+    def test_client_wraps_server(self):
+        with Client(ScheduleServer(SimGPU(), CFG)) as client:
+            resp = client.compile(_matmul())
+            assert resp.source == "miss"
+            assert client.submit(_matmul()).result(timeout=60).source == "hit"
+            assert client.stats().requests == 2
+            assert client.target.name == SimGPU().name
+
+    def test_repro_compile_routes_through_client(self):
+        with Client(ScheduleServer(SimGPU(), CFG)) as client:
+            first = repro.compile(_matmul(), SimGPU(), client=client)
+            second = repro.compile(_matmul(), SimGPU(), client=client)
+        assert first.source == "miss"
+        assert second.source == "hit"
+        assert second.script == first.script
+
+    def test_default_client_is_shared_and_recreated(self):
+        shutdown_default_servers()
+        try:
+            c1 = default_client(SimGPU(), CFG)
+            c2 = default_client(SimGPU(), CFG)
+            assert c1.server is c2.server
+            c1.close()
+            c3 = default_client(SimGPU(), CFG)
+            assert c3.server is not c1.server
+        finally:
+            shutdown_default_servers()
+
+    def test_top_level_exports(self):
+        assert repro.ScheduleServer is ScheduleServer
+        assert repro.ServeConfig is ServeConfig
+        assert repro.Client is Client
+        assert callable(repro.compile)
