@@ -723,6 +723,181 @@ def run_serve_bench(workloads, trials, seed, out_path, smoke=False):
     return 0 if not failures else 1
 
 
+def run_shape_bench(trials, seed, out_path, smoke=False):
+    """Shape-generic serving: bucketed schedule reuse (``--shapes``).
+
+    Drives a bucket-configured :class:`repro.serve.ScheduleServer`
+    (``ServeConfig.buckets = BucketSpec.pow2(...)``) through a
+    batch-size sweep (conv2d, the fig. 12 C2D layer family) and a
+    sequence-length sweep (matmul, the BERT projection family) and
+    asserts the three shape-bucketing contracts:
+
+    * **unseen in-bucket shapes are free** — once a bucket
+      representative is tuned, every other shape in the bucket is
+      served by adaptive §5.2 replay with ``trials == 0`` (source
+      ``"bucket-hit"``, or ``"hit"`` for the representative itself);
+    * **bounded latency regression** — the bucket-reused schedule's
+      estimated end-to-end latency stays within 1.25x of tuning that
+      exact shape from scratch with the same budget, at every shape;
+    * **numerical equality** — every served program matches the
+      interpreter oracle at its concrete shape.
+
+    Results merge into ``BENCH_search.json`` under ``shape_buckets``.
+    ``smoke=True`` shrinks shapes and budgets for CI; the correctness
+    gates are identical.
+    """
+    import numpy as np
+
+    from repro.frontend.shapes import BucketSpec
+    from repro.meta import Telemetry
+    from repro.runtime import run as run_program
+    from repro.runtime.executor import random_args
+    from repro.runtime.interp import interpret
+    from repro.serve import ScheduleServer, ServeConfig
+
+    target = SimGPU()
+    # Sweep families: a conv batch family (fp32, gpu-scalar — exercises
+    # adaptive tile coercion at every batch) and a matmul sequence
+    # family (fp16, tensor-core — swept over multiples of the intrinsic
+    # tile, where cross-shape replay keeps the tensorized schedule).
+    # Non-pow2 sweep sizes tune their bucket representative; the pow2
+    # sizes that follow are then exact hits, and the ``unseen`` probes
+    # land inside already-tuned buckets — the 0-trial contract.
+    def conv_layer(n):
+        return ops.conv2d(n, 6, 6, 4, 4, 3, 3, dtype="float32")
+
+    def mm_layer(s):
+        return ops.matmul(s, 32, 32)
+
+    if smoke:
+        sweeps = [
+            ("batch_conv2d", conv_layer, [2, 4, 6], [5, 7]),
+            ("seq_matmul", mm_layer, [32, 48, 96], [80]),
+        ]
+    else:
+        sweeps = [
+            ("batch_conv2d", conv_layer,
+             [1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64], [13, 27, 40, 56]),
+            ("seq_matmul", mm_layer,
+             [32, 48, 64, 96, 128], [80, 112]),
+        ]
+    bench = {
+        "config": {"trials": trials, "seed": seed, "smoke": smoke},
+        "sweeps": {},
+    }
+    failures = []
+
+    def check_numerics(base_func, served_func):
+        args = random_args(base_func, seed=seed)
+        oracle = {k: v.copy() for k, v in args.items()}
+        interpret(base_func, oracle)
+        got = {k: v.copy() for k, v in args.items()}
+        run_program(served_func, got)
+        fp16 = any(b.dtype == "float16" for b in base_func.buffers)
+        tol = dict(rtol=2e-2, atol=2e-2) if fp16 else dict(rtol=1e-4, atol=1e-4)
+        return all(np.allclose(oracle[k], got[k], **tol) for k in oracle)
+
+    for sweep_name, build, sizes, unseen in sweeps:
+        telemetry = Telemetry()
+        cfg = ServeConfig(
+            tune=TuneConfig(trials=trials, seed=seed),
+            buckets=BucketSpec.pow2("n"),
+        )
+        rows = []
+        max_ratio = 0.0
+        with ScheduleServer(target, cfg, telemetry=telemetry) as server:
+            for phase, swept in (("sweep", sizes), ("unseen", unseen)):
+                for size in swept:
+                    func = build(size)
+                    resp = server.compile(func)
+                    # Per-shape baseline: tune this exact shape from
+                    # scratch with the same budget (fresh database).
+                    specific = tune(
+                        func, target, TuneConfig(trials=trials, seed=seed)
+                    )
+                    served_seconds = estimate(resp.func, target).seconds
+                    ratio = (
+                        served_seconds / specific.best_report.seconds
+                        if specific.best_report.seconds
+                        else 1.0
+                    )
+                    max_ratio = max(max_ratio, ratio)
+                    numerics_ok = check_numerics(func, resp.func)
+                    row = {
+                        "n": size,
+                        "phase": phase,
+                        "source": resp.source,
+                        "trials": resp.trials,
+                        "latency_ratio": round(ratio, 3),
+                        "numerics_ok": numerics_ok,
+                    }
+                    rows.append(row)
+                    print(
+                        f"[{sweep_name}] n={size:>3} {resp.source:>10} "
+                        f"trials={resp.trials:>3} ratio={ratio:.3f} "
+                        f"numerics={'ok' if numerics_ok else 'FAIL'}",
+                        flush=True,
+                    )
+                    if not numerics_ok:
+                        failures.append(
+                            f"{sweep_name}: n={size} diverged from the "
+                            "interpreter oracle"
+                        )
+                    if ratio > 1.25:
+                        failures.append(
+                            f"{sweep_name}: n={size} latency ratio "
+                            f"{ratio:.3f} exceeds 1.25x"
+                        )
+                    if phase == "unseen":
+                        # Every probe's bucket representative was tuned
+                        # during the sweep: serving must take 0 trials.
+                        if resp.trials != 0 or resp.source not in (
+                            "hit", "bucket-hit"
+                        ):
+                            failures.append(
+                                f"{sweep_name}: unseen in-bucket n={size} "
+                                f"took {resp.trials} trials "
+                                f"({resp.source!r})"
+                            )
+            stats = server.stats()
+        bench["sweeps"][sweep_name] = {
+            "shapes": rows,
+            "max_latency_ratio": round(max_ratio, 3),
+            "stats": stats.to_json(),
+        }
+
+    unseen_rows = [
+        r for s in bench["sweeps"].values() for r in s["shapes"]
+        if r["phase"] == "unseen"
+    ]
+    bench["aggregate"] = {
+        "max_latency_ratio": round(
+            max(s["max_latency_ratio"] for s in bench["sweeps"].values()), 3
+        ),
+        "unseen_probes": len(unseen_rows),
+        "unseen_zero_trials": all(r["trials"] == 0 for r in unseen_rows),
+        "all_numerics_ok": all(
+            r["numerics_ok"]
+            for s in bench["sweeps"].values()
+            for r in s["shapes"]
+        ),
+        "ok": not failures,
+    }
+    report = {}
+    if os.path.exists(out_path):
+        with open(out_path) as fh:
+            report = json.load(fh)
+    report["shape_buckets"] = bench
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(bench["aggregate"], indent=2))
+    print(f"wrote {out_path}")
+    for line in failures:
+        print(f"FAIL: {line}", file=sys.stderr)
+    return 0 if not failures else 1
+
+
 def run_smoke():
     """Correctness-only guard: caches must actually hit.  No timings."""
     func = ops.matmul(64, 64, 64)
@@ -828,6 +1003,13 @@ def main(argv=None):
         "miss coalescing (merges into BENCH_search.json as "
         "'schedule_serve'; combine with --smoke for the CI guard)",
     )
+    parser.add_argument(
+        "--shapes", action="store_true",
+        help="shape-bucketing bench: batch/seq sweeps served from bucket "
+        "representatives — 0-trial in-bucket serves, bounded latency "
+        "regression, oracle numerics (merges into BENCH_search.json as "
+        "'shape_buckets'; combine with --smoke for the CI guard)",
+    )
     parser.add_argument("--trials", type=int, default=32)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -845,6 +1027,9 @@ def main(argv=None):
     )
     parser.add_argument("--out", default="BENCH_search.json")
     args = parser.parse_args(argv)
+    if args.shapes:
+        trials = 4 if args.smoke else args.trials
+        return run_shape_bench(trials, args.seed, args.out, smoke=args.smoke)
     if args.serve:
         workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
         if args.smoke:

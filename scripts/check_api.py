@@ -294,6 +294,64 @@ def main() -> int:
         "ServerStats accounting surface incomplete",
     )
 
+    # --- shape-generic tuning (repro.frontend.shapes) ------------------
+    from repro.frontend import shapes
+
+    for name in (
+        "ShapeBucket",
+        "BucketSpec",
+        "BucketedWorkload",
+        "canonicalize",
+        "shape_parametric",
+        "shape_args_of",
+        "rebuild",
+    ):
+        check(hasattr(shapes, name), f"repro.frontend.shapes.{name} missing")
+        check(hasattr(frontend, name), f"repro.frontend.{name} missing")
+    for name in ("ShapeBucket", "BucketSpec", "BucketedWorkload", "canonicalize"):
+        check(hasattr(repro, name), f"repro.{name} missing")
+    bucket_params = inspect.signature(shapes.ShapeBucket).parameters
+    for param in ("dim", "boundaries"):
+        check(param in bucket_params, f"ShapeBucket(...{param}...) missing")
+    check(
+        callable(getattr(shapes.BucketSpec, "pow2", None)),
+        "BucketSpec.pow2 missing",
+    )
+    canon_params = inspect.signature(shapes.canonicalize).parameters
+    for param in ("func", "spec", "ctx"):
+        check(param in canon_params, f"canonicalize(...{param}...) missing")
+    bw_fields = set(getattr(shapes.BucketedWorkload, "__dataclass_fields__", {}))
+    for field in ("concrete", "representative", "dims"):
+        check(field in bw_fields, f"BucketedWorkload.{field} missing")
+    check(
+        isinstance(getattr(shapes.BucketedWorkload, "bucketed", None), property),
+        "BucketedWorkload.bucketed missing",
+    )
+    check("buckets" in session_params, "TuningSession(...buckets...) missing")
+    check("buckets" in serve_fields, "ServeConfig.buckets missing")
+    request_fields = set(getattr(serve.CompileRequest, "__dataclass_fields__", {}))
+    check("bucket_key" in request_fields, "CompileRequest.bucket_key missing")
+    stats_fields_serve = set(getattr(serve.ServerStats, "__dataclass_fields__", {}))
+    for field in ("bucket_hits", "replay_fallbacks"):
+        check(field in stats_fields_serve, f"ServerStats.{field} missing")
+    for method in ("replay_entry", "replay_bucketed"):
+        check(
+            callable(getattr(meta.Database, method, None)),
+            f"Database.{method} missing",
+        )
+    replay_params = inspect.signature(meta.Database.replay_entry).parameters
+    check(
+        "decision_mode" in replay_params,
+        "Database.replay_entry(...decision_mode...) missing",
+    )
+    from repro.diagnostics import code_info as _code_info
+
+    for code in ("TIR701", "TIR702", "TIR703"):
+        try:
+            _code_info(code)
+        except Exception:
+            check(False, f"diagnostic code {code} unregistered")
+
     for method in ("span", "add", "count", "absorb_stats", "report", "to_json"):
         check(
             callable(getattr(repro.Telemetry, method, None)),

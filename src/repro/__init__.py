@@ -54,6 +54,12 @@ from .meta import (  # noqa: F401  — the documented top-level tuning API
     tune,
     workload_key,
 )
+from .frontend.shapes import (  # noqa: F401  — shape-generic tuning
+    BucketedWorkload,
+    BucketSpec,
+    ShapeBucket,
+    canonicalize,
+)
 from .schedule import verify  # noqa: F401  — the §3.3 validation battery
 from .serve import (  # noqa: F401  — the serving surface
     Client,
@@ -86,6 +92,10 @@ __all__ = [
     "Client",
     "ServeConfig",
     "CompileResponse",
+    "ShapeBucket",
+    "BucketSpec",
+    "BucketedWorkload",
+    "canonicalize",
     "verify",
     "Diagnostic",
     "DiagnosticContext",

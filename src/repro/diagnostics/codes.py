@@ -12,6 +12,8 @@ identified by a stable ``TIRnnn`` code, grouped in bands:
   a candidate the search produced).
 * ``TIR6xx`` — graph construction and fusion-legality failures (the
   dataflow layer in ``repro.frontend``).
+* ``TIR7xx`` — shape bucketing and cross-shape replay (bucketed
+  schedule reuse in ``repro.frontend.shapes``).
 
 Codes are append-only: a released code never changes meaning, so
 telemetry aggregated across versions stays comparable.
@@ -35,6 +37,7 @@ _FAMILIES = {
     "TIR4": "primitive-precondition",
     "TIR5": "cost-model",
     "TIR6": "graph-fusion",
+    "TIR7": "shape-bucketing",
 }
 
 
@@ -140,3 +143,8 @@ register_code("TIR601", "fusion consumer is not a pure elementwise op")
 register_code("TIR602", "epilogue output shape does not match the anchor output")
 register_code("TIR603", "fusion boundary tensor has multiple consumers")
 register_code("TIR604", "graph operator arity or operand shape mismatch")
+
+# --- TIR7xx: shape bucketing + cross-shape replay --------------------------
+register_code("TIR701", "stored decisions infeasible at the replayed shape")
+register_code("TIR702", "bucket replay fell back to a fresh tune")
+register_code("TIR703", "dimension size outside every declared bucket")

@@ -24,6 +24,15 @@ from .graph import (
     network_latency,
 )
 from .networks import cpu_graph, cpu_network, gpu_graph, gpu_network
+from .shapes import (
+    BucketedWorkload,
+    BucketSpec,
+    ShapeBucket,
+    canonicalize,
+    rebuild,
+    shape_args_of,
+    shape_parametric,
+)
 from .workloads import CPU_WORKLOADS, GPU_WORKLOADS, cpu_workload, gpu_workload
 
 __all__ = [
@@ -54,4 +63,11 @@ __all__ = [
     "CPU_WORKLOADS",
     "gpu_workload",
     "cpu_workload",
+    "ShapeBucket",
+    "BucketSpec",
+    "BucketedWorkload",
+    "canonicalize",
+    "shape_parametric",
+    "shape_args_of",
+    "rebuild",
 ]

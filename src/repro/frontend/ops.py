@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Optional, Sequence, Tuple
 
 from ..tir import Cast, IRBuilder, PrimFunc, Select, call, const, logical_and, max_expr, min_expr
+from .shapes import shape_parametric
 
 __all__ = [
     "matmul",
@@ -48,6 +49,7 @@ def _acc_mul(dtype: str, acc_dtype: str, a, b):
     return Cast(acc_dtype, a) * Cast(acc_dtype, b)
 
 
+@shape_parametric(dims=("n", "m", "k"))
 def matmul(
     n: int, m: int, k: int, dtype: str = "float16", acc_dtype: Optional[str] = None
 ) -> PrimFunc:
@@ -68,6 +70,7 @@ def matmul(
     return b.finish().with_attrs(op="matmul")
 
 
+@shape_parametric(dims=("batch", "n", "m", "k"))
 def batch_matmul(
     batch: int, n: int, m: int, k: int, dtype: str = "float16", acc_dtype: Optional[str] = None
 ) -> PrimFunc:
@@ -92,6 +95,7 @@ def batch_matmul(
     return b.finish().with_attrs(op="batch_matmul")
 
 
+@shape_parametric(dims=("n", "length"))
 def conv1d(
     n: int,
     length: int,
@@ -133,6 +137,7 @@ def conv1d(
     return b.finish().with_attrs(op="conv1d")
 
 
+@shape_parametric(dims=("n", "h", "w"))
 def conv2d(
     n: int,
     h: int,
@@ -182,6 +187,7 @@ def conv2d(
     return b.finish().with_attrs(op="conv2d")
 
 
+@shape_parametric(dims=("n", "d", "h", "w"))
 def conv3d(
     n: int,
     d: int,
@@ -243,6 +249,7 @@ def conv3d(
     return b.finish().with_attrs(op="conv3d")
 
 
+@shape_parametric(dims=("n", "h", "w"))
 def depthwise_conv2d(
     n: int,
     h: int,
@@ -294,6 +301,7 @@ def depthwise_conv2d(
     return b.finish().with_attrs(op="depthwise_conv2d")
 
 
+@shape_parametric(dims=("n", "h", "w"))
 def group_conv2d(
     n: int,
     h: int,
@@ -354,6 +362,7 @@ def group_conv2d(
     return b.finish().with_attrs(op="group_conv2d")
 
 
+@shape_parametric(dims=("n", "h", "w"))
 def conv2d_transposed(
     n: int,
     h: int,
@@ -582,6 +591,7 @@ def requantize(
     return b.finish().with_attrs(op="elementwise")
 
 
+@shape_parametric(dims=("n", "h", "w"))
 def pad2d(n: int, h: int, w: int, c: int, pad: int, dtype: str = "float16") -> PrimFunc:
     """Zero-pad NHWC spatially by ``pad`` per side (a layout op: it
     changes shape, so it is *not* fusible as an epilogue)."""
@@ -609,6 +619,7 @@ def pad2d(n: int, h: int, w: int, c: int, pad: int, dtype: str = "float16") -> P
     return b.finish().with_attrs(op="pad")
 
 
+@shape_parametric(dims=("batch", "n", "m"))
 def batch_softmax(batch: int, n: int, m: int, dtype: str = "float32") -> PrimFunc:
     """Row softmax over the last axis of a 3-D tensor (attention scores)."""
     b = IRBuilder("batch_softmax")
@@ -647,6 +658,7 @@ def batch_softmax(batch: int, n: int, m: int, dtype: str = "float32") -> PrimFun
     return b.finish().with_attrs(op="softmax")
 
 
+@shape_parametric(dims=("seq",))
 def split_heads(
     seq: int, heads: int, dhead: int, dtype: str = "float16", transpose: bool = False
 ) -> PrimFunc:
@@ -669,6 +681,7 @@ def split_heads(
     return b.finish().with_attrs(op="reshape")
 
 
+@shape_parametric(dims=("seq",))
 def merge_heads(heads: int, seq: int, dhead: int, dtype: str = "float16") -> PrimFunc:
     """(heads, seq, dhead) -> (seq, heads*dhead), inverse of split_heads."""
     b = IRBuilder("merge_heads")
@@ -682,6 +695,7 @@ def merge_heads(heads: int, seq: int, dhead: int, dtype: str = "float16") -> Pri
     return b.finish().with_attrs(op="reshape")
 
 
+@shape_parametric(dims=("n", "m"))
 def bias_add_relu(n: int, m: int, dtype: str = "float16") -> PrimFunc:
     b = IRBuilder("bias_add_relu")
     A = b.arg_buffer("A", (n, m), dtype)
@@ -695,6 +709,7 @@ def bias_add_relu(n: int, m: int, dtype: str = "float16") -> PrimFunc:
     return b.finish().with_attrs(op="elementwise")
 
 
+@shape_parametric(dims=("n", "m"))
 def softmax(n: int, m: int, dtype: str = "float32") -> PrimFunc:
     """Row softmax (max-subtracted, numerically stable)."""
     b = IRBuilder("softmax")
@@ -724,6 +739,7 @@ def softmax(n: int, m: int, dtype: str = "float32") -> PrimFunc:
     return b.finish().with_attrs(op="softmax")
 
 
+@shape_parametric(dims=("n", "m"))
 def layer_norm(n: int, m: int, dtype: str = "float32", eps: float = 1e-5) -> PrimFunc:
     b = IRBuilder("layer_norm")
     A = b.arg_buffer("A", (n, m), dtype)

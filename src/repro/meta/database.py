@@ -33,9 +33,12 @@ import warnings
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from .. import cache as _cache
+from ..diagnostics import DiagnosticContext
 from ..schedule import Schedule, ScheduleError
+from ..schedule.validation import _names_fingerprint
 from ..sim import Target
-from ..tir import PrimFunc
+from ..tir import PrimFunc, structural_hash
 from ..tir.printer import script
 
 __all__ = [
@@ -58,6 +61,13 @@ _LOOKUP_DEPRECATED_MSG = (
 )
 
 
+#: memoized key computation — serializing the full function on every
+#: database/serve lookup is the hot cost; the memo key is the same
+#: (alpha-invariant hash, name fingerprint, target) triple the verify
+#: cache uses, so structurally-equal-but-renamed functions never alias.
+_KEY_CACHE = _cache.MemoCache("meta.workload_key", maxsize=8192)
+
+
 def workload_key(func: PrimFunc, target: Target) -> str:
     """A stable key for (workload, target): hash of the script text
     (names included — the builder generates them deterministically) and
@@ -66,8 +76,23 @@ def workload_key(func: PrimFunc, target: Target) -> str:
     Public API: identical keys mean a tuned record for one workload is
     exactly replayable for the other, which is what session-level
     deduplication — and the schedule server's request coalescing —
-    relies on.
+    relies on.  The serialization is memoized per process on
+    ``structural_hash`` plus a name fingerprint (the exact content the
+    script adds over structure), so repeat lookups on the serve path
+    skip the full-function print.
     """
+    if not _cache.caches_enabled():
+        return _workload_key_impl(func, target)
+    cache_key = (structural_hash(func), _names_fingerprint(func), target.name)
+    hit = _KEY_CACHE.lookup(cache_key)
+    if hit is not _cache.MISS:
+        return hit
+    value = _workload_key_impl(func, target)
+    _KEY_CACHE.put(cache_key, value)
+    return value
+
+
+def _workload_key_impl(func: PrimFunc, target: Target) -> str:
     digest = hashlib.sha256()
     digest.update(script(func).encode())
     digest.update(target.name.encode())
@@ -178,6 +203,25 @@ class Database:
         entry = self.get(workload_key(func, target))
         if entry is None:
             return None
+        return self.replay_entry(func, entry)
+
+    def replay_entry(
+        self,
+        func: PrimFunc,
+        entry: DatabaseEntry,
+        *,
+        decision_mode: str = "strict",
+        ctx: Optional[DiagnosticContext] = None,
+    ) -> Optional[Schedule]:
+        """Apply one stored record's sketch + decision vector to ``func``.
+
+        ``func`` need not be the function the entry was recorded for:
+        with ``decision_mode="adapt"`` this is §5.2 forced-decision
+        replay across a shape bucket — each stored decision is coerced
+        to the nearest feasible choice at ``func``'s extents, and a
+        sketch constraint that cannot hold at the new shape surfaces as
+        ``None`` with a ``TIR701`` diagnostic in ``ctx``.
+        """
         from .sketch import (
             CpuScalarSketch,
             CpuSdotSketch,
@@ -195,12 +239,40 @@ class Database:
         if cls is None:
             return None
         sch = Schedule(func, seed=0, record_trace=False)
+        sch.decision_mode = decision_mode
         sch.forced_decisions = list(entry.decisions)
         try:
             cls().apply(sch)
-        except ScheduleError:
+        except ScheduleError as err:
+            if ctx is not None:
+                ctx.emit(
+                    "TIR701",
+                    f"stored decisions for {entry.key} are infeasible at the "
+                    f"shape of {func.name}: {err}",
+                    func=func,
+                )
             return None
         return sch
+
+    def replay_bucketed(
+        self,
+        bucketed,
+        target: Target,
+        *,
+        ctx: Optional[DiagnosticContext] = None,
+    ) -> Optional[Schedule]:
+        """Replay the bucket representative's record at the concrete shape.
+
+        ``bucketed`` is a :class:`~repro.frontend.shapes.BucketedWorkload`;
+        the lookup key is the *representative*'s, the schedule is built
+        for the *concrete* function.  Degenerate buckets (representative
+        == concrete) replay strictly.
+        """
+        entry = self.get(workload_key(bucketed.representative, target))
+        if entry is None:
+            return None
+        mode = "adapt" if bucketed.bucketed else "strict"
+        return self.replay_entry(bucketed.concrete, entry, decision_mode=mode, ctx=ctx)
 
     # -- deprecation shims ----------------------------------------------
     def lookup(self, func: PrimFunc, target: Target) -> Optional[DatabaseEntry]:

@@ -33,19 +33,21 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from .. import cache as _cache
+from ..diagnostics import DiagnosticContext
 from ..obs.record import Recorder
 from ..schedule import Schedule
-from ..sim import Target
+from ..sim import Target, estimate
 from ..tir import PrimFunc, const_int_value
 from .config import TuneConfig
 from .database import Database, TuningDatabase, workload_key
-from .search import TuneResult
+from .search import SearchStats, TuneResult
 from .sketch import main_block_of
 from .telemetry import Telemetry
 from .tune import _replay_result, tune
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..frontend.graph import NetworkSpec
+    from ..frontend.shapes import BucketedWorkload, BucketSpec
 
 __all__ = ["TuningSession", "SessionReport", "TaskReport", "estimated_cost"]
 
@@ -75,6 +77,17 @@ class _Task:
     func: PrimFunc
     weight: float
     key: str = ""
+    #: the shape-bucket mapping when the session runs with a
+    #: :class:`~repro.frontend.shapes.BucketSpec` — ``None`` otherwise.
+    bucketed: Optional["BucketedWorkload"] = None
+
+    @property
+    def search_func(self) -> PrimFunc:
+        """What actually gets tuned: the bucket representative when
+        bucketing is on, the concrete function otherwise."""
+        if self.bucketed is not None:
+            return self.bucketed.representative
+        return self.func
 
 
 @dataclass
@@ -194,6 +207,7 @@ class TuningSession:
         recorder: Optional[Recorder] = None,
         evaluator=None,
         provenance: str = "session",
+        buckets: Optional["BucketSpec"] = None,
     ):
         self.target = target
         self.config = config or TuneConfig()
@@ -215,6 +229,14 @@ class TuningSession:
             if recorder is not None
             else Recorder(self.config.obs, telemetry=self.telemetry)
         )
+        #: shape-bucket spec (``repro.frontend.shapes.BucketSpec``): when
+        #: set, tasks are canonicalized to bucket representatives before
+        #: dedup, so every in-bucket shape shares one search and replays
+        #: the stored trace adaptively at its concrete extents (§5.2).
+        self.buckets = buckets
+        #: typed TIR7xx diagnostics from bucket canonicalization and
+        #: cross-shape replay (TIR701 infeasible, TIR702 fallback).
+        self.diagnostics = DiagnosticContext()
         self._tasks: List[_Task] = []
         self.results: Dict[str, TuneResult] = {}
 
@@ -271,7 +293,7 @@ class TuningSession:
         ``config.trials`` each."""
         if total_trials is None:
             return {t.key: self.config.trials for t in uniques}
-        costs = {t.key: estimated_cost(t.func) * weights[t.key] for t in uniques}
+        costs = {t.key: estimated_cost(t.search_func) * weights[t.key] for t in uniques}
         total_cost = sum(costs.values()) or 1.0
         return {
             key: max(MIN_TRIALS_PER_TASK, round(total_trials * cost / total_cost))
@@ -321,6 +343,13 @@ class TuningSession:
             "trials_measured": float(sum(r.measured for r in ordered)),
             "tuning_seconds": sum(r.tuning_seconds for r in ordered),
         }
+        if self.buckets is not None:
+            totals["tasks_bucket_replayed"] = float(
+                self.telemetry.counters.get("tasks_bucket_replayed", 0)
+            )
+            totals["tasks_bucket_fallback"] = float(
+                self.telemetry.counters.get("tasks_bucket_fallback", 0)
+            )
         obs_summary: Dict[str, object] = {}
         if self.recorder.enabled:
             obs_summary = dict(self.recorder.stream.stats())
@@ -346,8 +375,18 @@ class TuningSession:
     def _run_inner(self, total_trials: Optional[int]) -> Dict[str, TaskReport]:
         """The search/replay body of :meth:`run`, inside the session span."""
         with self.telemetry.span("plan"):
+            if self.buckets is not None:
+                from ..frontend.shapes import canonicalize
+
+                for task in self._tasks:
+                    task.bucketed = canonicalize(
+                        task.func, self.buckets, ctx=self.diagnostics
+                    )
             for task in self._tasks:
-                task.key = workload_key(task.func, self.target)
+                # Keyed on the *search* function: with bucketing on, every
+                # in-bucket shape collapses onto the representative's key,
+                # so the whole family dedups into one search.
+                task.key = workload_key(task.search_func, self.target)
             uniques: List[_Task] = []
             weights: Dict[str, float] = {}
             for task in self._tasks:
@@ -362,7 +401,7 @@ class TuningSession:
 
         def _search(task: _Task) -> TuneResult:
             return tune(
-                task.func,
+                task.search_func,
                 self.target,
                 self.config.with_(trials=budgets[task.key]),
                 telemetry=self.telemetry,
@@ -403,35 +442,84 @@ class TuningSession:
                     # incrementally as tasks finish, never batched until
                     # the session ends.
                     self.database.record(
-                        task.func, self.target, result.best_sketch,
+                        task.search_func, self.target, result.best_sketch,
                         result.best_decisions, result.best_cycles,
                         provenance=self.provenance,
                     )
+                    measured = result.stats.measured
+                    tuning_seconds = result.tuning_seconds
+                    if task.bucketed is not None and task.bucketed.bucketed:
+                        # The search ran at the bucket representative; the
+                        # task's own result is the stored trace replayed
+                        # adaptively at the concrete shape.  The tuning
+                        # cost stays attributed to this task (it paid for
+                        # the representative's search).
+                        concrete = self._replay_task(task)
+                        if concrete is None:
+                            try:
+                                concrete = self._fallback_tune(
+                                    task, budgets[task.key]
+                                )
+                            except Exception as err:  # noqa: BLE001
+                                reports[task.name] = TaskReport(
+                                    task.name, task.key, "failed", task.weight,
+                                    trials_allocated=budgets[task.key],
+                                    error=str(err),
+                                )
+                                continue
+                            measured += concrete.stats.measured
+                            tuning_seconds += concrete.tuning_seconds
+                        else:
+                            self.telemetry.count("tasks_bucket_replayed")
+                        result = concrete
+                        self.results[task.name] = result
                     reports[task.name] = TaskReport(
                         task.name, task.key, "searched", task.weight,
                         sketch=result.best_sketch,
                         cycles=result.best_cycles,
                         seconds=result.best_report.seconds,
                         trials_allocated=budgets[task.key],
-                        measured=result.stats.measured,
-                        tuning_seconds=result.tuning_seconds,
+                        measured=measured,
+                        tuning_seconds=tuning_seconds,
                     )
 
         # Everything not searched above replays from the database: the
-        # duplicates, plus uniques already tuned in a previous run.
+        # duplicates, plus uniques already tuned in a previous run.  With
+        # bucketing on, "duplicate" includes every other shape in a
+        # bucket — replayed adaptively, with a fresh tune as the fallback
+        # when the stored decisions are infeasible at the concrete shape.
         for task in self._tasks:
             if task.name in reports:
                 continue
             result = None
+            status = "replayed"
+            trials_allocated = 0
+            measured = 0
+            tuning_seconds = 0.0
             if self.database.get(task.key) is not None:
                 t0 = time.perf_counter()
-                result = _replay_result(task.func, self.target, self.database)
+                result = self._replay_task(task)
                 self.telemetry.add(
                     "replay", time.perf_counter() - t0, task.name, start=t0
                 )
                 if result is not None:
                     self.telemetry.count("tasks_replayed")
-            if result is None or not result.replayed:
+                    if task.bucketed is not None and task.bucketed.bucketed:
+                        self.telemetry.count("tasks_bucket_replayed")
+                elif task.bucketed is not None and task.bucketed.bucketed:
+                    trials_allocated = budgets.get(task.key, self.config.trials)
+                    try:
+                        result = self._fallback_tune(task, trials_allocated)
+                    except Exception as err:  # noqa: BLE001
+                        reports[task.name] = TaskReport(
+                            task.name, task.key, "failed", task.weight,
+                            trials_allocated=trials_allocated, error=str(err),
+                        )
+                        continue
+                    status = "searched"
+                    measured = result.stats.measured
+                    tuning_seconds = result.tuning_seconds
+            if result is None:
                 searched = reports.get(self._name_for_key(task.key))
                 reports[task.name] = TaskReport(
                     task.name, task.key, "failed", task.weight,
@@ -440,14 +528,63 @@ class TuningSession:
                 continue
             self.results[task.name] = result
             reports[task.name] = TaskReport(
-                task.name, task.key, "replayed", task.weight,
+                task.name, task.key, status, task.weight,
                 sketch=result.best_sketch,
                 cycles=result.best_cycles,
                 seconds=result.best_report.seconds,
-                tuning_seconds=0.0,
+                trials_allocated=trials_allocated,
+                measured=measured,
+                tuning_seconds=tuning_seconds,
             )
 
         return reports
+
+    # -- bucket-aware replay -------------------------------------------
+    def _replay_task(self, task: _Task) -> Optional[TuneResult]:
+        """Rebuild ``task``'s best program from the database — adaptively
+        at the concrete shape when the record is the bucket
+        representative's (§5.2 forced-decision replay)."""
+        if task.bucketed is None or not task.bucketed.bucketed:
+            return _replay_result(task.func, self.target, self.database)
+        entry = self.database.get(task.key)
+        if entry is None:
+            return None
+        sch = self.database.replay_bucketed(
+            task.bucketed, self.target, ctx=self.diagnostics
+        )
+        if sch is None:
+            return None
+        report = estimate(sch.func, self.target)
+        return TuneResult(
+            task.func.name,
+            sch.func,
+            report.cycles,
+            report,
+            entry.sketch,
+            stats=SearchStats(),
+            best_decisions=list(entry.decisions),
+            replayed=True,
+        )
+
+    def _fallback_tune(self, task: _Task, trials: int) -> TuneResult:
+        """Fresh tune of the concrete shape after an infeasible bucket
+        replay; the result is recorded under the concrete exact key."""
+        self.diagnostics.emit(
+            "TIR702",
+            f"bucket replay for task {task.name!r} fell back to a fresh "
+            f"tune at the concrete shape",
+            func=task.func,
+        )
+        self.telemetry.count("tasks_bucket_fallback")
+        return tune(
+            task.func,
+            self.target,
+            self.config.with_(trials=trials),
+            database=self.database,
+            telemetry=self.telemetry,
+            task=task.name,
+            recorder=self.recorder,
+        )
 
     def _name_for_key(self, key: str) -> str:
         for t in self._tasks:

@@ -12,7 +12,14 @@ from typing import List, Optional, Sequence
 from ..tir import PrimExpr, const_int_value
 from .sref import ScheduleError
 
-__all__ = ["sample_perfect_tile", "sample_categorical", "all_factorizations", "divisors_of"]
+__all__ = [
+    "sample_perfect_tile",
+    "sample_categorical",
+    "all_factorizations",
+    "divisors_of",
+    "coerce_perfect_tile",
+    "coerce_categorical",
+]
 
 
 def divisors_of(n: int) -> List[int]:
@@ -78,6 +85,50 @@ def sample_perfect_tile(
         remaining //= pick
     factors[0] = remaining
     return factors
+
+
+def coerce_perfect_tile(
+    decision: object, extent: Optional[int], n: int, max_innermost_factor: int = 64
+) -> Optional[List[int]]:
+    """The feasible tile vector nearest to ``decision`` for ``extent``.
+
+    Used by adaptive cross-shape replay (``Schedule.decision_mode ==
+    "adapt"``): a decision recorded at a bucket representative's extent
+    may not divide the concrete extent.  Greedily, innermost factor
+    first, each stored factor is replaced by the largest divisor of the
+    remaining extent that does not exceed it — when the stored vector is
+    already feasible this reproduces it exactly (every factor divides
+    the product), so strict replays are unaffected.  Returns ``None``
+    when the decision cannot be interpreted as a tile vector at all
+    (the caller then samples afresh).
+    """
+    if extent is None or not isinstance(decision, (list, tuple)) or len(decision) != n:
+        return None
+    if any(not isinstance(f, int) or isinstance(f, bool) for f in decision):
+        return None
+    remaining = int(extent)
+    factors = [1] * n
+    for pos in range(n - 1, 0, -1):
+        choices = divisors_of(remaining)
+        if pos == n - 1 and max_innermost_factor:
+            choices = [c for c in choices if c <= max_innermost_factor] or [1]
+        want = int(decision[pos])
+        pick = max((c for c in choices if c <= want), default=choices[0])
+        factors[pos] = pick
+        remaining //= pick
+    factors[0] = remaining
+    return factors
+
+
+def coerce_categorical(decision: object, n_candidates: int) -> Optional[int]:
+    """Clamp a stored categorical index into ``[0, n_candidates)`` —
+    candidate lists (e.g. divisors of an extent) shrink and grow with
+    the shape, so an index recorded at the bucket representative is
+    mapped to the nearest valid choice.  Identity for in-range indices,
+    so strict replays are unaffected."""
+    if n_candidates <= 0 or not isinstance(decision, int) or isinstance(decision, bool):
+        return None
+    return min(max(decision, 0), n_candidates - 1)
 
 
 def sample_categorical(

@@ -144,6 +144,15 @@ class Schedule:
         self.decisions: List[object] = []
         self.forced_decisions: Optional[List[object]] = None
         self._forced_idx = 0
+        #: how forced decisions are validated: ``"strict"`` (the search
+        #: and same-shape replay contract — an infeasible decision
+        #: raises) or ``"adapt"`` (cross-shape bucket replay — each
+        #: forced decision is coerced to the nearest feasible choice at
+        #: the current extents before it is applied).  Adapted replays
+        #: record the *coerced* vector in ``decisions``.
+        self.decision_mode: str = "strict"
+        #: forced decisions that had to be coerced under ``"adapt"``.
+        self.adapted_decisions: int = 0
         #: Every primitive-precondition failure observed on this
         #: schedule, as typed diagnostics (shared sink for tooling).
         self.diagnostics = DiagnosticContext()
@@ -444,11 +453,20 @@ class Schedule:
         decision: Optional[List[int]] = None,
     ) -> List[int]:
         """Sample ``n`` factors whose product equals the loop extent."""
-        from .sampling import sample_perfect_tile
+        from .sampling import coerce_perfect_tile, sample_perfect_tile
 
         extent = self._loop(loop).extent
         if decision is None:
             decision = self._next_forced_decision()
+            if decision is not None and self.decision_mode == "adapt":
+                from ..tir import const_int_value
+
+                coerced = coerce_perfect_tile(
+                    decision, const_int_value(extent), n, max_innermost_factor
+                )
+                if coerced != (list(decision) if isinstance(decision, (list, tuple)) else decision):
+                    self.adapted_decisions += 1
+                decision = coerced
         factors = sample_perfect_tile(self.rng, extent, n, max_innermost_factor, decision)
         self.decisions.append(list(factors))
         self._record(
@@ -467,10 +485,15 @@ class Schedule:
         decision: Optional[int] = None,
     ) -> object:
         """Sample one of ``candidates`` (recorded as an index decision)."""
-        from .sampling import sample_categorical
+        from .sampling import coerce_categorical, sample_categorical
 
         if decision is None:
             decision = self._next_forced_decision()
+            if decision is not None and self.decision_mode == "adapt":
+                coerced = coerce_categorical(decision, len(candidates))
+                if coerced != decision:
+                    self.adapted_decisions += 1
+                decision = coerced
         index = sample_categorical(self.rng, len(candidates), probs, decision)
         self.decisions.append(index)
         self._record(

@@ -15,6 +15,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..frontend.shapes import BucketSpec
 from ..meta.config import TuneConfig
 from ..tir import PrimFunc
 
@@ -40,6 +41,12 @@ class ServeConfig:
       the persistent database.
     * ``compile_programs`` — attach a runtime-compiled callable to every
       response (off for pure schedule-serving).
+    * ``buckets`` — a :class:`~repro.frontend.shapes.BucketSpec` enabling
+      shape-generic serving: requests whose dynamic dims fall in a
+      declared bucket are answered from the bucket representative's
+      record (adaptive §5.2 replay) before any exact lookup, and
+      in-bucket misses coalesce into one tuning run at the
+      representative shape.  ``None`` keeps exact-shape serving.
     """
 
     db_path: Optional[str] = None
@@ -50,6 +57,7 @@ class ServeConfig:
     ttl_seconds: Optional[float] = None
     max_entries: Optional[int] = None
     compile_programs: bool = True
+    buckets: Optional[BucketSpec] = None
 
     def with_(self, **changes) -> "ServeConfig":
         return dataclasses.replace(self, **changes)
@@ -63,6 +71,10 @@ class CompileRequest:
     func: PrimFunc
     key: str  # workload_key(func, target)
     submitted_at: float
+    #: the bucket representative's workload key when the server runs
+    #: with ``ServeConfig.buckets`` and this request's shape maps to a
+    #: different representative — ``None`` for exact-shape requests.
+    bucket_key: Optional[str] = None
 
 
 @dataclass
@@ -70,16 +82,19 @@ class CompileResponse:
     """The served result for one request.
 
     ``source`` is the serving path taken: ``"hit"`` (answered from the
-    database with zero search), ``"miss"`` (this request triggered the
-    tuning run) or ``"coalesced"`` (this request arrived while the same
-    workload was already queued/tuning and shared that run).  ``trials``
-    is the number of candidates measured *to serve this request* — by
-    contract 0 for hits and for every coalesced waiter beyond the first.
+    database with zero search), ``"bucket-hit"`` (no record at this
+    exact shape, but the shape-bucket representative's record replayed
+    adaptively — still zero search), ``"miss"`` (this request triggered
+    the tuning run) or ``"coalesced"`` (this request arrived while the
+    same workload — or another shape in its bucket — was already
+    queued/tuning and shared that run).  ``trials`` is the number of
+    candidates measured *to serve this request* — by contract 0 for
+    hits, bucket-hits and every coalesced waiter beyond the first.
     """
 
     request_id: int
     key: str
-    source: str  # "hit" | "miss" | "coalesced"
+    source: str  # "hit" | "bucket-hit" | "miss" | "coalesced"
     func: PrimFunc  # the scheduled (best) program
     script: str  # printed program text — the byte-identity unit
     cycles: float
@@ -108,11 +123,20 @@ class ServerStats:
     tune_runs: int = 0
     tuned_workloads: int = 0
     failures: int = 0
+    #: requests served from a bucket representative's record (adaptive
+    #: replay at an unseen in-bucket shape, zero search).
+    bucket_hits: int = 0
+    #: bucket replays that proved infeasible at the concrete shape and
+    #: fell back to an exact lookup or a fresh tune (TIR702).
+    replay_fallbacks: int = 0
     hit_seconds: List[float] = field(default_factory=list)
 
     @property
     def hit_rate(self) -> float:
-        return self.hits / self.requests if self.requests else 0.0
+        """Zero-search serves (exact + bucket) per request."""
+        if not self.requests:
+            return 0.0
+        return (self.hits + self.bucket_hits) / self.requests
 
     @property
     def coalesce_factor(self) -> float:
@@ -136,6 +160,8 @@ class ServerStats:
             "tune_runs": self.tune_runs,
             "tuned_workloads": self.tuned_workloads,
             "failures": self.failures,
+            "bucket_hits": self.bucket_hits,
+            "replay_fallbacks": self.replay_fallbacks,
             "hit_rate": round(self.hit_rate, 4),
             "coalesce_factor": round(self.coalesce_factor, 4),
             "p50_hit_seconds": self.p50_hit_seconds(),

@@ -33,6 +33,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..diagnostics import DiagnosticContext
 from ..meta.database import (
     Database,
     DatabaseEntry,
@@ -101,6 +102,10 @@ class ScheduleServer:
         #: and misses the memo.
         self._served: Dict[str, tuple] = {}
         self._served_max = 1024
+        #: typed TIR7xx diagnostics from bucket canonicalization and
+        #: cross-shape replay (TIR701 infeasible, TIR702 fallback,
+        #: TIR703 out-of-bucket) — inspectable on a live server.
+        self.diagnostics = DiagnosticContext()
         self._pending: Dict[str, _Pending] = {}
         self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
         self._closed = False
@@ -114,19 +119,55 @@ class ScheduleServer:
         """Queue one compile request; returns a future.
 
         Hits resolve before this method returns; misses resolve when the
-        background tuning session that adopts them finishes.
+        background tuning session that adopts them finishes.  With
+        ``ServeConfig.buckets`` set, the bucket representative's record
+        is consulted *before* the exact lookup — an unseen in-bucket
+        shape is served by adaptive replay with zero search — and
+        in-bucket misses coalesce onto the representative's tuning run.
         """
         if self._closed:
             raise RuntimeError("ScheduleServer is closed")
         t0 = time.perf_counter()
+        bucketed = None
+        bucket_key: Optional[str] = None
+        if self.config.buckets is not None:
+            from ..frontend.shapes import canonicalize
+
+            bucketed = canonicalize(func, self.config.buckets, ctx=self.diagnostics)
+            if bucketed.bucketed:
+                bucket_key = workload_key(bucketed.representative, self.target)
         request = CompileRequest(
             request_id=next(self._ids),
             func=func,
             key=workload_key(func, self.target),
             submitted_at=t0,
+            bucket_key=bucket_key,
         )
         future: "Future[CompileResponse]" = Future()
         with self.telemetry.span("serve-request", task=request.key):
+            bucket_failed = False
+            if bucket_key is not None:
+                entry = self.database.get(bucket_key)
+                if entry is not None:
+                    response = self._respond(request, entry, "bucket-hit", trials=0)
+                    if response is not None:
+                        elapsed = time.perf_counter() - t0
+                        with self._lock:
+                            self._stats.requests += 1
+                            self._stats.bucket_hits += 1
+                            self._stats.hit_seconds.append(elapsed)
+                        self.telemetry.count("serve.bucket_hits")
+                        future.set_result(response)
+                        return future
+                    # The representative's decisions are infeasible at
+                    # this concrete shape (TIR701 in ``diagnostics``).
+                    # The entry stays — it serves other shapes — but
+                    # this request drops to the exact path, tuning its
+                    # own shape on a miss.
+                    bucket_failed = True
+                    with self._lock:
+                        self._stats.replay_fallbacks += 1
+                    self.telemetry.count("serve.replay_fallbacks")
             entry = self.database.get(request.key)
             if entry is not None:
                 response = self._respond(request, entry, "hit", trials=0)
@@ -142,20 +183,35 @@ class ScheduleServer:
                 # The stored record could not be replayed (e.g. an
                 # unknown sketch from a newer writer): drop it and tune.
                 self.database.evict(request.key)
+            # Miss.  In-bucket misses park on the *bucket* key with the
+            # representative function, so two shapes of one bucket in a
+            # batch window share a single tuning run; after a failed
+            # bucket replay the request pends on its exact key instead.
+            if bucket_key is not None and not bucket_failed:
+                pend_key, pend_func = bucket_key, bucketed.representative
+            else:
+                pend_key, pend_func = request.key, func
+            if bucket_failed:
+                self.diagnostics.emit(
+                    "TIR702",
+                    f"bucket replay for {request.key} fell back to a fresh "
+                    f"tune at the concrete shape",
+                    func=func,
+                )
             with self._lock:
                 self._stats.requests += 1
-                pending = self._pending.get(request.key)
+                pending = self._pending.get(pend_key)
                 if pending is not None:
                     pending.waiters.append((future, request))
                     self._stats.coalesced += 1
                     self.telemetry.count("serve.coalesced")
                     return future
-                pending = _Pending(func=func)
+                pending = _Pending(func=pend_func)
                 pending.waiters.append((future, request))
-                self._pending[request.key] = pending
+                self._pending[pend_key] = pending
                 self._stats.misses += 1
             self.telemetry.count("serve.misses")
-            self._queue.put(request.key)
+            self._queue.put(pend_key)
         return future
 
     def compile(
@@ -237,6 +293,16 @@ class ScheduleServer:
                 source = "miss" if index == 0 else "coalesced"
                 trials = task.measured if index == 0 else 0
                 response = self._respond(request, entry, source, trials=trials)
+                if response is None and request.bucket_key == key:
+                    # The freshly tuned representative's decisions do
+                    # not adapt to this waiter's concrete shape: tune
+                    # the concrete shape itself (TIR702).
+                    fresh = self._fresh_tune(request)
+                    if fresh is not None:
+                        fresh_entry, measured = fresh
+                        response = self._respond(
+                            request, fresh_entry, source, trials=measured
+                        )
                 if response is None:
                     with self._lock:
                         self._stats.failures += 1
@@ -258,6 +324,36 @@ class ScheduleServer:
                 if not future.done():
                     future.set_exception(err)
 
+    def _fresh_tune(self, request: CompileRequest) -> Optional[Tuple[DatabaseEntry, int]]:
+        """Tune the request's concrete shape after an infeasible bucket
+        replay; returns (entry, measured trials) or ``None``."""
+        from ..meta.tune import tune
+
+        self.diagnostics.emit(
+            "TIR702",
+            f"bucket replay for {request.key} fell back to a fresh tune "
+            f"at the concrete shape",
+            func=request.func,
+        )
+        with self._lock:
+            self._stats.replay_fallbacks += 1
+        self.telemetry.count("serve.replay_fallbacks")
+        try:
+            result = tune(
+                request.func,
+                self.target,
+                self.config.tune,
+                database=self.database,
+                telemetry=self.telemetry,
+                task=request.key,
+            )
+        except Exception:  # noqa: BLE001 — caller reports the failure
+            return None
+        entry = self.database.get(request.key)
+        if entry is None:
+            return None
+        return entry, result.stats.measured
+
     # -- response construction ------------------------------------------
     def _respond(
         self,
@@ -272,7 +368,13 @@ class ScheduleServer:
         if cached is not None and cached[0] == identity:
             _, best_func, text, compiled = cached
         else:
-            sch = self.database.replay(request.func, self.target)
+            # An entry recorded under a different key is the bucket
+            # representative's: replay it adaptively at this request's
+            # concrete shape (§5.2 forced-decision replay).
+            mode = "adapt" if entry.key != request.key else "strict"
+            sch = self.database.replay_entry(
+                request.func, entry, decision_mode=mode, ctx=self.diagnostics
+            )
             if sch is None:
                 return None
             best_func = sch.func
@@ -321,6 +423,8 @@ class ScheduleServer:
                 tune_runs=self._stats.tune_runs,
                 tuned_workloads=self._stats.tuned_workloads,
                 failures=self._stats.failures,
+                bucket_hits=self._stats.bucket_hits,
+                replay_fallbacks=self._stats.replay_fallbacks,
                 hit_seconds=list(self._stats.hit_seconds),
             )
 

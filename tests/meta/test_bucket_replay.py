@@ -1,0 +1,188 @@
+"""Cross-shape (§5.2 forced-decision) replay through the database.
+
+A record tuned at a bucket representative must replay at any other
+shape in the bucket: ``decision_mode="adapt"`` coerces each stored
+decision to the nearest feasible choice at the new extents, and a
+sketch constraint that cannot hold at the concrete shape surfaces as
+``None`` plus a ``TIR701`` diagnostic — never as a crash or a silently
+wrong program.
+"""
+
+import numpy as np
+import pytest
+
+from repro.diagnostics import DiagnosticContext
+from repro.frontend import ops
+from repro.frontend.shapes import BucketSpec, canonicalize
+from repro.meta import TuneConfig, TuningDatabase, TuningSession, tune
+from repro.meta.database import workload_key
+from repro.runtime import run as run_program
+from repro.runtime.executor import random_args
+from repro.runtime.interp import interpret
+from repro.schedule.sampling import coerce_categorical, coerce_perfect_tile
+from repro.sim import SimGPU
+
+CONFIG = TuneConfig(trials=4, seed=0)
+
+
+def _conv(n):
+    return ops.conv2d(n, 6, 6, 4, 4, 3, 3, dtype="float32")
+
+
+def _oracle_matches(func, sch, *, fp16):
+    args = random_args(func, seed=0)
+    oracle = {k: v.copy() for k, v in args.items()}
+    interpret(func, oracle)
+    got = {k: v.copy() for k, v in args.items()}
+    run_program(sch.func, got)
+    tol = dict(rtol=2e-2, atol=2e-2) if fp16 else dict(rtol=1e-4, atol=1e-4)
+    return all(np.allclose(oracle[k], got[k], **tol) for k in oracle)
+
+
+class TestCoercion:
+    def test_perfect_tile_feasible_decision_reproduced(self):
+        # Every factor divides: strict replays are unaffected by the
+        # coercion path.
+        assert coerce_perfect_tile([4, 2, 4], 32, 3) == [4, 2, 4]
+
+    def test_perfect_tile_non_dividing_factor_shrinks(self):
+        # Stored innermost 16 does not divide 24: largest divisor <= 16
+        # is 12; the outer factor absorbs the quotient.
+        assert coerce_perfect_tile([2, 16], 24, 2) == [2, 12]
+
+    def test_perfect_tile_product_always_matches_extent(self):
+        for extent in (7, 12, 24, 56, 100):
+            tiles = coerce_perfect_tile([4, 8], extent, 2)
+            assert tiles is not None
+            assert tiles[0] * tiles[1] == extent
+
+    def test_perfect_tile_respects_max_innermost(self):
+        tiles = coerce_perfect_tile([1, 128], 256, 2, max_innermost_factor=64)
+        assert tiles[1] <= 64 and tiles[0] * tiles[1] == 256
+
+    def test_perfect_tile_uninterpretable_decision(self):
+        assert coerce_perfect_tile("nope", 32, 2) is None
+        assert coerce_perfect_tile([4, 8], None, 2) is None
+        assert coerce_perfect_tile([4], 32, 2) is None  # wrong arity
+        assert coerce_perfect_tile([4, True], 32, 2) is None
+
+    def test_categorical_clamps_into_range(self):
+        assert coerce_categorical(5, 3) == 2
+        assert coerce_categorical(-1, 3) == 0
+        assert coerce_categorical(1, 3) == 1  # in-range is identity
+
+    def test_categorical_uninterpretable(self):
+        assert coerce_categorical(1, 0) is None
+        assert coerce_categorical("x", 3) is None
+        assert coerce_categorical(True, 3) is None
+
+
+class TestAdaptiveReplay:
+    def test_replay_at_smaller_in_bucket_shape(self):
+        # Tensor-core matmul: the rep-64 record replays at n=56 (the
+        # sketch's pad_einsum re-pads to the intrinsic tile at the new
+        # shape) and stays numerically equal to the interpreter.
+        target = SimGPU()
+        db = TuningDatabase()
+        tune(ops.matmul(64, 32, 32), target, CONFIG, database=db)
+        ctx = DiagnosticContext()
+        bucketed = canonicalize(ops.matmul(56, 32, 32), BucketSpec.pow2("n"))
+        sch = db.replay_bucketed(bucketed, target, ctx=ctx)
+        assert sch is not None
+        assert _oracle_matches(ops.matmul(56, 32, 32), sch, fp16=True)
+
+    def test_degenerate_bucket_replays_strict(self):
+        target = SimGPU()
+        db = TuningDatabase()
+        tune(ops.matmul(64, 32, 32), target, CONFIG, database=db)
+        bucketed = canonicalize(ops.matmul(64, 32, 32), BucketSpec.pow2("n"))
+        assert not bucketed.bucketed
+        sch = db.replay_bucketed(bucketed, target)
+        assert sch is not None and sch.adapted_decisions == 0
+
+    def test_adapted_decisions_counted(self):
+        # Replaying a gpu-scalar conv record at a different batch forces
+        # at least one tile/categorical coercion.
+        target = SimGPU()
+        db = TuningDatabase()
+        tune(_conv(8), target, CONFIG, database=db)
+        bucketed = canonicalize(_conv(5), BucketSpec.pow2("n"))
+        sch = db.replay_bucketed(bucketed, target)
+        assert sch is not None
+        assert sch.adapted_decisions > 0
+        assert _oracle_matches(_conv(5), sch, fp16=False)
+
+    def test_missing_representative_record_returns_none(self):
+        db = TuningDatabase()
+        bucketed = canonicalize(_conv(5), BucketSpec.pow2("n"))
+        assert db.replay_bucketed(bucketed, SimGPU()) is None
+
+    def test_strict_replay_across_shapes_emits_tir701(self):
+        # Without adapt mode, rep-8 tile decisions do not divide n=5:
+        # the ScheduleError is captured as a typed diagnostic, not
+        # raised.
+        target = SimGPU()
+        db = TuningDatabase()
+        tune(_conv(8), target, CONFIG, database=db)
+        entry = db.get(workload_key(_conv(8), target))
+        ctx = DiagnosticContext()
+        sch = db.replay_entry(_conv(5), entry, decision_mode="strict", ctx=ctx)
+        assert sch is None
+        assert ctx.counts_by_code().get("TIR701", 0) >= 1
+
+    def test_infeasible_adapt_replay_emits_tir701(self):
+        # n=3 from the rep-4 conv record is infeasible even under adapt
+        # at this budget (the gpu-scalar sketch's thread-count floor):
+        # replay must degrade to None + TIR701, never crash.
+        target = SimGPU()
+        db = TuningDatabase()
+        tune(_conv(4), target, CONFIG, database=db)
+        ctx = DiagnosticContext()
+        bucketed = canonicalize(_conv(3), BucketSpec.pow2("n"))
+        sch = db.replay_bucketed(bucketed, target, ctx=ctx)
+        if sch is not None:
+            pytest.skip("decision vector happens to adapt at this budget")
+        assert ctx.counts_by_code().get("TIR701", 0) >= 1
+
+
+class TestSessionBuckets:
+    def test_in_bucket_tasks_collapse_to_one_search(self):
+        target = SimGPU()
+        session = TuningSession(
+            target, CONFIG, buckets=BucketSpec.pow2("n")
+        )
+        session.add(ops.matmul(64, 32, 32), name="rep")
+        session.add(ops.matmul(56, 32, 32), name="in-bucket")
+        session.add(ops.matmul(48, 32, 32), name="in-bucket-2")
+        report = session.run()
+        statuses = sorted(t.status for t in report.tasks)
+        assert statuses.count("searched") == 1
+        assert report.totals["tasks_bucket_replayed"] >= 2.0
+        assert report.totals["tasks_bucket_fallback"] == 0.0
+        by_name = {t.name: t for t in report.tasks}
+        assert by_name["in-bucket"].measured == 0
+
+    def test_infeasible_replay_falls_back_with_tir702(self):
+        target = SimGPU()
+        session = TuningSession(
+            target, CONFIG, buckets=BucketSpec.pow2("n")
+        )
+        session.add(_conv(4), name="rep")
+        session.add(_conv(3), name="fallback")
+        report = session.run()
+        if report.totals["tasks_bucket_fallback"] == 0.0:
+            pytest.skip("decision vector happens to adapt at this budget")
+        assert report.totals["tasks_bucket_fallback"] == 1.0
+        assert session.diagnostics.counts_by_code().get("TIR702", 0) >= 1
+        # The fallback task still produced a working program.
+        by_name = {t.name: t for t in report.tasks}
+        assert by_name["fallback"].cycles > 0
+
+    def test_no_buckets_keeps_exact_semantics(self):
+        target = SimGPU()
+        session = TuningSession(target, CONFIG)
+        session.add(ops.matmul(64, 32, 32), name="a")
+        session.add(ops.matmul(56, 32, 32), name="b")
+        report = session.run()
+        assert sorted(t.status for t in report.tasks).count("searched") == 2
+        assert "tasks_bucket_replayed" not in report.totals

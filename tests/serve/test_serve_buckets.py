@@ -1,0 +1,141 @@
+"""Bucket-aware serving (``ServeConfig.buckets``).
+
+The contract: once a bucket representative is tuned, every other shape
+in the bucket is served by adaptive replay with **zero** trials
+(``source == "bucket-hit"``), two in-bucket shapes missing in one batch
+window coalesce into **one** tuning run at the representative shape,
+and an infeasible replay falls back to a fresh tune (``TIR702``) rather
+than failing the request.
+"""
+
+import threading
+
+from repro.frontend import ops
+from repro.frontend.shapes import BucketSpec
+from repro.meta import Telemetry, TuneConfig
+from repro.serve import ScheduleServer, ServeConfig
+from repro.sim import SimGPU
+
+CFG = ServeConfig(
+    tune=TuneConfig(trials=4, seed=0),
+    buckets=BucketSpec.pow2("n"),
+)
+
+
+def _matmul(n):
+    return ops.matmul(n, 32, 32)
+
+
+def _conv(n):
+    return ops.conv2d(n, 6, 6, 4, 4, 3, 3, dtype="float32")
+
+
+class TestBucketHits:
+    def test_unseen_in_bucket_shape_served_with_zero_trials(self):
+        with ScheduleServer(SimGPU(), CFG) as server:
+            first = server.compile(_matmul(64))
+            assert first.source == "miss" and first.trials > 0
+            probe = server.compile(_matmul(56))
+            assert probe.source == "bucket-hit"
+            assert probe.trials == 0
+            stats = server.stats()
+        assert stats.bucket_hits == 1
+        assert stats.replay_fallbacks == 0
+        assert stats.tune_runs == 1
+
+    def test_warm_bucket_hits_are_memoized_per_shape(self):
+        with ScheduleServer(SimGPU(), CFG) as server:
+            server.compile(_matmul(64))
+            cold = server.compile(_matmul(56))
+            warm = server.compile(_matmul(56))
+            assert warm.source == "bucket-hit" and warm.trials == 0
+            assert warm.script == cold.script
+            # A different in-bucket shape gets its own program.
+            other = server.compile(_matmul(48))
+            assert other.source == "bucket-hit"
+            assert other.script != cold.script
+            stats = server.stats()
+        assert stats.bucket_hits == 3
+        assert stats.tune_runs == 1
+
+    def test_hit_rate_counts_bucket_hits(self):
+        with ScheduleServer(SimGPU(), CFG) as server:
+            server.compile(_matmul(64))
+            server.compile(_matmul(56))
+            server.compile(_matmul(48))
+            stats = server.stats()
+        assert stats.hit_rate == 2 / 3
+        payload = stats.to_json()
+        assert payload["bucket_hits"] == 2
+        assert "replay_fallbacks" in payload
+
+    def test_telemetry_counter(self):
+        telemetry = Telemetry()
+        with ScheduleServer(SimGPU(), CFG, telemetry=telemetry) as server:
+            server.compile(_matmul(64))
+            server.compile(_matmul(56))
+        assert telemetry.counters.get("serve.bucket_hits") == 1
+
+    def test_exact_serving_unchanged_without_buckets(self):
+        with ScheduleServer(SimGPU(), CFG.with_(buckets=None)) as server:
+            server.compile(_matmul(64))
+            probe = server.compile(_matmul(56))
+            assert probe.source == "miss" and probe.trials > 0
+            stats = server.stats()
+        assert stats.bucket_hits == 0
+        assert stats.tune_runs == 2
+
+
+class TestInBucketCoalescing:
+    def test_two_in_bucket_shapes_share_one_tuning_run(self):
+        cfg = CFG.with_(batch_window_seconds=0.3)
+        n = 2
+        with ScheduleServer(SimGPU(), cfg) as server:
+            barrier = threading.Barrier(n)
+            responses = [None] * n
+
+            def request(i, size):
+                barrier.wait()
+                responses[i] = server.compile(_matmul(size))
+
+            threads = [
+                threading.Thread(target=request, args=(i, size))
+                for i, size in enumerate((100, 90))  # both bucket to 128
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = server.stats()
+        assert stats.tune_runs == 1
+        assert stats.tuned_workloads == 1  # one rep tuned, not two shapes
+        sources = sorted(r.source for r in responses)
+        assert sources.count("miss") == 1
+        assert sources.count("coalesced") == 1
+        # The coalesced waiter paid zero trials; both got a program for
+        # their own concrete shape.
+        by_source = {r.source: r for r in responses}
+        assert by_source["coalesced"].trials == 0
+        assert responses[0].script != responses[1].script
+
+
+class TestReplayFallback:
+    def test_infeasible_replay_falls_back_to_fresh_tune(self):
+        with ScheduleServer(SimGPU(), CFG) as server:
+            rep = server.compile(_conv(4))
+            assert rep.source == "miss"
+            probe = server.compile(_conv(3))
+            stats = server.stats()
+            if stats.replay_fallbacks == 0:
+                # The decision vector happened to adapt at this budget —
+                # then the probe is a plain bucket-hit.
+                assert probe.source == "bucket-hit"
+                return
+            # Replay was infeasible: the request still got a tuned
+            # program, with honest miss accounting and a TIR702 trail.
+            assert probe.source == "miss" and probe.trials > 0
+            assert stats.replay_fallbacks >= 1
+            assert server.diagnostics.counts_by_code().get("TIR702", 0) >= 1
+            # The fresh tune recorded the exact shape: next request hits.
+            again = server.compile(_conv(3))
+            assert again.source == "hit" and again.trials == 0

@@ -1,0 +1,42 @@
+"""Tier-1 wiring for the shape-bucketing CI smoke.
+
+Runs ``scripts/bench_hotpaths.py --shapes --smoke`` exactly as CI would
+and asserts the ``shape_buckets`` entry it merges into the bench report
+carries the acceptance numbers: unseen in-bucket shapes served with
+zero trials, bounded latency regression, oracle-equal numerics.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.join(os.path.dirname(__file__), "..", "..")
+
+
+def test_shapes_smoke_writes_shape_buckets_entry(tmp_path):
+    out = tmp_path / "bench.json"
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+    proc = subprocess.run(
+        [
+            sys.executable,
+            os.path.join(REPO, "scripts", "bench_hotpaths.py"),
+            "--shapes", "--smoke", "--out", str(out),
+        ],
+        capture_output=True, text=True, env=env, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    report = json.loads(out.read_text())
+    entry = report["shape_buckets"]
+    agg = entry["aggregate"]
+    assert agg["ok"] is True
+    assert agg["unseen_zero_trials"] is True
+    assert agg["all_numerics_ok"] is True
+    assert agg["unseen_probes"] >= 3
+    assert agg["max_latency_ratio"] <= 1.25
+    for sweep in entry["sweeps"].values():
+        probes = [r for r in sweep["shapes"] if r["phase"] == "unseen"]
+        assert probes and all(
+            r["source"] in ("hit", "bucket-hit") for r in probes
+        )
+        assert sweep["stats"]["bucket_hits"] >= 1
