@@ -294,6 +294,21 @@ def main() -> int:
         "ServerStats accounting surface incomplete",
     )
 
+    # --- serving observability (request ids + health) ------------------
+    # Every response carries a request-scoped trace id; the health
+    # endpoint and metrics passthrough are part of the client contract.
+    check("request_id" in response_fields, "CompileResponse.request_id missing")
+    for field in ("metrics", "stats_window"):
+        check(field in serve_fields, f"ServeConfig.{field} missing")
+    check(
+        callable(getattr(serve.ScheduleServer, "health", None)),
+        "ScheduleServer.health missing",
+    )
+    check(
+        callable(getattr(serve.Client, "health", None)),
+        "Client.health missing",
+    )
+
     # --- shape-generic tuning (repro.frontend.shapes) ------------------
     from repro.frontend import shapes
 
@@ -440,6 +455,48 @@ def main() -> int:
     for field in ("trial_id", "task", "workload", "sketch", "generation",
                   "parent", "decisions", "structural_hash", "trace"):
         check(field in trial_fields, f"TrialRecord.{field} missing")
+
+    # --- the metrics layer (repro.obs.metrics) -------------------------
+    from repro.obs import metrics as obs_metrics
+
+    for name in (
+        "MetricsRegistry",
+        "Counter",
+        "Gauge",
+        "Histogram",
+        "MetricFamily",
+        "render_prometheus",
+        "quantile_from_buckets",
+        "fold_cache_delta",
+        "fold_evaluator_counters",
+        "DEFAULT_LATENCY_BUCKETS",
+    ):
+        check(hasattr(obs_metrics, name), f"repro.obs.metrics.{name} missing")
+    for name in ("MetricsRegistry", "render_prometheus", "serve_report"):
+        check(hasattr(obs, name), f"repro.obs.{name} missing")
+    for method in (
+        "counter", "gauge", "gauge_fn", "histogram", "snapshot",
+        "delta_since", "prometheus_text", "register_collector", "save",
+    ):
+        check(
+            callable(getattr(obs_metrics.MetricsRegistry, method, None)),
+            f"MetricsRegistry.{method} missing",
+        )
+    check(
+        not obs_metrics.MetricsRegistry(enabled=False).enabled,
+        "MetricsRegistry(enabled=False) must stay disabled",
+    )
+    hist_params = inspect.signature(
+        obs_metrics.MetricsRegistry.histogram
+    ).parameters
+    for param in ("buckets", "window", "labels"):
+        check(param in hist_params, f"MetricsRegistry.histogram(...{param}...) missing")
+    for method in ("observe", "observe_many", "cumulative", "quantile",
+                   "window_values", "window_quantile", "to_json"):
+        check(
+            callable(getattr(obs_metrics.Histogram, method, None)),
+            f"Histogram.{method} missing",
+        )
     for method in ("to_json", "from_json"):
         check(
             callable(getattr(schedule.Trace, method, None)),

@@ -408,11 +408,60 @@ class PersistentDatabase(Database):
         self._lock = threading.RLock()
         #: human-readable notes about skipped/corrupt records, in scan order.
         self.diagnostics: List[str] = []
+        #: corrupt/skipped records recovered (scan + reload) — mirrors
+        #: into the bound metrics counter.
+        self._recovered = 0
+        # metrics instruments (duck-typed — see :meth:`bind_metrics`);
+        # unbound, the storage path pays a single None check.
+        self._m_get = None
+        self._m_put = None
+        self._m_corrupt = None
+        self._m_evictions = None
+        self._m_tick = 0  # get-latency sampling counter (1-in-8)
         self._cache: Dict[str, DatabaseEntry] = {}
         self._lru: Dict[str, _LruState] = {}
         os.makedirs(self._entries_dir, exist_ok=True)
         self._load_lru()
         self._scan()
+
+    # -- metrics binding -------------------------------------------------
+    def bind_metrics(self, registry) -> None:
+        """Bind serving metrics (duck-typed against
+        :class:`repro.obs.metrics.MetricsRegistry` so the storage layer
+        carries no obs dependency): get/put latency histograms,
+        corrupt-line recoveries, evictions labeled by reason
+        (``ttl`` / ``lru`` / ``explicit``), and a live entry-count
+        gauge.  Recoveries already seen (the construction-time scan)
+        are backfilled into the counter."""
+        if not getattr(registry, "enabled", True) or self._m_get is not None:
+            return
+        # ``.labels()`` on an unlabeled family resolves its single child
+        # instrument — bound once here so the per-get observe skips the
+        # family proxy on the warm-hit path.
+        self._m_get = registry.histogram(
+            "db_get_seconds", "persistent database get latency (1-in-8 sampled)"
+        ).labels()
+        self._m_put = registry.histogram(
+            "db_put_seconds", "persistent database put latency (incl. fsync path)"
+        ).labels()
+        self._m_corrupt = registry.counter(
+            "db_corrupt_lines_total", "corrupt/skipped records recovered"
+        )
+        self._m_evictions = registry.counter(
+            "db_evictions_total", "entries evicted by reason", labels=("reason",)
+        )
+        registry.gauge(
+            "db_entries", "entries in the persistent database",
+            fn=lambda: len(self._cache),
+        )
+        if self._recovered:
+            self._m_corrupt.inc(self._recovered)
+
+    def _note_recovery(self, message: str) -> None:
+        self.diagnostics.append(message)
+        self._recovered += 1
+        if self._m_corrupt is not None:
+            self._m_corrupt.inc()
 
     # -- layout ---------------------------------------------------------
     @property
@@ -434,14 +483,14 @@ class PersistentDatabase(Database):
         try:
             data = json.loads(line)
         except json.JSONDecodeError:
-            self.diagnostics.append(
+            self._note_recovery(
                 f"{os.path.basename(path)}:{lineno}: truncated/corrupt JSONL "
                 "line skipped"
             )
             return None
         schema = data.get("schema")
         if schema is not None and str(schema).split("/")[0] != DB_SCHEMA.split("/")[0]:
-            self.diagnostics.append(
+            self._note_recovery(
                 f"{os.path.basename(path)}:{lineno}: unknown schema "
                 f"{schema!r} skipped"
             )
@@ -452,7 +501,7 @@ class PersistentDatabase(Database):
             fields.setdefault("provenance", "disk")
             return DatabaseEntry(**fields)
         except (TypeError, KeyError):
-            self.diagnostics.append(
+            self._note_recovery(
                 f"{os.path.basename(path)}:{lineno}: record missing required "
                 "fields, skipped"
             )
@@ -481,7 +530,7 @@ class PersistentDatabase(Database):
                 continue
             key = name[: -len(".jsonl")]
             if entry.key != key:
-                self.diagnostics.append(
+                self._note_recovery(
                     f"{name}: record key {entry.key!r} does not match "
                     "filename, skipped"
                 )
@@ -534,6 +583,23 @@ class PersistentDatabase(Database):
 
     # -- the protocol ---------------------------------------------------
     def get(self, key: str) -> Optional[DatabaseEntry]:
+        if self._m_get is None:
+            return self._get_impl(key)
+        # Sampled 1-in-8: the server's memoized hit path calls get() at
+        # microsecond rates, where even two perf_counter reads plus one
+        # staged observe are measurable against the <2% overhead budget.
+        # The sampling tick is unsynchronized on purpose — a lost tick
+        # under contention shifts *which* call is sampled, nothing more.
+        self._m_tick += 1
+        if self._m_tick & 7:
+            return self._get_impl(key)
+        t0 = time.perf_counter()
+        try:
+            return self._get_impl(key)
+        finally:
+            self._m_get.observe(time.perf_counter() - t0)
+
+    def _get_impl(self, key: str) -> Optional[DatabaseEntry]:
         with self._lock:
             entry = self._cache.get(key)
             if entry is None:
@@ -545,7 +611,7 @@ class PersistentDatabase(Database):
                 and state is not None
                 and now - state.last_access > self.ttl_seconds
             ):
-                self._evict_locked(key)
+                self._evict_locked(key, reason="ttl")
                 return None
             if state is None:
                 state = self._lru[key] = _LruState(last_access=now, stored_at=now)
@@ -554,6 +620,15 @@ class PersistentDatabase(Database):
             return entry
 
     def put(self, entry: DatabaseEntry) -> DatabaseEntry:
+        if self._m_put is None:
+            return self._put_impl(entry)
+        t0 = time.perf_counter()
+        try:
+            return self._put_impl(entry)
+        finally:
+            self._m_put.observe(time.perf_counter() - t0)
+
+    def _put_impl(self, entry: DatabaseEntry) -> DatabaseEntry:
         with self._lock:
             existing = self._cache.get(entry.key)
             if existing is not None and existing.cycles <= entry.cycles:
@@ -582,17 +657,19 @@ class PersistentDatabase(Database):
                     )
                     if victim is None:
                         break
-                    self._evict_locked(victim)
+                    self._evict_locked(victim, reason="lru")
             self.flush_lru()
             return entry
 
-    def _evict_locked(self, key: str) -> bool:
+    def _evict_locked(self, key: str, reason: str = "explicit") -> bool:
         existed = self._cache.pop(key, None) is not None
         self._lru.pop(key, None)
         path = self._entry_path(key)
         if os.path.exists(path):
             os.unlink(path)
             existed = True
+        if existed and self._m_evictions is not None:
+            self._m_evictions.labels(reason=reason).inc()
         return existed
 
     def evict(self, key: str) -> bool:
@@ -613,7 +690,7 @@ class PersistentDatabase(Database):
             for key in list(self._cache):
                 state = self._lru.get(key)
                 if state is not None and now - state.last_access > self.ttl_seconds:
-                    self._evict_locked(key)
+                    self._evict_locked(key, reason="ttl")
                     evicted.append(key)
             if evicted:
                 self.flush_lru()

@@ -208,6 +208,7 @@ class TuningSession:
         evaluator=None,
         provenance: str = "session",
         buckets: Optional["BucketSpec"] = None,
+        metrics=None,
     ):
         self.target = target
         self.config = config or TuneConfig()
@@ -222,13 +223,23 @@ class TuningSession:
         self.provenance = provenance
         self.workers = max(1, workers)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        #: the serving/ops metrics registry
+        #: (:class:`repro.obs.metrics.MetricsRegistry`) this session
+        #: folds cache and evaluator accounting into — the single source
+        #: of truth for those numbers when set (the schedule server
+        #: passes its own).  The ``cache.<name>.hits``/``.misses`` and
+        #: ``evaluator.<name>.*`` telemetry counters are kept as
+        #: deprecated spellings of the same windows.
+        self.metrics = metrics
         #: the flight recorder — built from ``config.obs`` (a no-op
         #: object when observability is off) unless one is injected.
         self.recorder = (
             recorder
             if recorder is not None
-            else Recorder(self.config.obs, telemetry=self.telemetry)
+            else Recorder(self.config.obs, telemetry=self.telemetry, metrics=metrics)
         )
+        if metrics is not None and getattr(self.recorder, "metrics", None) is None:
+            self.recorder.metrics = metrics
         #: shape-bucket spec (``repro.frontend.shapes.BucketSpec``): when
         #: set, tasks are canonicalized to bucket representatives before
         #: dedup, so every in-bucket shape shares one search and replays
@@ -319,6 +330,7 @@ class TuningSession:
         if isinstance(session_evaluator, ProcessEvaluator):
             session_evaluator.warm_up()
         cache_before = _cache.snapshot_counts()
+        eval_before = session_evaluator.counters()
         with self.telemetry.span("session") as session_span:
             # Worker-thread spans have an empty thread-local stack; the
             # root link attaches them to this session span.
@@ -329,10 +341,31 @@ class TuningSession:
                 self.telemetry.set_root(None)
         cache_delta = _cache.delta_since(cache_before)
         for name, counts in sorted(cache_delta.items()):
+            # Deprecated spellings of the cache window — the canonical
+            # home is the metrics registry (``cache_hits_total{name=}``
+            # via the recorder's fold); kept so existing report readers
+            # keep working.
             self.telemetry.count(f"cache.{name}.hits", int(counts["hits"]))
             self.telemetry.count(f"cache.{name}.misses", int(counts["misses"]))
         self.recorder.record_cache_delta(cache_delta)
         self.recorder.close()
+        if self.metrics is not None:
+            # Evaluator occupancy for this run: the backend instance is
+            # shared across searches (and sessions), so the fold is a
+            # counter *delta* over the run window, labeled by backend.
+            from ..obs.metrics import fold_evaluator_counters
+
+            eval_delta = {
+                key: value - eval_before.get(key, 0)
+                for key, value in session_evaluator.counters().items()
+                if value - eval_before.get(key, 0)
+            }
+            fold_evaluator_counters(
+                self.metrics,
+                session_evaluator.name,
+                session_evaluator.workers,
+                eval_delta,
+            )
 
         ordered = [reports[t.name] for t in self._tasks]
         totals = {

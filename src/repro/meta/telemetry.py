@@ -57,6 +57,11 @@ class Span:
     #: enclosing span at record time: the innermost open ``span()`` on
     #: this thread, else the telemetry root, else ``None``.
     parent_id: Optional[int] = None
+    #: serving request id this span was stamped with (``None`` for spans
+    #: not tied to one request).  Only the entry-point span of a request
+    #: needs the stamp — descendants are reachable via ``parent_id``
+    #: links (:meth:`Telemetry.span_tree`).
+    request: Optional[str] = None
 
 
 class Telemetry:
@@ -91,12 +96,19 @@ class Telemetry:
 
     # -- spans ---------------------------------------------------------
     @contextmanager
-    def span(self, stage: str, task: Optional[str] = None):
+    def span(
+        self,
+        stage: str,
+        task: Optional[str] = None,
+        request: Optional[str] = None,
+    ):
         """Time a stage; nested/concurrent spans are all recorded.
 
         Yields the span id so callers may reference it (e.g.
         :meth:`set_root`); spans opened inside the ``with`` body on the
-        same thread become children automatically.
+        same thread become children automatically.  ``request`` stamps
+        the span with a serving request id — the anchor
+        :meth:`span_tree` grows a per-request trace from.
         """
         span_id = next(self._ids)
         parent = self.current_span()
@@ -113,6 +125,7 @@ class Telemetry:
                     Span(
                         stage, task, start, duration,
                         threading.current_thread().name, span_id, parent,
+                        request,
                     )
                 )
 
@@ -122,6 +135,7 @@ class Telemetry:
         duration: float,
         task: Optional[str] = None,
         start: Optional[float] = None,
+        request: Optional[str] = None,
     ) -> None:
         """Record an already-measured duration as a span (used by inner
         loops that accumulate many tiny timings into one span).
@@ -139,8 +153,42 @@ class Telemetry:
                 Span(
                     stage, task, start, duration,
                     threading.current_thread().name, span_id, parent,
+                    request,
                 )
             )
+
+    def span_tree(self, request: str) -> List[Span]:
+        """Every completed span belonging to one serving request.
+
+        Roots are the spans stamped ``request=...``; the tree is closed
+        over ``parent_id`` links, so work a request triggered on other
+        threads (a coalesced tuning batch, evaluator spans attached via
+        :meth:`set_root`) rides along without any per-call plumbing.
+        Sorted by (start, span_id) like :meth:`report`.
+
+        Note: only *completed* spans are visible — a request's own
+        entry-point span joins the tree once its ``with`` block exits.
+        """
+        with self._lock:
+            spans = list(self.spans)
+        keep = {s.span_id for s in spans if s.request == request}
+        if not keep:
+            return []
+        grew = True
+        while grew:
+            grew = False
+            for s in spans:
+                if (
+                    s.span_id not in keep
+                    and s.parent_id is not None
+                    and s.parent_id in keep
+                ):
+                    keep.add(s.span_id)
+                    grew = True
+        return sorted(
+            (s for s in spans if s.span_id in keep),
+            key=lambda s: (s.start, s.span_id),
+        )
 
     def _leaf_spans(self) -> List[Span]:
         """Spans with no recorded children.

@@ -19,7 +19,15 @@ requires knowing where every second and every rejected candidate went):
   trace, structural hash): any recorded best program can be re-derived
   by :func:`replay_trial`.
 * **Exporters + CLI** — ``python -m repro.obs`` summarizes a recording,
-  exports a Chrome-trace/Perfetto timeline, and diffs two runs.
+  exports a Chrome-trace/Perfetto timeline (optionally narrowed to one
+  serving request's span tree), diffs two runs, and digests a
+  serving-metrics snapshot (``serve-report``, ``--prom`` for Prometheus
+  text exposition).
+* **Serving metrics** — :mod:`repro.obs.metrics`: a typed, thread-safe
+  Counter/Gauge/Histogram registry with labeled families,
+  ``snapshot()``/``delta_since()`` and zero-dep Prometheus exposition,
+  threaded through the schedule server, tuning sessions, evaluator
+  backends and the persistent database.
 
 Switch it on through the tune config::
 
@@ -44,11 +52,24 @@ from .events import (
     TrialEvent,
     event_to_json,
 )
-from .export import chrome_trace, diff_recordings, summarize
+from .export import chrome_trace, diff_recordings, serve_report, summarize
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+)
 from .record import Recorder, TrialRecord, load_recording, replay_trial
 
 __all__ = [
     "ObsConfig",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "render_prometheus",
+    "serve_report",
     "Recorder",
     "TrialRecord",
     "EventStream",

@@ -1,12 +1,18 @@
-"""CLI over saved flight recordings.
+"""CLI over saved flight recordings and serving-metrics snapshots.
 
     python -m repro.obs summarize RUN.json
     python -m repro.obs export --chrome RUN.json -o TIMELINE.json
+    python -m repro.obs export --chrome --request req-000003 RUN.json
     python -m repro.obs diff A.json B.json
+    python -m repro.obs serve-report METRICS.json [--prom]
 
 ``summarize`` prints the per-stage / per-task / rejection-mix tables;
-``export --chrome`` writes a Chrome-trace/Perfetto timeline; ``diff``
-compares two runs (stage seconds, rejection mix, best-cost curve).
+``export --chrome`` writes a Chrome-trace/Perfetto timeline
+(``--request`` narrows it to one serving request's span tree); ``diff``
+compares two runs (stage seconds, rejection mix, best-cost curve);
+``serve-report`` digests a ``MetricsRegistry.save()`` snapshot into
+summary tables, or dumps it in Prometheus text exposition with
+``--prom``.
 """
 
 from __future__ import annotations
@@ -17,7 +23,8 @@ import os
 import sys
 import tempfile
 
-from .export import chrome_trace, diff_recordings, summarize
+from .export import chrome_trace, diff_recordings, serve_report, summarize
+from .metrics import render_prometheus
 from .record import load_recording
 
 
@@ -51,17 +58,33 @@ def main(argv=None) -> int:
         help="Chrome-trace/Perfetto JSON (the only format, and the default)",
     )
     p_exp.add_argument("-o", "--out", default=None, help="output path (default: stdout)")
+    p_exp.add_argument(
+        "--request", default=None, metavar="REQ_ID",
+        help="narrow the timeline to one serving request's span tree "
+             "(e.g. req-000003)",
+    )
 
     p_diff = sub.add_parser("diff", help="compare two recordings")
     p_diff.add_argument("recording_a")
     p_diff.add_argument("recording_b")
+
+    p_srv = sub.add_parser(
+        "serve-report", help="summarize a serving-metrics snapshot"
+    )
+    p_srv.add_argument(
+        "snapshot", help="path to a MetricsRegistry.save() JSON snapshot"
+    )
+    p_srv.add_argument(
+        "--prom", action="store_true",
+        help="dump Prometheus text exposition instead of summary tables",
+    )
 
     args = parser.parse_args(argv)
     try:
         if args.command == "summarize":
             print(summarize(load_recording(args.recording)))
         elif args.command == "export":
-            trace = chrome_trace(load_recording(args.recording))
+            trace = chrome_trace(load_recording(args.recording), request=args.request)
             payload = json.dumps(trace, indent=1, sort_keys=True)
             if args.out:
                 _write_atomic(args.out, payload)
@@ -81,6 +104,13 @@ def main(argv=None) -> int:
                     label_b=os.path.basename(args.recording_b),
                 )
             )
+        elif args.command == "serve-report":
+            with open(args.snapshot) as f:
+                snapshot = json.load(f)
+            if args.prom:
+                print(render_prometheus(snapshot), end="")
+            else:
+                print(serve_report(snapshot))
     except FileNotFoundError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2

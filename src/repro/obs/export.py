@@ -20,11 +20,27 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-__all__ = ["chrome_trace", "summarize", "diff_recordings"]
+__all__ = ["chrome_trace", "summarize", "diff_recordings", "serve_report"]
 
 
 def _spans(recording: dict) -> List[dict]:
     return recording.get("telemetry", {}).get("spans", [])
+
+
+def _request_tree(spans: List[dict], request: str) -> List[dict]:
+    """The span tree of one serving request: spans stamped with the
+    request id, closed over ``parent_id`` links — the exporter-side
+    mirror of :meth:`repro.meta.telemetry.Telemetry.span_tree`."""
+    keep = {s.get("span_id") for s in spans if s.get("request") == request}
+    grew = bool(keep)
+    while grew:
+        grew = False
+        for s in spans:
+            parent = s.get("parent_id")
+            if s.get("span_id") not in keep and parent is not None and parent in keep:
+                keep.add(s.get("span_id"))
+                grew = True
+    return [s for s in spans if s.get("span_id") in keep]
 
 
 def _leaf_spans(recording: dict) -> List[dict]:
@@ -47,13 +63,16 @@ def _base_ts(recording: dict) -> float:
     return min(candidates) if candidates else 0.0
 
 
-def chrome_trace(recording: dict) -> dict:
+def chrome_trace(recording: dict, request: Optional[str] = None) -> dict:
     """Convert a recording to Chrome-trace JSON (Perfetto-loadable).
 
     Timestamps are microseconds relative to the earliest span/event.
     Each telemetry thread becomes a ``tid`` (named via ``thread_name``
-    metadata); spans carry their ``span_id``/``parent_id``/``task`` in
-    ``args`` so the hierarchy survives into the UI.
+    metadata); spans carry their ``span_id``/``parent_id``/``task`` —
+    and, for serving spans, the ``request`` id — in ``args`` so the
+    hierarchy survives into the UI and a request's span tree
+    round-trips through the export.  ``request`` narrows the timeline
+    to one serving request's span tree (events are dropped).
     """
     base = _base_ts(recording)
     tids: Dict[str, int] = {}
@@ -73,7 +92,10 @@ def chrome_trace(recording: dict) -> dict:
             )
         return tids[thread]
 
-    for span in _spans(recording):
+    spans = _spans(recording)
+    if request is not None:
+        spans = _request_tree(spans, request)
+    for span in spans:
         trace_events.append(
             {
                 "name": span["stage"],
@@ -87,10 +109,11 @@ def chrome_trace(recording: dict) -> dict:
                     "task": span.get("task"),
                     "span_id": span.get("span_id"),
                     "parent_id": span.get("parent_id"),
+                    "request": span.get("request"),
                 },
             }
         )
-    for event in recording.get("events", []):
+    for event in [] if request is not None else recording.get("events", []):
         args = {k: v for k, v in event.items() if k not in ("kind", "ts")}
         trace_events.append(
             {
@@ -230,6 +253,87 @@ def summarize(recording: dict) -> str:
         ]
         out.append("")
         out.append(_table(rows, ["rejection", "count", "share"]))
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# serving metrics
+# ---------------------------------------------------------------------------
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    return f"{value:.6f}" if value is not None else "-"
+
+
+def _fmt_num(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else f"{value:.4f}"
+
+
+def serve_report(snapshot: dict) -> str:
+    """A human-readable digest of one serving-metrics snapshot
+    (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`/``save``).
+
+    Histograms get count / mean / p50 / p95 / p99 rows — quantiles come
+    from the rolling window of raw observations when present (exact,
+    matching ``ScheduleServer.health()``), else interpolated from the
+    bucket counts.  Counters and gauges each get one table.
+    """
+    from .metrics import quantile_from_buckets
+
+    import math
+
+    metrics = snapshot.get("metrics", {})
+    counter_rows: List[List[str]] = []
+    gauge_rows: List[List[str]] = []
+    hist_rows: List[List[str]] = []
+    for name, family in sorted(metrics.items()):
+        kind = family.get("kind", "gauge")
+        for key, value in sorted(family.get("series", {}).items()):
+            label = f"{name}{{{key}}}" if key else name
+            if kind == "counter":
+                counter_rows.append([label, _fmt_num(value)])
+            elif kind == "gauge":
+                gauge_rows.append([label, _fmt_num(value)])
+            else:
+                count = int(value.get("count", 0))
+                total = float(value.get("sum", 0.0))
+                mean = total / count if count else None
+                window = sorted(value.get("window", []))
+
+                def _q(q: float) -> Optional[float]:
+                    if window:
+                        return window[min(len(window) - 1, int(q * len(window)))]
+                    cumulative, running = [], 0
+                    for bound, n in zip(
+                        value.get("bounds", []), value.get("bucket_counts", [])
+                    ):
+                        running += n
+                        cumulative.append((bound, running))
+                    cumulative.append((math.inf, count))
+                    return quantile_from_buckets(cumulative, q)
+
+                hist_rows.append(
+                    [
+                        label,
+                        str(count),
+                        _fmt_seconds(mean),
+                        _fmt_seconds(_q(0.50)),
+                        _fmt_seconds(_q(0.95)),
+                        _fmt_seconds(_q(0.99)),
+                    ]
+                )
+    out = [f"serving metrics ({snapshot.get('namespace', 'repro')})"]
+    if hist_rows:
+        out.append("")
+        out.append(_table(hist_rows, ["histogram", "count", "mean", "p50", "p95", "p99"]))
+    if counter_rows:
+        out.append("")
+        out.append(_table(counter_rows, ["counter", "total"]))
+    if gauge_rows:
+        out.append("")
+        out.append(_table(gauge_rows, ["gauge", "value"]))
+    if len(out) == 1:
+        out.append("no metrics recorded")
     return "\n".join(out)
 
 

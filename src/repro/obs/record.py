@@ -117,10 +117,18 @@ class Recorder:
         config: Optional[ObsConfig] = None,
         telemetry=None,
         clock=time.perf_counter,
+        metrics=None,
     ):
         self.config = config or ObsConfig()
         self.enabled = bool(self.config.enabled)
         self.telemetry = telemetry
+        #: optional :class:`repro.obs.metrics.MetricsRegistry` — when
+        #: set, cache windows handed to :meth:`record_cache_delta` are
+        #: folded into it (the single source of truth for cache
+        #: accounting) even while event recording is off.  Folding never
+        #: touches the event stream or the trial ledger, so recordings
+        #: stay hash-identical with or without a registry.
+        self.metrics = metrics
         self._clock = clock
         self.sink = (
             JsonlSink(self.config.sink_path)
@@ -337,7 +345,13 @@ class Recorder:
 
     def record_cache_delta(self, delta: Dict[str, Dict[str, float]]) -> None:
         """One :class:`CacheEvent` per cache active in a run window
-        (fed from :func:`repro.cache.delta_since`)."""
+        (fed from :func:`repro.cache.delta_since`) — and the same window
+        folded into the bound metrics registry, which works even while
+        event recording is off."""
+        if self.metrics is not None and delta:
+            from .metrics import fold_cache_delta
+
+            fold_cache_delta(self.metrics, delta)
         if not self.enabled:
             return
         now = self._clock()

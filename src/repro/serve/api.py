@@ -58,6 +58,16 @@ class ServeConfig:
     max_entries: Optional[int] = None
     compile_programs: bool = True
     buckets: Optional[BucketSpec] = None
+    #: serving metrics (``repro.obs.metrics``): latency histograms per
+    #: outcome, queue/batch occupancy, database + evaluator + cache
+    #: instruments, and the :meth:`~repro.serve.server.ScheduleServer.health`
+    #: surface.  Off turns every instrument into a no-op — the A/B the
+    #: ``--serve-obs`` overhead bench measures.
+    metrics: bool = True
+    #: rolling-window size for recent-latency accounting: bounds
+    #: ``ServerStats.hit_seconds`` and each latency histogram's window
+    #: of raw observations (the ``health()`` p50/p95/p99 source).
+    stats_window: int = 512
 
     def with_(self, **changes) -> "ServeConfig":
         return dataclasses.replace(self, **changes)
@@ -65,9 +75,15 @@ class ServeConfig:
 
 @dataclass(frozen=True)
 class CompileRequest:
-    """One compile/tune request as queued inside the server."""
+    """One compile/tune request as queued inside the server.
 
-    request_id: int
+    ``request_id`` is the request-scoped trace id (``"req-000042"``):
+    it stamps the request's telemetry spans, so
+    ``telemetry.span_tree(request_id)`` recovers the full serve →
+    session → evaluator trace for any response.
+    """
+
+    request_id: str
     func: PrimFunc
     key: str  # workload_key(func, target)
     submitted_at: float
@@ -90,9 +106,14 @@ class CompileResponse:
     queued/tuning and shared that run).  ``trials`` is the number of
     candidates measured *to serve this request* — by contract 0 for
     hits, bucket-hits and every coalesced waiter beyond the first.
+
+    ``request_id`` is the request-scoped trace id minted at submit time;
+    feed it to ``server.telemetry.span_tree(...)`` (or the Chrome-trace
+    exporter, which carries it per span) to see where this response's
+    latency went.
     """
 
-    request_id: int
+    request_id: str
     key: str
     source: str  # "hit" | "bucket-hit" | "miss" | "coalesced"
     func: PrimFunc  # the scheduled (best) program
@@ -129,6 +150,10 @@ class ServerStats:
     #: bucket replays that proved infeasible at the concrete shape and
     #: fell back to an exact lookup or a fresh tune (TIR702).
     replay_fallbacks: int = 0
+    #: the most recent zero-search serve latencies, bounded to the
+    #: server's ``ServeConfig.stats_window`` (a rolling window, not the
+    #: full history — the metrics histograms keep the full
+    #: distribution).
     hit_seconds: List[float] = field(default_factory=list)
 
     @property

@@ -49,6 +49,16 @@ class Client:
     def stats(self):
         return self.server.stats()
 
+    def health(self) -> dict:
+        """The server's live health summary (rolling-window p50/p95/p99,
+        error rate, hit rate, pending depth)."""
+        return self.server.health()
+
+    @property
+    def metrics(self):
+        """The server's :class:`repro.obs.metrics.MetricsRegistry`."""
+        return self.server.metrics
+
     def close(self) -> None:
         self.server.close()
 

@@ -1,0 +1,327 @@
+"""Unit tests for ``repro.obs.metrics`` — the typed, thread-safe
+metrics layer behind the serving stack.
+
+The contracts under test: staged writes never lose an increment (under
+threads or interleaved reads), ``observe_many`` is observationally
+equivalent to N ``observe`` calls, label cardinality collapses onto the
+overflow series instead of growing, and the three read views
+(snapshot / delta / Prometheus text) agree with each other.
+"""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MAX_LABEL_SETS,
+    OVERFLOW_LABEL,
+    MetricsRegistry,
+    fold_cache_delta,
+    fold_evaluator_counters,
+    quantile_from_buckets,
+    render_prometheus,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests_total", "requests")
+        c.inc()
+        c.inc(4.0)
+        assert c.value == 5.0
+
+    def test_negative_increment_raises(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_staged_folds_exact_under_threads(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hammered_total")
+        per_thread, threads = 5000, 8
+        stop = threading.Event()
+
+        def writer():
+            for _ in range(per_thread):
+                c.inc()
+
+        def reader():
+            # Interleaved reads force folds mid-stream; none may lose
+            # staged increments.
+            while not stop.is_set():
+                assert c.value <= per_thread * threads
+
+        workers = [threading.Thread(target=writer) for _ in range(threads)]
+        observer = threading.Thread(target=reader)
+        observer.start()
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        stop.set()
+        observer.join()
+        assert c.value == per_thread * threads
+
+    def test_inline_fold_bounds_staging(self):
+        from repro.obs.metrics import _STAGE_LIMIT
+
+        reg = MetricsRegistry()
+        c = reg.counter("bounded_total")
+        solo = c.labels()
+        for _ in range(_STAGE_LIMIT + 10):
+            solo.inc()
+        # The inline fold at the stage limit keeps the buffer bounded
+        # without waiting for a reader.
+        assert len(solo._staged) < _STAGE_LIMIT
+        assert c.value == _STAGE_LIMIT + 10
+
+
+class TestHistogram:
+    def test_observe_many_equals_n_observes(self):
+        reg = MetricsRegistry()
+        one = reg.histogram("a_seconds", buckets=(0.1, 1.0, 10.0), window=8)
+        many = reg.histogram("b_seconds", buckets=(0.1, 1.0, 10.0), window=8)
+        values = [0.05, 0.5, 5.0, 50.0, 0.5, 0.09, 2.0]
+        for v in values:
+            one.observe(v)
+        many.observe_many(values)
+        assert one.labels().count == many.labels().count
+        assert one.labels().sum == pytest.approx(many.labels().sum)
+        assert one.labels().cumulative() == many.labels().cumulative()
+        assert one.labels().window_values() == many.labels().window_values()
+
+    def test_window_keeps_most_recent(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("w_seconds", buckets=(1.0,), window=4)
+        h.observe_many([float(i) for i in range(10)])
+        # A maxlen window must keep the chronological tail, not the
+        # sorted extremes.
+        assert h.labels().window_values() == [6.0, 7.0, 8.0, 9.0]
+
+    def test_cumulative_le_semantics(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("le_seconds", buckets=(1.0, 2.0))
+        h.observe_many([0.5, 1.0, 1.5, 3.0])
+        cumulative = h.labels().cumulative()
+        # value == bound lands in that bucket (Prometheus `le`).
+        assert cumulative == [(1.0, 2), (2.0, 3), (math.inf, 4)]
+
+    def test_quantiles_window_and_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("q_seconds", buckets=DEFAULT_LATENCY_BUCKETS)
+        assert h.labels().window_quantile(0.5) is None
+        assert h.labels().quantile(0.5) is None
+        h.observe_many([0.001] * 50 + [0.1] * 50)
+        assert h.labels().window_quantile(0.5) in (0.001, 0.1)
+        assert 0.0005 < h.labels().quantile(0.5) <= 0.1
+
+    def test_staged_observes_exact_under_threads(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("t_seconds", buckets=(1.0,), window=16)
+        per_thread, threads = 4000, 6
+
+        def writer():
+            for _ in range(per_thread):
+                h.observe(0.5)
+
+        workers = [threading.Thread(target=writer) for _ in range(threads)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert h.labels().count == per_thread * threads
+        assert h.labels().cumulative()[0] == (1.0, per_thread * threads)
+
+
+class TestQuantileFromBuckets:
+    def test_interpolates_inside_bucket(self):
+        rows = [(1.0, 0), (2.0, 10), (math.inf, 10)]
+        assert quantile_from_buckets(rows, 0.5) == pytest.approx(1.5)
+
+    def test_inf_bucket_returns_last_finite_bound(self):
+        rows = [(1.0, 0), (math.inf, 10)]
+        assert quantile_from_buckets(rows, 0.99) == 1.0
+
+    def test_empty_returns_none(self):
+        assert quantile_from_buckets([], 0.5) is None
+        assert quantile_from_buckets([(1.0, 0), (math.inf, 0)], 0.5) is None
+
+
+class TestLabels:
+    def test_label_mismatch_raises(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("l_total", labels=("outcome",))
+        with pytest.raises(ValueError):
+            fam.labels(wrong="hit")
+        with pytest.raises(ValueError):
+            fam.inc()  # labeled family has no solo child
+
+    def test_cardinality_collapses_to_overflow(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("c_total", labels=("key",))
+        for i in range(MAX_LABEL_SETS + 40):
+            fam.labels(key=f"k{i}").inc()
+        children = fam.children()
+        assert len(children) == MAX_LABEL_SETS + 1
+        overflow = children[(OVERFLOW_LABEL,)]
+        assert overflow.value == 40  # every post-cap label collapsed
+        total = sum(child.value for child in children.values())
+        assert total == MAX_LABEL_SETS + 40
+
+    def test_reregistration_same_shape_returns_same_family(self):
+        reg = MetricsRegistry()
+        a = reg.counter("again_total", labels=("k",))
+        b = reg.counter("again_total", labels=("k",))
+        assert a is b
+
+    def test_reregistration_shape_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("shape_total", labels=("k",))
+        with pytest.raises(ValueError):
+            reg.histogram("shape_total")
+        with pytest.raises(ValueError):
+            reg.counter("shape_total", labels=("other",))
+
+
+class TestRegistryReads:
+    def test_snapshot_delta_roundtrip(self):
+        reg = MetricsRegistry()
+        c = reg.counter("d_total", labels=("outcome",))
+        h = reg.histogram("d_seconds", buckets=(1.0,))
+        g = reg.gauge("d_depth")
+        c.labels(outcome="hit").inc(3)
+        h.observe(0.5)
+        g.set(7)
+        before = reg.snapshot()
+        c.labels(outcome="hit").inc(2)
+        c.labels(outcome="miss").inc(1)
+        h.observe(2.0)
+        g.set(9)
+        delta = reg.delta_since(before)
+        assert delta["metrics"]["d_total"]["series"] == {
+            "outcome=hit": 2.0,
+            "outcome=miss": 1.0,
+        }
+        d_hist = delta["metrics"]["d_seconds"]["series"][""]
+        assert d_hist["count"] == 1
+        assert d_hist["sum"] == pytest.approx(2.0)
+        assert delta["metrics"]["d_depth"]["series"][""] == 9.0
+
+    def test_delta_drops_idle_series(self):
+        reg = MetricsRegistry()
+        c = reg.counter("idle_total")
+        c.inc(5)
+        before = reg.snapshot()
+        delta = reg.delta_since(before)
+        assert "idle_total" not in delta["metrics"]
+
+    def test_prometheus_text_exposition(self):
+        reg = MetricsRegistry(namespace="repro")
+        c = reg.counter("p_total", "help text", labels=("outcome",))
+        c.labels(outcome="hit").inc(2)
+        h = reg.histogram("p_seconds", buckets=(1.0, 2.0))
+        h.observe_many([0.5, 1.5, 5.0])
+        text = reg.prometheus_text()
+        assert "# TYPE repro_p_total counter" in text
+        assert 'repro_p_total{outcome="hit"} 2' in text
+        assert 'repro_p_seconds_bucket{le="1"} 1' in text
+        assert 'repro_p_seconds_bucket{le="2"} 2' in text
+        assert 'repro_p_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_p_seconds_count 3" in text
+
+    def test_prometheus_escapes_label_values(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("e_total", labels=("name",))
+        fam.labels(name='sa"w\\tooth').inc()
+        text = reg.prometheus_text()
+        assert 'name="sa\\"w\\\\tooth"' in text
+
+    def test_gauge_fn_family_sampled_at_read(self):
+        reg = MetricsRegistry()
+        state = {"a": 0.5}
+        reg.gauge_fn("rates", "per-cache rates", lambda: state)
+        assert reg.snapshot()["metrics"]["rates"]["series"] == {"name=a": 0.5}
+        state["b"] = 0.25
+        assert reg.snapshot()["metrics"]["rates"]["series"] == {
+            "name=a": 0.5,
+            "name=b": 0.25,
+        }
+
+    def test_callback_gauge_errors_read_as_zero(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("dead_depth", fn=lambda: 1 / 0)
+        assert g.value == 0.0
+
+
+class TestCollectors:
+    def test_collector_runs_before_every_snapshot(self):
+        reg = MetricsRegistry()
+        c = reg.counter("staged_total")
+        staged = []
+        reg.register_collector(lambda: c.inc(len(staged)) or staged.clear())
+        staged.extend([1, 2, 3])
+        assert reg.snapshot()["metrics"]["staged_total"]["series"][""] == 3.0
+        # prometheus_text and delta_since read through snapshot() too.
+        staged.extend([1])
+        assert "staged_total 4" in reg.prometheus_text()
+
+    def test_collector_exceptions_are_swallowed(self):
+        reg = MetricsRegistry()
+        reg.counter("fine_total").inc()
+
+        def broken():
+            raise RuntimeError("collector died")
+
+        reg.register_collector(broken)
+        snap = reg.snapshot()  # must not raise
+        assert snap["metrics"]["fine_total"]["series"][""] == 1.0
+
+
+class TestDisabledRegistry:
+    def test_everything_is_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("n_total", labels=("outcome",))
+        h = reg.histogram("n_seconds")
+        g = reg.gauge("n_depth")
+        c.labels(outcome="hit").inc()
+        h.observe(1.0)
+        h.observe_many([1.0, 2.0])
+        g.set(3)
+        reg.gauge_fn("n_rates", "", lambda: {"a": 1.0})
+        reg.register_collector(lambda: 1 / 0)
+        snap = reg.snapshot()
+        assert snap["metrics"] == {}
+        assert reg.prometheus_text() == ""
+
+    def test_folds_are_noops_when_disabled(self):
+        reg = MetricsRegistry(enabled=False)
+        fold_cache_delta(reg, {"memo": {"hits": 3}})
+        fold_evaluator_counters(reg, "pool", 4, {"batches": 2})
+        assert reg.snapshot()["metrics"] == {}
+
+
+class TestFolds:
+    def test_fold_cache_delta_is_canonical_spelling(self):
+        reg = MetricsRegistry()
+        fold_cache_delta(
+            reg,
+            {"memo": {"hits": 3, "misses": 1, "evictions": 0}},
+        )
+        snap = reg.snapshot()["metrics"]
+        assert snap["cache_hits_total"]["series"] == {"name=memo": 3.0}
+        assert snap["cache_misses_total"]["series"] == {"name=memo": 1.0}
+        assert "name=memo" not in snap.get(
+            "cache_evictions_total", {}
+        ).get("series", {})
+
+    def test_fold_evaluator_counters(self):
+        reg = MetricsRegistry()
+        fold_evaluator_counters(
+            reg, "process-pool", 4, {"ipc_batches": 2, "evaluated": 64}
+        )
+        snap = reg.snapshot()["metrics"]
+        assert any(name.startswith("evaluator_") for name in snap)

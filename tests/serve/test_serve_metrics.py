@@ -1,0 +1,218 @@
+"""Concurrency and consistency tests for the serving metrics layer.
+
+The contracts: hammering ``submit()`` from many threads while other
+threads read ``stats()``/``health()``/``metrics.snapshot()`` never
+produces a torn read, the ``serve_requests_total`` counter sums to the
+exact number of responses served, every response carries a unique
+request-scoped trace id even under miss coalescing, and binding a
+metrics registry never changes what a tuning run records.
+"""
+
+import json
+import threading
+
+from repro.frontend import ops
+from repro.meta import Telemetry, TuneConfig
+from repro.meta.session import TuningSession
+from repro.obs import ObsConfig, Recorder
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import ScheduleServer, ServeConfig
+from repro.sim import SimGPU
+
+CFG = ServeConfig(tune=TuneConfig(trials=4, seed=11))
+
+
+def _matmul(n=64):
+    return ops.matmul(n, n, n)
+
+
+def _served_total(server):
+    snap = server.metrics.snapshot()
+    series = snap["metrics"]["serve_requests_total"]["series"]
+    return series, sum(series.values())
+
+
+class TestThreadedSubmitWithReaders:
+    def test_counters_sum_to_requests_under_threads(self):
+        with ScheduleServer(SimGPU(), CFG) as server:
+            func = _matmul()
+            server.compile(func)  # the one miss
+            threads, per_thread = 6, 200
+            ids = [[] for _ in range(threads)]
+            errors = []
+            stop = threading.Event()
+
+            def hammer(slot):
+                for _ in range(per_thread):
+                    resp = server.compile(func)
+                    ids[slot].append(resp.request_id)
+                    if resp.source != "hit":
+                        errors.append(f"unexpected source {resp.source!r}")
+
+            def reader():
+                # Concurrent reads must always see internally
+                # consistent documents, never a torn in-between state.
+                while not stop.is_set():
+                    stats = server.stats()
+                    if stats.hits > stats.requests:
+                        errors.append("stats torn: hits > requests")
+                    health = server.health()
+                    if not 0.0 <= health["error_rate"] <= 1.0:
+                        errors.append("health torn: error_rate")
+                    if not 0.0 <= health["hit_rate"] <= 1.0:
+                        errors.append("health torn: hit_rate")
+                    _, total = _served_total(server)
+                    if total > stats.requests + threads * per_thread:
+                        errors.append("counter exceeded possible requests")
+
+            workers = [
+                threading.Thread(target=hammer, args=(i,))
+                for i in range(threads)
+            ]
+            readers = [threading.Thread(target=reader) for _ in range(2)]
+            for r in readers:
+                r.start()
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
+            stop.set()
+            for r in readers:
+                r.join()
+
+            assert not errors, errors[:5]
+            expected = 1 + threads * per_thread
+            stats = server.stats()
+            assert stats.requests == expected
+            series, total = _served_total(server)
+            assert total == expected
+            assert series["outcome=hit"] == threads * per_thread
+            assert series["outcome=miss"] == 1
+            flat = [rid for chunk in ids for rid in chunk]
+            assert len(set(flat)) == len(flat), "request ids must be unique"
+
+    def test_health_quantiles_match_snapshot_windows(self):
+        with ScheduleServer(SimGPU(), CFG) as server:
+            func = _matmul()
+            for _ in range(40):
+                server.compile(func)
+            health = server.health()
+            snap = server.metrics.snapshot()
+            series = snap["metrics"]["serve_latency_seconds"]["series"]
+            window = sorted(
+                v for s in series.values() for v in s["window"]
+            )
+            assert window, "sampled hit latencies must reach the window"
+            for field, q in (
+                ("p50_seconds", 0.50),
+                ("p95_seconds", 0.95),
+                ("p99_seconds", 0.99),
+            ):
+                want = window[min(len(window) - 1, int(q * len(window)))]
+                assert health[field] == want
+
+
+class TestCoalescingTraceIds:
+    def test_unique_request_ids_under_coalescing(self):
+        with ScheduleServer(SimGPU(), CFG) as server:
+            func = _matmul(96)
+            futures = [None] * 8
+            barrier = threading.Barrier(len(futures))
+
+            def submit(slot):
+                barrier.wait()
+                futures[slot] = server.submit(func)
+
+            workers = [
+                threading.Thread(target=submit, args=(i,))
+                for i in range(len(futures))
+            ]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
+            responses = [f.result(timeout=120) for f in futures]
+            rids = [r.request_id for r in responses]
+            assert len(set(rids)) == len(rids)
+            sources = {r.source for r in responses}
+            assert sources <= {"miss", "coalesced", "hit"}
+            scripts = {r.script for r in responses}
+            assert len(scripts) == 1, "coalesced waiters share one program"
+            stats = server.stats()
+            series, total = _served_total(server)
+            assert total == stats.requests == len(responses)
+            assert series.get("outcome=coalesced", 0) == stats.coalesced
+
+
+class TestBoundedWindows:
+    def test_hit_seconds_window_is_bounded(self):
+        cfg = CFG.with_(stats_window=16)
+        with ScheduleServer(SimGPU(), cfg) as server:
+            func = _matmul()
+            for _ in range(80):
+                server.compile(func)
+            stats = server.stats()
+            assert len(stats.hit_seconds) <= 16
+            assert stats.requests == 80
+            # The histogram windows honour the same bound.
+            snap = server.metrics.snapshot()
+            series = snap["metrics"]["serve_latency_seconds"]["series"]
+            for doc in series.values():
+                assert len(doc["window"]) <= 16
+
+
+class TestMetricsNeverPerturbRecordings:
+    def test_recording_identical_with_and_without_registry(self):
+        # Warm the process-global memo caches first: the very first run
+        # in a process sees extra cold-cache activity (more CacheEvent
+        # rows) regardless of any registry, which would mask the
+        # comparison this test is actually making.
+        # The warm-ups must record too: the trace-serialization cache
+        # (obs.traces) only fills during recorded runs, and its misses
+        # cascade into simplifier-memo activity.
+        for _ in range(2):  # steady state takes two runs to reach
+            warmup = TuningSession(
+                SimGPU(),
+                TuneConfig(trials=6, seed=23),
+                recorder=Recorder(
+                    ObsConfig(enabled=True), telemetry=Telemetry()
+                ),
+            )
+            warmup.add(_matmul(48), name="gemm")
+            warmup.run()
+        docs = []
+        for registry in (None, MetricsRegistry()):
+            telemetry = Telemetry()
+            recorder = Recorder(
+                ObsConfig(enabled=True),
+                telemetry=telemetry,
+                metrics=registry,
+            )
+            session = TuningSession(
+                SimGPU(),
+                TuneConfig(trials=6, seed=23),
+                recorder=recorder,
+                metrics=registry,
+            )
+            session.add(_matmul(48), name="gemm")
+            session.run()
+            doc = recorder.recording()
+            # Strip wall-clock-dependent fields; the *content* — trial
+            # provenance, decisions, hashes, event kinds — must be
+            # byte-identical whether or not a registry is bound.
+            stable = {
+                "trials": [
+                    {
+                        k: v
+                        for k, v in trial.items()
+                        if "seconds" not in k and "unix" not in k
+                    }
+                    for trial in doc["trials"]
+                ],
+                "event_kinds": [
+                    e.get("kind") for e in doc["events"]
+                ],
+                "config": doc["config"],
+            }
+            docs.append(json.dumps(stable, sort_keys=True))
+        assert docs[0] == docs[1]

@@ -1,0 +1,66 @@
+"""Tier-1 wiring for the serving-observability CI smoke.
+
+Runs ``scripts/bench_hotpaths.py --serve-obs --smoke`` exactly as CI
+would and asserts the ``serve_obs`` entry it merges into the bench
+report carries the correctness gates green: identical best programs
+with and without metrics, ``health()`` consistent with the latency
+histograms, and request-scoped span trees that round-trip through the
+Chrome-trace exporter.  Also runs ``scripts/check_api.py`` so the
+documented public surface (including the metrics layer) is guarded by
+the ordinary test run.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.join(os.path.dirname(__file__), "..", "..")
+
+
+def _run(args, env=None):
+    return subprocess.run(
+        [sys.executable] + args,
+        capture_output=True, text=True, env=env, timeout=600,
+    )
+
+
+def test_public_api_surface_holds():
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+    proc = _run([os.path.join(REPO, "scripts", "check_api.py")], env=env)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_serve_obs_smoke_writes_serve_obs_entry(tmp_path):
+    out = tmp_path / "bench.json"
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+    proc = _run(
+        [
+            os.path.join(REPO, "scripts", "bench_hotpaths.py"),
+            "--serve-obs", "--smoke", "--out", str(out),
+        ],
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    report = json.loads(out.read_text())
+    entry = report["serve_obs"]
+    agg = entry["aggregate"]
+    assert agg["ok"] is True
+    assert agg["best_identical"] is True
+    assert agg["health_consistent"] is True
+    assert agg["span_trees_round_trip"] is True
+    # Smoke runs skip the 2% timing gate (too noisy for CI) but must
+    # still measure and report an overhead number.
+    assert agg["timing_gate"] == "skipped (smoke)"
+    assert isinstance(agg["warm_hit_overhead_pct"], float)
+    # The span trees cover both a cold miss and a warm hit, each rooted
+    # at a serve-span carrying its request id.
+    for kind in ("miss", "hit"):
+        tree = entry["span_trees"][kind]
+        assert tree["round_trip"] is True
+        assert tree["request_id"]
+    health = entry["health"]
+    assert health["metrics_enabled"] is True
+    assert 0.0 <= health["error_rate"] <= 1.0
+    for field in ("p50_seconds", "p95_seconds", "p99_seconds"):
+        assert health[field] is not None
