@@ -499,8 +499,9 @@ def run_serve_obs(trials, seed, out_path, smoke=False):
       script (the registry must not perturb the search).
     * **health() == histograms** — ``ScheduleServer.health()`` p50/p95/
       p99 must equal the quantiles recomputed from the rolling windows
-      in the exported ``serve_latency_seconds`` snapshot: one source of
-      truth, two views.
+      in the exported ``serve_latency_seconds`` snapshot (with sampled
+      hit latencies replicated by the sampling factor, exactly as
+      ``health()`` pools them): one source of truth, two views.
     * **request ids round-trip** — the miss *and* a hit response each
       carry a ``request_id`` whose ``Telemetry.span_tree`` is non-empty
       and survives the Chrome-trace exporter's ``--request`` filter
@@ -683,12 +684,24 @@ def run_serve_obs(trials, seed, out_path, smoke=False):
                         flush=True,
                     )
                     # -- health() vs the exported histograms: the very
-                    #    same rolling windows, so equality is exact.
+                    #    same rolling windows (health() replicates each
+                    #    1-in-N sampled hit latency N times so pooled
+                    #    percentiles weight outcomes by true request
+                    #    volume), so equality is exact.
+                    from repro.serve.server import _HIT_LATENCY_SAMPLE
+
                     health_doc = server.health()
                     snap = server.metrics.snapshot()
                     series = snap["metrics"]["serve_latency_seconds"]["series"]
                     window = sorted(
-                        v for s in series.values() for v in s["window"]
+                        v
+                        for key, s in series.items()
+                        for v in s["window"]
+                        for _ in range(
+                            _HIT_LATENCY_SAMPLE
+                            if key == "outcome=hit"
+                            else 1
+                        )
                     )
 
                     def from_snapshot(q):

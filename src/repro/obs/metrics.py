@@ -493,15 +493,44 @@ class MetricFamily:
         }
 
 
+def _escape_label_value(value: str) -> str:
+    """Backslash-escape the series-key structural characters so a label
+    value containing ``,`` or ``=`` (e.g. a cache or backend name)
+    round-trips through the flat key string."""
+    return value.replace("\\", "\\\\").replace(",", "\\,").replace("=", "\\=")
+
+
 def _series_key(label_names: Tuple[str, ...], label_values: Tuple[str, ...]) -> str:
     """The stable JSON key for one label set (empty string when unlabeled)."""
-    return ",".join(f"{n}={v}" for n, v in zip(label_names, label_values))
+    return ",".join(
+        f"{n}={_escape_label_value(v)}" for n, v in zip(label_names, label_values)
+    )
 
 
 def _parse_series_key(key: str) -> List[Tuple[str, str]]:
+    """Invert :func:`_series_key`, honouring backslash escapes (label
+    *names* are identifiers and never need escaping; values may contain
+    any character)."""
     if not key:
         return []
-    return [tuple(part.split("=", 1)) for part in key.split(",")]
+    pairs: List[Tuple[str, str]] = []
+    name: List[str] = []
+    value: List[str] = []
+    current = name
+    chars = iter(key)
+    for ch in chars:
+        if ch == "\\":
+            current.append(next(chars, ""))
+        elif ch == "=" and current is name:
+            current = value
+        elif ch == ",":
+            pairs.append(("".join(name), "".join(value)))
+            name, value = [], []
+            current = name
+        else:
+            current.append(ch)
+    pairs.append(("".join(name), "".join(value)))
+    return pairs
 
 
 class MetricsRegistry:
@@ -518,6 +547,7 @@ class MetricsRegistry:
         self.created_unix = time.time()
         self._lock = threading.Lock()
         self._families: Dict[str, MetricFamily] = {}
+        self._fn_families: Dict[str, tuple] = {}
         self._collectors: List[Callable[[], None]] = []
 
     def register_collector(self, fn: Callable[[], None]) -> None:
@@ -562,6 +592,11 @@ class MetricsRegistry:
                         f"(was {family.kind}{family.label_names})"
                     )
                 return family
+            if name in self._fn_families:
+                raise ValueError(
+                    f"metric {name!r} already registered as a callback "
+                    f"gauge family (gauge_fn)"
+                )
             family = MetricFamily(name, kind, help_text, labels, make)
             self._families[name] = family
             return family
@@ -605,11 +640,18 @@ class MetricsRegistry:
         """Register a callback gauge family label-wise: ``fn`` returns
         ``{label_value: gauge_value}``; each key becomes one series of a
         single-label family at read time (used for the per-cache
-        hit-rate gauges sourced from :mod:`repro.cache`)."""
+        hit-rate gauges sourced from :mod:`repro.cache`).  Re-binding
+        the same callback-family name replaces its callback; colliding
+        with a regular family raises (snapshots merge both dicts, so a
+        silent shadow would drop one family from every read view)."""
         if not self.enabled:
             return
         with self._lock:
-            self._fn_families = getattr(self, "_fn_families", {})
+            if name in self._families:
+                raise ValueError(
+                    f"metric {name!r} already registered as a "
+                    f"{self._families[name].kind} family"
+                )
             self._fn_families[name] = (help_text, fn)
 
     # -- reading ---------------------------------------------------------
@@ -620,7 +662,7 @@ class MetricsRegistry:
     def _fn_snapshot(self) -> Dict[str, dict]:
         out: Dict[str, dict] = {}
         with self._lock:
-            fn_families = dict(getattr(self, "_fn_families", {}))
+            fn_families = dict(self._fn_families)
         for name, (help_text, fn) in sorted(fn_families.items()):
             try:
                 values = fn() or {}
@@ -631,7 +673,7 @@ class MetricsRegistry:
                 "help": help_text,
                 "labels": ["name"],
                 "series": {
-                    f"name={key}": float(value)
+                    _series_key(("name",), (str(key),)): float(value)
                     for key, value in sorted(values.items())
                 },
             }

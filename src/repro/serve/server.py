@@ -53,6 +53,12 @@ from .api import CompileRequest, CompileResponse, ServeConfig, ServerStats
 
 __all__ = ["ScheduleServer"]
 
+#: hit latencies are 1-in-N sampled on the warm fast path (power of
+#: two — the sampling test is a mask).  :meth:`ScheduleServer.health`
+#: replicates each sampled hit N times when pooling windows so the
+#: combined percentiles weight outcomes by true request volume.
+_HIT_LATENCY_SAMPLE = 8
+
 
 def _cache_hit_rates() -> Dict[str, float]:
     """Per-cache hit rate from the process-wide ``repro.cache`` registry
@@ -154,7 +160,10 @@ class ScheduleServer:
         self._m_events: Optional[Dict[str, deque]] = (
             {o: deque() for o in _outcomes} if self.metrics.enabled else None
         )
-        self._m_hit_tick = 0  # hit-latency sampling counter (1-in-8)
+        #: serializes :meth:`_fold_serve_events` — the count-based
+        #: drain is only safe with one folder at a time (see there).
+        self._m_fold_lock = threading.Lock()
+        self._m_hit_tick = 0  # hit-latency sampling counter
         #: response counts already folded into ``serve_requests_total``
         #: for the stats-derived outcomes.
         self._m_published = {"hit": 0, "bucket-hit": 0}
@@ -535,10 +544,10 @@ class ScheduleServer:
             if source == "hit":
                 # The warm-hit fast path: counts come free from
                 # ServerStats at fold time, so the only per-hit metrics
-                # work is this 1-in-8 latency sample.  The unsynchronized
+                # work is this 1-in-N latency sample.  The unsynchronized
                 # tick just shifts *which* hit is sampled under races.
                 self._m_hit_tick += 1
-                stage = not (self._m_hit_tick & 7)
+                stage = not (self._m_hit_tick & (_HIT_LATENCY_SAMPLE - 1))
             else:
                 stage = True
             if stage:
@@ -577,43 +586,45 @@ class ScheduleServer:
         fast path — the stats increment is paid in both modes), while
         miss/coalesced responses are counted from their staged
         latencies (every one is staged; those paths are tuning-scale).
-        Concurrent folds are safe: ``deque.popleft`` hands each event
-        to exactly one folder, the published-count bookkeeping runs
-        under the server lock, and the target instruments are
-        thread-safe.
+        The whole fold runs under ``_m_fold_lock``: the count-based
+        drain reads ``len`` then pops that many items, so two
+        concurrent folders could together pop more than were staged
+        and raise ``IndexError`` — one folder at a time makes the
+        read-then-pop window race-free (appends racing past ``len``
+        are simply picked up by the next fold).  ``_m_fold_lock`` is
+        acquired before the server lock, never the reverse.
         """
         events = self._m_events
         if events is None:
             return
-        with self._lock:
-            derived = (
-                ("hit", self._stats.hits),
-                ("bucket-hit", self._stats.bucket_hits),
-            )
-            deltas = []
-            for source, total in derived:
-                delta = total - self._m_published[source]
-                if delta > 0:
-                    self._m_published[source] = total
-                    deltas.append((source, delta))
-        for source, delta in deltas:
-            self._m_req_out[source].inc(delta)
-        for source, staged in list(events.items()):
-            # Bounded drain: appends racing past ``len`` are picked up
-            # by the next fold; no per-item exception handling.
-            pending = len(staged)
-            if not pending:
-                continue
-            waits = [staged.popleft() for _ in range(pending)]
-            if source not in self._m_published:
-                counter = self._m_req_out.get(source)
-                if counter is None:  # an unanticipated outcome label
-                    counter = self._m_requests.labels(outcome=source)
-                counter.inc(len(waits))
-            hist = self._m_lat_out.get(source)
-            if hist is None:
-                hist = self._m_latency.labels(outcome=source)
-            hist.observe_many(waits)
+        with self._m_fold_lock:
+            with self._lock:
+                derived = (
+                    ("hit", self._stats.hits),
+                    ("bucket-hit", self._stats.bucket_hits),
+                )
+                deltas = []
+                for source, total in derived:
+                    delta = total - self._m_published[source]
+                    if delta > 0:
+                        self._m_published[source] = total
+                        deltas.append((source, delta))
+            for source, delta in deltas:
+                self._m_req_out[source].inc(delta)
+            for source, staged in list(events.items()):
+                pending = len(staged)
+                if not pending:
+                    continue
+                waits = [staged.popleft() for _ in range(pending)]
+                if source not in self._m_published:
+                    counter = self._m_req_out.get(source)
+                    if counter is None:  # an unanticipated outcome label
+                        counter = self._m_requests.labels(outcome=source)
+                    counter.inc(len(waits))
+                hist = self._m_lat_out.get(source)
+                if hist is None:
+                    hist = self._m_latency.labels(outcome=source)
+                hist.observe_many(waits)
 
     # -- introspection / lifecycle --------------------------------------
     def stats(self) -> ServerStats:
@@ -637,8 +648,12 @@ class ScheduleServer:
 
         Latency percentiles come from the rolling windows of the
         ``serve_latency_seconds`` histograms (all outcomes combined) —
-        the *same* observations the exported histograms hold, so
-        ``health()`` and the metrics snapshot can never disagree.  With
+        the *same* observations the exported histograms hold.  Because
+        hit latencies are 1-in-``_HIT_LATENCY_SAMPLE`` sampled while
+        miss/coalesced latencies are fully staged, each sampled hit is
+        replicated by the sampling factor before pooling, so the
+        combined percentiles weight outcomes by true request volume
+        instead of overweighting the slow tuning-scale paths.  With
         metrics disabled the zero-search window (``hit_seconds``)
         stands in.
         """
@@ -652,8 +667,13 @@ class ScheduleServer:
         window: List[float] = []
         if self.metrics.enabled:
             self._fold_serve_events()
-            for child in self._m_latency.children().values():
-                window.extend(child.window_values())
+            for key, child in self._m_latency.children().items():
+                values = child.window_values()
+                if key == ("hit",):
+                    values = [
+                        v for v in values for _ in range(_HIT_LATENCY_SAMPLE)
+                    ]
+                window.extend(values)
         else:
             window = fallback_window
         window.sort()

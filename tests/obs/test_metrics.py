@@ -240,6 +240,23 @@ class TestRegistryReads:
         text = reg.prometheus_text()
         assert 'name="sa\\"w\\\\tooth"' in text
 
+    def test_series_key_roundtrips_structural_characters(self):
+        # A label value containing ',' or '=' (e.g. a cache or backend
+        # name) must not corrupt the parsed label pairs or the
+        # exposition output.
+        from repro.obs.metrics import _parse_series_key, _series_key
+
+        awkward = 'shape=64,128\\mix"ed'
+        key = _series_key(("name",), (awkward,))
+        assert _parse_series_key(key) == [("name", awkward)]
+        reg = MetricsRegistry()
+        reg.counter("awk_total", labels=("name",)).labels(name=awkward).inc()
+        text = reg.prometheus_text()
+        # One series line, with the value intact modulo Prometheus's
+        # own backslash/quote escaping.
+        expected = awkward.replace("\\", "\\\\").replace('"', '\\"')
+        assert f'repro_awk_total{{name="{expected}"}} 1' in text
+
     def test_gauge_fn_family_sampled_at_read(self):
         reg = MetricsRegistry()
         state = {"a": 0.5}
@@ -250,6 +267,20 @@ class TestRegistryReads:
             "name=a": 0.5,
             "name=b": 0.25,
         }
+
+    def test_gauge_fn_name_collision_raises(self):
+        # snapshot() merges both family dicts, so a shared name would
+        # silently shadow one family from every read view.
+        reg = MetricsRegistry()
+        reg.counter("taken_total")
+        with pytest.raises(ValueError):
+            reg.gauge_fn("taken_total", "", lambda: {})
+        reg.gauge_fn("rates", "", lambda: {})
+        with pytest.raises(ValueError):
+            reg.counter("rates")
+        # Re-binding the same callback-family name stays allowed.
+        reg.gauge_fn("rates", "", lambda: {"a": 1.0})
+        assert reg.snapshot()["metrics"]["rates"]["series"] == {"name=a": 1.0}
 
     def test_callback_gauge_errors_read_as_zero(self):
         reg = MetricsRegistry()

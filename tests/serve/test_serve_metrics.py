@@ -92,6 +92,8 @@ class TestThreadedSubmitWithReaders:
             assert len(set(flat)) == len(flat), "request ids must be unique"
 
     def test_health_quantiles_match_snapshot_windows(self):
+        from repro.serve.server import _HIT_LATENCY_SAMPLE
+
         with ScheduleServer(SimGPU(), CFG) as server:
             func = _matmul()
             for _ in range(40):
@@ -99,8 +101,17 @@ class TestThreadedSubmitWithReaders:
             health = server.health()
             snap = server.metrics.snapshot()
             series = snap["metrics"]["serve_latency_seconds"]["series"]
+            # Hit latencies are 1-in-N sampled while miss/coalesced are
+            # fully staged; health() replicates each sampled hit N
+            # times so pooled percentiles weight outcomes by true
+            # request volume — mirror that here.
             window = sorted(
-                v for s in series.values() for v in s["window"]
+                v
+                for key, s in series.items()
+                for v in s["window"]
+                for _ in range(
+                    _HIT_LATENCY_SAMPLE if key == "outcome=hit" else 1
+                )
             )
             assert window, "sampled hit latencies must reach the window"
             for field, q in (
@@ -142,6 +153,49 @@ class TestCoalescingTraceIds:
             series, total = _served_total(server)
             assert total == stats.requests == len(responses)
             assert series.get("outcome=coalesced", 0) == stats.coalesced
+
+
+class TestConcurrentFolds:
+    def test_parallel_folders_never_overdrain(self):
+        # Regression: the count-based drain in _fold_serve_events reads
+        # len() then pops that many items; unserialized concurrent
+        # folders (registry collector + health + inline at the staging
+        # threshold) could together pop more than were staged and
+        # IndexError out of submit() or the tune-resolution loop.
+        with ScheduleServer(SimGPU(), CFG) as server:
+            events = server._m_events
+            assert events is not None
+            total = 20_000
+            errors = []
+            done = threading.Event()
+
+            def producer():
+                staged = events["miss"]
+                for _ in range(total):
+                    staged.append(0.001)
+                done.set()
+
+            def folder():
+                while not done.is_set() or events["miss"]:
+                    try:
+                        server._fold_serve_events()
+                    except IndexError as exc:  # pragma: no cover — the bug
+                        errors.append(exc)
+                        return
+
+            threads = [threading.Thread(target=producer)] + [
+                threading.Thread(target=folder) for _ in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors, "concurrent folds over-drained the stage"
+            snap = server.metrics.snapshot()
+            hist = snap["metrics"]["serve_latency_seconds"]["series"][
+                "outcome=miss"
+            ]
+            assert hist["count"] == total, "every staged event folds once"
 
 
 class TestBoundedWindows:
